@@ -1,0 +1,388 @@
+//! Jacobi3D: 7-point stencil relaxation on a 3D structured grid — the
+//! paper's simplest, highest-memory-pressure kernel (64×64×128 points per
+//! core, Table 2).
+
+use acr_pup::{Pup, PupResult, Puper};
+
+use crate::MiniApp;
+
+/// One of the six block faces (for halo exchange between neighbouring
+/// tasks in the runtime-decomposed configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Face {
+    /// −X face.
+    XLo,
+    /// +X face.
+    XHi,
+    /// −Y face.
+    YLo,
+    /// +Y face.
+    YHi,
+    /// −Z face.
+    ZLo,
+    /// +Z face.
+    ZHi,
+}
+
+impl Face {
+    /// All six faces.
+    pub const ALL: [Face; 6] = [Face::XLo, Face::XHi, Face::YLo, Face::YHi, Face::ZLo, Face::ZHi];
+
+    /// The face a neighbour sees from the other side.
+    pub fn opposite(self) -> Face {
+        match self {
+            Face::XLo => Face::XHi,
+            Face::XHi => Face::XLo,
+            Face::YLo => Face::YHi,
+            Face::YHi => Face::YLo,
+            Face::ZLo => Face::ZHi,
+            Face::ZHi => Face::ZLo,
+        }
+    }
+}
+
+/// A Jacobi3D block: an `nx × ny × nz` interior with one layer of halo
+/// cells on every side.
+///
+/// In stand-alone mode the halos act as fixed Dirichlet boundaries; in
+/// runtime mode the task extracts faces, sends them to neighbours, and
+/// installs the received faces as halos before each step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Jacobi3d {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// Current values, `(nx+2)(ny+2)(nz+2)`, x fastest.
+    grid: Vec<f64>,
+    /// Scratch buffer for the next sweep (not checkpointed — it is dead
+    /// state between iterations, exactly the kind of data user-level
+    /// checkpointing omits, §3 design choice 5).
+    next: Vec<f64>,
+    iter: u64,
+    /// Max |change| of the last sweep.
+    residual: f64,
+}
+
+impl Jacobi3d {
+    /// The Table 2 per-core configuration: 64×64×128 grid points.
+    pub fn table2() -> Self {
+        Self::new(64, 64, 128)
+    }
+
+    /// A block of `nx × ny × nz` interior points, zero-initialized with
+    /// unit Dirichlet boundary on the −X halo face (a classic heat-soak
+    /// problem: heat flows in from one side).
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0);
+        let n = (nx + 2) * (ny + 2) * (nz + 2);
+        let mut s = Self {
+            nx,
+            ny,
+            nz,
+            grid: vec![0.0; n],
+            next: vec![0.0; n],
+            iter: 0,
+            residual: f64::INFINITY,
+        };
+        // Hot −X boundary.
+        for z in 0..nz + 2 {
+            for y in 0..ny + 2 {
+                let i = s.idx(0, y, z);
+                s.grid[i] = 1.0;
+                s.next[i] = 1.0;
+            }
+        }
+        s
+    }
+
+    #[inline]
+    fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * (self.ny + 2) + y) * (self.nx + 2) + x
+    }
+
+    /// Interior dimensions.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Residual (max |change|) of the last sweep.
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Value at an interior point (0-based interior coordinates).
+    pub fn at(&self, x: usize, y: usize, z: usize) -> f64 {
+        self.grid[self.idx(x + 1, y + 1, z + 1)]
+    }
+
+    /// Copy out the interior layer adjacent to `face` (what a neighbour
+    /// needs as its halo).
+    pub fn extract_face(&self, face: Face) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.face_coords(face, false, |i| out.push(self.grid[i]));
+        out
+    }
+
+    /// Install `data` (a neighbour's boundary layer) into this block's halo
+    /// cells on `face`.
+    pub fn set_halo(&mut self, face: Face, data: &[f64]) {
+        let mut it = data.iter();
+        let mut halo_indices = Vec::new();
+        self.face_coords(face, true, |i| halo_indices.push(i));
+        assert_eq!(halo_indices.len(), data.len(), "halo size mismatch");
+        for i in halo_indices {
+            self.grid[i] = *it.next().expect("sized above");
+        }
+    }
+
+    /// Visit the linear indices of a face layer: `halo = false` walks the
+    /// outermost *interior* layer, `halo = true` the halo layer itself.
+    fn face_coords<F: FnMut(usize)>(&self, face: Face, halo: bool, mut f: F) {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        match face {
+            Face::XLo | Face::XHi => {
+                let x = match (face, halo) {
+                    (Face::XLo, true) => 0,
+                    (Face::XLo, false) => 1,
+                    (Face::XHi, true) => nx + 1,
+                    _ => nx,
+                };
+                for z in 1..=nz {
+                    for y in 1..=ny {
+                        f(self.idx(x, y, z));
+                    }
+                }
+            }
+            Face::YLo | Face::YHi => {
+                let y = match (face, halo) {
+                    (Face::YLo, true) => 0,
+                    (Face::YLo, false) => 1,
+                    (Face::YHi, true) => ny + 1,
+                    _ => ny,
+                };
+                for z in 1..=nz {
+                    for x in 1..=nx {
+                        f(self.idx(x, y, z));
+                    }
+                }
+            }
+            Face::ZLo | Face::ZHi => {
+                let z = match (face, halo) {
+                    (Face::ZLo, true) => 0,
+                    (Face::ZLo, false) => 1,
+                    (Face::ZHi, true) => nz + 1,
+                    _ => nz,
+                };
+                for y in 1..=ny {
+                    for x in 1..=nx {
+                        f(self.idx(x, y, z));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl MiniApp for Jacobi3d {
+    fn name(&self) -> &'static str {
+        "Jacobi3D"
+    }
+
+    fn step(&mut self) {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let sx = 1;
+        let sy = self.nx + 2;
+        let sz = (self.nx + 2) * (self.ny + 2);
+        let mut max_delta = 0.0f64;
+        for z in 1..=nz {
+            for y in 1..=ny {
+                let row = (z * (ny + 2) + y) * (nx + 2);
+                for x in 1..=nx {
+                    let i = row + x;
+                    let v = (self.grid[i - sx]
+                        + self.grid[i + sx]
+                        + self.grid[i - sy]
+                        + self.grid[i + sy]
+                        + self.grid[i - sz]
+                        + self.grid[i + sz]
+                        + self.grid[i])
+                        / 7.0;
+                    max_delta = max_delta.max((v - self.grid[i]).abs());
+                    self.next[i] = v;
+                }
+            }
+        }
+        std::mem::swap(&mut self.grid, &mut self.next);
+        // Refresh boundary halos in `grid` from the old buffer (swap moved
+        // them): halo cells are never written by the sweep, so copy them
+        // over wholesale by re-syncing the swapped-out buffer's halo.
+        let (nx2, ny2, nz2) = (nx + 2, ny + 2, nz + 2);
+        for z in 0..nz2 {
+            for y in 0..ny2 {
+                for x in 0..nx2 {
+                    if x == 0 || x == nx2 - 1 || y == 0 || y == ny2 - 1 || z == 0 || z == nz2 - 1 {
+                        let i = (z * ny2 + y) * nx2 + x;
+                        self.grid[i] = self.next[i];
+                    }
+                }
+            }
+        }
+        self.residual = max_delta;
+        self.iter += 1;
+    }
+
+    fn iteration(&self) -> u64 {
+        self.iter
+    }
+
+    fn diagnostic(&self) -> f64 {
+        // Mean interior temperature: monotonically approaches the boundary
+        // drive.
+        let mut sum = 0.0;
+        for z in 0..self.nz {
+            for y in 0..self.ny {
+                for x in 0..self.nx {
+                    sum += self.at(x, y, z);
+                }
+            }
+        }
+        sum / (self.nx * self.ny * self.nz) as f64
+    }
+}
+
+impl Pup for Jacobi3d {
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_usize(&mut self.nx)?;
+        p.pup_usize(&mut self.ny)?;
+        p.pup_usize(&mut self.nz)?;
+        self.grid.pup(p)?;
+        p.pup_u64(&mut self.iter)?;
+        p.pup_f64(&mut self.residual)?;
+        // `next` is scratch: re-materialize it on restore instead of
+        // checkpointing another full grid.
+        if p.dir() == acr_pup::Dir::Unpacking {
+            self.next = self.grid.clone();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_pup::{compare, pack, unpack};
+
+    #[test]
+    fn heat_flows_in_from_the_hot_face() {
+        let mut j = Jacobi3d::new(8, 8, 8);
+        assert_eq!(j.diagnostic(), 0.0);
+        for _ in 0..50 {
+            j.step();
+        }
+        assert!(j.diagnostic() > 0.01, "interior warmed: {}", j.diagnostic());
+        // Monotone decay toward steady state.
+        assert!(j.residual() < 1.0);
+        // Cells near the hot face are warmer.
+        assert!(j.at(0, 4, 4) > j.at(7, 4, 4));
+    }
+
+    #[test]
+    fn residual_decreases_over_time() {
+        let mut j = Jacobi3d::new(6, 6, 6);
+        j.step();
+        let early = j.residual();
+        for _ in 0..100 {
+            j.step();
+        }
+        assert!(j.residual() < early / 2.0);
+    }
+
+    #[test]
+    fn determinism_two_instances_agree_bytewise() {
+        let mut a = Jacobi3d::new(6, 5, 4);
+        let mut b = Jacobi3d::new(6, 5, 4);
+        for _ in 0..20 {
+            a.step();
+            b.step();
+        }
+        let ca = pack(&mut a).unwrap();
+        assert!(compare(&mut b, &ca).unwrap().is_clean());
+    }
+
+    #[test]
+    fn checkpoint_restart_resumes_exact_trajectory() {
+        let mut a = Jacobi3d::new(5, 5, 5);
+        for _ in 0..10 {
+            a.step();
+        }
+        let ckpt = pack(&mut a).unwrap();
+
+        // Continue the original 10 more steps.
+        for _ in 0..10 {
+            a.step();
+        }
+        // Restore a fresh block and replay.
+        let mut b = Jacobi3d::new(1, 1, 1);
+        unpack(&ckpt, &mut b).unwrap();
+        assert_eq!(b.iteration(), 10);
+        for _ in 0..10 {
+            b.step();
+        }
+        assert_eq!(pack(&mut a).unwrap(), pack(&mut b).unwrap());
+    }
+
+    #[test]
+    fn halo_exchange_roundtrip_matches_monolithic() {
+        // Split a 8×4×4 domain into two 4×4×4 blocks along X, exchange
+        // halos each step; after k steps the pair must equal a monolithic
+        // 8×4×4 run.
+        let mut whole = Jacobi3d::new(8, 4, 4);
+        let mut left = Jacobi3d::new(4, 4, 4);
+        let mut right = Jacobi3d::new(4, 4, 4);
+        // The right block's −X halo starts cold (it is interior now, not the
+        // hot boundary).
+        let cold = vec![0.0; 16];
+        right.set_halo(Face::XLo, &cold);
+        for _ in 0..30 {
+            let l2r = left.extract_face(Face::XHi);
+            let r2l = right.extract_face(Face::XLo);
+            right.set_halo(Face::XLo, &l2r);
+            left.set_halo(Face::XHi, &r2l);
+            left.step();
+            right.step();
+            whole.step();
+        }
+        for z in 0..4 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    assert!(
+                        (whole.at(x, y, z) - left.at(x, y, z)).abs() < 1e-12,
+                        "left block diverged at ({x},{y},{z})"
+                    );
+                    assert!(
+                        (whole.at(x + 4, y, z) - right.at(x, y, z)).abs() < 1e-12,
+                        "right block diverged at ({x},{y},{z})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn face_sizes() {
+        let j = Jacobi3d::new(3, 4, 5);
+        assert_eq!(j.extract_face(Face::XLo).len(), 4 * 5);
+        assert_eq!(j.extract_face(Face::YHi).len(), 3 * 5);
+        assert_eq!(j.extract_face(Face::ZLo).len(), 3 * 4);
+        assert_eq!(Face::XLo.opposite(), Face::XHi);
+        assert_eq!(Face::ZHi.opposite(), Face::ZLo);
+    }
+
+    #[test]
+    fn table2_footprint() {
+        let mut j = Jacobi3d::table2();
+        let bytes = acr_pup::packed_size(&mut j).unwrap();
+        // ~ (66*66*130) f64 + header: about 4.5 MiB per core.
+        assert!(bytes > 4_000_000 && bytes < 5_000_000, "{bytes}");
+    }
+}

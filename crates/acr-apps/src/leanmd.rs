@@ -1,0 +1,358 @@
+//! LeanMD: short-range molecular dynamics with cell lists (4 000 atoms per
+//! core, Table 2) — the low-memory-footprint, *scattered-data* app.
+//!
+//! Atoms are stored array-of-structs and serialized atom-by-atom through
+//! the generic PUP path (no bulk memcpy), reproducing the paper's
+//! observation that "checkpoint data in these programs may be scattered in
+//! the memory resulting in extra overheads during operations that require
+//! traversal of application data" (§6.1).
+
+use acr_pup::{pup_vec, Pup, PupResult, Puper};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::MiniApp;
+
+pub(crate) mod md {
+    //! Shared Lennard-Jones cell-list force kernel (σ = ε = 1, cutoff 2.5),
+    //! deterministic iteration order.
+
+    /// Cutoff radius.
+    pub const RC: f64 = 2.5;
+    /// Velocity-Verlet timestep.
+    pub const DT: f64 = 0.001;
+
+    /// Periodic minimum-image displacement.
+    #[inline]
+    pub fn min_image(mut d: f64, l: f64) -> f64 {
+        if d > l / 2.0 {
+            d -= l;
+        } else if d < -l / 2.0 {
+            d += l;
+        }
+        d
+    }
+
+    /// Compute LJ forces and total potential energy over `pos` in a cubic
+    /// periodic box of side `l`, via cell lists.
+    pub fn forces(pos: &[[f64; 3]], l: f64) -> (Vec<[f64; 3]>, f64) {
+        let n = pos.len();
+        let ncell = ((l / RC).floor() as usize).max(1);
+        let cell_w = l / ncell as f64;
+        let cell_of = |p: &[f64; 3]| -> usize {
+            let mut c = [0usize; 3];
+            for k in 0..3 {
+                let x = p[k].rem_euclid(l);
+                c[k] = ((x / cell_w) as usize).min(ncell - 1);
+            }
+            (c[2] * ncell + c[1]) * ncell + c[0]
+        };
+        let mut cells: Vec<Vec<usize>> = vec![Vec::new(); ncell * ncell * ncell];
+        for (i, p) in pos.iter().enumerate() {
+            cells[cell_of(p)].push(i);
+        }
+
+        let rc2 = RC * RC;
+        let mut force = vec![[0.0f64; 3]; n];
+        let mut pot = 0.0;
+        for (ci, members) in cells.iter().enumerate() {
+            let cx = ci % ncell;
+            let cy = (ci / ncell) % ncell;
+            let cz = ci / (ncell * ncell);
+            for &i in members {
+                let mut fi = [0.0f64; 3];
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let nx = (cx as i64 + dx).rem_euclid(ncell as i64) as usize;
+                            let ny = (cy as i64 + dy).rem_euclid(ncell as i64) as usize;
+                            let nz = (cz as i64 + dz).rem_euclid(ncell as i64) as usize;
+                            let cj = (nz * ncell + ny) * ncell + nx;
+                            for &j in &cells[cj] {
+                                if j == i {
+                                    continue;
+                                }
+                                let mut d = [0.0f64; 3];
+                                let mut r2 = 0.0;
+                                for k in 0..3 {
+                                    d[k] = min_image(pos[i][k] - pos[j][k], l);
+                                    r2 += d[k] * d[k];
+                                }
+                                if r2 >= rc2 || r2 < 1e-12 {
+                                    continue;
+                                }
+                                let inv2 = 1.0 / r2;
+                                let inv6 = inv2 * inv2 * inv2;
+                                // F/r = 24(2/r¹² − 1/r⁶)/r²
+                                let fmag = 24.0 * inv2 * inv6 * (2.0 * inv6 - 1.0);
+                                for k in 0..3 {
+                                    fi[k] += fmag * d[k];
+                                }
+                                // Each pair visited twice: half the energy.
+                                pot += 0.5 * (4.0 * inv6 * (inv6 - 1.0));
+                            }
+                        }
+                    }
+                }
+                force[i] = fi;
+            }
+        }
+        (force, pot)
+    }
+
+    /// Box side for `n` atoms at reduced density 0.8.
+    pub fn box_side(n: usize) -> f64 {
+        (n as f64 / 0.8).cbrt()
+    }
+
+    /// Lattice positions with small seeded jitter and random velocities for
+    /// `n` atoms in a box of side `l`. Returns `(pos, vel)` with zero net
+    /// momentum.
+    pub fn init(n: usize, l: f64, rng: &mut impl rand::Rng) -> (Vec<[f64; 3]>, Vec<[f64; 3]>) {
+        let per_side = (n as f64).cbrt().ceil() as usize;
+        let spacing = l / per_side as f64;
+        let mut pos = Vec::with_capacity(n);
+        'fill: for z in 0..per_side {
+            for y in 0..per_side {
+                for x in 0..per_side {
+                    if pos.len() == n {
+                        break 'fill;
+                    }
+                    let jitter = 0.05 * spacing;
+                    pos.push([
+                        (x as f64 + 0.5) * spacing + jitter * (rng.gen::<f64>() - 0.5),
+                        (y as f64 + 0.5) * spacing + jitter * (rng.gen::<f64>() - 0.5),
+                        (z as f64 + 0.5) * spacing + jitter * (rng.gen::<f64>() - 0.5),
+                    ]);
+                }
+            }
+        }
+        let mut vel: Vec<[f64; 3]> =
+            (0..n).map(|_| [rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5]).collect();
+        let mut mean = [0.0f64; 3];
+        for v in &vel {
+            for k in 0..3 {
+                mean[k] += v[k] / n as f64;
+            }
+        }
+        for v in &mut vel {
+            for k in 0..3 {
+                v[k] -= mean[k];
+            }
+        }
+        (pos, vel)
+    }
+}
+
+/// One atom (array-of-structs layout; deliberately scattered for
+/// serialization).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Atom {
+    /// Position.
+    pub pos: [f64; 3],
+    /// Velocity.
+    pub vel: [f64; 3],
+    /// Force accumulator from the last evaluation.
+    pub force: [f64; 3],
+    /// Stable atom id.
+    pub id: u64,
+}
+
+impl Pup for Atom {
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_f64_slice(&mut self.pos)?;
+        p.pup_f64_slice(&mut self.vel)?;
+        p.pup_f64_slice(&mut self.force)?;
+        p.pup_u64(&mut self.id)
+    }
+}
+
+/// The LeanMD kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeanMd {
+    atoms: Vec<Atom>,
+    l: f64,
+    iter: u64,
+}
+
+impl LeanMd {
+    /// The Table 2 per-core configuration: 4 000 atoms.
+    pub fn table2(seed: u64) -> Self {
+        Self::new(4000, seed)
+    }
+
+    /// `n` atoms at reduced density 0.8, deterministic in `seed`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 2);
+        let l = md::box_side(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pos, vel) = md::init(n, l, &mut rng);
+        let mut s = Self {
+            atoms: pos
+                .into_iter()
+                .zip(vel)
+                .enumerate()
+                .map(|(i, (pos, vel))| Atom { pos, vel, force: [0.0; 3], id: i as u64 })
+                .collect(),
+            l,
+            iter: 0,
+        };
+        s.eval_forces();
+        s
+    }
+
+    fn eval_forces(&mut self) -> f64 {
+        let pos: Vec<[f64; 3]> = self.atoms.iter().map(|a| a.pos).collect();
+        let (force, pot) = md::forces(&pos, self.l);
+        for (a, f) in self.atoms.iter_mut().zip(force) {
+            a.force = f;
+        }
+        pot
+    }
+
+    /// Kinetic + potential energy.
+    pub fn total_energy(&mut self) -> f64 {
+        let pos: Vec<[f64; 3]> = self.atoms.iter().map(|a| a.pos).collect();
+        let (_, pot) = md::forces(&pos, self.l);
+        let ke: f64 = self
+            .atoms
+            .iter()
+            .map(|a| 0.5 * (a.vel[0].powi(2) + a.vel[1].powi(2) + a.vel[2].powi(2)))
+            .sum();
+        ke + pot
+    }
+
+    /// Atom count.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Never empty (`n ≥ 2`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl MiniApp for LeanMd {
+    fn name(&self) -> &'static str {
+        "LeanMD"
+    }
+
+    fn step(&mut self) {
+        // Velocity Verlet.
+        let dt = md::DT;
+        for a in &mut self.atoms {
+            for k in 0..3 {
+                a.vel[k] += 0.5 * dt * a.force[k];
+                a.pos[k] = (a.pos[k] + dt * a.vel[k]).rem_euclid(self.l);
+            }
+        }
+        self.eval_forces();
+        for a in &mut self.atoms {
+            for k in 0..3 {
+                a.vel[k] += 0.5 * dt * a.force[k];
+            }
+        }
+        self.iter += 1;
+    }
+
+    fn iteration(&self) -> u64 {
+        self.iter
+    }
+
+    fn diagnostic(&self) -> f64 {
+        // Mean speed (cheap, deterministic).
+        self.atoms
+            .iter()
+            .map(|a| (a.vel[0].powi(2) + a.vel[1].powi(2) + a.vel[2].powi(2)).sqrt())
+            .sum::<f64>()
+            / self.atoms.len() as f64
+    }
+}
+
+impl Pup for LeanMd {
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        pup_vec(p, &mut self.atoms)?;
+        p.pup_f64(&mut self.l)?;
+        p.pup_u64(&mut self.iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_pup::{compare, pack, unpack};
+
+    #[test]
+    fn energy_is_roughly_conserved() {
+        let mut m = LeanMd::new(125, 7);
+        let e0 = m.total_energy();
+        for _ in 0..200 {
+            m.step();
+        }
+        let e1 = m.total_energy();
+        assert!(
+            (e1 - e0).abs() / e0.abs().max(1.0) < 0.05,
+            "energy drifted {e0} -> {e1}"
+        );
+    }
+
+    #[test]
+    fn atoms_stay_in_the_box() {
+        let mut m = LeanMd::new(64, 3);
+        for _ in 0..100 {
+            m.step();
+        }
+        for a in &m.atoms {
+            for k in 0..3 {
+                assert!(a.pos[k] >= 0.0 && a.pos[k] < m.l);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bitwise_deterministic() {
+        let mut a = LeanMd::new(64, 42);
+        let mut b = LeanMd::new(64, 42);
+        for _ in 0..20 {
+            a.step();
+            b.step();
+        }
+        let bytes = pack(&mut a).unwrap();
+        assert!(compare(&mut b, &bytes).unwrap().is_clean());
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let mut a = LeanMd::new(64, 1);
+        let mut b = LeanMd::new(64, 2);
+        assert_ne!(pack(&mut a).unwrap(), pack(&mut b).unwrap());
+    }
+
+    #[test]
+    fn checkpoint_restart_replays_exactly() {
+        let mut a = LeanMd::new(32, 5);
+        for _ in 0..10 {
+            a.step();
+        }
+        let ckpt = pack(&mut a).unwrap();
+        for _ in 0..10 {
+            a.step();
+        }
+        let mut b = LeanMd::new(2, 0);
+        unpack(&ckpt, &mut b).unwrap();
+        assert_eq!(b.iteration(), 10);
+        for _ in 0..10 {
+            b.step();
+        }
+        assert_eq!(pack(&mut a).unwrap(), pack(&mut b).unwrap());
+    }
+
+    #[test]
+    fn table2_footprint_is_small() {
+        let mut m = LeanMd::table2(1);
+        let bytes = acr_pup::packed_size(&mut m).unwrap();
+        // 4 000 atoms × 80 B ≈ 320 KB: the "low memory pressure" class.
+        assert!(bytes > 300_000 && bytes < 350_000, "{bytes}");
+    }
+}

@@ -1,0 +1,62 @@
+//! # acr-apps — the evaluation mini-applications
+//!
+//! Faithful Rust kernels for the five mini-apps of the paper's §6 evaluation
+//! (Table 2), each implementing [`MiniApp`] (steppable, deterministic,
+//! self-checking) and [`acr_pup::Pup`] (checkpointable):
+//!
+//! | app | kernel | per-core config (Table 2) | memory pressure |
+//! |---|---|---|---|
+//! | [`Jacobi3d`] | 7-point stencil on a 3D grid | 64×64×128 points | high |
+//! | [`Hpccg`] | CG on a 27-point FEM-like operator | 40×40×40 points | high |
+//! | [`LuleshProxy`] | Lagrangian shock hydro, hex mesh | 32×32×64 elements | high |
+//! | [`LeanMd`] | cell-list short-range MD (AoS, scattered) | 4 000 atoms | low |
+//! | [`MiniMd`] | cell-list short-range MD (SoA, bulk) | 1 000 atoms | low |
+//!
+//! The paper runs Jacobi3D under two programming models (Charm++ and AMPI);
+//! here that pair is [`Jacobi3d`] with its two halo modes (task-level halo
+//! exchange vs. self-contained block).
+//!
+//! [`AppProfile`] carries each app's checkpoint footprint and compute/
+//! serialization character for the at-scale simulator (`acr-sim`), which is
+//! how Fig. 8/10's per-app differences (checkpoint size, scattered-data
+//! serialization cost) reach the machine model.
+
+#![warn(missing_docs)]
+
+mod hpccg;
+mod jacobi3d;
+mod leanmd;
+mod lulesh;
+mod minimd;
+mod profile;
+
+pub use hpccg::Hpccg;
+pub use jacobi3d::{Face, Jacobi3d};
+pub use leanmd::LeanMd;
+pub use lulesh::LuleshProxy;
+pub use minimd::MiniMd;
+pub use profile::{AppProfile, MemoryPressure, TABLE2};
+
+use acr_pup::Pup;
+
+/// A steppable, checkpointable mini-application kernel.
+///
+/// Determinism contract: two instances constructed with the same parameters
+/// and stepped the same number of times have byte-identical PUP state —
+/// that is what makes buddy-replica checkpoint comparison (§2.1) sound.
+pub trait MiniApp: Pup {
+    /// Display name matching the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Advance one iteration/timestep.
+    fn step(&mut self);
+
+    /// Iterations completed (the progress metric reported to the ACR
+    /// consensus, §2.2).
+    fn iteration(&self) -> u64;
+
+    /// A physics diagnostic (residual, total energy, …) for correctness
+    /// checks after restart: recovering from a checkpoint must reproduce
+    /// the exact trajectory.
+    fn diagnostic(&self) -> f64;
+}

@@ -1,0 +1,307 @@
+//! LULESH proxy: Lagrangian explicit shock hydrodynamics with element
+//! centering and nodal centering (32×32×64 elements per core, Table 2).
+//!
+//! The kernel is a staggered-grid von Neumann–Richtmyer Lagrangian scheme
+//! driven by a Sedov-style energy deposition: element-centred
+//! thermodynamics (energy, pressure, artificial viscosity, volume) and
+//! node-centred kinematics (position, velocity, force, mass), plus region
+//! bookkeeping — the same *shape* of state as LULESH, which is what matters
+//! for checkpointing: many distinct arrays of differing widths make its
+//! serialization the slowest of the high-memory-pressure apps (§6.2:
+//! "LULESH takes longer in local checkpointing since it contains more
+//! complicated data structures").
+
+use acr_pup::{Pup, PupResult, Puper};
+
+use crate::MiniApp;
+
+const GAMMA: f64 = 1.4;
+/// Artificial viscosity coefficients (quadratic, linear).
+const Q1: f64 = 2.0;
+const Q2: f64 = 1.0;
+/// Courant factor.
+const CFL: f64 = 0.25;
+
+/// Lagrangian hydro state over `n` elements (zones) and `n + 1` nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuleshProxy {
+    n: usize,
+    // Node-centred.
+    /// Node positions (monotone increasing).
+    pos: Vec<f64>,
+    /// Node velocities.
+    vel: Vec<f64>,
+    /// Nodal masses.
+    nodal_mass: Vec<f64>,
+    /// Nodal force accumulator.
+    force: Vec<f64>,
+    // Element-centred.
+    /// Zone internal energy per unit mass.
+    energy: Vec<f64>,
+    /// Zone pressure.
+    pressure: Vec<f64>,
+    /// Zone artificial viscosity.
+    qvisc: Vec<f64>,
+    /// Zone mass (constant in Lagrangian frames).
+    zone_mass: Vec<f64>,
+    /// Zone reference volume.
+    vol0: Vec<f64>,
+    /// Zone relative volume `V/V₀`.
+    relvol: Vec<f64>,
+    /// Zone sound speed.
+    sound: Vec<f64>,
+    /// Region id per element (LULESH's material regions; exercised here as
+    /// mixed-width checkpoint data).
+    region: Vec<i32>,
+    /// Timestep (recomputed each cycle from the Courant condition).
+    dt: f64,
+    /// Simulated time.
+    time: f64,
+    iter: u64,
+}
+
+impl LuleshProxy {
+    /// The Table 2 per-core configuration: 32×32×64 = 65 536 elements.
+    pub fn table2() -> Self {
+        Self::new(32 * 32 * 64)
+    }
+
+    /// A Sedov-style problem over `n` elements on `[0, 1]`: cold uniform
+    /// gas, all the energy deposited in the first zone.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        let dx = 1.0 / n as f64;
+        let pos: Vec<f64> = (0..=n).map(|i| i as f64 * dx).collect();
+        let rho0 = 1.0;
+        let zone_mass = vec![rho0 * dx; n];
+        let mut nodal_mass = vec![0.0; n + 1];
+        for i in 0..n {
+            nodal_mass[i] += zone_mass[i] / 2.0;
+            nodal_mass[i + 1] += zone_mass[i] / 2.0;
+        }
+        let mut energy = vec![1e-6; n];
+        energy[0] = 1.0 / zone_mass[0]; // unit total energy in the first zone
+        let region: Vec<i32> = (0..n).map(|i| (i * 11 % 7) as i32).collect();
+        let mut s = Self {
+            n,
+            pos,
+            vel: vec![0.0; n + 1],
+            nodal_mass,
+            force: vec![0.0; n + 1],
+            pressure: vec![0.0; n],
+            qvisc: vec![0.0; n],
+            zone_mass,
+            vol0: vec![dx; n],
+            relvol: vec![1.0; n],
+            sound: vec![0.0; n],
+            energy,
+            region,
+            dt: 1e-6,
+            time: 0.0,
+            iter: 0,
+        };
+        s.update_thermo();
+        s
+    }
+
+    fn update_thermo(&mut self) {
+        for i in 0..self.n {
+            let vol = self.relvol[i] * self.vol0[i];
+            let rho = self.zone_mass[i] / vol;
+            self.pressure[i] = (GAMMA - 1.0) * rho * self.energy[i].max(0.0);
+            self.sound[i] = (GAMMA * self.pressure[i] / rho).max(1e-20).sqrt();
+        }
+    }
+
+    /// Position of the shock front: the rightmost zone whose pressure rises
+    /// clearly above the cold background.
+    pub fn shock_position(&self) -> f64 {
+        let threshold = 1e-3;
+        for i in (0..self.n).rev() {
+            if self.pressure[i] > threshold {
+                return 0.5 * (self.pos[i] + self.pos[i + 1]);
+            }
+        }
+        0.0
+    }
+
+    /// Total energy (internal + kinetic) — conserved by the scheme up to
+    /// viscosity-consistent discretization error.
+    pub fn total_energy(&self) -> f64 {
+        let internal: f64 =
+            (0..self.n).map(|i| self.zone_mass[i] * self.energy[i]).sum();
+        let kinetic: f64 =
+            (0..=self.n).map(|i| 0.5 * self.nodal_mass[i] * self.vel[i] * self.vel[i]).sum();
+        internal + kinetic
+    }
+
+    /// Simulated time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+}
+
+impl MiniApp for LuleshProxy {
+    fn name(&self) -> &'static str {
+        "LULESH"
+    }
+
+    fn step(&mut self) {
+        let n = self.n;
+        // 1. Artificial viscosity (only in compression).
+        for i in 0..n {
+            let du = self.vel[i + 1] - self.vel[i];
+            if du < 0.0 {
+                let vol = self.relvol[i] * self.vol0[i];
+                let rho = self.zone_mass[i] / vol;
+                self.qvisc[i] = rho * (Q1 * du * du - Q2 * self.sound[i] * du);
+            } else {
+                self.qvisc[i] = 0.0;
+            }
+        }
+        // 2. Nodal forces from pressure + viscosity jumps (1D: force =
+        //    −Δ(P+q) across the node; boundaries are rigid walls).
+        for i in 1..n {
+            let left = self.pressure[i - 1] + self.qvisc[i - 1];
+            let right = self.pressure[i] + self.qvisc[i];
+            self.force[i] = left - right;
+        }
+        self.force[0] = 0.0;
+        self.force[n] = 0.0;
+        // 3. Integrate kinematics.
+        for i in 1..n {
+            self.vel[i] += self.dt * self.force[i] / self.nodal_mass[i];
+        }
+        // rigid walls
+        self.vel[0] = 0.0;
+        self.vel[n] = 0.0;
+        let old_pos = self.pos.clone();
+        for i in 0..=n {
+            self.pos[i] += self.dt * self.vel[i];
+        }
+        // 4. Update volumes and internal energy (pdV work with the
+        //    half-step pressure approximation).
+        for i in 0..n {
+            let newvol = self.pos[i + 1] - self.pos[i];
+            let oldvol = old_pos[i + 1] - old_pos[i];
+            let dvol = newvol - oldvol;
+            let work = (self.pressure[i] + self.qvisc[i]) * dvol;
+            self.energy[i] = (self.energy[i] - work / self.zone_mass[i]).max(0.0);
+            self.relvol[i] = newvol / self.vol0[i];
+        }
+        self.update_thermo();
+        // 5. Courant timestep for the next cycle.
+        let mut dt = f64::INFINITY;
+        for i in 0..n {
+            let width = self.pos[i + 1] - self.pos[i];
+            dt = dt.min(CFL * width / self.sound[i].max(1e-12));
+        }
+        self.dt = dt.min(self.dt * 1.1).min(1e-2);
+        self.time += self.dt;
+        self.iter += 1;
+    }
+
+    fn iteration(&self) -> u64 {
+        self.iter
+    }
+
+    fn diagnostic(&self) -> f64 {
+        self.total_energy()
+    }
+}
+
+impl Pup for LuleshProxy {
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_usize(&mut self.n)?;
+        self.pos.pup(p)?;
+        self.vel.pup(p)?;
+        self.nodal_mass.pup(p)?;
+        self.force.pup(p)?;
+        self.energy.pup(p)?;
+        self.pressure.pup(p)?;
+        self.qvisc.pup(p)?;
+        self.zone_mass.pup(p)?;
+        self.vol0.pup(p)?;
+        self.relvol.pup(p)?;
+        self.sound.pup(p)?;
+        self.region.pup(p)?;
+        p.pup_f64(&mut self.dt)?;
+        p.pup_f64(&mut self.time)?;
+        p.pup_u64(&mut self.iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_pup::{compare, pack, unpack};
+
+    #[test]
+    fn shock_propagates_outward() {
+        let mut h = LuleshProxy::new(256);
+        let start = h.shock_position();
+        for _ in 0..400 {
+            h.step();
+        }
+        let end = h.shock_position();
+        assert!(end > start + 0.05, "shock moved {start} -> {end}");
+        assert!(h.time() > 0.0);
+    }
+
+    #[test]
+    fn energy_roughly_conserved() {
+        let mut h = LuleshProxy::new(128);
+        let e0 = h.total_energy();
+        for _ in 0..300 {
+            h.step();
+        }
+        let e1 = h.total_energy();
+        assert!((e1 - e0).abs() / e0 < 0.05, "energy drift {e0} -> {e1}");
+    }
+
+    #[test]
+    fn state_stays_physical() {
+        let mut h = LuleshProxy::new(64);
+        for _ in 0..500 {
+            h.step();
+        }
+        for i in 0..64 {
+            assert!(h.relvol[i] > 0.0, "zone {i} inverted");
+            assert!(h.pressure[i] >= 0.0 && h.pressure[i].is_finite());
+            assert!(h.energy[i] >= 0.0);
+        }
+        assert!(h.pos.windows(2).all(|w| w[1] > w[0]), "mesh tangled");
+    }
+
+    #[test]
+    fn deterministic_and_checkpointable() {
+        let mut a = LuleshProxy::new(64);
+        let mut b = LuleshProxy::new(64);
+        for _ in 0..50 {
+            a.step();
+            b.step();
+        }
+        let bytes = pack(&mut a).unwrap();
+        assert!(compare(&mut b, &bytes).unwrap().is_clean());
+
+        // restart replays exactly
+        for _ in 0..25 {
+            a.step();
+        }
+        let mut c = LuleshProxy::new(2);
+        unpack(&bytes, &mut c).unwrap();
+        for _ in 0..25 {
+            c.step();
+        }
+        assert_eq!(pack(&mut a).unwrap(), pack(&mut c).unwrap());
+    }
+
+    #[test]
+    fn table2_footprint_is_the_largest_of_the_mini_apps() {
+        let mut h = LuleshProxy::table2();
+        let bytes = acr_pup::packed_size(&mut h).unwrap();
+        // 65 536 elements × (8 f64 element arrays + i32 regions) + 4 node
+        // arrays ≈ 6.6 MB.
+        assert!(bytes > 6_000_000 && bytes < 8_000_000, "{bytes}");
+    }
+}

@@ -1,0 +1,183 @@
+//! miniMD: the Mantevo molecular-dynamics mini-app (1 000 atoms per core,
+//! Table 2) — same physics as LeanMD but structure-of-arrays storage, so
+//! its checkpoints take the bulk `memcpy` serialization path. The
+//! LeanMD/miniMD pair isolates the *data layout* effect on checkpoint cost
+//! that Fig. 8c/8f show.
+
+use acr_pup::{Pup, PupResult, Puper};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::leanmd::md;
+use crate::MiniApp;
+
+/// The miniMD kernel: SoA Lennard-Jones MD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiniMd {
+    n: usize,
+    l: f64,
+    /// Positions, flat `[x0,y0,z0, x1,...]`.
+    pos: Vec<f64>,
+    /// Velocities, same layout.
+    vel: Vec<f64>,
+    /// Forces, same layout.
+    force: Vec<f64>,
+    iter: u64,
+}
+
+impl MiniMd {
+    /// The Table 2 per-core configuration: 1 000 atoms.
+    pub fn table2(seed: u64) -> Self {
+        Self::new(1000, seed)
+    }
+
+    /// `n` atoms at reduced density 0.8, deterministic in `seed`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 2);
+        let l = md::box_side(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pos3, vel3) = md::init(n, l, &mut rng);
+        let mut s = Self {
+            n,
+            l,
+            pos: pos3.into_iter().flatten().collect(),
+            vel: vel3.into_iter().flatten().collect(),
+            force: vec![0.0; 3 * n],
+            iter: 0,
+        };
+        s.eval_forces();
+        s
+    }
+
+    fn gather(&self) -> Vec<[f64; 3]> {
+        self.pos.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect()
+    }
+
+    fn eval_forces(&mut self) -> f64 {
+        let (force, pot) = md::forces(&self.gather(), self.l);
+        for (i, f) in force.into_iter().enumerate() {
+            self.force[3 * i..3 * i + 3].copy_from_slice(&f);
+        }
+        pot
+    }
+
+    /// Kinetic + potential energy.
+    pub fn total_energy(&mut self) -> f64 {
+        let (_, pot) = md::forces(&self.gather(), self.l);
+        let ke: f64 = self.vel.chunks_exact(3).map(|v| 0.5 * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2])).sum();
+        ke + pot
+    }
+
+    /// Atom count.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never empty (`n ≥ 2`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl MiniApp for MiniMd {
+    fn name(&self) -> &'static str {
+        "miniMD"
+    }
+
+    fn step(&mut self) {
+        let dt = md::DT;
+        for i in 0..3 * self.n {
+            self.vel[i] += 0.5 * dt * self.force[i];
+            self.pos[i] = (self.pos[i] + dt * self.vel[i]).rem_euclid(self.l);
+        }
+        self.eval_forces();
+        for i in 0..3 * self.n {
+            self.vel[i] += 0.5 * dt * self.force[i];
+        }
+        self.iter += 1;
+    }
+
+    fn iteration(&self) -> u64 {
+        self.iter
+    }
+
+    fn diagnostic(&self) -> f64 {
+        self.vel
+            .chunks_exact(3)
+            .map(|v| (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt())
+            .sum::<f64>()
+            / self.n as f64
+    }
+}
+
+impl Pup for MiniMd {
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_usize(&mut self.n)?;
+        p.pup_f64(&mut self.l)?;
+        self.pos.pup(p)?;
+        self.vel.pup(p)?;
+        self.force.pup(p)?;
+        p.pup_u64(&mut self.iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leanmd::LeanMd;
+    use acr_pup::{compare, pack, unpack};
+
+    #[test]
+    fn energy_is_roughly_conserved() {
+        let mut m = MiniMd::new(125, 9);
+        let e0 = m.total_energy();
+        for _ in 0..200 {
+            m.step();
+        }
+        let e1 = m.total_energy();
+        assert!((e1 - e0).abs() / e0.abs().max(1.0) < 0.05, "{e0} -> {e1}");
+    }
+
+    #[test]
+    fn soa_and_aos_layouts_produce_identical_trajectories() {
+        // Same physics, same seed: LeanMD (AoS) and miniMD (SoA) must agree
+        // to the bit — they differ only in storage and serialization.
+        let mut aos = LeanMd::new(64, 11);
+        let mut soa = MiniMd::new(64, 11);
+        for _ in 0..50 {
+            aos.step();
+            soa.step();
+        }
+        assert_eq!(aos.diagnostic().to_bits(), soa.diagnostic().to_bits());
+    }
+
+    #[test]
+    fn deterministic_and_checkpointable() {
+        let mut a = MiniMd::new(64, 4);
+        let mut b = MiniMd::new(64, 4);
+        for _ in 0..20 {
+            a.step();
+            b.step();
+        }
+        let bytes = pack(&mut a).unwrap();
+        assert!(compare(&mut b, &bytes).unwrap().is_clean());
+
+        for _ in 0..10 {
+            a.step();
+        }
+        let mut c = MiniMd::new(2, 0);
+        unpack(&bytes, &mut c).unwrap();
+        for _ in 0..10 {
+            c.step();
+        }
+        assert_eq!(pack(&mut a).unwrap(), pack(&mut c).unwrap());
+    }
+
+    #[test]
+    fn table2_footprint_is_the_smallest() {
+        let mut m = MiniMd::table2(1);
+        let bytes = acr_pup::packed_size(&mut m).unwrap();
+        // 1 000 atoms × 72 B ≈ 72 KB.
+        assert!(bytes > 70_000 && bytes < 80_000, "{bytes}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-application profiles for the at-scale simulator: the Table 2
+//! configurations expressed as checkpoint footprint + serialization
+//! character + iteration cost.
+
+/// The paper's high/low memory-pressure classification (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryPressure {
+    /// Multi-megabyte per-core checkpoints (Jacobi3D, HPCCG, LULESH):
+    /// checkpoint-transfer dominated, mapping-sensitive (Fig. 8a/b/d/e).
+    High,
+    /// Sub-megabyte per-core checkpoints (LeanMD, miniMD): fixed costs and
+    /// serialization dominate (Fig. 8c/f).
+    Low,
+}
+
+/// What the simulator needs to know about a mini-app.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppProfile {
+    /// Figure label, e.g. "Jacobi3D Charm++".
+    pub name: &'static str,
+    /// Packed checkpoint bytes per core (measured from the real kernels'
+    /// Table 2 configurations — see each kernel's `table2_footprint` test).
+    pub ckpt_bytes_per_core: u64,
+    /// Serialization slowdown relative to a bulk contiguous copy: 1.0 for
+    /// flat arrays, higher for scattered (AoS) or many-array state. This is
+    /// the §6.2 "scattered in the memory" effect.
+    pub scatter_factor: f64,
+    /// Forward-path time of one application iteration per core (seconds) —
+    /// sets how often progress reports reach the ACR consensus.
+    pub iter_time_s: f64,
+    /// Memory-pressure class.
+    pub pressure: MemoryPressure,
+}
+
+impl AppProfile {
+    /// Checkpoint bytes for a whole node of `cores` cores.
+    pub fn node_bytes(&self, cores: u64) -> u64 {
+        self.ckpt_bytes_per_core * cores
+    }
+}
+
+/// The six evaluated configurations of §6 (five mini-apps, with Jacobi3D in
+/// both programming models), per-core parameters from Table 2.
+pub const TABLE2: [AppProfile; 6] = [
+    AppProfile {
+        name: "Jacobi3D Charm++",
+        ckpt_bytes_per_core: 4_530_000, // 64×64×128 + halos, f64
+        scatter_factor: 1.0,
+        iter_time_s: 0.20,
+        pressure: MemoryPressure::High,
+    },
+    AppProfile {
+        name: "Jacobi3D AMPI",
+        // Same data; AMPI's virtualized-rank bookkeeping adds a little
+        // serialization overhead.
+        ckpt_bytes_per_core: 4_530_000,
+        scatter_factor: 1.1,
+        iter_time_s: 0.20,
+        pressure: MemoryPressure::High,
+    },
+    AppProfile {
+        name: "HPCCG",
+        ckpt_bytes_per_core: 2_050_000, // 4 × 40³ f64 vectors
+        scatter_factor: 1.2,
+        iter_time_s: 0.15,
+        pressure: MemoryPressure::High,
+    },
+    AppProfile {
+        name: "LULESH",
+        ckpt_bytes_per_core: 6_030_000, // 32×32×64 elements, 12 arrays
+        // "more complicated data structures for serialization" (§6.2)
+        scatter_factor: 1.8,
+        iter_time_s: 0.30,
+        pressure: MemoryPressure::High,
+    },
+    AppProfile {
+        name: "LeanMD",
+        ckpt_bytes_per_core: 325_000, // 4 000 atoms, AoS
+        // per-atom traversal: the scattered low-memory case
+        scatter_factor: 2.5,
+        iter_time_s: 0.05,
+        pressure: MemoryPressure::Low,
+    },
+    AppProfile {
+        name: "miniMD",
+        ckpt_bytes_per_core: 73_000, // 1 000 atoms, SoA
+        scatter_factor: 1.4,
+        iter_time_s: 0.03,
+        pressure: MemoryPressure::Low,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprints_match_the_real_kernels() {
+        use crate::{Hpccg, Jacobi3d, LeanMd, LuleshProxy, MiniMd};
+        let within = |profile_bytes: u64, real: usize| {
+            let p = profile_bytes as f64;
+            (p - real as f64).abs() / p < 0.1
+        };
+        assert!(within(
+            TABLE2[0].ckpt_bytes_per_core,
+            acr_pup::packed_size(&mut Jacobi3d::table2()).unwrap()
+        ));
+        assert!(within(
+            TABLE2[2].ckpt_bytes_per_core,
+            acr_pup::packed_size(&mut Hpccg::table2()).unwrap()
+        ));
+        assert!(within(
+            TABLE2[3].ckpt_bytes_per_core,
+            acr_pup::packed_size(&mut LuleshProxy::table2()).unwrap()
+        ));
+        assert!(within(
+            TABLE2[4].ckpt_bytes_per_core,
+            acr_pup::packed_size(&mut LeanMd::table2(0)).unwrap()
+        ));
+        assert!(within(
+            TABLE2[5].ckpt_bytes_per_core,
+            acr_pup::packed_size(&mut MiniMd::table2(0)).unwrap()
+        ));
+    }
+
+    #[test]
+    fn pressure_classes_match_table2() {
+        for p in &TABLE2 {
+            match p.pressure {
+                MemoryPressure::High => assert!(p.ckpt_bytes_per_core > 1_000_000),
+                MemoryPressure::Low => assert!(p.ckpt_bytes_per_core < 1_000_000),
+            }
+        }
+    }
+
+    #[test]
+    fn node_bytes_scales_by_cores() {
+        let p = &TABLE2[0];
+        assert_eq!(p.node_bytes(4), 4 * p.ckpt_bytes_per_core);
+    }
+
+    #[test]
+    fn scattered_apps_pay_more_per_byte() {
+        let jacobi = &TABLE2[0];
+        let leanmd = &TABLE2[4];
+        assert!(leanmd.scatter_factor > jacobi.scatter_factor);
+    }
+}

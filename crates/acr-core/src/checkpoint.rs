@@ -1,0 +1,167 @@
+//! Double-buffered local checkpoint storage (§2.1).
+//!
+//! A node always keeps its last **verified** checkpoint — one that passed
+//! the buddy comparison, so it is known SDC-free. A freshly taken checkpoint
+//! is **tentative** until the comparison result arrives: on a clean
+//! comparison it is promoted (replacing the verified one); on a mismatch it
+//! is discarded and both replicas roll back to the verified checkpoint.
+
+use bytes::Bytes;
+
+/// One node's checkpoint of all its tasks at an agreed iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The consensus-decided iteration this checkpoint captures.
+    pub iteration: u64,
+    /// Packed PUP payload of every task on the node.
+    ///
+    /// `Bytes` makes cross-thread sharing with the buddy free of copies in
+    /// the real runtime (reference-counted slices).
+    pub payload: Bytes,
+    /// Fletcher-64 digest of the payload (sent instead of the payload when
+    /// checksum detection is enabled, §4.2).
+    pub digest: u64,
+}
+
+impl Checkpoint {
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True for an empty payload (a node with no tasks).
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+/// The per-node double buffer.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    verified: Option<Checkpoint>,
+    tentative: Option<Checkpoint>,
+    /// Promotions performed (≙ verified checkpoint generations).
+    generations: u64,
+}
+
+impl CheckpointStore {
+    /// Empty store (before the first checkpoint of a run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a freshly taken checkpoint, pending verification. Replaces any
+    /// unverified predecessor (e.g. a forced checkpoint superseding a
+    /// periodic one that never got compared because a failure intervened).
+    pub fn store_tentative(&mut self, ckpt: Checkpoint) {
+        debug_assert!(
+            self.verified.as_ref().map_or(true, |v| v.iteration <= ckpt.iteration),
+            "checkpoints move forward"
+        );
+        self.tentative = Some(ckpt);
+    }
+
+    /// The buddy comparison came back clean: the tentative checkpoint is now
+    /// the verified one. Returns the iteration promoted, or `None` if there
+    /// was nothing tentative.
+    pub fn promote(&mut self) -> Option<u64> {
+        let t = self.tentative.take()?;
+        let it = t.iteration;
+        self.verified = Some(t);
+        self.generations += 1;
+        Some(it)
+    }
+
+    /// The buddy comparison found a mismatch (or the checkpoint is otherwise
+    /// suspect): drop the tentative checkpoint.
+    pub fn discard_tentative(&mut self) -> bool {
+        self.tentative.take().is_some()
+    }
+
+    /// The checkpoint a rollback restores: the last verified one.
+    pub fn rollback_target(&self) -> Option<&Checkpoint> {
+        self.verified.as_ref()
+    }
+
+    /// The tentative checkpoint (what medium-resilience recovery ships
+    /// immediately after a crash, before any comparison).
+    pub fn tentative(&self) -> Option<&Checkpoint> {
+        self.tentative.as_ref()
+    }
+
+    /// Install a checkpoint received from the buddy as the verified state
+    /// (spare-node restart and medium/weak recovery paths).
+    pub fn install_verified(&mut self, ckpt: Checkpoint) {
+        self.tentative = None;
+        self.verified = Some(ckpt);
+        self.generations += 1;
+    }
+
+    /// Number of promotions/installs so far.
+    pub fn generations(&self) -> u64 {
+        self.generations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ckpt(iteration: u64, data: &[u8]) -> Checkpoint {
+        Checkpoint { iteration, payload: Bytes::copy_from_slice(data), digest: iteration ^ 0xF00 }
+    }
+
+    #[test]
+    fn promote_cycle() {
+        let mut s = CheckpointStore::new();
+        assert!(s.rollback_target().is_none());
+        s.store_tentative(ckpt(10, b"ten"));
+        assert!(s.rollback_target().is_none(), "unverified data is not a rollback target");
+        assert_eq!(s.promote(), Some(10));
+        assert_eq!(s.rollback_target().unwrap().iteration, 10);
+        assert_eq!(s.generations(), 1);
+
+        s.store_tentative(ckpt(20, b"twenty"));
+        assert_eq!(s.rollback_target().unwrap().iteration, 10, "old verified kept");
+        assert_eq!(s.promote(), Some(20));
+        assert_eq!(s.rollback_target().unwrap().iteration, 20);
+    }
+
+    #[test]
+    fn discard_on_sdc() {
+        let mut s = CheckpointStore::new();
+        s.store_tentative(ckpt(10, b"good"));
+        s.promote();
+        s.store_tentative(ckpt(20, b"corrupt"));
+        assert!(s.discard_tentative());
+        assert!(!s.discard_tentative(), "nothing left to discard");
+        assert_eq!(s.rollback_target().unwrap().iteration, 10);
+        assert_eq!(s.promote(), None);
+    }
+
+    #[test]
+    fn forced_checkpoint_supersedes_pending_one() {
+        let mut s = CheckpointStore::new();
+        s.store_tentative(ckpt(10, b"periodic"));
+        s.store_tentative(ckpt(12, b"forced"));
+        assert_eq!(s.promote(), Some(12));
+    }
+
+    #[test]
+    fn install_from_buddy() {
+        let mut s = CheckpointStore::new();
+        s.store_tentative(ckpt(5, b"stale"));
+        s.install_verified(ckpt(9, b"from buddy"));
+        assert_eq!(s.rollback_target().unwrap().iteration, 9);
+        assert!(s.tentative().is_none(), "install clears pending state");
+        assert_eq!(s.generations(), 1);
+    }
+
+    #[test]
+    fn payload_accessors() {
+        let c = ckpt(1, b"abc");
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(ckpt(1, b"").is_empty());
+    }
+}

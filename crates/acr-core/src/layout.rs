@@ -1,0 +1,257 @@
+//! Replica layout: the §2.1 partitioning of a job's nodes into two replicas
+//! plus a spare pool, with buddy pairing and crash-time spare promotion.
+
+use std::fmt;
+
+/// What a physical node is currently doing in the layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeSlot {
+    /// Executing rank `rank` of replica `replica`.
+    Active {
+        /// Replica index (0 or 1).
+        replica: u8,
+        /// Rank within the replica.
+        rank: usize,
+    },
+    /// Idle, waiting to replace a crashed node.
+    Spare,
+    /// Crashed and abandoned.
+    Failed,
+}
+
+/// Errors from layout construction or spare allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// `nodes - spares` must be an even, positive number.
+    BadShape {
+        /// Total nodes requested.
+        nodes: usize,
+        /// Spares requested.
+        spares: usize,
+    },
+    /// A crash happened but the spare pool is empty — the job cannot
+    /// continue (the paper assumes enough spares for the run's failures).
+    OutOfSpares,
+    /// The node referenced is not currently active.
+    NotActive(usize),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::BadShape { nodes, spares } => {
+                write!(f, "{nodes} nodes minus {spares} spares is not an even positive count")
+            }
+            LayoutError::OutOfSpares => write!(f, "spare pool exhausted"),
+            LayoutError::NotActive(n) => write!(f, "node {n} is not active"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// The job-level node layout: `2 × ranks` active nodes plus spares.
+///
+/// Node ids are the job's logical node numbering `0..nodes`; mapping those
+/// onto physical torus coordinates is `acr-topology`'s concern.
+#[derive(Debug, Clone)]
+pub struct ReplicaLayout {
+    slots: Vec<NodeSlot>,
+    /// node hosting each (replica, rank): `hosts[replica][rank]`.
+    hosts: [Vec<usize>; 2],
+    spare_pool: Vec<usize>,
+    failures: usize,
+}
+
+impl ReplicaLayout {
+    /// Split `nodes` job nodes into two replicas with `spares` reserved.
+    ///
+    /// Nodes `0..ranks` form replica 0, `ranks..2·ranks` replica 1, and the
+    /// tail is the spare pool (matching the paper's "on a job launch, ACR
+    /// first reserves a set of spare nodes; the remaining nodes are divided
+    /// into two sets").
+    pub fn new(nodes: usize, spares: usize) -> Result<Self, LayoutError> {
+        let active = nodes.checked_sub(spares).ok_or(LayoutError::BadShape { nodes, spares })?;
+        if active == 0 || active % 2 != 0 {
+            return Err(LayoutError::BadShape { nodes, spares });
+        }
+        let ranks = active / 2;
+        let mut slots = Vec::with_capacity(nodes);
+        let mut hosts = [Vec::with_capacity(ranks), Vec::with_capacity(ranks)];
+        for node in 0..nodes {
+            if node < active {
+                let replica = (node >= ranks) as u8;
+                let rank = node % ranks;
+                slots.push(NodeSlot::Active { replica, rank });
+                hosts[replica as usize].push(node);
+            } else {
+                slots.push(NodeSlot::Spare);
+            }
+        }
+        // Allocation pops from the end of the pool, i.e. highest ids first.
+        let spare_pool: Vec<usize> = (active..nodes).collect();
+        Ok(Self { slots, hosts, spare_pool, failures: 0 })
+    }
+
+    /// Ranks per replica.
+    pub fn ranks(&self) -> usize {
+        self.hosts[0].len()
+    }
+
+    /// Total node count (active + spare + failed).
+    pub fn nodes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Remaining spares.
+    pub fn spares_left(&self) -> usize {
+        self.spare_pool.len()
+    }
+
+    /// Crashes handled so far.
+    pub fn failures(&self) -> usize {
+        self.failures
+    }
+
+    /// Current role of `node`.
+    pub fn slot(&self, node: usize) -> NodeSlot {
+        self.slots[node]
+    }
+
+    /// Node currently hosting `(replica, rank)`.
+    pub fn host(&self, replica: u8, rank: usize) -> usize {
+        self.hosts[replica as usize][rank]
+    }
+
+    /// The buddy node (same rank, other replica) of an active node.
+    pub fn buddy(&self, node: usize) -> Result<usize, LayoutError> {
+        match self.slots[node] {
+            NodeSlot::Active { replica, rank } => Ok(self.host(1 - replica, rank)),
+            _ => Err(LayoutError::NotActive(node)),
+        }
+    }
+
+    /// Locate an active node.
+    pub fn locate(&self, node: usize) -> Option<(u8, usize)> {
+        match self.slots[node] {
+            NodeSlot::Active { replica, rank } => Some((replica, rank)),
+            _ => None,
+        }
+    }
+
+    /// Handle a fail-stop crash of `failed`: mark it dead, promote a spare
+    /// into its `(replica, rank)`, and return the spare's node id.
+    ///
+    /// The caller (runtime) then restarts the rank on the spare from the
+    /// buddy's checkpoint per the active recovery scheme.
+    pub fn replace_with_spare(&mut self, failed: usize) -> Result<usize, LayoutError> {
+        let (replica, rank) = self.locate(failed).ok_or(LayoutError::NotActive(failed))?;
+        let spare = self.spare_pool.pop().ok_or(LayoutError::OutOfSpares)?;
+        self.slots[failed] = NodeSlot::Failed;
+        self.slots[spare] = NodeSlot::Active { replica, rank };
+        self.hosts[replica as usize][rank] = spare;
+        self.failures += 1;
+        Ok(spare)
+    }
+
+    /// Iterate over active nodes as `(node, replica, rank)`.
+    pub fn active_nodes(&self) -> impl Iterator<Item = (usize, u8, usize)> + '_ {
+        self.slots.iter().enumerate().filter_map(|(n, s)| match s {
+            NodeSlot::Active { replica, rank } => Some((n, *replica, *rank)),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_split() {
+        let l = ReplicaLayout::new(10, 2).unwrap();
+        assert_eq!(l.ranks(), 4);
+        assert_eq!(l.spares_left(), 2);
+        assert_eq!(l.locate(0), Some((0, 0)));
+        assert_eq!(l.locate(4), Some((1, 0)));
+        assert_eq!(l.buddy(0).unwrap(), 4);
+        assert_eq!(l.buddy(7).unwrap(), 3);
+        assert_eq!(l.slot(8), NodeSlot::Spare);
+    }
+
+    #[test]
+    fn buddy_is_involution_over_active_nodes() {
+        let l = ReplicaLayout::new(34, 2).unwrap();
+        for (node, _, _) in l.active_nodes() {
+            let b = l.buddy(node).unwrap();
+            assert_eq!(l.buddy(b).unwrap(), node);
+        }
+    }
+
+    #[test]
+    fn bad_shapes_rejected() {
+        assert!(ReplicaLayout::new(0, 0).is_err());
+        assert!(ReplicaLayout::new(5, 0).is_err()); // odd active
+        assert!(ReplicaLayout::new(4, 4).is_err()); // nothing active
+        assert!(ReplicaLayout::new(3, 4).is_err()); // underflow
+        assert!(ReplicaLayout::new(4, 1).is_err()); // odd active
+    }
+
+    #[test]
+    fn spare_promotion_rebinds_rank_and_buddy() {
+        let mut l = ReplicaLayout::new(10, 2).unwrap();
+        // crash node 1 (replica 0, rank 1); buddy was node 5
+        assert_eq!(l.buddy(5).unwrap(), 1);
+        let spare = l.replace_with_spare(1).unwrap();
+        assert_eq!(spare, 9, "spares pop from the tail");
+        assert_eq!(l.slot(1), NodeSlot::Failed);
+        assert_eq!(l.locate(spare), Some((0, 1)));
+        assert_eq!(l.host(0, 1), spare);
+        assert_eq!(l.buddy(5).unwrap(), spare);
+        assert_eq!(l.buddy(spare).unwrap(), 5);
+        assert_eq!(l.failures(), 1);
+        assert_eq!(l.spares_left(), 1);
+    }
+
+    #[test]
+    fn cascading_failures_exhaust_pool() {
+        let mut l = ReplicaLayout::new(6, 2).unwrap();
+        let s1 = l.replace_with_spare(0).unwrap();
+        let s2 = l.replace_with_spare(3).unwrap();
+        assert_ne!(s1, s2);
+        assert_eq!(l.replace_with_spare(1).unwrap_err(), LayoutError::OutOfSpares);
+    }
+
+    #[test]
+    fn crashed_spare_can_itself_crash_after_promotion() {
+        let mut l = ReplicaLayout::new(8, 4).unwrap();
+        let s1 = l.replace_with_spare(0).unwrap();
+        // The promoted node later crashes too.
+        let s2 = l.replace_with_spare(s1).unwrap();
+        assert_eq!(l.locate(s2), Some((0, 0)));
+        assert_eq!(l.slot(s1), NodeSlot::Failed);
+        assert_eq!(l.failures(), 2);
+    }
+
+    #[test]
+    fn failed_and_spare_nodes_have_no_buddy() {
+        let mut l = ReplicaLayout::new(6, 2).unwrap();
+        assert!(matches!(l.buddy(4), Err(LayoutError::NotActive(4))));
+        l.replace_with_spare(0).unwrap();
+        assert!(matches!(l.buddy(0), Err(LayoutError::NotActive(0))));
+    }
+
+    #[test]
+    fn active_nodes_iteration_is_complete() {
+        let mut l = ReplicaLayout::new(10, 2).unwrap();
+        assert_eq!(l.active_nodes().count(), 8);
+        l.replace_with_spare(2).unwrap();
+        assert_eq!(l.active_nodes().count(), 8, "spare replaced the failure");
+        let ranks: Vec<_> = l.active_nodes().map(|(_, r, k)| (r, k)).collect();
+        for r in 0..2u8 {
+            for k in 0..4 {
+                assert!(ranks.contains(&(r, k)));
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the checkpoint-consensus protocol: under arbitrary
+//! initial progress and arbitrary message delivery order, every node fires
+//! exactly one checkpoint, all at the same iteration, with every task
+//! drained exactly to that iteration — the §2.2 consistency guarantee.
+
+use acr_core::{ConsensusAction, ConsensusEngine, ConsensusMsg};
+use proptest::prelude::*;
+
+struct World {
+    engines: Vec<ConsensusEngine>,
+    tasks_per_node: usize,
+    queue: Vec<(usize, ConsensusMsg)>,
+    checkpoints: Vec<Option<u64>>,
+}
+
+impl World {
+    fn new(progress: &[u64], tasks_per_node: usize) -> Self {
+        let n_nodes = progress.len() / tasks_per_node;
+        let mut engines: Vec<ConsensusEngine> = (0..n_nodes)
+            .map(|i| ConsensusEngine::new(i, n_nodes, tasks_per_node))
+            .collect();
+        for (i, e) in engines.iter_mut().enumerate() {
+            for t in 0..tasks_per_node {
+                let acts = e.report_progress(t, progress[i * tasks_per_node + t]);
+                assert!(acts.is_empty());
+            }
+        }
+        Self { engines, tasks_per_node, queue: Vec::new(), checkpoints: vec![None; n_nodes] }
+    }
+
+    fn apply(&mut self, node: usize, actions: Vec<ConsensusAction>) {
+        for a in actions {
+            match a {
+                ConsensusAction::Send { to, msg } => self.queue.push((to, msg)),
+                ConsensusAction::Checkpoint { iteration, .. } => {
+                    assert!(self.checkpoints[node].is_none(), "node {node} checkpointed twice");
+                    self.checkpoints[node] = Some(iteration);
+                }
+            }
+        }
+    }
+
+    /// Run to quiescence, picking the next delivered message and the next
+    /// advancing task pseudo-randomly from `orders`.
+    fn run(&mut self, round: u64, mut order_seed: u64) {
+        // Even the Start broadcast arrives in a scrambled order, racing the
+        // contributions it triggers.
+        for i in 0..self.engines.len() {
+            self.queue.push((i, ConsensusMsg::Start { round }));
+        }
+        let mut steps = 0u32;
+        loop {
+            steps += 1;
+            assert!(steps < 2_000_000, "no convergence");
+            order_seed = order_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let mut progressed = false;
+            if !self.queue.is_empty() {
+                let idx = (order_seed >> 33) as usize % self.queue.len();
+                let (node, msg) = self.queue.swap_remove(idx);
+                let acts = self.engines[node].on_message(msg);
+                self.apply(node, acts);
+                progressed = true;
+            }
+            // Advance one pseudo-random eligible task.
+            let n = self.engines.len();
+            let start = (order_seed as usize) % n;
+            'outer: for off in 0..n {
+                let i = (start + off) % n;
+                for t in 0..self.tasks_per_node {
+                    if self.engines[i].in_consensus() && self.engines[i].may_advance(t) {
+                        let p = self.engines[i].task_progress(t) + 1;
+                        let acts = self.engines[i].report_progress(t, p);
+                        self.apply(i, acts);
+                        progressed = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn consensus_is_consistent_under_any_schedule(
+        tasks_per_node in 1usize..4,
+        n_nodes in 1usize..12,
+        seed in any::<u64>(),
+        progress_seed in any::<u64>(),
+    ) {
+        // Deterministic pseudo-random initial progress in [0, 32).
+        let mut s = progress_seed | 1;
+        let progress: Vec<u64> = (0..n_nodes * tasks_per_node)
+            .map(|_| {
+                s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                (s >> 59) % 32
+            })
+            .collect();
+        let initial_max = *progress.iter().max().unwrap();
+
+        let mut w = World::new(&progress, tasks_per_node);
+        w.run(1, seed);
+
+        // 1. Everyone checkpointed, all at the same iteration.
+        let decided = w.checkpoints[0].expect("root never checkpointed");
+        for (i, c) in w.checkpoints.iter().enumerate() {
+            prop_assert_eq!(*c, Some(decided), "node {} diverged", i);
+        }
+        // 2. The decision is exactly the initial global max: no task may
+        //    outrun its node-local max during the reduction, so the max
+        //    cannot inflate.
+        prop_assert_eq!(decided, initial_max);
+        // 3. Every task drained to exactly the decided iteration — the
+        //    coordinated checkpoint is globally consistent.
+        for e in &w.engines {
+            for t in 0..tasks_per_node {
+                prop_assert_eq!(e.task_progress(t), decided);
+            }
+        }
+    }
+
+    #[test]
+    fn second_round_behaves_like_first(
+        n_nodes in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let progress: Vec<u64> = (0..n_nodes as u64).map(|i| i * 3 % 7).collect();
+        let mut w = World::new(&progress, 1);
+        w.run(1, seed);
+        let first = w.checkpoints[0].unwrap();
+        for (i, e) in w.engines.iter_mut().enumerate() {
+            e.checkpoint_done();
+            w.checkpoints[i] = None;
+            // every node makes some post-checkpoint progress
+            let p = e.task_progress(0) + 1 + (i as u64 % 3);
+            let acts = e.report_progress(0, p);
+            assert!(acts.is_empty());
+        }
+        let expected = w.engines.iter().map(|e| e.task_progress(0)).max().unwrap();
+        w.run(2, seed ^ 0xDEAD);
+        let second = w.checkpoints[0].unwrap();
+        prop_assert_eq!(second, expected);
+        prop_assert!(second > first);
+    }
+}

@@ -1,0 +1,222 @@
+//! The adaptive checkpoint-interval policy (§2.2 "Adapting to Failures").
+//!
+//! ACR re-derives the checkpoint period from the *observed* failure stream:
+//! each interval is Daly's optimum for the current MTBF estimate, clamped to
+//! a configured band. Under a decreasing failure rate (Weibull shape < 1,
+//! the common case [29]) the estimate grows over the run and the period
+//! stretches with it — the Fig. 12 behaviour (6 s between checkpoints at the
+//! start of the run, 17 s at the end).
+
+use acr_model::daly_simple;
+
+use crate::estimator::{MtbfEstimator, PowerLawFit};
+
+/// Configuration of the adaptive policy.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Checkpoint cost δ (seconds) — the Daly input.
+    pub delta: f64,
+    /// Period used before any failure has been observed.
+    pub initial_interval: f64,
+    /// Lower clamp on the period (don't thrash).
+    pub min_interval: f64,
+    /// Upper clamp on the period (bound the unprotected window).
+    pub max_interval: f64,
+    /// Sliding window length for the MTBF estimator.
+    pub window: usize,
+    /// When true, fit the power-law process to absolute failure times and
+    /// use its instantaneous rate (better for trending failure rates); when
+    /// false, use the windowed-mean MTBF.
+    pub trend_fit: bool,
+}
+
+impl AdaptiveConfig {
+    /// A reasonable default around a given checkpoint cost: start at
+    /// Daly's period for a 1-hour MTBF, clamp to `[δ, 1 h]`.
+    pub fn for_delta(delta: f64) -> Self {
+        Self {
+            delta,
+            initial_interval: daly_simple(delta, 3600.0),
+            min_interval: delta.max(1.0),
+            max_interval: 3600.0,
+            window: 16,
+            trend_fit: true,
+        }
+    }
+}
+
+/// Streaming adaptive-interval state: feed it failures, ask it for the next
+/// checkpoint period.
+#[derive(Debug, Clone)]
+pub struct AdaptiveInterval {
+    cfg: AdaptiveConfig,
+    estimator: MtbfEstimator,
+    /// Absolute failure times (for the trend fit).
+    history: Vec<f64>,
+}
+
+impl AdaptiveInterval {
+    /// New policy with the given configuration.
+    pub fn new(cfg: AdaptiveConfig) -> Self {
+        assert!(cfg.delta > 0.0 && cfg.min_interval > 0.0);
+        assert!(cfg.min_interval <= cfg.max_interval);
+        Self { cfg, estimator: MtbfEstimator::new(cfg.window.max(1)), history: Vec::new() }
+    }
+
+    /// Record a failure observed at absolute time `t`.
+    pub fn on_failure(&mut self, t: f64) {
+        self.estimator.record_failure(t);
+        self.history.push(t);
+    }
+
+    /// Failures observed so far.
+    pub fn failures(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    /// Current MTBF estimate at time `now`, if any failures were seen.
+    pub fn mtbf_estimate(&self, now: f64) -> Option<f64> {
+        if self.cfg.trend_fit {
+            if let Some(fit) = PowerLawFit::fit(&self.history, now.max(1e-9)) {
+                return Some(fit.mtbf_at(now));
+            }
+        }
+        self.estimator.mtbf()
+    }
+
+    /// The checkpoint period to use at time `now`: Daly's optimum for the
+    /// current estimate, clamped to the configured band.
+    pub fn interval_at(&self, now: f64) -> f64 {
+        let tau = match self.mtbf_estimate(now) {
+            Some(m) if m > 0.0 => daly_simple(self.cfg.delta, m),
+            _ => self.cfg.initial_interval,
+        };
+        tau.clamp(self.cfg.min_interval, self.cfg.max_interval)
+    }
+
+    /// Absolute time at which the next periodic checkpoint should fire.
+    pub fn next_checkpoint(&self, now: f64) -> f64 {
+        now + self.interval_at(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::FailureProcess;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(delta: f64) -> AdaptiveConfig {
+        AdaptiveConfig {
+            delta,
+            initial_interval: 30.0,
+            min_interval: 2.0,
+            max_interval: 600.0,
+            window: 8,
+            trend_fit: true,
+        }
+    }
+
+    #[test]
+    fn uses_initial_interval_before_failures() {
+        let a = AdaptiveInterval::new(cfg(1.0));
+        assert_eq!(a.interval_at(0.0), 30.0);
+        assert_eq!(a.next_checkpoint(100.0), 130.0);
+    }
+
+    #[test]
+    fn shrinks_under_failure_bursts_and_recovers() {
+        let mut a = AdaptiveInterval::new(cfg(1.0));
+        // burst: failures every 10 s
+        for i in 1..=8 {
+            a.on_failure(i as f64 * 10.0);
+        }
+        let busy = a.interval_at(80.0);
+        assert!(busy < 30.0, "period should shrink during the burst: {busy}");
+        // quiet stretch: two failures 500 s apart
+        a.on_failure(600.0);
+        a.on_failure(1100.0);
+        let quiet = a.interval_at(1100.0);
+        assert!(quiet > busy * 2.0, "period should stretch: {busy} -> {quiet}");
+    }
+
+    #[test]
+    fn clamps_apply() {
+        let mut a = AdaptiveInterval::new(cfg(1.0));
+        // insanely dense failures → min clamp
+        for i in 1..=20 {
+            a.on_failure(i as f64 * 0.01);
+        }
+        assert_eq!(a.interval_at(0.2), 2.0);
+        // a fresh policy with huge MTBF → max clamp
+        let mut b = AdaptiveInterval::new(cfg(1.0));
+        b.on_failure(1e7);
+        b.on_failure(2e7);
+        assert_eq!(b.interval_at(2e7), 600.0);
+    }
+
+    #[test]
+    fn fig12_shape_interval_grows_through_a_decreasing_rate_run() {
+        // 30-minute run, ~19 failures, power-law shape 0.6 (§6.4).
+        let scale = 1800.0 / 19.0f64.powf(1.0 / 0.6);
+        let p = FailureProcess::PowerLaw { shape: 0.6, scale };
+        let (mut early_sum, mut late_sum, mut runs) = (0.0, 0.0, 0);
+        for seed in 0..12u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let events = p.events_until(&mut rng, 1800.0);
+            if events.len() < 10 {
+                continue;
+            }
+            let mut a = AdaptiveInterval::new(AdaptiveConfig {
+                delta: 0.5,
+                initial_interval: 10.0,
+                min_interval: 1.0,
+                max_interval: 120.0,
+                window: 8,
+                trend_fit: true,
+            });
+            let mut early = 0.0;
+            for &t in &events {
+                a.on_failure(t);
+                if a.failures() == 5 {
+                    early = a.interval_at(t);
+                }
+            }
+            early_sum += early;
+            late_sum += a.interval_at(1800.0);
+            runs += 1;
+        }
+        assert!(runs >= 8, "need enough meaningful runs, got {runs}");
+        let (early, late) = (early_sum / runs as f64, late_sum / runs as f64);
+        assert!(
+            late > 1.5 * early,
+            "interval should grow markedly over the run: {early} -> {late}"
+        );
+    }
+
+    #[test]
+    fn trend_fit_off_uses_windowed_mean() {
+        let mut c = cfg(1.0);
+        c.trend_fit = false;
+        let mut a = AdaptiveInterval::new(c);
+        for t in [10.0, 20.0, 30.0] {
+            a.on_failure(t);
+        }
+        assert!((a.mtbf_estimate(30.0).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_clamps() {
+        let mut c = cfg(1.0);
+        c.min_interval = 100.0;
+        c.max_interval = 10.0;
+        AdaptiveInterval::new(c);
+    }
+}

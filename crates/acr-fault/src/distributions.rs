@@ -1,0 +1,344 @@
+//! Inter-arrival distributions and failure processes.
+//!
+//! Implemented in-tree (inverse-CDF, Box–Muller, Marsaglia–Tsang) rather
+//! than pulling `rand_distr`: the four distributions ACR's evaluation needs
+//! are ~100 lines, and keeping them here lets the estimators and samplers
+//! share one parameterization.
+
+use rand::Rng;
+
+/// An inter-arrival (or per-event) distribution for failures. All
+/// parameters are in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureDistribution {
+    /// Exponential with the given mean (a Poisson failure process) — the
+    /// assumption under which a *fixed* checkpoint interval is optimal [7].
+    Exponential {
+        /// Mean time between failures.
+        mean: f64,
+    },
+    /// Weibull with `shape` k and `scale` λ. `shape < 1` gives the
+    /// decreasing hazard observed on real systems [29].
+    Weibull {
+        /// Shape parameter `k`.
+        shape: f64,
+        /// Scale parameter `λ`.
+        scale: f64,
+    },
+    /// Log-normal: `exp(μ + σZ)`.
+    LogNormal {
+        /// Location of the underlying normal.
+        mu: f64,
+        /// Spread of the underlying normal.
+        sigma: f64,
+    },
+    /// Gamma with `shape` k and `scale` θ.
+    Gamma {
+        /// Shape parameter `k`.
+        shape: f64,
+        /// Scale parameter `θ`.
+        scale: f64,
+    },
+}
+
+impl FailureDistribution {
+    /// Exponential distribution from its mean.
+    pub fn exponential(mean: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        FailureDistribution::Exponential { mean }
+    }
+
+    /// Weibull distribution with a given *mean* and shape: the scale is
+    /// derived as `λ = mean / Γ(1 + 1/k)` — handy for "same MTBF, different
+    /// burstiness" comparisons.
+    pub fn weibull_with_mean(mean: f64, shape: f64) -> Self {
+        assert!(mean > 0.0 && shape > 0.0);
+        let scale = mean / gamma_fn(1.0 + 1.0 / shape);
+        FailureDistribution::Weibull { shape, scale }
+    }
+
+    /// The distribution's mean.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            FailureDistribution::Exponential { mean } => mean,
+            FailureDistribution::Weibull { shape, scale } => scale * gamma_fn(1.0 + 1.0 / shape),
+            FailureDistribution::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
+            FailureDistribution::Gamma { shape, scale } => shape * scale,
+        }
+    }
+
+    /// Draw one value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            FailureDistribution::Exponential { mean } => {
+                // Inverse CDF on (0, 1]; 1−U avoids ln(0).
+                let u: f64 = rng.gen::<f64>();
+                -mean * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+            }
+            FailureDistribution::Weibull { shape, scale } => {
+                let u: f64 = rng.gen::<f64>();
+                scale * (-(1.0 - u).max(f64::MIN_POSITIVE).ln()).powf(1.0 / shape)
+            }
+            FailureDistribution::LogNormal { mu, sigma } => {
+                (mu + sigma * standard_normal(rng)).exp()
+            }
+            FailureDistribution::Gamma { shape, scale } => sample_gamma(rng, shape) * scale,
+        }
+    }
+}
+
+/// Box–Muller standard normal.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Marsaglia–Tsang gamma sampler (unit scale). For `shape < 1` uses the
+/// boost `G(a) = G(a+1) · U^{1/a}`.
+fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Lanczos approximation of Γ(x) for x > 0 (relative error < 1e-10 over the
+/// range the samplers use).
+pub(crate) fn gamma_fn(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma_fn(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// A point process of failure *times* (not inter-arrivals).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailureProcess {
+    /// A renewal process: i.i.d. inter-arrivals from a distribution.
+    Renewal(FailureDistribution),
+    /// The power-law (Crow–AMSAA) non-homogeneous Poisson process with
+    /// cumulative intensity `Λ(t) = (t/scale)^shape`. `shape < 1` means the
+    /// instantaneous failure rate *decreases over time* — the behaviour the
+    /// Fig. 12 experiment injects (its Weibull shape 0.6) and the situation
+    /// in which a fixed interval is provably suboptimal [4, 20].
+    PowerLaw {
+        /// Shape (< 1 ⇒ decreasing rate).
+        shape: f64,
+        /// Scale (time of the first expected failure).
+        scale: f64,
+    },
+}
+
+impl FailureProcess {
+    /// Instantaneous failure rate (hazard of the next event) at time `t`
+    /// for processes with a defined rate; renewal processes report the
+    /// reciprocal mean.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        match *self {
+            FailureProcess::Renewal(d) => 1.0 / d.mean(),
+            FailureProcess::PowerLaw { shape, scale } => {
+                let t = t.max(scale * 1e-6);
+                (shape / scale) * (t / scale).powf(shape - 1.0)
+            }
+        }
+    }
+
+    /// Generate all event times in `[0, horizon)`.
+    pub fn events_until<R: Rng + ?Sized>(&self, rng: &mut R, horizon: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        match *self {
+            FailureProcess::Renewal(d) => {
+                let mut t = 0.0;
+                loop {
+                    t += d.sample(rng);
+                    if t >= horizon {
+                        break;
+                    }
+                    out.push(t);
+                }
+            }
+            FailureProcess::PowerLaw { shape, scale } => {
+                // Inversion: if S_k = Σ Exp(1), then t_k = scale · S_k^{1/shape}
+                // has cumulative intensity (t/scale)^shape.
+                let mut s = 0.0;
+                loop {
+                    let u: f64 = rng.gen::<f64>();
+                    s += -(1.0 - u).max(f64::MIN_POSITIVE).ln();
+                    let t = scale * s.powf(1.0 / shape);
+                    if t >= horizon {
+                        break;
+                    }
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xACA1)
+    }
+
+    fn sample_mean(d: FailureDistribution, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn gamma_function_known_values() {
+        assert!((gamma_fn(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma_fn(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma_fn(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma_fn(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+        assert!((gamma_fn(1.5) - 0.5 * std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = FailureDistribution::exponential(120.0);
+        let m = sample_mean(d, 200_000);
+        assert!((m - 120.0).abs() / 120.0 < 0.02, "mean {m}");
+    }
+
+    #[test]
+    fn weibull_mean_matches_closed_form() {
+        for shape in [0.6, 1.0, 2.0] {
+            let d = FailureDistribution::weibull_with_mean(50.0, shape);
+            assert!((d.mean() - 50.0).abs() < 1e-9);
+            let m = sample_mean(d, 200_000);
+            assert!((m - 50.0).abs() / 50.0 < 0.05, "shape {shape}: mean {m}");
+        }
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let w = FailureDistribution::Weibull { shape: 1.0, scale: 77.0 };
+        assert!((w.mean() - 77.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lognormal_mean_matches_closed_form() {
+        let d = FailureDistribution::LogNormal { mu: 2.0, sigma: 0.5 };
+        let expected = (2.0f64 + 0.125).exp();
+        assert!((d.mean() - expected).abs() < 1e-9);
+        let m = sample_mean(d, 300_000);
+        assert!((m - expected).abs() / expected < 0.03, "mean {m} vs {expected}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_closed_form() {
+        for (shape, scale) in [(0.5, 10.0), (2.0, 30.0), (4.5, 7.0)] {
+            let d = FailureDistribution::Gamma { shape, scale };
+            let m = sample_mean(d, 200_000);
+            let expected = shape * scale;
+            assert!(
+                (m - expected).abs() / expected < 0.04,
+                "gamma({shape},{scale}): {m} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_are_positive_and_deterministic_by_seed() {
+        for d in [
+            FailureDistribution::exponential(5.0),
+            FailureDistribution::Weibull { shape: 0.6, scale: 3.0 },
+            FailureDistribution::LogNormal { mu: 0.0, sigma: 1.0 },
+            FailureDistribution::Gamma { shape: 0.7, scale: 2.0 },
+        ] {
+            let mut r1 = rng();
+            let mut r2 = rng();
+            for _ in 0..1000 {
+                let a = d.sample(&mut r1);
+                assert!(a > 0.0 && a.is_finite());
+                assert_eq!(a.to_bits(), d.sample(&mut r2).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn renewal_event_count_matches_horizon_over_mean() {
+        let p = FailureProcess::Renewal(FailureDistribution::exponential(10.0));
+        let mut r = rng();
+        let n: usize = (0..200).map(|_| p.events_until(&mut r, 1000.0).len()).sum();
+        let mean = n as f64 / 200.0;
+        assert!((mean - 100.0).abs() < 5.0, "mean count {mean}");
+    }
+
+    #[test]
+    fn power_law_rate_decreases_for_small_shape() {
+        let p = FailureProcess::PowerLaw { shape: 0.6, scale: 60.0 };
+        let early = p.rate_at(30.0);
+        let late = p.rate_at(1500.0);
+        assert!(early > late * 3.0, "rate must fall: {early} vs {late}");
+    }
+
+    #[test]
+    fn power_law_events_are_sorted_and_front_loaded() {
+        let p = FailureProcess::PowerLaw { shape: 0.6, scale: 60.0 };
+        let mut r = rng();
+        let ev = p.events_until(&mut r, 1800.0);
+        assert!(!ev.is_empty());
+        assert!(ev.windows(2).all(|w| w[0] <= w[1]));
+        // Decreasing rate ⇒ more events in the first half than the second.
+        let first_half = ev.iter().filter(|&&t| t < 900.0).count();
+        assert!(first_half * 2 > ev.len(), "{first_half} of {}", ev.len());
+    }
+
+    #[test]
+    fn power_law_expected_count_matches_cumulative_intensity() {
+        // E[N(T)] = (T/scale)^shape
+        let p = FailureProcess::PowerLaw { shape: 0.6, scale: 60.0 };
+        let mut r = rng();
+        let total: usize = (0..500).map(|_| p.events_until(&mut r, 1800.0).len()).sum();
+        let mean = total as f64 / 500.0;
+        let expected = (1800.0f64 / 60.0).powf(0.6);
+        assert!((mean - expected).abs() / expected < 0.1, "{mean} vs {expected}");
+    }
+}

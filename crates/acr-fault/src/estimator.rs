@@ -1,0 +1,272 @@
+//! Online estimation of the observed failure behaviour (§2.2 "it is
+//! important to fit the actual observed failures during application
+//! execution to a certain distribution").
+
+use crate::distributions::gamma_fn;
+
+/// Streaming MTBF estimator over a sliding window of recent inter-arrival
+/// gaps.
+///
+/// A windowed mean tracks non-stationary failure rates (the Weibull-ish
+/// reality of [29]) instead of averaging the whole history: early bursts
+/// stop depressing the estimate once they leave the window, which is what
+/// lets the Fig. 12 run stretch its checkpoint period from 6 s to 17 s.
+#[derive(Debug, Clone)]
+pub struct MtbfEstimator {
+    window: usize,
+    gaps: Vec<f64>,
+    last_failure: Option<f64>,
+    total_failures: usize,
+}
+
+impl MtbfEstimator {
+    /// Estimator remembering the last `window` gaps (≥ 1).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1);
+        Self { window, gaps: Vec::new(), last_failure: None, total_failures: 0 }
+    }
+
+    /// Record a failure at absolute time `t` (seconds, non-decreasing).
+    pub fn record_failure(&mut self, t: f64) {
+        if let Some(last) = self.last_failure {
+            let gap = (t - last).max(0.0);
+            if self.gaps.len() == self.window {
+                self.gaps.remove(0);
+            }
+            self.gaps.push(gap);
+        } else {
+            // The first failure's gap is measured from job start.
+            self.gaps.push(t.max(0.0));
+        }
+        self.last_failure = Some(t);
+        self.total_failures += 1;
+    }
+
+    /// Current MTBF estimate, or `None` before the first failure.
+    pub fn mtbf(&self) -> Option<f64> {
+        if self.gaps.is_empty() {
+            return None;
+        }
+        Some(self.gaps.iter().sum::<f64>() / self.gaps.len() as f64)
+    }
+
+    /// Failures observed so far.
+    pub fn failures(&self) -> usize {
+        self.total_failures
+    }
+
+    /// Time of the most recent failure.
+    pub fn last_failure(&self) -> Option<f64> {
+        self.last_failure
+    }
+
+    /// The windowed gap samples (for distribution fitting).
+    pub fn gaps(&self) -> &[f64] {
+        &self.gaps
+    }
+}
+
+/// A fitted Weibull distribution over inter-arrival gaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeibullFit {
+    /// Shape `k` (< 1 ⇒ decreasing hazard).
+    pub shape: f64,
+    /// Scale `λ`.
+    pub scale: f64,
+}
+
+impl WeibullFit {
+    /// Maximum-likelihood fit of a Weibull distribution to gap samples.
+    ///
+    /// Solves the profile-likelihood equation
+    /// `Σxᵢᵏ ln xᵢ / Σxᵢᵏ − 1/k − mean(ln xᵢ) = 0` for `k` by bisection
+    /// (the left side is monotone in `k`), then
+    /// `λ = (Σxᵢᵏ / n)^{1/k}`. Needs ≥ 3 positive, non-identical samples.
+    pub fn fit(samples: &[f64]) -> Option<WeibullFit> {
+        let xs: Vec<f64> = samples.iter().copied().filter(|&x| x > 0.0).collect();
+        if xs.len() < 3 {
+            return None;
+        }
+        let mean_ln = xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64;
+        let g = |k: f64| -> f64 {
+            let (mut num, mut den) = (0.0, 0.0);
+            for &x in &xs {
+                let xk = x.powf(k);
+                num += xk * x.ln();
+                den += xk;
+            }
+            num / den - 1.0 / k - mean_ln
+        };
+        let (mut lo, mut hi) = (1e-2, 50.0);
+        if g(lo) > 0.0 || g(hi) < 0.0 {
+            return None; // degenerate sample (e.g. all identical)
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if g(mid) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let shape = 0.5 * (lo + hi);
+        let scale =
+            (xs.iter().map(|x| x.powf(shape)).sum::<f64>() / xs.len() as f64).powf(1.0 / shape);
+        Some(WeibullFit { shape, scale })
+    }
+
+    /// Mean of the fitted distribution.
+    pub fn mean(&self) -> f64 {
+        self.scale * gamma_fn(1.0 + 1.0 / self.shape)
+    }
+
+    /// Hazard rate at age `t` since the last failure:
+    /// `h(t) = (k/λ)(t/λ)^{k−1}`.
+    pub fn hazard(&self, t: f64) -> f64 {
+        let t = t.max(self.scale * 1e-9);
+        (self.shape / self.scale) * (t / self.scale).powf(self.shape - 1.0)
+    }
+
+    /// True when the fit indicates a decreasing failure rate — the regime
+    /// where growing the checkpoint period over time is justified.
+    pub fn decreasing_hazard(&self) -> bool {
+        self.shape < 1.0
+    }
+}
+
+/// MLE fit of the power-law (Crow–AMSAA) process to absolute event times —
+/// the natural model when the *system-wide* failure rate trends over a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// Shape `k` of `Λ(t) = (t/λ)^k`.
+    pub shape: f64,
+    /// Scale `λ`.
+    pub scale: f64,
+}
+
+impl PowerLawFit {
+    /// Fit from event times observed in `[0, t_now]`:
+    /// `k̂ = n / Σ ln(t_now/tᵢ)`, `λ̂ = t_now / n^{1/k̂}`.
+    pub fn fit(event_times: &[f64], t_now: f64) -> Option<PowerLawFit> {
+        let ts: Vec<f64> = event_times.iter().copied().filter(|&t| t > 0.0 && t < t_now).collect();
+        if ts.len() < 2 || t_now <= 0.0 {
+            return None;
+        }
+        let denom: f64 = ts.iter().map(|&t| (t_now / t).ln()).sum();
+        if denom <= 0.0 {
+            return None;
+        }
+        let shape = ts.len() as f64 / denom;
+        let scale = t_now / (ts.len() as f64).powf(1.0 / shape);
+        Some(PowerLawFit { shape, scale })
+    }
+
+    /// Instantaneous rate at time `t`.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        let t = t.max(self.scale * 1e-9);
+        (self.shape / self.scale) * (t / self.scale).powf(self.shape - 1.0)
+    }
+
+    /// Effective MTBF at time `t` (reciprocal instantaneous rate).
+    pub fn mtbf_at(&self, t: f64) -> f64 {
+        1.0 / self.rate_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{FailureDistribution, FailureProcess};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn windowed_mtbf_tracks_recent_rate() {
+        let mut e = MtbfEstimator::new(4);
+        assert_eq!(e.mtbf(), None);
+        // Dense failures every 5 s...
+        for i in 1..=6 {
+            e.record_failure(i as f64 * 5.0);
+        }
+        assert!((e.mtbf().unwrap() - 5.0).abs() < 1e-9);
+        // ...then sparse every 50 s: the window forgets the dense phase.
+        for i in 1..=4 {
+            e.record_failure(30.0 + i as f64 * 50.0);
+        }
+        assert!(e.mtbf().unwrap() >= 50.0);
+        assert_eq!(e.failures(), 10);
+    }
+
+    #[test]
+    fn first_failure_measured_from_start() {
+        let mut e = MtbfEstimator::new(8);
+        e.record_failure(42.0);
+        assert_eq!(e.mtbf(), Some(42.0));
+    }
+
+    #[test]
+    fn weibull_fit_recovers_parameters() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for (shape, scale) in [(0.6, 100.0), (1.0, 40.0), (2.5, 10.0)] {
+            let d = FailureDistribution::Weibull { shape, scale };
+            let samples: Vec<f64> = (0..4000).map(|_| d.sample(&mut rng)).collect();
+            let fit = WeibullFit::fit(&samples).unwrap();
+            assert!(
+                (fit.shape - shape).abs() / shape < 0.08,
+                "shape {shape}: fitted {}",
+                fit.shape
+            );
+            assert!(
+                (fit.scale - scale).abs() / scale < 0.08,
+                "scale {scale}: fitted {}",
+                fit.scale
+            );
+        }
+    }
+
+    #[test]
+    fn weibull_fit_rejects_degenerate_input() {
+        assert!(WeibullFit::fit(&[]).is_none());
+        assert!(WeibullFit::fit(&[1.0, 2.0]).is_none());
+        assert!(WeibullFit::fit(&[5.0, 5.0, 5.0, 5.0]).is_none());
+        assert!(WeibullFit::fit(&[0.0, -1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn weibull_hazard_direction() {
+        let dec = WeibullFit { shape: 0.6, scale: 100.0 };
+        assert!(dec.decreasing_hazard());
+        assert!(dec.hazard(10.0) > dec.hazard(1000.0));
+        let inc = WeibullFit { shape: 2.0, scale: 100.0 };
+        assert!(!inc.decreasing_hazard());
+        assert!(inc.hazard(10.0) < inc.hazard(1000.0));
+    }
+
+    #[test]
+    fn power_law_fit_recovers_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = FailureProcess::PowerLaw { shape: 0.6, scale: 30.0 };
+        let mut shapes = Vec::new();
+        for _ in 0..50 {
+            let ev = p.events_until(&mut rng, 100_000.0);
+            if let Some(fit) = PowerLawFit::fit(&ev, 100_000.0) {
+                shapes.push(fit.shape);
+            }
+        }
+        let mean = shapes.iter().sum::<f64>() / shapes.len() as f64;
+        assert!((mean - 0.6).abs() < 0.08, "mean fitted shape {mean}");
+    }
+
+    #[test]
+    fn power_law_mtbf_grows_for_decreasing_rate() {
+        let fit = PowerLawFit { shape: 0.6, scale: 30.0 };
+        assert!(fit.mtbf_at(1500.0) > 2.0 * fit.mtbf_at(100.0));
+    }
+
+    #[test]
+    fn power_law_fit_needs_data() {
+        assert!(PowerLawFit::fit(&[], 100.0).is_none());
+        assert!(PowerLawFit::fit(&[5.0], 100.0).is_none());
+        assert!(PowerLawFit::fit(&[5.0, 10.0], 0.0).is_none());
+    }
+}

@@ -1,0 +1,38 @@
+//! # acr-fault — failure distributions, injectors, and online adaptation
+//!
+//! Everything ACR needs to *produce* failures (for evaluation) and to
+//! *learn from* them (for its adaptive checkpoint period, §2.2):
+//!
+//! * [`FailureDistribution`] — inter-arrival distributions (exponential,
+//!   Weibull, log-normal, gamma) implemented with inverse-CDF / standard
+//!   samplers on top of `rand`. Schroeder & Gibson's large-scale study [29]
+//!   found Weibull (decreasing hazard) the best fit for real HPC systems,
+//!   which is exactly the regime where adapting the period pays off.
+//! * [`FailureProcess`] — renewal processes over those distributions plus
+//!   the non-homogeneous power-law (Crow–AMSAA) process used for the
+//!   Fig. 12 adaptivity experiment (shape 0.6 ⇒ failure rate decreasing in
+//!   time).
+//! * [`FailureTrace`] — seeded, reproducible traces of `(time, node, kind)`
+//!   events for a whole machine (§6.1's injection methodology).
+//! * [`SdcInjector`] / [`BitFlip`] — flip a random bit in checkpoint-visible
+//!   user data (§6.1).
+//! * [`MtbfEstimator`] / [`WeibullFit`] — streaming estimation of the
+//!   observed failure behaviour.
+//! * [`AdaptiveInterval`] — turns the estimates into the next checkpoint
+//!   period (seeded with Daly's formula, re-fit as failures stream in).
+
+#![warn(missing_docs)]
+
+mod adaptive;
+mod distributions;
+mod estimator;
+mod injector;
+mod predictor;
+mod trace;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveInterval};
+pub use distributions::{FailureDistribution, FailureProcess};
+pub use estimator::{MtbfEstimator, PowerLawFit, WeibullFit};
+pub use injector::{flip_random_bit, BitFlip, SdcInjector};
+pub use predictor::{Alarm, FailurePredictor, PredictorProfile};
+pub use trace::{FailureTrace, FaultKind, TraceEvent};

@@ -1,0 +1,195 @@
+//! Online failure prediction (§2.2): "as online failure prediction [19]
+//! becomes more accurate, checkpointing right before a potential failure
+//! occurs can help increase the mean time between failures visible to
+//! applications. ACR is capable of scheduling dynamic checkpoints in both
+//! the scenarios described."
+//!
+//! Real predictors (meta-learning over syslog streams, [19]) emit an alarm
+//! some *lead time* before a subset of failures, plus spurious alarms. This
+//! module models exactly that interface: given a ground-truth failure
+//! trace, [`FailurePredictor`] produces the alarm stream a predictor with a
+//! given recall/precision/lead-time would emit, so the simulator and
+//! runtime can measure what prediction quality buys ACR.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trace::{FailureTrace, FaultKind};
+
+/// An alarm the predictor raises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alarm {
+    /// When the alarm fires.
+    pub time: f64,
+    /// The node the predictor blames.
+    pub node: usize,
+    /// Whether a real failure follows (ground truth — invisible to the
+    /// consumer, recorded for scoring).
+    pub true_positive: bool,
+}
+
+/// Quality profile of a failure predictor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictorProfile {
+    /// Fraction of hard errors announced ahead of time (recall).
+    pub recall: f64,
+    /// Fraction of alarms that precede a real failure (precision).
+    pub precision: f64,
+    /// Seconds of warning before the failure (lead time).
+    pub lead_time: f64,
+}
+
+impl PredictorProfile {
+    /// A profile in the ballpark of the literature the paper cites
+    /// (meta-learning predictors: ~0.6–0.8 recall / ~0.7–0.9 precision,
+    /// minutes of lead).
+    pub fn literature() -> Self {
+        Self { recall: 0.7, precision: 0.8, lead_time: 30.0 }
+    }
+
+    /// An oracle (every failure announced, no false alarms).
+    pub fn oracle(lead_time: f64) -> Self {
+        Self { recall: 1.0, precision: 1.0, lead_time }
+    }
+}
+
+/// Generates the alarm stream a predictor with `profile` would emit for a
+/// ground-truth trace.
+#[derive(Debug, Clone)]
+pub struct FailurePredictor {
+    profile: PredictorProfile,
+    alarms: Vec<Alarm>,
+}
+
+impl FailurePredictor {
+    /// Score `trace` (hard errors only) with a predictor of the given
+    /// quality. Deterministic in `seed`.
+    pub fn against(trace: &FailureTrace, profile: PredictorProfile, nodes: usize, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&profile.recall));
+        assert!((0.0..=1.0).contains(&profile.precision) && profile.precision > 0.0);
+        assert!(profile.lead_time >= 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut alarms = Vec::new();
+        let mut caught = 0usize;
+        let mut horizon: f64 = 0.0;
+        for ev in trace.events() {
+            horizon = horizon.max(ev.time);
+            if ev.kind != FaultKind::HardError {
+                continue; // SDC is *silent*: nothing to predict
+            }
+            if rng.gen::<f64>() < profile.recall {
+                caught += 1;
+                alarms.push(Alarm {
+                    time: (ev.time - profile.lead_time).max(0.0),
+                    node: ev.node,
+                    true_positive: true,
+                });
+            }
+        }
+        // False alarms to hit the precision target:
+        // precision = TP / (TP + FP)  =>  FP = TP (1 - p) / p.
+        let fp = ((caught as f64) * (1.0 - profile.precision) / profile.precision).round() as usize;
+        for _ in 0..fp {
+            alarms.push(Alarm {
+                time: rng.gen::<f64>() * horizon.max(1.0),
+                node: rng.gen_range(0..nodes.max(1)),
+                true_positive: false,
+            });
+        }
+        alarms.sort_by(|a, b| a.time.total_cmp(&b.time));
+        Self { profile, alarms }
+    }
+
+    /// The alarm stream, time-ordered.
+    pub fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// The quality profile used.
+    pub fn profile(&self) -> PredictorProfile {
+        self.profile
+    }
+
+    /// Measured precision of the generated stream.
+    pub fn measured_precision(&self) -> f64 {
+        if self.alarms.is_empty() {
+            return 1.0;
+        }
+        self.alarms.iter().filter(|a| a.true_positive).count() as f64 / self.alarms.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{FailureDistribution, FailureProcess};
+
+    fn trace() -> FailureTrace {
+        FailureTrace::generate(
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(50.0))),
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(80.0))),
+            20_000.0,
+            64,
+            3,
+        )
+    }
+
+    #[test]
+    fn oracle_announces_every_hard_error_with_lead() {
+        let t = trace();
+        let p = FailurePredictor::against(&t, PredictorProfile::oracle(25.0), 64, 1);
+        let hard = t.count(FaultKind::HardError);
+        assert_eq!(p.alarms().len(), hard);
+        assert!(p.alarms().iter().all(|a| a.true_positive));
+        assert_eq!(p.measured_precision(), 1.0);
+        // Each alarm precedes its failure by the lead time.
+        let hard_times: Vec<f64> = t
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::HardError)
+            .map(|e| e.time)
+            .collect();
+        for (a, &ft) in p.alarms().iter().zip(&hard_times) {
+            assert!((ft - a.time - 25.0).abs() < 1e-9 || a.time == 0.0);
+        }
+    }
+
+    #[test]
+    fn recall_and_precision_are_respected_statistically() {
+        let t = trace();
+        let hard = t.count(FaultKind::HardError) as f64;
+        let mut tp = 0.0;
+        let mut total = 0.0;
+        for seed in 0..20 {
+            let p = FailurePredictor::against(&t, PredictorProfile::literature(), 64, seed);
+            tp += p.alarms().iter().filter(|a| a.true_positive).count() as f64;
+            total += p.alarms().len() as f64;
+        }
+        let recall = tp / (20.0 * hard);
+        let precision = tp / total;
+        assert!((recall - 0.7).abs() < 0.1, "recall {recall}");
+        assert!((precision - 0.8).abs() < 0.07, "precision {precision}");
+    }
+
+    #[test]
+    fn alarms_are_time_ordered_and_deterministic() {
+        let t = trace();
+        let a = FailurePredictor::against(&t, PredictorProfile::literature(), 64, 9);
+        let b = FailurePredictor::against(&t, PredictorProfile::literature(), 64, 9);
+        assert_eq!(a.alarms(), b.alarms());
+        assert!(a.alarms().windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn sdc_is_never_predicted() {
+        let t = FailureTrace::generate(
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(1e9))),
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(10.0))),
+            1000.0,
+            8,
+            0,
+        );
+        let p = FailurePredictor::against(&t, PredictorProfile::oracle(5.0), 8, 0);
+        assert!(p.alarms().is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! Reproducible machine-wide failure traces (§6.1's injection methodology).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distributions::FailureProcess;
+
+/// What kind of fault an event injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Fail-stop node crash: the victim stops responding to any
+    /// communication and is eventually declared dead by its buddy's
+    /// heartbeat timeout.
+    HardError,
+    /// Silent data corruption: one randomly selected bit of the victim's
+    /// checkpoint-visible user data flips.
+    Sdc,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Time of the fault (seconds from job start).
+    pub time: f64,
+    /// Victim node (machine-wide id).
+    pub node: usize,
+    /// Fault kind.
+    pub kind: FaultKind,
+}
+
+/// A seeded trace of faults for a machine of `nodes` nodes.
+#[derive(Debug, Clone, Default)]
+pub struct FailureTrace {
+    events: Vec<TraceEvent>,
+}
+
+impl FailureTrace {
+    /// Build a trace from explicit events (sorted by time internally).
+    pub fn from_events(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by(|a, b| a.time.total_cmp(&b.time));
+        Self { events }
+    }
+
+    /// Generate a trace: hard errors from `hard`, SDC from `sdc` (either
+    /// may be `None`), over `[0, horizon)` seconds, victims uniform over
+    /// `nodes`. Deterministic in `seed`.
+    pub fn generate(
+        hard: Option<FailureProcess>,
+        sdc: Option<FailureProcess>,
+        horizon: f64,
+        nodes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(nodes > 0, "trace needs at least one node");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        if let Some(p) = hard {
+            for t in p.events_until(&mut rng, horizon) {
+                events.push(TraceEvent {
+                    time: t,
+                    node: rng.gen_range(0..nodes),
+                    kind: FaultKind::HardError,
+                });
+            }
+        }
+        if let Some(p) = sdc {
+            for t in p.events_until(&mut rng, horizon) {
+                events.push(TraceEvent {
+                    time: t,
+                    node: rng.gen_range(0..nodes),
+                    kind: FaultKind::Sdc,
+                });
+            }
+        }
+        Self::from_events(events)
+    }
+
+    /// All events, sorted by time.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events of a given kind.
+    pub fn count(&self, kind: FaultKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Events within a window `[from, to)`.
+    pub fn in_window(&self, from: f64, to: f64) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.time >= from && e.time < to)
+    }
+
+    /// Inter-arrival gaps between consecutive events (all kinds merged) —
+    /// the stream the online estimators consume.
+    pub fn interarrivals(&self) -> Vec<f64> {
+        self.events
+            .windows(2)
+            .map(|w| w[1].time - w[0].time)
+            .chain(self.events.first().map(|e| e.time))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::FailureDistribution;
+
+    fn exp_process(mean: f64) -> FailureProcess {
+        FailureProcess::Renewal(FailureDistribution::exponential(mean))
+    }
+
+    #[test]
+    fn trace_is_sorted_and_seed_deterministic() {
+        let a = FailureTrace::generate(Some(exp_process(50.0)), Some(exp_process(80.0)), 5000.0, 64, 7);
+        let b = FailureTrace::generate(Some(exp_process(50.0)), Some(exp_process(80.0)), 5000.0, 64, 7);
+        assert_eq!(a.events(), b.events());
+        assert!(a.events().windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(a.events().iter().all(|e| e.node < 64 && e.time < 5000.0));
+        assert!(a.count(FaultKind::HardError) > 0);
+        assert!(a.count(FaultKind::Sdc) > 0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FailureTrace::generate(Some(exp_process(50.0)), None, 5000.0, 64, 1);
+        let b = FailureTrace::generate(Some(exp_process(50.0)), None, 5000.0, 64, 2);
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn window_query() {
+        let t = FailureTrace::from_events(vec![
+            TraceEvent { time: 1.0, node: 0, kind: FaultKind::Sdc },
+            TraceEvent { time: 5.0, node: 1, kind: FaultKind::HardError },
+            TraceEvent { time: 9.0, node: 2, kind: FaultKind::Sdc },
+        ]);
+        let in_win: Vec<_> = t.in_window(2.0, 9.0).collect();
+        assert_eq!(in_win.len(), 1);
+        assert_eq!(in_win[0].node, 1);
+    }
+
+    #[test]
+    fn interarrivals_reconstruct_times() {
+        let t = FailureTrace::from_events(vec![
+            TraceEvent { time: 2.0, node: 0, kind: FaultKind::Sdc },
+            TraceEvent { time: 7.0, node: 0, kind: FaultKind::Sdc },
+            TraceEvent { time: 8.5, node: 0, kind: FaultKind::Sdc },
+        ]);
+        let mut gaps = t.interarrivals();
+        gaps.sort_by(f64::total_cmp);
+        assert_eq!(gaps, vec![1.5, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn fig12_style_trace_has_expected_count() {
+        // 30-minute run, 19 failures, decreasing rate (§6.4): scale chosen
+        // so (1800/scale)^0.6 ≈ 19.
+        let scale = 1800.0 / 19.0f64.powf(1.0 / 0.6);
+        let p = FailureProcess::PowerLaw { shape: 0.6, scale };
+        let mut counts = Vec::new();
+        for seed in 0..50 {
+            let t = FailureTrace::generate(Some(p), None, 1800.0, 512, seed);
+            counts.push(t.events().len());
+        }
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!((mean - 19.0).abs() < 3.0, "mean count {mean}");
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = FailureTrace::generate(None, None, 100.0, 4, 0);
+        assert!(t.events().is_empty());
+        assert!(t.interarrivals().is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! Classic optimum-checkpoint-period estimates (Young 1974, Daly 2006) used
+//! as the non-replicated baseline and as the seed for ACR's adaptive
+//! interval.
+
+/// Young's first-order optimum period: `τ = sqrt(2 δ M)`.
+///
+/// `delta` is the checkpoint cost and `m` the system MTBF, both in seconds.
+pub fn young_interval(delta: f64, m: f64) -> f64 {
+    (2.0 * delta * m).sqrt()
+}
+
+/// Daly's simple estimate `τ = sqrt(2 δ M) - δ` (his eq. 8), floored at
+/// `delta` so pathological inputs (`M < δ/2`) still return a usable period.
+pub fn daly_simple(delta: f64, m: f64) -> f64 {
+    (young_interval(delta, m) - delta).max(delta)
+}
+
+/// Daly's higher-order estimate (his eq. 37):
+///
+/// `τ = sqrt(2 δ M) · [1 + ⅓·sqrt(δ/2M) + (1/9)·(δ/2M)] − δ`  for δ < 2M,
+/// and `τ = M` otherwise.
+pub fn daly_higher_order(delta: f64, m: f64) -> f64 {
+    if delta < 2.0 * m {
+        let x = delta / (2.0 * m);
+        ((2.0 * delta * m).sqrt()) * (1.0 + x.sqrt() / 3.0 + x / 9.0) - delta
+    } else {
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orderings_hold_in_the_normal_regime() {
+        let (delta, m) = (180.0, 24.0 * 3600.0);
+        let y = young_interval(delta, m);
+        let d1 = daly_simple(delta, m);
+        let dh = daly_higher_order(delta, m);
+        assert!(d1 < y, "Daly subtracts δ");
+        assert!(dh > d1, "higher-order correction increases the period");
+        // All in a plausible band: minutes-to-hours.
+        for t in [y, d1, dh] {
+            assert!(t > 10.0 * delta && t < m, "τ = {t}");
+        }
+    }
+
+    #[test]
+    fn known_value() {
+        // δ=15 s, M=50000 s: sqrt(2*15*50000) ≈ 1224.74 s
+        assert!((young_interval(15.0, 50_000.0) - 1224.744_871).abs() < 1e-3);
+    }
+
+    #[test]
+    fn degenerate_high_failure_rate() {
+        // M smaller than δ: higher-order falls back to τ = M, simple floors
+        // at δ.
+        assert_eq!(daly_higher_order(100.0, 10.0), 10.0);
+        assert_eq!(daly_simple(100.0, 10.0), 100.0);
+    }
+
+    #[test]
+    fn scales_with_sqrt_of_mtbf() {
+        let a = young_interval(15.0, 1e4);
+        let b = young_interval(15.0, 4e4);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! # acr-model — the §5 performance & reliability model
+//!
+//! ACR's analytical model extends Daly's checkpoint/restart framework with
+//! silent data corruption (SDC) and the three replication recovery schemes:
+//!
+//! * **strong** — roll the crashed replica back to the last verified
+//!   checkpoint: full SDC protection, maximum rework;
+//! * **medium** — force an immediate checkpoint in the healthy replica:
+//!   near-zero rework, unprotected for ~half a period per hard failure;
+//! * **weak** — wait for the next periodic checkpoint: zero overhead on the
+//!   forward path, a whole period unprotected per hard failure (plus the
+//!   double-failure rollback probability *P*).
+//!
+//! The crate computes, for each scheme: total execution time `T` (solving
+//! the implicit equations of §5 in closed form), the optimum checkpoint
+//! period `τ` (golden-section search), system utilization `W/T` (halved
+//! under replication), and the probability of an undetected SDC — i.e. the
+//! machinery behind Fig. 1 and Fig. 7.
+
+#![warn(missing_docs)]
+
+mod daly;
+mod numerics;
+mod params;
+mod schemes;
+mod surfaces;
+
+pub use daly::{daly_higher_order, daly_simple, young_interval};
+pub use numerics::golden_section_min;
+pub use params::{ModelParams, FIT_PER_HOUR, HOUR, MINUTE, YEAR};
+pub use schemes::{Scheme, SchemeEval, SchemeModel};
+pub use surfaces::{utilization_surface, SurfaceConfig, SurfaceKind, SurfacePoint};

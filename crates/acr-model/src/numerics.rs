@@ -1,0 +1,82 @@
+//! Small numerical helpers: derivative-free 1-D minimization.
+
+/// Golden-section search for the minimizer of a unimodal function on
+/// `[lo, hi]`. Returns `(argmin, min)` with the bracket shrunk below
+/// `tol * (1 + |argmin|)` (relative tolerance).
+///
+/// The scheme total-time curves `T(τ)` are smooth and unimodal (checkpoint
+/// overhead falls, rework rises), which golden-section handles without
+/// derivatives or a starting guess.
+pub fn golden_section_min<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+) -> (f64, f64) {
+    assert!(lo < hi, "invalid bracket [{lo}, {hi}]");
+    const INVPHI: f64 = 0.618_033_988_749_894_8; // 1/φ
+    const INVPHI2: f64 = 0.381_966_011_250_105_2; // 1/φ²
+
+    let mut a = lo + INVPHI2 * (hi - lo);
+    let mut b = lo + INVPHI * (hi - lo);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    // 200 iterations shrink the bracket by φ^200 ≈ 10⁻⁴²: always enough.
+    for _ in 0..200 {
+        if hi - lo <= tol * (1.0 + a.abs()) {
+            break;
+        }
+        if fa <= fb {
+            hi = b;
+            b = a;
+            fb = fa;
+            a = lo + INVPHI2 * (hi - lo);
+            fa = f(a);
+        } else {
+            lo = a;
+            a = b;
+            fa = fb;
+            b = lo + INVPHI * (hi - lo);
+            fb = f(b);
+        }
+    }
+    if fa <= fb {
+        (a, fa)
+    } else {
+        (b, fb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_parabola_minimum() {
+        let (x, v) = golden_section_min(|x| (x - 3.0) * (x - 3.0) + 1.0, 0.0, 10.0, 1e-10);
+        assert!((x - 3.0).abs() < 1e-6);
+        assert!((v - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn handles_minimum_at_bracket_edge() {
+        let (x, _) = golden_section_min(|x| x, 2.0, 5.0, 1e-10);
+        assert!((x - 2.0).abs() < 1e-6);
+        let (x, _) = golden_section_min(|x| -x, 2.0, 5.0, 1e-10);
+        assert!((x - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn daly_like_curve() {
+        // overhead(τ) = δ/τ + τ/(2M): minimum at τ = sqrt(2δM)
+        let (delta, m) = (15.0, 20_000.0);
+        let (x, _) = golden_section_min(|t| delta / t + t / (2.0 * m), 1.0, 1e6, 1e-12);
+        assert!((x - (2.0 * delta * m).sqrt()).abs() / x < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bracket")]
+    fn rejects_inverted_bracket() {
+        golden_section_min(|x| x, 5.0, 2.0, 1e-6);
+    }
+}

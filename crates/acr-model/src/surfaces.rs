@@ -1,0 +1,255 @@
+//! The Fig. 1 utilization/vulnerability surfaces: what happens to a long job
+//! as machines grow and SDC rates rise, under (a) no fault tolerance,
+//! (b) plain checkpoint/restart, and (c) ACR.
+
+use crate::daly::daly_higher_order;
+use crate::params::{ModelParams, FIT_PER_HOUR, HOUR, YEAR};
+use crate::schemes::{Scheme, SchemeModel};
+
+/// Which fault-tolerance alternative a surface describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SurfaceKind {
+    /// Fig. 1a: no protection at all — a hard failure restarts the job from
+    /// the beginning; SDC is never detected.
+    NoFaultTolerance,
+    /// Fig. 1b: hard-error checkpoint/restart (Daly period) — SDC still
+    /// undetected.
+    CheckpointOnly,
+    /// Fig. 1c: ACR — half the sockets replicate, strong scheme, zero SDC
+    /// vulnerability.
+    Acr,
+}
+
+/// Machine/job description for a surface evaluation.
+///
+/// Classic checkpoint/restart writes to the parallel file system, so its δ
+/// is minutes; ACR's double in-memory checkpoint is seconds. Fig. 1's
+/// contrast between the (b) and (c) surfaces rests on exactly this gap.
+#[derive(Debug, Clone, Copy)]
+pub struct SurfaceConfig {
+    /// Useful work in the job (the paper uses a 120-hour job).
+    pub work: f64,
+    /// Disk checkpoint cost δ for the classic C/R baseline (seconds).
+    pub delta_disk: f64,
+    /// Disk restart cost for the classic C/R baseline (seconds).
+    pub restart_disk: f64,
+    /// In-memory checkpoint cost δ for ACR (seconds).
+    pub delta_mem: f64,
+    /// In-memory restart cost for ACR (seconds).
+    pub restart_mem: f64,
+    /// Per-socket hard-error MTBF in years.
+    pub m_h_socket_years: f64,
+}
+
+impl Default for SurfaceConfig {
+    fn default() -> Self {
+        // 120-hour job (Fig. 1 caption), disk checkpoints in the minutes
+        // range [18], in-memory checkpoints in the seconds range (§6.2),
+        // Jaguar's 50-year per-socket MTBF [30].
+        Self {
+            work: 120.0 * HOUR,
+            delta_disk: 240.0,
+            restart_disk: 240.0,
+            delta_mem: 15.0,
+            restart_mem: 15.0,
+            m_h_socket_years: 50.0,
+        }
+    }
+}
+
+/// One `(sockets, FIT)` grid point of a Fig. 1 surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurfacePoint {
+    /// Total sockets in the machine.
+    pub sockets: u64,
+    /// Per-socket SDC rate (FIT).
+    pub sdc_fit: f64,
+    /// System utilization `W / E[T]` (times 0.5 under replication).
+    pub utilization: f64,
+    /// Probability of finishing with a silently corrupted result.
+    pub vulnerability: f64,
+}
+
+fn sdc_mtbf(sockets: u64, fit: f64) -> f64 {
+    if fit <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / (fit * FIT_PER_HOUR / HOUR * sockets as f64)
+    }
+}
+
+/// Evaluate one point of a Fig. 1 surface.
+pub fn surface_point(kind: SurfaceKind, cfg: &SurfaceConfig, sockets: u64, fit: f64) -> SurfacePoint {
+    let m_h = cfg.m_h_socket_years * YEAR / sockets as f64;
+    let m_s = sdc_mtbf(sockets, fit);
+    match kind {
+        SurfaceKind::NoFaultTolerance => {
+            // With exponential failures and restart-from-scratch, the
+            // expected completion time of a run needing `W` uninterrupted
+            // seconds is the classic E[T] = M (e^{W/M} − 1).
+            let t = m_h * ((cfg.work / m_h).exp() - 1.0);
+            SurfacePoint {
+                sockets,
+                sdc_fit: fit,
+                utilization: cfg.work / t,
+                // The W seconds of work that produce the answer are exposed
+                // to undetectable corruption.
+                vulnerability: 1.0 - (-(cfg.work) / m_s).exp(),
+            }
+        }
+        SurfaceKind::CheckpointOnly => {
+            let tau = daly_higher_order(cfg.delta_disk, m_h).max(cfg.delta_disk);
+            // Same fixed-point shape as the scheme equations, replication-
+            // and SDC-free: T = (W + Δ) / (1 − R/M − (τ+δ)/2M).
+            let n_ckpt = (cfg.work / tau - 1.0).max(0.0);
+            let a = cfg.restart_disk / m_h + (tau + cfg.delta_disk) / (2.0 * m_h);
+            let t = if a >= 1.0 {
+                f64::INFINITY
+            } else {
+                (cfg.work + n_ckpt * cfg.delta_disk) / (1.0 - a)
+            };
+            SurfacePoint {
+                sockets,
+                sdc_fit: fit,
+                utilization: if t.is_finite() { cfg.work / t } else { 0.0 },
+                vulnerability: 1.0 - (-(cfg.work) / m_s).exp(),
+            }
+        }
+        SurfaceKind::Acr => {
+            let per_replica = (sockets / 2).max(1);
+            let params = ModelParams::from_sockets(
+                cfg.work,
+                cfg.delta_mem,
+                cfg.restart_mem,
+                cfg.restart_mem,
+                per_replica,
+                cfg.m_h_socket_years,
+                fit,
+            );
+            let eval = SchemeModel::new(params).optimize(Scheme::Strong);
+            SurfacePoint {
+                sockets,
+                sdc_fit: fit,
+                utilization: eval.utilization,
+                vulnerability: 0.0,
+            }
+        }
+    }
+}
+
+/// Evaluate a full surface over the paper's grid: socket counts from 4K to
+/// 1M, SDC rates from `fit_lo` to `fit_hi` (log-spaced, `fit_steps` points).
+pub fn utilization_surface(
+    kind: SurfaceKind,
+    cfg: &SurfaceConfig,
+    socket_counts: &[u64],
+    fits: &[f64],
+) -> Vec<SurfacePoint> {
+    let mut out = Vec::with_capacity(socket_counts.len() * fits.len());
+    for &s in socket_counts {
+        for &f in fits {
+            out.push(surface_point(kind, cfg, s, f));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FITS: [f64; 3] = [1.0, 100.0, 10_000.0];
+
+    #[test]
+    fn no_ft_utilization_collapses_between_4k_and_16k() {
+        // Fig. 1a: "as the socket count increases from 4K to 16K, the
+        // utilization rapidly declines to almost 0".
+        let cfg = SurfaceConfig::default();
+        let u4k = surface_point(SurfaceKind::NoFaultTolerance, &cfg, 4096, 100.0).utilization;
+        let u16k = surface_point(SurfaceKind::NoFaultTolerance, &cfg, 16384, 100.0).utilization;
+        let u64k = surface_point(SurfaceKind::NoFaultTolerance, &cfg, 65536, 100.0).utilization;
+        assert!(u4k > 0.4, "4K sockets should mostly complete: {u4k}");
+        assert!(u16k < u4k / 2.0, "16K should collapse: {u16k}");
+        assert!(u64k < 0.01, "64K is hopeless without FT: {u64k}");
+    }
+
+    #[test]
+    fn checkpointing_restores_utilization_but_not_integrity() {
+        // Fig. 1b: utilization increases substantially but vulnerability
+        // remains identical to Fig. 1a.
+        let cfg = SurfaceConfig::default();
+        for s in [16384u64, 65536] {
+            let none = surface_point(SurfaceKind::NoFaultTolerance, &cfg, s, 100.0);
+            let cr = surface_point(SurfaceKind::CheckpointOnly, &cfg, s, 100.0);
+            assert!(cr.utilization > none.utilization * 2.0, "sockets={s}");
+            assert!((cr.vulnerability - none.vulnerability).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn checkpoint_only_still_drops_past_64k() {
+        // Fig. 1b: "the utilization increases substantially, but still drops
+        // after 64K sockets".
+        let cfg = SurfaceConfig::default();
+        let u64k = surface_point(SurfaceKind::CheckpointOnly, &cfg, 65536, 100.0).utilization;
+        let u1m = surface_point(SurfaceKind::CheckpointOnly, &cfg, 1 << 20, 100.0).utilization;
+        assert!(u64k > 0.7, "64K C/R still healthy: {u64k}");
+        assert!(u1m < u64k - 0.2, "1M should sag: {u1m}");
+    }
+
+    #[test]
+    fn acr_vulnerability_is_zero_and_utilization_flat() {
+        // Fig. 1c: "the system vulnerability disappears and the utilization
+        // remains almost constant".
+        let cfg = SurfaceConfig::default();
+        let mut us = Vec::new();
+        for s in [4096u64, 16384, 65536, 262_144, 1 << 20] {
+            for f in FITS {
+                let p = surface_point(SurfaceKind::Acr, &cfg, s, f);
+                assert_eq!(p.vulnerability, 0.0);
+                us.push(p.utilization);
+            }
+        }
+        let (lo, hi) = us.iter().fold((1.0f64, 0.0f64), |(l, h), &u| (l.min(u), h.max(u)));
+        assert!(hi <= 0.5);
+        assert!(lo > 0.25, "ACR stays usable at 1M sockets: {lo}");
+        assert!(hi - lo < 0.25, "roughly flat: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn acr_wins_at_scale_loses_at_small_scale() {
+        // The Fig. 1 caption's trade-off: "the utilization penalty, which
+        // seems significant at small scale, is comparable to other cases at
+        // scale".
+        let cfg = SurfaceConfig::default();
+        let small_cr = surface_point(SurfaceKind::CheckpointOnly, &cfg, 4096, 100.0);
+        let small_acr = surface_point(SurfaceKind::Acr, &cfg, 4096, 100.0);
+        assert!(small_cr.utilization > small_acr.utilization + 0.3);
+        let huge_cr = surface_point(SurfaceKind::CheckpointOnly, &cfg, 1 << 20, 100.0);
+        let huge_acr = surface_point(SurfaceKind::Acr, &cfg, 1 << 20, 100.0);
+        assert!(huge_acr.utilization > huge_cr.utilization - 0.1);
+    }
+
+    #[test]
+    fn vulnerability_monotone_in_fit_and_sockets() {
+        let cfg = SurfaceConfig::default();
+        let mut last = -1.0;
+        for f in [0.0, 1.0, 100.0, 10_000.0] {
+            let v = surface_point(SurfaceKind::NoFaultTolerance, &cfg, 65536, f).vulnerability;
+            assert!(v >= last);
+            last = v;
+        }
+        assert_eq!(
+            surface_point(SurfaceKind::NoFaultTolerance, &cfg, 65536, 0.0).vulnerability,
+            0.0
+        );
+    }
+
+    #[test]
+    fn grid_helper_covers_the_grid() {
+        let cfg = SurfaceConfig::default();
+        let pts = utilization_surface(SurfaceKind::Acr, &cfg, &[4096, 16384], &[1.0, 100.0]);
+        assert_eq!(pts.len(), 4);
+        assert!(pts.iter().all(|p| p.vulnerability == 0.0));
+    }
+}

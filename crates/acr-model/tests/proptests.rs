@@ -1,0 +1,111 @@
+//! Property tests on the §5 model: sanity bounds, scheme orderings, and
+//! limit behaviour over the whole plausible parameter space.
+
+use acr_model::{daly_higher_order, daly_simple, young_interval, ModelParams, Scheme, SchemeModel};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = ModelParams> {
+    (
+        1e3f64..1e6,     // work
+        1.0f64..300.0,   // delta
+        1.0f64..300.0,   // restart
+        8u64..1 << 19,   // sockets per replica
+        1.0f64..200.0,   // per-socket MTBF years
+        0.1f64..20_000.0, // FIT
+    )
+        .prop_map(|(w, delta, restart, sockets, years, fit)| {
+            ModelParams::from_sockets(w, delta, restart, restart, sockets, years, fit)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Whenever the optimizer finds a finite solution: T ≥ W, utilization
+    /// in (0, 0.5], overhead ≥ 0, probabilities in [0, 1].
+    #[test]
+    fn evaluations_are_physical(p in params_strategy()) {
+        let model = SchemeModel::new(p);
+        for scheme in Scheme::ALL {
+            let e = model.optimize(scheme);
+            if e.t_total.is_finite() {
+                prop_assert!(e.t_total >= p.w, "{scheme:?}: T {} < W {}", e.t_total, p.w);
+                prop_assert!(e.utilization > 0.0 && e.utilization <= 0.5 + 1e-12);
+                prop_assert!(e.overhead >= -1e-12);
+                prop_assert!((0.0..=1.0).contains(&e.p_undetected_sdc));
+                prop_assert!(e.tau > 0.0);
+            } else {
+                prop_assert_eq!(e.utilization, 0.0);
+            }
+        }
+    }
+
+    /// Strong detects everything; weak is at least as exposed as medium at
+    /// any common period.
+    #[test]
+    fn vulnerability_ordering(p in params_strategy(), tau in 10.0f64..5_000.0) {
+        let model = SchemeModel::new(p);
+        let t = model.total_time(Scheme::Medium, tau);
+        let s = model.p_undetected(Scheme::Strong, tau, t);
+        let m = model.p_undetected(Scheme::Medium, tau, t);
+        let w = model.p_undetected(Scheme::Weak, tau, t);
+        prop_assert_eq!(s, 0.0);
+        prop_assert!(m <= w + 1e-15, "medium {m} > weak {w}");
+    }
+
+    /// The optimizer's period is a (near-)minimizer: perturbing τ cannot
+    /// beat it by more than numerical slack.
+    #[test]
+    fn optimum_is_locally_optimal(p in params_strategy(), factor in 0.3f64..3.0) {
+        let model = SchemeModel::new(p);
+        for scheme in Scheme::ALL {
+            let e = model.optimize(scheme);
+            if !e.t_total.is_finite() {
+                continue;
+            }
+            let perturbed = model.total_time(scheme, (e.tau * factor).max(1e-3));
+            // Near-minimizer: the search is over a curve with a kink at
+            // τ = W (the checkpoint count floors at zero), so allow small
+            // relative slack.
+            prop_assert!(perturbed >= e.t_total * (1.0 - 1e-4),
+                "{scheme:?}: τ={} beat τ*={} ({} < {})", e.tau * factor, e.tau, perturbed, e.t_total);
+        }
+    }
+
+    /// Reliability improves every total time: scaling both MTBFs up can
+    /// only shrink the optimized T.
+    #[test]
+    fn better_hardware_never_hurts(p in params_strategy()) {
+        let better = ModelParams { m_h: p.m_h * 4.0, m_s: p.m_s * 4.0, ..p };
+        for scheme in Scheme::ALL {
+            let a = SchemeModel::new(p).optimize(scheme).t_total;
+            let b = SchemeModel::new(better).optimize(scheme).t_total;
+            if a.is_finite() {
+                prop_assert!(b <= a * (1.0 + 1e-9), "{scheme:?}: {a} -> {b}");
+            }
+        }
+    }
+
+    /// Daly-family estimates are ordered and positive over the sane regime.
+    #[test]
+    fn daly_estimates_behave(delta in 0.1f64..600.0, m in 1.0f64..1e8) {
+        let y = young_interval(delta, m);
+        let d = daly_simple(delta, m);
+        let h = daly_higher_order(delta, m);
+        prop_assert!(y > 0.0 && d > 0.0 && h > 0.0);
+        if delta < m / 100.0 {
+            prop_assert!(d <= y, "daly {d} > young {y}");
+            prop_assert!(h >= d, "higher-order {h} < simple {d}");
+        }
+    }
+
+    /// P(multi failure) is a probability and monotone in τ.
+    #[test]
+    fn multi_failure_probability_is_sane(p in params_strategy(), tau in 1.0f64..1e6) {
+        let model = SchemeModel::new(p);
+        let a = model.p_multi_failure(tau);
+        let b = model.p_multi_failure(tau * 2.0);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!(b >= a - 1e-15);
+    }
+}

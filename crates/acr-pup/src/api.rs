@@ -1,0 +1,147 @@
+//! One-call convenience entry points over the individual pupers.
+
+use crate::checker::{Checker, CheckReport};
+use crate::error::PupResult;
+use crate::fletcher::FletcherPuper;
+use crate::packer::Packer;
+use crate::puper::{CheckPolicy, Pup, Puper};
+use crate::sizer::Sizer;
+use crate::unpacker::Unpacker;
+
+/// Exact number of bytes [`pack`] would produce for `obj`.
+pub fn packed_size<T: Pup + ?Sized>(obj: &mut T) -> PupResult<usize> {
+    let mut s = Sizer::new();
+    obj.pup(&mut s)?;
+    Ok(s.bytes())
+}
+
+/// Serialize `obj` into a fresh, exactly-sized checkpoint buffer.
+pub fn pack<T: Pup + ?Sized>(obj: &mut T) -> PupResult<Vec<u8>> {
+    let size = packed_size(obj)?;
+    let mut p = Packer::with_capacity(size);
+    obj.pup(&mut p)?;
+    let buf = p.finish();
+    debug_assert_eq!(buf.len(), size, "Sizer and Packer disagree: pup() is direction-dependent");
+    Ok(buf)
+}
+
+/// Serialize `obj`, appending to `buf` (reuse a checkpoint buffer across
+/// periods to keep allocator traffic off the δ path).
+pub fn pack_into<T: Pup + ?Sized>(obj: &mut T, buf: Vec<u8>) -> PupResult<Vec<u8>> {
+    let mut p = Packer::into_buf(buf);
+    obj.pup(&mut p)?;
+    Ok(p.finish())
+}
+
+/// Restore `obj` from checkpoint bytes. Errors if the buffer is too short,
+/// structurally invalid, or not fully consumed.
+pub fn unpack<T: Pup + ?Sized>(bytes: &[u8], obj: &mut T) -> PupResult {
+    let mut u = Unpacker::new(bytes);
+    obj.pup(&mut u)?;
+    u.finish()
+}
+
+/// Compare live `obj` against a buddy checkpoint, with
+/// [`CheckPolicy::Bitwise`] as the ambient policy (an object's own `pup` may
+/// still push finer-grained policies).
+pub fn compare<T: Pup + ?Sized>(obj: &mut T, reference: &[u8]) -> PupResult<CheckReport> {
+    let mut c = Checker::new(reference);
+    obj.pup(&mut c)?;
+    c.finish()
+}
+
+/// Compare with an explicit ambient policy (e.g. a machine-wide relative
+/// tolerance configured by the application, §4.1).
+pub fn compare_with_policy<T: Pup + ?Sized>(
+    obj: &mut T,
+    reference: &[u8],
+    policy: CheckPolicy,
+) -> PupResult<CheckReport> {
+    let mut c = Checker::new(reference);
+    c.push_policy(policy)?;
+    obj.pup(&mut c)?;
+    c.pop_policy()?;
+    c.finish()
+}
+
+/// Position-dependent Fletcher-64 digest of `obj`'s packed representation,
+/// computed without materializing the packed bytes (§4.2's low-network-load
+/// detection path).
+pub fn fletcher64_of<T: Pup + ?Sized>(obj: &mut T) -> PupResult<u64> {
+    let mut f = FletcherPuper::new();
+    obj.pup(&mut f)?;
+    Ok(f.digest())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::PupError;
+
+    struct State {
+        grid: Vec<f64>,
+        iter: u64,
+    }
+
+    impl Pup for State {
+        fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+            self.grid.pup(p)?;
+            p.pup_u64(&mut self.iter)
+        }
+    }
+
+    #[test]
+    fn pack_unpack_compare_checksum_cycle() {
+        let mut s = State { grid: vec![0.25; 64], iter: 12 };
+        let ckpt = pack(&mut s).unwrap();
+        assert_eq!(ckpt.len(), 8 + 64 * 8 + 8);
+
+        let mut t = State { grid: vec![], iter: 0 };
+        unpack(&ckpt, &mut t).unwrap();
+        assert_eq!(t.iter, 12);
+        assert!(compare(&mut t, &ckpt).unwrap().is_clean());
+        assert_eq!(fletcher64_of(&mut s).unwrap(), fletcher64_of(&mut t).unwrap());
+    }
+
+    #[test]
+    fn ambient_policy_applies() {
+        let mut s = State { grid: vec![1.0], iter: 1 };
+        let ckpt = pack(&mut s).unwrap();
+        s.grid[0] += 1e-14;
+        assert!(!compare(&mut s, &ckpt).unwrap().is_clean());
+        assert!(compare_with_policy(&mut s, &ckpt, CheckPolicy::Relative(1e-12))
+            .unwrap()
+            .is_clean());
+    }
+
+    #[test]
+    fn pack_into_reuses_buffer() {
+        let mut s = State { grid: vec![1.0; 8], iter: 3 };
+        let buf = Vec::with_capacity(1024);
+        let ptr = buf.as_ptr();
+        let buf = pack_into(&mut s, buf).unwrap();
+        assert_eq!(ptr, buf.as_ptr());
+        let mut t = State { grid: vec![], iter: 0 };
+        unpack(&buf, &mut t).unwrap();
+        assert_eq!(t.grid, s.grid);
+    }
+
+    #[test]
+    fn unpack_rejects_truncation_anywhere() {
+        let mut s = State { grid: vec![3.0; 4], iter: 9 };
+        let ckpt = pack(&mut s).unwrap();
+        for cut in [0, 1, 8, 9, ckpt.len() - 1] {
+            let mut t = State { grid: vec![], iter: 0 };
+            let err = unpack(&ckpt[..cut], &mut t);
+            assert!(err.is_err(), "cut={cut} accepted");
+        }
+        // over-long buffer also rejected
+        let mut long = ckpt.clone();
+        long.push(0);
+        let mut t = State { grid: vec![], iter: 0 };
+        assert_eq!(
+            unpack(&long, &mut t).unwrap_err(),
+            PupError::TrailingBytes { leftover: 1 }
+        );
+    }
+}

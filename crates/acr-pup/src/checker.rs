@@ -1,0 +1,482 @@
+//! [`Checker`]: compares live state against a buddy replica's checkpoint —
+//! the SDC detector of §2.1 / §4.1.
+
+use crate::error::{PupError, PupResult};
+use crate::puper::{CheckPolicy, Dir, Puper};
+
+/// One detected divergence between the live state and the reference
+/// checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckFailure {
+    /// Stream offset (bytes) of the mismatching field.
+    pub offset: usize,
+    /// Width of the mismatching field in bytes.
+    pub width: usize,
+    /// The live value, reinterpreted as little-endian u64 bits (zero-padded).
+    pub live_bits: u64,
+    /// The reference value, reinterpreted the same way.
+    pub reference_bits: u64,
+}
+
+/// Outcome of a checkpoint comparison.
+///
+/// A non-clean report is how ACR learns that *silent data corruption*
+/// occurred in one of the replicas; the runtime responds by rolling both
+/// replicas back to the previous verified checkpoint (§2.1).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckReport {
+    /// All mismatching fields (bounded by [`Checker::failure_cap`]).
+    pub failures: Vec<CheckFailure>,
+    /// Total number of mismatching fields, including ones beyond the cap.
+    pub mismatch_count: usize,
+    /// Bytes that were actually compared.
+    pub bytes_compared: usize,
+    /// Bytes skipped under [`CheckPolicy::Ignore`].
+    pub bytes_ignored: usize,
+}
+
+impl CheckReport {
+    /// True when no divergence was found: the two replicas agree.
+    pub fn is_clean(&self) -> bool {
+        self.mismatch_count == 0
+    }
+}
+
+const DEFAULT_FAILURE_CAP: usize = 64;
+
+/// A [`Puper`] that walks the live object while consuming the buddy's packed
+/// checkpoint, recording divergences instead of writing or reading state.
+///
+/// Comparison behaviour is governed by a stack of [`CheckPolicy`] values
+/// (default [`CheckPolicy::Bitwise`]); see §4.1 for why applications may want
+/// relative-tolerance or ignored regions.
+#[derive(Debug)]
+pub struct Checker<'a> {
+    reference: &'a [u8],
+    pos: usize,
+    policies: Vec<CheckPolicy>,
+    report: CheckReport,
+    failure_cap: usize,
+}
+
+impl<'a> Checker<'a> {
+    /// Create a checker against the buddy checkpoint `reference`.
+    pub fn new(reference: &'a [u8]) -> Self {
+        Self {
+            reference,
+            pos: 0,
+            policies: vec![CheckPolicy::Bitwise],
+            report: CheckReport::default(),
+            failure_cap: DEFAULT_FAILURE_CAP,
+        }
+    }
+
+    /// Limit how many individual [`CheckFailure`]s are materialized (the
+    /// total `mismatch_count` is always exact). One flipped bit produces one
+    /// failure, but a truly corrupted region could produce millions.
+    pub fn failure_cap(mut self, cap: usize) -> Self {
+        self.failure_cap = cap;
+        self
+    }
+
+    /// Finish the comparison. Errors if the reference checkpoint has bytes
+    /// left over (structural divergence).
+    pub fn finish(self) -> PupResult<CheckReport> {
+        let leftover = self.reference.len() - self.pos;
+        if leftover != 0 {
+            return Err(PupError::TrailingBytes { leftover });
+        }
+        Ok(self.report)
+    }
+
+    fn policy(&self) -> CheckPolicy {
+        *self.policies.last().expect("policy stack is never empty")
+    }
+
+    #[inline]
+    fn take(&mut self, n: usize) -> PupResult<&'a [u8]> {
+        let remaining = self.reference.len() - self.pos;
+        if remaining < n {
+            return Err(PupError::BufferUnderrun { needed: n, remaining, at: self.pos });
+        }
+        let s = &self.reference[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn record(&mut self, offset: usize, width: usize, live_bits: u64, reference_bits: u64) {
+        self.report.mismatch_count += 1;
+        if self.report.failures.len() < self.failure_cap {
+            self.report.failures.push(CheckFailure { offset, width, live_bits, reference_bits });
+        }
+    }
+
+    /// Compare a raw little-endian scalar bitwise (integers & bools).
+    fn check_bits(&mut self, live: &[u8]) -> PupResult {
+        let offset = self.pos;
+        let policy = self.policy();
+        let reference = self.take(live.len())?;
+        if matches!(policy, CheckPolicy::Ignore) {
+            self.report.bytes_ignored += live.len();
+            return Ok(());
+        }
+        self.report.bytes_compared += live.len();
+        if live != reference {
+            self.record(offset, live.len(), le_bits(live), le_bits(reference));
+        }
+        Ok(())
+    }
+
+    fn check_f64(&mut self, live: f64) -> PupResult {
+        let offset = self.pos;
+        let policy = self.policy();
+        let bytes = self.take(8)?;
+        if matches!(policy, CheckPolicy::Ignore) {
+            self.report.bytes_ignored += 8;
+            return Ok(());
+        }
+        self.report.bytes_compared += 8;
+        let reference = f64::from_le_bytes(bytes.try_into().expect("take() sized the slice"));
+        if !policy.f64_ok(live, reference) {
+            self.record(offset, 8, live.to_bits(), reference.to_bits());
+        }
+        Ok(())
+    }
+
+    fn check_f32(&mut self, live: f32) -> PupResult {
+        let offset = self.pos;
+        let policy = self.policy();
+        let bytes = self.take(4)?;
+        if matches!(policy, CheckPolicy::Ignore) {
+            self.report.bytes_ignored += 4;
+            return Ok(());
+        }
+        self.report.bytes_compared += 4;
+        let reference = f32::from_le_bytes(bytes.try_into().expect("take() sized the slice"));
+        if !policy.f32_ok(live, reference) {
+            self.record(offset, 4, live.to_bits() as u64, reference.to_bits() as u64);
+        }
+        Ok(())
+    }
+}
+
+fn le_bits(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = bytes.len().min(8);
+    buf[..n].copy_from_slice(&bytes[..n]);
+    u64::from_le_bytes(buf)
+}
+
+macro_rules! check_scalar {
+    ($name:ident, $ty:ty) => {
+        fn $name(&mut self, v: &mut $ty) -> PupResult {
+            self.check_bits(&v.to_le_bytes())
+        }
+    };
+}
+
+macro_rules! check_int_slice {
+    ($name:ident, $ty:ty) => {
+        fn $name(&mut self, v: &mut [$ty]) -> PupResult {
+            const W: usize = std::mem::size_of::<$ty>();
+            // Fast path: bulk bitwise compare of the whole region, then only
+            // walk element-by-element if it differs (mismatches are rare —
+            // typically a single flipped bit per §6.1 injection).
+            let offset = self.pos;
+            let policy = self.policy();
+            let reference = self.take(W * v.len())?;
+            if matches!(policy, CheckPolicy::Ignore) {
+                self.report.bytes_ignored += reference.len();
+                return Ok(());
+            }
+            self.report.bytes_compared += reference.len();
+            if bytes_of(v) == reference {
+                return Ok(());
+            }
+            for (i, (x, chunk)) in v.iter().zip(reference.chunks_exact(W)).enumerate() {
+                let live = &x.to_le_bytes()[..];
+                if live != chunk {
+                    self.record(offset + i * W, W, le_bits(live), le_bits(chunk));
+                }
+            }
+            Ok(())
+        }
+    };
+}
+
+/// View a numeric slice as raw bytes (little-endian targets only; on
+/// big-endian we fall back to elementwise comparison).
+fn bytes_of<T>(v: &[T]) -> &[u8] {
+    if cfg!(target_endian = "little") {
+        // SAFETY: numeric primitives have no padding; lifetime tied to `v`.
+        unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+    } else {
+        &[]
+    }
+}
+
+impl Puper for Checker<'_> {
+    fn dir(&self) -> Dir {
+        Dir::Checking
+    }
+
+    fn offset(&self) -> usize {
+        self.pos
+    }
+
+    check_scalar!(pup_u8, u8);
+    check_scalar!(pup_u16, u16);
+    check_scalar!(pup_u32, u32);
+    check_scalar!(pup_u64, u64);
+    check_scalar!(pup_i8, i8);
+    check_scalar!(pup_i16, i16);
+    check_scalar!(pup_i32, i32);
+    check_scalar!(pup_i64, i64);
+
+    fn pup_f32(&mut self, v: &mut f32) -> PupResult {
+        self.check_f32(*v)
+    }
+
+    fn pup_f64(&mut self, v: &mut f64) -> PupResult {
+        self.check_f64(*v)
+    }
+
+    fn pup_bool(&mut self, v: &mut bool) -> PupResult {
+        self.check_bits(&[*v as u8])
+    }
+
+    fn pup_usize(&mut self, v: &mut usize) -> PupResult {
+        self.check_bits(&(*v as u64).to_le_bytes())
+    }
+
+    fn pup_len(&mut self, live: usize) -> PupResult<usize> {
+        let bytes = self.take(8)?;
+        let stream = u64::from_le_bytes(bytes.try_into().expect("take() sized the slice"));
+        self.report.bytes_compared += 8;
+        if stream as usize != live {
+            // A shape divergence makes the rest of the stream uninterpretable;
+            // surface it as a structural error (the runtime treats this as
+            // SDC just the same).
+            return Err(PupError::LengthMismatch { stream: stream as usize, live });
+        }
+        Ok(live)
+    }
+
+    check_int_slice!(pup_u8_slice, u8);
+    check_int_slice!(pup_u16_slice, u16);
+    check_int_slice!(pup_u32_slice, u32);
+    check_int_slice!(pup_u64_slice, u64);
+    check_int_slice!(pup_i32_slice, i32);
+    check_int_slice!(pup_i64_slice, i64);
+
+    fn pup_f32_slice(&mut self, v: &mut [f32]) -> PupResult {
+        let policy = self.policy();
+        if matches!(policy, CheckPolicy::Bitwise) {
+            // Bitwise floats can use the fast bulk path.
+            let offset = self.pos;
+            let reference = self.take(4 * v.len())?;
+            self.report.bytes_compared += reference.len();
+            if bytes_of(v) == reference {
+                return Ok(());
+            }
+            for (i, (x, chunk)) in v.iter().zip(reference.chunks_exact(4)).enumerate() {
+                if x.to_le_bytes() != *chunk {
+                    self.record(offset + i * 4, 4, x.to_bits() as u64, le_bits(chunk));
+                }
+            }
+            Ok(())
+        } else {
+            for x in v {
+                self.check_f32(*x)?;
+            }
+            Ok(())
+        }
+    }
+
+    fn pup_f64_slice(&mut self, v: &mut [f64]) -> PupResult {
+        let policy = self.policy();
+        if matches!(policy, CheckPolicy::Bitwise) {
+            let offset = self.pos;
+            let reference = self.take(8 * v.len())?;
+            self.report.bytes_compared += reference.len();
+            if bytes_of(v) == reference {
+                return Ok(());
+            }
+            for (i, (x, chunk)) in v.iter().zip(reference.chunks_exact(8)).enumerate() {
+                if x.to_le_bytes() != *chunk {
+                    self.record(offset + i * 8, 8, x.to_bits(), le_bits(chunk));
+                }
+            }
+            Ok(())
+        } else {
+            for x in v {
+                self.check_f64(*x)?;
+            }
+            Ok(())
+        }
+    }
+
+    fn push_policy(&mut self, policy: CheckPolicy) -> PupResult {
+        self.policies.push(policy);
+        Ok(())
+    }
+
+    fn pop_policy(&mut self) -> PupResult {
+        if self.policies.len() <= 1 {
+            return Err(PupError::PolicyUnderflow);
+        }
+        self.policies.pop();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packer::Packer;
+    use crate::puper::Pup;
+
+    struct Blob {
+        data: Vec<f64>,
+        steps: u64,
+        timer: f64,
+    }
+
+    impl Pup for Blob {
+        fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+            let n = p.pup_len(self.data.len())?;
+            self.data.resize(n, 0.0);
+            p.pup_f64_slice(&mut self.data)?;
+            p.pup_u64(&mut self.steps)?;
+            p.push_policy(CheckPolicy::Ignore)?;
+            p.pup_f64(&mut self.timer)?;
+            p.pop_policy()
+        }
+    }
+
+    fn packed(b: &mut Blob) -> Vec<u8> {
+        let mut p = Packer::new();
+        b.pup(&mut p).unwrap();
+        p.finish()
+    }
+
+    #[test]
+    fn identical_state_is_clean() {
+        let mut a = Blob { data: vec![1.0, 2.0, 3.0], steps: 10, timer: 0.5 };
+        let reference = packed(&mut a);
+        let mut c = Checker::new(&reference);
+        a.pup(&mut c).unwrap();
+        let r = c.finish().unwrap();
+        assert!(r.is_clean());
+        assert_eq!(r.bytes_compared, 8 + 24 + 8); // len + data + steps
+        assert_eq!(r.bytes_ignored, 8); // timer
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected_and_located() {
+        let mut a = Blob { data: vec![1.0, 2.0, 3.0], steps: 10, timer: 0.5 };
+        let reference = packed(&mut a);
+        // Corrupt one bit of data[1] in the live copy.
+        a.data[1] = f64::from_bits(a.data[1].to_bits() ^ (1 << 17));
+        let mut c = Checker::new(&reference);
+        a.pup(&mut c).unwrap();
+        let r = c.finish().unwrap();
+        assert_eq!(r.mismatch_count, 1);
+        assert_eq!(r.failures[0].offset, 8 + 8); // after len, after data[0]
+        assert_eq!(r.failures[0].width, 8);
+    }
+
+    #[test]
+    fn ignored_region_may_differ() {
+        let mut a = Blob { data: vec![1.0], steps: 1, timer: 0.1 };
+        let reference = packed(&mut a);
+        a.timer = 99.0; // replica-local, non-critical
+        let mut c = Checker::new(&reference);
+        a.pup(&mut c).unwrap();
+        assert!(c.finish().unwrap().is_clean());
+    }
+
+    #[test]
+    fn relative_policy_on_slices() {
+        struct Rel(Vec<f64>);
+        impl Pup for Rel {
+            fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+                p.push_policy(CheckPolicy::Relative(1e-9))?;
+                p.pup_f64_slice(&mut self.0)?;
+                p.pop_policy()
+            }
+        }
+        let mut a = Rel(vec![1.0, -2.0]);
+        let mut p = Packer::new();
+        a.pup(&mut p).unwrap();
+        let reference = p.finish();
+
+        let mut b = Rel(vec![1.0 + 1e-12, -2.0 - 1e-12]);
+        let mut c = Checker::new(&reference);
+        b.pup(&mut c).unwrap();
+        assert!(c.finish().unwrap().is_clean());
+
+        let mut d = Rel(vec![1.0 + 1e-3, -2.0]);
+        let mut c = Checker::new(&reference);
+        d.pup(&mut c).unwrap();
+        assert_eq!(c.finish().unwrap().mismatch_count, 1);
+    }
+
+    #[test]
+    fn length_divergence_is_structural() {
+        let mut a = Blob { data: vec![1.0, 2.0], steps: 0, timer: 0.0 };
+        let reference = packed(&mut a);
+        let mut b = Blob { data: vec![1.0, 2.0, 3.0], steps: 0, timer: 0.0 };
+        let mut c = Checker::new(&reference);
+        let err = b.pup(&mut c).unwrap_err();
+        assert_eq!(err, PupError::LengthMismatch { stream: 2, live: 3 });
+    }
+
+    #[test]
+    fn failure_cap_bounds_materialized_failures() {
+        let mut a = Blob { data: vec![0.0; 100], steps: 0, timer: 0.0 };
+        let reference = packed(&mut a);
+        for x in a.data.iter_mut() {
+            *x = 1.0;
+        }
+        let mut c = Checker::new(&reference).failure_cap(5);
+        a.pup(&mut c).unwrap();
+        let r = c.finish().unwrap();
+        assert_eq!(r.mismatch_count, 100);
+        assert_eq!(r.failures.len(), 5);
+    }
+
+    #[test]
+    fn policy_underflow_detected() {
+        let reference = [0u8; 0];
+        let mut c = Checker::new(&reference);
+        assert_eq!(c.pop_policy().unwrap_err(), PupError::PolicyUnderflow);
+    }
+
+    #[test]
+    fn trailing_reference_bytes_are_structural() {
+        let reference = [0u8; 4];
+        let c = Checker::new(&reference);
+        assert_eq!(c.finish().unwrap_err(), PupError::TrailingBytes { leftover: 4 });
+    }
+
+    #[test]
+    fn int_slice_flip_located() {
+        struct Ints(Vec<u32>);
+        impl Pup for Ints {
+            fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+                p.pup_u32_slice(&mut self.0)
+            }
+        }
+        let mut a = Ints(vec![7; 16]);
+        let mut p = Packer::new();
+        a.pup(&mut p).unwrap();
+        let reference = p.finish();
+        a.0[9] ^= 0x8000;
+        let mut c = Checker::new(&reference);
+        a.pup(&mut c).unwrap();
+        let r = c.finish().unwrap();
+        assert_eq!(r.mismatch_count, 1);
+        assert_eq!(r.failures[0].offset, 9 * 4);
+    }
+}

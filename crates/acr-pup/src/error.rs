@@ -1,0 +1,116 @@
+//! Error type shared by all PUP directions.
+
+use std::fmt;
+
+/// Result alias used throughout the PUP framework.
+pub type PupResult<T = ()> = Result<T, PupError>;
+
+/// An error raised while traversing a [`crate::Pup`] object.
+///
+/// Note that a *mismatch* found by the [`crate::Checker`] is **not** an
+/// error — mismatches are collected into a [`crate::CheckReport`] so that the
+/// caller (the ACR runtime) can decide how to react. `PupError` signals a
+/// *structural* problem: a checkpoint that is too short, a length field that
+/// disagrees with the receiving container, or an enum tag that no variant
+/// claims. Structural problems on the compare path are themselves treated as
+/// SDC by the runtime (a corrupted length field corrupts the stream shape).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PupError {
+    /// The source buffer ended before the object was fully traversed.
+    BufferUnderrun {
+        /// Bytes the current field needed.
+        needed: usize,
+        /// Bytes actually remaining in the buffer.
+        remaining: usize,
+        /// Stream offset at which the underrun happened.
+        at: usize,
+    },
+    /// After a full traversal, bytes were left over in the source buffer.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        leftover: usize,
+    },
+    /// A collection length read from the stream disagrees with a fixed-size
+    /// destination (e.g. unpacking a 5-element stream into a `[f64; 3]`).
+    LengthMismatch {
+        /// Length recorded in the stream.
+        stream: usize,
+        /// Length of the live object.
+        live: usize,
+    },
+    /// An enum discriminant read from the stream has no matching variant.
+    InvalidTag {
+        /// The offending tag value.
+        tag: u64,
+        /// Human-readable name of the type being unpacked.
+        type_name: &'static str,
+    },
+    /// A length field would overflow addressable memory (corrupted stream).
+    LengthOverflow {
+        /// The unbelievable length.
+        len: u64,
+    },
+    /// Policy stack was popped more times than it was pushed.
+    PolicyUnderflow,
+    /// String bytes in the stream are not valid UTF-8 (corrupted stream).
+    InvalidUtf8 {
+        /// Stream offset of the string payload.
+        at: usize,
+    },
+}
+
+impl fmt::Display for PupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PupError::BufferUnderrun { needed, remaining, at } => write!(
+                f,
+                "checkpoint stream underrun at offset {at}: field needs {needed} bytes, \
+                 {remaining} remain"
+            ),
+            PupError::TrailingBytes { leftover } => {
+                write!(f, "checkpoint stream has {leftover} trailing bytes after unpack")
+            }
+            PupError::LengthMismatch { stream, live } => write!(
+                f,
+                "collection length mismatch: stream says {stream}, live object holds {live}"
+            ),
+            PupError::InvalidTag { tag, type_name } => {
+                write!(f, "invalid enum tag {tag} while unpacking {type_name}")
+            }
+            PupError::LengthOverflow { len } => {
+                write!(f, "stream length field {len} overflows addressable memory")
+            }
+            PupError::PolicyUnderflow => write!(f, "check-policy stack popped while empty"),
+            PupError::InvalidUtf8 { at } => {
+                write!(f, "string payload at offset {at} is not valid UTF-8")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PupError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = PupError::BufferUnderrun { needed: 8, remaining: 3, at: 16 };
+        let s = e.to_string();
+        assert!(s.contains("offset 16") && s.contains("8 bytes") && s.contains("3 remain"));
+
+        assert!(PupError::TrailingBytes { leftover: 4 }.to_string().contains("4 trailing"));
+        assert!(PupError::LengthMismatch { stream: 5, live: 3 }.to_string().contains("5"));
+        assert!(PupError::InvalidTag { tag: 9, type_name: "Foo" }.to_string().contains("Foo"));
+        assert!(PupError::LengthOverflow { len: u64::MAX }.to_string().contains("overflows"));
+        assert!(PupError::PolicyUnderflow.to_string().contains("policy"));
+    }
+
+    #[test]
+    fn errors_are_comparable_and_cloneable() {
+        let e = PupError::TrailingBytes { leftover: 1 };
+        assert_eq!(e.clone(), e);
+        assert_ne!(e, PupError::PolicyUnderflow);
+    }
+}

@@ -1,0 +1,396 @@
+//! Position-dependent Fletcher checksum (§4.2) and the [`FletcherPuper`]
+//! that streams an object's PUP traversal through it without materializing
+//! the packed bytes.
+//!
+//! The paper replaces full-checkpoint buddy transfers with a checksum
+//! exchange: the 16-byte digest crosses the network instead of the whole
+//! checkpoint, trading ~4 extra instructions per word of compute (γ) for the
+//! per-byte communication cost (β); it wins whenever γ < β/4.
+
+use crate::error::PupResult;
+use crate::puper::{CheckPolicy, Dir, Puper};
+
+/// A streaming Fletcher-64 checksum.
+///
+/// Processes input as 32-bit little-endian words with two running sums
+/// (`s1`, `s2`) reduced modulo 2³²−1. Because `s2` accumulates `s1`, the
+/// digest is *position-dependent*: swapping two words changes it, unlike a
+/// plain additive checksum. That property is what lets buddy nodes detect a
+/// corrupted-but-rearranged checkpoint (§4.2 cites Fletcher's algorithm for
+/// exactly this reason).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fletcher64 {
+    s1: u64,
+    s2: u64,
+    /// Partial trailing word (input need not be 4-byte aligned).
+    partial: u32,
+    partial_len: u32,
+    len: u64,
+}
+
+const MOD: u64 = 0xFFFF_FFFF; // 2^32 - 1
+
+impl Default for Fletcher64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fletcher64 {
+    /// A fresh checksum state.
+    pub fn new() -> Self {
+        Self { s1: 0, s2: 0, partial: 0, partial_len: 0, len: 0 }
+    }
+
+    /// Feed bytes into the checksum.
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        self.len += bytes.len() as u64;
+
+        // Complete a pending partial word first.
+        while self.partial_len != 0 && !bytes.is_empty() {
+            self.partial |= (bytes[0] as u32) << (8 * self.partial_len);
+            self.partial_len += 1;
+            bytes = &bytes[1..];
+            if self.partial_len == 4 {
+                self.absorb(self.partial);
+                self.partial = 0;
+                self.partial_len = 0;
+            }
+        }
+
+        let mut chunks = bytes.chunks_exact(4);
+        // Defer the modulo: s1 and s2 stay < 2^64 for well over 2^23 words,
+        // so reduce every 4096 words (safe margin) instead of every word.
+        let mut since_reduce = 0u32;
+        for chunk in &mut chunks {
+            let w = u32::from_le_bytes(chunk.try_into().expect("chunks_exact")) as u64;
+            self.s1 += w;
+            self.s2 += self.s1;
+            since_reduce += 1;
+            if since_reduce == 4096 {
+                self.reduce();
+                since_reduce = 0;
+            }
+        }
+        self.reduce();
+
+        for &b in chunks.remainder() {
+            self.partial |= (b as u32) << (8 * self.partial_len);
+            self.partial_len += 1;
+        }
+    }
+
+    #[inline]
+    fn absorb(&mut self, w: u32) {
+        self.s1 += w as u64;
+        self.s2 += self.s1;
+        self.reduce();
+    }
+
+    #[inline]
+    fn reduce(&mut self) {
+        self.s1 = (self.s1 & MOD) + (self.s1 >> 32);
+        self.s1 = (self.s1 & MOD) + (self.s1 >> 32);
+        self.s2 = (self.s2 & MOD) + (self.s2 >> 32);
+        self.s2 = (self.s2 & MOD) + (self.s2 >> 32);
+        if self.s1 >= MOD {
+            self.s1 -= MOD;
+        }
+        if self.s2 >= MOD {
+            self.s2 -= MOD;
+        }
+    }
+
+    /// Finalize: a trailing partial word is zero-padded, and the total input
+    /// length is mixed in so that streams differing only by trailing zero
+    /// bytes do not collide.
+    pub fn digest(&self) -> u64 {
+        let mut f = *self;
+        if f.partial_len != 0 {
+            f.absorb(f.partial);
+            f.partial = 0;
+            f.partial_len = 0;
+        }
+        f.absorb(f.len as u32);
+        f.absorb((f.len >> 32) as u32);
+        (f.s2 << 32) | f.s1
+    }
+
+    /// Total bytes fed so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether no bytes have been fed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Checksum a byte buffer in one call.
+pub fn fletcher64(bytes: &[u8]) -> u64 {
+    let mut f = Fletcher64::new();
+    f.update(bytes);
+    f.digest()
+}
+
+/// A [`Puper`] that streams the object's packed representation through a
+/// [`Fletcher64`] without allocating the packed buffer.
+///
+/// Fields under [`CheckPolicy::Ignore`] are excluded, mirroring the
+/// [`crate::Checker`]'s treatment so both detection methods honour the same
+/// application policy. (Relative-tolerance regions are checksummed bitwise —
+/// a checksum cannot express tolerance; applications needing tolerant
+/// comparison must use full-checkpoint detection, a trade-off §4.2 accepts.)
+#[derive(Debug)]
+pub struct FletcherPuper {
+    sum: Fletcher64,
+    policies: Vec<CheckPolicy>,
+    skipped: usize,
+    offset: usize,
+}
+
+impl Default for FletcherPuper {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FletcherPuper {
+    /// A fresh checksumming puper.
+    pub fn new() -> Self {
+        Self {
+            sum: Fletcher64::new(),
+            policies: vec![CheckPolicy::Bitwise],
+            skipped: 0,
+            offset: 0,
+        }
+    }
+
+    /// The digest of everything traversed so far.
+    pub fn digest(&self) -> u64 {
+        self.sum.digest()
+    }
+
+    /// Bytes excluded under [`CheckPolicy::Ignore`].
+    pub fn bytes_skipped(&self) -> usize {
+        self.skipped
+    }
+
+    fn ignoring(&self) -> bool {
+        matches!(self.policies.last(), Some(CheckPolicy::Ignore))
+    }
+
+    #[inline]
+    fn feed(&mut self, bytes: &[u8]) -> PupResult {
+        self.offset += bytes.len();
+        if self.ignoring() {
+            self.skipped += bytes.len();
+        } else {
+            self.sum.update(bytes);
+        }
+        Ok(())
+    }
+}
+
+macro_rules! sum_scalar {
+    ($name:ident, $ty:ty) => {
+        fn $name(&mut self, v: &mut $ty) -> PupResult {
+            self.feed(&v.to_le_bytes())
+        }
+    };
+}
+
+macro_rules! sum_slice {
+    ($name:ident, $ty:ty) => {
+        fn $name(&mut self, v: &mut [$ty]) -> PupResult {
+            if cfg!(target_endian = "little") {
+                // SAFETY: numeric primitives, no padding; read-only view.
+                let bytes = unsafe {
+                    std::slice::from_raw_parts(
+                        v.as_ptr() as *const u8,
+                        std::mem::size_of_val(v),
+                    )
+                };
+                self.feed(bytes)
+            } else {
+                for x in v {
+                    self.feed(&x.to_le_bytes())?;
+                }
+                Ok(())
+            }
+        }
+    };
+}
+
+impl Puper for FletcherPuper {
+    fn dir(&self) -> Dir {
+        Dir::Summing
+    }
+
+    fn offset(&self) -> usize {
+        self.offset
+    }
+
+    sum_scalar!(pup_u8, u8);
+    sum_scalar!(pup_u16, u16);
+    sum_scalar!(pup_u32, u32);
+    sum_scalar!(pup_u64, u64);
+    sum_scalar!(pup_i8, i8);
+    sum_scalar!(pup_i16, i16);
+    sum_scalar!(pup_i32, i32);
+    sum_scalar!(pup_i64, i64);
+    sum_scalar!(pup_f32, f32);
+    sum_scalar!(pup_f64, f64);
+
+    fn pup_bool(&mut self, v: &mut bool) -> PupResult {
+        self.feed(&[*v as u8])
+    }
+
+    fn pup_usize(&mut self, v: &mut usize) -> PupResult {
+        self.feed(&(*v as u64).to_le_bytes())
+    }
+
+    fn pup_len(&mut self, live: usize) -> PupResult<usize> {
+        // Lengths shape the stream, so they are always checksummed even
+        // inside an ignored region's surroundings.
+        self.offset += 8;
+        self.sum.update(&(live as u64).to_le_bytes());
+        Ok(live)
+    }
+
+    sum_slice!(pup_u8_slice, u8);
+    sum_slice!(pup_u16_slice, u16);
+    sum_slice!(pup_u32_slice, u32);
+    sum_slice!(pup_u64_slice, u64);
+    sum_slice!(pup_i32_slice, i32);
+    sum_slice!(pup_i64_slice, i64);
+    sum_slice!(pup_f32_slice, f32);
+    sum_slice!(pup_f64_slice, f64);
+
+    fn push_policy(&mut self, policy: CheckPolicy) -> PupResult {
+        self.policies.push(policy);
+        Ok(())
+    }
+
+    fn pop_policy(&mut self) -> PupResult {
+        if self.policies.len() <= 1 {
+            return Err(crate::PupError::PolicyUnderflow);
+        }
+        self.policies.pop();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_length_sensitive() {
+        assert_eq!(fletcher64(b"hello world"), fletcher64(b"hello world"));
+        assert_ne!(fletcher64(b"hello world"), fletcher64(b"hello worle"));
+        assert_ne!(fletcher64(b""), fletcher64(b"\0"));
+        assert_ne!(fletcher64(b"\0"), fletcher64(b"\0\0"));
+    }
+
+    #[test]
+    fn position_dependent() {
+        // Swap two words: an additive checksum would not notice.
+        let a = [1u8, 0, 0, 0, 2, 0, 0, 0];
+        let b = [2u8, 0, 0, 0, 1, 0, 0, 0];
+        assert_ne!(fletcher64(&a), fletcher64(&b));
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|x| x.to_le_bytes()).collect();
+        let oneshot = fletcher64(&data);
+        for split in [1, 3, 7, 4096, 9999] {
+            let mut f = Fletcher64::new();
+            for chunk in data.chunks(split) {
+                f.update(chunk);
+            }
+            assert_eq!(f.digest(), oneshot, "split {split}");
+        }
+    }
+
+    #[test]
+    fn unaligned_tail_is_included() {
+        assert_ne!(fletcher64(&[1, 2, 3, 4, 5]), fletcher64(&[1, 2, 3, 4, 6]));
+        assert_ne!(fletcher64(&[1, 2, 3, 4, 5]), fletcher64(&[1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn deferred_reduction_matches_naive() {
+        // Cross several 4096-word reduction windows with high-bit words.
+        let data = vec![0xFFu8; 64 * 1024];
+        let fast = fletcher64(&data);
+        // naive word-at-a-time
+        let mut s1: u64 = 0;
+        let mut s2: u64 = 0;
+        for chunk in data.chunks_exact(4) {
+            let w = u32::from_le_bytes(chunk.try_into().unwrap()) as u64;
+            s1 = (s1 + w) % MOD;
+            s2 = (s2 + s1) % MOD;
+        }
+        let len = data.len() as u64;
+        s1 = (s1 + (len & MOD)) % MOD;
+        s2 = (s2 + s1) % MOD;
+        s1 = (s1 + (len >> 32)) % MOD;
+        s2 = (s2 + s1) % MOD;
+        assert_eq!(fast, (s2 << 32) | s1);
+    }
+
+    #[test]
+    fn puper_digest_matches_packed_digest_when_no_policies() {
+        use crate::packer::Packer;
+        use crate::puper::Pup;
+        struct S(Vec<f64>, u32);
+        impl Pup for S {
+            fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+                let n = p.pup_len(self.0.len())?;
+                self.0.resize(n, 0.0);
+                p.pup_f64_slice(&mut self.0)?;
+                p.pup_u32(&mut self.1)
+            }
+        }
+        let mut s = S(vec![3.14, -1.0, 0.0], 99);
+        let mut packer = Packer::new();
+        s.pup(&mut packer).unwrap();
+        let packed_digest = fletcher64(&packer.finish());
+
+        let mut fp = FletcherPuper::new();
+        s.pup(&mut fp).unwrap();
+        assert_eq!(fp.digest(), packed_digest);
+    }
+
+    #[test]
+    fn ignored_fields_do_not_affect_digest() {
+        let mut fp1 = FletcherPuper::new();
+        fp1.pup_u32(&mut { 1 }).unwrap();
+        fp1.push_policy(CheckPolicy::Ignore).unwrap();
+        fp1.pup_f64(&mut { 5.0 }).unwrap();
+        fp1.pop_policy().unwrap();
+
+        let mut fp2 = FletcherPuper::new();
+        fp2.pup_u32(&mut { 1 }).unwrap();
+        fp2.push_policy(CheckPolicy::Ignore).unwrap();
+        fp2.pup_f64(&mut { -123.0 }).unwrap();
+        fp2.pop_policy().unwrap();
+
+        assert_eq!(fp1.digest(), fp2.digest());
+        assert_eq!(fp1.bytes_skipped(), 8);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let mut data: Vec<u8> = (0..4096u32).flat_map(|x| x.to_le_bytes()).collect();
+        let clean = fletcher64(&data);
+        for bit in [0usize, 5_000, 130_000 - 1] {
+            data[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(fletcher64(&data), clean, "flip at bit {bit}");
+            data[bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+}

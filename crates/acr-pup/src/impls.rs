@@ -1,0 +1,335 @@
+//! [`Pup`] implementations for standard-library types, plus container
+//! helpers.
+
+use std::collections::BTreeMap;
+
+use crate::error::{PupError, PupResult};
+use crate::puper::{Dir, Pup, Puper};
+
+macro_rules! pup_primitive {
+    ($ty:ty, $method:ident) => {
+        impl Pup for $ty {
+            fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+                p.$method(self)
+            }
+        }
+    };
+}
+
+pup_primitive!(u8, pup_u8);
+pup_primitive!(u16, pup_u16);
+pup_primitive!(u32, pup_u32);
+pup_primitive!(u64, pup_u64);
+pup_primitive!(i8, pup_i8);
+pup_primitive!(i16, pup_i16);
+pup_primitive!(i32, pup_i32);
+pup_primitive!(i64, pup_i64);
+pup_primitive!(f32, pup_f32);
+pup_primitive!(f64, pup_f64);
+pup_primitive!(bool, pup_bool);
+pup_primitive!(usize, pup_usize);
+
+macro_rules! pup_vec_bulk {
+    ($ty:ty, $slice_method:ident) => {
+        impl Pup for Vec<$ty> {
+            fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+                let n = p.pup_len(self.len())?;
+                self.resize(n, Default::default());
+                p.$slice_method(self)
+            }
+        }
+    };
+}
+
+pup_vec_bulk!(u8, pup_u8_slice);
+pup_vec_bulk!(u16, pup_u16_slice);
+pup_vec_bulk!(u32, pup_u32_slice);
+pup_vec_bulk!(u64, pup_u64_slice);
+pup_vec_bulk!(i32, pup_i32_slice);
+pup_vec_bulk!(i64, pup_i64_slice);
+pup_vec_bulk!(f32, pup_f32_slice);
+pup_vec_bulk!(f64, pup_f64_slice);
+
+macro_rules! pup_array_bulk {
+    ($ty:ty, $slice_method:ident) => {
+        impl<const N: usize> Pup for [$ty; N] {
+            fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+                p.$slice_method(self)
+            }
+        }
+    };
+}
+
+pup_array_bulk!(u8, pup_u8_slice);
+pup_array_bulk!(u32, pup_u32_slice);
+pup_array_bulk!(u64, pup_u64_slice);
+pup_array_bulk!(i32, pup_i32_slice);
+pup_array_bulk!(i64, pup_i64_slice);
+pup_array_bulk!(f32, pup_f32_slice);
+pup_array_bulk!(f64, pup_f64_slice);
+
+impl Pup for String {
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        match p.dir() {
+            Dir::Unpacking => {
+                let at = p.offset();
+                let n = p.pup_len(0)?;
+                let mut bytes = vec![0u8; n];
+                p.pup_u8_slice(&mut bytes)?;
+                *self =
+                    String::from_utf8(bytes).map_err(|_| PupError::InvalidUtf8 { at })?;
+                Ok(())
+            }
+            _ => {
+                let n = p.pup_len(self.len())?;
+                debug_assert_eq!(n, self.len());
+                // SAFETY: the bytes are only read (every non-unpacking
+                // direction treats slices as read-only input), so UTF-8
+                // validity of `self` is preserved.
+                let bytes = unsafe { self.as_bytes_mut() };
+                p.pup_u8_slice(bytes)
+            }
+        }
+    }
+}
+
+impl<T: Pup + Default> Pup for Option<T> {
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        let mut tag: u8 = self.is_some() as u8;
+        p.pup_u8(&mut tag)?;
+        if p.dir() == Dir::Unpacking {
+            match tag {
+                0 => *self = None,
+                1 => {
+                    if self.is_none() {
+                        *self = Some(T::default());
+                    }
+                }
+                t => {
+                    return Err(PupError::InvalidTag {
+                        tag: t as u64,
+                        type_name: "Option",
+                    })
+                }
+            }
+        }
+        if let Some(v) = self {
+            v.pup(p)?;
+        }
+        Ok(())
+    }
+}
+
+macro_rules! pup_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Pup),+> Pup for ($($name,)+) {
+            fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+                $(self.$idx.pup(p)?;)+
+                Ok(())
+            }
+        }
+    };
+}
+
+pup_tuple!(A: 0);
+pup_tuple!(A: 0, B: 1);
+pup_tuple!(A: 0, B: 1, C: 2);
+pup_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Traverse a `Vec` of arbitrary `Pup` elements (the generic, non-bulk
+/// path — element types with their own `pup` structure).
+///
+/// `Vec<f64>` and friends have specialized bulk impls; use this helper for
+/// vectors of structs:
+///
+/// ```
+/// use acr_pup::{Pup, Puper, PupResult, pup_vec, pack, unpack};
+/// #[derive(Default, Clone, PartialEq, Debug)]
+/// struct P { x: f64 }
+/// impl Pup for P {
+///     fn pup(&mut self, p: &mut dyn Puper) -> PupResult { p.pup_f64(&mut self.x) }
+/// }
+/// struct W(Vec<P>);
+/// impl Pup for W {
+///     fn pup(&mut self, p: &mut dyn Puper) -> PupResult { pup_vec(p, &mut self.0) }
+/// }
+/// let mut w = W(vec![P { x: 1.0 }, P { x: 2.0 }]);
+/// let bytes = pack(&mut w).unwrap();
+/// let mut v = W(vec![]);
+/// unpack(&bytes, &mut v).unwrap();
+/// assert_eq!(v.0, w.0);
+/// ```
+pub fn pup_vec<T: Pup + Default>(p: &mut dyn Puper, v: &mut Vec<T>) -> PupResult {
+    let n = p.pup_len(v.len())?;
+    if p.dir() == Dir::Unpacking {
+        v.resize_with(n, T::default);
+    }
+    for item in v.iter_mut() {
+        item.pup(p)?;
+    }
+    Ok(())
+}
+
+/// Traverse a `BTreeMap` with `Pup` keys and values.
+///
+/// Entries travel in key order, so two buddy replicas with identical logical
+/// state produce identical checkpoint bytes — a requirement for
+/// checkpoint-comparison SDC detection (§2.1). This is why the framework
+/// offers `BTreeMap` and not `HashMap` (whose iteration order is
+/// randomized).
+pub fn pup_btree_map<K, V>(p: &mut dyn Puper, m: &mut BTreeMap<K, V>) -> PupResult
+where
+    K: Pup + Default + Ord + Clone,
+    V: Pup + Default,
+{
+    let n = p.pup_len(m.len())?;
+    if p.dir() == Dir::Unpacking {
+        let mut fresh = BTreeMap::new();
+        for _ in 0..n {
+            let mut k = K::default();
+            let mut v = V::default();
+            k.pup(p)?;
+            v.pup(p)?;
+            fresh.insert(k, v);
+        }
+        *m = fresh;
+        Ok(())
+    } else {
+        for (k, v) in m.iter_mut() {
+            // Keys are logically immutable inside a map; the traversal only
+            // reads them in non-unpacking directions.
+            let mut key = KeyShim(k);
+            key.pup_forward(p)?;
+            v.pup(p)?;
+        }
+        Ok(())
+    }
+}
+
+/// Read-only key adaptor: clones the key into a scratch value for traversal
+/// so the map's ordering invariant cannot be violated.
+struct KeyShim<'a, K>(&'a K);
+
+impl<K: Pup + Clone> KeyShim<'_, K> {
+    fn pup_forward(&mut self, p: &mut dyn Puper) -> PupResult {
+        let mut scratch = self.0.clone();
+        scratch.pup(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{pack, packed_size, unpack};
+
+    #[test]
+    fn vec_of_scalars_roundtrip() {
+        let mut v: Vec<f64> = vec![1.0, 2.0, 3.5];
+        let bytes = pack(&mut v).unwrap();
+        assert_eq!(bytes.len(), 8 + 24);
+        let mut w: Vec<f64> = vec![9.0; 10];
+        unpack(&bytes, &mut w).unwrap();
+        assert_eq!(w, v);
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut s = String::from("réplica ✓");
+        let bytes = pack(&mut s).unwrap();
+        let mut t = String::new();
+        unpack(&bytes, &mut t).unwrap();
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn corrupted_string_rejected() {
+        let mut s = String::from("ok");
+        let mut bytes = pack(&mut s).unwrap();
+        bytes[8] = 0xFF; // invalid UTF-8 lead byte
+        let mut t = String::new();
+        assert!(matches!(
+            unpack(&bytes, &mut t).unwrap_err(),
+            PupError::InvalidUtf8 { at: 0 }
+        ));
+    }
+
+    #[test]
+    fn option_roundtrip_both_variants() {
+        let mut some: Option<u32> = Some(7);
+        let bytes = pack(&mut some).unwrap();
+        let mut out: Option<u32> = None;
+        unpack(&bytes, &mut out).unwrap();
+        assert_eq!(out, Some(7));
+
+        let mut none: Option<u32> = None;
+        let bytes = pack(&mut none).unwrap();
+        let mut out: Option<u32> = Some(3);
+        unpack(&bytes, &mut out).unwrap();
+        assert_eq!(out, None);
+    }
+
+    #[test]
+    fn option_invalid_tag() {
+        let bytes = [7u8];
+        let mut out: Option<u32> = None;
+        assert!(matches!(
+            unpack(&bytes, &mut out).unwrap_err(),
+            PupError::InvalidTag { tag: 7, .. }
+        ));
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let mut t = (1u8, 2.5f64, true);
+        let bytes = pack(&mut t).unwrap();
+        assert_eq!(bytes.len(), 1 + 8 + 1);
+        let mut u = (0u8, 0.0f64, false);
+        unpack(&bytes, &mut u).unwrap();
+        assert_eq!(u, t);
+    }
+
+    #[test]
+    fn btree_map_roundtrip_is_ordered() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, 30.0f64);
+        m.insert(1u32, 10.0f64);
+        m.insert(2u32, 20.0f64);
+
+        struct W(BTreeMap<u32, f64>);
+        impl Pup for W {
+            fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+                pup_btree_map(p, &mut self.0)
+            }
+        }
+        let mut w = W(m.clone());
+        let bytes = pack(&mut w).unwrap();
+        // len + 3 * (4 + 8)
+        assert_eq!(bytes.len(), 8 + 3 * 12);
+        // first key in stream is the smallest
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+
+        let mut out = W(BTreeMap::new());
+        unpack(&bytes, &mut out).unwrap();
+        assert_eq!(out.0, m);
+    }
+
+    #[test]
+    fn sizer_matches_packer_for_containers() {
+        let mut v: Vec<u32> = (0..17).collect();
+        assert_eq!(packed_size(&mut v).unwrap(), pack(&mut v).unwrap().len());
+        let mut s = String::from("abcdef");
+        assert_eq!(packed_size(&mut s).unwrap(), pack(&mut s).unwrap().len());
+        let mut o: Option<f64> = Some(2.0);
+        assert_eq!(packed_size(&mut o).unwrap(), pack(&mut o).unwrap().len());
+    }
+
+    #[test]
+    fn fixed_array_roundtrip() {
+        let mut a = [1.0f32, 2.0, 3.0, 4.0];
+        let bytes = pack(&mut a).unwrap();
+        assert_eq!(bytes.len(), 16); // no length prefix for fixed arrays
+        let mut b = [0.0f32; 4];
+        unpack(&bytes, &mut b).unwrap();
+        assert_eq!(b, a);
+    }
+}

@@ -1,0 +1,173 @@
+//! [`Packer`]: serializes an object's state into a checkpoint buffer.
+
+use crate::error::PupResult;
+use crate::puper::{Dir, Puper};
+
+/// A [`Puper`] that appends the traversed state to a `Vec<u8>`, producing the
+/// *local checkpoint* of §2.1.
+///
+/// All scalars are emitted little-endian. Contiguous numeric slices take a
+/// bulk path: on little-endian targets this compiles to a single `memcpy`,
+/// which is the "single instruction required to copy the checkpoint data to a
+/// buffer" the paper's §4.2 cost analysis assumes.
+#[derive(Debug)]
+pub struct Packer {
+    buf: Vec<u8>,
+}
+
+impl Packer {
+    /// Create a packer with an empty buffer.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Create a packer whose buffer has `cap` bytes pre-reserved (pair with
+    /// [`crate::Sizer`] to avoid reallocation on the checkpoint path).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Create a packer that appends to an existing buffer (reuse across
+    /// checkpoints to avoid allocator churn).
+    pub fn into_buf(buf: Vec<u8>) -> Self {
+        Self { buf }
+    }
+
+    /// Finish packing and take the checkpoint bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    #[inline]
+    fn put(&mut self, bytes: &[u8]) -> PupResult {
+        self.buf.extend_from_slice(bytes);
+        Ok(())
+    }
+}
+
+impl Default for Packer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+macro_rules! pack_scalar {
+    ($name:ident, $ty:ty) => {
+        fn $name(&mut self, v: &mut $ty) -> PupResult {
+            self.put(&v.to_le_bytes())
+        }
+    };
+}
+
+macro_rules! pack_slice {
+    ($name:ident, $ty:ty) => {
+        fn $name(&mut self, v: &mut [$ty]) -> PupResult {
+            if cfg!(target_endian = "little") {
+                // SAFETY: numeric primitives have no padding or invalid bit
+                // patterns; reinterpreting their storage as bytes is sound.
+                let bytes = unsafe {
+                    std::slice::from_raw_parts(
+                        v.as_ptr() as *const u8,
+                        std::mem::size_of_val(v),
+                    )
+                };
+                self.put(bytes)
+            } else {
+                self.buf.reserve(std::mem::size_of_val(v));
+                for x in v {
+                    self.put(&x.to_le_bytes())?;
+                }
+                Ok(())
+            }
+        }
+    };
+}
+
+impl Puper for Packer {
+    fn dir(&self) -> Dir {
+        Dir::Packing
+    }
+
+    fn offset(&self) -> usize {
+        self.buf.len()
+    }
+
+    pack_scalar!(pup_u8, u8);
+    pack_scalar!(pup_u16, u16);
+    pack_scalar!(pup_u32, u32);
+    pack_scalar!(pup_u64, u64);
+    pack_scalar!(pup_i8, i8);
+    pack_scalar!(pup_i16, i16);
+    pack_scalar!(pup_i32, i32);
+    pack_scalar!(pup_i64, i64);
+    pack_scalar!(pup_f32, f32);
+    pack_scalar!(pup_f64, f64);
+
+    fn pup_bool(&mut self, v: &mut bool) -> PupResult {
+        self.put(&[*v as u8])
+    }
+
+    fn pup_usize(&mut self, v: &mut usize) -> PupResult {
+        self.put(&(*v as u64).to_le_bytes())
+    }
+
+    fn pup_len(&mut self, live: usize) -> PupResult<usize> {
+        self.put(&(live as u64).to_le_bytes())?;
+        Ok(live)
+    }
+
+    pack_slice!(pup_u8_slice, u8);
+    pack_slice!(pup_u16_slice, u16);
+    pack_slice!(pup_u32_slice, u32);
+    pack_slice!(pup_u64_slice, u64);
+    pack_slice!(pup_i32_slice, i32);
+    pack_slice!(pup_i64_slice, i64);
+    pack_slice!(pup_f32_slice, f32);
+    pack_slice!(pup_f64_slice, f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_are_little_endian() {
+        let mut p = Packer::new();
+        p.pup_u32(&mut { 0x0102_0304 }).unwrap();
+        p.pup_bool(&mut { true }).unwrap();
+        p.pup_usize(&mut { 7usize }).unwrap();
+        let b = p.finish();
+        assert_eq!(&b[..4], &[0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(b[4], 1);
+        assert_eq!(&b[5..13], &7u64.to_le_bytes());
+    }
+
+    #[test]
+    fn slice_bulk_path_matches_scalar_path() {
+        let mut vals = [1.5f64, -2.25, 1e300];
+        let mut bulk = Packer::new();
+        bulk.pup_f64_slice(&mut vals).unwrap();
+        let mut scalar = Packer::new();
+        for v in &mut vals {
+            scalar.pup_f64(v).unwrap();
+        }
+        assert_eq!(bulk.finish(), scalar.finish());
+    }
+
+    #[test]
+    fn with_capacity_does_not_reallocate() {
+        let mut p = Packer::with_capacity(24);
+        let cap_ptr = p.buf.as_ptr();
+        let mut data = [0u8; 24];
+        p.pup_u8_slice(&mut data).unwrap();
+        assert_eq!(p.buf.as_ptr(), cap_ptr);
+        assert_eq!(p.finish().len(), 24);
+    }
+
+    #[test]
+    fn into_buf_appends() {
+        let mut p = Packer::into_buf(vec![0xAA]);
+        p.pup_u8(&mut { 0xBB }).unwrap();
+        assert_eq!(p.finish(), vec![0xAA, 0xBB]);
+    }
+}

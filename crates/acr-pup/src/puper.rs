@@ -1,0 +1,230 @@
+//! The [`Pup`] and [`Puper`] traits: one state description, five traversal
+//! directions.
+
+use crate::error::PupResult;
+
+/// The direction a [`Puper`] traverses an object in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Measuring packed size ([`crate::Sizer`]).
+    Sizing,
+    /// Serializing into a checkpoint buffer ([`crate::Packer`]).
+    Packing,
+    /// Restoring from a checkpoint buffer ([`crate::Unpacker`]).
+    Unpacking,
+    /// Comparing live state against a buddy checkpoint ([`crate::Checker`]).
+    Checking,
+    /// Streaming through a Fletcher checksum ([`crate::FletcherPuper`]).
+    Summing,
+}
+
+/// How the [`crate::Checker`] compares the fields traversed while the policy
+/// is in force (§4.1: "PUPer::checker also enables a user to customize the
+/// comparison function based on their application knowledge").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckPolicy {
+    /// Fields must match bit-for-bit. The default.
+    Bitwise,
+    /// Floating-point fields may differ by the given *relative* error
+    /// (|a-b| <= eps * max(|a|,|b|)); integer fields still compare bitwise.
+    /// Use for state affected by non-deterministic round-off.
+    Relative(f64),
+    /// Fields are skipped entirely: they may legitimately differ between
+    /// replicas and are not critical to the result (e.g. timers, RNG state).
+    /// Ignored regions are also excluded from Fletcher checksums so that the
+    /// checksum-based detector honours the same policy.
+    Ignore,
+}
+
+impl CheckPolicy {
+    /// Whether two f64 values are acceptable under this policy.
+    pub fn f64_ok(&self, live: f64, reference: f64) -> bool {
+        match *self {
+            CheckPolicy::Ignore => true,
+            CheckPolicy::Bitwise => live.to_bits() == reference.to_bits(),
+            CheckPolicy::Relative(eps) => {
+                if live.to_bits() == reference.to_bits() {
+                    return true;
+                }
+                if live.is_nan() || reference.is_nan() {
+                    return live.is_nan() && reference.is_nan();
+                }
+                if live.is_infinite() || reference.is_infinite() {
+                    return live == reference;
+                }
+                let scale = live.abs().max(reference.abs());
+                (live - reference).abs() <= eps * scale
+            }
+        }
+    }
+
+    /// Whether two f32 values are acceptable under this policy.
+    pub fn f32_ok(&self, live: f32, reference: f32) -> bool {
+        match *self {
+            CheckPolicy::Ignore => true,
+            CheckPolicy::Bitwise => live.to_bits() == reference.to_bits(),
+            CheckPolicy::Relative(_) => self.f64_ok(live as f64, reference as f64),
+        }
+    }
+}
+
+/// Types whose checkpoint-relevant state can be traversed by a [`Puper`].
+///
+/// This is the only trait application code implements; it corresponds to the
+/// "simple functions that enable ACR to identify the necessary data to
+/// checkpoint" required of programmers in §2.1.
+pub trait Pup {
+    /// Traverse this object's state with `p`. Must visit the same fields in
+    /// the same order regardless of direction.
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult;
+}
+
+macro_rules! scalar_method {
+    ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+        $(#[$doc])*
+        fn $name(&mut self, v: &mut $ty) -> PupResult;
+    };
+}
+
+macro_rules! slice_method {
+    ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+        $(#[$doc])*
+        fn $name(&mut self, v: &mut [$ty]) -> PupResult;
+    };
+}
+
+/// A traversal visitor. Each direction ([`Dir`]) is one implementation.
+///
+/// All multi-byte scalars travel in little-endian byte order, so checkpoints
+/// are comparable across nodes of a homogeneous machine (the setting of the
+/// paper; ACR pairs buddy nodes of identical architecture).
+pub trait Puper {
+    /// Which direction this puper traverses in.
+    fn dir(&self) -> Dir;
+
+    /// Total number of stream bytes processed so far (useful for overhead
+    /// accounting and error offsets).
+    fn offset(&self) -> usize;
+
+    scalar_method!(
+        /// Visit a `u8` field.
+        pup_u8, u8);
+    scalar_method!(
+        /// Visit a `u16` field.
+        pup_u16, u16);
+    scalar_method!(
+        /// Visit a `u32` field.
+        pup_u32, u32);
+    scalar_method!(
+        /// Visit a `u64` field.
+        pup_u64, u64);
+    scalar_method!(
+        /// Visit an `i8` field.
+        pup_i8, i8);
+    scalar_method!(
+        /// Visit an `i16` field.
+        pup_i16, i16);
+    scalar_method!(
+        /// Visit an `i32` field.
+        pup_i32, i32);
+    scalar_method!(
+        /// Visit an `i64` field.
+        pup_i64, i64);
+    scalar_method!(
+        /// Visit an `f32` field (subject to [`CheckPolicy`] when checking).
+        pup_f32, f32);
+    scalar_method!(
+        /// Visit an `f64` field (subject to [`CheckPolicy`] when checking).
+        pup_f64, f64);
+
+    /// Visit a `bool` field (encoded as one byte, 0 or 1).
+    fn pup_bool(&mut self, v: &mut bool) -> PupResult;
+
+    /// Visit a `usize` field (encoded as `u64` for portability).
+    fn pup_usize(&mut self, v: &mut usize) -> PupResult;
+
+    /// Visit a collection length. `live` is the current length of the live
+    /// container; the returned value is the length the container should have
+    /// after this call (differs from `live` only when unpacking).
+    fn pup_len(&mut self, live: usize) -> PupResult<usize>;
+
+    slice_method!(
+        /// Bulk-visit a `u8` slice (the contiguous fast path).
+        pup_u8_slice, u8);
+    slice_method!(
+        /// Bulk-visit a `u16` slice.
+        pup_u16_slice, u16);
+    slice_method!(
+        /// Bulk-visit a `u32` slice.
+        pup_u32_slice, u32);
+    slice_method!(
+        /// Bulk-visit a `u64` slice.
+        pup_u64_slice, u64);
+    slice_method!(
+        /// Bulk-visit an `i32` slice.
+        pup_i32_slice, i32);
+    slice_method!(
+        /// Bulk-visit an `i64` slice.
+        pup_i64_slice, i64);
+    slice_method!(
+        /// Bulk-visit an `f32` slice (subject to [`CheckPolicy`]).
+        pup_f32_slice, f32);
+    slice_method!(
+        /// Bulk-visit an `f64` slice (subject to [`CheckPolicy`]).
+        pup_f64_slice, f64);
+
+    /// Push a comparison policy for subsequently visited fields. No-op for
+    /// every direction except checking and summing (see [`CheckPolicy`]).
+    fn push_policy(&mut self, _policy: CheckPolicy) -> PupResult {
+        Ok(())
+    }
+
+    /// Pop the most recently pushed policy.
+    fn pop_policy(&mut self) -> PupResult {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitwise_policy_is_exact() {
+        let p = CheckPolicy::Bitwise;
+        assert!(p.f64_ok(1.0, 1.0));
+        assert!(!p.f64_ok(1.0, 1.0 + f64::EPSILON));
+        // Bitwise distinguishes signed zeros and equal NaN payloads match.
+        assert!(!p.f64_ok(0.0, -0.0));
+        assert!(p.f64_ok(f64::NAN, f64::NAN));
+    }
+
+    #[test]
+    fn relative_policy_tolerates_roundoff() {
+        let p = CheckPolicy::Relative(1e-12);
+        assert!(p.f64_ok(1.0, 1.0 + 1e-13));
+        assert!(!p.f64_ok(1.0, 1.0 + 1e-9));
+        // zero vs zero of either sign is fine
+        assert!(p.f64_ok(0.0, -0.0));
+        // NaN only matches NaN
+        assert!(p.f64_ok(f64::NAN, f64::NAN));
+        assert!(!p.f64_ok(f64::NAN, 1.0));
+        // infinities match themselves exactly
+        assert!(p.f64_ok(f64::INFINITY, f64::INFINITY));
+        assert!(!p.f64_ok(f64::INFINITY, f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn ignore_policy_accepts_anything() {
+        let p = CheckPolicy::Ignore;
+        assert!(p.f64_ok(1.0, -55.0));
+        assert!(p.f32_ok(f32::NAN, 3.0));
+    }
+
+    #[test]
+    fn f32_relative_routes_through_f64() {
+        let p = CheckPolicy::Relative(1e-6);
+        assert!(p.f32_ok(1.0, 1.0 + 1e-7));
+        assert!(!p.f32_ok(1.0, 1.01));
+    }
+}

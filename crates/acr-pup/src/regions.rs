@@ -1,0 +1,217 @@
+//! [`RegionMapper`]: records where floating-point *user data* lives inside
+//! an object's packed representation.
+//!
+//! The paper's fault injector flips "a randomly selected bit in the user
+//! data that will be checkpointed" (§6.1) — the computational arrays, not
+//! the runtime's counters (corrupting a loop index crashes or hangs rather
+//! than staying *silent*). The region map identifies exactly those spans so
+//! an injector can corrupt a bit that the application will silently carry.
+
+use crate::error::PupResult;
+use crate::puper::{Dir, Puper};
+
+/// A [`Puper`] that walks an object like a [`crate::Sizer`] but records the
+/// byte spans occupied by `f32`/`f64` scalars and slices.
+#[derive(Debug, Default)]
+pub struct RegionMapper {
+    offset: usize,
+    regions: Vec<(usize, usize)>,
+}
+
+impl RegionMapper {
+    /// A fresh mapper.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded `(offset, len)` spans of floating-point data.
+    pub fn regions(&self) -> &[(usize, usize)] {
+        &self.regions
+    }
+
+    /// Total bytes of floating-point user data.
+    pub fn float_bytes(&self) -> usize {
+        self.regions.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Map the `n`-th floating-point byte (0-based, counted across all
+    /// regions) to its absolute offset in the packed stream.
+    pub fn nth_float_byte(&self, mut n: usize) -> Option<usize> {
+        for &(off, len) in &self.regions {
+            if n < len {
+                return Some(off + n);
+            }
+            n -= len;
+        }
+        None
+    }
+
+    fn skip(&mut self, n: usize) -> PupResult {
+        self.offset += n;
+        Ok(())
+    }
+
+    fn float(&mut self, n: usize) -> PupResult {
+        // Merge adjacent float regions.
+        if let Some(last) = self.regions.last_mut() {
+            if last.0 + last.1 == self.offset {
+                last.1 += n;
+                self.offset += n;
+                return Ok(());
+            }
+        }
+        self.regions.push((self.offset, n));
+        self.offset += n;
+        Ok(())
+    }
+}
+
+macro_rules! map_skip {
+    ($name:ident, $ty:ty) => {
+        fn $name(&mut self, _v: &mut $ty) -> PupResult {
+            self.skip(std::mem::size_of::<$ty>())
+        }
+    };
+}
+
+macro_rules! map_skip_slice {
+    ($name:ident, $ty:ty) => {
+        fn $name(&mut self, v: &mut [$ty]) -> PupResult {
+            self.skip(std::mem::size_of::<$ty>() * v.len())
+        }
+    };
+}
+
+impl Puper for RegionMapper {
+    fn dir(&self) -> Dir {
+        Dir::Sizing
+    }
+
+    fn offset(&self) -> usize {
+        self.offset
+    }
+
+    map_skip!(pup_u8, u8);
+    map_skip!(pup_u16, u16);
+    map_skip!(pup_u32, u32);
+    map_skip!(pup_u64, u64);
+    map_skip!(pup_i8, i8);
+    map_skip!(pup_i16, i16);
+    map_skip!(pup_i32, i32);
+    map_skip!(pup_i64, i64);
+
+    fn pup_f32(&mut self, _v: &mut f32) -> PupResult {
+        self.float(4)
+    }
+
+    fn pup_f64(&mut self, _v: &mut f64) -> PupResult {
+        self.float(8)
+    }
+
+    fn pup_bool(&mut self, _v: &mut bool) -> PupResult {
+        self.skip(1)
+    }
+
+    fn pup_usize(&mut self, _v: &mut usize) -> PupResult {
+        self.skip(8)
+    }
+
+    fn pup_len(&mut self, live: usize) -> PupResult<usize> {
+        self.skip(8)?;
+        Ok(live)
+    }
+
+    map_skip_slice!(pup_u8_slice, u8);
+    map_skip_slice!(pup_u16_slice, u16);
+    map_skip_slice!(pup_u32_slice, u32);
+    map_skip_slice!(pup_u64_slice, u64);
+    map_skip_slice!(pup_i32_slice, i32);
+    map_skip_slice!(pup_i64_slice, i64);
+
+    fn pup_f32_slice(&mut self, v: &mut [f32]) -> PupResult {
+        self.float(4 * v.len())
+    }
+
+    fn pup_f64_slice(&mut self, v: &mut [f64]) -> PupResult {
+        self.float(8 * v.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::puper::Pup;
+
+    struct S {
+        header: u64,
+        grid: Vec<f64>,
+        count: u32,
+        extra: f32,
+    }
+
+    impl Pup for S {
+        fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+            p.pup_u64(&mut self.header)?;
+            self.grid.pup(p)?;
+            p.pup_u32(&mut self.count)?;
+            p.pup_f32(&mut self.extra)
+        }
+    }
+
+    #[test]
+    fn maps_float_regions_and_skips_counters() {
+        let mut s = S { header: 1, grid: vec![0.0; 4], count: 2, extra: 1.5 };
+        let mut m = RegionMapper::new();
+        s.pup(&mut m).unwrap();
+        // layout: u64(8) + len(8) + 4*f64(32) + u32(4) + f32(4)
+        assert_eq!(m.offset(), 8 + 8 + 32 + 4 + 4);
+        assert_eq!(m.regions(), &[(16, 32), (52, 4)]);
+        assert_eq!(m.float_bytes(), 36);
+    }
+
+    #[test]
+    fn nth_float_byte_spans_regions() {
+        let mut s = S { header: 1, grid: vec![0.0; 2], count: 2, extra: 1.5 };
+        let mut m = RegionMapper::new();
+        s.pup(&mut m).unwrap();
+        // regions: (16, 16) and (36, 4)
+        assert_eq!(m.nth_float_byte(0), Some(16));
+        assert_eq!(m.nth_float_byte(15), Some(31));
+        assert_eq!(m.nth_float_byte(16), Some(36));
+        assert_eq!(m.nth_float_byte(19), Some(39));
+        assert_eq!(m.nth_float_byte(20), None);
+    }
+
+    #[test]
+    fn adjacent_float_fields_merge() {
+        struct Two(f64, f64, u8, f64);
+        impl Pup for Two {
+            fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+                p.pup_f64(&mut self.0)?;
+                p.pup_f64(&mut self.1)?;
+                p.pup_u8(&mut self.2)?;
+                p.pup_f64(&mut self.3)
+            }
+        }
+        let mut t = Two(1.0, 2.0, 3, 4.0);
+        let mut m = RegionMapper::new();
+        t.pup(&mut m).unwrap();
+        assert_eq!(m.regions(), &[(0, 16), (17, 8)]);
+    }
+
+    #[test]
+    fn no_floats_no_regions() {
+        struct Ints(u64, Vec<u32>);
+        impl Pup for Ints {
+            fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+                p.pup_u64(&mut self.0)?;
+                self.1.pup(p)
+            }
+        }
+        let mut i = Ints(7, vec![1, 2]);
+        let mut m = RegionMapper::new();
+        i.pup(&mut m).unwrap();
+        assert_eq!(m.float_bytes(), 0);
+        assert_eq!(m.nth_float_byte(0), None);
+    }
+}

@@ -1,0 +1,133 @@
+//! [`Sizer`]: measures the packed size of an object without writing bytes.
+
+use crate::error::PupResult;
+use crate::puper::{Dir, Puper};
+
+/// A [`Puper`] that counts how many bytes [`crate::Packer`] would produce.
+///
+/// The ACR runtime sizes every task's state before a checkpoint so the
+/// per-node checkpoint buffer can be allocated in one shot (heap churn on the
+/// checkpoint path directly inflates the paper's δ).
+#[derive(Debug, Default, Clone)]
+pub struct Sizer {
+    bytes: usize,
+}
+
+impl Sizer {
+    /// Create a sizer with a zero count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of bytes counted so far.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    fn add(&mut self, n: usize) -> PupResult {
+        self.bytes += n;
+        Ok(())
+    }
+}
+
+macro_rules! size_scalar {
+    ($name:ident, $ty:ty) => {
+        fn $name(&mut self, _v: &mut $ty) -> PupResult {
+            self.add(std::mem::size_of::<$ty>())
+        }
+    };
+}
+
+macro_rules! size_slice {
+    ($name:ident, $ty:ty) => {
+        fn $name(&mut self, v: &mut [$ty]) -> PupResult {
+            self.add(std::mem::size_of::<$ty>() * v.len())
+        }
+    };
+}
+
+impl Puper for Sizer {
+    fn dir(&self) -> Dir {
+        Dir::Sizing
+    }
+
+    fn offset(&self) -> usize {
+        self.bytes
+    }
+
+    size_scalar!(pup_u8, u8);
+    size_scalar!(pup_u16, u16);
+    size_scalar!(pup_u32, u32);
+    size_scalar!(pup_u64, u64);
+    size_scalar!(pup_i8, i8);
+    size_scalar!(pup_i16, i16);
+    size_scalar!(pup_i32, i32);
+    size_scalar!(pup_i64, i64);
+    size_scalar!(pup_f32, f32);
+    size_scalar!(pup_f64, f64);
+
+    fn pup_bool(&mut self, _v: &mut bool) -> PupResult {
+        self.add(1)
+    }
+
+    fn pup_usize(&mut self, _v: &mut usize) -> PupResult {
+        self.add(8)
+    }
+
+    fn pup_len(&mut self, live: usize) -> PupResult<usize> {
+        self.add(8)?;
+        Ok(live)
+    }
+
+    size_slice!(pup_u8_slice, u8);
+    size_slice!(pup_u16_slice, u16);
+    size_slice!(pup_u32_slice, u32);
+    size_slice!(pup_u64_slice, u64);
+    size_slice!(pup_i32_slice, i32);
+    size_slice!(pup_i64_slice, i64);
+    size_slice!(pup_f32_slice, f32);
+    size_slice!(pup_f64_slice, f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::puper::Pup;
+
+    struct Mixed {
+        a: u8,
+        b: f64,
+        c: Vec<u32>,
+        d: bool,
+    }
+
+    impl Pup for Mixed {
+        fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+            p.pup_u8(&mut self.a)?;
+            p.pup_f64(&mut self.b)?;
+            let n = p.pup_len(self.c.len())?;
+            self.c.resize(n, 0);
+            p.pup_u32_slice(&mut self.c)?;
+            p.pup_bool(&mut self.d)
+        }
+    }
+
+    #[test]
+    fn sizes_add_up() {
+        let mut m = Mixed { a: 1, b: 2.0, c: vec![1, 2, 3], d: true };
+        let mut s = Sizer::new();
+        m.pup(&mut s).unwrap();
+        // 1 (u8) + 8 (f64) + 8 (len) + 3*4 (u32s) + 1 (bool)
+        assert_eq!(s.bytes(), 1 + 8 + 8 + 12 + 1);
+        assert_eq!(s.offset(), s.bytes());
+        assert_eq!(s.dir(), Dir::Sizing);
+    }
+
+    #[test]
+    fn empty_slice_contributes_only_length() {
+        let mut m = Mixed { a: 0, b: 0.0, c: vec![], d: false };
+        let mut s = Sizer::new();
+        m.pup(&mut s).unwrap();
+        assert_eq!(s.bytes(), 1 + 8 + 8 + 1);
+    }
+}

@@ -1,0 +1,223 @@
+//! [`Unpacker`]: restores an object's state from a checkpoint buffer.
+
+use crate::error::{PupError, PupResult};
+use crate::puper::{Dir, Puper};
+
+/// A [`Puper`] that reads the traversed state back from checkpoint bytes —
+/// the restart path of §2.1 (both local rollback and spare-node restart from
+/// the buddy's checkpoint go through this).
+#[derive(Debug)]
+pub struct Unpacker<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Unpacker<'a> {
+    /// Create an unpacker over a checkpoint buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless the whole buffer was consumed. Called by
+    /// [`crate::unpack`] so that a truncated `pup` implementation (one that
+    /// forgets a field on the restore path) is caught instead of silently
+    /// producing skewed state.
+    pub fn finish(self) -> PupResult {
+        if self.remaining() != 0 {
+            return Err(PupError::TrailingBytes { leftover: self.remaining() });
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn take(&mut self, n: usize) -> PupResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(PupError::BufferUnderrun {
+                needed: n,
+                remaining: self.remaining(),
+                at: self.pos,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+macro_rules! unpack_scalar {
+    ($name:ident, $ty:ty) => {
+        fn $name(&mut self, v: &mut $ty) -> PupResult {
+            let bytes = self.take(std::mem::size_of::<$ty>())?;
+            *v = <$ty>::from_le_bytes(bytes.try_into().expect("take() sized the slice"));
+            Ok(())
+        }
+    };
+}
+
+macro_rules! unpack_slice {
+    ($name:ident, $ty:ty) => {
+        fn $name(&mut self, v: &mut [$ty]) -> PupResult {
+            const W: usize = std::mem::size_of::<$ty>();
+            let bytes = self.take(W * v.len())?;
+            if cfg!(target_endian = "little") {
+                // SAFETY: `v` is valid for `size_of_val(v)` bytes and numeric
+                // primitives accept any bit pattern. Source and destination
+                // cannot overlap (`bytes` borrows the checkpoint, `v` the
+                // live object).
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        bytes.as_ptr(),
+                        v.as_mut_ptr() as *mut u8,
+                        bytes.len(),
+                    );
+                }
+            } else {
+                for (x, chunk) in v.iter_mut().zip(bytes.chunks_exact(W)) {
+                    *x = <$ty>::from_le_bytes(chunk.try_into().expect("chunks_exact"));
+                }
+            }
+            Ok(())
+        }
+    };
+}
+
+impl Puper for Unpacker<'_> {
+    fn dir(&self) -> Dir {
+        Dir::Unpacking
+    }
+
+    fn offset(&self) -> usize {
+        self.pos
+    }
+
+    unpack_scalar!(pup_u8, u8);
+    unpack_scalar!(pup_u16, u16);
+    unpack_scalar!(pup_u32, u32);
+    unpack_scalar!(pup_u64, u64);
+    unpack_scalar!(pup_i8, i8);
+    unpack_scalar!(pup_i16, i16);
+    unpack_scalar!(pup_i32, i32);
+    unpack_scalar!(pup_i64, i64);
+    unpack_scalar!(pup_f32, f32);
+    unpack_scalar!(pup_f64, f64);
+
+    fn pup_bool(&mut self, v: &mut bool) -> PupResult {
+        let b = self.take(1)?[0];
+        *v = b != 0;
+        Ok(())
+    }
+
+    fn pup_usize(&mut self, v: &mut usize) -> PupResult {
+        let mut x = 0u64;
+        self.pup_u64(&mut x)?;
+        if x > isize::MAX as u64 {
+            return Err(PupError::LengthOverflow { len: x });
+        }
+        *v = x as usize;
+        Ok(())
+    }
+
+    fn pup_len(&mut self, _live: usize) -> PupResult<usize> {
+        let mut n = 0u64;
+        self.pup_u64(&mut n)?;
+        if n > isize::MAX as u64 {
+            return Err(PupError::LengthOverflow { len: n });
+        }
+        // A corrupted or truncated stream cannot claim more elements than it
+        // has bytes left (every element costs at least one byte).
+        if n as usize > self.remaining() {
+            return Err(PupError::BufferUnderrun {
+                needed: n as usize,
+                remaining: self.remaining(),
+                at: self.pos,
+            });
+        }
+        Ok(n as usize)
+    }
+
+    unpack_slice!(pup_u8_slice, u8);
+    unpack_slice!(pup_u16_slice, u16);
+    unpack_slice!(pup_u32_slice, u32);
+    unpack_slice!(pup_u64_slice, u64);
+    unpack_slice!(pup_i32_slice, i32);
+    unpack_slice!(pup_i64_slice, i64);
+    unpack_slice!(pup_f32_slice, f32);
+    unpack_slice!(pup_f64_slice, f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packer::Packer;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut p = Packer::new();
+        p.pup_i64(&mut -9).unwrap();
+        p.pup_f32(&mut 2.5).unwrap();
+        p.pup_bool(&mut false).unwrap();
+        let buf = p.finish();
+
+        let mut u = Unpacker::new(&buf);
+        let (mut a, mut b, mut c) = (0i64, 0f32, true);
+        u.pup_i64(&mut a).unwrap();
+        u.pup_f32(&mut b).unwrap();
+        u.pup_bool(&mut c).unwrap();
+        u.finish().unwrap();
+        assert_eq!((a, b, c), (-9, 2.5, false));
+    }
+
+    #[test]
+    fn underrun_is_reported_with_offset() {
+        let buf = [1u8, 2, 3];
+        let mut u = Unpacker::new(&buf);
+        let mut x = 0u16;
+        u.pup_u16(&mut x).unwrap();
+        let err = u.pup_u32(&mut { 0 }).unwrap_err();
+        assert_eq!(err, PupError::BufferUnderrun { needed: 4, remaining: 1, at: 2 });
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let buf = [0u8; 9];
+        let mut u = Unpacker::new(&buf);
+        u.pup_u64(&mut { 0 }).unwrap();
+        assert_eq!(u.finish().unwrap_err(), PupError::TrailingBytes { leftover: 1 });
+    }
+
+    #[test]
+    fn absurd_length_rejected() {
+        let mut p = Packer::new();
+        p.pup_u64(&mut { u64::MAX }).unwrap();
+        let buf = p.finish();
+        let mut u = Unpacker::new(&buf);
+        assert!(matches!(u.pup_len(0).unwrap_err(), PupError::LengthOverflow { .. }));
+    }
+
+    #[test]
+    fn claimed_length_beyond_remaining_rejected() {
+        let mut p = Packer::new();
+        p.pup_len(1000).unwrap(); // length without payload
+        let buf = p.finish();
+        let mut u = Unpacker::new(&buf);
+        assert!(matches!(u.pup_len(0).unwrap_err(), PupError::BufferUnderrun { .. }));
+    }
+
+    #[test]
+    fn bulk_slice_roundtrip() {
+        let mut src = [0x01020304u32, 0xA0B0C0D0, 7];
+        let mut p = Packer::new();
+        p.pup_u32_slice(&mut src).unwrap();
+        let buf = p.finish();
+        let mut dst = [0u32; 3];
+        let mut u = Unpacker::new(&buf);
+        u.pup_u32_slice(&mut dst).unwrap();
+        u.finish().unwrap();
+        assert_eq!(src, dst);
+    }
+}

@@ -1,0 +1,644 @@
+//! The job driver: launches the node threads, triggers checkpoint rounds,
+//! reacts to failure reports, and executes the recovery schemes.
+//!
+//! In the paper's Charm++ implementation these responsibilities live in the
+//! distributed runtime; here the *mechanisms* (consensus, buddy exchange,
+//! comparison, heartbeat detection, state transfer) are fully distributed
+//! across the node threads, while the *policy* reactions (when to open a
+//! round, which recovery plan to execute) are centralized in this driver —
+//! an engineering simplification that leaves every protocol code path
+//! exercised for real.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acr_core::{DetectionMethod, RecoveryPlanner, ReplicaLayout, Scheme};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+use crate::message::{Ctrl, Event, Net, NodeIndex, Scope};
+use crate::node::{NodeConfig, NodeWorker, TaskFactory};
+use crate::task::Task;
+
+/// Configuration of a replicated job.
+#[derive(Debug, Clone)]
+pub struct JobConfig {
+    /// Ranks per replica.
+    pub ranks: usize,
+    /// Tasks per rank.
+    pub tasks_per_rank: usize,
+    /// Spare nodes reserved for crash recovery (§2.1).
+    pub spares: usize,
+    /// Recovery scheme (§2.3).
+    pub scheme: Scheme,
+    /// SDC detection method (§4.2).
+    pub detection: DetectionMethod,
+    /// Periodic checkpoint interval.
+    pub checkpoint_interval: Duration,
+    /// Buddy heartbeat period.
+    pub heartbeat_period: Duration,
+    /// Silence after which a buddy is declared dead (§6.1).
+    pub heartbeat_timeout: Duration,
+    /// Wall-clock safety limit; exceeding it fails the job.
+    pub max_duration: Duration,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        Self {
+            ranks: 4,
+            tasks_per_rank: 1,
+            spares: 2,
+            scheme: Scheme::Strong,
+            detection: DetectionMethod::FullCompare,
+            checkpoint_interval: Duration::from_millis(150),
+            heartbeat_period: Duration::from_millis(10),
+            heartbeat_timeout: Duration::from_millis(80),
+            max_duration: Duration::from_secs(60),
+        }
+    }
+}
+
+/// A fault to inject while the job runs (§6.1 methodology).
+#[derive(Debug, Clone, Copy)]
+pub enum Fault {
+    /// Fail-stop: the node hosting `(replica, rank)` stops responding.
+    Crash {
+        /// Victim replica.
+        replica: u8,
+        /// Victim rank.
+        rank: usize,
+    },
+    /// Flip one random bit of PUP-visible state on `(replica, rank)`.
+    Sdc {
+        /// Victim replica.
+        replica: u8,
+        /// Victim rank.
+        rank: usize,
+        /// Injection seed.
+        seed: u64,
+    },
+}
+
+/// Outcome of a job run.
+#[derive(Debug, Default)]
+pub struct JobReport {
+    /// Coordinated checkpoints that passed buddy comparison.
+    pub checkpoints_verified: usize,
+    /// Checkpoint rounds whose comparison found silent data corruption.
+    pub sdc_rounds_detected: usize,
+    /// Rollbacks of both replicas (SDC response).
+    pub rollbacks: usize,
+    /// Hard errors recovered via spare promotion.
+    pub hard_errors_recovered: usize,
+    /// Recovery checkpoints installed without comparison (medium/weak).
+    pub unverified_recoveries: usize,
+    /// Restarts from the very beginning (crash before the first verified
+    /// checkpoint).
+    pub restarts_from_beginning: usize,
+    /// The job ran to completion (vs. timed out or ran out of spares).
+    pub completed: bool,
+    /// Failure description when `completed` is false.
+    pub error: Option<String>,
+    /// Final packed task states per `(replica, rank)`.
+    pub final_states: BTreeMap<(u8, usize), Vec<Bytes>>,
+}
+
+impl JobReport {
+    /// Whether the two replicas finished with bit-identical application
+    /// state — the ground-truth check that no SDC survived.
+    pub fn replicas_agree(&self) -> bool {
+        let ranks: HashSet<usize> =
+            self.final_states.keys().map(|&(_, rank)| rank).collect();
+        ranks.iter().all(|&rank| {
+            match (self.final_states.get(&(0, rank)), self.final_states.get(&(1, rank))) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            }
+        })
+    }
+
+    /// Final state of one task, if present.
+    pub fn task_state(&self, replica: u8, rank: usize, task: usize) -> Option<&Bytes> {
+        self.final_states.get(&(replica, rank))?.get(task)
+    }
+}
+
+#[derive(Debug)]
+enum Phase {
+    Running,
+    GlobalRound { round: u64, pending: HashSet<NodeIndex>, sdc: bool, iteration: u64 },
+    AwaitRollback { pending: HashSet<NodeIndex> },
+    Recovery(Recovery),
+}
+
+#[derive(Debug)]
+struct Recovery {
+    expect_installed: HashSet<NodeIndex>,
+    expect_rolled: HashSet<NodeIndex>,
+    expect_ckpt: HashSet<NodeIndex>,
+    ship_round: Option<u64>,
+    to_resume: Vec<NodeIndex>,
+    counts_as_unverified: bool,
+}
+
+impl Recovery {
+    fn finished(&self) -> bool {
+        self.expect_installed.is_empty()
+            && self.expect_rolled.is_empty()
+            && self.expect_ckpt.is_empty()
+    }
+}
+
+/// A replicated job. Construct with [`Job::run`].
+pub struct Job;
+
+struct Driver {
+    cfg: JobConfig,
+    layout: Arc<RwLock<ReplicaLayout>>,
+    peers: Arc<Vec<Sender<Net>>>,
+    events: Receiver<Event>,
+    start: Instant,
+    round_counter: u64,
+    phase: Phase,
+    verified_exists: bool,
+    weak_parked: bool,
+    /// `(replica, rank)` of the most recent crash recovery (identifies the
+    /// parked replica for the deferred weak-scheme ship).
+    last_recovery_identity: Option<(u8, usize)>,
+    done_nodes: HashSet<NodeIndex>,
+    dead_nodes: HashSet<NodeIndex>,
+    pending_failures: VecDeque<NodeIndex>,
+    next_ckpt: f64,
+    report: JobReport,
+}
+
+impl Job {
+    /// Run a job to completion: spawn `2·ranks + spares` node threads, keep
+    /// it checkpointing, inject `faults` at their scheduled offsets, and
+    /// collect the report.
+    ///
+    /// `factory` constructs task `task` of rank `rank`; it is called
+    /// identically for both replicas (and again for spare-node restarts),
+    /// so it must be deterministic.
+    pub fn run<F>(cfg: JobConfig, factory: F, faults: Vec<(Duration, Fault)>) -> JobReport
+    where
+        F: Fn(usize, usize) -> Box<dyn Task> + Send + Sync + 'static,
+    {
+        assert!(cfg.ranks >= 1 && cfg.tasks_per_rank >= 1);
+        let total = 2 * cfg.ranks + cfg.spares;
+        let layout = Arc::new(RwLock::new(
+            ReplicaLayout::new(total, cfg.spares).expect("valid job shape"),
+        ));
+        let factory: Arc<TaskFactory> = Arc::new(factory);
+        let (event_tx, event_rx) = unbounded::<Event>();
+        let mut senders = Vec::with_capacity(total);
+        let mut receivers = Vec::with_capacity(total);
+        for _ in 0..total {
+            let (tx, rx) = unbounded::<Net>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let peers = Arc::new(senders);
+        let start = Instant::now();
+
+        let mut handles = Vec::with_capacity(total);
+        for (index, inbox) in receivers.into_iter().enumerate() {
+            let node_cfg = NodeConfig {
+                index,
+                ranks: cfg.ranks,
+                tasks_per_rank: cfg.tasks_per_rank,
+                detection: cfg.detection,
+                heartbeat_period: cfg.heartbeat_period,
+                heartbeat_timeout: cfg.heartbeat_timeout,
+            };
+            let identity = layout.read().locate(index);
+            let worker = NodeWorker::new(
+                node_cfg,
+                identity,
+                Arc::clone(&layout),
+                Arc::clone(&peers),
+                event_tx.clone(),
+                inbox,
+                Arc::clone(&factory),
+                start,
+            );
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("acr-node-{index}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn node thread"),
+            );
+        }
+
+        let mut driver = Driver {
+            next_ckpt: cfg.checkpoint_interval.as_secs_f64(),
+            cfg,
+            layout,
+            peers,
+            events: event_rx,
+            start,
+            round_counter: 0,
+            phase: Phase::Running,
+            verified_exists: false,
+            weak_parked: false,
+            last_recovery_identity: None,
+            done_nodes: HashSet::new(),
+            dead_nodes: HashSet::new(),
+            pending_failures: VecDeque::new(),
+            report: JobReport::default(),
+        };
+        driver.event_loop(faults);
+        driver.shutdown(handles)
+    }
+}
+
+impl Driver {
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    fn send(&self, node: NodeIndex, ctrl: Ctrl) {
+        let _ = self.peers[node].send(Net::Ctrl(ctrl));
+    }
+
+    fn active_nodes(&self) -> Vec<NodeIndex> {
+        self.layout.read().active_nodes().map(|(n, _, _)| n).collect()
+    }
+
+    fn replica_nodes(&self, replica: u8) -> Vec<NodeIndex> {
+        let layout = self.layout.read();
+        (0..layout.ranks()).map(|r| layout.host(replica, r)).collect()
+    }
+
+    fn alloc_round(&mut self) -> u64 {
+        self.round_counter += 1;
+        self.round_counter
+    }
+
+    fn event_loop(&mut self, mut faults: Vec<(Duration, Fault)>) {
+        faults.sort_by_key(|(t, _)| *t);
+        let mut faults = VecDeque::from(faults);
+        let max = self.cfg.max_duration.as_secs_f64();
+        loop {
+            if let Ok(ev) = self.events.recv_timeout(Duration::from_millis(1)) {
+                self.handle_event(ev);
+            }
+            let now = self.now();
+            if now > max {
+                self.report.error = Some(format!(
+                    "job exceeded max_duration ({max:.1}s) in phase {:?}",
+                    self.phase
+                ));
+                return;
+            }
+            // Inject due faults regardless of phase — failures don't wait.
+            while let Some(&(at, fault)) = faults.front().as_deref() {
+                if at.as_secs_f64() > now {
+                    break;
+                }
+                faults.pop_front();
+                self.inject(fault);
+            }
+            if matches!(self.phase, Phase::Running) {
+                if let Some(dead) = self.pending_failures.pop_front() {
+                    self.start_recovery(dead);
+                    continue;
+                }
+                let everyone_done =
+                    self.active_nodes().iter().all(|n| self.done_nodes.contains(n));
+                if everyone_done && !self.weak_parked {
+                    self.report.completed = true;
+                    return;
+                }
+                if now >= self.next_ckpt {
+                    if self.weak_parked {
+                        self.start_ship_round();
+                    } else {
+                        self.start_global_round();
+                    }
+                }
+            }
+        }
+    }
+
+    fn inject(&mut self, fault: Fault) {
+        let layout = self.layout.read();
+        match fault {
+            Fault::Crash { replica, rank } => {
+                let node = layout.host(replica, rank);
+                drop(layout);
+                self.send(node, Ctrl::InjectCrash);
+            }
+            Fault::Sdc { replica, rank, seed } => {
+                let node = layout.host(replica, rank);
+                drop(layout);
+                self.send(node, Ctrl::InjectSdc { seed });
+            }
+        }
+    }
+
+    fn start_global_round(&mut self) {
+        let round = self.alloc_round();
+        let nodes = self.active_nodes();
+        for &n in &nodes {
+            self.send(n, Ctrl::StartRound { scope: Scope::Global, round });
+        }
+        self.phase = Phase::GlobalRound {
+            round,
+            pending: nodes.into_iter().collect(),
+            sdc: false,
+            iteration: 0,
+        };
+    }
+
+    fn handle_event(&mut self, ev: Event) {
+        match ev {
+            Event::BuddyDead { dead, .. } => self.on_dead(dead),
+            Event::CheckpointDone { node, round, iteration, verified } => {
+                match &mut self.phase {
+                    Phase::GlobalRound { round: r, pending, sdc, iteration: it }
+                        if *r == round =>
+                    {
+                        pending.remove(&node);
+                        *it = iteration;
+                        if verified == Some(false) {
+                            *sdc = true;
+                        }
+                        if pending.is_empty() {
+                            let had_sdc = *sdc;
+                            if had_sdc {
+                                self.report.sdc_rounds_detected += 1;
+                                self.begin_rollback();
+                            } else {
+                                self.report.checkpoints_verified += 1;
+                                self.verified_exists = true;
+                                for n in self.active_nodes() {
+                                    self.send(n, Ctrl::RoundComplete);
+                                }
+                                self.back_to_running();
+                            }
+                        }
+                    }
+                    Phase::Recovery(rec) if rec.ship_round == Some(round) => {
+                        rec.expect_ckpt.remove(&node);
+                        self.maybe_finish_recovery();
+                    }
+                    _ => {} // stale round
+                }
+            }
+            Event::SdcDetected { .. } => {
+                // Counted per-round via the CheckpointDone verdicts.
+            }
+            Event::RolledBack { node } => match &mut self.phase {
+                Phase::AwaitRollback { pending } => {
+                    pending.remove(&node);
+                    if pending.is_empty() {
+                        self.back_to_running();
+                    }
+                }
+                Phase::Recovery(rec) => {
+                    rec.expect_rolled.remove(&node);
+                    self.maybe_finish_recovery();
+                }
+                _ => {}
+            },
+            Event::Installed { node, .. } => {
+                if let Phase::Recovery(rec) = &mut self.phase {
+                    rec.expect_installed.remove(&node);
+                    self.maybe_finish_recovery();
+                }
+            }
+            Event::AllTasksDone { node } => {
+                self.done_nodes.insert(node);
+            }
+            Event::FinalState { .. } => {
+                // Only expected during shutdown; ignore here.
+            }
+        }
+    }
+
+    fn begin_rollback(&mut self) {
+        self.report.rollbacks += 1;
+        let floor = self.alloc_round();
+        let nodes = self.active_nodes();
+        for &n in &nodes {
+            self.done_nodes.remove(&n);
+            self.send(n, Ctrl::Rollback { floor });
+        }
+        self.phase = Phase::AwaitRollback { pending: nodes.into_iter().collect() };
+    }
+
+    fn back_to_running(&mut self) {
+        self.phase = Phase::Running;
+        self.next_ckpt = self.now() + self.cfg.checkpoint_interval.as_secs_f64();
+    }
+
+    fn on_dead(&mut self, dead: NodeIndex) {
+        if self.dead_nodes.contains(&dead) || self.layout.read().locate(dead).is_none() {
+            return; // duplicate report or not an active node
+        }
+        if std::env::var_os("ACR_DEBUG").is_some() {
+            eprintln!("[driver t={:.3}] node {dead} declared dead (phase {:?})", self.now(), self.phase);
+        }
+        self.dead_nodes.insert(dead);
+        self.done_nodes.remove(&dead);
+        match &self.phase {
+            Phase::Running => self.start_recovery(dead),
+            Phase::GlobalRound { round, .. } => {
+                // The dead node will never finish the round: abort it, then
+                // recover.
+                let stale = *round;
+                let floor = self.alloc_round();
+                for n in self.active_nodes() {
+                    if n != dead {
+                        self.send(n, Ctrl::AbortRound { floor });
+                    }
+                }
+                let _ = stale;
+                self.phase = Phase::Running;
+                self.start_recovery(dead);
+            }
+            _ => self.pending_failures.push_back(dead),
+        }
+    }
+
+    fn start_recovery(&mut self, dead: NodeIndex) {
+        let Some((replica, rank)) = self.layout.read().locate(dead) else { return };
+        let spare = match self.layout.write().replace_with_spare(dead) {
+            Ok(s) => s,
+            Err(e) => {
+                self.report.error = Some(format!("cannot recover node {dead}: {e}"));
+                self.report.completed = false;
+                // Force the loop to end via max_duration; mark by setting
+                // next_ckpt far away.
+                self.next_ckpt = f64::INFINITY;
+                return;
+            }
+        };
+        self.report.hard_errors_recovered += 1;
+        self.last_recovery_identity = Some((replica, rank));
+        let healthy = 1 - replica;
+        let buddy_node = self.layout.read().host(healthy, rank);
+        let floor = self.alloc_round();
+
+        // Quiesce the crashed replica (its other nodes keep state; the
+        // spare starts parked by construction).
+        let crashed_nodes = self.replica_nodes(replica);
+        for &n in &crashed_nodes {
+            if n != spare {
+                self.send(n, Ctrl::Park);
+            }
+            self.done_nodes.remove(&n);
+        }
+        self.send(spare, Ctrl::AssumeIdentity { replica, rank, buddy: buddy_node, floor });
+        self.send(buddy_node, Ctrl::BuddyChanged { buddy: spare });
+
+        // Consult the planner for the scheme's action list (the executable
+        // plan is what §2.3 specifies; the driver is its interpreter).
+        let planner = RecoveryPlanner::new(self.cfg.scheme, self.cfg.ranks);
+        let _plan = planner.plan_hard_error(dead, buddy_node, spare, replica);
+
+        if !self.verified_exists {
+            // Crash before any verified checkpoint: restart everything.
+            self.report.restarts_from_beginning += 1;
+            let all = self.active_nodes();
+            for &n in &all {
+                self.done_nodes.remove(&n);
+                self.send(n, Ctrl::Rollback { floor });
+            }
+            self.phase = Phase::Recovery(Recovery {
+                expect_installed: HashSet::new(),
+                expect_rolled: all.iter().copied().collect(),
+                expect_ckpt: HashSet::new(),
+                ship_round: None,
+                to_resume: crashed_nodes,
+                counts_as_unverified: false,
+            });
+            return;
+        }
+
+        match self.cfg.scheme {
+            Scheme::Strong => {
+                self.send(buddy_node, Ctrl::SendVerifiedTo { to: spare });
+                let mut expect_rolled = HashSet::new();
+                for &n in &crashed_nodes {
+                    if n != spare {
+                        self.send(n, Ctrl::Rollback { floor });
+                        expect_rolled.insert(n);
+                    }
+                }
+                self.phase = Phase::Recovery(Recovery {
+                    expect_installed: [spare].into_iter().collect(),
+                    expect_rolled,
+                    expect_ckpt: HashSet::new(),
+                    ship_round: None,
+                    to_resume: crashed_nodes,
+                    counts_as_unverified: false,
+                });
+            }
+            Scheme::Medium => {
+                let ship_round = self.alloc_round();
+                let healthy_nodes = self.replica_nodes(healthy);
+                for &n in &healthy_nodes {
+                    self.send(
+                        n,
+                        Ctrl::StartRound { scope: Scope::Replica(healthy), round: ship_round },
+                    );
+                }
+                self.phase = Phase::Recovery(Recovery {
+                    expect_installed: crashed_nodes.iter().copied().collect(),
+                    expect_rolled: HashSet::new(),
+                    expect_ckpt: healthy_nodes.into_iter().collect(),
+                    ship_round: Some(ship_round),
+                    to_resume: crashed_nodes,
+                    counts_as_unverified: true,
+                });
+            }
+            Scheme::Weak => {
+                // Let the healthy replica run on; ship at the next periodic
+                // checkpoint time (§2.3: "zero-overhead" recovery).
+                self.weak_parked = true;
+                self.phase = Phase::Running;
+            }
+        }
+    }
+
+    /// The deferred weak-scheme ship: run a replica-local checkpoint in the
+    /// healthy replica and install it across the parked replica.
+    fn start_ship_round(&mut self) {
+        self.weak_parked = false;
+        let (replica, _) = self
+            .last_recovery_identity
+            .expect("weak ship requires a recorded recovery");
+        let healthy = 1 - replica;
+        let ship_round = self.alloc_round();
+        let healthy_nodes = self.replica_nodes(healthy);
+        let crashed_nodes = self.replica_nodes(replica);
+        for &n in &healthy_nodes {
+            self.send(n, Ctrl::StartRound { scope: Scope::Replica(healthy), round: ship_round });
+        }
+        self.phase = Phase::Recovery(Recovery {
+            expect_installed: crashed_nodes.iter().copied().collect(),
+            expect_rolled: HashSet::new(),
+            expect_ckpt: healthy_nodes.into_iter().collect(),
+            ship_round: Some(ship_round),
+            to_resume: crashed_nodes,
+            counts_as_unverified: true,
+        });
+    }
+
+    fn maybe_finish_recovery(&mut self) {
+        let Phase::Recovery(rec) = &self.phase else { return };
+        if !rec.finished() {
+            return;
+        }
+        let Phase::Recovery(rec) = std::mem::replace(&mut self.phase, Phase::Running) else {
+            unreachable!()
+        };
+        if rec.counts_as_unverified {
+            self.report.unverified_recoveries += 1;
+            // The shipped state becomes the de-facto baseline.
+            self.verified_exists = true;
+        }
+        let floor = self.alloc_round();
+        // Unpause the shipping replica's engines and unpark the recovered
+        // replica.
+        for n in self.active_nodes() {
+            self.send(n, Ctrl::RoundComplete);
+        }
+        for n in rec.to_resume {
+            self.send(n, Ctrl::Resume { floor });
+        }
+        self.back_to_running();
+    }
+
+    fn shutdown(&mut self, handles: Vec<std::thread::JoinHandle<()>>) -> JobReport {
+        let total = self.peers.len();
+        for n in 0..total {
+            self.send(n, Ctrl::Shutdown);
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut received = 0;
+        while received < total && Instant::now() < deadline {
+            match self.events.recv_timeout(Duration::from_millis(50)) {
+                Ok(Event::FinalState { identity, tasks, .. }) => {
+                    received += 1;
+                    if let Some((replica, rank)) = identity {
+                        if !tasks.is_empty() {
+                            self.report.final_states.insert((replica, rank), tasks);
+                        }
+                    }
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        std::mem::take(&mut self.report)
+    }
+}

@@ -1,0 +1,41 @@
+//! # acr-runtime — a replicated, message-driven runtime with ACR built in
+//!
+//! A real (multithreaded) execution substrate that reproduces the paper's
+//! Charm++ adaptation of ACR end to end:
+//!
+//! * Virtual **nodes** are worker threads running message-driven schedulers;
+//!   a job's nodes are split into two **replicas** plus a **spare pool**
+//!   (§2.1, [`acr_core::ReplicaLayout`]).
+//! * Applications implement [`Task`] — a message handler plus the PUP
+//!   description of their checkpoint state and an iteration-progress
+//!   report (§2.2's hook).
+//! * Checkpoints fire through the **four-phase consensus**
+//!   ([`acr_core::ConsensusEngine`]) so every task of *both* replicas
+//!   checkpoints at the same iteration without forward-path barriers.
+//! * Replica-0 nodes ship their checkpoint (or its Fletcher digest, §4.2)
+//!   to their replica-1 **buddies**, which compare and report **silent data
+//!   corruption**; a mismatch rolls both replicas back to the last verified
+//!   checkpoint — application- and user-obliviously.
+//! * Fail-stop crashes are detected by **buddy heartbeats** (§6.1) and
+//!   recovered per the configured [`acr_core::Scheme`]: a spare node
+//!   assumes the dead node's identity and restarts from the buddy's
+//!   checkpoint (strong), or the healthy replica ships a fresh state
+//!   (medium/weak).
+//! * Faults are injected exactly like the paper's §6.1 methodology: a
+//!   random bit flip in PUP-visible user data, and a "no-response" crash.
+//!
+//! The entry point is [`Job`]: configure with [`JobConfig`], submit a task
+//! factory, inject faults, and collect a [`JobReport`].
+
+#![warn(missing_docs)]
+
+mod driver;
+mod message;
+mod node;
+mod task;
+
+pub use driver::{Fault, Job, JobConfig, JobReport};
+pub use message::{AppMsg, NodeIndex, TaskId};
+pub use task::{Task, TaskCtx};
+
+pub use acr_core::{DetectionMethod, Scheme};

@@ -1,0 +1,140 @@
+//! Wire types: application messages, protocol messages, and driver control.
+
+use acr_core::{Checkpoint, ConsensusMsg, Detection};
+use bytes::Bytes;
+
+/// Job-wide node index (the [`acr_core::ReplicaLayout`] numbering: actives,
+/// then spares).
+pub type NodeIndex = usize;
+
+/// Address of an application task *within its own replica*: replication is
+/// transparent to application code (§4.1 — "the application running in each
+/// replica is unaware of the division").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId {
+    /// Rank (logical node) within the replica.
+    pub rank: usize,
+    /// Task index on that rank.
+    pub task: usize,
+}
+
+/// An application-level message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppMsg {
+    /// Sending task.
+    pub from: TaskId,
+    /// Application-defined tag.
+    pub tag: u64,
+    /// Application-defined payload (tasks typically PUP their data here).
+    pub data: Vec<u8>,
+}
+
+/// Which consensus instance a protocol message belongs to (§2.2 rounds span
+/// both replicas so buddy checkpoints are comparable; medium/weak recovery
+/// checkpoints span only the healthy replica).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Scope {
+    /// All `2R` active nodes; participant index = `replica · R + rank`.
+    Global,
+    /// One replica's `R` nodes; participant index = `rank`.
+    Replica(u8),
+}
+
+/// Everything a node can receive.
+#[derive(Debug)]
+pub(crate) enum Net {
+    /// Application traffic (within the sender's replica). `epoch` is the
+    /// sender's rollback epoch: messages from before a state reset must not
+    /// leak into the rolled-back execution (and messages from peers that
+    /// already resumed must wait until the receiver has reset too).
+    App {
+        to_task: usize,
+        epoch: u64,
+        msg: AppMsg,
+    },
+    /// Checkpoint-consensus protocol traffic.
+    Consensus {
+        scope: Scope,
+        msg: ConsensusMsg,
+    },
+    /// Replica-0 → replica-1 buddy: checkpoint content (or digest) for SDC
+    /// comparison.
+    Compare {
+        iteration: u64,
+        detection: Detection,
+    },
+    /// Replica-1 → replica-0 buddy: comparison verdict.
+    CompareResult {
+        iteration: u64,
+        clean: bool,
+    },
+    /// Recovery: install this checkpoint as the verified state and resume
+    /// from it.
+    Install {
+        checkpoint: Checkpoint,
+    },
+    /// Liveness signal to the buddy.
+    Heartbeat {
+        from: NodeIndex,
+    },
+    /// Driver control.
+    Ctrl(Ctrl),
+}
+
+/// Driver → node control messages.
+#[derive(Debug)]
+pub(crate) enum Ctrl {
+    /// Open a checkpoint-consensus round.
+    StartRound { scope: Scope, round: u64 },
+    /// Abort any in-flight round (a failure interrupted it); engines are
+    /// rebuilt ignoring rounds below `floor`.
+    AbortRound { floor: u64 },
+    /// Discard tentative state and reload the last verified checkpoint;
+    /// rebuild engines with `floor`.
+    Rollback { floor: u64 },
+    /// (Strong recovery) send your verified checkpoint to `to`.
+    SendVerifiedTo { to: NodeIndex },
+    /// (Spare promotion) become `(replica, rank)`; your buddy is `buddy`.
+    AssumeIdentity { replica: u8, rank: usize, buddy: NodeIndex, floor: u64 },
+    /// Your buddy was replaced; watch `buddy` from now on.
+    BuddyChanged { buddy: NodeIndex },
+    /// The checkpoint round completed on every node: resume execution.
+    /// (Tasks stay paused between their local pack and this signal so that
+    /// post-checkpoint messages cannot leak into slower nodes' packs.)
+    RoundComplete,
+    /// Stop stepping tasks (weak-scheme crashed replica waits).
+    Park,
+    /// Resume stepping; engines rebuilt with `floor`.
+    Resume { floor: u64 },
+    /// §6.1 fail-stop injection: stop responding to anything.
+    InjectCrash,
+    /// §6.1 SDC injection: flip a random bit of PUP-visible task state.
+    InjectSdc { seed: u64 },
+    /// Finish: reply with final state and exit the scheduler loop.
+    Shutdown,
+}
+
+/// Node → driver events.
+///
+/// Some fields exist for diagnostics (log lines, debugging assertions in
+/// tests) rather than driver control flow.
+#[derive(Debug)]
+#[allow(dead_code)]
+pub(crate) enum Event {
+    /// `dead` missed its heartbeats (reported by its buddy).
+    BuddyDead { reporter: NodeIndex, dead: NodeIndex },
+    /// This node finished its part of checkpoint round `round`.
+    /// `verified` is the comparison verdict where one happened on this node
+    /// (replica-1 nodes in global rounds), `None` for ship-only rounds.
+    CheckpointDone { node: NodeIndex, round: u64, iteration: u64, verified: Option<bool> },
+    /// Comparison mismatch: silent data corruption.
+    SdcDetected { node: NodeIndex, iteration: u64 },
+    /// Rollback finished on this node.
+    RolledBack { node: NodeIndex },
+    /// Recovery checkpoint installed on this node.
+    Installed { node: NodeIndex, iteration: u64 },
+    /// Every task on this node reports done.
+    AllTasksDone { node: NodeIndex },
+    /// Final state at shutdown: one packed payload per task.
+    FinalState { node: NodeIndex, identity: Option<(u8, usize)>, tasks: Vec<Bytes> },
+}

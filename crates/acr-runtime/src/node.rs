@@ -1,0 +1,666 @@
+//! The node worker: a message-driven scheduler thread hosting application
+//! tasks plus the per-node half of the ACR protocol.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acr_core::{
+    Checkpoint, CheckpointStore, ConsensusAction, ConsensusEngine, ConsensusMsg, Detection,
+    DetectionMethod, HeartbeatMonitor, ReplicaLayout, SdcDetector,
+};
+use acr_pup::{fletcher64, Packer, Unpacker};
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::message::{AppMsg, Ctrl, Event, Net, NodeIndex, Scope, TaskId};
+use crate::task::{Task, TaskCtx};
+
+/// Shared constructor for application tasks: `(rank, task_index)` → task.
+/// Both replicas call it with the same arguments, so the two copies start
+/// bit-identical.
+pub(crate) type TaskFactory = dyn Fn(usize, usize) -> Box<dyn Task> + Send + Sync;
+
+pub(crate) struct NodeConfig {
+    pub index: NodeIndex,
+    pub ranks: usize,
+    pub tasks_per_rank: usize,
+    pub detection: DetectionMethod,
+    pub heartbeat_period: Duration,
+    pub heartbeat_timeout: Duration,
+}
+
+pub(crate) struct NodeWorker {
+    cfg: NodeConfig,
+    identity: Option<(u8, usize)>,
+    tasks: Vec<Box<dyn Task>>,
+    engine_global: Option<ConsensusEngine>,
+    engine_replica: Option<ConsensusEngine>,
+    store: CheckpointStore,
+    detector: SdcDetector,
+    monitor: HeartbeatMonitor,
+    buddy: Option<NodeIndex>,
+    layout: Arc<RwLock<ReplicaLayout>>,
+    peers: Arc<Vec<Sender<Net>>>,
+    events: Sender<Event>,
+    inbox: Receiver<Net>,
+    factory: Arc<TaskFactory>,
+    start: Instant,
+    crashed: bool,
+    parked: bool,
+    done_reported: bool,
+    last_heartbeat: f64,
+    /// Round floor for freshly built engines.
+    floor: u64,
+    /// Iteration of the in-flight checkpoint, per scope, so stale compare
+    /// traffic can be recognized.
+    pending_remote: Option<(u64, Detection)>,
+    /// `(round, iteration)` of a tentative global checkpoint whose verdict
+    /// is pending.
+    awaiting_verdict: Option<(u64, u64)>,
+    outbox: Vec<(TaskId, AppMsg)>,
+    /// Non-app messages set aside while draining the inbox at checkpoint
+    /// time; processed before new receives, preserving order.
+    backlog: std::collections::VecDeque<Net>,
+    /// Rollback epoch: application messages stamped with an older epoch are
+    /// from an execution that has been rolled back and are dropped.
+    epoch: u64,
+    /// Application messages from peers that already entered a newer epoch;
+    /// delivered once this node's own reset arrives.
+    future_msgs: Vec<(u64, usize, AppMsg)>,
+}
+
+impl NodeWorker {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        cfg: NodeConfig,
+        identity: Option<(u8, usize)>,
+        layout: Arc<RwLock<ReplicaLayout>>,
+        peers: Arc<Vec<Sender<Net>>>,
+        events: Sender<Event>,
+        inbox: Receiver<Net>,
+        factory: Arc<TaskFactory>,
+        start: Instant,
+    ) -> Self {
+        let detector = SdcDetector::new(cfg.detection);
+        let timeout = cfg.heartbeat_timeout.as_secs_f64();
+        let mut w = Self {
+            cfg,
+            identity,
+            tasks: Vec::new(),
+            engine_global: None,
+            engine_replica: None,
+            store: CheckpointStore::new(),
+            detector,
+            monitor: HeartbeatMonitor::new(timeout),
+            buddy: None,
+            layout,
+            peers,
+            events,
+            inbox,
+            factory,
+            start,
+            crashed: false,
+            parked: false,
+            done_reported: false,
+            last_heartbeat: 0.0,
+            floor: 0,
+            pending_remote: None,
+            awaiting_verdict: None,
+            outbox: Vec::new(),
+            backlog: std::collections::VecDeque::new(),
+            epoch: 0,
+            future_msgs: Vec::new(),
+        };
+        if let Some((_, rank)) = w.identity {
+            w.tasks = (0..w.cfg.tasks_per_rank).map(|t| (w.factory)(rank, t)).collect();
+            w.rebuild_engines(0);
+            let buddy = w.layout.read().buddy(w.cfg.index).expect("active node has a buddy");
+            w.buddy = Some(buddy);
+            w.monitor.watch(buddy, 0.0);
+        }
+        w
+    }
+
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    fn send(&self, node: NodeIndex, msg: Net) {
+        // A send to a node whose channel is gone (job tearing down) is
+        // silently dropped, like a packet to a powered-off host.
+        let _ = self.peers[node].send(msg);
+    }
+
+    fn rebuild_engines(&mut self, floor: u64) {
+        self.floor = floor;
+        let Some((replica, rank)) = self.identity else {
+            self.engine_global = None;
+            self.engine_replica = None;
+            return;
+        };
+        let ranks = self.cfg.ranks;
+        let mut global = ConsensusEngine::new(replica as usize * ranks + rank, 2 * ranks, self.tasks.len());
+        let mut local = ConsensusEngine::new(rank, ranks, self.tasks.len());
+        for (t, task) in self.tasks.iter().enumerate() {
+            let _ = global.report_progress(t, task.progress());
+            let _ = local.report_progress(t, task.progress());
+        }
+        global.set_round_floor(floor);
+        local.set_round_floor(floor);
+        self.engine_global = Some(global);
+        self.engine_replica = Some(local);
+    }
+
+    /// Physical node currently hosting a consensus participant.
+    fn participant_node(&self, scope: Scope, participant: usize) -> NodeIndex {
+        let layout = self.layout.read();
+        match scope {
+            Scope::Global => {
+                let ranks = self.cfg.ranks;
+                layout.host((participant / ranks) as u8, participant % ranks)
+            }
+            Scope::Replica(r) => layout.host(r, participant),
+        }
+    }
+
+    fn dispatch_consensus(&mut self, scope: Scope, actions: Vec<ConsensusAction>) {
+        for action in actions {
+            match action {
+                ConsensusAction::Send { to, msg } => {
+                    let node = self.participant_node(scope, to);
+                    self.send(node, Net::Consensus { scope, msg });
+                }
+                ConsensusAction::Checkpoint { round, iteration } => {
+                    self.take_checkpoint(scope, round, iteration);
+                }
+            }
+        }
+    }
+
+    fn engine_feed(&mut self, scope: Scope, msg: ConsensusMsg) {
+        let engine = match scope {
+            Scope::Global => self.engine_global.as_mut(),
+            Scope::Replica(_) => self.engine_replica.as_mut(),
+        };
+        let Some(engine) = engine else { return };
+        let actions = engine.on_message(msg);
+        if std::env::var_os("ACR_DEBUG").is_some() {
+            eprintln!("[node {} {:?}] consensus {scope:?} {msg:?} -> {} actions",
+                self.cfg.index, self.identity, actions.len());
+        }
+        self.dispatch_consensus(scope, actions);
+    }
+
+    fn pack_tasks(&mut self) -> Bytes {
+        let mut packer = Packer::new();
+        for task in &mut self.tasks {
+            task.pup(&mut packer).expect("packing task state cannot fail");
+        }
+        Bytes::from(packer.finish())
+    }
+
+    fn unpack_tasks(&mut self, payload: &[u8]) {
+        let mut u = Unpacker::new(payload);
+        for task in &mut self.tasks {
+            task.pup(&mut u).expect("checkpoint payload matches task set");
+        }
+        u.finish().expect("checkpoint fully consumed");
+        self.done_reported = false;
+    }
+
+    /// Deliver every application message already enqueued in the inbox and
+    /// set the rest aside.
+    ///
+    /// Called immediately before packing a coordinated checkpoint. Any
+    /// message a task sent during an iteration at or below the checkpoint
+    /// target was enqueued in the receiver's channel *causally before* that
+    /// task reported ready — and the `Go` that triggers this pack is
+    /// causally after every ReadyUp — so this drain captures the complete
+    /// consistent cut: no in-flight application message can escape the
+    /// checkpoint (the §2.2 "message c will not be stored anywhere" hazard).
+    fn drain_app_messages(&mut self) {
+        let mut kept = std::collections::VecDeque::new();
+        while let Ok(m) = self.inbox.try_recv() {
+            match m {
+                Net::App { to_task, epoch, msg } => self.receive_app(to_task, epoch, msg),
+                other => kept.push_back(other),
+            }
+        }
+        self.backlog.append(&mut kept);
+    }
+
+    fn take_checkpoint(&mut self, scope: Scope, round: u64, iteration: u64) {
+        self.drain_app_messages();
+        let payload = self.pack_tasks();
+        let digest = fletcher64(&payload);
+        if std::env::var_os("ACR_DEBUG").is_some() {
+            eprintln!("[node {} {:?}] ckpt scope={scope:?} round={round} iter={iteration} digest={digest:x} progress={:?}",
+                self.cfg.index, self.identity,
+                self.tasks.iter().map(|t| t.progress()).collect::<Vec<_>>());
+        }
+        self.store.store_tentative(Checkpoint { iteration, payload, digest });
+        match scope {
+            Scope::Global => {
+                let (replica, _) = self.identity.expect("checkpointing node has identity");
+                let buddy = self.buddy.expect("active node has a buddy");
+                if replica == 0 {
+                    // Ship content (or digest) for comparison (§2.1: "the
+                    // remote checkpoint is sent to replica 2 only for SDC
+                    // detection purposes").
+                    let detection = self
+                        .detector
+                        .outgoing(self.store.tentative().expect("just stored"));
+                    self.awaiting_verdict = Some((round, iteration));
+                    self.send(buddy, Net::Compare { iteration, detection });
+                } else {
+                    self.awaiting_verdict = Some((round, iteration));
+                    self.try_compare(round);
+                }
+            }
+            Scope::Replica(_) => {
+                // Recovery ship (medium/weak): promote unverified and send
+                // to the buddy, which installs it wholesale.
+                self.store.promote();
+                let ckpt = self.store.rollback_target().expect("just promoted").clone();
+                let buddy = self.buddy.expect("active node has a buddy");
+                self.send(buddy, Net::Install { checkpoint: ckpt });
+                let _ = self.events.send(Event::CheckpointDone {
+                    node: self.cfg.index,
+                    round,
+                    iteration,
+                    verified: None,
+                });
+            }
+        }
+    }
+
+    /// Replica-1 side: compare once both the local tentative checkpoint and
+    /// the buddy's detection message are present.
+    fn try_compare(&mut self, round: u64) {
+        let Some(tentative) = self.store.tentative() else { return };
+        let Some((iteration, _)) = self.pending_remote else { return };
+        if iteration != tentative.iteration {
+            return; // stale traffic from an aborted round
+        }
+        let (_, detection) = self.pending_remote.take().expect("checked above");
+        // Promotion is deferred to the driver's RoundComplete: a mismatch
+        // *anywhere* invalidates the whole round, so locally-clean pairs
+        // must not advance their rollback target ahead of the others.
+        let clean = !self.detector.diverged(tentative, &detection);
+        if std::env::var_os("ACR_DEBUG").is_some() {
+            eprintln!("[node {} {:?}] compare iter={iteration} clean={clean} local_len={} local_digest={:x}",
+                self.cfg.index, self.identity, tentative.len(), tentative.digest);
+            if !clean {
+                if let acr_core::Detection::Payload(remote) = &detection {
+                    for (off, (a, b)) in tentative.payload.iter().zip(remote.iter()).enumerate() {
+                        if a != b {
+                            eprintln!("  first diff at byte {off}: local={a:#x} remote={b:#x}");
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let buddy = self.buddy.expect("active node has a buddy");
+        self.send(buddy, Net::CompareResult { iteration, clean });
+        self.awaiting_verdict = None;
+        if !clean {
+            let _ = self.events.send(Event::SdcDetected { node: self.cfg.index, iteration });
+        }
+        let _ = self.events.send(Event::CheckpointDone {
+            node: self.cfg.index,
+            round,
+            iteration,
+            verified: Some(clean),
+        });
+    }
+
+    fn handle_ctrl(&mut self, ctrl: Ctrl) -> bool {
+        match ctrl {
+            Ctrl::StartRound { scope, round } => {
+                if std::env::var_os("ACR_DEBUG").is_some() {
+                    eprintln!("[node {} {:?}] StartRound {scope:?} round={round} progress={:?}",
+                        self.cfg.index, self.identity,
+                        self.tasks.iter().map(|t| t.progress()).collect::<Vec<_>>());
+                }
+                self.engine_feed(scope, ConsensusMsg::Start { round });
+            }
+            Ctrl::AbortRound { floor } => {
+                self.awaiting_verdict = None;
+                self.pending_remote = None;
+                self.rebuild_engines(floor);
+            }
+            Ctrl::Rollback { floor } => {
+                self.store.discard_tentative();
+                self.pending_remote = None;
+                self.awaiting_verdict = None;
+                if let Some(ckpt) = self.store.rollback_target() {
+                    let payload = ckpt.payload.clone();
+                    self.unpack_tasks(&payload);
+                } else if let Some((_, rank)) = self.identity {
+                    // No checkpoint yet: restart from the beginning.
+                    self.tasks =
+                        (0..self.cfg.tasks_per_rank).map(|t| (self.factory)(rank, t)).collect();
+                }
+                self.rebuild_engines(floor);
+                // Epoch bump comes *after* the state restore: entering the
+                // epoch releases stashed messages from peers that rolled
+                // back first, and those must land in the restored tasks,
+                // not in state about to be overwritten.
+                self.enter_epoch(floor);
+                if std::env::var_os("ACR_DEBUG").is_some() {
+                    eprintln!("[node {} {:?}] rolled back to progress={:?} (floor {floor}, epoch {})",
+                        self.cfg.index, self.identity,
+                        self.tasks.iter().map(|t| t.progress()).collect::<Vec<_>>(), self.epoch);
+                }
+                let _ = self.events.send(Event::RolledBack { node: self.cfg.index });
+            }
+            Ctrl::SendVerifiedTo { to } => {
+                let ckpt = self
+                    .store
+                    .rollback_target()
+                    .expect("driver only requests existing checkpoints")
+                    .clone();
+                self.send(to, Net::Install { checkpoint: ckpt });
+            }
+            Ctrl::AssumeIdentity { replica, rank, buddy, floor } => {
+                self.identity = Some((replica, rank));
+                self.tasks =
+                    (0..self.cfg.tasks_per_rank).map(|t| (self.factory)(rank, t)).collect();
+                self.buddy = Some(buddy);
+                let now = self.now();
+                self.monitor.watch(buddy, now);
+                self.store = CheckpointStore::new();
+                self.rebuild_engines(floor);
+                self.enter_epoch(floor);
+                self.parked = true; // driver resumes explicitly
+            }
+            Ctrl::BuddyChanged { buddy } => {
+                if let Some(old) = self.buddy {
+                    self.monitor.unwatch(old);
+                }
+                self.buddy = Some(buddy);
+                let now = self.now();
+                self.monitor.watch(buddy, now);
+            }
+            Ctrl::RoundComplete => {
+                // The driver saw a clean verdict from every buddy pair: the
+                // tentative checkpoint becomes the verified rollback target
+                // on every node simultaneously (a consistent global cut).
+                self.store.promote();
+                if let Some(e) = self.engine_global.as_mut() {
+                    e.checkpoint_done();
+                }
+                if let Some(e) = self.engine_replica.as_mut() {
+                    e.checkpoint_done();
+                }
+            }
+            Ctrl::Park => {
+                self.parked = true;
+            }
+            Ctrl::Resume { floor } => {
+                self.enter_epoch(floor);
+                self.parked = false;
+                self.rebuild_engines(floor);
+            }
+            Ctrl::InjectCrash => {
+                self.crashed = true;
+            }
+            Ctrl::InjectSdc { seed } => {
+                self.inject_sdc(seed);
+            }
+            Ctrl::Shutdown => {
+                let tasks: Vec<Bytes> = if self.crashed {
+                    Vec::new()
+                } else {
+                    let ids: Vec<usize> = (0..self.tasks.len()).collect();
+                    ids.iter()
+                        .map(|&t| {
+                            let mut p = Packer::new();
+                            self.tasks[t].pup(&mut p).expect("final pack");
+                            Bytes::from(p.finish())
+                        })
+                        .collect()
+                };
+                let _ = self.events.send(Event::FinalState {
+                    node: self.cfg.index,
+                    identity: self.identity,
+                    tasks,
+                });
+                return true;
+            }
+        }
+        false
+    }
+
+    /// §6.1 SDC injection: flip one random bit of the victim task's
+    /// floating-point *user data* (the paper targets "the user data that
+    /// will be checkpointed"; corrupting runtime counters would crash or
+    /// hang instead of staying silent). Float payloads accept every bit
+    /// pattern, so the corrupted state always unpacks cleanly.
+    fn inject_sdc(&mut self, seed: u64) {
+        if self.tasks.is_empty() {
+            return;
+        }
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let victim = rng.gen_range(0..self.tasks.len());
+        let mut mapper = acr_pup::RegionMapper::new();
+        self.tasks[victim].pup(&mut mapper).expect("region mapping cannot fail");
+        let mut packer = Packer::new();
+        self.tasks[victim].pup(&mut packer).expect("pack for injection");
+        let mut payload = packer.finish();
+        if mapper.float_bytes() == 0 {
+            return; // nothing silent to corrupt
+        }
+        let nth = rng.gen_range(0..mapper.float_bytes());
+        let byte = mapper.nth_float_byte(nth).expect("nth < float_bytes");
+        let bit = rng.gen_range(0..8u8);
+        payload[byte] ^= 1 << bit;
+        let mut u = Unpacker::new(&payload);
+        self.tasks[victim].pup(&mut u).expect("float flip keeps structure");
+        u.finish().expect("float flip keeps structure");
+    }
+
+    /// Enter a new rollback epoch: in-flight messages from older epochs are
+    /// invalid from now on; messages from peers that got there first are
+    /// released.
+    fn enter_epoch(&mut self, epoch: u64) {
+        if epoch <= self.epoch {
+            return;
+        }
+        self.epoch = epoch;
+        let ready: Vec<(usize, AppMsg)> = {
+            let (now, later): (Vec<_>, Vec<_>) =
+                self.future_msgs.drain(..).partition(|&(e, _, _)| e <= epoch);
+            self.future_msgs = later;
+            now.into_iter()
+                .filter(|&(e, _, _)| e == epoch)
+                .map(|(_, t, m)| (t, m))
+                .collect()
+        };
+        for (to_task, msg) in ready {
+            self.deliver_app(to_task, msg);
+        }
+    }
+
+    fn receive_app(&mut self, to_task: usize, epoch: u64, msg: AppMsg) {
+        use std::cmp::Ordering;
+        match epoch.cmp(&self.epoch) {
+            Ordering::Less => {} // rolled-back execution: drop
+            Ordering::Equal => {
+                if self.parked {
+                    // Parked = quiesced for recovery: current-epoch traffic
+                    // is pre-crash residue, and the state about to replace
+                    // ours (rollback or buddy install) carries its own
+                    // complete message cut. Drop it.
+                } else {
+                    self.deliver_app(to_task, msg);
+                }
+            }
+            Ordering::Greater => self.future_msgs.push((epoch, to_task, msg)),
+        }
+    }
+
+    fn deliver_app(&mut self, to_task: usize, msg: AppMsg) {
+        let Some((_, rank)) = self.identity else { return };
+        if to_task >= self.tasks.len() {
+            return;
+        }
+        let mut outbox = std::mem::take(&mut self.outbox);
+        {
+            let mut ctx =
+                TaskCtx::new(TaskId { rank, task: to_task }, self.cfg.ranks, &mut outbox);
+            self.tasks[to_task].on_message(msg, &mut ctx);
+        }
+        self.outbox = outbox;
+        self.flush_outbox();
+    }
+
+    fn flush_outbox(&mut self) {
+        let Some((replica, _)) = self.identity else {
+            self.outbox.clear();
+            return;
+        };
+        let sends = std::mem::take(&mut self.outbox);
+        for (to, msg) in sends {
+            let node = self.layout.read().host(replica, to.rank);
+            self.send(node, Net::App { to_task: to.task, epoch: self.epoch, msg });
+        }
+    }
+
+    fn step_tasks(&mut self) {
+        let Some((_, rank)) = self.identity else { return };
+        if self.parked {
+            return;
+        }
+        for t in 0..self.tasks.len() {
+            if self.tasks[t].done() {
+                continue;
+            }
+            let may = self.engine_global.as_ref().map_or(true, |e| e.may_advance(t))
+                && self.engine_replica.as_ref().map_or(true, |e| e.may_advance(t));
+            if !may {
+                continue;
+            }
+            let mut outbox = std::mem::take(&mut self.outbox);
+            let advanced = {
+                let mut ctx = TaskCtx::new(TaskId { rank, task: t }, self.cfg.ranks, &mut outbox);
+                self.tasks[t].try_step(&mut ctx)
+            };
+            self.outbox = outbox;
+            self.flush_outbox();
+            if advanced {
+                let progress = self.tasks[t].progress();
+                if let Some(e) = self.engine_global.as_mut() {
+                    let actions = e.report_progress(t, progress);
+                    self.dispatch_consensus(Scope::Global, actions);
+                }
+                if let Some((replica, _)) = self.identity {
+                    if let Some(e) = self.engine_replica.as_mut() {
+                        let actions = e.report_progress(t, progress);
+                        self.dispatch_consensus(Scope::Replica(replica), actions);
+                    }
+                }
+            }
+        }
+        if !self.done_reported && !self.tasks.is_empty() && self.tasks.iter().all(|t| t.done()) {
+            self.done_reported = true;
+            let _ = self.events.send(Event::AllTasksDone { node: self.cfg.index });
+        }
+    }
+
+    fn heartbeat_tick(&mut self) {
+        let now = self.now();
+        if now - self.last_heartbeat >= self.cfg.heartbeat_period.as_secs_f64() {
+            self.last_heartbeat = now;
+            if let Some(buddy) = self.buddy {
+                self.send(buddy, Net::Heartbeat { from: self.cfg.index });
+            }
+        }
+        for dead in self.monitor.expired(now) {
+            let _ = self
+                .events
+                .send(Event::BuddyDead { reporter: self.cfg.index, dead });
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        loop {
+            let msg = match self.backlog.pop_front() {
+                Some(m) => Ok(m),
+                None => self.inbox.recv_timeout(Duration::from_millis(1)),
+            };
+            if self.crashed {
+                // §6.1 "no-response scheme": the process on that node stops
+                // responding to any communication — it only leaves when the
+                // job tears down.
+                match msg {
+                    Ok(Net::Ctrl(Ctrl::Shutdown)) => {
+                        let _ = self.events.send(Event::FinalState {
+                            node: self.cfg.index,
+                            identity: self.identity,
+                            tasks: Vec::new(),
+                        });
+                        return;
+                    }
+                    _ => continue,
+                }
+            }
+            match msg {
+                Ok(Net::App { to_task, epoch, msg }) => self.receive_app(to_task, epoch, msg),
+                Ok(Net::Consensus { scope, msg }) => self.engine_feed(scope, msg),
+                Ok(Net::Compare { iteration, detection }) => {
+                    let now = self.now();
+                    if let Some(b) = self.buddy {
+                        self.monitor.heard_from(b, now);
+                    }
+                    self.pending_remote = Some((iteration, detection));
+                    if let Some((round, _)) = self.awaiting_verdict {
+                        self.try_compare(round);
+                    }
+                }
+                Ok(Net::CompareResult { iteration, clean }) => {
+                    if let Some((round, it)) = self.awaiting_verdict {
+                        if it == iteration {
+                            self.awaiting_verdict = None;
+                            let _ = clean;
+                            let _ = self.events.send(Event::CheckpointDone {
+                                node: self.cfg.index,
+                                round,
+                                iteration,
+                                verified: Some(clean),
+                            });
+                        }
+                    }
+                }
+                Ok(Net::Install { checkpoint }) => {
+                    let iteration = checkpoint.iteration;
+                    let payload = checkpoint.payload.clone();
+                    self.store.install_verified(checkpoint);
+                    self.unpack_tasks(&payload);
+                    self.rebuild_engines(self.floor);
+                    let _ = self
+                        .events
+                        .send(Event::Installed { node: self.cfg.index, iteration });
+                }
+                Ok(Net::Heartbeat { from }) => {
+                    let now = self.now();
+                    self.monitor.heard_from(from, now);
+                }
+                Ok(Net::Ctrl(ctrl)) => {
+                    if self.handle_ctrl(ctrl) {
+                        return;
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
+            self.heartbeat_tick();
+            self.step_tasks();
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! The application-facing task abstraction.
+
+use acr_pup::{PupResult, Puper};
+
+use crate::message::{AppMsg, TaskId};
+
+/// A message-driven application task (the runtime's equivalent of a
+/// Charm++ chare).
+///
+/// Contract:
+/// * **Determinism** — two tasks constructed by the same factory call and
+///   fed the same messages must evolve bit-identically; that is what makes
+///   buddy-checkpoint comparison meaningful (§2.1). Don't read wall clocks
+///   or unseeded RNGs into checkpointed state (or exclude such fields with
+///   [`acr_pup::CheckPolicy::Ignore`]).
+/// * **Progress** — [`Task::progress`] is the §2.2 iteration counter. It
+///   must be monotone and advance by exactly 1 per successful
+///   [`Task::try_step`].
+/// * **State** — [`Task::pup`] must cover every bit of state needed to
+///   resume; the runtime uses it for checkpoints, restarts, comparison and
+///   fault injection.
+pub trait Task: Send {
+    /// Attempt one iteration. Return `false` if blocked on data that has
+    /// not arrived yet (e.g. halos); the runtime will retry after
+    /// delivering more messages. Return `true` after completing the
+    /// iteration (and incrementing [`Task::progress`]).
+    fn try_step(&mut self, ctx: &mut TaskCtx<'_>) -> bool;
+
+    /// Deliver an application message.
+    fn on_message(&mut self, msg: AppMsg, ctx: &mut TaskCtx<'_>);
+
+    /// Iterations completed so far.
+    fn progress(&self) -> u64;
+
+    /// True once the task has finished its work.
+    fn done(&self) -> bool;
+
+    /// Traverse checkpoint state (see [`acr_pup::Pup`]).
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult;
+}
+
+/// Per-invocation context handed to a task: identity and outgoing mail.
+///
+/// Sends are buffered and flushed by the scheduler after the task returns,
+/// so a task may send from anywhere without re-entrancy concerns.
+pub struct TaskCtx<'a> {
+    id: TaskId,
+    ranks: usize,
+    outbox: &'a mut Vec<(TaskId, AppMsg)>,
+}
+
+impl<'a> TaskCtx<'a> {
+    pub(crate) fn new(id: TaskId, ranks: usize, outbox: &'a mut Vec<(TaskId, AppMsg)>) -> Self {
+        Self { id, ranks, outbox }
+    }
+
+    /// This task's id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Ranks in this replica (the application's world size).
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Send `data` with `tag` to another task in this replica. Delivery is
+    /// reliable and per-sender ordered, but replication-transparent: the
+    /// same send happens independently inside the other replica.
+    pub fn send(&mut self, to: TaskId, tag: u64, data: Vec<u8>) {
+        self.outbox.push((to, AppMsg { from: self.id, tag, data }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_buffers_sends() {
+        let mut outbox = Vec::new();
+        let id = TaskId { rank: 1, task: 0 };
+        let mut ctx = TaskCtx::new(id, 4, &mut outbox);
+        assert_eq!(ctx.id(), id);
+        assert_eq!(ctx.ranks(), 4);
+        ctx.send(TaskId { rank: 2, task: 0 }, 7, vec![1, 2, 3]);
+        ctx.send(TaskId { rank: 0, task: 0 }, 8, vec![]);
+        assert_eq!(outbox.len(), 2);
+        assert_eq!(outbox[0].0, TaskId { rank: 2, task: 0 });
+        assert_eq!(outbox[0].1.tag, 7);
+        assert_eq!(outbox[0].1.from, id);
+    }
+}

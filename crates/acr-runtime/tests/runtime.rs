@@ -1,0 +1,306 @@
+//! End-to-end tests of the replicated runtime: failure-free runs, SDC
+//! detection + rollback, fail-stop recovery under all three schemes, and
+//! the §2.2 message-consistency guarantee under a communicating workload.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Serialize jobs: each spawns ~10 compute-heavy OS threads, and running
+/// many at once can deschedule a node long enough to trip the heartbeat
+/// failure detector (a false positive the real machine would not see).
+static JOB_SERIAL: Mutex<()> = Mutex::new(());
+
+use acr_pup::{Pup, PupResult, Puper};
+use acr_runtime::{
+    AppMsg, DetectionMethod, Fault, Job, JobConfig, Scheme, Task, TaskCtx, TaskId,
+};
+
+/// A token-ring workload: rank `r`'s iteration `i` computes on its local
+/// state, then sends a token to rank `r+1`; iteration `i ≥ 1` cannot start
+/// until the token of iteration `i−1` arrived from rank `r−1`.
+///
+/// This is exactly the §2.2 hazard workload: tasks progress at different
+/// rates and there is always a token in flight, so a naive uncoordinated
+/// snapshot would lose one and hang the restart.
+struct RingTask {
+    rank: usize,
+    iter: u64,
+    tokens: u64,
+    acc: Vec<f64>,
+    checksum: f64,
+    total_iters: u64,
+    /// Busy-work knob so different ranks run at different speeds.
+    spin: u32,
+}
+
+impl RingTask {
+    fn new(rank: usize, total_iters: u64) -> Self {
+        Self {
+            rank,
+            iter: 0,
+            tokens: 0,
+            acc: (0..2048).map(|i| (rank * 1000 + i) as f64).collect(),
+            checksum: 0.0,
+            total_iters,
+            spin: 6 + (rank as u32 % 3),
+        }
+    }
+}
+
+impl Task for RingTask {
+    fn try_step(&mut self, ctx: &mut TaskCtx<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        if self.iter > 0 && self.tokens == 0 {
+            return false; // waiting for the ring token
+        }
+        if self.iter > 0 {
+            self.tokens -= 1;
+        }
+        // Deterministic computation that makes every iteration's state
+        // distinguishable (so lost/duplicated work is detectable).
+        for _ in 0..self.spin {
+            for (i, x) in self.acc.iter_mut().enumerate() {
+                // Perturbation-preserving dynamics: an injected bit flip
+                // persists verbatim instead of being contracted away, so
+                // comparison-based detection has something to find.
+                *x += ((self.iter as f64 + i as f64) * 1e-3).sin();
+            }
+        }
+        self.checksum += self.acc.iter().sum::<f64>() * 1e-6;
+        let next = TaskId { rank: (self.rank + 1) % ctx.ranks(), task: 0 };
+        ctx.send(next, self.iter, vec![]);
+        self.iter += 1;
+        true
+    }
+
+    fn on_message(&mut self, _msg: AppMsg, _ctx: &mut TaskCtx<'_>) {
+        self.tokens += 1;
+    }
+
+    fn progress(&self) -> u64 {
+        self.iter
+    }
+
+    fn done(&self) -> bool {
+        self.iter >= self.total_iters
+    }
+
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_usize(&mut self.rank)?;
+        p.pup_u64(&mut self.iter)?;
+        p.pup_u64(&mut self.tokens)?;
+        self.acc.pup(p)?;
+        p.pup_f64(&mut self.checksum)?;
+        p.pup_u64(&mut self.total_iters)?;
+        p.pup_u32(&mut self.spin)
+    }
+}
+
+fn ring_cfg(scheme: Scheme, detection: DetectionMethod) -> JobConfig {
+    JobConfig {
+        ranks: 4,
+        tasks_per_rank: 1,
+        spares: 2,
+        scheme,
+        detection,
+        checkpoint_interval: Duration::from_millis(100),
+        heartbeat_period: Duration::from_millis(10),
+        heartbeat_timeout: Duration::from_millis(300),
+        max_duration: Duration::from_secs(40),
+    }
+}
+
+const ITERS: u64 = 600;
+
+fn ring_factory(rank: usize, _task: usize) -> Box<dyn Task> {
+    Box::new(RingTask::new(rank, ITERS))
+}
+
+#[test]
+fn failure_free_run_completes_with_identical_replicas() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let report = Job::run(ring_cfg(Scheme::Strong, DetectionMethod::FullCompare), ring_factory, vec![]);
+    assert!(report.completed, "error: {:?}", report.error);
+    assert!(report.checkpoints_verified >= 1, "{report:?}");
+    assert_eq!(report.sdc_rounds_detected, 0);
+    assert_eq!(report.hard_errors_recovered, 0);
+    assert!(report.replicas_agree(), "replicas diverged without faults");
+    // Both replicas' every rank finished all iterations.
+    assert_eq!(report.final_states.len(), 8);
+}
+
+#[test]
+fn checksum_detection_mode_also_completes() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let report = Job::run(ring_cfg(Scheme::Strong, DetectionMethod::Checksum), ring_factory, vec![]);
+    assert!(report.completed, "error: {:?}", report.error);
+    assert!(report.checkpoints_verified >= 1);
+    assert!(report.replicas_agree());
+}
+
+#[test]
+fn injected_sdc_is_detected_and_rolled_back() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let faults = vec![(Duration::from_millis(200), Fault::Sdc { replica: 1, rank: 2, seed: 7 })];
+    let report = Job::run(ring_cfg(Scheme::Strong, DetectionMethod::FullCompare), ring_factory, faults);
+    assert!(report.completed, "error: {:?}", report.error);
+    assert!(report.sdc_rounds_detected >= 1, "SDC escaped: {report:?}");
+    assert!(report.rollbacks >= 1);
+    // The rollback purged the corruption: final states agree.
+    assert!(report.replicas_agree(), "corruption survived to the end");
+}
+
+#[test]
+fn injected_sdc_is_detected_by_checksum_exchange() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let faults = vec![(Duration::from_millis(200), Fault::Sdc { replica: 0, rank: 1, seed: 99 })];
+    let report = Job::run(ring_cfg(Scheme::Strong, DetectionMethod::Checksum), ring_factory, faults);
+    assert!(report.completed, "error: {:?}", report.error);
+    assert!(report.sdc_rounds_detected >= 1, "checksum missed the flip: {report:?}");
+    assert!(report.replicas_agree());
+}
+
+#[test]
+fn crash_recovers_via_spare_under_strong_scheme() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let faults = vec![(Duration::from_millis(300), Fault::Crash { replica: 1, rank: 1 })];
+    let report = Job::run(ring_cfg(Scheme::Strong, DetectionMethod::FullCompare), ring_factory, faults);
+    assert!(report.completed, "error: {:?}", report.error);
+    assert_eq!(report.hard_errors_recovered, 1);
+    assert!(report.replicas_agree(), "restarted rank diverged");
+    assert_eq!(report.final_states.len(), 8, "all ranks accounted for");
+}
+
+#[test]
+fn crash_recovers_under_medium_scheme() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let faults = vec![(Duration::from_millis(300), Fault::Crash { replica: 0, rank: 3 })];
+    let report = Job::run(ring_cfg(Scheme::Medium, DetectionMethod::FullCompare), ring_factory, faults);
+    assert!(report.completed, "error: {:?}", report.error);
+    assert_eq!(report.hard_errors_recovered, 1);
+    assert!(report.unverified_recoveries >= 1, "{report:?}");
+    assert!(report.replicas_agree());
+}
+
+#[test]
+fn crash_recovers_under_weak_scheme() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let faults = vec![(Duration::from_millis(300), Fault::Crash { replica: 1, rank: 0 })];
+    let report = Job::run(ring_cfg(Scheme::Weak, DetectionMethod::FullCompare), ring_factory, faults);
+    assert!(report.completed, "error: {:?}", report.error);
+    assert_eq!(report.hard_errors_recovered, 1);
+    assert!(report.unverified_recoveries >= 1, "{report:?}");
+    assert!(report.replicas_agree());
+}
+
+#[test]
+fn crash_before_first_checkpoint_restarts_from_beginning() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut cfg = ring_cfg(Scheme::Strong, DetectionMethod::FullCompare);
+    cfg.checkpoint_interval = Duration::from_secs(5); // no checkpoint before the crash
+    let faults = vec![(Duration::from_millis(100), Fault::Crash { replica: 0, rank: 0 })];
+    let report = Job::run(cfg, ring_factory, faults);
+    assert!(report.completed, "error: {:?}", report.error);
+    assert_eq!(report.restarts_from_beginning, 1);
+    assert!(report.replicas_agree());
+}
+
+#[test]
+fn sdc_then_crash_both_handled_in_one_run() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let faults = vec![
+        (Duration::from_millis(200), Fault::Sdc { replica: 0, rank: 2, seed: 5 }),
+        (Duration::from_millis(600), Fault::Crash { replica: 1, rank: 2 }),
+    ];
+    let report = Job::run(ring_cfg(Scheme::Strong, DetectionMethod::FullCompare), ring_factory, faults);
+    assert!(report.completed, "error: {:?}", report.error);
+    assert!(report.sdc_rounds_detected >= 1, "{report:?}");
+    assert_eq!(report.hard_errors_recovered, 1);
+    assert!(report.replicas_agree());
+}
+
+#[test]
+fn two_crashes_consume_two_spares() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut cfg = ring_cfg(Scheme::Strong, DetectionMethod::FullCompare);
+    cfg.max_duration = Duration::from_secs(60);
+    let faults = vec![
+        (Duration::from_millis(300), Fault::Crash { replica: 0, rank: 1 }),
+        (Duration::from_millis(900), Fault::Crash { replica: 1, rank: 3 }),
+    ];
+    let report = Job::run(cfg, ring_factory, faults);
+    assert!(report.completed, "error: {:?}", report.error);
+    assert_eq!(report.hard_errors_recovered, 2);
+    assert!(report.replicas_agree());
+}
+
+#[test]
+fn out_of_spares_fails_gracefully() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut cfg = ring_cfg(Scheme::Strong, DetectionMethod::FullCompare);
+    cfg.spares = 0;
+    cfg.max_duration = Duration::from_secs(8);
+    let faults = vec![(Duration::from_millis(200), Fault::Crash { replica: 0, rank: 0 })];
+    let report = Job::run(cfg, ring_factory, faults);
+    assert!(!report.completed);
+    assert!(report.error.is_some());
+}
+
+/// Multi-task nodes: the consensus must drain *every* task to the target.
+#[test]
+fn multiple_tasks_per_rank() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut cfg = ring_cfg(Scheme::Strong, DetectionMethod::FullCompare);
+    cfg.tasks_per_rank = 2;
+    cfg.ranks = 3;
+    // Independent counters (no ring) with different speeds per task.
+    struct Counter {
+        iter: u64,
+        stride: u64,
+        state: Vec<f64>,
+    }
+    impl Task for Counter {
+        fn try_step(&mut self, _ctx: &mut TaskCtx<'_>) -> bool {
+            if self.done() {
+                return false;
+            }
+            for (i, s) in self.state.iter_mut().enumerate() {
+                // Perturbation-preserving float dynamics (injected flips
+                // must survive to the next comparison).
+                *s = *s * 1.000_000_1 + (self.iter as f64 + i as f64) * 1e-6;
+            }
+            self.iter += 1;
+            true
+        }
+        fn on_message(&mut self, _m: AppMsg, _c: &mut TaskCtx<'_>) {}
+        fn progress(&self) -> u64 {
+            self.iter
+        }
+        fn done(&self) -> bool {
+            self.iter >= 300
+        }
+        fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+            p.pup_u64(&mut self.iter)?;
+            p.pup_u64(&mut self.stride)?;
+            self.state.pup(p)
+        }
+    }
+    let report = Job::run(
+        cfg,
+        |rank, task| {
+            Box::new(Counter {
+                iter: 0,
+                stride: 1 + (rank + task) as u64,
+                state: vec![rank as f64 * 17.0 + task as f64; 64],
+            })
+        },
+        vec![(Duration::from_millis(250), Fault::Sdc { replica: 1, rank: 1, seed: 3 })],
+    );
+    assert!(report.completed, "error: {:?}", report.error);
+    assert!(report.replicas_agree());
+    assert!(report.sdc_rounds_detected >= 1);
+    assert_eq!(report.final_states.len(), 6);
+    assert!(report.final_states.values().all(|t| t.len() == 2));
+}

@@ -1,0 +1,315 @@
+//! Per-operation cost decompositions: single-checkpoint overhead (Fig. 8)
+//! and single-restart overhead (Fig. 10).
+
+use acr_apps::AppProfile;
+use acr_core::{DetectionMethod, Scheme};
+
+use crate::machine::Machine;
+
+/// The Fig. 8 stacked bars: one coordinated checkpoint, decomposed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointBreakdown {
+    /// Serializing every task's state into the node-local buffer.
+    pub local: f64,
+    /// Shipping the checkpoint (or its digest) to the buddy, including the
+    /// checksum computation when that method is active.
+    pub transfer: f64,
+    /// Comparing the received data against the local checkpoint.
+    pub compare: f64,
+}
+
+impl CheckpointBreakdown {
+    /// Total single-checkpoint cost δ.
+    pub fn total(&self) -> f64 {
+        self.local + self.transfer + self.compare
+    }
+}
+
+/// Compute the Fig. 8 decomposition for `app` on `machine` under
+/// `detection`.
+pub fn checkpoint_breakdown(
+    machine: &Machine,
+    app: &AppProfile,
+    detection: DetectionMethod,
+) -> CheckpointBreakdown {
+    let bytes = app.node_bytes(machine.cores_per_node) as f64;
+    // Local checkpoint: a PUP traversal of the application state.
+    let local = bytes * app.scatter_factor / machine.pup_rate;
+    match detection {
+        DetectionMethod::FullCompare => CheckpointBreakdown {
+            local,
+            // Semi-blocking transmission hides part of the transfer behind
+            // execution ([27]; async_overlap = 0 reproduces the paper).
+            transfer: machine.buddy_transfer_time(bytes) * (1.0 - machine.async_overlap),
+            // The receiver walks its live structures against the incoming
+            // buffer: same traversal character as packing.
+            compare: bytes * app.scatter_factor / machine.pup_rate,
+        },
+        DetectionMethod::Checksum => CheckpointBreakdown {
+            local,
+            // §4.2: instead of one copy instruction per word, four extra
+            // arithmetic instructions — modelled as a slower streaming rate
+            // over the packed bytes, plus a negligible 8-byte exchange.
+            transfer: bytes / machine.checksum_rate
+                + machine.single_transfer_time(8.0, machine.torus.dims()[2] as f64 / 2.0),
+            compare: machine.msg_overhead, // compare two u64 digests
+        },
+    }
+}
+
+/// The Fig. 10 stacked bars: one hard-error restart, decomposed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestartBreakdown {
+    /// Checkpoint transfer from the healthy replica.
+    pub transfer: f64,
+    /// Rebuilding task state from checkpoints (unpack) plus the restart
+    /// barriers/broadcasts (§6.3: "it requires several barriers and
+    /// broadcasts that are key contributors to the restart time" for small
+    /// checkpoints).
+    pub reconstruction: f64,
+}
+
+impl RestartBreakdown {
+    /// Total single-restart cost.
+    pub fn total(&self) -> f64 {
+        self.transfer + self.reconstruction
+    }
+}
+
+/// Compute the Fig. 10 decomposition for a hard-error restart of `app`
+/// under `scheme`.
+///
+/// Strong resilience sends exactly one checkpoint (buddy → spare) while
+/// every other node reloads locally; medium/weak ship a checkpoint from
+/// *every* healthy node to its buddy, hitting the same contention as the
+/// periodic exchange. An SDC rollback is `restart_breakdown(...).reconstruction`
+/// only (no transfer — every node reloads its local verified checkpoint).
+pub fn restart_breakdown(machine: &Machine, app: &AppProfile, scheme: Scheme) -> RestartBreakdown {
+    let bytes = app.node_bytes(machine.cores_per_node) as f64;
+    let unpack = bytes * app.scatter_factor / machine.pup_rate;
+    // Restart is an unexpected, job-wide event: quiescing, failure
+    // broadcast, and resume barriers cost a few collectives.
+    let sync = 3.0 * machine.collective_time();
+    let transfer = match scheme {
+        Scheme::Strong => {
+            // One message across roughly half the Z extent.
+            let hops = machine.torus.dims()[2] as f64 / 2.0;
+            machine.single_transfer_time(bytes, hops)
+        }
+        Scheme::Medium | Scheme::Weak => machine.buddy_transfer_time(bytes),
+    };
+    RestartBreakdown { transfer, reconstruction: unpack + sync }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_apps::TABLE2;
+    use acr_topology::MappingKind;
+
+    fn jacobi() -> AppProfile {
+        TABLE2[0]
+    }
+    fn leanmd() -> AppProfile {
+        TABLE2[4]
+    }
+
+    #[test]
+    fn fig8_default_mapping_overhead_quadruples_from_1k_to_64k() {
+        // §6.2: "a four-fold increase in the overheads (e.g., from 0.6s to
+        // 2s in the case of Jacobi3D) as the system size is increased from
+        // 1K cores to 64K cores per replica".
+        let t = |cores| {
+            checkpoint_breakdown(
+                &Machine::bgp(cores, MappingKind::Default),
+                &jacobi(),
+                DetectionMethod::FullCompare,
+            )
+        };
+        let small = t(1024).total();
+        let large = t(65536).total();
+        assert!(small > 0.4 && small < 1.5, "1K total {small}");
+        assert!(large / small > 1.8 && large / small < 5.0, "growth {small} -> {large}");
+        // The growth comes from transfer; local and compare are constant.
+        assert_eq!(t(1024).local, t(65536).local);
+        assert_eq!(t(1024).compare, t(65536).compare);
+        assert!(t(65536).transfer > 3.0 * t(1024).transfer);
+    }
+
+    #[test]
+    fn fig8_growth_happens_between_1k_and_4k_then_plateaus() {
+        // "the linear increase of the overheads from 1K to 4K cores and its
+        // constancy beyond 4K cores ... determined by the length of the Z
+        // dimension".
+        let t = |cores| {
+            checkpoint_breakdown(
+                &Machine::bgp(cores, MappingKind::Default),
+                &jacobi(),
+                DetectionMethod::FullCompare,
+            )
+            .total()
+        };
+        assert!(t(4096) > 1.5 * t(1024));
+        let plateau = t(4096);
+        for cores in [8192, 16384, 32768, 65536] {
+            assert!((t(cores) - plateau).abs() / plateau < 0.05, "{cores}");
+        }
+    }
+
+    #[test]
+    fn fig8_mappings_flatten_the_curve() {
+        // Column and mixed mappings make the checkpoint cost scale-free.
+        for mapping in [MappingKind::Column, MappingKind::Mixed { chunk: 2 }] {
+            let t = |cores| {
+                checkpoint_breakdown(
+                    &Machine::bgp(cores, mapping),
+                    &jacobi(),
+                    DetectionMethod::FullCompare,
+                )
+                .total()
+            };
+            assert!(
+                (t(65536) - t(1024)).abs() / t(1024) < 0.05,
+                "{mapping:?} should be flat"
+            );
+        }
+        // and they beat the default at scale
+        let default = checkpoint_breakdown(
+            &Machine::bgp(65536, MappingKind::Default),
+            &jacobi(),
+            DetectionMethod::FullCompare,
+        )
+        .total();
+        let column = checkpoint_breakdown(
+            &Machine::bgp(65536, MappingKind::Column),
+            &jacobi(),
+            DetectionMethod::FullCompare,
+        )
+        .total();
+        assert!(default > 2.0 * column);
+    }
+
+    #[test]
+    fn fig8_checksum_constant_but_beaten_by_column_for_big_checkpoints() {
+        // §6.2: "overheads for it are even larger than the column-mapping
+        // for high memory pressure applications" — but constant across
+        // mappings and scales.
+        let cks = |cores, mapping| {
+            checkpoint_breakdown(
+                &Machine::bgp(cores, mapping),
+                &jacobi(),
+                DetectionMethod::Checksum,
+            )
+            .total()
+        };
+        let a = cks(1024, MappingKind::Default);
+        let b = cks(65536, MappingKind::Default);
+        let c = cks(65536, MappingKind::Column);
+        assert!((a - b).abs() / a < 0.05, "checksum is scale-free");
+        assert!((b - c).abs() / b < 0.05, "checksum is mapping-free");
+        let column_full = checkpoint_breakdown(
+            &Machine::bgp(65536, MappingKind::Column),
+            &jacobi(),
+            DetectionMethod::FullCompare,
+        )
+        .total();
+        assert!(b > column_full, "checksum {b} should lose to column {column_full}");
+        // ...but beat the default mapping at scale.
+        let default_full = checkpoint_breakdown(
+            &Machine::bgp(65536, MappingKind::Default),
+            &jacobi(),
+            DetectionMethod::FullCompare,
+        )
+        .total();
+        assert!(b < default_full);
+    }
+
+    #[test]
+    fn fig8c_checksum_wins_for_scattered_low_memory_apps() {
+        // §6.2: "the checksum method outperforms other schemes" for the MD
+        // apps (their compare traversal pays the scatter penalty; the
+        // checksum streams the packed bytes).
+        let m = Machine::bgp(65536, MappingKind::Column);
+        let full = checkpoint_breakdown(&m, &leanmd(), DetectionMethod::FullCompare).total();
+        let cks = checkpoint_breakdown(&m, &leanmd(), DetectionMethod::Checksum).total();
+        assert!(cks < full, "checksum {cks} vs full {full}");
+        // and the absolute scale is the paper's 100–200 ms range
+        assert!(cks > 0.01 && cks < 0.3, "{cks}");
+    }
+
+    #[test]
+    fn fig10_strong_restart_is_mapping_insensitive_and_cheapest() {
+        let jacobi = jacobi();
+        let strong_default =
+            restart_breakdown(&Machine::bgp(65536, MappingKind::Default), &jacobi, Scheme::Strong);
+        let strong_column =
+            restart_breakdown(&Machine::bgp(65536, MappingKind::Column), &jacobi, Scheme::Strong);
+        assert!(
+            (strong_default.total() - strong_column.total()).abs() / strong_column.total() < 0.05,
+            "strong restart: one message, mapping irrelevant"
+        );
+        let medium_default =
+            restart_breakdown(&Machine::bgp(65536, MappingKind::Default), &jacobi, Scheme::Medium);
+        assert!(medium_default.total() > 2.0 * strong_default.total());
+    }
+
+    #[test]
+    fn fig10_topology_mapping_rescues_medium_restart() {
+        // §6.3: "bring down the recovery overhead from 2s to 0.41s in the
+        // case of Jacobi3D for the medium resilience schemes".
+        let default =
+            restart_breakdown(&Machine::bgp(65536, MappingKind::Default), &jacobi(), Scheme::Medium);
+        let column =
+            restart_breakdown(&Machine::bgp(65536, MappingKind::Column), &jacobi(), Scheme::Medium);
+        assert!(default.total() > 1.2 && default.total() < 3.0, "{}", default.total());
+        assert!(column.total() > 0.2 && column.total() < 0.8, "{}", column.total());
+        assert!(default.transfer > 3.0 * column.transfer);
+        assert_eq!(default.reconstruction, column.reconstruction);
+    }
+
+    #[test]
+    fn fig10c_small_apps_are_synchronization_dominated() {
+        let m1 = Machine::bgp(1024, MappingKind::Column);
+        let m64 = Machine::bgp(65536, MappingKind::Column);
+        let r1 = restart_breakdown(&m1, &leanmd(), Scheme::Medium);
+        let r64 = restart_breakdown(&m64, &leanmd(), Scheme::Medium);
+        // reconstruction grows with core count (collectives), unlike the
+        // big apps where unpack dominates.
+        assert!(r64.reconstruction > r1.reconstruction);
+        // restart time in the tens-of-milliseconds range
+        assert!(r64.total() < 0.5, "{}", r64.total());
+    }
+
+    #[test]
+    fn semi_blocking_overlap_hides_transfer() {
+        // The future-work extension [27]: overlapping the buddy transfer
+        // with execution shrinks δ, most dramatically for the default
+        // mapping whose δ is transfer-dominated.
+        let blocking = Machine::bgp(65536, MappingKind::Default);
+        let overlapped = Machine::bgp(65536, MappingKind::Default).with_async_overlap(0.8);
+        let b = checkpoint_breakdown(&blocking, &jacobi(), DetectionMethod::FullCompare);
+        let o = checkpoint_breakdown(&overlapped, &jacobi(), DetectionMethod::FullCompare);
+        assert_eq!(b.local, o.local);
+        assert_eq!(b.compare, o.compare);
+        assert!((o.transfer - 0.2 * b.transfer).abs() < 1e-9);
+        // full overlap leaves only local + compare
+        let full = Machine::bgp(65536, MappingKind::Default).with_async_overlap(1.0);
+        let f = checkpoint_breakdown(&full, &jacobi(), DetectionMethod::FullCompare);
+        assert_eq!(f.transfer, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlap_out_of_range_rejected() {
+        let _ = Machine::bgp(1024, MappingKind::Default).with_async_overlap(1.5);
+    }
+
+    #[test]
+    fn weak_equals_medium_restart_cost() {
+        // §6.3: "the restart overhead is the same for both".
+        let m = Machine::bgp(16384, MappingKind::Default);
+        let a = restart_breakdown(&m, &jacobi(), Scheme::Medium);
+        let b = restart_breakdown(&m, &jacobi(), Scheme::Weak);
+        assert_eq!(a, b);
+    }
+}

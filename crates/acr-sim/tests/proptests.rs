@@ -1,0 +1,158 @@
+//! Property tests on the timeline simulator's accounting invariants.
+
+use acr_apps::TABLE2;
+use acr_core::{DetectionMethod, Scheme};
+use acr_fault::{FailureDistribution, FailureProcess, FailureTrace};
+use acr_sim::{checkpoint_breakdown, Machine, SimConfig, TauPolicy, Timeline};
+use acr_topology::MappingKind;
+use proptest::prelude::*;
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    prop_oneof![Just(Scheme::Strong), Just(Scheme::Medium), Just(Scheme::Weak)]
+}
+
+fn detection_strategy() -> impl Strategy<Value = DetectionMethod> {
+    prop_oneof![Just(DetectionMethod::FullCompare), Just(DetectionMethod::Checksum)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Wall-clock time decomposes exactly into solve + checkpoint + restart
+    /// + rework; every component is non-negative; the job always finishes.
+    #[test]
+    fn time_accounting_is_exact(
+        scheme in scheme_strategy(),
+        detection in detection_strategy(),
+        app_idx in 0usize..6,
+        tau in 50.0f64..2000.0,
+        mtbf_h in 500.0f64..20_000.0,
+        mtbf_s in 500.0f64..20_000.0,
+        seed in any::<u64>(),
+    ) {
+        let machine = Machine::bgp(4096, MappingKind::Default);
+        let timeline = Timeline::new(machine, TABLE2[app_idx]);
+        let work = 20_000.0;
+        let trace = FailureTrace::generate(
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(mtbf_h))),
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(mtbf_s))),
+            50.0 * work,
+            2048,
+            seed,
+        );
+        let r = timeline.run(&SimConfig::basic(work, scheme, detection, TauPolicy::Fixed(tau), trace));
+
+        prop_assert!(r.total_time.is_finite());
+        prop_assert!(r.solve_time == work);
+        prop_assert!(r.checkpoint_time >= 0.0 && r.restart_time >= 0.0 && r.rework_time >= 0.0);
+        let sum = r.solve_time + r.checkpoint_time + r.restart_time + r.rework_time;
+        prop_assert!(
+            (r.total_time - sum).abs() < 1e-6 * r.total_time.max(1.0),
+            "decomposition broke: total {} vs sum {}",
+            r.total_time,
+            sum
+        );
+        // Checkpoint count × δ == checkpoint time.
+        let delta = checkpoint_breakdown(timeline.machine(), &TABLE2[app_idx], detection).total();
+        prop_assert!((r.checkpoint_time - delta * r.checkpoints.len() as f64).abs() < 1e-6);
+        // Every detected or escaped SDC was injected.
+        let injected_sdc = r.faults.iter().filter(|(_, k)| matches!(k, acr_fault::FaultKind::Sdc)).count();
+        prop_assert_eq!(r.sdc_detected + r.sdc_undetected, injected_sdc);
+    }
+
+    /// Strong resilience never lets SDC escape except in the trailing
+    /// never-compared span; with a checkpoint period much smaller than the
+    /// job, escapes require an SDC in the final interval.
+    #[test]
+    fn strong_scheme_sdc_escapes_only_in_the_tail(
+        seed in any::<u64>(),
+        tau in 100.0f64..500.0,
+    ) {
+        let machine = Machine::bgp(4096, MappingKind::Default);
+        let timeline = Timeline::new(machine, TABLE2[0]);
+        let work = 50_000.0;
+        let trace = FailureTrace::generate(
+            None,
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(3000.0))),
+            20.0 * work,
+            2048,
+            seed,
+        );
+        let r = timeline.run(&SimConfig::basic(
+            work,
+            Scheme::Strong,
+            DetectionMethod::FullCompare,
+            TauPolicy::Fixed(tau),
+            trace,
+        ));
+        if r.sdc_undetected > 0 {
+            // Escapes must all be after the final checkpoint.
+            let last_ckpt = r.checkpoints.last().copied().unwrap_or(0.0);
+            let tail_sdc = r
+                .faults
+                .iter()
+                .filter(|(t, k)| matches!(k, acr_fault::FaultKind::Sdc) && *t > last_ckpt)
+                .count();
+            prop_assert_eq!(r.sdc_undetected, tail_sdc);
+        }
+    }
+
+    /// Without hard errors the three schemes are *identical*: their only
+    /// difference is hard-error recovery, so SDC-only traces must produce
+    /// byte-equal reports (detection, rework, timing — everything).
+    #[test]
+    fn schemes_coincide_without_hard_errors(seed in any::<u64>(), tau in 100.0f64..1500.0) {
+        let machine = Machine::bgp(4096, MappingKind::Default);
+        let timeline = Timeline::new(machine, TABLE2[2]);
+        let work = 30_000.0;
+        let trace = FailureTrace::generate(
+            None,
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(2000.0))),
+            20.0 * work,
+            2048,
+            seed,
+        );
+        let runs: Vec<_> = Scheme::ALL
+            .iter()
+            .map(|&scheme| {
+                timeline.run(&SimConfig::basic(
+                    work,
+                    scheme,
+                    DetectionMethod::FullCompare,
+                    TauPolicy::Fixed(tau),
+                    trace.clone(),
+                ))
+            })
+            .collect();
+        for r in &runs[1..] {
+            prop_assert_eq!(r.total_time.to_bits(), runs[0].total_time.to_bits());
+            prop_assert_eq!(r.sdc_detected, runs[0].sdc_detected);
+            prop_assert_eq!(r.sdc_undetected, runs[0].sdc_undetected);
+            prop_assert_eq!(r.rework_time.to_bits(), runs[0].rework_time.to_bits());
+        }
+    }
+
+    /// More frequent checkpoints trade rework for checkpoint time, never
+    /// changing the solve total.
+    #[test]
+    fn tau_tradeoff_direction(seed in any::<u64>()) {
+        let machine = Machine::bgp(4096, MappingKind::Column);
+        let timeline = Timeline::new(machine, TABLE2[0]);
+        let work = 30_000.0;
+        let trace = FailureTrace::generate(
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(2500.0))),
+            None,
+            20.0 * work,
+            2048,
+            seed,
+        );
+        let fine = timeline.run(&SimConfig::basic(
+            work, Scheme::Strong, DetectionMethod::FullCompare, TauPolicy::Fixed(100.0), trace.clone(),
+        ));
+        let coarse = timeline.run(&SimConfig::basic(
+            work, Scheme::Strong, DetectionMethod::FullCompare, TauPolicy::Fixed(2000.0), trace,
+        ));
+        prop_assert!(fine.checkpoint_time > coarse.checkpoint_time);
+        prop_assert!(fine.rework_time <= coarse.rework_time + 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+//! # acr-topology — 3D torus machine model and replica mappings
+//!
+//! ACR's evaluation machine is Intrepid, an IBM Blue Gene/P with a 3D-torus
+//! interconnect. Two of the paper's key results are *topological*:
+//!
+//! * With the default TXYZ rank order, the two replicas occupy the two halves
+//!   of the torus along the slowest-varying (Z) dimension, so every
+//!   buddy-exchange message crosses the same bisection and the bottleneck
+//!   link load grows with the Z extent (§4.2, Fig. 6a).
+//! * *Column* and *mixed* mappings interleave the replicas along Z so buddy
+//!   pairs are 1 (or ≤ chunk) hops apart, eliminating the overlap (Fig. 6b/c).
+//!
+//! This crate models the torus ([`Torus3d`]), dimension-order routing
+//! ([`Torus3d::route`]), the three replica mappings ([`MappingKind`],
+//! [`Placement`]), and a link-load analyzer ([`LinkLoads`]) that regenerates
+//! the message counts drawn on Fig. 6 and supplies the contention factors the
+//! discrete-event simulator uses for checkpoint-transfer times.
+
+#![warn(missing_docs)]
+
+mod linkload;
+mod mapping;
+mod torus;
+
+pub use linkload::{ExchangePattern, LinkLoads};
+pub use mapping::{MappingKind, Placement};
+pub use torus::{Coord, Dim, Link, NodeId, Torus3d};

@@ -1,0 +1,325 @@
+//! Replica-to-node mappings (§4.2, Fig. 6).
+
+use std::fmt;
+
+use crate::torus::{Coord, NodeId, Torus3d};
+
+/// The three replica mapping schemes of §4.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingKind {
+    /// Blue Gene/P's TXYZ rank order: the machine splits into two contiguous
+    /// halves along Z. Buddy pairs sit `Z/2` planes apart, so all buddy
+    /// traffic funnels through the Z bisection (Fig. 6a).
+    Default,
+    /// Alternate Z planes ("columns" in the paper's front-plane picture)
+    /// belong to alternate replicas; buddies are 1 hop apart and their paths
+    /// never overlap (Fig. 6b).
+    Column,
+    /// Chunks of `chunk` consecutive Z planes alternate between replicas;
+    /// buddies are `chunk` hops apart. Trades a little overlap for spatial
+    /// separation of buddy pairs (correlated-failure resistance, Fig. 6c).
+    Mixed {
+        /// Number of consecutive Z planes per chunk (≥ 1).
+        chunk: usize,
+    },
+}
+
+impl fmt::Display for MappingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingKind::Default => write!(f, "default"),
+            MappingKind::Column => write!(f, "column"),
+            MappingKind::Mixed { chunk } => write!(f, "mixed(chunk={chunk})"),
+        }
+    }
+}
+
+/// Why a mapping cannot be applied to a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// The Z extent does not satisfy the mapping's divisibility requirement.
+    ZExtent {
+        /// Z extent of the machine.
+        z: usize,
+        /// Required divisor.
+        needs_multiple_of: usize,
+    },
+    /// Spare carve-out must remove whole Z-plane *pairs* to keep the replica
+    /// halves symmetric.
+    SpareGranularity {
+        /// Requested spare count.
+        spares: usize,
+        /// Nodes per plane pair.
+        granularity: usize,
+    },
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::ZExtent { z, needs_multiple_of } => {
+                write!(f, "Z extent {z} must be a multiple of {needs_multiple_of}")
+            }
+            MappingError::SpareGranularity { spares, granularity } => {
+                write!(f, "spare count {spares} must be a multiple of {granularity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// A concrete assignment of machine nodes to `(replica, rank)` pairs plus a
+/// spare pool (§2.1: "a few nodes are marked as spare nodes and are not used
+/// by the application, but only replace failed nodes").
+#[derive(Debug, Clone)]
+pub struct Placement {
+    kind: MappingKind,
+    /// Per machine node: `Some((replica, rank))` or `None` for spares.
+    locate: Vec<Option<(u8, usize)>>,
+    /// Physical node of each `(replica, rank)`.
+    node_of: [Vec<NodeId>; 2],
+    spares: Vec<NodeId>,
+}
+
+impl MappingKind {
+    /// Place two replicas (no spare pool) on `torus`.
+    pub fn place(self, torus: &Torus3d) -> Result<Placement, MappingError> {
+        self.place_with_spares(torus, 0)
+    }
+
+    /// Place two replicas and carve `spares` nodes out of the tail of the
+    /// machine. For symmetry, spares are removed in whole Z-plane pairs.
+    pub fn place_with_spares(
+        self,
+        torus: &Torus3d,
+        spares: usize,
+    ) -> Result<Placement, MappingError> {
+        let [x, y, z] = torus.dims();
+        let plane = x * y;
+        let pair_granularity = 2 * plane;
+        if spares > 0 && spares % pair_granularity != 0 {
+            return Err(MappingError::SpareGranularity {
+                spares,
+                granularity: pair_granularity,
+            });
+        }
+        let spare_planes = spares / plane; // even by the check above
+        let usable_z = z.checked_sub(spare_planes).filter(|&u| u >= 2).ok_or(
+            MappingError::ZExtent { z, needs_multiple_of: spare_planes + 2 },
+        )?;
+
+        let needs = match self {
+            MappingKind::Default | MappingKind::Column => 2,
+            MappingKind::Mixed { chunk } => 2 * chunk.max(1),
+        };
+        if usable_z % needs != 0 {
+            return Err(MappingError::ZExtent { z: usable_z, needs_multiple_of: needs });
+        }
+
+        // Replica of a usable Z plane.
+        let replica_of_plane = |p: usize| -> u8 {
+            match self {
+                MappingKind::Default => (p >= usable_z / 2) as u8,
+                MappingKind::Column => (p % 2) as u8,
+                MappingKind::Mixed { chunk } => ((p / chunk.max(1)) % 2) as u8,
+            }
+        };
+
+        let mut locate = vec![None; torus.len()];
+        let mut node_of = [Vec::new(), Vec::new()];
+        let mut spares_v = Vec::with_capacity(spares);
+        // Walk planes in Z order; within a plane in (y, x) order — i.e.
+        // machine id order — so ranks inside each replica are TXYZ-ordered,
+        // matching how the application's own communication is laid out.
+        for p in 0..z {
+            for yy in 0..y {
+                for xx in 0..x {
+                    let id = torus.id(Coord { x: xx, y: yy, z: p });
+                    if p >= usable_z {
+                        spares_v.push(id);
+                        continue;
+                    }
+                    let r = replica_of_plane(p);
+                    let rank = node_of[r as usize].len();
+                    locate[id] = Some((r, rank));
+                    node_of[r as usize].push(id);
+                }
+            }
+        }
+        debug_assert_eq!(node_of[0].len(), node_of[1].len());
+        Ok(Placement { kind: self, locate, node_of, spares: spares_v })
+    }
+}
+
+impl Placement {
+    /// The mapping that produced this placement.
+    pub fn kind(&self) -> MappingKind {
+        self.kind
+    }
+
+    /// Number of ranks per replica.
+    pub fn ranks(&self) -> usize {
+        self.node_of[0].len()
+    }
+
+    /// Physical node hosting `(replica, rank)`.
+    pub fn node(&self, replica: u8, rank: usize) -> NodeId {
+        self.node_of[replica as usize][rank]
+    }
+
+    /// `(replica, rank)` of a physical node, or `None` for spares.
+    pub fn locate(&self, node: NodeId) -> Option<(u8, usize)> {
+        self.locate[node]
+    }
+
+    /// The buddy (same rank, other replica) of a physical node.
+    pub fn buddy(&self, node: NodeId) -> Option<NodeId> {
+        let (r, rank) = self.locate(node)?;
+        Some(self.node(1 - r, rank))
+    }
+
+    /// The spare pool, in carve-out order.
+    pub fn spares(&self) -> &[NodeId] {
+        &self.spares
+    }
+
+    /// Iterate over buddy pairs as `(replica0_node, replica1_node)`.
+    pub fn buddy_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.ranks()).map(|r| (self.node_of[0][r], self.node_of[1][r]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t888() -> Torus3d {
+        Torus3d::mesh(8, 8, 8)
+    }
+
+    #[test]
+    fn default_splits_along_z() {
+        let t = t888();
+        let p = MappingKind::Default.place(&t).unwrap();
+        assert_eq!(p.ranks(), 256);
+        for node in t.nodes() {
+            let (r, _) = p.locate(node).unwrap();
+            let z = t.coord(node).z;
+            assert_eq!(r, (z >= 4) as u8);
+        }
+        // buddy of (x,y,z) is (x,y,z+4)
+        for (a, b) in p.buddy_pairs() {
+            let (ca, cb) = (t.coord(a), t.coord(b));
+            assert_eq!((ca.x, ca.y), (cb.x, cb.y));
+            assert_eq!(cb.z, ca.z + 4);
+        }
+    }
+
+    #[test]
+    fn column_alternates_planes() {
+        let t = t888();
+        let p = MappingKind::Column.place(&t).unwrap();
+        for (a, b) in p.buddy_pairs() {
+            let (ca, cb) = (t.coord(a), t.coord(b));
+            assert_eq!((ca.x, ca.y), (cb.x, cb.y));
+            assert_eq!(cb.z, ca.z + 1, "buddies are adjacent planes");
+            assert_eq!(ca.z % 2, 0);
+        }
+    }
+
+    #[test]
+    fn mixed_chunk2_pairs_two_planes_apart() {
+        let t = t888();
+        let p = MappingKind::Mixed { chunk: 2 }.place(&t).unwrap();
+        for (a, b) in p.buddy_pairs() {
+            let (ca, cb) = (t.coord(a), t.coord(b));
+            assert_eq!((ca.x, ca.y), (cb.x, cb.y));
+            assert_eq!(cb.z, ca.z + 2);
+        }
+    }
+
+    #[test]
+    fn mixed_chunk1_equals_column() {
+        let t = t888();
+        let a = MappingKind::Mixed { chunk: 1 }.place(&t).unwrap();
+        let b = MappingKind::Column.place(&t).unwrap();
+        for node in t.nodes() {
+            assert_eq!(a.locate(node), b.locate(node));
+        }
+    }
+
+    #[test]
+    fn buddy_is_an_involution() {
+        let t = t888();
+        for kind in [
+            MappingKind::Default,
+            MappingKind::Column,
+            MappingKind::Mixed { chunk: 2 },
+            MappingKind::Mixed { chunk: 4 },
+        ] {
+            let p = kind.place(&t).unwrap();
+            for node in t.nodes() {
+                let b = p.buddy(node).unwrap();
+                assert_eq!(p.buddy(b).unwrap(), node, "{kind} buddy not involutive");
+                let (ra, _) = p.locate(node).unwrap();
+                let (rb, _) = p.locate(b).unwrap();
+                assert_ne!(ra, rb);
+            }
+        }
+    }
+
+    #[test]
+    fn spares_carved_from_tail_planes() {
+        let t = t888();
+        let p = MappingKind::Default.place_with_spares(&t, 128).unwrap();
+        assert_eq!(p.spares().len(), 128);
+        assert_eq!(p.ranks(), (512 - 128) / 2);
+        for &s in p.spares() {
+            assert!(t.coord(s).z >= 6);
+            assert_eq!(p.locate(s), None);
+        }
+    }
+
+    #[test]
+    fn bad_spare_granularity_rejected() {
+        let t = t888();
+        let err = MappingKind::Default.place_with_spares(&t, 10).unwrap_err();
+        assert!(matches!(err, MappingError::SpareGranularity { granularity: 128, .. }));
+    }
+
+    #[test]
+    fn odd_z_rejected() {
+        let t = Torus3d::mesh(4, 4, 3);
+        assert!(matches!(
+            MappingKind::Column.place(&t).unwrap_err(),
+            MappingError::ZExtent { .. }
+        ));
+        let t6 = Torus3d::mesh(4, 4, 6);
+        // mixed chunk=2 needs z % 4 == 0
+        assert!(MappingKind::Mixed { chunk: 2 }.place(&t6).is_err());
+        assert!(MappingKind::Column.place(&t6).is_ok());
+    }
+
+    #[test]
+    fn ranks_cover_all_non_spare_nodes_exactly_once() {
+        // z = 10: two tail planes (128 nodes) become spares, 8 usable planes
+        // satisfy mixed(chunk=2)'s  z % 4 == 0 requirement.
+        let t = Torus3d::mesh(8, 8, 10);
+        let p = MappingKind::Mixed { chunk: 2 }.place_with_spares(&t, 128).unwrap();
+        let mut seen = vec![false; t.len()];
+        for r in 0..2u8 {
+            for rank in 0..p.ranks() {
+                let n = p.node(r, rank);
+                assert!(!seen[n]);
+                seen[n] = true;
+                assert_eq!(p.locate(n), Some((r, rank)));
+            }
+        }
+        for &s in p.spares() {
+            assert!(!seen[s]);
+            seen[s] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

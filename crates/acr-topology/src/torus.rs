@@ -1,0 +1,374 @@
+//! The 3D torus/mesh machine and dimension-order routing.
+
+use std::fmt;
+
+/// A physical node's index in the machine (row-major over `(z, y, x)` with
+/// `x` fastest — the Blue Gene/P "XYZ" part of its TXYZ default order).
+pub type NodeId = usize;
+
+/// One of the three torus dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dim {
+    /// Fastest-varying dimension.
+    X,
+    /// Middle dimension.
+    Y,
+    /// Slowest-varying dimension (the one the default mapping splits; §4.2).
+    Z,
+}
+
+impl Dim {
+    /// All dimensions in routing order.
+    pub const ALL: [Dim; 3] = [Dim::X, Dim::Y, Dim::Z];
+
+    /// Index of this dimension into a `[usize; 3]` coordinate.
+    pub fn axis(self) -> usize {
+        match self {
+            Dim::X => 0,
+            Dim::Y => 1,
+            Dim::Z => 2,
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::X => write!(f, "X"),
+            Dim::Y => write!(f, "Y"),
+            Dim::Z => write!(f, "Z"),
+        }
+    }
+}
+
+/// A node coordinate `(x, y, z)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    /// X coordinate.
+    pub x: usize,
+    /// Y coordinate.
+    pub y: usize,
+    /// Z coordinate.
+    pub z: usize,
+}
+
+impl Coord {
+    /// Get the coordinate along `dim`.
+    pub fn get(&self, dim: Dim) -> usize {
+        match dim {
+            Dim::X => self.x,
+            Dim::Y => self.y,
+            Dim::Z => self.z,
+        }
+    }
+
+    fn set(&mut self, dim: Dim, v: usize) {
+        match dim {
+            Dim::X => self.x = v,
+            Dim::Y => self.y = v,
+            Dim::Z => self.z = v,
+        }
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.x, self.y, self.z)
+    }
+}
+
+/// A *directed* network link: the cable leaving `from` in direction
+/// `plus`/`minus` along `dim`. Checkpoint traffic in opposite directions does
+/// not contend on a full-duplex torus, so loads are tracked per direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Link {
+    /// Node the link leaves.
+    pub from: NodeId,
+    /// Dimension the link runs along.
+    pub dim: Dim,
+    /// True for the `+` direction (toward increasing coordinate).
+    pub plus: bool,
+}
+
+/// A 3D torus (or mesh, per dimension) machine.
+///
+/// `wrap` controls whether each dimension has wraparound links. Blue Gene/P
+/// allocations smaller than a full torus loop behave like meshes in the
+/// non-looping dimensions; the paper's Fig. 6 link counts assume mesh-style
+/// paths ("even if the torus links are considered, the overlap on links
+/// exists albeit in lower volume").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Torus3d {
+    dims: [usize; 3],
+    wrap: [bool; 3],
+}
+
+impl Torus3d {
+    /// A torus with wraparound in every dimension.
+    pub fn torus(x: usize, y: usize, z: usize) -> Self {
+        assert!(x > 0 && y > 0 && z > 0, "torus dimensions must be positive");
+        Self { dims: [x, y, z], wrap: [true, true, true] }
+    }
+
+    /// A mesh (no wraparound links).
+    pub fn mesh(x: usize, y: usize, z: usize) -> Self {
+        assert!(x > 0 && y > 0 && z > 0, "mesh dimensions must be positive");
+        Self { dims: [x, y, z], wrap: [false, false, false] }
+    }
+
+    /// Custom per-dimension wraparound.
+    pub fn with_wrap(x: usize, y: usize, z: usize, wrap: [bool; 3]) -> Self {
+        assert!(x > 0 && y > 0 && z > 0, "dimensions must be positive");
+        Self { dims: [x, y, z], wrap }
+    }
+
+    /// Extent along `dim`.
+    pub fn extent(&self, dim: Dim) -> usize {
+        self.dims[dim.axis()]
+    }
+
+    /// `[x, y, z]` extents.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True for a degenerate zero-node machine (never constructible; kept
+    /// for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Node id of a coordinate (x fastest, z slowest).
+    pub fn id(&self, c: Coord) -> NodeId {
+        debug_assert!(c.x < self.dims[0] && c.y < self.dims[1] && c.z < self.dims[2]);
+        (c.z * self.dims[1] + c.y) * self.dims[0] + c.x
+    }
+
+    /// Coordinate of a node id.
+    pub fn coord(&self, id: NodeId) -> Coord {
+        debug_assert!(id < self.len());
+        let x = id % self.dims[0];
+        let y = (id / self.dims[0]) % self.dims[1];
+        let z = id / (self.dims[0] * self.dims[1]);
+        Coord { x, y, z }
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.len()
+    }
+
+    /// The signed step (`+1`/`-1` as `plus = true/false`) and hop count of
+    /// the shortest path from `a` to `b` along `dim`, honouring wraparound.
+    /// Ties (distance exactly extent/2 on a torus) break toward `plus`.
+    fn step_along(&self, dim: Dim, a: usize, b: usize) -> (bool, usize) {
+        let n = self.dims[dim.axis()];
+        if a == b {
+            return (true, 0);
+        }
+        let fwd = (b + n - a) % n;
+        let bwd = (a + n - b) % n;
+        if !self.wrap[dim.axis()] {
+            // Mesh: only the direct direction exists.
+            return if b > a { (true, b - a) } else { (false, a - b) };
+        }
+        if fwd <= bwd {
+            (true, fwd)
+        } else {
+            (false, bwd)
+        }
+    }
+
+    /// Number of hops of the dimension-order route from `a` to `b`.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        let (ca, cb) = (self.coord(a), self.coord(b));
+        Dim::ALL
+            .iter()
+            .map(|&d| self.step_along(d, ca.get(d), cb.get(d)).1)
+            .sum()
+    }
+
+    /// The dimension-order (X, then Y, then Z) route from `a` to `b` as the
+    /// sequence of directed links traversed. Deterministic — this is the
+    /// static routing Blue Gene/P uses for its default (deterministic) mode,
+    /// and what the paper's link-overlap analysis assumes.
+    pub fn route(&self, a: NodeId, b: NodeId) -> Vec<Link> {
+        let mut links = Vec::with_capacity(self.hops(a, b));
+        let mut cur = self.coord(a);
+        let target = self.coord(b);
+        for &dim in &Dim::ALL {
+            let n = self.dims[dim.axis()];
+            let (plus, hops) = self.step_along(dim, cur.get(dim), target.get(dim));
+            for _ in 0..hops {
+                links.push(Link { from: self.id(cur), dim, plus });
+                let next = if plus {
+                    (cur.get(dim) + 1) % n
+                } else {
+                    (cur.get(dim) + n - 1) % n
+                };
+                cur.set(dim, next);
+            }
+        }
+        debug_assert_eq!(self.id(cur), b);
+        links
+    }
+
+    /// The six (or fewer, on mesh edges) neighbors of a node.
+    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        let c = self.coord(id);
+        let mut out = Vec::with_capacity(6);
+        for &dim in &Dim::ALL {
+            let n = self.dims[dim.axis()];
+            if n == 1 {
+                continue;
+            }
+            let v = c.get(dim);
+            for plus in [true, false] {
+                let wrapped = (plus && v + 1 == n) || (!plus && v == 0);
+                if wrapped && !self.wrap[dim.axis()] {
+                    continue;
+                }
+                let mut nc = c;
+                nc.set(dim, if plus { (v + 1) % n } else { (v + n - 1) % n });
+                let nid = self.id(nc);
+                if nid != id && !out.contains(&nid) {
+                    out.push(nid);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of directed links crossing the bisection that splits the
+    /// machine into low-Z and high-Z halves, per direction. This is the
+    /// bottleneck resource for the default mapping's buddy exchange (§4.2).
+    pub fn z_bisection_links(&self) -> usize {
+        // One +Z link per (x, y) column crosses the cut (plus the wraparound
+        // link if the Z dimension wraps).
+        let columns = self.dims[0] * self.dims[1];
+        if self.wrap[2] {
+            columns * 2
+        } else {
+            columns
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_coord_roundtrip() {
+        let t = Torus3d::torus(4, 3, 5);
+        assert_eq!(t.len(), 60);
+        for id in t.nodes() {
+            assert_eq!(t.id(t.coord(id)), id);
+        }
+        // x is fastest
+        assert_eq!(t.id(Coord { x: 1, y: 0, z: 0 }), 1);
+        assert_eq!(t.id(Coord { x: 0, y: 1, z: 0 }), 4);
+        assert_eq!(t.id(Coord { x: 0, y: 0, z: 1 }), 12);
+    }
+
+    #[test]
+    fn route_is_dimension_ordered_and_minimal() {
+        let t = Torus3d::torus(8, 8, 8);
+        let a = t.id(Coord { x: 1, y: 2, z: 3 });
+        let b = t.id(Coord { x: 6, y: 0, z: 4 });
+        let route = t.route(a, b);
+        // x: 1->6 wraps backward (3 hops), y: 2->0 (2 hops), z: 3->4 (1 hop)
+        assert_eq!(route.len(), 3 + 2 + 1);
+        assert_eq!(t.hops(a, b), route.len());
+        // dims appear in X..Y..Z order
+        let dims: Vec<Dim> = route.iter().map(|l| l.dim).collect();
+        let mut sorted = dims.clone();
+        sorted.sort();
+        assert_eq!(dims, sorted);
+    }
+
+    #[test]
+    fn torus_wraps_and_mesh_does_not() {
+        let torus = Torus3d::torus(8, 1, 1);
+        let mesh = Torus3d::mesh(8, 1, 1);
+        // 0 -> 7: torus goes backward 1 hop, mesh forward 7 hops
+        assert_eq!(torus.hops(0, 7), 1);
+        assert_eq!(mesh.hops(0, 7), 7);
+        assert!(!torus.route(0, 7)[0].plus);
+        assert!(mesh.route(0, 7)[0].plus);
+    }
+
+    #[test]
+    fn tie_breaks_toward_plus() {
+        let t = Torus3d::torus(8, 1, 1);
+        let r = t.route(0, 4); // distance 4 both ways
+        assert_eq!(r.len(), 4);
+        assert!(r.iter().all(|l| l.plus));
+    }
+
+    #[test]
+    fn route_endpoints_chain() {
+        let t = Torus3d::torus(4, 4, 4);
+        let a = 5;
+        let b = 62;
+        let route = t.route(a, b);
+        let mut cur = a;
+        for link in &route {
+            assert_eq!(link.from, cur);
+            // apply the step
+            let c = t.coord(cur);
+            let n = t.extent(link.dim);
+            let v = c.get(link.dim);
+            let nv = if link.plus { (v + 1) % n } else { (v + n - 1) % n };
+            let mut nc = c;
+            match link.dim {
+                Dim::X => nc.x = nv,
+                Dim::Y => nc.y = nv,
+                Dim::Z => nc.z = nv,
+            }
+            cur = t.id(nc);
+        }
+        assert_eq!(cur, b);
+    }
+
+    #[test]
+    fn self_route_is_empty() {
+        let t = Torus3d::torus(4, 4, 4);
+        assert!(t.route(9, 9).is_empty());
+        assert_eq!(t.hops(9, 9), 0);
+    }
+
+    #[test]
+    fn neighbors_count() {
+        let t = Torus3d::torus(4, 4, 4);
+        for id in t.nodes() {
+            assert_eq!(t.neighbors(id).len(), 6);
+        }
+        let m = Torus3d::mesh(4, 4, 4);
+        // corner has 3 neighbors
+        assert_eq!(m.neighbors(0).len(), 3);
+        // interior has 6
+        let interior = m.id(Coord { x: 1, y: 1, z: 1 });
+        assert_eq!(m.neighbors(interior).len(), 6);
+    }
+
+    #[test]
+    fn degenerate_dimension_skipped_in_neighbors() {
+        let t = Torus3d::torus(4, 1, 1);
+        assert_eq!(t.neighbors(0).len(), 2);
+        let two = Torus3d::torus(2, 1, 1);
+        // +x and -x reach the same node; deduplicated
+        assert_eq!(two.neighbors(0), vec![1]);
+    }
+
+    #[test]
+    fn z_bisection_count() {
+        assert_eq!(Torus3d::mesh(8, 8, 8).z_bisection_links(), 64);
+        assert_eq!(Torus3d::torus(8, 8, 8).z_bisection_links(), 128);
+    }
+}

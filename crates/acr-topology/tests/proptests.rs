@@ -1,0 +1,103 @@
+//! Property-based tests for routing and mapping invariants.
+
+use acr_topology::{Coord, Dim, ExchangePattern, LinkLoads, MappingKind, Torus3d};
+use proptest::prelude::*;
+
+fn machine_strategy() -> impl Strategy<Value = Torus3d> {
+    (1usize..6, 1usize..6, 1usize..9, any::<[bool; 3]>()).prop_map(|(x, y, z, wrap)| {
+        Torus3d::with_wrap(x, y, z * 2, wrap) // even Z so mappings apply
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dimension-order routes are connected, start at the source, end at the
+    /// destination, and have exactly `hops(a, b)` links.
+    #[test]
+    fn routes_are_valid_paths(t in machine_strategy(), seed in any::<(u64, u64)>()) {
+        let n = t.len();
+        let a = (seed.0 % n as u64) as usize;
+        let b = (seed.1 % n as u64) as usize;
+        let route = t.route(a, b);
+        prop_assert_eq!(route.len(), t.hops(a, b));
+
+        let mut cur = a;
+        for link in &route {
+            prop_assert_eq!(link.from, cur);
+            let c = t.coord(cur);
+            let ext = t.extent(link.dim);
+            let v = c.get(link.dim);
+            let nv = if link.plus { (v + 1) % ext } else { (v + ext - 1) % ext };
+            let nc = match link.dim {
+                Dim::X => Coord { x: nv, ..c },
+                Dim::Y => Coord { y: nv, ..c },
+                Dim::Z => Coord { z: nv, ..c },
+            };
+            cur = t.id(nc);
+        }
+        prop_assert_eq!(cur, b);
+    }
+
+    /// Per-dimension route length is minimal (≤ extent/2 on wrapped
+    /// dimensions, ≤ |a-b| on meshes).
+    #[test]
+    fn routes_are_minimal_per_dimension(t in machine_strategy(), seed in any::<(u64, u64)>()) {
+        let n = t.len();
+        let a = (seed.0 % n as u64) as usize;
+        let b = (seed.1 % n as u64) as usize;
+        let (ca, cb) = (t.coord(a), t.coord(b));
+        let route = t.route(a, b);
+        for &dim in &Dim::ALL {
+            let hops = route.iter().filter(|l| l.dim == dim).count();
+            let ext = t.extent(dim);
+            let (va, vb) = (ca.get(dim), cb.get(dim));
+            let direct = va.abs_diff(vb);
+            let wrapped = ext - direct;
+            let min = direct.min(wrapped);
+            // mesh dims can't wrap; wrapped dims must take the shorter way
+            prop_assert!(hops == direct || hops == wrapped);
+            prop_assert!(hops == direct || hops >= min);
+            prop_assert!(hops <= direct.max(1) * ext); // sanity bound
+        }
+    }
+
+    /// Buddy pairing is a bijection between the replicas for every mapping
+    /// that accepts the machine.
+    #[test]
+    fn buddy_bijection(t in machine_strategy(), chunk in 1usize..4) {
+        for kind in [MappingKind::Default, MappingKind::Column, MappingKind::Mixed { chunk }] {
+            let Ok(p) = kind.place(&t) else { continue };
+            prop_assert_eq!(p.ranks() * 2, t.len());
+            let mut seen0 = vec![false; t.len()];
+            let mut seen1 = vec![false; t.len()];
+            for (a, b) in p.buddy_pairs() {
+                prop_assert!(!seen0[a] && !seen1[b]);
+                seen0[a] = true;
+                seen1[b] = true;
+                prop_assert_eq!(p.buddy(a), Some(b));
+                prop_assert_eq!(p.buddy(b), Some(a));
+            }
+        }
+    }
+
+    /// Link loads conserve hops, and the column mapping never exceeds load 1
+    /// on any machine it accepts (the paper's "best in terms of network
+    /// congestion" claim).
+    #[test]
+    fn column_mapping_is_contention_free(t in machine_strategy()) {
+        let Ok(p) = MappingKind::Column.place(&t) else { return Ok(()) };
+        let loads = LinkLoads::analyze(&t, &p, ExchangePattern::FullBuddyExchange);
+        prop_assert!(loads.max_load() <= 1);
+        prop_assert_eq!(loads.messages(), p.ranks());
+    }
+
+    /// Mixed mapping's bottleneck is bounded by its chunk size.
+    #[test]
+    fn mixed_mapping_bounded_by_chunk(t in machine_strategy(), chunk in 1usize..5) {
+        let Ok(p) = (MappingKind::Mixed { chunk }).place(&t) else { return Ok(()) };
+        let loads = LinkLoads::analyze(&t, &p, ExchangePattern::FullBuddyExchange);
+        prop_assert!(loads.max_load() as usize <= chunk,
+            "chunk {} produced load {}", chunk, loads.max_load());
+    }
+}

@@ -1,0 +1,76 @@
+//! Checkpoint-consensus protocol cost (§2.2): messages and wall time per
+//! round as the node count grows. The protocol is a tree reduction + two
+//! broadcasts, so both should grow as Θ(n) messages / Θ(log n) depth — the
+//! "minimal application interference" claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::VecDeque;
+use std::hint::black_box;
+
+use acr_core::{ConsensusAction, ConsensusEngine, ConsensusMsg};
+
+/// Run one full round over `n` engines with synchronous delivery; returns
+/// the number of protocol messages.
+fn one_round(n: usize, round: u64, engines: &mut [ConsensusEngine]) -> usize {
+    let mut queue: VecDeque<(usize, ConsensusMsg)> = (0..n).map(|i| (i, ConsensusMsg::Start { round })).collect();
+    let mut messages = 0;
+    let mut checkpoints = 0;
+    while let Some((node, msg)) = queue.pop_front() {
+        for action in engines[node].on_message(msg) {
+            match action {
+                ConsensusAction::Send { to, msg } => {
+                    messages += 1;
+                    queue.push_back((to, msg));
+                }
+                ConsensusAction::Checkpoint { .. } => checkpoints += 1,
+            }
+        }
+    }
+    assert_eq!(checkpoints, n, "every node must checkpoint");
+    for e in engines.iter_mut() {
+        e.checkpoint_done();
+    }
+    messages
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus_round");
+    for n in [16usize, 128, 1024, 8192] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut engines: Vec<ConsensusEngine> =
+                (0..n).map(|i| ConsensusEngine::new(i, n, 1)).collect();
+            // All tasks at the same iteration (a quiescent app): the bench
+            // never steps tasks, so uneven progress could not drain to the
+            // decided target and the round would (correctly) stall.
+            for e in engines.iter_mut() {
+                let _ = e.report_progress(0, 7);
+            }
+            let mut round = 0;
+            b.iter(|| {
+                round += 1;
+                black_box(one_round(n, round, &mut engines))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_progress_report(c: &mut Criterion) {
+    // The forward-path cost of the §2.2 hook: one progress report while no
+    // round is in flight ("in most cases, this call returns immediately").
+    let mut e = ConsensusEngine::new(0, 1024, 4);
+    let mut p = 0;
+    c.bench_function("idle_progress_report", |b| {
+        b.iter(|| {
+            p += 1;
+            black_box(e.report_progress(p as usize % 4, p))
+        })
+    });
+}
+
+criterion_group! {
+    name = consensus;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_round, bench_progress_report
+}
+criterion_main!(consensus);

@@ -1,0 +1,11 @@
+//! `cargo bench` entry point that regenerates every table and figure of the
+//! paper's evaluation (§6), printing the series and writing CSVs under
+//! ./results/. Not a criterion bench: the artifact is the reproduction
+//! itself, not a latency distribution.
+
+fn main() {
+    // When cargo passes `--bench`/filters, just run everything: the harness
+    // is deterministic and fast (~seconds).
+    println!("{}", bench::all_figures());
+    println!("CSV series written to ./results/");
+}

@@ -1,0 +1,53 @@
+//! §4.2's cost analysis, measured: the full-checkpoint path costs one copy
+//! per word plus the per-byte network charge β; the checksum path costs ~4
+//! extra arithmetic ops per word (γ). Checksum wins iff γ < β/4. This bench
+//! measures the γ side on the host CPU: Fletcher-64 throughput vs `memcpy`
+//! and vs byte-wise comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use acr_pup::{fletcher64, Fletcher64};
+
+fn bench_fletcher(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fletcher_vs_copy");
+    for size in [4 * 1024usize, 256 * 1024, 4 * 1024 * 1024] {
+        let data: Vec<u8> = (0..size).map(|i| (i * 31) as u8).collect();
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("fletcher64", size), &data, |b, d| {
+            b.iter(|| fletcher64(black_box(d)))
+        });
+        g.bench_with_input(BenchmarkId::new("memcpy", size), &data, |b, d| {
+            let mut dst = vec![0u8; d.len()];
+            b.iter(|| {
+                dst.copy_from_slice(black_box(d));
+                black_box(dst[0])
+            })
+        });
+        let other = data.clone();
+        g.bench_with_input(BenchmarkId::new("bytewise_compare", size), &data, |b, d| {
+            b.iter(|| black_box(d == &other))
+        });
+    }
+    g.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let data: Vec<u8> = (0..1 << 20).map(|i| (i * 7) as u8).collect();
+    c.bench_function("fletcher64_streaming_64k_chunks", |b| {
+        b.iter(|| {
+            let mut f = Fletcher64::new();
+            for chunk in data.chunks(64 * 1024) {
+                f.update(black_box(chunk));
+            }
+            f.digest()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fletcher, bench_streaming
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! PUP framework throughput on the real Table 2 kernels: pack (local
+//! checkpoint), unpack (restart), compare (SDC detection) and the streaming
+//! digest — the δ ingredients of Fig. 8, measured instead of modelled.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use acr_apps::{Hpccg, Jacobi3d, LeanMd, MiniApp, MiniMd};
+use acr_pup::{compare, fletcher64_of, pack, packed_size, unpack, Pup};
+
+fn bench_kernel<A: MiniApp + Pup>(c: &mut Criterion, name: &str, mut app: A) {
+    // Warm the state a little so it is not trivially zero.
+    for _ in 0..3 {
+        app.step();
+    }
+    let size = packed_size(&mut app).unwrap() as u64;
+    let ckpt = pack(&mut app).unwrap();
+
+    let mut g = c.benchmark_group(format!("pup_{name}"));
+    g.throughput(Throughput::Bytes(size));
+    g.bench_function(BenchmarkId::new("pack", size), |b| {
+        b.iter(|| pack(black_box(&mut app)).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("unpack", size), |b| {
+        b.iter(|| unpack(black_box(&ckpt), &mut app).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("compare", size), |b| {
+        b.iter(|| compare(black_box(&mut app), &ckpt).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("fletcher", size), |b| {
+        b.iter(|| fletcher64_of(black_box(&mut app)).unwrap())
+    });
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    // Scaled-down versions of the Table 2 shapes (the full ones take
+    // seconds per pack in debug-free release mode; shapes are identical).
+    bench_kernel(c, "jacobi3d", Jacobi3d::new(32, 32, 32));
+    bench_kernel(c, "hpccg", Hpccg::new(20, 20, 20));
+    bench_kernel(c, "leanmd_aos", LeanMd::new(1000, 1));
+    bench_kernel(c, "minimd_soa", MiniMd::new(1000, 1));
+}
+
+criterion_group! {
+    name = pup;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(pup);

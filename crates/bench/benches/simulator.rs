@@ -1,0 +1,65 @@
+//! Simulator performance: whole-job timelines per second (the harness runs
+//! hundreds of these for Figs. 9/11), and link-load analysis on the largest
+//! machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use acr_apps::TABLE2;
+use acr_core::{DetectionMethod, Scheme};
+use acr_fault::{FailureDistribution, FailureProcess, FailureTrace};
+use acr_sim::{Machine, SimConfig, TauPolicy, Timeline};
+use acr_topology::{ExchangePattern, LinkLoads, MappingKind};
+
+fn bench_timeline(c: &mut Criterion) {
+    let machine = Machine::bgp(65536, MappingKind::Default);
+    let timeline = Timeline::new(machine, TABLE2[0]);
+    let trace = FailureTrace::generate(
+        Some(FailureProcess::Renewal(FailureDistribution::exponential(5_000.0))),
+        Some(FailureProcess::Renewal(FailureDistribution::exponential(20_000.0))),
+        3.0 * 86_400.0,
+        32_768,
+        7,
+    );
+    let mut g = c.benchmark_group("sim_timeline_24h_job");
+    for scheme in Scheme::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &scheme| {
+            b.iter(|| {
+                black_box(timeline.run(&SimConfig {
+                    work: 86_400.0,
+                    scheme,
+                    detection: DetectionMethod::FullCompare,
+                    tau: TauPolicy::Fixed(120.0),
+                    trace: trace.clone(),
+            alarms: Vec::new(),
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_linkloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("link_load_analysis");
+    for cores in [4096u64, 65536] {
+        let m = Machine::bgp(cores, MappingKind::Default);
+        g.bench_with_input(BenchmarkId::from_parameter(cores), &m, |b, m| {
+            b.iter(|| {
+                let loads = LinkLoads::analyze(
+                    &m.torus,
+                    m.placement(),
+                    ExchangePattern::FullBuddyExchange,
+                );
+                black_box(loads.max_load())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = simulator;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_timeline, bench_linkloads
+}
+criterion_main!(simulator);

@@ -1,0 +1,4 @@
+//! Regenerate the paper figure; see `bench::ablations`.
+fn main() {
+    println!("{}", bench::ablations());
+}

@@ -1,0 +1,6 @@
+//! Regenerate every table and figure of the paper's evaluation; CSVs are
+//! written to ./results/.
+fn main() {
+    println!("{}", bench::all_figures());
+    println!("CSV series written to ./results/");
+}

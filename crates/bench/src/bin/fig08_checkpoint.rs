@@ -1,0 +1,4 @@
+//! Regenerate the paper figure; see `bench::fig08`.
+fn main() {
+    println!("{}", bench::fig08());
+}

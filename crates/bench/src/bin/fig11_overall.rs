@@ -1,0 +1,4 @@
+//! Regenerate the paper figure; see `bench::fig09_fig11`.
+fn main() {
+    println!("{}", bench::fig09_fig11());
+}

@@ -1,0 +1,4 @@
+//! Regenerate the paper figure; see `bench::fig12`.
+fn main() {
+    println!("{}", bench::fig12());
+}

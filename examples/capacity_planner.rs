@@ -1,0 +1,69 @@
+//! Capacity planner: evaluate the §5 model for *your* machine and pick a
+//! resilience scheme.
+//!
+//! ```text
+//! cargo run --release --example capacity_planner -- <sockets-per-replica> <delta-seconds> [sdc-fit] [mtbf-years] [work-hours]
+//! cargo run --release --example capacity_planner -- 65536 15
+//! ```
+
+use acr::model::{ModelParams, Scheme, SchemeModel, HOUR};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sockets: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(16384);
+    let delta: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(15.0);
+    let fit: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let mtbf_years: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(50.0);
+    let work_hours: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(24.0);
+
+    let params = ModelParams::from_sockets(
+        work_hours * HOUR,
+        delta,
+        delta,
+        delta,
+        sockets,
+        mtbf_years,
+        fit,
+    );
+    let model = SchemeModel::new(params);
+
+    println!("machine: {sockets} sockets/replica · δ = {delta} s · {fit} FIT/socket · {mtbf_years} y hard-MTBF/socket");
+    println!("job:     {work_hours} h of work\n");
+    println!(
+        "system hard-error MTBF: {:.1} h   system SDC MTBF: {:.1} h\n",
+        params.m_h / HOUR,
+        params.m_s / HOUR
+    );
+    println!(
+        "{:<8} {:>9} {:>11} {:>12} {:>12} {:>16}",
+        "scheme", "τ* (s)", "T (h)", "utilization", "overhead %", "P(undetected)"
+    );
+    for scheme in Scheme::ALL {
+        let e = model.optimize(scheme);
+        println!(
+            "{:<8} {:>9.0} {:>11.2} {:>12.4} {:>12.2} {:>16.6}",
+            scheme.name(),
+            e.tau,
+            e.t_total / HOUR,
+            e.utilization,
+            100.0 * e.overhead,
+            e.p_undetected_sdc
+        );
+    }
+
+    let strong = model.optimize(Scheme::Strong);
+    let medium = model.optimize(Scheme::Medium);
+    println!();
+    if medium.p_undetected_sdc < 0.01 {
+        println!(
+            "recommendation: MEDIUM — undetected-SDC risk {:.3}% with {:.2}% less overhead than strong",
+            100.0 * medium.p_undetected_sdc,
+            100.0 * (strong.overhead - medium.overhead)
+        );
+    } else {
+        println!(
+            "recommendation: STRONG — medium would leave a {:.1}% chance of a silently wrong answer",
+            100.0 * medium.p_undetected_sdc
+        );
+    }
+}

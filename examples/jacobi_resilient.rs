@@ -1,0 +1,58 @@
+//! Jacobi3D decomposed across ranks with real halo exchange, run under all
+//! three recovery schemes (§2.3) with a crash injected mid-run.
+//!
+//! The halo-exchange workload keeps messages in flight at all times, so
+//! this exercises exactly the §2.2 consistency machinery: the checkpoint
+//! consensus must capture a cut in which no halo is lost.
+//!
+//! ```text
+//! cargo run --release --example jacobi_resilient
+//! ```
+
+use std::time::{Duration, Instant};
+
+use acr::integration::JacobiHaloTask;
+use acr::runtime::{DetectionMethod, Fault, Job, JobConfig, Scheme};
+
+fn main() {
+    const RANKS: usize = 4;
+    const ITERS: u64 = 500;
+
+    println!("global domain: {}×12×12 over {RANKS} ranks, {ITERS} iterations", 10 * RANKS);
+    println!("crash injected at t = 0.8 s in replica 1, rank 2\n");
+    println!("{:<8} {:>10} {:>8} {:>10} {:>9} {:>8}", "scheme", "wall (s)", "ckpts", "recovered", "unverif.", "agree");
+
+    for scheme in [Scheme::Strong, Scheme::Medium, Scheme::Weak] {
+        let cfg = JobConfig {
+            ranks: RANKS,
+            tasks_per_rank: 1,
+            spares: 1,
+            scheme,
+            detection: DetectionMethod::FullCompare,
+            checkpoint_interval: Duration::from_millis(200),
+            max_duration: Duration::from_secs(120),
+            ..JobConfig::default()
+        };
+        let faults = vec![(Duration::from_millis(800), Fault::Crash { replica: 1, rank: 2 })];
+        let t0 = Instant::now();
+        let report = Job::run(
+            cfg,
+            move |rank, _task| Box::new(JacobiHaloTask::new(rank, RANKS, 10, 12, 12, ITERS)),
+            faults,
+        );
+        let wall = t0.elapsed().as_secs_f64();
+        assert!(report.completed, "{scheme}: {:?}", report.error);
+        println!(
+            "{:<8} {:>10.2} {:>8} {:>10} {:>9} {:>8}",
+            scheme.name(),
+            wall,
+            report.checkpoints_verified,
+            report.hard_errors_recovered,
+            report.unverified_recoveries,
+            report.replicas_agree(),
+        );
+    }
+
+    println!("\nstrong re-executes lost work; medium/weak ship a fresh checkpoint instead");
+    println!("(weak defers the transfer to the next periodic checkpoint — §2.3).");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: a replicated, self-checkpointing job that survives one
+//! silent data corruption and one node crash.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::time::Duration;
+
+use acr::apps::Jacobi3d;
+use acr::integration::MiniAppTask;
+use acr::runtime::{DetectionMethod, Fault, Job, JobConfig, Scheme};
+
+fn main() {
+    // 4 ranks per replica + 2 spares = 10 virtual nodes (threads), each
+    // running a small Jacobi3D block for 800 iterations.
+    let cfg = JobConfig {
+        ranks: 4,
+        tasks_per_rank: 1,
+        spares: 2,
+        scheme: Scheme::Strong,
+        detection: DetectionMethod::FullCompare,
+        checkpoint_interval: Duration::from_millis(150),
+        max_duration: Duration::from_secs(120),
+        ..JobConfig::default()
+    };
+
+    // The §6.1 fault plan: flip a bit in rank 2's user data at t = 0.4 s,
+    // fail-stop rank 1 of replica 0 at t = 1.2 s.
+    let faults = vec![
+        (Duration::from_millis(400), Fault::Sdc { replica: 1, rank: 2, seed: 42 }),
+        (Duration::from_millis(1200), Fault::Crash { replica: 0, rank: 1 }),
+    ];
+
+    println!("launching replicated Jacobi3D (2 × 4 ranks + 2 spares)...");
+    let report = Job::run(
+        cfg,
+        |_rank, _task| Box::new(MiniAppTask::new(Jacobi3d::new(12, 12, 12), 800)),
+        faults,
+    );
+
+    println!("completed:              {}", report.completed);
+    println!("checkpoints verified:   {}", report.checkpoints_verified);
+    println!("SDC rounds detected:    {}", report.sdc_rounds_detected);
+    println!("rollbacks:              {}", report.rollbacks);
+    println!("hard errors recovered:  {}", report.hard_errors_recovered);
+    println!("replicas agree:         {}", report.replicas_agree());
+
+    assert!(report.completed, "job failed: {:?}", report.error);
+    assert!(report.replicas_agree(), "corruption escaped!");
+    println!("\nACR absorbed both faults; the answer is certified SDC-free.");
+}

@@ -1,0 +1,195 @@
+//! Adapters that run the evaluation mini-apps (`acr-apps`) as tasks on the
+//! replicated runtime (`acr-runtime`) — the glue the paper's §4 provides
+//! inside Charm++.
+
+use acr_apps::{Face, Jacobi3d, MiniApp};
+use acr_pup::{PupResult, Puper};
+use acr_runtime::{AppMsg, Task, TaskCtx, TaskId};
+
+/// Run any self-contained [`MiniApp`] kernel as a runtime task (one domain
+/// block per rank, no inter-rank communication — the configuration the
+/// paper uses for its per-core Table 2 workloads).
+pub struct MiniAppTask<A: MiniApp + Send> {
+    app: A,
+    total_iters: u64,
+}
+
+impl<A: MiniApp + Send> MiniAppTask<A> {
+    /// Wrap `app`, running it for `total_iters` iterations.
+    pub fn new(app: A, total_iters: u64) -> Self {
+        Self { app, total_iters }
+    }
+
+    /// The wrapped kernel.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+}
+
+impl<A: MiniApp + Send> Task for MiniAppTask<A> {
+    fn try_step(&mut self, _ctx: &mut TaskCtx<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        self.app.step();
+        true
+    }
+
+    fn on_message(&mut self, _msg: AppMsg, _ctx: &mut TaskCtx<'_>) {}
+
+    fn progress(&self) -> u64 {
+        self.app.iteration()
+    }
+
+    fn done(&self) -> bool {
+        self.app.iteration() >= self.total_iters
+    }
+
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        self.app.pup(p)?;
+        p.pup_u64(&mut self.total_iters)
+    }
+}
+
+/// Message tags for [`JacobiHaloTask`] halo traffic.
+const TAG_FACE_LO: u64 = 1 << 32;
+const TAG_FACE_HI: u64 = 1 << 33;
+
+/// Jacobi3D decomposed across ranks along X with real halo exchange through
+/// the runtime — the paper's flagship communicating workload, exercising
+/// the §2.2 consistency machinery (iterations block on neighbour data, so
+/// there are always halos in flight).
+pub struct JacobiHaloTask {
+    block: Jacobi3d,
+    rank: usize,
+    ranks: usize,
+    total_iters: u64,
+    /// Received halos for the *next* iteration, keyed by iteration.
+    pending_lo: Vec<(u64, Vec<f64>)>,
+    pending_hi: Vec<(u64, Vec<f64>)>,
+}
+
+impl JacobiHaloTask {
+    /// A `nx × ny × nz` block of the global `(nx·ranks) × ny × nz` domain.
+    pub fn new(rank: usize, ranks: usize, nx: usize, ny: usize, nz: usize, iters: u64) -> Self {
+        let mut block = Jacobi3d::new(nx, ny, nz);
+        // Interior blocks start cold on the -X side (only rank 0 keeps the
+        // global hot boundary).
+        if rank > 0 {
+            let cold = vec![0.0; ny * nz];
+            block.set_halo(Face::XLo, &cold);
+        }
+        Self { block, rank, ranks, total_iters: iters, pending_lo: Vec::new(), pending_hi: Vec::new() }
+    }
+
+    /// The block (for diagnostics).
+    pub fn block(&self) -> &Jacobi3d {
+        &self.block
+    }
+
+    /// Publish boundary faces after a step, tagged with the 0-based index
+    /// of the iteration just completed (`iteration() - 1`): iteration `c`
+    /// consumes the neighbours' tag `c − 1`.
+    fn send_faces(&mut self, ctx: &mut TaskCtx<'_>) {
+        debug_assert!(self.block.iteration() > 0, "publish follows a step");
+        let iter = self.block.iteration() - 1;
+        if self.rank > 0 {
+            let face = self.block.extract_face(Face::XLo);
+            let data: Vec<u8> = face.iter().flat_map(|v| v.to_le_bytes()).collect();
+            ctx.send(TaskId { rank: self.rank - 1, task: 0 }, TAG_FACE_HI | iter, data);
+        }
+        if self.rank + 1 < self.ranks {
+            let face = self.block.extract_face(Face::XHi);
+            let data: Vec<u8> = face.iter().flat_map(|v| v.to_le_bytes()).collect();
+            ctx.send(TaskId { rank: self.rank + 1, task: 0 }, TAG_FACE_LO | iter, data);
+        }
+    }
+
+    fn halos_ready(&self, iter: u64) -> bool {
+        let need_lo = self.rank > 0;
+        let need_hi = self.rank + 1 < self.ranks;
+        (!need_lo || self.pending_lo.iter().any(|(i, _)| *i == iter))
+            && (!need_hi || self.pending_hi.iter().any(|(i, _)| *i == iter))
+    }
+
+    fn install_halos(&mut self, iter: u64) {
+        if let Some(pos) = self.pending_lo.iter().position(|(i, _)| *i == iter) {
+            let (_, data) = self.pending_lo.swap_remove(pos);
+            self.block.set_halo(Face::XLo, &data);
+        }
+        if let Some(pos) = self.pending_hi.iter().position(|(i, _)| *i == iter) {
+            let (_, data) = self.pending_hi.swap_remove(pos);
+            self.block.set_halo(Face::XHi, &data);
+        }
+        self.pending_lo.retain(|(i, _)| *i >= iter);
+        self.pending_hi.retain(|(i, _)| *i >= iter);
+    }
+}
+
+impl Task for JacobiHaloTask {
+    fn try_step(&mut self, ctx: &mut TaskCtx<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        let iter = self.block.iteration();
+        if iter == 0 {
+            // First iteration computes on initial halos, then publishes.
+            self.block.step();
+            self.send_faces(ctx);
+            return true;
+        }
+        // Iteration i needs the faces neighbours published after their
+        // iteration i-1.
+        if !self.halos_ready(iter - 1) {
+            return false;
+        }
+        self.install_halos(iter - 1);
+        self.block.step();
+        self.send_faces(ctx);
+        true
+    }
+
+    fn on_message(&mut self, msg: AppMsg, _ctx: &mut TaskCtx<'_>) {
+        let iter = msg.tag & 0xFFFF_FFFF;
+        let data: Vec<f64> = msg
+            .data
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunks")))
+            .collect();
+        if msg.tag & TAG_FACE_LO != 0 {
+            self.pending_lo.push((iter, data));
+        } else {
+            self.pending_hi.push((iter, data));
+        }
+    }
+
+    fn progress(&self) -> u64 {
+        self.block.iteration()
+    }
+
+    fn done(&self) -> bool {
+        self.block.iteration() >= self.total_iters
+    }
+
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        use acr_pup::Pup;
+        self.block.pup(p)?;
+        p.pup_usize(&mut self.rank)?;
+        p.pup_usize(&mut self.ranks)?;
+        p.pup_u64(&mut self.total_iters)?;
+        // Buffered halos are part of the consistent cut.
+        let n = p.pup_len(self.pending_lo.len())?;
+        self.pending_lo.resize(n, (0, Vec::new()));
+        for (i, d) in self.pending_lo.iter_mut() {
+            p.pup_u64(i)?;
+            d.pup(p)?;
+        }
+        let n = p.pup_len(self.pending_hi.len())?;
+        self.pending_hi.resize(n, (0, Vec::new()));
+        for (i, d) in self.pending_hi.iter_mut() {
+            p.pup_u64(i)?;
+            d.pup(p)?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,62 @@
+//! # ACR — Automatic Checkpoint/Restart for Soft and Hard Error Protection
+//!
+//! A from-scratch Rust reproduction of *ACR* (Ni, Meneses, Jain, Kalé —
+//! SC '13): a fault-tolerance framework that combines **dual replication**
+//! with **double-level in-memory checkpointing** to detect and correct both
+//! silent data corruption (SDC) and fail-stop node crashes, and that adapts
+//! its checkpoint period online to the observed failure rate.
+//!
+//! ## Crate map
+//!
+//! * [`pup`] — Pack/UnPack serialization, checkpoint comparison with
+//!   tolerance policies, position-dependent Fletcher-64 checksums, and
+//!   float-region mapping for fault injection.
+//! * [`topology`] — 3D torus machine model, the default/column/mixed
+//!   replica mappings, and buddy-traffic link-load analysis (Fig. 6).
+//! * [`fault`] — failure distributions (exponential, Weibull, log-normal,
+//!   gamma, power-law processes), seeded fault traces and injectors, online
+//!   MTBF estimation, and the adaptive checkpoint-interval policy.
+//! * [`model`] — the §5 analytical performance/reliability model: the three
+//!   schemes' total-time equations, optimal periods, utilization and
+//!   undetected-SDC probability (Figs. 1, 7).
+//! * [`protocol`] — runtime-agnostic ACR state machines: replica layout,
+//!   the four-phase checkpoint consensus, checkpoint store, SDC detectors,
+//!   recovery planning, heartbeat monitoring.
+//! * [`runtime`] — a real multithreaded message-driven runtime with
+//!   replication, buddy comparison, and automatic spare-node recovery.
+//! * [`sim`] — a discrete-event simulator of a Blue Gene/P-class machine
+//!   for the at-scale experiments (Figs. 8–12).
+//! * [`apps`] — the five evaluation mini-apps (Table 2).
+//! * [`integration`] — adapters running the mini-apps on the runtime.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use std::time::Duration;
+//! use acr::integration::MiniAppTask;
+//! use acr::runtime::{DetectionMethod, Fault, Job, JobConfig, Scheme};
+//!
+//! let cfg = JobConfig {
+//!     ranks: 4,
+//!     scheme: Scheme::Strong,
+//!     detection: DetectionMethod::Checksum,
+//!     ..JobConfig::default()
+//! };
+//! let report = Job::run(
+//!     cfg,
+//!     |rank, _task| Box::new(MiniAppTask::new(acr::apps::Jacobi3d::new(8, 8, 8), 500)),
+//!     vec![(Duration::from_millis(300), Fault::Sdc { replica: 1, rank: 2, seed: 7 })],
+//! );
+//! assert!(report.completed && report.replicas_agree());
+//! ```
+
+pub mod integration;
+
+pub use acr_apps as apps;
+pub use acr_core as protocol;
+pub use acr_fault as fault;
+pub use acr_model as model;
+pub use acr_pup as pup;
+pub use acr_runtime as runtime;
+pub use acr_sim as sim;
+pub use acr_topology as topology;

@@ -1,0 +1,211 @@
+//! Cross-crate integration tests: real mini-apps on the replicated runtime,
+//! and the simulator cross-validated against the analytical model.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Jobs spawn ~10 OS threads of busy compute each; running several at once
+/// oversubscribes the CPU badly enough to trip heartbeat failure detectors
+/// (a *false positive* node death). Real deployments pin one node per core;
+/// tests serialize instead.
+static JOB_SERIAL: Mutex<()> = Mutex::new(());
+
+use acr::apps::{Hpccg, Jacobi3d, LeanMd, MiniApp, MiniMd};
+use acr::integration::{JacobiHaloTask, MiniAppTask};
+use acr::runtime::{DetectionMethod, Fault, Job, JobConfig, Scheme};
+
+fn base_cfg(scheme: Scheme, detection: DetectionMethod) -> JobConfig {
+    JobConfig {
+        ranks: 3,
+        tasks_per_rank: 1,
+        spares: 1,
+        scheme,
+        detection,
+        checkpoint_interval: Duration::from_millis(150),
+        heartbeat_timeout: Duration::from_millis(400),
+        max_duration: Duration::from_secs(300),
+        ..JobConfig::default()
+    }
+}
+
+#[test]
+fn jacobi_halo_exchange_survives_a_crash() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    const RANKS: usize = 3;
+    let cfg = base_cfg(Scheme::Strong, DetectionMethod::FullCompare);
+    let faults = vec![(Duration::from_millis(300), Fault::Crash { replica: 1, rank: 1 })];
+    let report = Job::run(
+        cfg,
+        move |rank, _| Box::new(JacobiHaloTask::new(rank, RANKS, 8, 10, 10, 2000)),
+        faults,
+    );
+    assert!(report.completed, "{:?}", report.error);
+    assert_eq!(report.hard_errors_recovered, 1);
+    assert!(report.replicas_agree());
+
+    // Physics check: the recovered distributed run must equal a monolithic
+    // serial run of the same global domain.
+    let mut whole = Jacobi3d::new(8 * RANKS, 10, 10);
+    for _ in 0..2000 {
+        whole.step();
+    }
+    // Reconstruct rank 0's block from the report and compare a probe value.
+    // (Full-state equality is already covered by replicas_agree; here we
+    // check against the independent serial reference.)
+    let state = report.task_state(0, 0, 0).expect("rank 0 state");
+    let mut restored = JacobiHaloTask::new(0, RANKS, 8, 10, 10, 2000);
+    acr::pup::unpack(state, &mut acr_task_mut(&mut restored)).unwrap();
+    let block = restored.block();
+    for (x, y, z) in [(0, 0, 0), (3, 5, 5), (7, 9, 9)] {
+        let a = block.at(x, y, z);
+        let b = whole.at(x, y, z);
+        assert!((a - b).abs() < 1e-9, "({x},{y},{z}): {a} vs {b}");
+    }
+}
+
+/// Helper: view a task as a `Pup`-style traversal target.
+fn acr_task_mut(t: &mut JacobiHaloTask) -> impl acr::pup::Pup + '_ {
+    struct Shim<'a>(&'a mut JacobiHaloTask);
+    impl acr::pup::Pup for Shim<'_> {
+        fn pup(&mut self, p: &mut dyn acr::pup::Puper) -> acr::pup::PupResult {
+            use acr::runtime::Task;
+            self.0.pup(p)
+        }
+    }
+    Shim(t)
+}
+
+#[test]
+fn leanmd_checksum_detection_under_sdc() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = base_cfg(Scheme::Strong, DetectionMethod::Checksum);
+    let faults = vec![(Duration::from_millis(300), Fault::Sdc { replica: 0, rank: 2, seed: 11 })];
+    let report = Job::run(
+        cfg,
+        |rank, _| Box::new(MiniAppTask::new(LeanMd::new(64, rank as u64), 500)),
+        faults,
+    );
+    assert!(report.completed, "{:?}", report.error);
+    assert!(report.sdc_rounds_detected >= 1, "{report:?}");
+    assert!(report.replicas_agree());
+}
+
+#[test]
+fn hpccg_medium_scheme_crash() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = base_cfg(Scheme::Medium, DetectionMethod::FullCompare);
+    let faults = vec![(Duration::from_millis(300), Fault::Crash { replica: 0, rank: 0 })];
+    let report = Job::run(
+        cfg,
+        |_rank, _| Box::new(MiniAppTask::new(Hpccg::new(12, 12, 12), 800)),
+        faults,
+    );
+    assert!(report.completed, "{:?}", report.error);
+    assert_eq!(report.hard_errors_recovered, 1);
+    assert!(report.unverified_recoveries >= 1);
+    assert!(report.replicas_agree());
+}
+
+#[test]
+fn minimd_weak_scheme_crash() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = base_cfg(Scheme::Weak, DetectionMethod::Checksum);
+    let faults = vec![(Duration::from_millis(300), Fault::Crash { replica: 1, rank: 0 })];
+    let report = Job::run(
+        cfg,
+        |rank, _| Box::new(MiniAppTask::new(MiniMd::new(64, rank as u64), 800)),
+        faults,
+    );
+    assert!(report.completed, "{:?}", report.error);
+    assert_eq!(report.hard_errors_recovered, 1);
+    assert!(report.replicas_agree());
+}
+
+#[test]
+fn recovered_run_matches_undisturbed_run_bit_for_bit() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // The paper's user-oblivious recovery claim: the answer after a crash +
+    // restart is the *same answer*.
+    let mk = |faults: Vec<(Duration, Fault)>| {
+        let cfg = base_cfg(Scheme::Strong, DetectionMethod::FullCompare);
+        Job::run(
+            cfg,
+            |rank, _| Box::new(MiniAppTask::new(LeanMd::new(64, rank as u64), 800)),
+            faults,
+        )
+    };
+    let undisturbed = mk(vec![]);
+    let disturbed = mk(vec![
+        (Duration::from_millis(300), Fault::Sdc { replica: 1, rank: 1, seed: 5 }),
+        (Duration::from_millis(600), Fault::Crash { replica: 0, rank: 2 }),
+    ]);
+    assert!(undisturbed.completed && disturbed.completed);
+    for rank in 0..3 {
+        assert_eq!(
+            undisturbed.task_state(0, rank, 0),
+            disturbed.task_state(0, rank, 0),
+            "rank {rank} answer changed"
+        );
+    }
+}
+
+#[test]
+fn sim_and_model_agree_on_scheme_ordering() {
+    use acr::fault::{FailureDistribution, FailureProcess, FailureTrace};
+    use acr::model::{ModelParams, SchemeModel};
+    use acr::sim::{Machine, SimConfig, TauPolicy, Timeline};
+    use acr::topology::MappingKind;
+
+    let machine = Machine::bgp(16384, MappingKind::Default);
+    let sockets = machine.sockets_per_replica();
+    let app = acr::apps::TABLE2[0];
+    let timeline = Timeline::new(machine, app);
+    let delta = acr::sim::checkpoint_breakdown(
+        timeline.machine(),
+        &app,
+        DetectionMethod::FullCompare,
+    )
+    .total();
+    let params =
+        ModelParams::from_sockets(8.0 * 3600.0, delta, delta, delta, sockets, 50.0, 10_000.0);
+    let model = SchemeModel::new(params);
+
+    let mut sim_overheads = Vec::new();
+    let mut model_overheads = Vec::new();
+    for scheme in Scheme::ALL {
+        let eval = model.optimize(scheme);
+        // Average the sim over several seeds for a stable estimate.
+        let mut acc = 0.0;
+        const SEEDS: u64 = 8;
+        for seed in 0..SEEDS {
+            let trace = FailureTrace::generate(
+                Some(FailureProcess::Renewal(FailureDistribution::exponential(params.m_h))),
+                Some(FailureProcess::Renewal(FailureDistribution::exponential(params.m_s))),
+                10.0 * params.w,
+                2 * sockets as usize,
+                seed,
+            );
+            let r = timeline.run(&SimConfig {
+                work: params.w,
+                scheme,
+                detection: DetectionMethod::FullCompare,
+                tau: TauPolicy::Fixed(eval.tau),
+                trace,
+            alarms: Vec::new(),
+            });
+            acc += r.overhead();
+        }
+        sim_overheads.push(acc / SEEDS as f64);
+        model_overheads.push(eval.overhead);
+    }
+    // Within a factor ~2 of each other, and the same winner.
+    for (s, m) in sim_overheads.iter().zip(&model_overheads) {
+        assert!(s / m < 2.5 && m / s < 2.5, "sim {s} vs model {m}");
+    }
+    let max_sim = sim_overheads.iter().cloned().fold(0.0, f64::max);
+    assert_eq!(
+        sim_overheads.iter().position(|&x| x == max_sim),
+        Some(0),
+        "strong should cost the most in both: {sim_overheads:?}"
+    );
+}
