@@ -73,8 +73,7 @@ impl Hpccg {
                                     continue;
                                 }
                                 let (xx, yy, zz) = (x + dx, y + dy, z + dz);
-                                if xx >= 0 && xx < nx && yy >= 0 && yy < ny && zz >= 0 && zz < nz
-                                {
+                                if xx >= 0 && xx < nx && yy >= 0 && yy < ny && zz >= 0 && zz < nz {
                                     let j = ((zz * ny + yy) * nx + xx) as usize;
                                     acc -= v[j];
                                 }
@@ -167,7 +166,11 @@ mod tests {
         for _ in 0..25 {
             cg.step();
         }
-        assert!(cg.residual_norm() < r0 * 1e-6, "residual {}", cg.residual_norm());
+        assert!(
+            cg.residual_norm() < r0 * 1e-6,
+            "residual {}",
+            cg.residual_norm()
+        );
         assert!(cg.solution_error() < 1e-6, "error {}", cg.solution_error());
     }
 

@@ -26,7 +26,14 @@ pub enum Face {
 
 impl Face {
     /// All six faces.
-    pub const ALL: [Face; 6] = [Face::XLo, Face::XHi, Face::YLo, Face::YHi, Face::ZLo, Face::ZHi];
+    pub const ALL: [Face; 6] = [
+        Face::XLo,
+        Face::XHi,
+        Face::YLo,
+        Face::YHi,
+        Face::ZLo,
+        Face::ZHi,
+    ];
 
     /// The face a neighbour sees from the other side.
     pub fn opposite(self) -> Face {

@@ -127,8 +127,15 @@ pub(crate) mod md {
                 }
             }
         }
-        let mut vel: Vec<[f64; 3]> =
-            (0..n).map(|_| [rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5, rng.gen::<f64>() - 0.5]).collect();
+        let mut vel: Vec<[f64; 3]> = (0..n)
+            .map(|_| {
+                [
+                    rng.gen::<f64>() - 0.5,
+                    rng.gen::<f64>() - 0.5,
+                    rng.gen::<f64>() - 0.5,
+                ]
+            })
+            .collect();
         let mut mean = [0.0f64; 3];
         for v in &vel {
             for k in 0..3 {
@@ -192,7 +199,12 @@ impl LeanMd {
                 .into_iter()
                 .zip(vel)
                 .enumerate()
-                .map(|(i, (pos, vel))| Atom { pos, vel, force: [0.0; 3], id: i as u64 })
+                .map(|(i, (pos, vel))| Atom {
+                    pos,
+                    vel,
+                    force: [0.0; 3],
+                    id: i as u64,
+                })
                 .collect(),
             l,
             iter: 0,

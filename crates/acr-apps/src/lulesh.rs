@@ -128,10 +128,12 @@ impl LuleshProxy {
     /// Total energy (internal + kinetic) — conserved by the scheme up to
     /// viscosity-consistent discretization error.
     pub fn total_energy(&self) -> f64 {
-        let internal: f64 =
-            (0..self.n).map(|i| self.zone_mass[i] * self.energy[i]).sum();
-        let kinetic: f64 =
-            (0..=self.n).map(|i| 0.5 * self.nodal_mass[i] * self.vel[i] * self.vel[i]).sum();
+        let internal: f64 = (0..self.n)
+            .map(|i| self.zone_mass[i] * self.energy[i])
+            .sum();
+        let kinetic: f64 = (0..=self.n)
+            .map(|i| 0.5 * self.nodal_mass[i] * self.vel[i] * self.vel[i])
+            .sum();
         internal + kinetic
     }
 

@@ -50,7 +50,10 @@ impl MiniMd {
     }
 
     fn gather(&self) -> Vec<[f64; 3]> {
-        self.pos.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect()
+        self.pos
+            .chunks_exact(3)
+            .map(|c| [c[0], c[1], c[2]])
+            .collect()
     }
 
     fn eval_forces(&mut self) -> f64 {
@@ -64,7 +67,11 @@ impl MiniMd {
     /// Kinetic + potential energy.
     pub fn total_energy(&mut self) -> f64 {
         let (_, pot) = md::forces(&self.gather(), self.l);
-        let ke: f64 = self.vel.chunks_exact(3).map(|v| 0.5 * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2])).sum();
+        let ke: f64 = self
+            .vel
+            .chunks_exact(3)
+            .map(|v| 0.5 * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+            .sum();
         ke + pot
     }
 

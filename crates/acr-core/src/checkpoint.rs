@@ -7,6 +7,67 @@
 //! is discarded and both replicas roll back to the verified checkpoint.
 
 use bytes::Bytes;
+use std::ops::Range;
+
+/// Per-chunk digest table of a checkpoint payload: the payload is divided
+/// into `chunk_size`-byte chunks, each carrying its own Fletcher-64 digest.
+///
+/// Where the single whole-payload digest (§4.2) only answers *whether* the
+/// replicas diverged, comparing two chunk tables answers *where* — naming
+/// the diverged byte ranges so the expensive field-level re-check can be
+/// restricted to those windows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChunkTable {
+    /// Payload bytes per chunk (the last chunk may be short). Always a
+    /// multiple of 4 when produced by the pipeline.
+    pub chunk_size: u32,
+    /// One digest per chunk, in payload order.
+    pub digests: Vec<u64>,
+}
+
+impl ChunkTable {
+    /// Number of chunks in the table.
+    pub fn chunk_count(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// True when the table covers an empty payload.
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty()
+    }
+
+    /// Bytes this table occupies on the wire: the chunk size, the entry
+    /// count, and one 8-byte digest per chunk.
+    pub fn wire_bytes(&self) -> usize {
+        4 + 8 + 8 * self.digests.len()
+    }
+
+    /// Payload byte ranges (clamped to `payload_len`) whose digests differ
+    /// between `self` and `other`, with adjacent diverged chunks coalesced.
+    ///
+    /// Structural disagreement — different chunk size or chunk count —
+    /// makes entrywise comparison meaningless, so the whole payload is
+    /// named diverged.
+    pub fn diverged_ranges(&self, other: &ChunkTable, payload_len: usize) -> Vec<Range<usize>> {
+        if self.chunk_size != other.chunk_size || self.digests.len() != other.digests.len() {
+            #[allow(clippy::single_range_in_vec_init)] // one window spanning the whole payload
+            return vec![0..payload_len];
+        }
+        let cs = self.chunk_size as usize;
+        let mut ranges: Vec<Range<usize>> = Vec::new();
+        for (i, (a, b)) in self.digests.iter().zip(&other.digests).enumerate() {
+            if a != b {
+                let start = i * cs;
+                let end = ((i + 1) * cs).min(payload_len);
+                match ranges.last_mut() {
+                    Some(last) if last.end == start => last.end = end,
+                    _ => ranges.push(start..end),
+                }
+            }
+        }
+        ranges
+    }
+}
 
 /// One node's checkpoint of all its tasks at an agreed iteration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,9 +82,32 @@ pub struct Checkpoint {
     /// Fletcher-64 digest of the payload (sent instead of the payload when
     /// checksum detection is enabled, §4.2).
     pub digest: u64,
+    /// Per-chunk digest table (present when the node packs through the
+    /// chunked pipeline; enables divergence localization).
+    pub chunks: Option<ChunkTable>,
 }
 
 impl Checkpoint {
+    /// A checkpoint without a chunk table.
+    pub fn new(iteration: u64, payload: Bytes, digest: u64) -> Self {
+        Self {
+            iteration,
+            payload,
+            digest,
+            chunks: None,
+        }
+    }
+
+    /// A checkpoint carrying its per-chunk digest table.
+    pub fn with_chunks(iteration: u64, payload: Bytes, digest: u64, chunks: ChunkTable) -> Self {
+        Self {
+            iteration,
+            payload,
+            digest,
+            chunks: Some(chunks),
+        }
+    }
+
     /// Payload length in bytes.
     pub fn len(&self) -> usize {
         self.payload.len()
@@ -55,7 +139,9 @@ impl CheckpointStore {
     /// periodic one that never got compared because a failure intervened).
     pub fn store_tentative(&mut self, ckpt: Checkpoint) {
         debug_assert!(
-            self.verified.as_ref().map_or(true, |v| v.iteration <= ckpt.iteration),
+            self.verified
+                .as_ref()
+                .is_none_or(|v| v.iteration <= ckpt.iteration),
             "checkpoints move forward"
         );
         self.tentative = Some(ckpt);
@@ -108,7 +194,7 @@ mod tests {
     use super::*;
 
     fn ckpt(iteration: u64, data: &[u8]) -> Checkpoint {
-        Checkpoint { iteration, payload: Bytes::copy_from_slice(data), digest: iteration ^ 0xF00 }
+        Checkpoint::new(iteration, Bytes::copy_from_slice(data), iteration ^ 0xF00)
     }
 
     #[test]
@@ -116,13 +202,20 @@ mod tests {
         let mut s = CheckpointStore::new();
         assert!(s.rollback_target().is_none());
         s.store_tentative(ckpt(10, b"ten"));
-        assert!(s.rollback_target().is_none(), "unverified data is not a rollback target");
+        assert!(
+            s.rollback_target().is_none(),
+            "unverified data is not a rollback target"
+        );
         assert_eq!(s.promote(), Some(10));
         assert_eq!(s.rollback_target().unwrap().iteration, 10);
         assert_eq!(s.generations(), 1);
 
         s.store_tentative(ckpt(20, b"twenty"));
-        assert_eq!(s.rollback_target().unwrap().iteration, 10, "old verified kept");
+        assert_eq!(
+            s.rollback_target().unwrap().iteration,
+            10,
+            "old verified kept"
+        );
         assert_eq!(s.promote(), Some(20));
         assert_eq!(s.rollback_target().unwrap().iteration, 20);
     }
@@ -163,5 +256,59 @@ mod tests {
         assert_eq!(c.len(), 3);
         assert!(!c.is_empty());
         assert!(ckpt(1, b"").is_empty());
+    }
+
+    fn table(digests: &[u64]) -> ChunkTable {
+        ChunkTable {
+            chunk_size: 16,
+            digests: digests.to_vec(),
+        }
+    }
+
+    #[test]
+    fn chunk_table_localizes_and_coalesces() {
+        let a = table(&[1, 2, 3, 4, 5]);
+        // chunks 1, 2 and 4 differ; 1 & 2 are adjacent and must coalesce.
+        let b = table(&[1, 9, 9, 4, 9]);
+        // Last chunk is short: payload is 70 bytes, not 80.
+        assert_eq!(a.diverged_ranges(&b, 70), vec![16..48, 64..70]);
+        assert_eq!(
+            a.diverged_ranges(&a, 70),
+            Vec::<std::ops::Range<usize>>::new()
+        );
+    }
+
+    #[test]
+    fn chunk_table_structural_mismatch_names_whole_payload() {
+        let a = table(&[1, 2, 3]);
+        let shorter = table(&[1, 2]);
+        assert_eq!(a.diverged_ranges(&shorter, 48), vec![0..48]);
+        let other_size = ChunkTable {
+            chunk_size: 32,
+            digests: vec![1, 2, 3],
+        };
+        assert_eq!(a.diverged_ranges(&other_size, 48), vec![0..48]);
+    }
+
+    #[test]
+    fn chunk_table_wire_bytes_scale_with_chunk_count() {
+        assert_eq!(table(&[]).wire_bytes(), 12);
+        assert_eq!(table(&[1]).wire_bytes(), 20);
+        let big = ChunkTable {
+            chunk_size: 65_536,
+            digests: vec![0; 1000],
+        };
+        assert_eq!(big.wire_bytes(), 12 + 8 * 1000);
+        assert_eq!(big.chunk_count(), 1000);
+        assert!(!big.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_constructors() {
+        let c = Checkpoint::new(3, Bytes::copy_from_slice(b"xyz"), 42);
+        assert!(c.chunks.is_none());
+        let t = table(&[7]);
+        let c = Checkpoint::with_chunks(3, Bytes::copy_from_slice(b"xyz"), 42, t.clone());
+        assert_eq!(c.chunks.as_ref().unwrap(), &t);
     }
 }

@@ -295,8 +295,10 @@ impl ConsensusEngine {
         self.target = None;
         // Replay child contributions that beat our Start.
         let early: Vec<u64> = {
-            let (this_round, later): (Vec<_>, Vec<_>) =
-                self.early_contribs.drain(..).partition(|&(r, _)| r == round);
+            let (this_round, later): (Vec<_>, Vec<_>) = self
+                .early_contribs
+                .drain(..)
+                .partition(|&(r, _)| r == round);
             self.early_contribs = later;
             this_round.into_iter().map(|(_, m)| m).collect()
         };
@@ -333,7 +335,10 @@ impl ConsensusEngine {
                 self.phase = Phase::AwaitDecision;
                 vec![ConsensusAction::Send {
                     to: parent,
-                    msg: ConsensusMsg::Contribute { round: self.round, max: self.subtree_max },
+                    msg: ConsensusMsg::Contribute {
+                        round: self.round,
+                        max: self.subtree_max,
+                    },
                 }]
             }
             None => {
@@ -351,7 +356,10 @@ impl ConsensusEngine {
             .children(self.index)
             .map(|c| ConsensusAction::Send {
                 to: c,
-                msg: ConsensusMsg::Decide { round: self.round, iteration },
+                msg: ConsensusMsg::Decide {
+                    round: self.round,
+                    iteration,
+                },
             })
             .collect();
         actions.extend(self.check_ready());
@@ -396,7 +404,10 @@ impl ConsensusEngine {
         let mut actions: Vec<ConsensusAction> = self
             .tree
             .children(self.index)
-            .map(|c| ConsensusAction::Send { to: c, msg: ConsensusMsg::Go { round } })
+            .map(|c| ConsensusAction::Send {
+                to: c,
+                msg: ConsensusMsg::Go { round },
+            })
             .collect();
         actions.push(ConsensusAction::Checkpoint {
             round,
@@ -423,8 +434,9 @@ mod tests {
 
     impl Harness {
         fn new(n_nodes: usize, tasks_per_node: usize, progress: &[u64], lifo: bool) -> Self {
-            let mut engines: Vec<ConsensusEngine> =
-                (0..n_nodes).map(|i| ConsensusEngine::new(i, n_nodes, tasks_per_node)).collect();
+            let mut engines: Vec<ConsensusEngine> = (0..n_nodes)
+                .map(|i| ConsensusEngine::new(i, n_nodes, tasks_per_node))
+                .collect();
             for (i, e) in engines.iter_mut().enumerate() {
                 for t in 0..tasks_per_node {
                     e.report_progress(t, progress[(i * tasks_per_node + t) % progress.len()]);
@@ -552,10 +564,9 @@ mod tests {
         assert!(e.may_advance(0) && e.may_advance(1));
         let acts = e.on_message(ConsensusMsg::Start { round: 1 });
         // Single node: root decides instantly at max=10 and task 0 is ready.
-        assert!(acts
+        assert!(!acts
             .iter()
-            .any(|a| matches!(a, ConsensusAction::Checkpoint { iteration: 10, .. }))
-            == false);
+            .any(|a| matches!(a, ConsensusAction::Checkpoint { iteration: 10, .. })));
         // Task 0 is at the target; task 1 must still run.
         assert!(!e.may_advance(0));
         assert!(e.may_advance(1));
@@ -593,7 +604,10 @@ mod tests {
         e.report_progress(1, 6);
         assert!(!e.may_advance(1));
         // Decision at 8 (someone else was further): both may run again.
-        let _ = e.on_message(ConsensusMsg::Decide { round: 1, iteration: 8 });
+        let _ = e.on_message(ConsensusMsg::Decide {
+            round: 1,
+            iteration: 8,
+        });
         assert!(e.may_advance(0) && e.may_advance(1));
     }
 
@@ -602,7 +616,9 @@ mod tests {
         let mut e = ConsensusEngine::new(0, 1, 1);
         e.report_progress(0, 2);
         let _ = e.on_message(ConsensusMsg::Start { round: 5 });
-        assert!(e.on_message(ConsensusMsg::Contribute { round: 3, max: 99 }).is_empty());
+        assert!(e
+            .on_message(ConsensusMsg::Contribute { round: 3, max: 99 })
+            .is_empty());
     }
 
     #[test]
@@ -635,7 +651,10 @@ mod tests {
         // Root now has both inputs: decides max(3, 8) = 8 and tells child.
         assert!(acts.contains(&ConsensusAction::Send {
             to: 1,
-            msg: ConsensusMsg::Decide { round: 1, iteration: 8 }
+            msg: ConsensusMsg::Decide {
+                round: 1,
+                iteration: 8
+            }
         }));
         assert!(root.may_advance(0), "local task must drain to 8");
     }

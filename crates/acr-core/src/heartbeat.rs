@@ -17,7 +17,10 @@ impl HeartbeatMonitor {
     /// Monitor with the given silence `timeout` (seconds).
     pub fn new(timeout: f64) -> Self {
         assert!(timeout > 0.0);
-        Self { timeout, watched: Vec::new() }
+        Self {
+            timeout,
+            watched: Vec::new(),
+        }
     }
 
     /// Start watching `peer`, treating `now` as the last time it was heard.
@@ -48,8 +51,10 @@ impl HeartbeatMonitor {
     /// with a spare, which gets `watch`ed anew).
     pub fn expired(&mut self, now: f64) -> Vec<usize> {
         let timeout = self.timeout;
-        let (dead, alive): (Vec<_>, Vec<_>) =
-            self.watched.drain(..).partition(|&(_, last)| now - last > timeout);
+        let (dead, alive): (Vec<_>, Vec<_>) = self
+            .watched
+            .drain(..)
+            .partition(|&(_, last)| now - last > timeout);
         self.watched = alive;
         dead.into_iter().map(|(p, _)| p).collect()
     }
@@ -107,7 +112,10 @@ mod tests {
         let mut m = HeartbeatMonitor::new(5.0);
         m.watch(1, 10.0);
         m.heard_from(1, 3.0); // out-of-order old message
-        assert!(m.expired(14.0).is_empty(), "last-heard must not go backward");
+        assert!(
+            m.expired(14.0).is_empty(),
+            "last-heard must not go backward"
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl fmt::Display for LayoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LayoutError::BadShape { nodes, spares } => {
-                write!(f, "{nodes} nodes minus {spares} spares is not an even positive count")
+                write!(
+                    f,
+                    "{nodes} nodes minus {spares} spares is not an even positive count"
+                )
             }
             LayoutError::OutOfSpares => write!(f, "spare pool exhausted"),
             LayoutError::NotActive(n) => write!(f, "node {n} is not active"),
@@ -71,7 +74,9 @@ impl ReplicaLayout {
     /// first reserves a set of spare nodes; the remaining nodes are divided
     /// into two sets").
     pub fn new(nodes: usize, spares: usize) -> Result<Self, LayoutError> {
-        let active = nodes.checked_sub(spares).ok_or(LayoutError::BadShape { nodes, spares })?;
+        let active = nodes
+            .checked_sub(spares)
+            .ok_or(LayoutError::BadShape { nodes, spares })?;
         if active == 0 || active % 2 != 0 {
             return Err(LayoutError::BadShape { nodes, spares });
         }
@@ -90,7 +95,12 @@ impl ReplicaLayout {
         }
         // Allocation pops from the end of the pool, i.e. highest ids first.
         let spare_pool: Vec<usize> = (active..nodes).collect();
-        Ok(Self { slots, hosts, spare_pool, failures: 0 })
+        Ok(Self {
+            slots,
+            hosts,
+            spare_pool,
+            failures: 0,
+        })
     }
 
     /// Ranks per replica.
@@ -219,7 +229,10 @@ mod tests {
         let s1 = l.replace_with_spare(0).unwrap();
         let s2 = l.replace_with_spare(3).unwrap();
         assert_ne!(s1, s2);
-        assert_eq!(l.replace_with_spare(1).unwrap_err(), LayoutError::OutOfSpares);
+        assert_eq!(
+            l.replace_with_spare(1).unwrap_err(),
+            LayoutError::OutOfSpares
+        );
     }
 
     #[test]

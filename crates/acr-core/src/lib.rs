@@ -29,9 +29,9 @@ mod heartbeat;
 mod layout;
 mod recovery;
 
-pub use checkpoint::{Checkpoint, CheckpointStore};
+pub use checkpoint::{Checkpoint, CheckpointStore, ChunkTable};
 pub use consensus::{ConsensusAction, ConsensusEngine, ConsensusMsg, ReductionTree};
-pub use detector::{Detection, DetectionMethod, SdcDetector};
+pub use detector::{Detection, DetectionMethod, Divergence, SdcDetector};
 pub use heartbeat::HeartbeatMonitor;
 pub use layout::{LayoutError, NodeSlot, ReplicaLayout};
 pub use recovery::{RecoveryAction, RecoveryPlan, RecoveryPlanner, Scheme};

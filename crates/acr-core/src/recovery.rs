@@ -147,8 +147,13 @@ impl RecoveryPlanner {
             Scheme::Strong => RecoveryPlan {
                 actions: vec![
                     RecoveryAction::PromoteSpare { failed, spare },
-                    RecoveryAction::SendVerifiedCheckpoint { from: buddy, to: spare },
-                    RecoveryAction::RollbackReplica { replica: crashed_replica },
+                    RecoveryAction::SendVerifiedCheckpoint {
+                        from: buddy,
+                        to: spare,
+                    },
+                    RecoveryAction::RollbackReplica {
+                        replica: crashed_replica,
+                    },
                 ],
                 inter_replica_messages: 1,
                 rework: true,
@@ -157,7 +162,9 @@ impl RecoveryPlanner {
                 actions: vec![
                     RecoveryAction::PromoteSpare { failed, spare },
                     RecoveryAction::ForceCheckpoint { replica: healthy },
-                    RecoveryAction::ShipCheckpointsToBuddies { from_replica: healthy },
+                    RecoveryAction::ShipCheckpointsToBuddies {
+                        from_replica: healthy,
+                    },
                 ],
                 inter_replica_messages: self.ranks,
                 rework: false,
@@ -166,7 +173,9 @@ impl RecoveryPlanner {
                 actions: vec![
                     RecoveryAction::PromoteSpare { failed, spare },
                     RecoveryAction::WaitForNextPeriodicCheckpoint,
-                    RecoveryAction::ShipCheckpointsToBuddies { from_replica: healthy },
+                    RecoveryAction::ShipCheckpointsToBuddies {
+                        from_replica: healthy,
+                    },
                 ],
                 inter_replica_messages: self.ranks,
                 rework: false,
@@ -222,7 +231,10 @@ mod tests {
         assert_eq!(
             plan.actions,
             vec![
-                RecoveryAction::PromoteSpare { failed: 3, spare: 128 },
+                RecoveryAction::PromoteSpare {
+                    failed: 3,
+                    spare: 128
+                },
                 RecoveryAction::SendVerifiedCheckpoint { from: 67, to: 128 },
                 RecoveryAction::RollbackReplica { replica: 0 },
             ]
@@ -234,8 +246,13 @@ mod tests {
         let p = RecoveryPlanner::new(Scheme::Medium, 64);
         let plan = p.plan_hard_error(70, 6, 128, 1);
         assert_eq!(plan.inter_replica_messages, 64);
-        assert!(!plan.rework, "crashed replica catches up instead of redoing work");
-        assert!(plan.actions.contains(&RecoveryAction::ForceCheckpoint { replica: 0 }));
+        assert!(
+            !plan.rework,
+            "crashed replica catches up instead of redoing work"
+        );
+        assert!(plan
+            .actions
+            .contains(&RecoveryAction::ForceCheckpoint { replica: 0 }));
         assert!(plan
             .actions
             .contains(&RecoveryAction::ShipCheckpointsToBuddies { from_replica: 0 }));
@@ -245,8 +262,14 @@ mod tests {
     fn weak_plan_waits() {
         let p = RecoveryPlanner::new(Scheme::Weak, 8);
         let plan = p.plan_hard_error(1, 9, 16, 0);
-        assert_eq!(plan.actions[1], RecoveryAction::WaitForNextPeriodicCheckpoint);
-        assert!(!plan.actions.iter().any(|a| matches!(a, RecoveryAction::ForceCheckpoint { .. })));
+        assert_eq!(
+            plan.actions[1],
+            RecoveryAction::WaitForNextPeriodicCheckpoint
+        );
+        assert!(!plan
+            .actions
+            .iter()
+            .any(|a| matches!(a, RecoveryAction::ForceCheckpoint { .. })));
         assert!(!plan.rework);
     }
 
@@ -266,7 +289,10 @@ mod tests {
             p.plan_double_failure(true).actions,
             vec![RecoveryAction::RestartFromBeginning]
         );
-        assert_eq!(p.plan_double_failure(false).actions, vec![RecoveryAction::RollbackBoth]);
+        assert_eq!(
+            p.plan_double_failure(false).actions,
+            vec![RecoveryAction::RollbackBoth]
+        );
     }
 
     #[test]

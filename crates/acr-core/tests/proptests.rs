@@ -25,7 +25,12 @@ impl World {
                 assert!(acts.is_empty());
             }
         }
-        Self { engines, tasks_per_node, queue: Vec::new(), checkpoints: vec![None; n_nodes] }
+        Self {
+            engines,
+            tasks_per_node,
+            queue: Vec::new(),
+            checkpoints: vec![None; n_nodes],
+        }
     }
 
     fn apply(&mut self, node: usize, actions: Vec<ConsensusAction>) {
@@ -33,7 +38,10 @@ impl World {
             match a {
                 ConsensusAction::Send { to, msg } => self.queue.push((to, msg)),
                 ConsensusAction::Checkpoint { iteration, .. } => {
-                    assert!(self.checkpoints[node].is_none(), "node {node} checkpointed twice");
+                    assert!(
+                        self.checkpoints[node].is_none(),
+                        "node {node} checkpointed twice"
+                    );
                     self.checkpoints[node] = Some(iteration);
                 }
             }
@@ -52,7 +60,9 @@ impl World {
         loop {
             steps += 1;
             assert!(steps < 2_000_000, "no convergence");
-            order_seed = order_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order_seed = order_seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let mut progressed = false;
             if !self.queue.is_empty() {
                 let idx = (order_seed >> 33) as usize % self.queue.len();

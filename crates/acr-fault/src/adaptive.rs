@@ -60,7 +60,11 @@ impl AdaptiveInterval {
     pub fn new(cfg: AdaptiveConfig) -> Self {
         assert!(cfg.delta > 0.0 && cfg.min_interval > 0.0);
         assert!(cfg.min_interval <= cfg.max_interval);
-        Self { cfg, estimator: MtbfEstimator::new(cfg.window.max(1)), history: Vec::new() }
+        Self {
+            cfg,
+            estimator: MtbfEstimator::new(cfg.window.max(1)),
+            history: Vec::new(),
+        }
     }
 
     /// Record a failure observed at absolute time `t`.
@@ -143,7 +147,10 @@ mod tests {
         a.on_failure(600.0);
         a.on_failure(1100.0);
         let quiet = a.interval_at(1100.0);
-        assert!(quiet > busy * 2.0, "period should stretch: {busy} -> {quiet}");
+        assert!(
+            quiet > busy * 2.0,
+            "period should stretch: {busy} -> {quiet}"
+        );
     }
 
     #[test]

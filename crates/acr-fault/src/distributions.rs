@@ -126,10 +126,10 @@ fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
 pub(crate) fn gamma_fn(x: f64) -> f64 {
     const G: f64 = 7.0;
     const COEF: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
-        -1259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -258,17 +258,26 @@ mod tests {
 
     #[test]
     fn weibull_shape_one_is_exponential() {
-        let w = FailureDistribution::Weibull { shape: 1.0, scale: 77.0 };
+        let w = FailureDistribution::Weibull {
+            shape: 1.0,
+            scale: 77.0,
+        };
         assert!((w.mean() - 77.0).abs() < 1e-9);
     }
 
     #[test]
     fn lognormal_mean_matches_closed_form() {
-        let d = FailureDistribution::LogNormal { mu: 2.0, sigma: 0.5 };
+        let d = FailureDistribution::LogNormal {
+            mu: 2.0,
+            sigma: 0.5,
+        };
         let expected = (2.0f64 + 0.125).exp();
         assert!((d.mean() - expected).abs() < 1e-9);
         let m = sample_mean(d, 300_000);
-        assert!((m - expected).abs() / expected < 0.03, "mean {m} vs {expected}");
+        assert!(
+            (m - expected).abs() / expected < 0.03,
+            "mean {m} vs {expected}"
+        );
     }
 
     #[test]
@@ -288,9 +297,18 @@ mod tests {
     fn samples_are_positive_and_deterministic_by_seed() {
         for d in [
             FailureDistribution::exponential(5.0),
-            FailureDistribution::Weibull { shape: 0.6, scale: 3.0 },
-            FailureDistribution::LogNormal { mu: 0.0, sigma: 1.0 },
-            FailureDistribution::Gamma { shape: 0.7, scale: 2.0 },
+            FailureDistribution::Weibull {
+                shape: 0.6,
+                scale: 3.0,
+            },
+            FailureDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
+            FailureDistribution::Gamma {
+                shape: 0.7,
+                scale: 2.0,
+            },
         ] {
             let mut r1 = rng();
             let mut r2 = rng();
@@ -313,7 +331,10 @@ mod tests {
 
     #[test]
     fn power_law_rate_decreases_for_small_shape() {
-        let p = FailureProcess::PowerLaw { shape: 0.6, scale: 60.0 };
+        let p = FailureProcess::PowerLaw {
+            shape: 0.6,
+            scale: 60.0,
+        };
         let early = p.rate_at(30.0);
         let late = p.rate_at(1500.0);
         assert!(early > late * 3.0, "rate must fall: {early} vs {late}");
@@ -321,24 +342,41 @@ mod tests {
 
     #[test]
     fn power_law_events_are_sorted_and_front_loaded() {
-        let p = FailureProcess::PowerLaw { shape: 0.6, scale: 60.0 };
+        let p = FailureProcess::PowerLaw {
+            shape: 0.6,
+            scale: 60.0,
+        };
         let mut r = rng();
-        let ev = p.events_until(&mut r, 1800.0);
-        assert!(!ev.is_empty());
-        assert!(ev.windows(2).all(|w| w[0] <= w[1]));
+        // A single realization has only ~(30)^0.6 ≈ 8 events, so the
+        // front-loading property is asserted in aggregate; sortedness must
+        // hold in every realization.
+        let mut first_half = 0usize;
+        let mut total = 0usize;
+        for _ in 0..200 {
+            let ev = p.events_until(&mut r, 1800.0);
+            assert!(ev.windows(2).all(|w| w[0] <= w[1]));
+            first_half += ev.iter().filter(|&&t| t < 900.0).count();
+            total += ev.len();
+        }
+        assert!(total > 0);
         // Decreasing rate ⇒ more events in the first half than the second.
-        let first_half = ev.iter().filter(|&&t| t < 900.0).count();
-        assert!(first_half * 2 > ev.len(), "{first_half} of {}", ev.len());
+        assert!(first_half * 2 > total, "{first_half} of {total}");
     }
 
     #[test]
     fn power_law_expected_count_matches_cumulative_intensity() {
         // E[N(T)] = (T/scale)^shape
-        let p = FailureProcess::PowerLaw { shape: 0.6, scale: 60.0 };
+        let p = FailureProcess::PowerLaw {
+            shape: 0.6,
+            scale: 60.0,
+        };
         let mut r = rng();
         let total: usize = (0..500).map(|_| p.events_until(&mut r, 1800.0).len()).sum();
         let mean = total as f64 / 500.0;
         let expected = (1800.0f64 / 60.0).powf(0.6);
-        assert!((mean - expected).abs() / expected < 0.1, "{mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "{mean} vs {expected}"
+        );
     }
 }

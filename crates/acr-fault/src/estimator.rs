@@ -23,7 +23,12 @@ impl MtbfEstimator {
     /// Estimator remembering the last `window` gaps (≥ 1).
     pub fn new(window: usize) -> Self {
         assert!(window >= 1);
-        Self { window, gaps: Vec::new(), last_failure: None, total_failures: 0 }
+        Self {
+            window,
+            gaps: Vec::new(),
+            last_failure: None,
+            total_failures: 0,
+        }
     }
 
     /// Record a failure at absolute time `t` (seconds, non-decreasing).
@@ -148,7 +153,11 @@ impl PowerLawFit {
     /// Fit from event times observed in `[0, t_now]`:
     /// `k̂ = n / Σ ln(t_now/tᵢ)`, `λ̂ = t_now / n^{1/k̂}`.
     pub fn fit(event_times: &[f64], t_now: f64) -> Option<PowerLawFit> {
-        let ts: Vec<f64> = event_times.iter().copied().filter(|&t| t > 0.0 && t < t_now).collect();
+        let ts: Vec<f64> = event_times
+            .iter()
+            .copied()
+            .filter(|&t| t > 0.0 && t < t_now)
+            .collect();
         if ts.len() < 2 || t_now <= 0.0 {
             return None;
         }
@@ -234,10 +243,16 @@ mod tests {
 
     #[test]
     fn weibull_hazard_direction() {
-        let dec = WeibullFit { shape: 0.6, scale: 100.0 };
+        let dec = WeibullFit {
+            shape: 0.6,
+            scale: 100.0,
+        };
         assert!(dec.decreasing_hazard());
         assert!(dec.hazard(10.0) > dec.hazard(1000.0));
-        let inc = WeibullFit { shape: 2.0, scale: 100.0 };
+        let inc = WeibullFit {
+            shape: 2.0,
+            scale: 100.0,
+        };
         assert!(!inc.decreasing_hazard());
         assert!(inc.hazard(10.0) < inc.hazard(1000.0));
     }
@@ -245,7 +260,10 @@ mod tests {
     #[test]
     fn power_law_fit_recovers_shape() {
         let mut rng = StdRng::seed_from_u64(5);
-        let p = FailureProcess::PowerLaw { shape: 0.6, scale: 30.0 };
+        let p = FailureProcess::PowerLaw {
+            shape: 0.6,
+            scale: 30.0,
+        };
         let mut shapes = Vec::new();
         for _ in 0..50 {
             let ev = p.events_until(&mut rng, 100_000.0);
@@ -259,7 +277,10 @@ mod tests {
 
     #[test]
     fn power_law_mtbf_grows_for_decreasing_rate() {
-        let fit = PowerLawFit { shape: 0.6, scale: 30.0 };
+        let fit = PowerLawFit {
+            shape: 0.6,
+            scale: 30.0,
+        };
         assert!(fit.mtbf_at(1500.0) > 2.0 * fit.mtbf_at(100.0));
     }
 

@@ -40,7 +40,10 @@ pub struct SdcInjector {
 impl SdcInjector {
     /// New injector with a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), log: Vec::new() }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            log: Vec::new(),
+        }
     }
 
     /// Corrupt one random bit of `data`.

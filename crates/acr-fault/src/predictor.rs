@@ -44,12 +44,20 @@ impl PredictorProfile {
     /// (meta-learning predictors: ~0.6–0.8 recall / ~0.7–0.9 precision,
     /// minutes of lead).
     pub fn literature() -> Self {
-        Self { recall: 0.7, precision: 0.8, lead_time: 30.0 }
+        Self {
+            recall: 0.7,
+            precision: 0.8,
+            lead_time: 30.0,
+        }
     }
 
     /// An oracle (every failure announced, no false alarms).
     pub fn oracle(lead_time: f64) -> Self {
-        Self { recall: 1.0, precision: 1.0, lead_time }
+        Self {
+            recall: 1.0,
+            precision: 1.0,
+            lead_time,
+        }
     }
 }
 
@@ -64,7 +72,12 @@ pub struct FailurePredictor {
 impl FailurePredictor {
     /// Score `trace` (hard errors only) with a predictor of the given
     /// quality. Deterministic in `seed`.
-    pub fn against(trace: &FailureTrace, profile: PredictorProfile, nodes: usize, seed: u64) -> Self {
+    pub fn against(
+        trace: &FailureTrace,
+        profile: PredictorProfile,
+        nodes: usize,
+        seed: u64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&profile.recall));
         assert!((0.0..=1.0).contains(&profile.precision) && profile.precision > 0.0);
         assert!(profile.lead_time >= 0.0);
@@ -126,8 +139,12 @@ mod tests {
 
     fn trace() -> FailureTrace {
         FailureTrace::generate(
-            Some(FailureProcess::Renewal(FailureDistribution::exponential(50.0))),
-            Some(FailureProcess::Renewal(FailureDistribution::exponential(80.0))),
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(
+                50.0,
+            ))),
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(
+                80.0,
+            ))),
             20_000.0,
             64,
             3,
@@ -183,8 +200,12 @@ mod tests {
     #[test]
     fn sdc_is_never_predicted() {
         let t = FailureTrace::generate(
-            Some(FailureProcess::Renewal(FailureDistribution::exponential(1e9))),
-            Some(FailureProcess::Renewal(FailureDistribution::exponential(10.0))),
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(
+                1e9,
+            ))),
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(
+                10.0,
+            ))),
             1000.0,
             8,
             0,

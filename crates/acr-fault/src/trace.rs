@@ -87,7 +87,9 @@ impl FailureTrace {
 
     /// Events within a window `[from, to)`.
     pub fn in_window(&self, from: f64, to: f64) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| e.time >= from && e.time < to)
+        self.events
+            .iter()
+            .filter(move |e| e.time >= from && e.time < to)
     }
 
     /// Inter-arrival gaps between consecutive events (all kinds merged) —
@@ -112,8 +114,20 @@ mod tests {
 
     #[test]
     fn trace_is_sorted_and_seed_deterministic() {
-        let a = FailureTrace::generate(Some(exp_process(50.0)), Some(exp_process(80.0)), 5000.0, 64, 7);
-        let b = FailureTrace::generate(Some(exp_process(50.0)), Some(exp_process(80.0)), 5000.0, 64, 7);
+        let a = FailureTrace::generate(
+            Some(exp_process(50.0)),
+            Some(exp_process(80.0)),
+            5000.0,
+            64,
+            7,
+        );
+        let b = FailureTrace::generate(
+            Some(exp_process(50.0)),
+            Some(exp_process(80.0)),
+            5000.0,
+            64,
+            7,
+        );
         assert_eq!(a.events(), b.events());
         assert!(a.events().windows(2).all(|w| w[0].time <= w[1].time));
         assert!(a.events().iter().all(|e| e.node < 64 && e.time < 5000.0));
@@ -131,9 +145,21 @@ mod tests {
     #[test]
     fn window_query() {
         let t = FailureTrace::from_events(vec![
-            TraceEvent { time: 1.0, node: 0, kind: FaultKind::Sdc },
-            TraceEvent { time: 5.0, node: 1, kind: FaultKind::HardError },
-            TraceEvent { time: 9.0, node: 2, kind: FaultKind::Sdc },
+            TraceEvent {
+                time: 1.0,
+                node: 0,
+                kind: FaultKind::Sdc,
+            },
+            TraceEvent {
+                time: 5.0,
+                node: 1,
+                kind: FaultKind::HardError,
+            },
+            TraceEvent {
+                time: 9.0,
+                node: 2,
+                kind: FaultKind::Sdc,
+            },
         ]);
         let in_win: Vec<_> = t.in_window(2.0, 9.0).collect();
         assert_eq!(in_win.len(), 1);
@@ -143,9 +169,21 @@ mod tests {
     #[test]
     fn interarrivals_reconstruct_times() {
         let t = FailureTrace::from_events(vec![
-            TraceEvent { time: 2.0, node: 0, kind: FaultKind::Sdc },
-            TraceEvent { time: 7.0, node: 0, kind: FaultKind::Sdc },
-            TraceEvent { time: 8.5, node: 0, kind: FaultKind::Sdc },
+            TraceEvent {
+                time: 2.0,
+                node: 0,
+                kind: FaultKind::Sdc,
+            },
+            TraceEvent {
+                time: 7.0,
+                node: 0,
+                kind: FaultKind::Sdc,
+            },
+            TraceEvent {
+                time: 8.5,
+                node: 0,
+                kind: FaultKind::Sdc,
+            },
         ]);
         let mut gaps = t.interarrivals();
         gaps.sort_by(f64::total_cmp);

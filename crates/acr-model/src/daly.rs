@@ -49,7 +49,7 @@ mod tests {
     #[test]
     fn known_value() {
         // δ=15 s, M=50000 s: sqrt(2*15*50000) ≈ 1224.74 s
-        assert!((young_interval(15.0, 50_000.0) - 1224.744_871).abs() < 1e-3);
+        assert!((young_interval(15.0, 50_000.0) - 1_224.744_871).abs() < 1e-3);
     }
 
     #[test]

@@ -60,8 +60,20 @@ impl ModelParams {
         let sockets = sockets_per_replica as f64;
         let m_h = m_h_socket_years * YEAR / sockets;
         let sdc_rate_per_sec = sdc_fit_per_socket * FIT_PER_HOUR / HOUR * sockets;
-        let m_s = if sdc_rate_per_sec > 0.0 { 1.0 / sdc_rate_per_sec } else { f64::INFINITY };
-        Self { w, delta, r_h, r_s, m_h, m_s, sockets_per_replica }
+        let m_s = if sdc_rate_per_sec > 0.0 {
+            1.0 / sdc_rate_per_sec
+        } else {
+            f64::INFINITY
+        };
+        Self {
+            w,
+            delta,
+            r_h,
+            r_s,
+            m_h,
+            m_s,
+            sockets_per_replica,
+        }
     }
 
     /// The Fig. 7 baseline configuration: per-socket hard MTBF 50 years,

@@ -106,10 +106,16 @@ impl SchemeModel {
     /// Evaluate the model at an explicit `(scheme, τ)`.
     pub fn eval(&self, scheme: Scheme, tau: f64) -> SchemeEval {
         let t_total = self.total_time(scheme, tau);
-        let utilization =
-            if t_total.is_finite() { 0.5 * self.params.w / t_total } else { 0.0 };
-        let overhead =
-            if t_total.is_finite() { (t_total - self.params.w) / self.params.w } else { f64::INFINITY };
+        let utilization = if t_total.is_finite() {
+            0.5 * self.params.w / t_total
+        } else {
+            0.0
+        };
+        let overhead = if t_total.is_finite() {
+            (t_total - self.params.w) / self.params.w
+        } else {
+            f64::INFINITY
+        };
         SchemeEval {
             scheme,
             tau,
@@ -192,7 +198,11 @@ mod tests {
         let m = model(65536, 15.0);
         let e = m.optimize(Scheme::Medium);
         assert!(e.p_undetected_sdc < 0.01, "got {}", e.p_undetected_sdc);
-        assert!(e.p_undetected_sdc > 1e-5, "suspiciously small: {}", e.p_undetected_sdc);
+        assert!(
+            e.p_undetected_sdc > 1e-5,
+            "suspiciously small: {}",
+            e.p_undetected_sdc
+        );
     }
 
     #[test]
@@ -249,7 +259,15 @@ mod tests {
     #[test]
     fn infeasible_rate_diverges() {
         // MTBF shorter than the restart cost: no period can make progress.
-        let p = ModelParams { w: 1e5, delta: 50.0, r_h: 200.0, r_s: 200.0, m_h: 100.0, m_s: 100.0, sockets_per_replica: 1 };
+        let p = ModelParams {
+            w: 1e5,
+            delta: 50.0,
+            r_h: 200.0,
+            r_s: 200.0,
+            m_h: 100.0,
+            m_s: 100.0,
+            sockets_per_replica: 1,
+        };
         let m = SchemeModel::new(p);
         assert!(m.total_time(Scheme::Strong, 100.0).is_infinite());
         let e = m.eval(Scheme::Strong, 100.0);
@@ -282,7 +300,15 @@ mod tests {
     #[test]
     fn utilization_halved_by_replication() {
         // Even with zero failures utilisation cannot exceed 0.5.
-        let p = ModelParams { w: 1e5, delta: 1.0, r_h: 1.0, r_s: 1.0, m_h: 1e15, m_s: 1e15, sockets_per_replica: 1 };
+        let p = ModelParams {
+            w: 1e5,
+            delta: 1.0,
+            r_h: 1.0,
+            r_s: 1.0,
+            m_h: 1e15,
+            m_s: 1e15,
+            sockets_per_replica: 1,
+        };
         let e = SchemeModel::new(p).optimize(Scheme::Weak);
         assert!(e.utilization <= 0.5);
         assert!(e.utilization > 0.49);

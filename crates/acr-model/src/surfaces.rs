@@ -79,7 +79,12 @@ fn sdc_mtbf(sockets: u64, fit: f64) -> f64 {
 }
 
 /// Evaluate one point of a Fig. 1 surface.
-pub fn surface_point(kind: SurfaceKind, cfg: &SurfaceConfig, sockets: u64, fit: f64) -> SurfacePoint {
+pub fn surface_point(
+    kind: SurfaceKind,
+    cfg: &SurfaceConfig,
+    sockets: u64,
+    fit: f64,
+) -> SurfacePoint {
     let m_h = cfg.m_h_socket_years * YEAR / sockets as f64;
     let m_s = sdc_mtbf(sockets, fit);
     match kind {
@@ -210,7 +215,9 @@ mod tests {
                 us.push(p.utilization);
             }
         }
-        let (lo, hi) = us.iter().fold((1.0f64, 0.0f64), |(l, h), &u| (l.min(u), h.max(u)));
+        let (lo, hi) = us
+            .iter()
+            .fold((1.0f64, 0.0f64), |(l, h), &u| (l.min(u), h.max(u)));
         assert!(hi <= 0.5);
         assert!(lo > 0.25, "ACR stays usable at 1M sockets: {lo}");
         assert!(hi - lo < 0.25, "roughly flat: [{lo}, {hi}]");

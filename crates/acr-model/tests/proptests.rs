@@ -6,11 +6,11 @@ use proptest::prelude::*;
 
 fn params_strategy() -> impl Strategy<Value = ModelParams> {
     (
-        1e3f64..1e6,     // work
-        1.0f64..300.0,   // delta
-        1.0f64..300.0,   // restart
-        8u64..1 << 19,   // sockets per replica
-        1.0f64..200.0,   // per-socket MTBF years
+        1e3f64..1e6,      // work
+        1.0f64..300.0,    // delta
+        1.0f64..300.0,    // restart
+        8u64..1 << 19,    // sockets per replica
+        1.0f64..200.0,    // per-socket MTBF years
         0.1f64..20_000.0, // FIT
     )
         .prop_map(|(w, delta, restart, sockets, years, fit)| {

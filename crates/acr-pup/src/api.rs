@@ -1,12 +1,14 @@
 //! One-call convenience entry points over the individual pupers.
 
-use crate::checker::{Checker, CheckReport};
+use crate::checker::{CheckReport, Checker};
+use crate::chunked::{ChunkedDigest, DigestingPacker};
 use crate::error::PupResult;
 use crate::fletcher::FletcherPuper;
 use crate::packer::Packer;
 use crate::puper::{CheckPolicy, Pup, Puper};
 use crate::sizer::Sizer;
 use crate::unpacker::Unpacker;
+use std::ops::Range;
 
 /// Exact number of bytes [`pack`] would produce for `obj`.
 pub fn packed_size<T: Pup + ?Sized>(obj: &mut T) -> PupResult<usize> {
@@ -21,7 +23,11 @@ pub fn pack<T: Pup + ?Sized>(obj: &mut T) -> PupResult<Vec<u8>> {
     let mut p = Packer::with_capacity(size);
     obj.pup(&mut p)?;
     let buf = p.finish();
-    debug_assert_eq!(buf.len(), size, "Sizer and Packer disagree: pup() is direction-dependent");
+    debug_assert_eq!(
+        buf.len(),
+        size,
+        "Sizer and Packer disagree: pup() is direction-dependent"
+    );
     Ok(buf)
 }
 
@@ -64,6 +70,35 @@ pub fn compare_with_policy<T: Pup + ?Sized>(
     c.finish()
 }
 
+/// Serialize `obj` and compute its chunked Fletcher digest in the same
+/// pass — the fused checkpoint pipeline. Returns the payload plus its
+/// per-chunk digest table; the table's `digest` equals
+/// [`crate::fletcher64`] of the payload.
+pub fn pack_digested<T: Pup + ?Sized>(
+    obj: &mut T,
+    chunk_size: usize,
+) -> PupResult<(Vec<u8>, ChunkedDigest)> {
+    let size = packed_size(obj)?;
+    let mut p = DigestingPacker::with_capacity(size, chunk_size);
+    obj.pup(&mut p)?;
+    let (buf, digest) = p.finish();
+    debug_assert_eq!(buf.len(), size, "Sizer and DigestingPacker disagree");
+    Ok((buf, digest))
+}
+
+/// Compare live `obj` against a buddy checkpoint, restricted to the given
+/// stream byte ranges (e.g. the diverged chunks named by a chunk-table
+/// exchange). Bytes outside the windows are traversed but not compared.
+pub fn compare_windows<T: Pup + ?Sized>(
+    obj: &mut T,
+    reference: &[u8],
+    windows: impl IntoIterator<Item = Range<usize>>,
+) -> PupResult<CheckReport> {
+    let mut c = Checker::new(reference).with_windows(windows);
+    obj.pup(&mut c)?;
+    c.finish()
+}
+
 /// Position-dependent Fletcher-64 digest of `obj`'s packed representation,
 /// computed without materializing the packed bytes (§4.2's low-network-load
 /// detection path).
@@ -92,53 +127,82 @@ mod tests {
 
     #[test]
     fn pack_unpack_compare_checksum_cycle() {
-        let mut s = State { grid: vec![0.25; 64], iter: 12 };
+        let mut s = State {
+            grid: vec![0.25; 64],
+            iter: 12,
+        };
         let ckpt = pack(&mut s).unwrap();
         assert_eq!(ckpt.len(), 8 + 64 * 8 + 8);
 
-        let mut t = State { grid: vec![], iter: 0 };
+        let mut t = State {
+            grid: vec![],
+            iter: 0,
+        };
         unpack(&ckpt, &mut t).unwrap();
         assert_eq!(t.iter, 12);
         assert!(compare(&mut t, &ckpt).unwrap().is_clean());
-        assert_eq!(fletcher64_of(&mut s).unwrap(), fletcher64_of(&mut t).unwrap());
+        assert_eq!(
+            fletcher64_of(&mut s).unwrap(),
+            fletcher64_of(&mut t).unwrap()
+        );
     }
 
     #[test]
     fn ambient_policy_applies() {
-        let mut s = State { grid: vec![1.0], iter: 1 };
+        let mut s = State {
+            grid: vec![1.0],
+            iter: 1,
+        };
         let ckpt = pack(&mut s).unwrap();
         s.grid[0] += 1e-14;
         assert!(!compare(&mut s, &ckpt).unwrap().is_clean());
-        assert!(compare_with_policy(&mut s, &ckpt, CheckPolicy::Relative(1e-12))
-            .unwrap()
-            .is_clean());
+        assert!(
+            compare_with_policy(&mut s, &ckpt, CheckPolicy::Relative(1e-12))
+                .unwrap()
+                .is_clean()
+        );
     }
 
     #[test]
     fn pack_into_reuses_buffer() {
-        let mut s = State { grid: vec![1.0; 8], iter: 3 };
+        let mut s = State {
+            grid: vec![1.0; 8],
+            iter: 3,
+        };
         let buf = Vec::with_capacity(1024);
         let ptr = buf.as_ptr();
         let buf = pack_into(&mut s, buf).unwrap();
         assert_eq!(ptr, buf.as_ptr());
-        let mut t = State { grid: vec![], iter: 0 };
+        let mut t = State {
+            grid: vec![],
+            iter: 0,
+        };
         unpack(&buf, &mut t).unwrap();
         assert_eq!(t.grid, s.grid);
     }
 
     #[test]
     fn unpack_rejects_truncation_anywhere() {
-        let mut s = State { grid: vec![3.0; 4], iter: 9 };
+        let mut s = State {
+            grid: vec![3.0; 4],
+            iter: 9,
+        };
         let ckpt = pack(&mut s).unwrap();
         for cut in [0, 1, 8, 9, ckpt.len() - 1] {
-            let mut t = State { grid: vec![], iter: 0 };
+            let mut t = State {
+                grid: vec![],
+                iter: 0,
+            };
             let err = unpack(&ckpt[..cut], &mut t);
             assert!(err.is_err(), "cut={cut} accepted");
         }
         // over-long buffer also rejected
         let mut long = ckpt.clone();
         long.push(0);
-        let mut t = State { grid: vec![], iter: 0 };
+        let mut t = State {
+            grid: vec![],
+            iter: 0,
+        };
         assert_eq!(
             unpack(&long, &mut t).unwrap_err(),
             PupError::TrailingBytes { leftover: 1 }

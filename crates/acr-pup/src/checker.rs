@@ -3,6 +3,7 @@
 
 use crate::error::{PupError, PupResult};
 use crate::puper::{CheckPolicy, Dir, Puper};
+use std::ops::Range;
 
 /// One detected divergence between the live state and the reference
 /// checkpoint.
@@ -57,6 +58,12 @@ pub struct Checker<'a> {
     policies: Vec<CheckPolicy>,
     report: CheckReport,
     failure_cap: usize,
+    /// When set, only stream bytes inside these ranges are compared; bytes
+    /// outside count as ignored. Sorted, coalesced, non-empty ranges.
+    windows: Option<Vec<Range<usize>>>,
+    /// Index of the first window whose end is past the current stream
+    /// position (offsets only grow, so this advances monotonically).
+    window_cursor: usize,
 }
 
 impl<'a> Checker<'a> {
@@ -68,6 +75,8 @@ impl<'a> Checker<'a> {
             policies: vec![CheckPolicy::Bitwise],
             report: CheckReport::default(),
             failure_cap: DEFAULT_FAILURE_CAP,
+            windows: None,
+            window_cursor: 0,
         }
     }
 
@@ -77,6 +86,79 @@ impl<'a> Checker<'a> {
     pub fn failure_cap(mut self, cap: usize) -> Self {
         self.failure_cap = cap;
         self
+    }
+
+    /// Restrict comparison to the given byte ranges of the packed stream:
+    /// everything outside is traversed (positions still advance, structural
+    /// length fields are still validated) but counted as ignored rather
+    /// than compared.
+    ///
+    /// This is the divergence-localization hook: after a chunked-digest
+    /// exchange names the diverged chunks, the field-level walk only pays
+    /// for those windows instead of the whole checkpoint. A field
+    /// straddling a window edge is compared in full.
+    pub fn with_windows(mut self, windows: impl IntoIterator<Item = Range<usize>>) -> Self {
+        let mut sorted: Vec<Range<usize>> =
+            windows.into_iter().filter(|r| r.start < r.end).collect();
+        sorted.sort_by_key(|r| r.start);
+        let mut coalesced: Vec<Range<usize>> = Vec::with_capacity(sorted.len());
+        for w in sorted {
+            match coalesced.last_mut() {
+                Some(last) if w.start <= last.end => last.end = last.end.max(w.end),
+                _ => coalesced.push(w),
+            }
+        }
+        self.windows = Some(coalesced);
+        self.window_cursor = 0;
+        self
+    }
+
+    /// Does `[offset, offset + width)` intersect any comparison window?
+    /// (Always true without windows.)
+    #[inline]
+    fn in_window(&mut self, offset: usize, width: usize) -> bool {
+        let Some(windows) = &self.windows else {
+            return true;
+        };
+        while self.window_cursor < windows.len() && windows[self.window_cursor].end <= offset {
+            self.window_cursor += 1;
+        }
+        self.window_cursor < windows.len() && windows[self.window_cursor].start < offset + width
+    }
+
+    /// Element-index subranges of a `width`-wide region at `offset` holding
+    /// `count` elements of size `elem` that intersect the windows, rounded
+    /// out to whole elements. Returns `None` when windowing is off (compare
+    /// everything).
+    fn window_spans(
+        &mut self,
+        offset: usize,
+        elem: usize,
+        count: usize,
+    ) -> Option<Vec<Range<usize>>> {
+        self.windows.as_ref()?; // windowing off: compare everything
+        let width = elem * count;
+        // Advance the shared cursor first so later scalar checks stay O(1).
+        if !self.in_window(offset, width) {
+            return Some(Vec::new());
+        }
+        let windows = self.windows.as_ref().expect("checked Some above");
+        let mut spans: Vec<Range<usize>> = Vec::new();
+        for w in &windows[self.window_cursor..] {
+            if w.start >= offset + width {
+                break;
+            }
+            let lo = w.start.max(offset) - offset;
+            let hi = w.end.min(offset + width) - offset;
+            let i0 = lo / elem;
+            let i1 = hi.div_ceil(elem).min(count);
+            match spans.last_mut() {
+                // Rounding to whole elements can make spans touch or overlap.
+                Some(last) if i0 <= last.end => last.end = last.end.max(i1),
+                _ => spans.push(i0..i1),
+            }
+        }
+        Some(spans)
     }
 
     /// Finish the comparison. Errors if the reference checkpoint has bytes
@@ -97,7 +179,11 @@ impl<'a> Checker<'a> {
     fn take(&mut self, n: usize) -> PupResult<&'a [u8]> {
         let remaining = self.reference.len() - self.pos;
         if remaining < n {
-            return Err(PupError::BufferUnderrun { needed: n, remaining, at: self.pos });
+            return Err(PupError::BufferUnderrun {
+                needed: n,
+                remaining,
+                at: self.pos,
+            });
         }
         let s = &self.reference[self.pos..self.pos + n];
         self.pos += n;
@@ -107,7 +193,12 @@ impl<'a> Checker<'a> {
     fn record(&mut self, offset: usize, width: usize, live_bits: u64, reference_bits: u64) {
         self.report.mismatch_count += 1;
         if self.report.failures.len() < self.failure_cap {
-            self.report.failures.push(CheckFailure { offset, width, live_bits, reference_bits });
+            self.report.failures.push(CheckFailure {
+                offset,
+                width,
+                live_bits,
+                reference_bits,
+            });
         }
     }
 
@@ -116,7 +207,7 @@ impl<'a> Checker<'a> {
         let offset = self.pos;
         let policy = self.policy();
         let reference = self.take(live.len())?;
-        if matches!(policy, CheckPolicy::Ignore) {
+        if matches!(policy, CheckPolicy::Ignore) || !self.in_window(offset, live.len()) {
             self.report.bytes_ignored += live.len();
             return Ok(());
         }
@@ -131,7 +222,7 @@ impl<'a> Checker<'a> {
         let offset = self.pos;
         let policy = self.policy();
         let bytes = self.take(8)?;
-        if matches!(policy, CheckPolicy::Ignore) {
+        if matches!(policy, CheckPolicy::Ignore) || !self.in_window(offset, 8) {
             self.report.bytes_ignored += 8;
             return Ok(());
         }
@@ -147,7 +238,7 @@ impl<'a> Checker<'a> {
         let offset = self.pos;
         let policy = self.policy();
         let bytes = self.take(4)?;
-        if matches!(policy, CheckPolicy::Ignore) {
+        if matches!(policy, CheckPolicy::Ignore) || !self.in_window(offset, 4) {
             self.report.bytes_ignored += 4;
             return Ok(());
         }
@@ -179,9 +270,10 @@ macro_rules! check_int_slice {
     ($name:ident, $ty:ty) => {
         fn $name(&mut self, v: &mut [$ty]) -> PupResult {
             const W: usize = std::mem::size_of::<$ty>();
-            // Fast path: bulk bitwise compare of the whole region, then only
-            // walk element-by-element if it differs (mismatches are rare —
-            // typically a single flipped bit per §6.1 injection).
+            // Fast path: bulk bitwise compare of the whole region (or its
+            // windowed spans), then only walk element-by-element if it
+            // differs (mismatches are rare — typically a single flipped bit
+            // per §6.1 injection).
             let offset = self.pos;
             let policy = self.policy();
             let reference = self.take(W * v.len())?;
@@ -189,14 +281,38 @@ macro_rules! check_int_slice {
                 self.report.bytes_ignored += reference.len();
                 return Ok(());
             }
-            self.report.bytes_compared += reference.len();
-            if bytes_of(v) == reference {
-                return Ok(());
-            }
-            for (i, (x, chunk)) in v.iter().zip(reference.chunks_exact(W)).enumerate() {
-                let live = &x.to_le_bytes()[..];
-                if live != chunk {
-                    self.record(offset + i * W, W, le_bits(live), le_bits(chunk));
+            match self.window_spans(offset, W, v.len()) {
+                None => {
+                    self.report.bytes_compared += reference.len();
+                    if bytes_of(v) == reference {
+                        return Ok(());
+                    }
+                    for (i, (x, chunk)) in v.iter().zip(reference.chunks_exact(W)).enumerate() {
+                        let live = &x.to_le_bytes()[..];
+                        if live != chunk {
+                            self.record(offset + i * W, W, le_bits(live), le_bits(chunk));
+                        }
+                    }
+                }
+                Some(spans) => {
+                    let live_bytes = bytes_of(v);
+                    let mut compared = 0usize;
+                    for span in spans {
+                        let (b0, b1) = (span.start * W, span.end * W);
+                        compared += b1 - b0;
+                        if !live_bytes.is_empty() && live_bytes[b0..b1] == reference[b0..b1] {
+                            continue;
+                        }
+                        for i in span {
+                            let live = &v[i].to_le_bytes()[..];
+                            let chunk = &reference[i * W..(i + 1) * W];
+                            if live != chunk {
+                                self.record(offset + i * W, W, le_bits(live), le_bits(chunk));
+                            }
+                        }
+                    }
+                    self.report.bytes_compared += compared;
+                    self.report.bytes_ignored += reference.len() - compared;
                 }
             }
             Ok(())
@@ -257,7 +373,10 @@ impl Puper for Checker<'_> {
             // A shape divergence makes the rest of the stream uninterpretable;
             // surface it as a structural error (the runtime treats this as
             // SDC just the same).
-            return Err(PupError::LengthMismatch { stream: stream as usize, live });
+            return Err(PupError::LengthMismatch {
+                stream: stream as usize,
+                live,
+            });
         }
         Ok(live)
     }
@@ -275,13 +394,41 @@ impl Puper for Checker<'_> {
             // Bitwise floats can use the fast bulk path.
             let offset = self.pos;
             let reference = self.take(4 * v.len())?;
-            self.report.bytes_compared += reference.len();
-            if bytes_of(v) == reference {
-                return Ok(());
-            }
-            for (i, (x, chunk)) in v.iter().zip(reference.chunks_exact(4)).enumerate() {
-                if x.to_le_bytes() != *chunk {
-                    self.record(offset + i * 4, 4, x.to_bits() as u64, le_bits(chunk));
+            match self.window_spans(offset, 4, v.len()) {
+                None => {
+                    self.report.bytes_compared += reference.len();
+                    if bytes_of(v) == reference {
+                        return Ok(());
+                    }
+                    for (i, (x, chunk)) in v.iter().zip(reference.chunks_exact(4)).enumerate() {
+                        if x.to_le_bytes() != *chunk {
+                            self.record(offset + i * 4, 4, x.to_bits() as u64, le_bits(chunk));
+                        }
+                    }
+                }
+                Some(spans) => {
+                    let live_bytes = bytes_of(v);
+                    let mut compared = 0usize;
+                    for span in spans {
+                        let (b0, b1) = (span.start * 4, span.end * 4);
+                        compared += b1 - b0;
+                        if !live_bytes.is_empty() && live_bytes[b0..b1] == reference[b0..b1] {
+                            continue;
+                        }
+                        for i in span {
+                            let chunk = &reference[i * 4..(i + 1) * 4];
+                            if v[i].to_le_bytes()[..] != *chunk {
+                                self.record(
+                                    offset + i * 4,
+                                    4,
+                                    v[i].to_bits() as u64,
+                                    le_bits(chunk),
+                                );
+                            }
+                        }
+                    }
+                    self.report.bytes_compared += compared;
+                    self.report.bytes_ignored += reference.len() - compared;
                 }
             }
             Ok(())
@@ -298,13 +445,36 @@ impl Puper for Checker<'_> {
         if matches!(policy, CheckPolicy::Bitwise) {
             let offset = self.pos;
             let reference = self.take(8 * v.len())?;
-            self.report.bytes_compared += reference.len();
-            if bytes_of(v) == reference {
-                return Ok(());
-            }
-            for (i, (x, chunk)) in v.iter().zip(reference.chunks_exact(8)).enumerate() {
-                if x.to_le_bytes() != *chunk {
-                    self.record(offset + i * 8, 8, x.to_bits(), le_bits(chunk));
+            match self.window_spans(offset, 8, v.len()) {
+                None => {
+                    self.report.bytes_compared += reference.len();
+                    if bytes_of(v) == reference {
+                        return Ok(());
+                    }
+                    for (i, (x, chunk)) in v.iter().zip(reference.chunks_exact(8)).enumerate() {
+                        if x.to_le_bytes() != *chunk {
+                            self.record(offset + i * 8, 8, x.to_bits(), le_bits(chunk));
+                        }
+                    }
+                }
+                Some(spans) => {
+                    let live_bytes = bytes_of(v);
+                    let mut compared = 0usize;
+                    for span in spans {
+                        let (b0, b1) = (span.start * 8, span.end * 8);
+                        compared += b1 - b0;
+                        if !live_bytes.is_empty() && live_bytes[b0..b1] == reference[b0..b1] {
+                            continue;
+                        }
+                        for i in span {
+                            let chunk = &reference[i * 8..(i + 1) * 8];
+                            if v[i].to_le_bytes()[..] != *chunk {
+                                self.record(offset + i * 8, 8, v[i].to_bits(), le_bits(chunk));
+                            }
+                        }
+                    }
+                    self.report.bytes_compared += compared;
+                    self.report.bytes_ignored += reference.len() - compared;
                 }
             }
             Ok(())
@@ -331,6 +501,7 @@ impl Puper for Checker<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::single_range_in_vec_init)] // single-window cases mean [one range], not a collected range
 mod tests {
     use super::*;
     use crate::packer::Packer;
@@ -362,7 +533,11 @@ mod tests {
 
     #[test]
     fn identical_state_is_clean() {
-        let mut a = Blob { data: vec![1.0, 2.0, 3.0], steps: 10, timer: 0.5 };
+        let mut a = Blob {
+            data: vec![1.0, 2.0, 3.0],
+            steps: 10,
+            timer: 0.5,
+        };
         let reference = packed(&mut a);
         let mut c = Checker::new(&reference);
         a.pup(&mut c).unwrap();
@@ -374,7 +549,11 @@ mod tests {
 
     #[test]
     fn single_bit_flip_is_detected_and_located() {
-        let mut a = Blob { data: vec![1.0, 2.0, 3.0], steps: 10, timer: 0.5 };
+        let mut a = Blob {
+            data: vec![1.0, 2.0, 3.0],
+            steps: 10,
+            timer: 0.5,
+        };
         let reference = packed(&mut a);
         // Corrupt one bit of data[1] in the live copy.
         a.data[1] = f64::from_bits(a.data[1].to_bits() ^ (1 << 17));
@@ -388,7 +567,11 @@ mod tests {
 
     #[test]
     fn ignored_region_may_differ() {
-        let mut a = Blob { data: vec![1.0], steps: 1, timer: 0.1 };
+        let mut a = Blob {
+            data: vec![1.0],
+            steps: 1,
+            timer: 0.1,
+        };
         let reference = packed(&mut a);
         a.timer = 99.0; // replica-local, non-critical
         let mut c = Checker::new(&reference);
@@ -424,9 +607,17 @@ mod tests {
 
     #[test]
     fn length_divergence_is_structural() {
-        let mut a = Blob { data: vec![1.0, 2.0], steps: 0, timer: 0.0 };
+        let mut a = Blob {
+            data: vec![1.0, 2.0],
+            steps: 0,
+            timer: 0.0,
+        };
         let reference = packed(&mut a);
-        let mut b = Blob { data: vec![1.0, 2.0, 3.0], steps: 0, timer: 0.0 };
+        let mut b = Blob {
+            data: vec![1.0, 2.0, 3.0],
+            steps: 0,
+            timer: 0.0,
+        };
         let mut c = Checker::new(&reference);
         let err = b.pup(&mut c).unwrap_err();
         assert_eq!(err, PupError::LengthMismatch { stream: 2, live: 3 });
@@ -434,7 +625,11 @@ mod tests {
 
     #[test]
     fn failure_cap_bounds_materialized_failures() {
-        let mut a = Blob { data: vec![0.0; 100], steps: 0, timer: 0.0 };
+        let mut a = Blob {
+            data: vec![0.0; 100],
+            steps: 0,
+            timer: 0.0,
+        };
         let reference = packed(&mut a);
         for x in a.data.iter_mut() {
             *x = 1.0;
@@ -444,6 +639,130 @@ mod tests {
         let r = c.finish().unwrap();
         assert_eq!(r.mismatch_count, 100);
         assert_eq!(r.failures.len(), 5);
+    }
+
+    #[test]
+    fn failure_cap_zero_still_counts_exactly() {
+        let mut a = Blob {
+            data: vec![0.0; 10],
+            steps: 0,
+            timer: 0.0,
+        };
+        let reference = packed(&mut a);
+        for x in a.data.iter_mut() {
+            *x = 2.0;
+        }
+        let mut c = Checker::new(&reference).failure_cap(0);
+        a.pup(&mut c).unwrap();
+        let r = c.finish().unwrap();
+        assert_eq!(r.mismatch_count, 10);
+        assert!(r.failures.is_empty());
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn windows_restrict_comparison_to_ranges() {
+        let mut a = Blob {
+            data: (0..100).map(|i| i as f64).collect(),
+            steps: 5,
+            timer: 0.0,
+        };
+        let reference = packed(&mut a);
+        // Corrupt two elements: data[10] (offset 8 + 80) and data[90]
+        // (offset 8 + 720).
+        a.data[10] += 1.0;
+        a.data[90] += 1.0;
+
+        // Window covering only data[10]'s bytes: one mismatch seen.
+        let mut c = Checker::new(&reference).with_windows([88..96]);
+        a.pup(&mut c).unwrap();
+        let r = c.finish().unwrap();
+        assert_eq!(r.mismatch_count, 1);
+        assert_eq!(r.failures[0].offset, 88);
+        assert_eq!(r.bytes_compared, 8 + 8); // structural len field + one f64
+        assert!(r.bytes_ignored > 0);
+
+        // Windows covering both corrupted elements: both seen.
+        let mut c = Checker::new(&reference).with_windows([80..100, 700..760]);
+        a.pup(&mut c).unwrap();
+        assert_eq!(c.finish().unwrap().mismatch_count, 2);
+
+        // Window covering neither: clean.
+        let mut c = Checker::new(&reference).with_windows([200..300]);
+        a.pup(&mut c).unwrap();
+        assert!(c.finish().unwrap().is_clean());
+    }
+
+    #[test]
+    fn window_edges_round_out_to_whole_fields() {
+        let mut a = Blob {
+            data: vec![1.0; 8],
+            steps: 0,
+            timer: 0.0,
+        };
+        let reference = packed(&mut a);
+        a.data[3] = 9.0; // stream bytes 32..40 (after the 8-byte len field)
+                         // A 1-byte window inside the corrupted element still catches it.
+        let mut c = Checker::new(&reference).with_windows([33..34]);
+        a.pup(&mut c).unwrap();
+        let r = c.finish().unwrap();
+        assert_eq!(r.mismatch_count, 1);
+        assert_eq!(r.failures[0].offset, 32);
+    }
+
+    #[test]
+    fn overlapping_windows_coalesce() {
+        let mut a = Blob {
+            data: vec![1.0; 16],
+            steps: 0,
+            timer: 0.0,
+        };
+        let reference = packed(&mut a);
+        a.data[2] = 3.0;
+        // Two overlapping windows over the same corrupted element must not
+        // double-count the mismatch.
+        let mut c = Checker::new(&reference).with_windows([20..30, 24..40]);
+        a.pup(&mut c).unwrap();
+        assert_eq!(c.finish().unwrap().mismatch_count, 1);
+    }
+
+    #[test]
+    fn windows_skip_scalars_and_int_slices_outside() {
+        struct Ints {
+            a: u64,
+            v: Vec<u32>,
+            b: u64,
+        }
+        impl Pup for Ints {
+            fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+                p.pup_u64(&mut self.a)?;
+                let n = p.pup_len(self.v.len())?;
+                self.v.resize(n, 0);
+                p.pup_u32_slice(&mut self.v)?;
+                p.pup_u64(&mut self.b)
+            }
+        }
+        let mut x = Ints {
+            a: 1,
+            v: vec![7; 16],
+            b: 2,
+        };
+        let mut p = Packer::new();
+        x.pup(&mut p).unwrap();
+        let reference = p.finish();
+        // Corrupt everything; only the window over v[4..6] (stream bytes
+        // 16+16 .. 16+24) should report.
+        x.a = 100;
+        for e in x.v.iter_mut() {
+            *e = 8;
+        }
+        x.b = 200;
+        let mut c = Checker::new(&reference).with_windows([32..40]);
+        x.pup(&mut c).unwrap();
+        let r = c.finish().unwrap();
+        assert_eq!(r.mismatch_count, 2); // v[4] and v[5] only
+        assert_eq!(r.failures[0].offset, 32);
+        assert_eq!(r.failures[1].offset, 36);
     }
 
     #[test]
@@ -457,7 +776,10 @@ mod tests {
     fn trailing_reference_bytes_are_structural() {
         let reference = [0u8; 4];
         let c = Checker::new(&reference);
-        assert_eq!(c.finish().unwrap_err(), PupError::TrailingBytes { leftover: 4 });
+        assert_eq!(
+            c.finish().unwrap_err(),
+            PupError::TrailingBytes { leftover: 4 }
+        );
     }
 
     #[test]

@@ -62,13 +62,20 @@ pub enum PupError {
 impl fmt::Display for PupError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PupError::BufferUnderrun { needed, remaining, at } => write!(
+            PupError::BufferUnderrun {
+                needed,
+                remaining,
+                at,
+            } => write!(
                 f,
                 "checkpoint stream underrun at offset {at}: field needs {needed} bytes, \
                  {remaining} remain"
             ),
             PupError::TrailingBytes { leftover } => {
-                write!(f, "checkpoint stream has {leftover} trailing bytes after unpack")
+                write!(
+                    f,
+                    "checkpoint stream has {leftover} trailing bytes after unpack"
+                )
             }
             PupError::LengthMismatch { stream, live } => write!(
                 f,
@@ -96,14 +103,29 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = PupError::BufferUnderrun { needed: 8, remaining: 3, at: 16 };
+        let e = PupError::BufferUnderrun {
+            needed: 8,
+            remaining: 3,
+            at: 16,
+        };
         let s = e.to_string();
         assert!(s.contains("offset 16") && s.contains("8 bytes") && s.contains("3 remain"));
 
-        assert!(PupError::TrailingBytes { leftover: 4 }.to_string().contains("4 trailing"));
-        assert!(PupError::LengthMismatch { stream: 5, live: 3 }.to_string().contains("5"));
-        assert!(PupError::InvalidTag { tag: 9, type_name: "Foo" }.to_string().contains("Foo"));
-        assert!(PupError::LengthOverflow { len: u64::MAX }.to_string().contains("overflows"));
+        assert!(PupError::TrailingBytes { leftover: 4 }
+            .to_string()
+            .contains("4 trailing"));
+        assert!(PupError::LengthMismatch { stream: 5, live: 3 }
+            .to_string()
+            .contains("5"));
+        assert!(PupError::InvalidTag {
+            tag: 9,
+            type_name: "Foo"
+        }
+        .to_string()
+        .contains("Foo"));
+        assert!(PupError::LengthOverflow { len: u64::MAX }
+            .to_string()
+            .contains("overflows"));
         assert!(PupError::PolicyUnderflow.to_string().contains("policy"));
     }
 

@@ -76,8 +76,7 @@ impl Pup for String {
                 let n = p.pup_len(0)?;
                 let mut bytes = vec![0u8; n];
                 p.pup_u8_slice(&mut bytes)?;
-                *self =
-                    String::from_utf8(bytes).map_err(|_| PupError::InvalidUtf8 { at })?;
+                *self = String::from_utf8(bytes).map_err(|_| PupError::InvalidUtf8 { at })?;
                 Ok(())
             }
             _ => {

@@ -10,6 +10,9 @@
 //!
 //! * [`Sizer`] — compute the exact packed size without writing anything.
 //! * [`Packer`] — serialize the state into a byte buffer (a checkpoint).
+//! * [`DigestingPacker`] / [`SlicePacker`] — the fused checkpoint pipeline:
+//!   pack and Fletcher-digest in one pass, emitting a per-chunk digest table
+//!   that localizes SDC divergence to 64 KiB windows.
 //! * [`Unpacker`] — restore the state from a checkpoint (restart).
 //! * [`Checker`] — compare live state against a *buddy replica's* checkpoint
 //!   byte-for-byte (or with a relative tolerance for floats) to detect SDC.
@@ -44,7 +47,7 @@
 //! let report = compare(&mut b, &ckpt).unwrap();
 //! assert!(report.is_clean());
 //!
-//! // Checksum path: 16 bytes on the wire instead of the full checkpoint.
+//! // Checksum path: 8 bytes on the wire instead of the full checkpoint.
 //! assert_eq!(fletcher64_of(&mut a).unwrap(), fletcher64_of(&mut b).unwrap());
 //! ```
 
@@ -52,6 +55,7 @@
 
 mod api;
 mod checker;
+mod chunked;
 mod error;
 mod fletcher;
 mod impls;
@@ -61,8 +65,15 @@ mod regions;
 mod sizer;
 mod unpacker;
 
-pub use api::{compare, compare_with_policy, fletcher64_of, pack, pack_into, packed_size, unpack};
+pub use api::{
+    compare, compare_windows, compare_with_policy, fletcher64_of, pack, pack_digested, pack_into,
+    packed_size, unpack,
+};
 pub use checker::{CheckFailure, CheckReport, Checker};
+pub use chunked::{
+    assemble_chunks, chunk_digests, ChunkDigester, ChunkPiece, ChunkedDigest, DigestingPacker,
+    SlicePacker, DEFAULT_CHUNK_SIZE,
+};
 pub use error::{PupError, PupResult};
 pub use fletcher::{fletcher64, Fletcher64, FletcherPuper};
 pub use impls::{pup_btree_map, pup_vec};

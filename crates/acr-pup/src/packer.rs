@@ -24,7 +24,9 @@ impl Packer {
     /// Create a packer whose buffer has `cap` bytes pre-reserved (pair with
     /// [`crate::Sizer`] to avoid reallocation on the checkpoint path).
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: Vec::with_capacity(cap) }
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Create a packer that appends to an existing buffer (reuse across
@@ -66,10 +68,7 @@ macro_rules! pack_slice {
                 // SAFETY: numeric primitives have no padding or invalid bit
                 // patterns; reinterpreting their storage as bytes is sound.
                 let bytes = unsafe {
-                    std::slice::from_raw_parts(
-                        v.as_ptr() as *const u8,
-                        std::mem::size_of_val(v),
-                    )
+                    std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v))
                 };
                 self.put(bytes)
             } else {

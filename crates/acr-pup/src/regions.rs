@@ -160,7 +160,12 @@ mod tests {
 
     #[test]
     fn maps_float_regions_and_skips_counters() {
-        let mut s = S { header: 1, grid: vec![0.0; 4], count: 2, extra: 1.5 };
+        let mut s = S {
+            header: 1,
+            grid: vec![0.0; 4],
+            count: 2,
+            extra: 1.5,
+        };
         let mut m = RegionMapper::new();
         s.pup(&mut m).unwrap();
         // layout: u64(8) + len(8) + 4*f64(32) + u32(4) + f32(4)
@@ -171,7 +176,12 @@ mod tests {
 
     #[test]
     fn nth_float_byte_spans_regions() {
-        let mut s = S { header: 1, grid: vec![0.0; 2], count: 2, extra: 1.5 };
+        let mut s = S {
+            header: 1,
+            grid: vec![0.0; 2],
+            count: 2,
+            extra: 1.5,
+        };
         let mut m = RegionMapper::new();
         s.pup(&mut m).unwrap();
         // regions: (16, 16) and (36, 4)

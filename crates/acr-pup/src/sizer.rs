@@ -114,7 +114,12 @@ mod tests {
 
     #[test]
     fn sizes_add_up() {
-        let mut m = Mixed { a: 1, b: 2.0, c: vec![1, 2, 3], d: true };
+        let mut m = Mixed {
+            a: 1,
+            b: 2.0,
+            c: vec![1, 2, 3],
+            d: true,
+        };
         let mut s = Sizer::new();
         m.pup(&mut s).unwrap();
         // 1 (u8) + 8 (f64) + 8 (len) + 3*4 (u32s) + 1 (bool)
@@ -125,7 +130,12 @@ mod tests {
 
     #[test]
     fn empty_slice_contributes_only_length() {
-        let mut m = Mixed { a: 0, b: 0.0, c: vec![], d: false };
+        let mut m = Mixed {
+            a: 0,
+            b: 0.0,
+            c: vec![],
+            d: false,
+        };
         let mut s = Sizer::new();
         m.pup(&mut s).unwrap();
         assert_eq!(s.bytes(), 1 + 8 + 8 + 1);

@@ -29,7 +29,9 @@ impl<'a> Unpacker<'a> {
     /// producing skewed state.
     pub fn finish(self) -> PupResult {
         if self.remaining() != 0 {
-            return Err(PupError::TrailingBytes { leftover: self.remaining() });
+            return Err(PupError::TrailingBytes {
+                leftover: self.remaining(),
+            });
         }
         Ok(())
     }
@@ -179,7 +181,14 @@ mod tests {
         let mut x = 0u16;
         u.pup_u16(&mut x).unwrap();
         let err = u.pup_u32(&mut { 0 }).unwrap_err();
-        assert_eq!(err, PupError::BufferUnderrun { needed: 4, remaining: 1, at: 2 });
+        assert_eq!(
+            err,
+            PupError::BufferUnderrun {
+                needed: 4,
+                remaining: 1,
+                at: 2
+            }
+        );
     }
 
     #[test]
@@ -187,7 +196,10 @@ mod tests {
         let buf = [0u8; 9];
         let mut u = Unpacker::new(&buf);
         u.pup_u64(&mut { 0 }).unwrap();
-        assert_eq!(u.finish().unwrap_err(), PupError::TrailingBytes { leftover: 1 });
+        assert_eq!(
+            u.finish().unwrap_err(),
+            PupError::TrailingBytes { leftover: 1 }
+        );
     }
 
     #[test]
@@ -196,7 +208,10 @@ mod tests {
         p.pup_u64(&mut { u64::MAX }).unwrap();
         let buf = p.finish();
         let mut u = Unpacker::new(&buf);
-        assert!(matches!(u.pup_len(0).unwrap_err(), PupError::LengthOverflow { .. }));
+        assert!(matches!(
+            u.pup_len(0).unwrap_err(),
+            PupError::LengthOverflow { .. }
+        ));
     }
 
     #[test]
@@ -205,7 +220,10 @@ mod tests {
         p.pup_len(1000).unwrap(); // length without payload
         let buf = p.finish();
         let mut u = Unpacker::new(&buf);
-        assert!(matches!(u.pup_len(0).unwrap_err(), PupError::BufferUnderrun { .. }));
+        assert!(matches!(
+            u.pup_len(0).unwrap_err(),
+            PupError::BufferUnderrun { .. }
+        ));
     }
 
     #[test]

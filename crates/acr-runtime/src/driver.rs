@@ -21,6 +21,7 @@ use parking_lot::RwLock;
 use crate::message::{Ctrl, Event, Net, NodeIndex, Scope};
 use crate::node::{NodeConfig, NodeWorker, TaskFactory};
 use crate::task::Task;
+use crate::trace::trace;
 
 /// Configuration of a replicated job.
 #[derive(Debug, Clone)]
@@ -35,6 +36,10 @@ pub struct JobConfig {
     pub scheme: Scheme,
     /// SDC detection method (§4.2).
     pub detection: DetectionMethod,
+    /// Bytes per chunk of the fused pack+digest pipeline — the granularity
+    /// at which a detected divergence is localized. Must be a positive
+    /// multiple of 4.
+    pub chunk_size: usize,
     /// Periodic checkpoint interval.
     pub checkpoint_interval: Duration,
     /// Buddy heartbeat period.
@@ -53,6 +58,7 @@ impl Default for JobConfig {
             spares: 2,
             scheme: Scheme::Strong,
             detection: DetectionMethod::FullCompare,
+            chunk_size: acr_pup::DEFAULT_CHUNK_SIZE,
             checkpoint_interval: Duration::from_millis(150),
             heartbeat_period: Duration::from_millis(10),
             heartbeat_timeout: Duration::from_millis(80),
@@ -82,6 +88,31 @@ pub enum Fault {
     },
 }
 
+/// One SDC detection, with the divergence localization the chunk table (or
+/// windowed payload diff) provided.
+#[derive(Debug, Clone)]
+pub struct SdcDetection {
+    /// Node that performed the comparison (replica-1 side).
+    pub node: NodeIndex,
+    /// Iteration of the mismatching checkpoint.
+    pub iteration: u64,
+    /// Diverged payload byte ranges, sorted and coalesced. The whole payload
+    /// when the detection method cannot localize (plain `Checksum`).
+    pub diverged: Vec<std::ops::Range<usize>>,
+    /// Local checkpoint payload length.
+    pub payload_len: usize,
+    /// Mismatching fields found by the field-level re-check restricted to
+    /// the diverged ranges (`FullCompare` only; 0 otherwise).
+    pub fields_flagged: usize,
+}
+
+impl SdcDetection {
+    /// Total bytes across the diverged ranges.
+    pub fn diverged_bytes(&self) -> usize {
+        self.diverged.iter().map(|r| r.end - r.start).sum()
+    }
+}
+
 /// Outcome of a job run.
 #[derive(Debug, Default)]
 pub struct JobReport {
@@ -89,6 +120,9 @@ pub struct JobReport {
     pub checkpoints_verified: usize,
     /// Checkpoint rounds whose comparison found silent data corruption.
     pub sdc_rounds_detected: usize,
+    /// Per-detection localization records (one per mismatching node-pair
+    /// comparison, possibly several per detected round).
+    pub sdc_detections: Vec<SdcDetection>,
     /// Rollbacks of both replicas (SDC response).
     pub rollbacks: usize,
     /// Hard errors recovered via spare promotion.
@@ -110,10 +144,12 @@ impl JobReport {
     /// Whether the two replicas finished with bit-identical application
     /// state — the ground-truth check that no SDC survived.
     pub fn replicas_agree(&self) -> bool {
-        let ranks: HashSet<usize> =
-            self.final_states.keys().map(|&(_, rank)| rank).collect();
+        let ranks: HashSet<usize> = self.final_states.keys().map(|&(_, rank)| rank).collect();
         ranks.iter().all(|&rank| {
-            match (self.final_states.get(&(0, rank)), self.final_states.get(&(1, rank))) {
+            match (
+                self.final_states.get(&(0, rank)),
+                self.final_states.get(&(1, rank)),
+            ) {
                 (Some(a), Some(b)) => a == b,
                 _ => false,
             }
@@ -129,8 +165,15 @@ impl JobReport {
 #[derive(Debug)]
 enum Phase {
     Running,
-    GlobalRound { round: u64, pending: HashSet<NodeIndex>, sdc: bool, iteration: u64 },
-    AwaitRollback { pending: HashSet<NodeIndex> },
+    GlobalRound {
+        round: u64,
+        pending: HashSet<NodeIndex>,
+        sdc: bool,
+        iteration: u64,
+    },
+    AwaitRollback {
+        pending: HashSet<NodeIndex>,
+    },
     Recovery(Recovery),
 }
 
@@ -188,6 +231,10 @@ impl Job {
         F: Fn(usize, usize) -> Box<dyn Task> + Send + Sync + 'static,
     {
         assert!(cfg.ranks >= 1 && cfg.tasks_per_rank >= 1);
+        assert!(
+            cfg.chunk_size >= 4 && cfg.chunk_size.is_multiple_of(4),
+            "chunk_size must be a positive multiple of 4"
+        );
         let total = 2 * cfg.ranks + cfg.spares;
         let layout = Arc::new(RwLock::new(
             ReplicaLayout::new(total, cfg.spares).expect("valid job shape"),
@@ -211,6 +258,7 @@ impl Job {
                 ranks: cfg.ranks,
                 tasks_per_rank: cfg.tasks_per_rank,
                 detection: cfg.detection,
+                chunk_size: cfg.chunk_size,
                 heartbeat_period: cfg.heartbeat_period,
                 heartbeat_timeout: cfg.heartbeat_timeout,
             };
@@ -265,12 +313,18 @@ impl Driver {
     }
 
     fn active_nodes(&self) -> Vec<NodeIndex> {
-        self.layout.read().active_nodes().map(|(n, _, _)| n).collect()
+        self.layout
+            .read()
+            .active_nodes()
+            .map(|(n, _, _)| n)
+            .collect()
     }
 
     fn replica_nodes(&self, replica: u8) -> Vec<NodeIndex> {
         let layout = self.layout.read();
-        (0..layout.ranks()).map(|r| layout.host(replica, r)).collect()
+        (0..layout.ranks())
+            .map(|r| layout.host(replica, r))
+            .collect()
     }
 
     fn alloc_round(&mut self) -> u64 {
@@ -295,7 +349,7 @@ impl Driver {
                 return;
             }
             // Inject due faults regardless of phase — failures don't wait.
-            while let Some(&(at, fault)) = faults.front().as_deref() {
+            while let Some(&(at, fault)) = faults.front() {
                 if at.as_secs_f64() > now {
                     break;
                 }
@@ -307,8 +361,10 @@ impl Driver {
                     self.start_recovery(dead);
                     continue;
                 }
-                let everyone_done =
-                    self.active_nodes().iter().all(|n| self.done_nodes.contains(n));
+                let everyone_done = self
+                    .active_nodes()
+                    .iter()
+                    .all(|n| self.done_nodes.contains(n));
                 if everyone_done && !self.weak_parked {
                     self.report.completed = true;
                     return;
@@ -332,7 +388,11 @@ impl Driver {
                 drop(layout);
                 self.send(node, Ctrl::InjectCrash);
             }
-            Fault::Sdc { replica, rank, seed } => {
+            Fault::Sdc {
+                replica,
+                rank,
+                seed,
+            } => {
                 let node = layout.host(replica, rank);
                 drop(layout);
                 self.send(node, Ctrl::InjectSdc { seed });
@@ -344,7 +404,13 @@ impl Driver {
         let round = self.alloc_round();
         let nodes = self.active_nodes();
         for &n in &nodes {
-            self.send(n, Ctrl::StartRound { scope: Scope::Global, round });
+            self.send(
+                n,
+                Ctrl::StartRound {
+                    scope: Scope::Global,
+                    round,
+                },
+            );
         }
         self.phase = Phase::GlobalRound {
             round,
@@ -357,11 +423,19 @@ impl Driver {
     fn handle_event(&mut self, ev: Event) {
         match ev {
             Event::BuddyDead { dead, .. } => self.on_dead(dead),
-            Event::CheckpointDone { node, round, iteration, verified } => {
+            Event::CheckpointDone {
+                node,
+                round,
+                iteration,
+                verified,
+            } => {
                 match &mut self.phase {
-                    Phase::GlobalRound { round: r, pending, sdc, iteration: it }
-                        if *r == round =>
-                    {
+                    Phase::GlobalRound {
+                        round: r,
+                        pending,
+                        sdc,
+                        iteration: it,
+                    } if *r == round => {
                         pending.remove(&node);
                         *it = iteration;
                         if verified == Some(false) {
@@ -389,8 +463,22 @@ impl Driver {
                     _ => {} // stale round
                 }
             }
-            Event::SdcDetected { .. } => {
-                // Counted per-round via the CheckpointDone verdicts.
+            Event::SdcDetected {
+                node,
+                iteration,
+                diverged,
+                payload_len,
+                fields_flagged,
+            } => {
+                // Rounds are counted via the CheckpointDone verdicts; here we
+                // record where the corruption was localized.
+                self.report.sdc_detections.push(SdcDetection {
+                    node,
+                    iteration,
+                    diverged,
+                    payload_len,
+                    fields_flagged,
+                });
             }
             Event::RolledBack { node } => match &mut self.phase {
                 Phase::AwaitRollback { pending } => {
@@ -428,7 +516,9 @@ impl Driver {
             self.done_nodes.remove(&n);
             self.send(n, Ctrl::Rollback { floor });
         }
-        self.phase = Phase::AwaitRollback { pending: nodes.into_iter().collect() };
+        self.phase = Phase::AwaitRollback {
+            pending: nodes.into_iter().collect(),
+        };
     }
 
     fn back_to_running(&mut self) {
@@ -440,9 +530,11 @@ impl Driver {
         if self.dead_nodes.contains(&dead) || self.layout.read().locate(dead).is_none() {
             return; // duplicate report or not an active node
         }
-        if std::env::var_os("ACR_DEBUG").is_some() {
-            eprintln!("[driver t={:.3}] node {dead} declared dead (phase {:?})", self.now(), self.phase);
-        }
+        trace!(
+            "[driver t={:.3}] node {dead} declared dead (phase {:?})",
+            self.now(),
+            self.phase
+        );
         self.dead_nodes.insert(dead);
         self.done_nodes.remove(&dead);
         match &self.phase {
@@ -466,7 +558,9 @@ impl Driver {
     }
 
     fn start_recovery(&mut self, dead: NodeIndex) {
-        let Some((replica, rank)) = self.layout.read().locate(dead) else { return };
+        let Some((replica, rank)) = self.layout.read().locate(dead) else {
+            return;
+        };
         let spare = match self.layout.write().replace_with_spare(dead) {
             Ok(s) => s,
             Err(e) => {
@@ -493,7 +587,15 @@ impl Driver {
             }
             self.done_nodes.remove(&n);
         }
-        self.send(spare, Ctrl::AssumeIdentity { replica, rank, buddy: buddy_node, floor });
+        self.send(
+            spare,
+            Ctrl::AssumeIdentity {
+                replica,
+                rank,
+                buddy: buddy_node,
+                floor,
+            },
+        );
         self.send(buddy_node, Ctrl::BuddyChanged { buddy: spare });
 
         // Consult the planner for the scheme's action list (the executable
@@ -545,7 +647,10 @@ impl Driver {
                 for &n in &healthy_nodes {
                     self.send(
                         n,
-                        Ctrl::StartRound { scope: Scope::Replica(healthy), round: ship_round },
+                        Ctrl::StartRound {
+                            scope: Scope::Replica(healthy),
+                            round: ship_round,
+                        },
                     );
                 }
                 self.phase = Phase::Recovery(Recovery {
@@ -578,7 +683,13 @@ impl Driver {
         let healthy_nodes = self.replica_nodes(healthy);
         let crashed_nodes = self.replica_nodes(replica);
         for &n in &healthy_nodes {
-            self.send(n, Ctrl::StartRound { scope: Scope::Replica(healthy), round: ship_round });
+            self.send(
+                n,
+                Ctrl::StartRound {
+                    scope: Scope::Replica(healthy),
+                    round: ship_round,
+                },
+            );
         }
         self.phase = Phase::Recovery(Recovery {
             expect_installed: crashed_nodes.iter().copied().collect(),
@@ -591,7 +702,9 @@ impl Driver {
     }
 
     fn maybe_finish_recovery(&mut self) {
-        let Phase::Recovery(rec) = &self.phase else { return };
+        let Phase::Recovery(rec) = &self.phase else {
+            return;
+        };
         if !rec.finished() {
             return;
         }
@@ -624,7 +737,9 @@ impl Driver {
         let mut received = 0;
         while received < total && Instant::now() < deadline {
             match self.events.recv_timeout(Duration::from_millis(50)) {
-                Ok(Event::FinalState { identity, tasks, .. }) => {
+                Ok(Event::FinalState {
+                    identity, tasks, ..
+                }) => {
                     received += 1;
                     if let Some((replica, rank)) = identity {
                         if !tasks.is_empty() {

@@ -33,9 +33,10 @@ mod driver;
 mod message;
 mod node;
 mod task;
+mod trace;
 
-pub use driver::{Fault, Job, JobConfig, JobReport};
+pub use driver::{Fault, Job, JobConfig, JobReport, SdcDetection};
 pub use message::{AppMsg, NodeIndex, TaskId};
 pub use task::{Task, TaskCtx};
 
-pub use acr_core::{DetectionMethod, Scheme};
+pub use acr_core::{DetectionMethod, Divergence, Scheme};

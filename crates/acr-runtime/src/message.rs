@@ -53,10 +53,7 @@ pub(crate) enum Net {
         msg: AppMsg,
     },
     /// Checkpoint-consensus protocol traffic.
-    Consensus {
-        scope: Scope,
-        msg: ConsensusMsg,
-    },
+    Consensus { scope: Scope, msg: ConsensusMsg },
     /// Replica-0 → replica-1 buddy: checkpoint content (or digest) for SDC
     /// comparison.
     Compare {
@@ -64,19 +61,12 @@ pub(crate) enum Net {
         detection: Detection,
     },
     /// Replica-1 → replica-0 buddy: comparison verdict.
-    CompareResult {
-        iteration: u64,
-        clean: bool,
-    },
+    CompareResult { iteration: u64, clean: bool },
     /// Recovery: install this checkpoint as the verified state and resume
     /// from it.
-    Install {
-        checkpoint: Checkpoint,
-    },
+    Install { checkpoint: Checkpoint },
     /// Liveness signal to the buddy.
-    Heartbeat {
-        from: NodeIndex,
-    },
+    Heartbeat { from: NodeIndex },
     /// Driver control.
     Ctrl(Ctrl),
 }
@@ -95,7 +85,12 @@ pub(crate) enum Ctrl {
     /// (Strong recovery) send your verified checkpoint to `to`.
     SendVerifiedTo { to: NodeIndex },
     /// (Spare promotion) become `(replica, rank)`; your buddy is `buddy`.
-    AssumeIdentity { replica: u8, rank: usize, buddy: NodeIndex, floor: u64 },
+    AssumeIdentity {
+        replica: u8,
+        rank: usize,
+        buddy: NodeIndex,
+        floor: u64,
+    },
     /// Your buddy was replaced; watch `buddy` from now on.
     BuddyChanged { buddy: NodeIndex },
     /// The checkpoint round completed on every node: resume execution.
@@ -122,13 +117,30 @@ pub(crate) enum Ctrl {
 #[allow(dead_code)]
 pub(crate) enum Event {
     /// `dead` missed its heartbeats (reported by its buddy).
-    BuddyDead { reporter: NodeIndex, dead: NodeIndex },
+    BuddyDead {
+        reporter: NodeIndex,
+        dead: NodeIndex,
+    },
     /// This node finished its part of checkpoint round `round`.
     /// `verified` is the comparison verdict where one happened on this node
     /// (replica-1 nodes in global rounds), `None` for ship-only rounds.
-    CheckpointDone { node: NodeIndex, round: u64, iteration: u64, verified: Option<bool> },
-    /// Comparison mismatch: silent data corruption.
-    SdcDetected { node: NodeIndex, iteration: u64 },
+    CheckpointDone {
+        node: NodeIndex,
+        round: u64,
+        iteration: u64,
+        verified: Option<bool>,
+    },
+    /// Comparison mismatch: silent data corruption. `diverged` carries the
+    /// payload byte ranges the detector localized (the whole payload when
+    /// the method cannot do better); `fields_flagged` counts the mismatching
+    /// fields found by the windowed field-level re-check (FullCompare only).
+    SdcDetected {
+        node: NodeIndex,
+        iteration: u64,
+        diverged: Vec<std::ops::Range<usize>>,
+        payload_len: usize,
+        fields_flagged: usize,
+    },
     /// Rollback finished on this node.
     RolledBack { node: NodeIndex },
     /// Recovery checkpoint installed on this node.
@@ -136,5 +148,9 @@ pub(crate) enum Event {
     /// Every task on this node reports done.
     AllTasksDone { node: NodeIndex },
     /// Final state at shutdown: one packed payload per task.
-    FinalState { node: NodeIndex, identity: Option<(u8, usize)>, tasks: Vec<Bytes> },
+    FinalState {
+        node: NodeIndex,
+        identity: Option<(u8, usize)>,
+        tasks: Vec<Bytes>,
+    },
 }

@@ -5,10 +5,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use acr_core::{
-    Checkpoint, CheckpointStore, ConsensusAction, ConsensusEngine, ConsensusMsg, Detection,
-    DetectionMethod, HeartbeatMonitor, ReplicaLayout, SdcDetector,
+    Checkpoint, CheckpointStore, ChunkTable, ConsensusAction, ConsensusEngine, ConsensusMsg,
+    Detection, DetectionMethod, HeartbeatMonitor, ReplicaLayout, SdcDetector,
 };
-use acr_pup::{fletcher64, Packer, Unpacker};
+use acr_pup::{
+    assemble_chunks, Checker, ChunkPiece, ChunkedDigest, Packer, Puper, Sizer, SlicePacker,
+    Unpacker,
+};
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::RwLock;
@@ -17,6 +20,111 @@ use rand::SeedableRng;
 
 use crate::message::{AppMsg, Ctrl, Event, Net, NodeIndex, Scope, TaskId};
 use crate::task::{Task, TaskCtx};
+use crate::trace::trace;
+
+/// Every task's packed bytes start at a multiple of this (trailing zero
+/// padding rounds each task segment up). Word-aligned segment boundaries are
+/// what let per-segment Fletcher states merge into exact chunk and payload
+/// digests, so tasks can be packed concurrently.
+const SEGMENT_ALIGN: usize = 8;
+
+/// Zero padding needed after `offset` to reach the next segment boundary.
+fn padding_after(offset: usize) -> usize {
+    (SEGMENT_ALIGN - offset % SEGMENT_ALIGN) % SEGMENT_ALIGN
+}
+
+/// Worker threads to pack `tasks` task segments with.
+fn pack_workers(tasks: usize) -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(tasks)
+}
+
+/// Pack one task into its padded segment, digesting in the same pass.
+fn pack_segment(
+    task: &mut dyn Task,
+    segment: &mut [u8],
+    chunk_size: usize,
+    offset: usize,
+) -> Vec<ChunkPiece> {
+    let mut p = SlicePacker::digesting(segment, chunk_size, offset);
+    task.pup(&mut p).expect("packing task state cannot fail");
+    p.pad_to_end();
+    let (written, pieces) = p.finish();
+    debug_assert_eq!(written, segment.len(), "pad_to_end fills the segment");
+    pieces
+}
+
+/// One unit of the parallel pack: task index, the task, its segment's
+/// global payload offset, and the segment itself.
+type PackJob<'a> = (usize, &'a mut Box<dyn Task>, usize, &'a mut [u8]);
+
+/// Pack every task into one payload — each task in its own 8-byte-aligned,
+/// zero-padded segment — computing the per-chunk Fletcher table in the same
+/// memory pass. With `workers > 1` the segments are packed concurrently on
+/// scoped threads; the result is bit-identical regardless of worker count
+/// (segment layout is fixed up front, and per-segment digest states merge
+/// exactly).
+fn pack_tasks_parallel(
+    tasks: &mut [Box<dyn Task>],
+    chunk_size: usize,
+    workers: usize,
+) -> (Vec<u8>, ChunkedDigest) {
+    let sizes: Vec<usize> = tasks
+        .iter_mut()
+        .map(|task| {
+            let mut s = Sizer::new();
+            task.pup(&mut s).expect("sizing task state cannot fail");
+            s.bytes().div_ceil(SEGMENT_ALIGN) * SEGMENT_ALIGN
+        })
+        .collect();
+    let total: usize = sizes.iter().sum();
+    let mut buf = vec![0u8; total];
+
+    // Carve the buffer into disjoint per-task segments at known offsets.
+    let mut jobs: Vec<PackJob> = Vec::with_capacity(sizes.len());
+    let mut rest = buf.as_mut_slice();
+    let mut offset = 0;
+    for (t, (task, &size)) in tasks.iter_mut().zip(&sizes).enumerate() {
+        let (segment, tail) = rest.split_at_mut(size);
+        jobs.push((t, task, offset, segment));
+        offset += size;
+        rest = tail;
+    }
+
+    let mut pieces: Vec<(usize, Vec<ChunkPiece>)> = if workers <= 1 {
+        jobs.into_iter()
+            .map(|(t, task, off, seg)| (t, pack_segment(task.as_mut(), seg, chunk_size, off)))
+            .collect()
+    } else {
+        let mut buckets: Vec<Vec<_>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            buckets[i % workers].push(job);
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    s.spawn(move || {
+                        bucket
+                            .into_iter()
+                            .map(|(t, task, off, seg)| {
+                                (t, pack_segment(task.as_mut(), seg, chunk_size, off))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("pack worker panicked"))
+                .collect()
+        })
+    };
+    pieces.sort_by_key(|&(t, _)| t);
+    let digest = assemble_chunks(chunk_size, pieces.into_iter().flat_map(|(_, p)| p));
+    (buf, digest)
+}
 
 /// Shared constructor for application tasks: `(rank, task_index)` → task.
 /// Both replicas call it with the same arguments, so the two copies start
@@ -28,6 +136,7 @@ pub(crate) struct NodeConfig {
     pub ranks: usize,
     pub tasks_per_rank: usize,
     pub detection: DetectionMethod,
+    pub chunk_size: usize,
     pub heartbeat_period: Duration,
     pub heartbeat_timeout: Duration,
 }
@@ -115,9 +224,15 @@ impl NodeWorker {
             future_msgs: Vec::new(),
         };
         if let Some((_, rank)) = w.identity {
-            w.tasks = (0..w.cfg.tasks_per_rank).map(|t| (w.factory)(rank, t)).collect();
+            w.tasks = (0..w.cfg.tasks_per_rank)
+                .map(|t| (w.factory)(rank, t))
+                .collect();
             w.rebuild_engines(0);
-            let buddy = w.layout.read().buddy(w.cfg.index).expect("active node has a buddy");
+            let buddy = w
+                .layout
+                .read()
+                .buddy(w.cfg.index)
+                .expect("active node has a buddy");
             w.buddy = Some(buddy);
             w.monitor.watch(buddy, 0.0);
         }
@@ -142,7 +257,8 @@ impl NodeWorker {
             return;
         };
         let ranks = self.cfg.ranks;
-        let mut global = ConsensusEngine::new(replica as usize * ranks + rank, 2 * ranks, self.tasks.len());
+        let mut global =
+            ConsensusEngine::new(replica as usize * ranks + rank, 2 * ranks, self.tasks.len());
         let mut local = ConsensusEngine::new(rank, ranks, self.tasks.len());
         for (t, task) in self.tasks.iter().enumerate() {
             let _ = global.report_progress(t, task.progress());
@@ -187,25 +303,34 @@ impl NodeWorker {
         };
         let Some(engine) = engine else { return };
         let actions = engine.on_message(msg);
-        if std::env::var_os("ACR_DEBUG").is_some() {
-            eprintln!("[node {} {:?}] consensus {scope:?} {msg:?} -> {} actions",
-                self.cfg.index, self.identity, actions.len());
-        }
+        trace!(
+            "[node {} {:?}] consensus {scope:?} {msg:?} -> {} actions",
+            self.cfg.index,
+            self.identity,
+            actions.len()
+        );
         self.dispatch_consensus(scope, actions);
     }
 
-    fn pack_tasks(&mut self) -> Bytes {
-        let mut packer = Packer::new();
-        for task in &mut self.tasks {
-            task.pup(&mut packer).expect("packing task state cannot fail");
-        }
-        Bytes::from(packer.finish())
+    /// Fused checkpoint pipeline: pack all tasks and compute the chunked
+    /// Fletcher table in one memory pass, parallelized across worker threads
+    /// when the node hosts several tasks.
+    fn pack_tasks(&mut self) -> (Bytes, ChunkedDigest) {
+        let workers = pack_workers(self.tasks.len());
+        let (buf, digest) = pack_tasks_parallel(&mut self.tasks, self.cfg.chunk_size, workers);
+        (Bytes::from(buf), digest)
     }
 
     fn unpack_tasks(&mut self, payload: &[u8]) {
         let mut u = Unpacker::new(payload);
         for task in &mut self.tasks {
-            task.pup(&mut u).expect("checkpoint payload matches task set");
+            task.pup(&mut u)
+                .expect("checkpoint payload matches task set");
+            // Consume the segment's zero padding (see SEGMENT_ALIGN).
+            let mut pad = [0u8; SEGMENT_ALIGN];
+            let n = padding_after(u.offset());
+            u.pup_u8_slice(&mut pad[..n])
+                .expect("checkpoint includes segment padding");
         }
         u.finish().expect("checkpoint fully consumed");
         self.done_reported = false;
@@ -225,7 +350,11 @@ impl NodeWorker {
         let mut kept = std::collections::VecDeque::new();
         while let Ok(m) = self.inbox.try_recv() {
             match m {
-                Net::App { to_task, epoch, msg } => self.receive_app(to_task, epoch, msg),
+                Net::App {
+                    to_task,
+                    epoch,
+                    msg,
+                } => self.receive_app(to_task, epoch, msg),
                 other => kept.push_back(other),
             }
         }
@@ -234,14 +363,20 @@ impl NodeWorker {
 
     fn take_checkpoint(&mut self, scope: Scope, round: u64, iteration: u64) {
         self.drain_app_messages();
-        let payload = self.pack_tasks();
-        let digest = fletcher64(&payload);
-        if std::env::var_os("ACR_DEBUG").is_some() {
-            eprintln!("[node {} {:?}] ckpt scope={scope:?} round={round} iter={iteration} digest={digest:x} progress={:?}",
-                self.cfg.index, self.identity,
-                self.tasks.iter().map(|t| t.progress()).collect::<Vec<_>>());
-        }
-        self.store.store_tentative(Checkpoint { iteration, payload, digest });
+        let (payload, chunked) = self.pack_tasks();
+        trace!("[node {} {:?}] ckpt scope={scope:?} round={round} iter={iteration} digest={:x} chunks={} progress={:?}",
+            self.cfg.index, self.identity, chunked.digest, chunked.chunk_digests.len(),
+            self.tasks.iter().map(|t| t.progress()).collect::<Vec<_>>());
+        let table = ChunkTable {
+            chunk_size: chunked.chunk_size as u32,
+            digests: chunked.chunk_digests,
+        };
+        self.store.store_tentative(Checkpoint::with_chunks(
+            iteration,
+            payload,
+            chunked.digest,
+            table,
+        ));
         match scope {
             Scope::Global => {
                 let (replica, _) = self.identity.expect("checkpointing node has identity");
@@ -254,7 +389,13 @@ impl NodeWorker {
                         .detector
                         .outgoing(self.store.tentative().expect("just stored"));
                     self.awaiting_verdict = Some((round, iteration));
-                    self.send(buddy, Net::Compare { iteration, detection });
+                    self.send(
+                        buddy,
+                        Net::Compare {
+                            iteration,
+                            detection,
+                        },
+                    );
                 } else {
                     self.awaiting_verdict = Some((round, iteration));
                     self.try_compare(round);
@@ -280,8 +421,12 @@ impl NodeWorker {
     /// Replica-1 side: compare once both the local tentative checkpoint and
     /// the buddy's detection message are present.
     fn try_compare(&mut self, round: u64) {
-        let Some(tentative) = self.store.tentative() else { return };
-        let Some((iteration, _)) = self.pending_remote else { return };
+        let Some(tentative) = self.store.tentative() else {
+            return;
+        };
+        let Some((iteration, _)) = self.pending_remote else {
+            return;
+        };
         if iteration != tentative.iteration {
             return; // stale traffic from an aborted round
         }
@@ -289,18 +434,21 @@ impl NodeWorker {
         // Promotion is deferred to the driver's RoundComplete: a mismatch
         // *anywhere* invalidates the whole round, so locally-clean pairs
         // must not advance their rollback target ahead of the others.
-        let clean = !self.detector.diverged(tentative, &detection);
-        if std::env::var_os("ACR_DEBUG").is_some() {
-            eprintln!("[node {} {:?}] compare iter={iteration} clean={clean} local_len={} local_digest={:x}",
-                self.cfg.index, self.identity, tentative.len(), tentative.digest);
-            if !clean {
-                if let acr_core::Detection::Payload(remote) = &detection {
-                    for (off, (a, b)) in tentative.payload.iter().zip(remote.iter()).enumerate() {
-                        if a != b {
-                            eprintln!("  first diff at byte {off}: local={a:#x} remote={b:#x}");
-                            break;
-                        }
-                    }
+        let divergence = self.detector.diverged(tentative, &detection);
+        let clean = divergence.is_clean();
+        let payload_len = tentative.len();
+        trace!("[node {} {:?}] compare iter={iteration} clean={clean} local_len={payload_len} local_digest={:x} diverged={:?}",
+            self.cfg.index, self.identity, tentative.digest, divergence.ranges);
+        // On a FullCompare mismatch, re-check at field granularity — but
+        // only inside the diverged chunks the table localized, not the whole
+        // payload. Live tasks are frozen at the checkpoint state here (packs
+        // happen under the consensus pause), so traversing them against the
+        // remote payload is exact.
+        let mut fields_flagged = 0;
+        if !clean {
+            if let Detection::Payload(remote) = &detection {
+                if remote.len() == payload_len {
+                    fields_flagged = self.check_diverged_fields(remote, &divergence.ranges);
                 }
             }
         }
@@ -308,7 +456,13 @@ impl NodeWorker {
         self.send(buddy, Net::CompareResult { iteration, clean });
         self.awaiting_verdict = None;
         if !clean {
-            let _ = self.events.send(Event::SdcDetected { node: self.cfg.index, iteration });
+            let _ = self.events.send(Event::SdcDetected {
+                node: self.cfg.index,
+                iteration,
+                diverged: divergence.ranges,
+                payload_len,
+                fields_flagged,
+            });
         }
         let _ = self.events.send(Event::CheckpointDone {
             node: self.cfg.index,
@@ -318,14 +472,38 @@ impl NodeWorker {
         });
     }
 
+    /// Field-level comparison of live tasks against the buddy payload,
+    /// restricted to the given diverged byte windows. Returns the number of
+    /// mismatching fields found (0 if the traversal itself fails — the
+    /// verdict already stands, this only refines diagnostics).
+    fn check_diverged_fields(
+        &mut self,
+        reference: &[u8],
+        windows: &[std::ops::Range<usize>],
+    ) -> usize {
+        let mut c = Checker::new(reference).with_windows(windows.iter().cloned());
+        for task in &mut self.tasks {
+            if task.pup(&mut c).is_err() {
+                return 0;
+            }
+            let mut pad = [0u8; SEGMENT_ALIGN];
+            let n = padding_after(c.offset());
+            if c.pup_u8_slice(&mut pad[..n]).is_err() {
+                return 0;
+            }
+        }
+        c.finish().map_or(0, |report| report.mismatch_count)
+    }
+
     fn handle_ctrl(&mut self, ctrl: Ctrl) -> bool {
         match ctrl {
             Ctrl::StartRound { scope, round } => {
-                if std::env::var_os("ACR_DEBUG").is_some() {
-                    eprintln!("[node {} {:?}] StartRound {scope:?} round={round} progress={:?}",
-                        self.cfg.index, self.identity,
-                        self.tasks.iter().map(|t| t.progress()).collect::<Vec<_>>());
-                }
+                trace!(
+                    "[node {} {:?}] StartRound {scope:?} round={round} progress={:?}",
+                    self.cfg.index,
+                    self.identity,
+                    self.tasks.iter().map(|t| t.progress()).collect::<Vec<_>>()
+                );
                 self.engine_feed(scope, ConsensusMsg::Start { round });
             }
             Ctrl::AbortRound { floor } => {
@@ -342,8 +520,9 @@ impl NodeWorker {
                     self.unpack_tasks(&payload);
                 } else if let Some((_, rank)) = self.identity {
                     // No checkpoint yet: restart from the beginning.
-                    self.tasks =
-                        (0..self.cfg.tasks_per_rank).map(|t| (self.factory)(rank, t)).collect();
+                    self.tasks = (0..self.cfg.tasks_per_rank)
+                        .map(|t| (self.factory)(rank, t))
+                        .collect();
                 }
                 self.rebuild_engines(floor);
                 // Epoch bump comes *after* the state restore: entering the
@@ -351,12 +530,16 @@ impl NodeWorker {
                 // back first, and those must land in the restored tasks,
                 // not in state about to be overwritten.
                 self.enter_epoch(floor);
-                if std::env::var_os("ACR_DEBUG").is_some() {
-                    eprintln!("[node {} {:?}] rolled back to progress={:?} (floor {floor}, epoch {})",
-                        self.cfg.index, self.identity,
-                        self.tasks.iter().map(|t| t.progress()).collect::<Vec<_>>(), self.epoch);
-                }
-                let _ = self.events.send(Event::RolledBack { node: self.cfg.index });
+                trace!(
+                    "[node {} {:?}] rolled back to progress={:?} (floor {floor}, epoch {})",
+                    self.cfg.index,
+                    self.identity,
+                    self.tasks.iter().map(|t| t.progress()).collect::<Vec<_>>(),
+                    self.epoch
+                );
+                let _ = self.events.send(Event::RolledBack {
+                    node: self.cfg.index,
+                });
             }
             Ctrl::SendVerifiedTo { to } => {
                 let ckpt = self
@@ -366,10 +549,16 @@ impl NodeWorker {
                     .clone();
                 self.send(to, Net::Install { checkpoint: ckpt });
             }
-            Ctrl::AssumeIdentity { replica, rank, buddy, floor } => {
+            Ctrl::AssumeIdentity {
+                replica,
+                rank,
+                buddy,
+                floor,
+            } => {
                 self.identity = Some((replica, rank));
-                self.tasks =
-                    (0..self.cfg.tasks_per_rank).map(|t| (self.factory)(rank, t)).collect();
+                self.tasks = (0..self.cfg.tasks_per_rank)
+                    .map(|t| (self.factory)(rank, t))
+                    .collect();
                 self.buddy = Some(buddy);
                 let now = self.now();
                 self.monitor.watch(buddy, now);
@@ -449,9 +638,13 @@ impl NodeWorker {
         let mut rng = StdRng::seed_from_u64(seed);
         let victim = rng.gen_range(0..self.tasks.len());
         let mut mapper = acr_pup::RegionMapper::new();
-        self.tasks[victim].pup(&mut mapper).expect("region mapping cannot fail");
+        self.tasks[victim]
+            .pup(&mut mapper)
+            .expect("region mapping cannot fail");
         let mut packer = Packer::new();
-        self.tasks[victim].pup(&mut packer).expect("pack for injection");
+        self.tasks[victim]
+            .pup(&mut packer)
+            .expect("pack for injection");
         let mut payload = packer.finish();
         if mapper.float_bytes() == 0 {
             return; // nothing silent to corrupt
@@ -461,7 +654,9 @@ impl NodeWorker {
         let bit = rng.gen_range(0..8u8);
         payload[byte] ^= 1 << bit;
         let mut u = Unpacker::new(&payload);
-        self.tasks[victim].pup(&mut u).expect("float flip keeps structure");
+        self.tasks[victim]
+            .pup(&mut u)
+            .expect("float flip keeps structure");
         u.finish().expect("float flip keeps structure");
     }
 
@@ -474,8 +669,10 @@ impl NodeWorker {
         }
         self.epoch = epoch;
         let ready: Vec<(usize, AppMsg)> = {
-            let (now, later): (Vec<_>, Vec<_>) =
-                self.future_msgs.drain(..).partition(|&(e, _, _)| e <= epoch);
+            let (now, later): (Vec<_>, Vec<_>) = self
+                .future_msgs
+                .drain(..)
+                .partition(|&(e, _, _)| e <= epoch);
             self.future_msgs = later;
             now.into_iter()
                 .filter(|&(e, _, _)| e == epoch)
@@ -506,14 +703,22 @@ impl NodeWorker {
     }
 
     fn deliver_app(&mut self, to_task: usize, msg: AppMsg) {
-        let Some((_, rank)) = self.identity else { return };
+        let Some((_, rank)) = self.identity else {
+            return;
+        };
         if to_task >= self.tasks.len() {
             return;
         }
         let mut outbox = std::mem::take(&mut self.outbox);
         {
-            let mut ctx =
-                TaskCtx::new(TaskId { rank, task: to_task }, self.cfg.ranks, &mut outbox);
+            let mut ctx = TaskCtx::new(
+                TaskId {
+                    rank,
+                    task: to_task,
+                },
+                self.cfg.ranks,
+                &mut outbox,
+            );
             self.tasks[to_task].on_message(msg, &mut ctx);
         }
         self.outbox = outbox;
@@ -528,12 +733,21 @@ impl NodeWorker {
         let sends = std::mem::take(&mut self.outbox);
         for (to, msg) in sends {
             let node = self.layout.read().host(replica, to.rank);
-            self.send(node, Net::App { to_task: to.task, epoch: self.epoch, msg });
+            self.send(
+                node,
+                Net::App {
+                    to_task: to.task,
+                    epoch: self.epoch,
+                    msg,
+                },
+            );
         }
     }
 
     fn step_tasks(&mut self) {
-        let Some((_, rank)) = self.identity else { return };
+        let Some((_, rank)) = self.identity else {
+            return;
+        };
         if self.parked {
             return;
         }
@@ -541,8 +755,11 @@ impl NodeWorker {
             if self.tasks[t].done() {
                 continue;
             }
-            let may = self.engine_global.as_ref().map_or(true, |e| e.may_advance(t))
-                && self.engine_replica.as_ref().map_or(true, |e| e.may_advance(t));
+            let may = self.engine_global.as_ref().is_none_or(|e| e.may_advance(t))
+                && self
+                    .engine_replica
+                    .as_ref()
+                    .is_none_or(|e| e.may_advance(t));
             if !may {
                 continue;
             }
@@ -569,7 +786,9 @@ impl NodeWorker {
         }
         if !self.done_reported && !self.tasks.is_empty() && self.tasks.iter().all(|t| t.done()) {
             self.done_reported = true;
-            let _ = self.events.send(Event::AllTasksDone { node: self.cfg.index });
+            let _ = self.events.send(Event::AllTasksDone {
+                node: self.cfg.index,
+            });
         }
     }
 
@@ -578,13 +797,19 @@ impl NodeWorker {
         if now - self.last_heartbeat >= self.cfg.heartbeat_period.as_secs_f64() {
             self.last_heartbeat = now;
             if let Some(buddy) = self.buddy {
-                self.send(buddy, Net::Heartbeat { from: self.cfg.index });
+                self.send(
+                    buddy,
+                    Net::Heartbeat {
+                        from: self.cfg.index,
+                    },
+                );
             }
         }
         for dead in self.monitor.expired(now) {
-            let _ = self
-                .events
-                .send(Event::BuddyDead { reporter: self.cfg.index, dead });
+            let _ = self.events.send(Event::BuddyDead {
+                reporter: self.cfg.index,
+                dead,
+            });
         }
     }
 
@@ -611,9 +836,16 @@ impl NodeWorker {
                 }
             }
             match msg {
-                Ok(Net::App { to_task, epoch, msg }) => self.receive_app(to_task, epoch, msg),
+                Ok(Net::App {
+                    to_task,
+                    epoch,
+                    msg,
+                }) => self.receive_app(to_task, epoch, msg),
                 Ok(Net::Consensus { scope, msg }) => self.engine_feed(scope, msg),
-                Ok(Net::Compare { iteration, detection }) => {
+                Ok(Net::Compare {
+                    iteration,
+                    detection,
+                }) => {
                     let now = self.now();
                     if let Some(b) = self.buddy {
                         self.monitor.heard_from(b, now);
@@ -643,9 +875,10 @@ impl NodeWorker {
                     self.store.install_verified(checkpoint);
                     self.unpack_tasks(&payload);
                     self.rebuild_engines(self.floor);
-                    let _ = self
-                        .events
-                        .send(Event::Installed { node: self.cfg.index, iteration });
+                    let _ = self.events.send(Event::Installed {
+                        node: self.cfg.index,
+                        iteration,
+                    });
                 }
                 Ok(Net::Heartbeat { from }) => {
                     let now = self.now();
@@ -662,5 +895,103 @@ impl NodeWorker {
             self.heartbeat_tick();
             self.step_tasks();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_pup::{chunk_digests, fletcher64, Pup, PupResult};
+
+    /// A task with a deliberately unaligned packed size (the `tail` bytes),
+    /// so segment padding is actually exercised.
+    struct Blob {
+        iter: u64,
+        data: Vec<f64>,
+        tail: Vec<u8>,
+    }
+
+    impl Task for Blob {
+        fn try_step(&mut self, _ctx: &mut TaskCtx<'_>) -> bool {
+            false
+        }
+        fn on_message(&mut self, _m: AppMsg, _c: &mut TaskCtx<'_>) {}
+        fn progress(&self) -> u64 {
+            self.iter
+        }
+        fn done(&self) -> bool {
+            true
+        }
+        fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+            p.pup_u64(&mut self.iter)?;
+            self.data.pup(p)?;
+            self.tail.pup(p)
+        }
+    }
+
+    fn blobs(n: usize) -> Vec<Box<dyn Task>> {
+        (0..n)
+            .map(|i| {
+                Box::new(Blob {
+                    iter: i as u64,
+                    data: (0..40 + 13 * i)
+                        .map(|k| (i * 1000 + k) as f64 * 0.5)
+                        .collect(),
+                    tail: (0..(i * 3) % 7).map(|k| k as u8).collect(),
+                }) as Box<dyn Task>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_pack_is_worker_count_invariant_and_digest_exact() {
+        const CHUNK: usize = 64;
+        let (reference_buf, reference_digest) = pack_tasks_parallel(&mut blobs(5), CHUNK, 1);
+        assert_eq!(reference_digest.digest, fletcher64(&reference_buf));
+        let two_pass = chunk_digests(&reference_buf, CHUNK);
+        assert_eq!(reference_digest.chunk_digests, two_pass.chunk_digests);
+        assert_eq!(
+            reference_buf.len() % SEGMENT_ALIGN,
+            0,
+            "payload is segment-padded"
+        );
+
+        for workers in [2, 3, 7] {
+            let (buf, digest) = pack_tasks_parallel(&mut blobs(5), CHUNK, workers);
+            assert_eq!(buf, reference_buf, "{workers} workers changed the payload");
+            assert_eq!(
+                digest, reference_digest,
+                "{workers} workers changed the digests"
+            );
+        }
+    }
+
+    #[test]
+    fn padded_payload_round_trips_through_unpack() {
+        let mut tasks = blobs(4);
+        let (buf, _) = pack_tasks_parallel(&mut tasks, 64, 2);
+
+        // Mirror NodeWorker::unpack_tasks: one Unpacker over the whole
+        // payload, consuming each task's zero padding after its fields.
+        let mut restored = blobs(4);
+        for t in restored.iter_mut() {
+            // Wipe to prove the bytes restore the state.
+            let blob = unsafe { &mut *(t.as_mut() as *mut dyn Task as *mut Blob) };
+            blob.iter = 999;
+            blob.data.clear();
+            blob.tail.clear();
+        }
+        let mut u = Unpacker::new(&buf);
+        for task in restored.iter_mut() {
+            task.pup(&mut u).expect("payload matches task set");
+            let mut pad = [0u8; SEGMENT_ALIGN];
+            let n = padding_after(u.offset());
+            u.pup_u8_slice(&mut pad[..n]).expect("padding present");
+            assert_eq!(pad[..n], [0u8; SEGMENT_ALIGN][..n], "padding is zero");
+        }
+        u.finish().expect("payload fully consumed");
+
+        let (again, _) = pack_tasks_parallel(&mut restored, 64, 1);
+        assert_eq!(again, buf, "restored tasks repack identically");
     }
 }

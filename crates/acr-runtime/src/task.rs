@@ -68,7 +68,14 @@ impl<'a> TaskCtx<'a> {
     /// reliable and per-sender ordered, but replication-transparent: the
     /// same send happens independently inside the other replica.
     pub fn send(&mut self, to: TaskId, tag: u64, data: Vec<u8>) {
-        self.outbox.push((to, AppMsg { from: self.id, tag, data }));
+        self.outbox.push((
+            to,
+            AppMsg {
+                from: self.id,
+                tag,
+                data,
+            },
+        ));
     }
 }
 

@@ -1,0 +1,25 @@
+//! Debug tracing for the runtime's protocol paths.
+//!
+//! Gated on the `ACR_DEBUG` environment variable, resolved **once** per
+//! process: the hot paths (consensus feeds, checkpoint packs, comparisons)
+//! pay a single relaxed atomic load per trace site instead of an
+//! environment lookup.
+
+use std::sync::OnceLock;
+
+/// True when `ACR_DEBUG` was set the first time tracing was consulted.
+pub(crate) fn enabled() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("ACR_DEBUG").is_some())
+}
+
+/// `eprintln!` that fires only when [`enabled`]. Arguments are not even
+/// evaluated when tracing is off.
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if $crate::trace::enabled() {
+            eprintln!($($arg)*);
+        }
+    };
+}
+pub(crate) use trace;

@@ -11,9 +11,7 @@ use std::time::Duration;
 static JOB_SERIAL: Mutex<()> = Mutex::new(());
 
 use acr_pup::{Pup, PupResult, Puper};
-use acr_runtime::{
-    AppMsg, DetectionMethod, Fault, Job, JobConfig, Scheme, Task, TaskCtx, TaskId,
-};
+use acr_runtime::{AppMsg, DetectionMethod, Fault, Job, JobConfig, Scheme, Task, TaskCtx, TaskId};
 
 /// A token-ring workload: rank `r`'s iteration `i` computes on its local
 /// state, then sends a token to rank `r+1`; iteration `i ≥ 1` cannot start
@@ -69,7 +67,10 @@ impl Task for RingTask {
             }
         }
         self.checksum += self.acc.iter().sum::<f64>() * 1e-6;
-        let next = TaskId { rank: (self.rank + 1) % ctx.ranks(), task: 0 };
+        let next = TaskId {
+            rank: (self.rank + 1) % ctx.ranks(),
+            task: 0,
+        };
         ctx.send(next, self.iter, vec![]);
         self.iter += 1;
         true
@@ -109,6 +110,7 @@ fn ring_cfg(scheme: Scheme, detection: DetectionMethod) -> JobConfig {
         heartbeat_period: Duration::from_millis(10),
         heartbeat_timeout: Duration::from_millis(300),
         max_duration: Duration::from_secs(40),
+        ..JobConfig::default()
     }
 }
 
@@ -121,7 +123,11 @@ fn ring_factory(rank: usize, _task: usize) -> Box<dyn Task> {
 #[test]
 fn failure_free_run_completes_with_identical_replicas() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let report = Job::run(ring_cfg(Scheme::Strong, DetectionMethod::FullCompare), ring_factory, vec![]);
+    let report = Job::run(
+        ring_cfg(Scheme::Strong, DetectionMethod::FullCompare),
+        ring_factory,
+        vec![],
+    );
     assert!(report.completed, "error: {:?}", report.error);
     assert!(report.checkpoints_verified >= 1, "{report:?}");
     assert_eq!(report.sdc_rounds_detected, 0);
@@ -134,7 +140,11 @@ fn failure_free_run_completes_with_identical_replicas() {
 #[test]
 fn checksum_detection_mode_also_completes() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let report = Job::run(ring_cfg(Scheme::Strong, DetectionMethod::Checksum), ring_factory, vec![]);
+    let report = Job::run(
+        ring_cfg(Scheme::Strong, DetectionMethod::Checksum),
+        ring_factory,
+        vec![],
+    );
     assert!(report.completed, "error: {:?}", report.error);
     assert!(report.checkpoints_verified >= 1);
     assert!(report.replicas_agree());
@@ -143,8 +153,19 @@ fn checksum_detection_mode_also_completes() {
 #[test]
 fn injected_sdc_is_detected_and_rolled_back() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let faults = vec![(Duration::from_millis(200), Fault::Sdc { replica: 1, rank: 2, seed: 7 })];
-    let report = Job::run(ring_cfg(Scheme::Strong, DetectionMethod::FullCompare), ring_factory, faults);
+    let faults = vec![(
+        Duration::from_millis(200),
+        Fault::Sdc {
+            replica: 1,
+            rank: 2,
+            seed: 7,
+        },
+    )];
+    let report = Job::run(
+        ring_cfg(Scheme::Strong, DetectionMethod::FullCompare),
+        ring_factory,
+        faults,
+    );
     assert!(report.completed, "error: {:?}", report.error);
     assert!(report.sdc_rounds_detected >= 1, "SDC escaped: {report:?}");
     assert!(report.rollbacks >= 1);
@@ -155,18 +176,134 @@ fn injected_sdc_is_detected_and_rolled_back() {
 #[test]
 fn injected_sdc_is_detected_by_checksum_exchange() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let faults = vec![(Duration::from_millis(200), Fault::Sdc { replica: 0, rank: 1, seed: 99 })];
-    let report = Job::run(ring_cfg(Scheme::Strong, DetectionMethod::Checksum), ring_factory, faults);
+    let faults = vec![(
+        Duration::from_millis(200),
+        Fault::Sdc {
+            replica: 0,
+            rank: 1,
+            seed: 99,
+        },
+    )];
+    let report = Job::run(
+        ring_cfg(Scheme::Strong, DetectionMethod::Checksum),
+        ring_factory,
+        faults,
+    );
     assert!(report.completed, "error: {:?}", report.error);
-    assert!(report.sdc_rounds_detected >= 1, "checksum missed the flip: {report:?}");
+    assert!(
+        report.sdc_rounds_detected >= 1,
+        "checksum missed the flip: {report:?}"
+    );
+    assert!(report.replicas_agree());
+}
+
+/// The chunked pipeline's whole point: a single injected bit flip must be
+/// pinned to a few chunk-sized byte ranges of the payload, not just flagged
+/// as "something differs somewhere".
+#[test]
+fn full_compare_localizes_sdc_to_diverged_chunks() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut cfg = ring_cfg(Scheme::Strong, DetectionMethod::FullCompare);
+    // Small chunks so the ~16 KiB ring payload spans many of them.
+    cfg.chunk_size = 256;
+    let faults = vec![(
+        Duration::from_millis(200),
+        Fault::Sdc {
+            replica: 1,
+            rank: 2,
+            seed: 7,
+        },
+    )];
+    let report = Job::run(cfg, ring_factory, faults);
+    assert!(report.completed, "error: {:?}", report.error);
+    assert!(report.sdc_rounds_detected >= 1, "SDC escaped: {report:?}");
+    assert!(!report.sdc_detections.is_empty(), "no localization records");
+    for det in &report.sdc_detections {
+        assert!(!det.diverged.is_empty());
+        // One flipped f64 perturbs that element and the running checksum:
+        // a handful of chunks at most, far from the whole payload.
+        assert!(
+            det.diverged_bytes() <= 4 * 256,
+            "localization too coarse: {det:?}"
+        );
+        assert!(
+            det.diverged_bytes() < det.payload_len / 4,
+            "not localized: {det:?}"
+        );
+        assert!(
+            det.fields_flagged >= 1,
+            "windowed re-check found nothing: {det:?}"
+        );
+        for r in &det.diverged {
+            assert!(r.start < r.end && r.end <= det.payload_len);
+        }
+    }
+    assert!(report.replicas_agree(), "corruption survived to the end");
+}
+
+/// ChunkedChecksum ships only digests, yet still localizes: the per-chunk
+/// table on the wire names the diverged ranges without the payload.
+#[test]
+fn chunked_checksum_detects_and_localizes_sdc() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut cfg = ring_cfg(Scheme::Strong, DetectionMethod::ChunkedChecksum);
+    cfg.chunk_size = 256;
+    let faults = vec![(
+        Duration::from_millis(200),
+        Fault::Sdc {
+            replica: 0,
+            rank: 1,
+            seed: 99,
+        },
+    )];
+    let report = Job::run(cfg, ring_factory, faults);
+    assert!(report.completed, "error: {:?}", report.error);
+    assert!(
+        report.sdc_rounds_detected >= 1,
+        "table missed the flip: {report:?}"
+    );
+    assert!(report.rollbacks >= 1);
+    assert!(!report.sdc_detections.is_empty());
+    for det in &report.sdc_detections {
+        assert!(
+            det.diverged_bytes() < det.payload_len / 4,
+            "not localized: {det:?}"
+        );
+    }
+    assert!(report.replicas_agree());
+}
+
+/// ChunkedChecksum must also pass the failure-free path (clean comparisons
+/// through digest equality, checkpoints promoted normally).
+#[test]
+fn chunked_checksum_mode_completes_without_faults() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let report = Job::run(
+        ring_cfg(Scheme::Strong, DetectionMethod::ChunkedChecksum),
+        ring_factory,
+        vec![],
+    );
+    assert!(report.completed, "error: {:?}", report.error);
+    assert!(report.checkpoints_verified >= 1);
+    assert_eq!(report.sdc_rounds_detected, 0);
     assert!(report.replicas_agree());
 }
 
 #[test]
 fn crash_recovers_via_spare_under_strong_scheme() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let faults = vec![(Duration::from_millis(300), Fault::Crash { replica: 1, rank: 1 })];
-    let report = Job::run(ring_cfg(Scheme::Strong, DetectionMethod::FullCompare), ring_factory, faults);
+    let faults = vec![(
+        Duration::from_millis(300),
+        Fault::Crash {
+            replica: 1,
+            rank: 1,
+        },
+    )];
+    let report = Job::run(
+        ring_cfg(Scheme::Strong, DetectionMethod::FullCompare),
+        ring_factory,
+        faults,
+    );
     assert!(report.completed, "error: {:?}", report.error);
     assert_eq!(report.hard_errors_recovered, 1);
     assert!(report.replicas_agree(), "restarted rank diverged");
@@ -176,8 +313,18 @@ fn crash_recovers_via_spare_under_strong_scheme() {
 #[test]
 fn crash_recovers_under_medium_scheme() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let faults = vec![(Duration::from_millis(300), Fault::Crash { replica: 0, rank: 3 })];
-    let report = Job::run(ring_cfg(Scheme::Medium, DetectionMethod::FullCompare), ring_factory, faults);
+    let faults = vec![(
+        Duration::from_millis(300),
+        Fault::Crash {
+            replica: 0,
+            rank: 3,
+        },
+    )];
+    let report = Job::run(
+        ring_cfg(Scheme::Medium, DetectionMethod::FullCompare),
+        ring_factory,
+        faults,
+    );
     assert!(report.completed, "error: {:?}", report.error);
     assert_eq!(report.hard_errors_recovered, 1);
     assert!(report.unverified_recoveries >= 1, "{report:?}");
@@ -187,8 +334,18 @@ fn crash_recovers_under_medium_scheme() {
 #[test]
 fn crash_recovers_under_weak_scheme() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let faults = vec![(Duration::from_millis(300), Fault::Crash { replica: 1, rank: 0 })];
-    let report = Job::run(ring_cfg(Scheme::Weak, DetectionMethod::FullCompare), ring_factory, faults);
+    let faults = vec![(
+        Duration::from_millis(300),
+        Fault::Crash {
+            replica: 1,
+            rank: 0,
+        },
+    )];
+    let report = Job::run(
+        ring_cfg(Scheme::Weak, DetectionMethod::FullCompare),
+        ring_factory,
+        faults,
+    );
     assert!(report.completed, "error: {:?}", report.error);
     assert_eq!(report.hard_errors_recovered, 1);
     assert!(report.unverified_recoveries >= 1, "{report:?}");
@@ -200,7 +357,13 @@ fn crash_before_first_checkpoint_restarts_from_beginning() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let mut cfg = ring_cfg(Scheme::Strong, DetectionMethod::FullCompare);
     cfg.checkpoint_interval = Duration::from_secs(5); // no checkpoint before the crash
-    let faults = vec![(Duration::from_millis(100), Fault::Crash { replica: 0, rank: 0 })];
+    let faults = vec![(
+        Duration::from_millis(100),
+        Fault::Crash {
+            replica: 0,
+            rank: 0,
+        },
+    )];
     let report = Job::run(cfg, ring_factory, faults);
     assert!(report.completed, "error: {:?}", report.error);
     assert_eq!(report.restarts_from_beginning, 1);
@@ -211,10 +374,27 @@ fn crash_before_first_checkpoint_restarts_from_beginning() {
 fn sdc_then_crash_both_handled_in_one_run() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let faults = vec![
-        (Duration::from_millis(200), Fault::Sdc { replica: 0, rank: 2, seed: 5 }),
-        (Duration::from_millis(600), Fault::Crash { replica: 1, rank: 2 }),
+        (
+            Duration::from_millis(200),
+            Fault::Sdc {
+                replica: 0,
+                rank: 2,
+                seed: 5,
+            },
+        ),
+        (
+            Duration::from_millis(600),
+            Fault::Crash {
+                replica: 1,
+                rank: 2,
+            },
+        ),
     ];
-    let report = Job::run(ring_cfg(Scheme::Strong, DetectionMethod::FullCompare), ring_factory, faults);
+    let report = Job::run(
+        ring_cfg(Scheme::Strong, DetectionMethod::FullCompare),
+        ring_factory,
+        faults,
+    );
     assert!(report.completed, "error: {:?}", report.error);
     assert!(report.sdc_rounds_detected >= 1, "{report:?}");
     assert_eq!(report.hard_errors_recovered, 1);
@@ -227,8 +407,20 @@ fn two_crashes_consume_two_spares() {
     let mut cfg = ring_cfg(Scheme::Strong, DetectionMethod::FullCompare);
     cfg.max_duration = Duration::from_secs(60);
     let faults = vec![
-        (Duration::from_millis(300), Fault::Crash { replica: 0, rank: 1 }),
-        (Duration::from_millis(900), Fault::Crash { replica: 1, rank: 3 }),
+        (
+            Duration::from_millis(300),
+            Fault::Crash {
+                replica: 0,
+                rank: 1,
+            },
+        ),
+        (
+            Duration::from_millis(900),
+            Fault::Crash {
+                replica: 1,
+                rank: 3,
+            },
+        ),
     ];
     let report = Job::run(cfg, ring_factory, faults);
     assert!(report.completed, "error: {:?}", report.error);
@@ -242,7 +434,13 @@ fn out_of_spares_fails_gracefully() {
     let mut cfg = ring_cfg(Scheme::Strong, DetectionMethod::FullCompare);
     cfg.spares = 0;
     cfg.max_duration = Duration::from_secs(8);
-    let faults = vec![(Duration::from_millis(200), Fault::Crash { replica: 0, rank: 0 })];
+    let faults = vec![(
+        Duration::from_millis(200),
+        Fault::Crash {
+            replica: 0,
+            rank: 0,
+        },
+    )];
     let report = Job::run(cfg, ring_factory, faults);
     assert!(!report.completed);
     assert!(report.error.is_some());
@@ -296,7 +494,14 @@ fn multiple_tasks_per_rank() {
                 state: vec![rank as f64 * 17.0 + task as f64; 64],
             })
         },
-        vec![(Duration::from_millis(250), Fault::Sdc { replica: 1, rank: 1, seed: 3 })],
+        vec![(
+            Duration::from_millis(250),
+            Fault::Sdc {
+                replica: 1,
+                rank: 1,
+                seed: 3,
+            },
+        )],
     );
     assert!(report.completed, "error: {:?}", report.error);
     assert!(report.replicas_agree());

@@ -54,6 +54,26 @@ pub fn checkpoint_breakdown(
                 + machine.single_transfer_time(8.0, machine.torus.dims()[2] as f64 / 2.0),
             compare: machine.msg_overhead, // compare two u64 digests
         },
+        DetectionMethod::ChunkedChecksum => {
+            // Fused pack+digest: per-task segments are packed (and digested)
+            // on `digest_workers` cores concurrently, and the per-segment
+            // Fletcher states merge exactly — the §4.2 arithmetic cost is
+            // divided by the worker count. The wire carries the whole-payload
+            // digest plus the chunk table (4-byte chunk size, 8-byte count,
+            // 8 bytes per chunk).
+            let table_bytes = 12.0 + 8.0 * (bytes / machine.chunk_size).ceil();
+            CheckpointBreakdown {
+                local,
+                transfer: bytes / (machine.checksum_rate * machine.digest_workers)
+                    + machine.single_transfer_time(
+                        8.0 + table_bytes,
+                        machine.torus.dims()[2] as f64 / 2.0,
+                    ),
+                // Compare the totals, then walk the digest table to localize
+                // divergence — a streaming scan of the table entries.
+                compare: machine.msg_overhead + table_bytes / machine.pup_rate,
+            }
+        }
     }
 }
 
@@ -98,7 +118,10 @@ pub fn restart_breakdown(machine: &Machine, app: &AppProfile, scheme: Scheme) ->
         }
         Scheme::Medium | Scheme::Weak => machine.buddy_transfer_time(bytes),
     };
-    RestartBreakdown { transfer, reconstruction: unpack + sync }
+    RestartBreakdown {
+        transfer,
+        reconstruction: unpack + sync,
+    }
 }
 
 #[cfg(test)]
@@ -129,7 +152,10 @@ mod tests {
         let small = t(1024).total();
         let large = t(65536).total();
         assert!(small > 0.4 && small < 1.5, "1K total {small}");
-        assert!(large / small > 1.8 && large / small < 5.0, "growth {small} -> {large}");
+        assert!(
+            large / small > 1.8 && large / small < 5.0,
+            "growth {small} -> {large}"
+        );
         // The growth comes from transfer; local and compare are constant.
         assert_eq!(t(1024).local, t(65536).local);
         assert_eq!(t(1024).compare, t(65536).compare);
@@ -213,7 +239,10 @@ mod tests {
             DetectionMethod::FullCompare,
         )
         .total();
-        assert!(b > column_full, "checksum {b} should lose to column {column_full}");
+        assert!(
+            b > column_full,
+            "checksum {b} should lose to column {column_full}"
+        );
         // ...but beat the default mapping at scale.
         let default_full = checkpoint_breakdown(
             &Machine::bgp(65536, MappingKind::Default),
@@ -238,18 +267,127 @@ mod tests {
     }
 
     #[test]
+    fn chunked_checksum_beats_serial_checksum_and_stays_scale_free() {
+        // The fused pipeline divides the §4.2 digest arithmetic across the
+        // node's cores; the chunk table it adds to the wire is tiny next to
+        // that saving for a multi-MB checkpoint.
+        let cnk = |cores, mapping| {
+            checkpoint_breakdown(
+                &Machine::bgp(cores, mapping),
+                &jacobi(),
+                DetectionMethod::ChunkedChecksum,
+            )
+            .total()
+        };
+        let cks = |cores| {
+            checkpoint_breakdown(
+                &Machine::bgp(cores, MappingKind::Default),
+                &jacobi(),
+                DetectionMethod::Checksum,
+            )
+            .total()
+        };
+        let a = cnk(1024, MappingKind::Default);
+        let b = cnk(65536, MappingKind::Default);
+        let c = cnk(65536, MappingKind::Column);
+        assert!((a - b).abs() / a < 0.05, "chunked checksum is scale-free");
+        assert!((b - c).abs() / b < 0.05, "chunked checksum is mapping-free");
+        assert!(
+            b < cks(65536),
+            "parallel digest {b} must beat serial {}",
+            cks(65536)
+        );
+        // With 4 digest workers the digest term shrinks 4×; the total should
+        // sit well below the serial checksum but above the pack-only floor.
+        let local_only = checkpoint_breakdown(
+            &Machine::bgp(65536, MappingKind::Default),
+            &jacobi(),
+            DetectionMethod::ChunkedChecksum,
+        )
+        .local;
+        assert!(b > local_only);
+    }
+
+    #[test]
+    fn chunked_checksum_table_bytes_show_up_for_tiny_chunks() {
+        // Shrinking the chunk size inflates the digest table on the wire:
+        // 64-byte chunks put one u64 per 64 payload bytes on the link.
+        let m = Machine::bgp(65536, MappingKind::Default);
+        let coarse = checkpoint_breakdown(&m, &jacobi(), DetectionMethod::ChunkedChecksum);
+        let fine = checkpoint_breakdown(
+            &m.clone().with_chunk_size(64.0),
+            &jacobi(),
+            DetectionMethod::ChunkedChecksum,
+        );
+        assert_eq!(coarse.local, fine.local);
+        // The transfer delta is exactly the extra table entries on the wire.
+        let bytes = jacobi().node_bytes(m.cores_per_node) as f64;
+        let extra_entries = (bytes / 64.0).ceil() - (bytes / m.chunk_size).ceil();
+        let expected = 8.0 * extra_entries / m.link_bandwidth;
+        let delta = fine.transfer - coarse.transfer;
+        assert!(
+            (delta - expected).abs() / expected < 1e-6,
+            "wire delta {delta} vs table bytes {expected}"
+        );
+        assert!(fine.compare > coarse.compare);
+    }
+
+    #[test]
+    fn chunked_checksum_with_one_worker_degrades_to_serial_plus_table() {
+        // digest_workers = 1 removes the parallel win; what remains over the
+        // plain checksum is exactly the table on the wire and the table walk,
+        // a sub-percent overhead at the default 64 KiB granularity.
+        let m = Machine::bgp(65536, MappingKind::Default).with_digest_workers(1.0);
+        let serial = checkpoint_breakdown(&m, &jacobi(), DetectionMethod::Checksum).total();
+        let chunked = checkpoint_breakdown(&m, &jacobi(), DetectionMethod::ChunkedChecksum).total();
+        assert!(chunked > serial, "table costs something");
+        assert!(
+            (chunked - serial) / serial < 0.01,
+            "but under 1%: {serial} -> {chunked}"
+        );
+    }
+
+    #[test]
+    fn chunked_checksum_localization_never_costs_more_than_full_compare() {
+        // The whole point: divergence localization rides the digest table,
+        // so detection stays cheaper than re-walking the application state
+        // for every app in Table 2, at every scale.
+        for app in TABLE2.iter() {
+            for cores in [1024u64, 65536] {
+                let m = Machine::bgp(cores, MappingKind::Default);
+                let full = checkpoint_breakdown(&m, app, DetectionMethod::FullCompare);
+                let chunked = checkpoint_breakdown(&m, app, DetectionMethod::ChunkedChecksum);
+                assert!(
+                    chunked.compare < full.compare,
+                    "{}: table walk must beat state re-walk",
+                    app.name
+                );
+            }
+        }
+    }
+
+    #[test]
     fn fig10_strong_restart_is_mapping_insensitive_and_cheapest() {
         let jacobi = jacobi();
-        let strong_default =
-            restart_breakdown(&Machine::bgp(65536, MappingKind::Default), &jacobi, Scheme::Strong);
-        let strong_column =
-            restart_breakdown(&Machine::bgp(65536, MappingKind::Column), &jacobi, Scheme::Strong);
+        let strong_default = restart_breakdown(
+            &Machine::bgp(65536, MappingKind::Default),
+            &jacobi,
+            Scheme::Strong,
+        );
+        let strong_column = restart_breakdown(
+            &Machine::bgp(65536, MappingKind::Column),
+            &jacobi,
+            Scheme::Strong,
+        );
         assert!(
             (strong_default.total() - strong_column.total()).abs() / strong_column.total() < 0.05,
             "strong restart: one message, mapping irrelevant"
         );
-        let medium_default =
-            restart_breakdown(&Machine::bgp(65536, MappingKind::Default), &jacobi, Scheme::Medium);
+        let medium_default = restart_breakdown(
+            &Machine::bgp(65536, MappingKind::Default),
+            &jacobi,
+            Scheme::Medium,
+        );
         assert!(medium_default.total() > 2.0 * strong_default.total());
     }
 
@@ -257,12 +395,26 @@ mod tests {
     fn fig10_topology_mapping_rescues_medium_restart() {
         // §6.3: "bring down the recovery overhead from 2s to 0.41s in the
         // case of Jacobi3D for the medium resilience schemes".
-        let default =
-            restart_breakdown(&Machine::bgp(65536, MappingKind::Default), &jacobi(), Scheme::Medium);
-        let column =
-            restart_breakdown(&Machine::bgp(65536, MappingKind::Column), &jacobi(), Scheme::Medium);
-        assert!(default.total() > 1.2 && default.total() < 3.0, "{}", default.total());
-        assert!(column.total() > 0.2 && column.total() < 0.8, "{}", column.total());
+        let default = restart_breakdown(
+            &Machine::bgp(65536, MappingKind::Default),
+            &jacobi(),
+            Scheme::Medium,
+        );
+        let column = restart_breakdown(
+            &Machine::bgp(65536, MappingKind::Column),
+            &jacobi(),
+            Scheme::Medium,
+        );
+        assert!(
+            default.total() > 1.2 && default.total() < 3.0,
+            "{}",
+            default.total()
+        );
+        assert!(
+            column.total() > 0.2 && column.total() < 0.8,
+            "{}",
+            column.total()
+        );
         assert!(default.transfer > 3.0 * column.transfer);
         assert_eq!(default.reconstruction, column.reconstruction);
     }

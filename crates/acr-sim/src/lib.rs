@@ -25,6 +25,8 @@ mod breakdown;
 mod machine;
 mod timeline;
 
-pub use breakdown::{checkpoint_breakdown, restart_breakdown, CheckpointBreakdown, RestartBreakdown};
+pub use breakdown::{
+    checkpoint_breakdown, restart_breakdown, CheckpointBreakdown, RestartBreakdown,
+};
 pub use machine::Machine;
 pub use timeline::{SimConfig, SimReport, TauPolicy, Timeline};

@@ -31,6 +31,14 @@ pub struct Machine {
     /// (§4.2's 4-instructions-per-word cost; no scatter penalty because the
     /// checksum consumes the packed stream).
     pub checksum_rate: f64,
+    /// Cores cooperating on the fused pack+digest pipeline (the chunked
+    /// method packs per-task segments on independent cores and merges the
+    /// per-chunk Fletcher states). Defaults to `cores_per_node`.
+    pub digest_workers: f64,
+    /// Chunk granularity of the per-chunk digest table, bytes (the runtime's
+    /// `acr_pup::DEFAULT_CHUNK_SIZE`). Smaller chunks localize divergence
+    /// more tightly but put more table bytes on the wire.
+    pub chunk_size: f64,
     /// Replica mapping in use.
     pub mapping: MappingKind,
     /// Fraction of the buddy-transfer time hidden behind application
@@ -52,6 +60,8 @@ impl Machine {
             msg_overhead: 25e-6,
             pup_rate: 60e6,
             checksum_rate: 25e6,
+            digest_workers: 4.0,
+            chunk_size: 65536.0,
             mapping,
             async_overlap: 0.0,
             cached_placement: placement,
@@ -63,6 +73,21 @@ impl Machine {
     pub fn with_async_overlap(mut self, overlap: f64) -> Self {
         assert!((0.0..=1.0).contains(&overlap));
         self.async_overlap = overlap;
+        self
+    }
+
+    /// Set the number of cores cooperating on the fused pack+digest
+    /// pipeline (`ChunkedChecksum` only; ≥ 1).
+    pub fn with_digest_workers(mut self, workers: f64) -> Self {
+        assert!(workers >= 1.0);
+        self.digest_workers = workers;
+        self
+    }
+
+    /// Set the per-chunk digest-table granularity in bytes (positive).
+    pub fn with_chunk_size(mut self, bytes: f64) -> Self {
+        assert!(bytes > 0.0);
+        self.chunk_size = bytes;
         self
     }
 
@@ -106,8 +131,11 @@ impl Machine {
     /// Bottleneck contention and mean hop count of the full buddy exchange
     /// (every replica-0 node sending one checkpoint message to its buddy).
     pub fn buddy_exchange_profile(&self) -> (u32, f64) {
-        let loads =
-            LinkLoads::analyze(&self.torus, &self.cached_placement, ExchangePattern::FullBuddyExchange);
+        let loads = LinkLoads::analyze(
+            &self.torus,
+            &self.cached_placement,
+            ExchangePattern::FullBuddyExchange,
+        );
         (loads.max_load(), loads.mean_hops())
     }
 
@@ -115,7 +143,8 @@ impl Machine {
     /// the bottleneck link serializes `max_load` messages.
     pub fn buddy_transfer_time(&self, bytes: f64) -> f64 {
         let (contention, hops) = self.buddy_exchange_profile();
-        self.msg_overhead + hops * self.hop_latency
+        self.msg_overhead
+            + hops * self.hop_latency
             + bytes * contention.max(1) as f64 / self.link_bandwidth
     }
 
@@ -142,16 +171,35 @@ mod tests {
     #[test]
     fn bgp_allocation_shapes() {
         // Z extent: 8 at 1K cores/replica, 32 at 4K, stays 32 beyond.
-        assert_eq!(Machine::bgp(1024, MappingKind::Default).torus.dims(), [8, 8, 8]);
-        assert_eq!(Machine::bgp(4096, MappingKind::Default).torus.dims(), [8, 8, 32]);
-        assert_eq!(Machine::bgp(65536, MappingKind::Default).torus.dims(), [32, 32, 32]);
-        assert_eq!(Machine::bgp(65536, MappingKind::Default).cores_per_replica(), 65536);
-        assert_eq!(Machine::bgp(65536, MappingKind::Default).sockets_per_replica(), 16384);
+        assert_eq!(
+            Machine::bgp(1024, MappingKind::Default).torus.dims(),
+            [8, 8, 8]
+        );
+        assert_eq!(
+            Machine::bgp(4096, MappingKind::Default).torus.dims(),
+            [8, 8, 32]
+        );
+        assert_eq!(
+            Machine::bgp(65536, MappingKind::Default).torus.dims(),
+            [32, 32, 32]
+        );
+        assert_eq!(
+            Machine::bgp(65536, MappingKind::Default).cores_per_replica(),
+            65536
+        );
+        assert_eq!(
+            Machine::bgp(65536, MappingKind::Default).sockets_per_replica(),
+            16384
+        );
     }
 
     #[test]
     fn default_contention_tracks_z_then_plateaus() {
-        let c = |cores| Machine::bgp(cores, MappingKind::Default).buddy_exchange_profile().0;
+        let c = |cores| {
+            Machine::bgp(cores, MappingKind::Default)
+                .buddy_exchange_profile()
+                .0
+        };
         assert_eq!(c(1024), 4); // Z=8
         assert_eq!(c(2048), 8); // Z=16
         assert_eq!(c(4096), 16); // Z=32

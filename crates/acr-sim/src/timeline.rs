@@ -52,8 +52,21 @@ pub struct SimConfig {
 
 impl SimConfig {
     /// Config without prediction (the common case).
-    pub fn basic(work: f64, scheme: Scheme, detection: DetectionMethod, tau: TauPolicy, trace: FailureTrace) -> Self {
-        Self { work, scheme, detection, tau, trace, alarms: Vec::new() }
+    pub fn basic(
+        work: f64,
+        scheme: Scheme,
+        detection: DetectionMethod,
+        tau: TauPolicy,
+        trace: FailureTrace,
+    ) -> Self {
+        Self {
+            work,
+            scheme,
+            detection,
+            tau,
+            trace,
+            alarms: Vec::new(),
+        }
     }
 }
 
@@ -81,6 +94,10 @@ pub struct SimReport {
     pub sdc_detected: usize,
     /// SDC events that escaped detection (medium/weak unprotected windows).
     pub sdc_undetected: usize,
+    /// SDC events whose corrupted span was discarded by a hard-error
+    /// rollback before any comparison saw it: never detected, but the
+    /// corruption never survives either (weak-scheme double failure).
+    pub sdc_discarded: usize,
     /// Times the job had to restart from the very beginning (weak-scheme
     /// buddy double-failure).
     pub restarts_from_beginning: usize,
@@ -122,8 +139,7 @@ impl Timeline {
     pub fn run(&self, cfg: &SimConfig) -> SimReport {
         let delta = checkpoint_breakdown(&self.machine, &self.app, cfg.detection).total();
         let hard_restart = restart_breakdown(&self.machine, &self.app, cfg.scheme).total();
-        let sdc_restart =
-            restart_breakdown(&self.machine, &self.app, cfg.scheme).reconstruction;
+        let sdc_restart = restart_breakdown(&self.machine, &self.app, cfg.scheme).reconstruction;
 
         assert!(
             !(matches!(cfg.tau, TauPolicy::Never) && cfg.scheme == Scheme::Weak),
@@ -210,6 +226,9 @@ impl Timeline {
                                 r.rework_time += work_done - baseline;
                                 work_done = baseline;
                             }
+                            // The unverified span (and any corruption in
+                            // it) is discarded wholesale by the rollback.
+                            r.sdc_discarded += pending_sdc;
                             pending_sdc = 0;
                             weak_pending = None;
                             t += hard_restart;
@@ -319,18 +338,19 @@ mod tests {
     #[test]
     fn failure_free_run_pays_only_checkpoints() {
         let s = sim(1024, MappingKind::Default);
-        let report = s.run(&fixed_cfg(1000.0, 99.0, Scheme::Strong, FailureTrace::default()));
+        let report = s.run(&fixed_cfg(
+            1000.0,
+            99.0,
+            Scheme::Strong,
+            FailureTrace::default(),
+        ));
         assert_eq!(report.hard_errors, 0);
         assert_eq!(report.rework_time, 0.0);
         assert_eq!(report.restart_time, 0.0);
         // ~10 checkpoints of δ each
         assert_eq!(report.checkpoints.len(), 10);
-        let delta = checkpoint_breakdown(
-            s.machine(),
-            &TABLE2[0],
-            DetectionMethod::FullCompare,
-        )
-        .total();
+        let delta =
+            checkpoint_breakdown(s.machine(), &TABLE2[0], DetectionMethod::FullCompare).total();
         assert!((report.total_time - (1000.0 + 10.0 * delta)).abs() < 1e-6);
         assert!(report.overhead() > 0.0 && report.overhead() < 0.02);
     }
@@ -342,15 +362,27 @@ mod tests {
             node: 3,
             kind: FaultKind::HardError,
         }]);
-        let strong = sim(1024, MappingKind::Default)
-            .run(&fixed_cfg(1000.0, 100.0, Scheme::Strong, trace.clone()));
-        let medium = sim(1024, MappingKind::Default)
-            .run(&fixed_cfg(1000.0, 100.0, Scheme::Medium, trace.clone()));
+        let strong = sim(1024, MappingKind::Default).run(&fixed_cfg(
+            1000.0,
+            100.0,
+            Scheme::Strong,
+            trace.clone(),
+        ));
+        let medium = sim(1024, MappingKind::Default).run(&fixed_cfg(
+            1000.0,
+            100.0,
+            Scheme::Medium,
+            trace.clone(),
+        ));
         let weak =
             sim(1024, MappingKind::Default).run(&fixed_cfg(1000.0, 100.0, Scheme::Weak, trace));
         assert_eq!(strong.hard_errors, 1);
         // Failure at 550, checkpoints near 100,200,...: strong redoes ~50 s.
-        assert!(strong.rework_time > 30.0 && strong.rework_time < 70.0, "{}", strong.rework_time);
+        assert!(
+            strong.rework_time > 30.0 && strong.rework_time < 70.0,
+            "{}",
+            strong.rework_time
+        );
         assert_eq!(medium.rework_time, 0.0);
         assert_eq!(weak.rework_time, 0.0);
         // Total time ordering (§2.3 Fig. 4: weak fastest under rework).
@@ -365,13 +397,17 @@ mod tests {
             node: 9,
             kind: FaultKind::Sdc,
         }]);
-        let r = sim(1024, MappingKind::Default)
-            .run(&fixed_cfg(1000.0, 100.0, Scheme::Strong, trace));
+        let r =
+            sim(1024, MappingKind::Default).run(&fixed_cfg(1000.0, 100.0, Scheme::Strong, trace));
         assert_eq!(r.sdc_detected, 1);
         assert_eq!(r.sdc_undetected, 0);
         // rolled back from ~300 to ~200: about 100 s of rework (the work
         // between the last verified checkpoint and the detection point).
-        assert!(r.rework_time > 80.0 && r.rework_time < 120.0, "{}", r.rework_time);
+        assert!(
+            r.rework_time > 80.0 && r.rework_time < 120.0,
+            "{}",
+            r.rework_time
+        );
     }
 
     #[test]
@@ -379,16 +415,28 @@ mod tests {
         // SDC at t=430, crash at t=470: medium's forced checkpoint at the
         // crash ships (and baselines) the corrupted state un-compared.
         let trace = FailureTrace::from_events(vec![
-            TraceEvent { time: 430.0, node: 2, kind: FaultKind::Sdc },
-            TraceEvent { time: 470.0, node: 7, kind: FaultKind::HardError },
+            TraceEvent {
+                time: 430.0,
+                node: 2,
+                kind: FaultKind::Sdc,
+            },
+            TraceEvent {
+                time: 470.0,
+                node: 7,
+                kind: FaultKind::HardError,
+            },
         ]);
-        let r = sim(1024, MappingKind::Default)
-            .run(&fixed_cfg(1000.0, 100.0, Scheme::Medium, trace.clone()));
+        let r = sim(1024, MappingKind::Default).run(&fixed_cfg(
+            1000.0,
+            100.0,
+            Scheme::Medium,
+            trace.clone(),
+        ));
         assert_eq!(r.sdc_undetected, 1);
         assert_eq!(r.sdc_detected, 0);
         // Strong detects the same corruption instead.
-        let r = sim(1024, MappingKind::Default)
-            .run(&fixed_cfg(1000.0, 100.0, Scheme::Strong, trace));
+        let r =
+            sim(1024, MappingKind::Default).run(&fixed_cfg(1000.0, 100.0, Scheme::Strong, trace));
         assert_eq!(r.sdc_undetected, 0);
         assert_eq!(r.sdc_detected, 1);
     }
@@ -398,11 +446,18 @@ mod tests {
         // Crash at 410; SDC at 450 (after the crash, before the next
         // checkpoint at 500): the shipped checkpoint is never compared.
         let trace = FailureTrace::from_events(vec![
-            TraceEvent { time: 410.0, node: 2, kind: FaultKind::HardError },
-            TraceEvent { time: 450.0, node: 700, kind: FaultKind::Sdc },
+            TraceEvent {
+                time: 410.0,
+                node: 2,
+                kind: FaultKind::HardError,
+            },
+            TraceEvent {
+                time: 450.0,
+                node: 700,
+                kind: FaultKind::Sdc,
+            },
         ]);
-        let r = sim(1024, MappingKind::Default)
-            .run(&fixed_cfg(1000.0, 100.0, Scheme::Weak, trace));
+        let r = sim(1024, MappingKind::Default).run(&fixed_cfg(1000.0, 100.0, Scheme::Weak, trace));
         assert_eq!(r.hard_errors, 1);
         assert_eq!(r.sdc_undetected, 1);
         assert_eq!(r.rework_time, 0.0, "weak recovery does no rework");
@@ -414,8 +469,16 @@ mod tests {
         let failed = 3usize;
         let buddy = s.machine().placement().buddy(failed).unwrap();
         let trace = FailureTrace::from_events(vec![
-            TraceEvent { time: 410.0, node: failed, kind: FaultKind::HardError },
-            TraceEvent { time: 450.0, node: buddy, kind: FaultKind::HardError },
+            TraceEvent {
+                time: 410.0,
+                node: failed,
+                kind: FaultKind::HardError,
+            },
+            TraceEvent {
+                time: 450.0,
+                node: buddy,
+                kind: FaultKind::HardError,
+            },
         ]);
         let r = s.run(&fixed_cfg(1000.0, 100.0, Scheme::Weak, trace));
         assert_eq!(r.restarts_from_beginning, 1);
@@ -423,12 +486,52 @@ mod tests {
 
         // A second failure elsewhere only rolls back to the checkpoint.
         let trace = FailureTrace::from_events(vec![
-            TraceEvent { time: 410.0, node: failed, kind: FaultKind::HardError },
-            TraceEvent { time: 450.0, node: buddy + 1, kind: FaultKind::HardError },
+            TraceEvent {
+                time: 410.0,
+                node: failed,
+                kind: FaultKind::HardError,
+            },
+            TraceEvent {
+                time: 450.0,
+                node: buddy + 1,
+                kind: FaultKind::HardError,
+            },
         ]);
         let r = s.run(&fixed_cfg(1000.0, 100.0, Scheme::Weak, trace));
         assert_eq!(r.restarts_from_beginning, 0);
         assert!(r.rework_time > 0.0 && r.rework_time < 100.0);
+    }
+
+    #[test]
+    fn weak_double_failure_discards_pending_sdc_with_the_span() {
+        // SDC lands between the first crash and the buddy's: the rollback
+        // wipes the corrupted span before any comparison — neither detected
+        // nor escaped, but still accounted for.
+        let s = sim(1024, MappingKind::Default);
+        let failed = 3usize;
+        let buddy = s.machine().placement().buddy(failed).unwrap();
+        let trace = FailureTrace::from_events(vec![
+            TraceEvent {
+                time: 410.0,
+                node: failed,
+                kind: FaultKind::HardError,
+            },
+            TraceEvent {
+                time: 430.0,
+                node: 700,
+                kind: FaultKind::Sdc,
+            },
+            TraceEvent {
+                time: 450.0,
+                node: buddy,
+                kind: FaultKind::HardError,
+            },
+        ]);
+        let r = s.run(&fixed_cfg(1000.0, 100.0, Scheme::Weak, trace));
+        assert_eq!(r.restarts_from_beginning, 1);
+        assert_eq!(r.sdc_detected, 0);
+        assert_eq!(r.sdc_undetected, 0);
+        assert_eq!(r.sdc_discarded, 1);
     }
 
     #[test]
@@ -438,22 +541,14 @@ mod tests {
         use acr_model::{ModelParams, SchemeModel};
         let machine = Machine::bgp(65536, MappingKind::Default);
         let tl = Timeline::new(machine, TABLE2[0]);
-        let delta = checkpoint_breakdown(tl.machine(), &TABLE2[0], DetectionMethod::FullCompare)
-            .total();
-        let params = ModelParams::from_sockets(
-            24.0 * 3600.0,
-            delta,
-            delta,
-            delta,
-            16384,
-            50.0,
-            10_000.0,
-        );
+        let delta =
+            checkpoint_breakdown(tl.machine(), &TABLE2[0], DetectionMethod::FullCompare).total();
+        let params =
+            ModelParams::from_sockets(24.0 * 3600.0, delta, delta, delta, 16384, 50.0, 10_000.0);
         let eval = SchemeModel::new(params).optimize(Scheme::Strong);
         let hard = FailureProcess::Renewal(FailureDistribution::exponential(params.m_h));
         let sdc = FailureProcess::Renewal(FailureDistribution::exponential(params.m_s));
-        let trace =
-            FailureTrace::generate(Some(hard), Some(sdc), 3.0 * 24.0 * 3600.0, 32768, 42);
+        let trace = FailureTrace::generate(Some(hard), Some(sdc), 3.0 * 24.0 * 3600.0, 32768, 42);
         let r = tl.run(&SimConfig {
             work: 24.0 * 3600.0,
             scheme: Scheme::Strong,
@@ -473,7 +568,10 @@ mod tests {
         // shape 0.6 — checkpoints crowd the start, spread toward the end.
         let scale = 1800.0 / 19.0f64.powf(1.0 / 0.6);
         let hard = FailureProcess::PowerLaw { shape: 0.6, scale };
-        let trace = FailureTrace::generate(Some(hard), None, 1800.0, 512, 3);
+        // Seed chosen so the sampled trace actually front-loads its failures
+        // (a power-law draw can come out flat); the assertion below needs a
+        // decreasing rate to exist before the policy can track it.
+        let trace = FailureTrace::generate(Some(hard), None, 1800.0, 512, 6);
         let machine = Machine::bgp(1024, MappingKind::Column);
         let tl = Timeline::new(machine, TABLE2[4]); // LeanMD: small δ
         let r = tl.run(&SimConfig {
@@ -494,13 +592,22 @@ mod tests {
         assert!(r.checkpoints.len() > 20, "{}", r.checkpoints.len());
         assert!(r.hard_errors >= 10);
         // Mean gap between checkpoints in the first third vs the last third.
-        let gaps: Vec<(f64, f64)> =
-            r.checkpoints.windows(2).map(|w| (w[0], w[1] - w[0])).collect();
+        let gaps: Vec<(f64, f64)> = r
+            .checkpoints
+            .windows(2)
+            .map(|w| (w[0], w[1] - w[0]))
+            .collect();
         let third = r.total_time / 3.0;
-        let early: Vec<f64> =
-            gaps.iter().filter(|(t, _)| *t < third).map(|(_, g)| *g).collect();
-        let late: Vec<f64> =
-            gaps.iter().filter(|(t, _)| *t > 2.0 * third).map(|(_, g)| *g).collect();
+        let early: Vec<f64> = gaps
+            .iter()
+            .filter(|(t, _)| *t < third)
+            .map(|(_, g)| *g)
+            .collect();
+        let late: Vec<f64> = gaps
+            .iter()
+            .filter(|(t, _)| *t > 2.0 * third)
+            .map(|(_, g)| *g)
+            .collect();
         assert!(!early.is_empty() && !late.is_empty());
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(
@@ -556,10 +663,18 @@ mod tests {
             node: 3,
             kind: FaultKind::HardError,
         }]);
-        let blind = sim(1024, MappingKind::Default)
-            .run(&fixed_cfg(1000.0, 100.0, Scheme::Strong, trace.clone()));
+        let blind = sim(1024, MappingKind::Default).run(&fixed_cfg(
+            1000.0,
+            100.0,
+            Scheme::Strong,
+            trace.clone(),
+        ));
         let mut cfg = fixed_cfg(1000.0, 100.0, Scheme::Strong, trace);
-        cfg.alarms = vec![acr_fault::Alarm { time: 540.0, node: 3, true_positive: true }];
+        cfg.alarms = vec![acr_fault::Alarm {
+            time: 540.0,
+            node: 3,
+            true_positive: true,
+        }];
         let warned = sim(1024, MappingKind::Default).run(&cfg);
         assert_eq!(warned.alarms_heeded, 1);
         assert!(blind.rework_time > 30.0, "{}", blind.rework_time);
@@ -571,13 +686,21 @@ mod tests {
     fn false_alarms_cost_one_checkpoint_each() {
         let mut cfg = fixed_cfg(1000.0, 200.0, Scheme::Strong, FailureTrace::default());
         cfg.alarms = (1..=5)
-            .map(|i| acr_fault::Alarm { time: i as f64 * 150.0, node: 0, true_positive: false })
+            .map(|i| acr_fault::Alarm {
+                time: i as f64 * 150.0,
+                node: 0,
+                true_positive: false,
+            })
             .collect();
         let r = sim(1024, MappingKind::Default).run(&cfg);
         assert_eq!(r.alarms_heeded, 5);
         // More checkpoints than the periodic schedule alone would produce.
-        let baseline = sim(1024, MappingKind::Default)
-            .run(&fixed_cfg(1000.0, 200.0, Scheme::Strong, FailureTrace::default()));
+        let baseline = sim(1024, MappingKind::Default).run(&fixed_cfg(
+            1000.0,
+            200.0,
+            Scheme::Strong,
+            FailureTrace::default(),
+        ));
         assert!(r.checkpoints.len() > baseline.checkpoints.len());
         assert!(r.total_time > baseline.total_time);
         assert_eq!(r.rework_time, 0.0);
@@ -592,8 +715,8 @@ mod tests {
             node: 0,
             kind: FaultKind::Sdc,
         }]);
-        let r = sim(1024, MappingKind::Default)
-            .run(&fixed_cfg(1000.0, 400.0, Scheme::Strong, trace));
+        let r =
+            sim(1024, MappingKind::Default).run(&fixed_cfg(1000.0, 400.0, Scheme::Strong, trace));
         assert_eq!(r.sdc_detected, 0);
         assert_eq!(r.sdc_undetected, 1);
     }
@@ -601,7 +724,12 @@ mod tests {
     #[test]
     fn report_utilization_consistency() {
         let s = sim(1024, MappingKind::Column);
-        let r = s.run(&fixed_cfg(500.0, 50.0, Scheme::Weak, FailureTrace::default()));
+        let r = s.run(&fixed_cfg(
+            500.0,
+            50.0,
+            Scheme::Weak,
+            FailureTrace::default(),
+        ));
         assert!((r.utilization() - 0.5 * 500.0 / r.total_time).abs() < 1e-12);
         assert!(r.total_time >= 500.0);
     }

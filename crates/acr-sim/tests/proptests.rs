@@ -8,11 +8,19 @@ use acr_topology::MappingKind;
 use proptest::prelude::*;
 
 fn scheme_strategy() -> impl Strategy<Value = Scheme> {
-    prop_oneof![Just(Scheme::Strong), Just(Scheme::Medium), Just(Scheme::Weak)]
+    prop_oneof![
+        Just(Scheme::Strong),
+        Just(Scheme::Medium),
+        Just(Scheme::Weak)
+    ]
 }
 
 fn detection_strategy() -> impl Strategy<Value = DetectionMethod> {
-    prop_oneof![Just(DetectionMethod::FullCompare), Just(DetectionMethod::Checksum)]
+    prop_oneof![
+        Just(DetectionMethod::FullCompare),
+        Just(DetectionMethod::Checksum),
+        Just(DetectionMethod::ChunkedChecksum),
+    ]
 }
 
 proptest! {
@@ -55,9 +63,10 @@ proptest! {
         // Checkpoint count × δ == checkpoint time.
         let delta = checkpoint_breakdown(timeline.machine(), &TABLE2[app_idx], detection).total();
         prop_assert!((r.checkpoint_time - delta * r.checkpoints.len() as f64).abs() < 1e-6);
-        // Every detected or escaped SDC was injected.
+        // Every injected SDC is accounted for: detected, escaped, or
+        // discarded with a rolled-back span.
         let injected_sdc = r.faults.iter().filter(|(_, k)| matches!(k, acr_fault::FaultKind::Sdc)).count();
-        prop_assert_eq!(r.sdc_detected + r.sdc_undetected, injected_sdc);
+        prop_assert_eq!(r.sdc_detected + r.sdc_undetected + r.sdc_discarded, injected_sdc);
     }
 
     /// Strong resilience never lets SDC escape except in the trailing

@@ -57,11 +57,18 @@ impl LinkLoads {
                     tally(torus.route(a, b));
                 }
             }
-            ExchangePattern::SingleRestart { healthy_buddy, spare } => {
+            ExchangePattern::SingleRestart {
+                healthy_buddy,
+                spare,
+            } => {
                 tally(torus.route(healthy_buddy, spare));
             }
         }
-        Self { loads, messages, total_hops }
+        Self {
+            loads,
+            messages,
+            total_hops,
+        }
     }
 
     /// The highest per-link message count — the serialization factor for
@@ -109,7 +116,11 @@ impl LinkLoads {
         (0..z.saturating_sub(1))
             .map(|p| {
                 let from = torus.id(Coord { x, y, z: p });
-                self.load(Link { from, dim: Dim::Z, plus: true })
+                self.load(Link {
+                    from,
+                    dim: Dim::Z,
+                    plus: true,
+                })
             })
             .collect()
     }
@@ -192,7 +203,10 @@ mod tests {
         let loads = LinkLoads::analyze(
             &t,
             &p,
-            ExchangePattern::SingleRestart { healthy_buddy: healthy, spare },
+            ExchangePattern::SingleRestart {
+                healthy_buddy: healthy,
+                spare,
+            },
         );
         assert_eq!(loads.messages(), 1);
         assert_eq!(loads.max_load(), 1);
@@ -202,7 +216,11 @@ mod tests {
     #[test]
     fn message_conservation() {
         let t = Torus3d::mesh(4, 4, 8);
-        for kind in [MappingKind::Default, MappingKind::Column, MappingKind::Mixed { chunk: 2 }] {
+        for kind in [
+            MappingKind::Default,
+            MappingKind::Column,
+            MappingKind::Mixed { chunk: 2 },
+        ] {
             let p = kind.place(&t).unwrap();
             let loads = LinkLoads::analyze(&t, &p, ExchangePattern::FullBuddyExchange);
             assert_eq!(loads.messages(), p.ranks());

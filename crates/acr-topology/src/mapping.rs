@@ -57,11 +57,20 @@ pub enum MappingError {
 impl fmt::Display for MappingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MappingError::ZExtent { z, needs_multiple_of } => {
+            MappingError::ZExtent {
+                z,
+                needs_multiple_of,
+            } => {
                 write!(f, "Z extent {z} must be a multiple of {needs_multiple_of}")
             }
-            MappingError::SpareGranularity { spares, granularity } => {
-                write!(f, "spare count {spares} must be a multiple of {granularity}")
+            MappingError::SpareGranularity {
+                spares,
+                granularity,
+            } => {
+                write!(
+                    f,
+                    "spare count {spares} must be a multiple of {granularity}"
+                )
             }
         }
     }
@@ -98,23 +107,30 @@ impl MappingKind {
         let [x, y, z] = torus.dims();
         let plane = x * y;
         let pair_granularity = 2 * plane;
-        if spares > 0 && spares % pair_granularity != 0 {
+        if spares > 0 && !spares.is_multiple_of(pair_granularity) {
             return Err(MappingError::SpareGranularity {
                 spares,
                 granularity: pair_granularity,
             });
         }
         let spare_planes = spares / plane; // even by the check above
-        let usable_z = z.checked_sub(spare_planes).filter(|&u| u >= 2).ok_or(
-            MappingError::ZExtent { z, needs_multiple_of: spare_planes + 2 },
-        )?;
+        let usable_z =
+            z.checked_sub(spare_planes)
+                .filter(|&u| u >= 2)
+                .ok_or(MappingError::ZExtent {
+                    z,
+                    needs_multiple_of: spare_planes + 2,
+                })?;
 
         let needs = match self {
             MappingKind::Default | MappingKind::Column => 2,
             MappingKind::Mixed { chunk } => 2 * chunk.max(1),
         };
         if usable_z % needs != 0 {
-            return Err(MappingError::ZExtent { z: usable_z, needs_multiple_of: needs });
+            return Err(MappingError::ZExtent {
+                z: usable_z,
+                needs_multiple_of: needs,
+            });
         }
 
         // Replica of a usable Z plane.
@@ -148,7 +164,12 @@ impl MappingKind {
             }
         }
         debug_assert_eq!(node_of[0].len(), node_of[1].len());
-        Ok(Placement { kind: self, locate, node_of, spares: spares_v })
+        Ok(Placement {
+            kind: self,
+            locate,
+            node_of,
+            spares: spares_v,
+        })
     }
 }
 
@@ -285,7 +306,13 @@ mod tests {
     fn bad_spare_granularity_rejected() {
         let t = t888();
         let err = MappingKind::Default.place_with_spares(&t, 10).unwrap_err();
-        assert!(matches!(err, MappingError::SpareGranularity { granularity: 128, .. }));
+        assert!(matches!(
+            err,
+            MappingError::SpareGranularity {
+                granularity: 128,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -306,7 +333,9 @@ mod tests {
         // z = 10: two tail planes (128 nodes) become spares, 8 usable planes
         // satisfy mixed(chunk=2)'s  z % 4 == 0 requirement.
         let t = Torus3d::mesh(8, 8, 10);
-        let p = MappingKind::Mixed { chunk: 2 }.place_with_spares(&t, 128).unwrap();
+        let p = MappingKind::Mixed { chunk: 2 }
+            .place_with_spares(&t, 128)
+            .unwrap();
         let mut seen = vec![false; t.len()];
         for r in 0..2u8 {
             for rank in 0..p.ranks() {

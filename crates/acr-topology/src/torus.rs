@@ -107,19 +107,28 @@ impl Torus3d {
     /// A torus with wraparound in every dimension.
     pub fn torus(x: usize, y: usize, z: usize) -> Self {
         assert!(x > 0 && y > 0 && z > 0, "torus dimensions must be positive");
-        Self { dims: [x, y, z], wrap: [true, true, true] }
+        Self {
+            dims: [x, y, z],
+            wrap: [true, true, true],
+        }
     }
 
     /// A mesh (no wraparound links).
     pub fn mesh(x: usize, y: usize, z: usize) -> Self {
         assert!(x > 0 && y > 0 && z > 0, "mesh dimensions must be positive");
-        Self { dims: [x, y, z], wrap: [false, false, false] }
+        Self {
+            dims: [x, y, z],
+            wrap: [false, false, false],
+        }
     }
 
     /// Custom per-dimension wraparound.
     pub fn with_wrap(x: usize, y: usize, z: usize, wrap: [bool; 3]) -> Self {
         assert!(x > 0 && y > 0 && z > 0, "dimensions must be positive");
-        Self { dims: [x, y, z], wrap }
+        Self {
+            dims: [x, y, z],
+            wrap,
+        }
     }
 
     /// Extent along `dim`.
@@ -205,7 +214,11 @@ impl Torus3d {
             let n = self.dims[dim.axis()];
             let (plus, hops) = self.step_along(dim, cur.get(dim), target.get(dim));
             for _ in 0..hops {
-                links.push(Link { from: self.id(cur), dim, plus });
+                links.push(Link {
+                    from: self.id(cur),
+                    dim,
+                    plus,
+                });
                 let next = if plus {
                     (cur.get(dim) + 1) % n
                 } else {
@@ -324,7 +337,11 @@ mod tests {
             let c = t.coord(cur);
             let n = t.extent(link.dim);
             let v = c.get(link.dim);
-            let nv = if link.plus { (v + 1) % n } else { (v + n - 1) % n };
+            let nv = if link.plus {
+                (v + 1) % n
+            } else {
+                (v + n - 1) % n
+            };
             let mut nc = c;
             match link.dim {
                 Dim::X => nc.x = nv,

@@ -12,7 +12,8 @@ use acr_core::{ConsensusAction, ConsensusEngine, ConsensusMsg};
 /// Run one full round over `n` engines with synchronous delivery; returns
 /// the number of protocol messages.
 fn one_round(n: usize, round: u64, engines: &mut [ConsensusEngine]) -> usize {
-    let mut queue: VecDeque<(usize, ConsensusMsg)> = (0..n).map(|i| (i, ConsensusMsg::Start { round })).collect();
+    let mut queue: VecDeque<(usize, ConsensusMsg)> =
+        (0..n).map(|i| (i, ConsensusMsg::Start { round })).collect();
     let mut messages = 0;
     let mut checkpoints = 0;
     while let Some((node, msg)) = queue.pop_front() {

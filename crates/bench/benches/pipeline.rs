@@ -1,0 +1,134 @@
+//! The fused checkpoint pipeline: the seed pipeline packed every task and
+//! then re-read the whole payload to compute its Fletcher-64 digest (two
+//! memory passes); the [`DigestingPacker`] folds the digest — and the
+//! per-chunk table that localizes divergence — into the pack pass itself.
+//! This bench measures both pipelines over a multi-task, multi-MiB payload
+//! (the per-node checkpoint of a Table 2-scale app), plus the sensitivity
+//! of the fused path to the chunk-table granularity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use acr_pup::{
+    fletcher64, DigestingPacker, Packer, Pup, PupResult, Puper, Sizer, DEFAULT_CHUNK_SIZE,
+};
+
+/// A mini-app task: an iteration counter plus a dense f64 grid (the shape
+/// of the Jacobi/stencil states the runtime checkpoints).
+struct Grid {
+    iter: u64,
+    data: Vec<f64>,
+}
+
+impl Pup for Grid {
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_u64(&mut self.iter)?;
+        self.data.pup(p)
+    }
+}
+
+/// `n` tasks of `words` f64s each, distinct contents.
+fn tasks(n: usize, words: usize) -> Vec<Grid> {
+    (0..n)
+        .map(|t| Grid {
+            iter: t as u64,
+            data: (0..words).map(|i| (t * words + i) as f64 * 0.25).collect(),
+        })
+        .collect()
+}
+
+fn payload_size(tasks: &mut [Grid]) -> usize {
+    let mut s = Sizer::new();
+    for t in tasks.iter_mut() {
+        t.pup(&mut s).unwrap();
+    }
+    s.bytes()
+}
+
+/// The seed pipeline's structure: pack every task, then a second full pass
+/// over the packed bytes for the digest. The payload allocation is recycled
+/// across iterations (as a steady-state checkpoint loop would) so the
+/// comparison isolates one-pass-vs-two from allocator and first-touch
+/// page-fault noise — the fused arm recycles identically.
+fn two_pass_seed(tasks: &mut [Grid], store: &mut Vec<u8>) -> (usize, u64) {
+    let mut buf = std::mem::take(store);
+    buf.clear();
+    let mut p = Packer::into_buf(buf);
+    for t in tasks.iter_mut() {
+        t.pup(&mut p).unwrap();
+    }
+    let buf = p.finish();
+    let digest = fletcher64(&buf);
+    let len = buf.len();
+    *store = buf;
+    (len, digest)
+}
+
+/// The fused pipeline as the runtime runs it: a Sizer pass for the exact
+/// payload size, then one combined pack+digest pass producing the payload,
+/// the whole-payload digest, and the chunk table — same recycled
+/// allocation as the seed arm.
+fn fused(tasks: &mut [Grid], chunk_size: usize, store: &mut Vec<u8>) -> (usize, u64) {
+    let cap = payload_size(tasks);
+    let mut buf = std::mem::take(store);
+    buf.reserve(cap);
+    let mut p = DigestingPacker::reusing(buf, chunk_size);
+    for t in tasks.iter_mut() {
+        t.pup(&mut p).unwrap();
+    }
+    let (buf, chunked) = p.finish();
+    let (len, digest) = (buf.len(), chunked.digest);
+    *store = buf;
+    (len, digest)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    // 32 tasks × 256 Ki f64 ≈ 64 MiB — comfortably past effective cache,
+    // the regime where the second read pass of the seed pipeline costs
+    // real DRAM time (a 20 MiB payload can sit entirely in a large shared
+    // L3 and hide the extra pass).
+    let mut ts = tasks(32, 256 * 1024);
+    let cap = payload_size(&mut ts);
+    assert!(cap >= 16 * 1024 * 1024, "payload {cap} under 16 MiB");
+
+    let mut g = c.benchmark_group("checkpoint_pipeline");
+    g.throughput(Throughput::Bytes(cap as u64));
+    let mut store = Vec::new();
+    g.bench_function(BenchmarkId::new("seed_pack_then_digest", cap), |b| {
+        b.iter(|| black_box(two_pass_seed(black_box(&mut ts), &mut store)))
+    });
+    let mut store = Vec::new();
+    g.bench_function(BenchmarkId::new("fused_size_pack_digest", cap), |b| {
+        b.iter(|| black_box(fused(black_box(&mut ts), DEFAULT_CHUNK_SIZE, &mut store)))
+    });
+    g.finish();
+
+    // Fused payload and digest must agree with the seed pipeline's.
+    let mut reference = Vec::new();
+    let (_, expect) = two_pass_seed(&mut ts, &mut reference);
+    let mut buf = Vec::new();
+    let (_, got) = fused(&mut ts, DEFAULT_CHUNK_SIZE, &mut buf);
+    assert_eq!(buf, reference);
+    assert_eq!(got, expect);
+}
+
+fn bench_chunk_granularity(c: &mut Criterion) {
+    let mut ts = tasks(32, 256 * 1024);
+    let cap = payload_size(&mut ts);
+    let mut g = c.benchmark_group("fused_chunk_granularity");
+    g.throughput(Throughput::Bytes(cap as u64));
+    for chunk in [4 * 1024usize, 64 * 1024, 1024 * 1024] {
+        let mut store = Vec::new();
+        g.bench_function(BenchmarkId::new("chunk", chunk), |b| {
+            b.iter(|| black_box(fused(black_box(&mut ts), chunk, &mut store)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pipeline, bench_chunk_granularity
+}
+criterion_main!(benches);

@@ -15,26 +15,34 @@ fn bench_timeline(c: &mut Criterion) {
     let machine = Machine::bgp(65536, MappingKind::Default);
     let timeline = Timeline::new(machine, TABLE2[0]);
     let trace = FailureTrace::generate(
-        Some(FailureProcess::Renewal(FailureDistribution::exponential(5_000.0))),
-        Some(FailureProcess::Renewal(FailureDistribution::exponential(20_000.0))),
+        Some(FailureProcess::Renewal(FailureDistribution::exponential(
+            5_000.0,
+        ))),
+        Some(FailureProcess::Renewal(FailureDistribution::exponential(
+            20_000.0,
+        ))),
         3.0 * 86_400.0,
         32_768,
         7,
     );
     let mut g = c.benchmark_group("sim_timeline_24h_job");
     for scheme in Scheme::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &scheme| {
-            b.iter(|| {
-                black_box(timeline.run(&SimConfig {
-                    work: 86_400.0,
-                    scheme,
-                    detection: DetectionMethod::FullCompare,
-                    tau: TauPolicy::Fixed(120.0),
-                    trace: trace.clone(),
-            alarms: Vec::new(),
-                }))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    black_box(timeline.run(&SimConfig {
+                        work: 86_400.0,
+                        scheme,
+                        detection: DetectionMethod::FullCompare,
+                        tau: TauPolicy::Fixed(120.0),
+                        trace: trace.clone(),
+                        alarms: Vec::new(),
+                    }))
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -45,11 +53,8 @@ fn bench_linkloads(c: &mut Criterion) {
         let m = Machine::bgp(cores, MappingKind::Default);
         g.bench_with_input(BenchmarkId::from_parameter(cores), &m, |b, m| {
             b.iter(|| {
-                let loads = LinkLoads::analyze(
-                    &m.torus,
-                    m.placement(),
-                    ExchangePattern::FullBuddyExchange,
-                );
+                let loads =
+                    LinkLoads::analyze(&m.torus, m.placement(), ExchangePattern::FullBuddyExchange);
                 black_box(loads.max_load())
             })
         });

@@ -14,9 +14,7 @@ use std::path::Path;
 use acr_apps::{AppProfile, TABLE2};
 use acr_core::{DetectionMethod, Scheme};
 use acr_fault::{AdaptiveConfig, FailureDistribution, FailureProcess, FailureTrace};
-use acr_model::{
-    utilization_surface, ModelParams, SchemeModel, SurfaceConfig, SurfaceKind, HOUR,
-};
+use acr_model::{utilization_surface, ModelParams, SchemeModel, SurfaceConfig, SurfaceKind, HOUR};
 use acr_sim::{checkpoint_breakdown, restart_breakdown, Machine, SimConfig, TauPolicy, Timeline};
 use acr_topology::{ExchangePattern, LinkLoads, MappingKind, Torus3d};
 
@@ -28,8 +26,16 @@ pub const SOCKET_SWEEP: [u64; 3] = [1024, 4096, 16384];
 /// The four §6.2 configurations per app: three mappings under full
 /// comparison plus the checksum method.
 pub const CONFIGS: [(&str, MappingKind, DetectionMethod); 4] = [
-    ("default", MappingKind::Default, DetectionMethod::FullCompare),
-    ("mixed", MappingKind::Mixed { chunk: 2 }, DetectionMethod::FullCompare),
+    (
+        "default",
+        MappingKind::Default,
+        DetectionMethod::FullCompare,
+    ),
+    (
+        "mixed",
+        MappingKind::Mixed { chunk: 2 },
+        DetectionMethod::FullCompare,
+    ),
     ("column", MappingKind::Column, DetectionMethod::FullCompare),
     ("checksum", MappingKind::Default, DetectionMethod::Checksum),
 ];
@@ -50,20 +56,50 @@ pub fn fig01() -> String {
     let fits = [1.0, 100.0, 10_000.0];
     let mut out = String::new();
     let mut csv = String::from("kind,sockets,fit,utilization,vulnerability\n");
-    writeln!(out, "Figure 1 — system utilization and vulnerability (120 h job)").unwrap();
+    writeln!(
+        out,
+        "Figure 1 — system utilization and vulnerability (120 h job)"
+    )
+    .unwrap();
     for (kind, label) in [
         (SurfaceKind::NoFaultTolerance, "1a no fault tolerance"),
-        (SurfaceKind::CheckpointOnly, "1b hard-error checkpoint/restart"),
+        (
+            SurfaceKind::CheckpointOnly,
+            "1b hard-error checkpoint/restart",
+        ),
         (SurfaceKind::Acr, "1c ACR"),
     ] {
         writeln!(out, "\n  ({label})").unwrap();
-        writeln!(out, "  {:>10} | {:>24} | {:>24}", "sockets", "utilization @FIT 1/100/10k", "vulnerability").unwrap();
+        writeln!(
+            out,
+            "  {:>10} | {:>24} | {:>24}",
+            "sockets", "utilization @FIT 1/100/10k", "vulnerability"
+        )
+        .unwrap();
         for pts in utilization_surface(kind, &cfg, &sockets, &fits).chunks(fits.len()) {
-            let u: Vec<String> = pts.iter().map(|p| format!("{:.3}", p.utilization)).collect();
-            let v: Vec<String> = pts.iter().map(|p| format!("{:.3}", p.vulnerability)).collect();
-            writeln!(out, "  {:>10} | {:>24} | {:>24}", pts[0].sockets, u.join(" / "), v.join(" / ")).unwrap();
+            let u: Vec<String> = pts
+                .iter()
+                .map(|p| format!("{:.3}", p.utilization))
+                .collect();
+            let v: Vec<String> = pts
+                .iter()
+                .map(|p| format!("{:.3}", p.vulnerability))
+                .collect();
+            writeln!(
+                out,
+                "  {:>10} | {:>24} | {:>24}",
+                pts[0].sockets,
+                u.join(" / "),
+                v.join(" / ")
+            )
+            .unwrap();
             for p in pts {
-                writeln!(csv, "{label},{},{},{},{}", p.sockets, p.sdc_fit, p.utilization, p.vulnerability).unwrap();
+                writeln!(
+                    csv,
+                    "{label},{},{},{},{}",
+                    p.sockets, p.sdc_fit, p.utilization, p.vulnerability
+                )
+                .unwrap();
             }
         }
     }
@@ -77,7 +113,11 @@ pub fn fig06() -> String {
     let torus = Torus3d::mesh(8, 8, 8);
     let mut out = String::new();
     let mut csv = String::from("mapping,link_z,load\n");
-    writeln!(out, "Figure 6 — inter-replica checkpoint messages per +Z link (8×8×8, front column)").unwrap();
+    writeln!(
+        out,
+        "Figure 6 — inter-replica checkpoint messages per +Z link (8×8×8, front column)"
+    )
+    .unwrap();
     for (label, mapping) in [
         ("(a) default", MappingKind::Default),
         ("(b) column", MappingKind::Column),
@@ -105,13 +145,24 @@ pub fn fig06() -> String {
 /// Fig. 7: model utilization (a) and undetected-SDC probability (b) for the
 /// three schemes, δ ∈ {15, 180} s, 1K–256K sockets per replica.
 pub fn fig07() -> String {
-    let sweep = [1024u64, 2048, 4096, 8192, 16384, 32768, 65536, 131_072, 262_144];
+    let sweep = [
+        1024u64, 2048, 4096, 8192, 16384, 32768, 65536, 131_072, 262_144,
+    ];
     let mut out = String::new();
     let mut csv = String::from("delta,sockets,scheme,tau,utilization,p_undetected\n");
-    writeln!(out, "Figure 7 — §5 model: utilization and P(undetected SDC), 24 h job, 100 FIT, 50 y/socket").unwrap();
+    writeln!(
+        out,
+        "Figure 7 — §5 model: utilization and P(undetected SDC), 24 h job, 100 FIT, 50 y/socket"
+    )
+    .unwrap();
     for delta in [15.0, 180.0] {
         writeln!(out, "\n  δ = {delta} s").unwrap();
-        writeln!(out, "  {:>9} | {:>26} | {:>22}", "sockets", "utilization S/M/W", "P(undetected) M/W").unwrap();
+        writeln!(
+            out,
+            "  {:>9} | {:>26} | {:>22}",
+            "sockets", "utilization S/M/W", "P(undetected) M/W"
+        )
+        .unwrap();
         for &s in &sweep {
             let model = SchemeModel::new(ModelParams::fig7(s, delta));
             let evals: Vec<_> = Scheme::ALL.iter().map(|&sc| model.optimize(sc)).collect();
@@ -119,12 +170,26 @@ pub fn fig07() -> String {
                 out,
                 "  {:>9} | {:>26} | {:>22}",
                 s,
-                format!("{:.3} / {:.3} / {:.3}", evals[0].utilization, evals[1].utilization, evals[2].utilization),
-                format!("{:.4} / {:.4}", evals[1].p_undetected_sdc, evals[2].p_undetected_sdc),
+                format!(
+                    "{:.3} / {:.3} / {:.3}",
+                    evals[0].utilization, evals[1].utilization, evals[2].utilization
+                ),
+                format!(
+                    "{:.4} / {:.4}",
+                    evals[1].p_undetected_sdc, evals[2].p_undetected_sdc
+                ),
             )
             .unwrap();
             for e in &evals {
-                writeln!(csv, "{delta},{s},{},{},{},{}", e.scheme.name(), e.tau, e.utilization, e.p_undetected_sdc).unwrap();
+                writeln!(
+                    csv,
+                    "{delta},{s},{},{},{},{}",
+                    e.scheme.name(),
+                    e.tau,
+                    e.utilization,
+                    e.p_undetected_sdc
+                )
+                .unwrap();
             }
         }
     }
@@ -137,18 +202,42 @@ pub fn fig07() -> String {
 pub fn fig08() -> String {
     let mut out = String::new();
     let mut csv = String::from("app,config,cores_per_replica,local,transfer,compare,total\n");
-    writeln!(out, "Figure 8 — single checkpoint overhead (seconds), decomposition local+transfer+compare").unwrap();
+    writeln!(
+        out,
+        "Figure 8 — single checkpoint overhead (seconds), decomposition local+transfer+compare"
+    )
+    .unwrap();
     writeln!(out, "Table 2 per-core configurations; BG/P-class machine\n").unwrap();
     for app in &TABLE2 {
-        writeln!(out, "  {}  ({} B/core, scatter ×{:.1})", app.name, app.ckpt_bytes_per_core, app.scatter_factor).unwrap();
-        writeln!(out, "    {:<9} {}", "config", CORE_SWEEP.map(|c| format!("{:>8}", short(c))).join(" ")).unwrap();
+        writeln!(
+            out,
+            "  {}  ({} B/core, scatter ×{:.1})",
+            app.name, app.ckpt_bytes_per_core, app.scatter_factor
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "    {:<9} {}",
+            "config",
+            CORE_SWEEP.map(|c| format!("{:>8}", short(c))).join(" ")
+        )
+        .unwrap();
         for (label, mapping, detection) in CONFIGS {
             let mut row = String::new();
             for &cores in &CORE_SWEEP {
                 let m = Machine::bgp(cores, mapping);
                 let b = checkpoint_breakdown(&m, app, detection);
                 write!(row, " {:>8.3}", b.total()).unwrap();
-                writeln!(csv, "{},{label},{cores},{:.4},{:.4},{:.4},{:.4}", app.name, b.local, b.transfer, b.compare, b.total()).unwrap();
+                writeln!(
+                    csv,
+                    "{},{label},{cores},{:.4},{:.4},{:.4},{:.4}",
+                    app.name,
+                    b.local,
+                    b.transfer,
+                    b.compare,
+                    b.total()
+                )
+                .unwrap();
             }
             writeln!(out, "    {label:<9}{row}").unwrap();
         }
@@ -171,12 +260,24 @@ fn short(c: u64) -> String {
 /// 10 000 FIT per socket).
 pub fn fig09_fig11() -> String {
     let mut out = String::new();
-    let mut csv =
-        String::from("app,scheme,config,sockets,tau,forward_pct,overall_pct\n");
-    writeln!(out, "Figures 9 & 11 — forward-path and overall overhead per replica (%) at τ*").unwrap();
+    let mut csv = String::from("app,scheme,config,sockets,tau,forward_pct,overall_pct\n");
+    writeln!(
+        out,
+        "Figures 9 & 11 — forward-path and overall overhead per replica (%) at τ*"
+    )
+    .unwrap();
     for app in [&TABLE2[0], &TABLE2[4]] {
         writeln!(out, "\n  {}", app.name).unwrap();
-        writeln!(out, "    {:<18} {:>7} {}", "config", "scheme", SOCKET_SWEEP.map(|s| format!("{:>16}", format!("{} fwd%/all%", short(s)))).join(" ")).unwrap();
+        writeln!(
+            out,
+            "    {:<18} {:>7} {}",
+            "config",
+            "scheme",
+            SOCKET_SWEEP
+                .map(|s| format!("{:>16}", format!("{} fwd%/all%", short(s))))
+                .join(" ")
+        )
+        .unwrap();
         for (label, mapping, detection) in CONFIGS {
             for scheme in Scheme::ALL {
                 let mut row = String::new();
@@ -202,15 +303,19 @@ pub fn fig09_fig11() -> String {
                         detection,
                         tau: TauPolicy::Fixed(eval.tau),
                         trace: FailureTrace::default(),
-            alarms: Vec::new(),
+                        alarms: Vec::new(),
                     });
                     // Overall: average over failure traces.
                     let mut overall = 0.0;
                     const SEEDS: u64 = 4;
                     for seed in 0..SEEDS {
                         let trace = FailureTrace::generate(
-                            Some(FailureProcess::Renewal(FailureDistribution::exponential(params.m_h))),
-                            Some(FailureProcess::Renewal(FailureDistribution::exponential(params.m_s))),
+                            Some(FailureProcess::Renewal(FailureDistribution::exponential(
+                                params.m_h,
+                            ))),
+                            Some(FailureProcess::Renewal(FailureDistribution::exponential(
+                                params.m_s,
+                            ))),
                             5.0 * params.w,
                             (2 * sockets) as usize,
                             seed,
@@ -222,12 +327,18 @@ pub fn fig09_fig11() -> String {
                                 detection,
                                 tau: TauPolicy::Fixed(eval.tau),
                                 trace,
-            alarms: Vec::new(),
+                                alarms: Vec::new(),
                             })
                             .overhead();
                     }
                     overall /= SEEDS as f64;
-                    write!(row, " {:>7.3}/{:>7.3}", 100.0 * fwd.overhead(), 100.0 * overall).unwrap();
+                    write!(
+                        row,
+                        " {:>7.3}/{:>7.3}",
+                        100.0 * fwd.overhead(),
+                        100.0 * overall
+                    )
+                    .unwrap();
                     writeln!(
                         csv,
                         "{},{},{label},{sockets},{:.1},{:.4},{:.4}",
@@ -252,23 +363,45 @@ pub fn fig09_fig11() -> String {
 pub fn fig10() -> String {
     let mut out = String::new();
     let mut csv = String::from("app,config,cores_per_replica,transfer,reconstruction,total\n");
-    writeln!(out, "Figure 10 — single restart overhead (seconds), transfer + reconstruction").unwrap();
+    writeln!(
+        out,
+        "Figure 10 — single restart overhead (seconds), transfer + reconstruction"
+    )
+    .unwrap();
     let configs = [
         ("strong", MappingKind::Default, Scheme::Strong),
         ("medium (default)", MappingKind::Default, Scheme::Medium),
-        ("medium (mixed)", MappingKind::Mixed { chunk: 2 }, Scheme::Medium),
+        (
+            "medium (mixed)",
+            MappingKind::Mixed { chunk: 2 },
+            Scheme::Medium,
+        ),
         ("medium (column)", MappingKind::Column, Scheme::Medium),
     ];
     for app in &TABLE2 {
         writeln!(out, "\n  {}", app.name).unwrap();
-        writeln!(out, "    {:<18} {}", "config", CORE_SWEEP.map(|c| format!("{:>8}", short(c))).join(" ")).unwrap();
+        writeln!(
+            out,
+            "    {:<18} {}",
+            "config",
+            CORE_SWEEP.map(|c| format!("{:>8}", short(c))).join(" ")
+        )
+        .unwrap();
         for (label, mapping, scheme) in configs {
             let mut row = String::new();
             for &cores in &CORE_SWEEP {
                 let m = Machine::bgp(cores, mapping);
                 let b = restart_breakdown(&m, app, scheme);
                 write!(row, " {:>8.3}", b.total()).unwrap();
-                writeln!(csv, "{},{label},{cores},{:.4},{:.4},{:.4}", app.name, b.transfer, b.reconstruction, b.total()).unwrap();
+                writeln!(
+                    csv,
+                    "{},{label},{cores},{:.4},{:.4},{:.4}",
+                    app.name,
+                    b.transfer,
+                    b.reconstruction,
+                    b.total()
+                )
+                .unwrap();
             }
             writeln!(out, "    {label:<18}{row}").unwrap();
         }
@@ -307,12 +440,31 @@ pub fn fig12() -> String {
     });
     let mut out = String::new();
     let mut csv = String::from("event,time\n");
-    writeln!(out, "Figure 12 — adaptivity: 30 min Jacobi3D, ~19 failures, Weibull shape 0.6").unwrap();
-    writeln!(out, "  failures: {}   checkpoints: {}   total {:.0} s", report.hard_errors, report.checkpoints.len(), report.total_time).unwrap();
-    let gaps: Vec<(f64, f64)> = report.checkpoints.windows(2).map(|w| (w[0], w[1] - w[0])).collect();
+    writeln!(
+        out,
+        "Figure 12 — adaptivity: 30 min Jacobi3D, ~19 failures, Weibull shape 0.6"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  failures: {}   checkpoints: {}   total {:.0} s",
+        report.hard_errors,
+        report.checkpoints.len(),
+        report.total_time
+    )
+    .unwrap();
+    let gaps: Vec<(f64, f64)> = report
+        .checkpoints
+        .windows(2)
+        .map(|w| (w[0], w[1] - w[0]))
+        .collect();
     let third = report.total_time / 3.0;
     let mean = |lo: f64, hi: f64| {
-        let g: Vec<f64> = gaps.iter().filter(|(t, _)| *t >= lo && *t < hi).map(|(_, g)| *g).collect();
+        let g: Vec<f64> = gaps
+            .iter()
+            .filter(|(t, _)| *t >= lo && *t < hi)
+            .map(|(_, g)| *g)
+            .collect();
         g.iter().sum::<f64>() / g.len().max(1) as f64
     };
     writeln!(
@@ -337,7 +489,12 @@ pub fn fig12() -> String {
 pub fn table2() -> String {
     let mut out = String::new();
     writeln!(out, "Table 2 — mini-application configurations (per core)").unwrap();
-    writeln!(out, "  {:<18} {:>14} {:>10} {:>9}", "app", "ckpt bytes", "scatter", "pressure").unwrap();
+    writeln!(
+        out,
+        "  {:<18} {:>14} {:>10} {:>9}",
+        "app", "ckpt bytes", "scatter", "pressure"
+    )
+    .unwrap();
     for app in &TABLE2 {
         writeln!(
             out,
@@ -359,8 +516,17 @@ pub fn ablations() -> String {
 
     // 1. Checksum vs full compare as the serialization rate (γ) varies —
     //    the §4.2 "γ < β/4" crossover.
-    writeln!(out, "\n  (1) checksum vs full-compare crossover (Jacobi3D, 64K cores/replica, column mapping)").unwrap();
-    writeln!(out, "      {:>22} {:>12} {:>12} {:>8}", "checksum rate (MB/s)", "full (s)", "cksum (s)", "winner").unwrap();
+    writeln!(
+        out,
+        "\n  (1) checksum vs full-compare crossover (Jacobi3D, 64K cores/replica, column mapping)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "      {:>22} {:>12} {:>12} {:>8}",
+        "checksum rate (MB/s)", "full (s)", "cksum (s)", "winner"
+    )
+    .unwrap();
     for rate in [10e6, 25e6, 60e6, 220e6, 880e6] {
         let mut m = Machine::bgp(65536, MappingKind::Column);
         m.checksum_rate = rate;
@@ -378,16 +544,36 @@ pub fn ablations() -> String {
     }
 
     // 2. Mixed-mapping chunk-size sweep.
-    writeln!(out, "\n  (2) mixed-mapping chunk sweep (Jacobi3D, 64K cores/replica): transfer seconds").unwrap();
+    writeln!(
+        out,
+        "\n  (2) mixed-mapping chunk sweep (Jacobi3D, 64K cores/replica): transfer seconds"
+    )
+    .unwrap();
     for chunk in [1usize, 2, 4, 8, 16] {
         let m = Machine::bgp(65536, MappingKind::Mixed { chunk });
         let b = checkpoint_breakdown(&m, &TABLE2[0], DetectionMethod::FullCompare);
-        writeln!(out, "      chunk {:>2}: transfer {:.3} s (contention {})", chunk, b.transfer, m.buddy_exchange_profile().0).unwrap();
+        writeln!(
+            out,
+            "      chunk {:>2}: transfer {:.3} s (contention {})",
+            chunk,
+            b.transfer,
+            m.buddy_exchange_profile().0
+        )
+        .unwrap();
     }
 
     // 3. Adaptive vs fixed τ under Weibull shapes.
-    writeln!(out, "\n  (3) adaptive vs fixed τ, total time (s) for 1800 s of work, ~19 failures").unwrap();
-    writeln!(out, "      {:>7} {:>12} {:>12}", "shape", "adaptive", "fixed-Daly").unwrap();
+    writeln!(
+        out,
+        "\n  (3) adaptive vs fixed τ, total time (s) for 1800 s of work, ~19 failures"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "      {:>7} {:>12} {:>12}",
+        "shape", "adaptive", "fixed-Daly"
+    )
+    .unwrap();
     for shape in [0.4, 0.6, 0.8, 1.0] {
         let horizon = 1800.0;
         let scale = horizon / 19.0f64.powf(1.0 / shape);
@@ -424,17 +610,28 @@ pub fn ablations() -> String {
                 detection: DetectionMethod::FullCompare,
                 tau: TauPolicy::Fixed(acr_model::daly_simple(1.0, horizon / 19.0)),
                 trace,
-            alarms: Vec::new(),
+                alarms: Vec::new(),
             });
             a_tot += adaptive.total_time;
             f_tot += fixed.total_time;
         }
-        writeln!(out, "      {:>7.1} {:>12.1} {:>12.1}", shape, a_tot / SEEDS as f64, f_tot / SEEDS as f64).unwrap();
+        writeln!(
+            out,
+            "      {:>7.1} {:>12.1} {:>12.1}",
+            shape,
+            a_tot / SEEDS as f64,
+            f_tot / SEEDS as f64
+        )
+        .unwrap();
     }
 
     // 4. Spare-pool sensitivity: probability a 24 h job survives on its
     //    spares (binomial over the hard-error count).
-    writeln!(out, "\n  (4) spare-pool sizing, 16K sockets/replica, 24 h job (expected failures vs pool)").unwrap();
+    writeln!(
+        out,
+        "\n  (4) spare-pool sizing, 16K sockets/replica, 24 h job (expected failures vs pool)"
+    )
+    .unwrap();
     let params = ModelParams::fig7(16384, 15.0);
     let expect = 24.0 * HOUR / params.m_h;
     for spares in [1usize, 2, 4, 8, 16] {
@@ -446,12 +643,28 @@ pub fn ablations() -> String {
             p += term;
             term *= lambda / (k + 1) as f64;
         }
-        writeln!(out, "      {:>3} spares: P(exhausted) = {:.4}  (E[failures] = {:.2})", spares, 1.0 - p, lambda).unwrap();
+        writeln!(
+            out,
+            "      {:>3} spares: P(exhausted) = {:.4}  (E[failures] = {:.2})",
+            spares,
+            1.0 - p,
+            lambda
+        )
+        .unwrap();
     }
 
     // 5. Failure prediction (§2.2): what predictor quality buys ACR.
-    writeln!(out, "\n  (5) failure prediction: rework under strong scheme, 4 h job, 16K sockets").unwrap();
-    writeln!(out, "      {:>30} {:>12} {:>12} {:>10}", "predictor", "rework (s)", "ckpts", "heeded").unwrap();
+    writeln!(
+        out,
+        "\n  (5) failure prediction: rework under strong scheme, 4 h job, 16K sockets"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "      {:>30} {:>12} {:>12} {:>10}",
+        "predictor", "rework (s)", "ckpts", "heeded"
+    )
+    .unwrap();
     {
         use acr_fault::{FailurePredictor, PredictorProfile};
         let machine = Machine::bgp(65536, MappingKind::Default);
@@ -459,7 +672,9 @@ pub fn ablations() -> String {
         let work = 4.0 * HOUR;
         let m_h = 1200.0; // stress: a failure every ~20 minutes
         let trace = FailureTrace::generate(
-            Some(FailureProcess::Renewal(FailureDistribution::exponential(m_h))),
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(
+                m_h,
+            ))),
             None,
             4.0 * work,
             32768,
@@ -467,13 +682,20 @@ pub fn ablations() -> String {
         );
         let profiles: [(&str, Option<PredictorProfile>); 4] = [
             ("none", None),
-            ("literature (r=.7 p=.8 30s)", Some(PredictorProfile::literature())),
+            (
+                "literature (r=.7 p=.8 30s)",
+                Some(PredictorProfile::literature()),
+            ),
             ("oracle 30s lead", Some(PredictorProfile::oracle(30.0))),
             ("oracle 120s lead", Some(PredictorProfile::oracle(120.0))),
         ];
         for (label, profile) in profiles {
             let alarms = profile
-                .map(|p| FailurePredictor::against(&trace, p, 32768, 5).alarms().to_vec())
+                .map(|p| {
+                    FailurePredictor::against(&trace, p, 32768, 5)
+                        .alarms()
+                        .to_vec()
+                })
                 .unwrap_or_default();
             let r = timeline.run(&SimConfig {
                 work,
@@ -483,23 +705,40 @@ pub fn ablations() -> String {
                 trace: trace.clone(),
                 alarms,
             });
-            writeln!(out, "      {:>30} {:>12.1} {:>12} {:>10}", label, r.rework_time, r.checkpoints.len(), r.alarms_heeded).unwrap();
+            writeln!(
+                out,
+                "      {:>30} {:>12.1} {:>12} {:>10}",
+                label,
+                r.rework_time,
+                r.checkpoints.len(),
+                r.alarms_heeded
+            )
+            .unwrap();
         }
     }
 
     // 6. Hard-error-only mode (Fig. 5a): no periodic checkpoints at all.
-    writeln!(out, "\n  (6) hard-error-only mode (Fig. 5a) vs periodic, medium scheme, 4 h job").unwrap();
+    writeln!(
+        out,
+        "\n  (6) hard-error-only mode (Fig. 5a) vs periodic, medium scheme, 4 h job"
+    )
+    .unwrap();
     {
         let machine = Machine::bgp(16384, MappingKind::Column);
         let timeline = Timeline::new(machine, TABLE2[0]);
         let trace = FailureTrace::generate(
-            Some(FailureProcess::Renewal(FailureDistribution::exponential(3600.0))),
+            Some(FailureProcess::Renewal(FailureDistribution::exponential(
+                3600.0,
+            ))),
             None,
             16.0 * HOUR,
             8192,
             3,
         );
-        for (label, tau) in [("periodic τ=300s", TauPolicy::Fixed(300.0)), ("hard-error-only", TauPolicy::Never)] {
+        for (label, tau) in [
+            ("periodic τ=300s", TauPolicy::Fixed(300.0)),
+            ("hard-error-only", TauPolicy::Never),
+        ] {
             let r = timeline.run(&SimConfig {
                 work: 4.0 * HOUR,
                 scheme: Scheme::Medium,
@@ -508,8 +747,15 @@ pub fn ablations() -> String {
                 trace: trace.clone(),
                 alarms: Vec::new(),
             });
-            writeln!(out, "      {:<18} total {:>9.1} s  checkpoints {:>4}  overhead {:>6.3}%",
-                label, r.total_time, r.checkpoints.len(), 100.0 * r.overhead()).unwrap();
+            writeln!(
+                out,
+                "      {:<18} total {:>9.1} s  checkpoints {:>4}  overhead {:>6.3}%",
+                label,
+                r.total_time,
+                r.checkpoints.len(),
+                100.0 * r.overhead()
+            )
+            .unwrap();
         }
     }
 
@@ -518,17 +764,31 @@ pub fn ablations() -> String {
     for overlap in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let m = Machine::bgp(65536, MappingKind::Default).with_async_overlap(overlap);
         let b = checkpoint_breakdown(&m, &TABLE2[0], DetectionMethod::FullCompare);
-        writeln!(out, "      overlap {:>4.2}: δ = {:.3} s (transfer {:.3} s)", overlap, b.total(), b.transfer).unwrap();
+        writeln!(
+            out,
+            "      overlap {:>4.2}: δ = {:.3} s (transfer {:.3} s)",
+            overlap,
+            b.total(),
+            b.transfer
+        )
+        .unwrap();
     }
 
     // 8. Dual redundancy vs TMR (§3 design choice 4): the model's view.
-    writeln!(out, "\n  (8) dual redundancy (rework on SDC) vs TMR (vote, no rework): utilization").unwrap();
+    writeln!(
+        out,
+        "\n  (8) dual redundancy (rework on SDC) vs TMR (vote, no rework): utilization"
+    )
+    .unwrap();
     for sockets in [16384u64, 262_144] {
         let dual = SchemeModel::new(ModelParams::fig7(sockets, 15.0)).optimize(Scheme::Strong);
         // TMR: a third of the machine per copy (utilization cap 1/3) but a
         // detected SDC costs nothing (voting corrects in place).
         let p = ModelParams::fig7(sockets, 15.0);
-        let tmr_params = ModelParams { m_s: f64::INFINITY, ..p };
+        let tmr_params = ModelParams {
+            m_s: f64::INFINITY,
+            ..p
+        };
         let tmr = SchemeModel::new(tmr_params).optimize(Scheme::Strong);
         let tmr_util = tmr.utilization * (2.0 / 3.0); // 0.5 → 1/3 of sockets useful
         writeln!(
@@ -545,7 +805,17 @@ pub fn ablations() -> String {
 /// `all_figures` binary both call this).
 pub fn all_figures() -> String {
     let mut out = String::new();
-    for part in [table2(), fig01(), fig06(), fig07(), fig08(), fig09_fig11(), fig10(), fig12(), ablations()] {
+    for part in [
+        table2(),
+        fig01(),
+        fig06(),
+        fig07(),
+        fig08(),
+        fig09_fig11(),
+        fig10(),
+        fig12(),
+        ablations(),
+    ] {
         out.push_str(&part);
         out.push('\n');
     }

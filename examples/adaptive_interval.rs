@@ -37,13 +37,16 @@ fn main() {
         detection: DetectionMethod::FullCompare,
         tau: TauPolicy::Adaptive(adaptive),
         trace: trace.clone(),
-            alarms: Vec::new(),
+        alarms: Vec::new(),
     });
 
     println!("Fig. 12 — adaptivity of ACR to a decreasing failure rate");
     println!("  failures injected : {}", report.hard_errors);
     println!("  checkpoints taken : {}", report.checkpoints.len());
-    println!("  total time        : {:.0} s for {horizon:.0} s of work", report.total_time);
+    println!(
+        "  total time        : {:.0} s for {horizon:.0} s of work",
+        report.total_time
+    );
 
     // Timeline rendering: one row per 60 s of wall time, '#' = failure,
     // '|' = checkpoint (the paper's black and white lines).
@@ -62,11 +65,18 @@ fn main() {
     println!("  [{}]", row.iter().collect::<String>());
 
     // Mean checkpoint interval per thirds of the run.
-    let gaps: Vec<(f64, f64)> = report.checkpoints.windows(2).map(|w| (w[0], w[1] - w[0])).collect();
+    let gaps: Vec<(f64, f64)> = report
+        .checkpoints
+        .windows(2)
+        .map(|w| (w[0], w[1] - w[0]))
+        .collect();
     let third = report.total_time / 3.0;
     let mean = |lo: f64, hi: f64| {
-        let g: Vec<f64> =
-            gaps.iter().filter(|(t, _)| *t >= lo && *t < hi).map(|(_, g)| *g).collect();
+        let g: Vec<f64> = gaps
+            .iter()
+            .filter(|(t, _)| *t >= lo && *t < hi)
+            .map(|(_, g)| *g)
+            .collect();
         g.iter().sum::<f64>() / g.len().max(1) as f64
     };
     println!("\n  mean checkpoint interval: first third {:>6.1} s | middle {:>6.1} s | last third {:>6.1} s",
@@ -81,7 +91,10 @@ fn main() {
         detection: DetectionMethod::FullCompare,
         tau: TauPolicy::Fixed(daly_simple(1.0, mtbf)),
         trace,
-            alarms: Vec::new(),
+        alarms: Vec::new(),
     });
-    println!("\n  adaptive total: {:>7.1} s   fixed-Daly total: {:>7.1} s", report.total_time, fixed.total_time);
+    println!(
+        "\n  adaptive total: {:>7.1} s   fixed-Daly total: {:>7.1} s",
+        report.total_time, fixed.total_time
+    );
 }

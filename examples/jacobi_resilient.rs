@@ -18,9 +18,15 @@ fn main() {
     const RANKS: usize = 4;
     const ITERS: u64 = 500;
 
-    println!("global domain: {}×12×12 over {RANKS} ranks, {ITERS} iterations", 10 * RANKS);
+    println!(
+        "global domain: {}×12×12 over {RANKS} ranks, {ITERS} iterations",
+        10 * RANKS
+    );
     println!("crash injected at t = 0.8 s in replica 1, rank 2\n");
-    println!("{:<8} {:>10} {:>8} {:>10} {:>9} {:>8}", "scheme", "wall (s)", "ckpts", "recovered", "unverif.", "agree");
+    println!(
+        "{:<8} {:>10} {:>8} {:>10} {:>9} {:>8}",
+        "scheme", "wall (s)", "ckpts", "recovered", "unverif.", "agree"
+    );
 
     for scheme in [Scheme::Strong, Scheme::Medium, Scheme::Weak] {
         let cfg = JobConfig {
@@ -33,7 +39,13 @@ fn main() {
             max_duration: Duration::from_secs(120),
             ..JobConfig::default()
         };
-        let faults = vec![(Duration::from_millis(800), Fault::Crash { replica: 1, rank: 2 })];
+        let faults = vec![(
+            Duration::from_millis(800),
+            Fault::Crash {
+                replica: 1,
+                rank: 2,
+            },
+        )];
         let t0 = Instant::now();
         let report = Job::run(
             cfg,

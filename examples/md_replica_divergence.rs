@@ -61,7 +61,14 @@ fn main() {
         max_duration: Duration::from_secs(120),
         ..JobConfig::default()
     };
-    let faults = vec![(Duration::from_millis(400), Fault::Sdc { replica: 0, rank: 1, seed: 99 })];
+    let faults = vec![(
+        Duration::from_millis(400),
+        Fault::Sdc {
+            replica: 0,
+            rank: 1,
+            seed: 99,
+        },
+    )];
     println!("ACR run (checksum detection, strong scheme), same class of fault:");
     let report = Job::run(
         cfg,
@@ -73,6 +80,6 @@ fn main() {
     println!("  rollbacks           : {}", report.rollbacks);
     println!("  replicas agree      : {}", report.replicas_agree());
     assert!(report.replicas_agree());
-    println!("\n16 bytes of Fletcher digest per node per checkpoint caught what a");
+    println!("\n8 bytes of Fletcher digest per node per checkpoint caught what a");
     println!("human never would (§4.2).");
 }

@@ -28,8 +28,21 @@ fn main() {
     // The §6.1 fault plan: flip a bit in rank 2's user data at t = 0.4 s,
     // fail-stop rank 1 of replica 0 at t = 1.2 s.
     let faults = vec![
-        (Duration::from_millis(400), Fault::Sdc { replica: 1, rank: 2, seed: 42 }),
-        (Duration::from_millis(1200), Fault::Crash { replica: 0, rank: 1 }),
+        (
+            Duration::from_millis(400),
+            Fault::Sdc {
+                replica: 1,
+                rank: 2,
+                seed: 42,
+            },
+        ),
+        (
+            Duration::from_millis(1200),
+            Fault::Crash {
+                replica: 0,
+                rank: 1,
+            },
+        ),
     ];
 
     println!("launching replicated Jacobi3D (2 × 4 ranks + 2 spares)...");

@@ -79,7 +79,14 @@ impl JacobiHaloTask {
             let cold = vec![0.0; ny * nz];
             block.set_halo(Face::XLo, &cold);
         }
-        Self { block, rank, ranks, total_iters: iters, pending_lo: Vec::new(), pending_hi: Vec::new() }
+        Self {
+            block,
+            rank,
+            ranks,
+            total_iters: iters,
+            pending_lo: Vec::new(),
+            pending_hi: Vec::new(),
+        }
     }
 
     /// The block (for diagnostics).
@@ -96,12 +103,26 @@ impl JacobiHaloTask {
         if self.rank > 0 {
             let face = self.block.extract_face(Face::XLo);
             let data: Vec<u8> = face.iter().flat_map(|v| v.to_le_bytes()).collect();
-            ctx.send(TaskId { rank: self.rank - 1, task: 0 }, TAG_FACE_HI | iter, data);
+            ctx.send(
+                TaskId {
+                    rank: self.rank - 1,
+                    task: 0,
+                },
+                TAG_FACE_HI | iter,
+                data,
+            );
         }
         if self.rank + 1 < self.ranks {
             let face = self.block.extract_face(Face::XHi);
             let data: Vec<u8> = face.iter().flat_map(|v| v.to_le_bytes()).collect();
-            ctx.send(TaskId { rank: self.rank + 1, task: 0 }, TAG_FACE_LO | iter, data);
+            ctx.send(
+                TaskId {
+                    rank: self.rank + 1,
+                    task: 0,
+                },
+                TAG_FACE_LO | iter,
+                data,
+            );
         }
     }
 

@@ -33,7 +33,13 @@ fn jacobi_halo_exchange_survives_a_crash() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     const RANKS: usize = 3;
     let cfg = base_cfg(Scheme::Strong, DetectionMethod::FullCompare);
-    let faults = vec![(Duration::from_millis(300), Fault::Crash { replica: 1, rank: 1 })];
+    let faults = vec![(
+        Duration::from_millis(300),
+        Fault::Crash {
+            replica: 1,
+            rank: 1,
+        },
+    )];
     let report = Job::run(
         cfg,
         move |rank, _| Box::new(JacobiHaloTask::new(rank, RANKS, 8, 10, 10, 2000)),
@@ -79,7 +85,14 @@ fn acr_task_mut(t: &mut JacobiHaloTask) -> impl acr::pup::Pup + '_ {
 fn leanmd_checksum_detection_under_sdc() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let cfg = base_cfg(Scheme::Strong, DetectionMethod::Checksum);
-    let faults = vec![(Duration::from_millis(300), Fault::Sdc { replica: 0, rank: 2, seed: 11 })];
+    let faults = vec![(
+        Duration::from_millis(300),
+        Fault::Sdc {
+            replica: 0,
+            rank: 2,
+            seed: 11,
+        },
+    )];
     let report = Job::run(
         cfg,
         |rank, _| Box::new(MiniAppTask::new(LeanMd::new(64, rank as u64), 500)),
@@ -94,7 +107,13 @@ fn leanmd_checksum_detection_under_sdc() {
 fn hpccg_medium_scheme_crash() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let cfg = base_cfg(Scheme::Medium, DetectionMethod::FullCompare);
-    let faults = vec![(Duration::from_millis(300), Fault::Crash { replica: 0, rank: 0 })];
+    let faults = vec![(
+        Duration::from_millis(300),
+        Fault::Crash {
+            replica: 0,
+            rank: 0,
+        },
+    )];
     let report = Job::run(
         cfg,
         |_rank, _| Box::new(MiniAppTask::new(Hpccg::new(12, 12, 12), 800)),
@@ -110,7 +129,13 @@ fn hpccg_medium_scheme_crash() {
 fn minimd_weak_scheme_crash() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let cfg = base_cfg(Scheme::Weak, DetectionMethod::Checksum);
-    let faults = vec![(Duration::from_millis(300), Fault::Crash { replica: 1, rank: 0 })];
+    let faults = vec![(
+        Duration::from_millis(300),
+        Fault::Crash {
+            replica: 1,
+            rank: 0,
+        },
+    )];
     let report = Job::run(
         cfg,
         |rank, _| Box::new(MiniAppTask::new(MiniMd::new(64, rank as u64), 800)),
@@ -136,8 +161,21 @@ fn recovered_run_matches_undisturbed_run_bit_for_bit() {
     };
     let undisturbed = mk(vec![]);
     let disturbed = mk(vec![
-        (Duration::from_millis(300), Fault::Sdc { replica: 1, rank: 1, seed: 5 }),
-        (Duration::from_millis(600), Fault::Crash { replica: 0, rank: 2 }),
+        (
+            Duration::from_millis(300),
+            Fault::Sdc {
+                replica: 1,
+                rank: 1,
+                seed: 5,
+            },
+        ),
+        (
+            Duration::from_millis(600),
+            Fault::Crash {
+                replica: 0,
+                rank: 2,
+            },
+        ),
     ]);
     assert!(undisturbed.completed && disturbed.completed);
     for rank in 0..3 {
@@ -160,12 +198,9 @@ fn sim_and_model_agree_on_scheme_ordering() {
     let sockets = machine.sockets_per_replica();
     let app = acr::apps::TABLE2[0];
     let timeline = Timeline::new(machine, app);
-    let delta = acr::sim::checkpoint_breakdown(
-        timeline.machine(),
-        &app,
-        DetectionMethod::FullCompare,
-    )
-    .total();
+    let delta =
+        acr::sim::checkpoint_breakdown(timeline.machine(), &app, DetectionMethod::FullCompare)
+            .total();
     let params =
         ModelParams::from_sockets(8.0 * 3600.0, delta, delta, delta, sockets, 50.0, 10_000.0);
     let model = SchemeModel::new(params);
@@ -179,8 +214,12 @@ fn sim_and_model_agree_on_scheme_ordering() {
         const SEEDS: u64 = 8;
         for seed in 0..SEEDS {
             let trace = FailureTrace::generate(
-                Some(FailureProcess::Renewal(FailureDistribution::exponential(params.m_h))),
-                Some(FailureProcess::Renewal(FailureDistribution::exponential(params.m_s))),
+                Some(FailureProcess::Renewal(FailureDistribution::exponential(
+                    params.m_h,
+                ))),
+                Some(FailureProcess::Renewal(FailureDistribution::exponential(
+                    params.m_s,
+                ))),
                 10.0 * params.w,
                 2 * sockets as usize,
                 seed,
@@ -191,7 +230,7 @@ fn sim_and_model_agree_on_scheme_ordering() {
                 detection: DetectionMethod::FullCompare,
                 tau: TauPolicy::Fixed(eval.tau),
                 trace,
-            alarms: Vec::new(),
+                alarms: Vec::new(),
             });
             acc += r.overhead();
         }

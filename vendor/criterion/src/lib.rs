@@ -1,0 +1,297 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmark API subset this workspace uses — groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, throughput
+//! annotation, and the `criterion_group!` / `criterion_main!` macros — over
+//! a simple wall-clock sampler: warm up, pick an iteration count that fills
+//! one sample, take `sample_size` samples, report the median ns/iter (and
+//! bytes/s when a throughput was set). No statistical regression analysis
+//! or HTML reports; results print to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration annotation, used to derive a rate from timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+    /// Each iteration processes this many abstract elements.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Measurement settings plus the entry point handed to benchmark functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// No-op here; kept for source compatibility with upstream.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.clone();
+        run_one(&settings, &id.into().id, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Per-group sample-size override.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.c.sample_size = n;
+        self
+    }
+
+    /// Per-group measurement-time override.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(self.c, &full, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(self.c, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; kept for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; times the routine under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the sampler-chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    settings: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up: repeatedly run single iterations to estimate the rate.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut warm_elapsed = Duration::ZERO;
+    while warm_start.elapsed() < settings.warm_up_time {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_elapsed += b.elapsed;
+        warm_iters += 1;
+    }
+    let per_iter = if warm_iters > 0 && !warm_elapsed.is_zero() {
+        warm_elapsed.as_secs_f64() / warm_iters as f64
+    } else {
+        1e-9
+    };
+
+    // Choose iterations per sample so the measurement phase roughly fills
+    // its time budget across `sample_size` samples.
+    let budget_per_sample = settings.measurement_time.as_secs_f64() / settings.sample_size as f64;
+    let iters = ((budget_per_sample / per_iter).round() as u64).max(1);
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples_ns[samples_ns.len() / 2];
+    let lo = samples_ns[0];
+    let hi = samples_ns[samples_ns.len() - 1];
+
+    let rate = throughput.map(|t| {
+        let units = match t {
+            Throughput::Bytes(n) | Throughput::Elements(n) => n as f64,
+        };
+        let per_sec = units / (median * 1e-9);
+        match t {
+            Throughput::Bytes(_) => format!("  thrpt: {:.3} MiB/s", per_sec / (1024.0 * 1024.0)),
+            Throughput::Elements(_) => format!("  thrpt: {:.3} Melem/s", per_sec / 1e6),
+        }
+    });
+    println!(
+        "{label:<56} time: [{} {} {}]{}",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.4} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Re-export so `criterion::black_box` resolves.
+pub use std::hint::black_box;
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Produce `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

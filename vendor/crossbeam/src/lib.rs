@@ -1,0 +1,48 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`channel`] is provided, delegating to `std::sync::mpsc` (whose
+//! `Sender` has been `Sync` since Rust 1.72, so the multi-producer sharing
+//! the runtime needs works without crossbeam's own queue).
+
+/// Multi-producer channels in crossbeam's module layout.
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    pub use std::sync::mpsc::{Receiver, Sender};
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_send_recv_timeout() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 1);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)).unwrap(), 2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        drop((tx, tx2));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)).unwrap_err(),
+            RecvTimeoutError::Disconnected
+        );
+    }
+
+    #[test]
+    fn sender_is_sync_and_shareable() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<Sender<u64>>();
+    }
+}
