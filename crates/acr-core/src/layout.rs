@@ -149,6 +149,13 @@ impl ReplicaLayout {
         }
     }
 
+    /// The spare the next [`Self::replace_with_spare`] call would promote,
+    /// if any. Fault injectors use this to target "the next spare" without
+    /// mutating the layout.
+    pub fn peek_spare(&self) -> Option<usize> {
+        self.spare_pool.last().copied()
+    }
+
     /// Handle a fail-stop crash of `failed`: mark it dead, promote a spare
     /// into its `(replica, rank)`, and return the spare's node id.
     ///
@@ -212,8 +219,10 @@ mod tests {
         let mut l = ReplicaLayout::new(10, 2).unwrap();
         // crash node 1 (replica 0, rank 1); buddy was node 5
         assert_eq!(l.buddy(5).unwrap(), 1);
+        assert_eq!(l.peek_spare(), Some(9));
         let spare = l.replace_with_spare(1).unwrap();
         assert_eq!(spare, 9, "spares pop from the tail");
+        assert_eq!(l.peek_spare(), Some(8), "peek tracks the promotion order");
         assert_eq!(l.slot(1), NodeSlot::Failed);
         assert_eq!(l.locate(spare), Some((0, 1)));
         assert_eq!(l.host(0, 1), spare);

@@ -40,8 +40,17 @@ pub struct SdcInjector {
 impl SdcInjector {
     /// New injector with a deterministic seed.
     pub fn new(seed: u64) -> Self {
+        Self::from_rng(StdRng::seed_from_u64(seed))
+    }
+
+    /// New injector continuing an existing generator's stream.
+    ///
+    /// Lets a caller draw its own values (e.g. a victim-task index) from the
+    /// same seeded stream before handing the generator over, so the combined
+    /// draw sequence stays reproducible bit for bit.
+    pub fn from_rng(rng: StdRng) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng,
             log: Vec::new(),
         }
     }
@@ -58,6 +67,31 @@ impl SdcInjector {
     /// that, as real upsets do too).
     pub fn corrupt_bits(&mut self, data: &mut [u8], n: usize) -> Vec<BitFlip> {
         (0..n).filter_map(|_| self.corrupt(data)).collect()
+    }
+
+    /// Corrupt one bit of `data` chosen through an index mapping: a byte
+    /// index is drawn uniformly from `0..candidates` and translated via
+    /// `map` (e.g. the n-th float byte of a PUP region map), then a bit is
+    /// drawn. The draw order — index, then bit — matches [`Self::corrupt`],
+    /// so callers that previously sampled raw offsets keep their streams.
+    ///
+    /// Returns `None` when `candidates` is zero or `map` declines the index.
+    pub fn corrupt_indexed(
+        &mut self,
+        data: &mut [u8],
+        candidates: usize,
+        map: impl Fn(usize) -> Option<usize>,
+    ) -> Option<BitFlip> {
+        if candidates == 0 {
+            return None;
+        }
+        let nth = self.rng.gen_range(0..candidates);
+        let byte = map(nth)?;
+        let bit = self.rng.gen_range(0..8u8);
+        data[byte] ^= 1 << bit;
+        let flip = BitFlip { byte, bit };
+        self.log.push(flip);
+        Some(flip)
     }
 
     /// Everything injected so far.

@@ -16,6 +16,10 @@
 //!   events for a whole machine (§6.1's injection methodology).
 //! * [`SdcInjector`] / [`BitFlip`] — flip a random bit in checkpoint-visible
 //!   user data (§6.1).
+//! * [`FaultScript`] / [`ScenarioSpace`] — seeded, replayable fault
+//!   scenarios (crashes, SDC bursts, spare kills, heartbeat delays) with a
+//!   text repro form, the unit the runtime's deterministic fault campaigns
+//!   sweep over.
 //! * [`MtbfEstimator`] / [`WeibullFit`] — streaming estimation of the
 //!   observed failure behaviour.
 //! * [`AdaptiveInterval`] — turns the estimates into the next checkpoint
@@ -28,6 +32,7 @@ mod distributions;
 mod estimator;
 mod injector;
 mod predictor;
+mod script;
 mod trace;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveInterval};
@@ -35,4 +40,5 @@ pub use distributions::{FailureDistribution, FailureProcess};
 pub use estimator::{MtbfEstimator, PowerLawFit, WeibullFit};
 pub use injector::{flip_random_bit, BitFlip, SdcInjector};
 pub use predictor::{Alarm, FailurePredictor, PredictorProfile};
+pub use script::{FaultAction, FaultScript, ScenarioSpace, ScriptedFault, Trigger};
 pub use trace::{FailureTrace, FaultKind, TraceEvent};

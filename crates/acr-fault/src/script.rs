@@ -1,0 +1,400 @@
+//! Scripted fault scenarios: a tiny language for "crash node *i* at
+//! iteration *k*, flip *n* bits on rank *r* after checkpoint *c*, kill a
+//! spare, delay a buddy's heartbeats".
+//!
+//! A [`FaultScript`] is the unit a fault campaign sweeps over: scripts are
+//! *generated* from a seed (via [`FaultScript::generate`]), *serialized* to
+//! a line-oriented text form (via [`FaultScript::to_repro`]) that a failing
+//! campaign case embeds in its repro artifact, and *parsed* back (via
+//! [`FaultScript::parse`]) so one command replays the exact scenario.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// When a scripted fault fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// At a job-clock time (seconds since start; virtual seconds under a
+    /// simulated clock).
+    At(f64),
+    /// After the driver has counted this many verified checkpoints.
+    AfterCheckpoints(u32),
+    /// When the victim node's application progress first reaches this
+    /// iteration (evaluated node-locally, so it lands at an exact point of
+    /// the computation regardless of scheduling).
+    AtIteration(u64),
+}
+
+/// What a scripted fault does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Fail-stop the node hosting `(replica, rank)`.
+    Crash {
+        /// Victim replica.
+        replica: u8,
+        /// Victim rank.
+        rank: usize,
+    },
+    /// Fail-stop the next spare in the promotion order: the failure stays
+    /// latent until a later crash promotes the dead spare.
+    CrashSpare,
+    /// Flip `bits` random bits of PUP-visible float state on
+    /// `(replica, rank)`, seeded by `seed`.
+    Sdc {
+        /// Victim replica.
+        replica: u8,
+        /// Victim rank.
+        rank: usize,
+        /// Injection seed.
+        seed: u64,
+        /// Bits to flip (each an independent draw).
+        bits: u32,
+    },
+    /// Suppress outgoing heartbeats from `(replica, rank)` for `secs` —
+    /// the node keeps computing; only its liveness signal goes quiet.
+    DelayHeartbeats {
+        /// Victim replica.
+        replica: u8,
+        /// Victim rank.
+        rank: usize,
+        /// Silence duration in seconds.
+        secs: f64,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScriptedFault {
+    /// When it fires.
+    pub when: Trigger,
+    /// What it does.
+    pub action: FaultAction,
+}
+
+/// The shape of the space [`FaultScript::generate`] samples scenarios from.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpace {
+    /// Ranks per replica of the target job.
+    pub ranks: usize,
+    /// Spare nodes the job reserves — the crash budget.
+    pub spares: usize,
+    /// Expected fault-free duration (seconds); fault times are drawn from
+    /// its early-to-middle portion so a verifying comparison can follow.
+    pub horizon: f64,
+    /// Iterations the application runs; iteration triggers are drawn from
+    /// its early-to-middle portion.
+    pub max_iteration: u64,
+    /// The job's heartbeat timeout; generated heartbeat delays stay safely
+    /// below it (a delayed-but-alive buddy must never be declared dead).
+    pub heartbeat_timeout: f64,
+    /// Maximum faults per scenario.
+    pub max_faults: usize,
+    /// Maximum bits per SDC burst.
+    pub sdc_bits_max: u32,
+    /// Whether scenarios may kill spares.
+    pub allow_spare_kill: bool,
+    /// Whether scenarios may delay heartbeats.
+    pub allow_heartbeat_delay: bool,
+}
+
+/// A reproducible fault scenario: an ordered list of scripted faults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultScript {
+    /// The scheduled faults. Order is preserved but not significant — each
+    /// fault fires when its own trigger is due.
+    pub faults: Vec<ScriptedFault>,
+}
+
+impl FaultScript {
+    /// The empty (fault-free) script.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Script with one fault.
+    pub fn single(when: Trigger, action: FaultAction) -> Self {
+        Self {
+            faults: vec![ScriptedFault { when, action }],
+        }
+    }
+
+    /// Add a fault.
+    pub fn push(&mut self, when: Trigger, action: FaultAction) -> &mut Self {
+        self.faults.push(ScriptedFault { when, action });
+        self
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the script schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Sample a scenario from `space`, deterministically from `seed`.
+    ///
+    /// Crashes are budgeted against the spare pool (a killed spare consumes
+    /// two spares: itself, plus the one that replaces it after promotion),
+    /// so a generated scenario never runs the job out of spares.
+    pub fn generate(seed: u64, space: &ScenarioSpace) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut script = FaultScript::new();
+        let want = rng.gen_range(1..space.max_faults.max(1) + 1);
+        let mut crash_budget = space.spares;
+        for _ in 0..want {
+            let roll: f64 = rng.gen_range(0.0..1.0);
+            let action = if roll < 0.45 {
+                FaultAction::Sdc {
+                    replica: rng.gen_range(0..2u8),
+                    rank: rng.gen_range(0..space.ranks),
+                    seed: rng.gen::<u64>(),
+                    bits: rng.gen_range(1..space.sdc_bits_max.max(1) + 1),
+                }
+            } else if roll < 0.75 && crash_budget >= 1 {
+                crash_budget -= 1;
+                FaultAction::Crash {
+                    replica: rng.gen_range(0..2u8),
+                    rank: rng.gen_range(0..space.ranks),
+                }
+            } else if roll < 0.85 && space.allow_spare_kill && crash_budget >= 2 {
+                // The kill itself spends one spare; the promotion that
+                // exposes it spends another.
+                crash_budget -= 2;
+                FaultAction::CrashSpare
+            } else if space.allow_heartbeat_delay {
+                FaultAction::DelayHeartbeats {
+                    replica: rng.gen_range(0..2u8),
+                    rank: rng.gen_range(0..space.ranks),
+                    secs: rng.gen_range(0.2..0.7) * space.heartbeat_timeout,
+                }
+            } else {
+                FaultAction::Sdc {
+                    replica: rng.gen_range(0..2u8),
+                    rank: rng.gen_range(0..space.ranks),
+                    seed: rng.gen::<u64>(),
+                    bits: 1,
+                }
+            };
+            let when = match action {
+                // Node-local iteration triggers only make sense for actions
+                // with a live victim node.
+                FaultAction::Crash { .. } | FaultAction::Sdc { .. } => {
+                    let t: f64 = rng.gen_range(0.0..1.0);
+                    if t < 0.55 {
+                        Trigger::At(rng.gen_range(0.08..0.55) * space.horizon)
+                    } else if t < 0.80 {
+                        Trigger::AfterCheckpoints(rng.gen_range(1..4u32))
+                    } else {
+                        let lo = space.max_iteration / 10;
+                        let hi = (space.max_iteration / 2).max(lo + 1);
+                        Trigger::AtIteration(rng.gen_range(lo..hi))
+                    }
+                }
+                _ => Trigger::At(rng.gen_range(0.08..0.55) * space.horizon),
+            };
+            script.push(when, action);
+        }
+        script
+    }
+
+    /// Serialize to the repro text form (one fault per line).
+    pub fn to_repro(&self) -> String {
+        let mut out = String::new();
+        for f in &self.faults {
+            let when = match f.when {
+                Trigger::At(t) => format!("at={t}"),
+                Trigger::AfterCheckpoints(c) => format!("ckpts={c}"),
+                Trigger::AtIteration(i) => format!("iter={i}"),
+            };
+            let line = match f.action {
+                FaultAction::Crash { replica, rank } => {
+                    format!("crash {when} replica={replica} rank={rank}")
+                }
+                FaultAction::CrashSpare => format!("spare {when}"),
+                FaultAction::Sdc {
+                    replica,
+                    rank,
+                    seed,
+                    bits,
+                } => format!("sdc {when} replica={replica} rank={rank} seed={seed} bits={bits}"),
+                FaultAction::DelayHeartbeats {
+                    replica,
+                    rank,
+                    secs,
+                } => format!("hbdelay {when} replica={replica} rank={rank} dur={secs}"),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the repro text form. Blank lines and `#` comments are skipped.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut script = FaultScript::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let kind = words.next().expect("non-empty line has a first word");
+            let mut kv = std::collections::BTreeMap::new();
+            for w in words {
+                let (k, v) = w
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {}: expected key=value, got {w:?}", lineno + 1))?;
+                kv.insert(k.to_string(), v.to_string());
+            }
+            let err = |m: &str| format!("line {}: {m}", lineno + 1);
+            let get_num = |kv: &std::collections::BTreeMap<String, String>,
+                           key: &str|
+             -> Result<f64, String> {
+                kv.get(key)
+                    .ok_or_else(|| err(&format!("missing {key}=")))?
+                    .parse::<f64>()
+                    .map_err(|_| err(&format!("bad {key}=")))
+            };
+            let when = if kv.contains_key("at") {
+                Trigger::At(get_num(&kv, "at")?)
+            } else if kv.contains_key("ckpts") {
+                Trigger::AfterCheckpoints(get_num(&kv, "ckpts")? as u32)
+            } else if kv.contains_key("iter") {
+                Trigger::AtIteration(get_num(&kv, "iter")? as u64)
+            } else {
+                return Err(err("missing trigger (at=, ckpts=, or iter=)"));
+            };
+            let action = match kind {
+                "crash" => FaultAction::Crash {
+                    replica: get_num(&kv, "replica")? as u8,
+                    rank: get_num(&kv, "rank")? as usize,
+                },
+                "spare" => FaultAction::CrashSpare,
+                "sdc" => FaultAction::Sdc {
+                    replica: get_num(&kv, "replica")? as u8,
+                    rank: get_num(&kv, "rank")? as usize,
+                    seed: kv
+                        .get("seed")
+                        .ok_or_else(|| err("missing seed="))?
+                        .parse::<u64>()
+                        .map_err(|_| err("bad seed="))?,
+                    bits: kv
+                        .get("bits")
+                        .map_or(Ok(1), |b| b.parse::<u32>().map_err(|_| err("bad bits=")))?,
+                },
+                "hbdelay" => FaultAction::DelayHeartbeats {
+                    replica: get_num(&kv, "replica")? as u8,
+                    rank: get_num(&kv, "rank")? as usize,
+                    secs: get_num(&kv, "dur")?,
+                },
+                other => return Err(err(&format!("unknown fault kind {other:?}"))),
+            };
+            script.push(when, action);
+        }
+        Ok(script)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ScenarioSpace {
+        ScenarioSpace {
+            ranks: 3,
+            spares: 3,
+            horizon: 1.0,
+            max_iteration: 400,
+            heartbeat_timeout: 0.08,
+            max_faults: 4,
+            sdc_bits_max: 3,
+            allow_spare_kill: true,
+            allow_heartbeat_delay: true,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = space();
+        for seed in 0..64 {
+            assert_eq!(
+                FaultScript::generate(seed, &s),
+                FaultScript::generate(seed, &s)
+            );
+        }
+        assert_ne!(FaultScript::generate(1, &s), FaultScript::generate(2, &s));
+    }
+
+    #[test]
+    fn generation_respects_the_crash_budget() {
+        let s = space();
+        for seed in 0..256 {
+            let script = FaultScript::generate(seed, &s);
+            assert!(!script.is_empty() && script.len() <= s.max_faults);
+            let mut cost = 0;
+            for f in &script.faults {
+                match f.action {
+                    FaultAction::Crash { replica, rank } => {
+                        cost += 1;
+                        assert!(replica < 2 && rank < s.ranks);
+                    }
+                    FaultAction::CrashSpare => cost += 2,
+                    FaultAction::Sdc {
+                        replica,
+                        rank,
+                        bits,
+                        ..
+                    } => {
+                        assert!(replica < 2 && rank < s.ranks);
+                        assert!(bits >= 1 && bits <= s.sdc_bits_max);
+                    }
+                    FaultAction::DelayHeartbeats { secs, .. } => {
+                        assert!(
+                            secs < s.heartbeat_timeout,
+                            "generated delays must not trip the timeout"
+                        );
+                    }
+                }
+            }
+            assert!(cost <= s.spares, "seed {seed} overspends spares");
+        }
+    }
+
+    #[test]
+    fn repro_round_trips() {
+        let s = space();
+        for seed in 0..128 {
+            let script = FaultScript::generate(seed, &s);
+            let text = script.to_repro();
+            let back = FaultScript::parse(&text).expect("own output parses");
+            assert_eq!(back, script, "seed {seed}: {text}");
+        }
+    }
+
+    #[test]
+    fn parse_skips_comments_and_reports_errors() {
+        let ok = FaultScript::parse("# header\n\ncrash at=0.5 replica=1 rank=0\n").unwrap();
+        assert_eq!(ok.len(), 1);
+        assert!(FaultScript::parse("crash replica=1 rank=0").is_err()); // no trigger
+        assert!(FaultScript::parse("warp at=1").is_err()); // unknown kind
+        assert!(FaultScript::parse("sdc at=1 replica=0 rank=0").is_err()); // no seed
+        assert!(FaultScript::parse("crash at=x replica=0 rank=0").is_err());
+    }
+
+    #[test]
+    fn defaulted_bits_parse_as_one() {
+        let s = FaultScript::parse("sdc at=0.1 replica=0 rank=1 seed=9").unwrap();
+        assert_eq!(
+            s.faults[0].action,
+            FaultAction::Sdc {
+                replica: 0,
+                rank: 1,
+                seed: 9,
+                bits: 1
+            }
+        );
+    }
+}

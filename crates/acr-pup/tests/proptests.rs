@@ -191,4 +191,67 @@ proptest! {
         let mut out = TaskState::default();
         prop_assert!(unpack(&bytes[..cut], &mut out).is_err());
     }
+
+    /// The parallel pack pipeline's mergeability invariant: split a payload
+    /// into arbitrary 4-byte-aligned segments (as `pack_tasks_parallel`
+    /// hands segments to workers), digest each with its own offset-aware
+    /// [`ChunkDigester`], and the concatenated pieces must assemble into
+    /// exactly the single-pass whole-payload table and Fletcher-64 digest —
+    /// regardless of where the cuts fall relative to chunk boundaries.
+    #[test]
+    fn parallel_segment_pieces_merge_to_single_pass_digest(
+        data in prop::collection::vec(any::<u8>(), 0..4096),
+        chunk_pow in 0u32..7,
+        cut_seeds in prop::collection::vec(any::<u32>(), 0..6),
+    ) {
+        let chunk_size = 4usize << chunk_pow;
+        // Aligned, sorted, deduplicated interior cut points.
+        let mut cuts: Vec<usize> = cut_seeds
+            .iter()
+            .map(|&c| (c as usize % (data.len() + 1)) & !3)
+            .collect();
+        cuts.push(0);
+        cuts.push(data.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        // The final cut may be unaligned (payload tails are); interior cuts
+        // are aligned by construction above, except a possibly-unaligned
+        // data.len() which is fine because nothing starts after it.
+        let mut pieces = Vec::new();
+        for w in cuts.windows(2) {
+            let (start, end) = (w[0], w[1]);
+            let mut d = acr_pup::ChunkDigester::new(chunk_size, start);
+            d.feed(&data[start..end]);
+            pieces.extend(d.finish());
+        }
+        let merged = acr_pup::assemble_chunks(chunk_size, pieces);
+        let reference = acr_pup::chunk_digests(&data, chunk_size);
+        prop_assert_eq!(&merged, &reference);
+        prop_assert_eq!(merged.digest, fletcher64(&data), "whole-payload digest mismatch");
+        prop_assert_eq!(merged.chunk_digests.len(), data.len().div_ceil(chunk_size));
+    }
+
+    /// Same invariant through the fused copy+digest kernel: `feed_copy`
+    /// must both reproduce the bytes verbatim and yield mergeable pieces.
+    #[test]
+    fn fused_copy_digest_segments_match_plain_feed(
+        data in prop::collection::vec(any::<u8>(), 1..2048),
+        chunk_pow in 0u32..6,
+        cut_seed in any::<u32>(),
+    ) {
+        let chunk_size = 4usize << chunk_pow;
+        let cut = (cut_seed as usize % (data.len() + 1)) & !3;
+        let mut dst = vec![0u8; data.len()];
+        let (head, tail) = dst.split_at_mut(cut);
+        let mut pieces = Vec::new();
+        let mut d0 = acr_pup::ChunkDigester::new(chunk_size, 0);
+        d0.feed_copy(&data[..cut], head);
+        pieces.extend(d0.finish());
+        let mut d1 = acr_pup::ChunkDigester::new(chunk_size, cut);
+        d1.feed_copy(&data[cut..], tail);
+        pieces.extend(d1.finish());
+        prop_assert_eq!(&dst, &data, "fused copy corrupted the payload");
+        let merged = acr_pup::assemble_chunks(chunk_size, pieces);
+        prop_assert_eq!(merged, acr_pup::chunk_digests(&data, chunk_size));
+    }
 }

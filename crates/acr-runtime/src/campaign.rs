@@ -1,0 +1,520 @@
+//! Deterministic fault campaigns: sweep seeded [`FaultScript`] scenarios
+//! across recovery schemes and detection methods under virtual time, and
+//! check the paper's end-to-end safety claims on every single run:
+//!
+//! * **No silent corruption** — every injected SDC is either detected by a
+//!   buddy comparison or provably absent from the final output (bit-for-bit
+//!   equal to a fault-free reference run). The only tolerated escapes are
+//!   the windows the paper itself concedes: corruption baselined by an
+//!   unverified medium/weak recovery ship (§2.3), and corruption injected
+//!   after the last verified comparison round.
+//! * **Forward progress** — every run completes within its (virtual) time
+//!   budget, whatever the script throws at it.
+//! * **Determinism** — the same seed replays to a byte-identical event
+//!   trace, so every violation ships a minimal repro (config + script).
+//!
+//! The campaign is cheap: virtual time means a multi-second "run" is a few
+//! milliseconds of wall clock, so CI sweeps hundreds of scenarios.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use acr_core::{DetectionMethod, Scheme};
+use acr_fault::{FaultScript, ScenarioSpace};
+use acr_pup::{Pup, PupResult, Puper};
+use bytes::Bytes;
+
+use crate::driver::{ExecMode, Job, JobConfig, JobReport};
+use crate::message::{AppMsg, TaskId};
+use crate::task::{Task, TaskCtx};
+
+/// Configuration of a fault campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Ranks per replica of the built-in workload job.
+    pub ranks: usize,
+    /// Spares per job (also the scripted crash budget).
+    pub spares: usize,
+    /// Ring iterations each task must complete.
+    pub iterations: u64,
+    /// Scenario seeds to sweep (one scripted run per seed × scheme).
+    pub seeds: Vec<u64>,
+    /// Recovery schemes to sweep.
+    pub schemes: Vec<Scheme>,
+    /// Detection methods, cycled per seed (a full cross would re-test the
+    /// same script shapes at triple cost for little extra coverage).
+    pub detections: Vec<DetectionMethod>,
+    /// Virtual scheduler quantum.
+    pub quantum: Duration,
+    /// Checkpoint interval (virtual seconds).
+    pub checkpoint_interval: Duration,
+    /// Run every case twice and require byte-identical event traces.
+    pub check_determinism: bool,
+    /// Where to write minimal-repro artifacts for violations (created on
+    /// demand); `None` disables artifact emission.
+    pub repro_dir: Option<PathBuf>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            ranks: 2,
+            spares: 3,
+            iterations: 400,
+            seeds: (0..32).collect(),
+            schemes: vec![Scheme::Strong, Scheme::Medium, Scheme::Weak],
+            detections: vec![
+                DetectionMethod::FullCompare,
+                DetectionMethod::ChunkedChecksum,
+                DetectionMethod::Checksum,
+            ],
+            quantum: Duration::from_millis(1),
+            checkpoint_interval: Duration::from_millis(60),
+            check_determinism: true,
+            repro_dir: None,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The job configuration every case of this campaign runs under.
+    pub fn job_config(&self, scheme: Scheme, detection: DetectionMethod) -> JobConfig {
+        JobConfig {
+            ranks: self.ranks,
+            tasks_per_rank: 1,
+            spares: self.spares,
+            scheme,
+            detection,
+            checkpoint_interval: self.checkpoint_interval,
+            heartbeat_period: Duration::from_millis(5),
+            heartbeat_timeout: Duration::from_millis(40),
+            // Virtual seconds; generous so only genuine hangs trip it.
+            max_duration: Duration::from_secs(30),
+            ..JobConfig::default()
+        }
+    }
+
+    /// The scenario space scripts are generated from: the crash budget is
+    /// the spare pool, heartbeat delays stay under the detector timeout,
+    /// and time triggers land within the fault-free run's horizon.
+    pub fn scenario_space(&self) -> ScenarioSpace {
+        ScenarioSpace {
+            ranks: self.ranks,
+            spares: self.spares,
+            // ~1 ring iteration per quantum: keep injections inside the run.
+            horizon: self.iterations as f64 * self.quantum.as_secs_f64(),
+            max_iteration: self.iterations,
+            heartbeat_timeout: 0.040,
+            max_faults: 3,
+            sdc_bits_max: 3,
+            allow_spare_kill: true,
+            allow_heartbeat_delay: true,
+        }
+    }
+}
+
+/// How one campaign case ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// Completed, final state bit-identical to the fault-free reference,
+    /// no comparison round flagged corruption.
+    Clean,
+    /// Completed and correct, with at least one SDC caught by a buddy
+    /// comparison along the way.
+    Detected,
+    /// Final state differs from the reference, but only through the escape
+    /// windows the paper concedes for medium/weak recovery — never silently
+    /// past a verified comparison.
+    KnownEscape,
+    /// A safety invariant broke; the string says which.
+    Violation(String),
+}
+
+/// One scripted run and its verdict.
+#[derive(Debug)]
+pub struct CaseResult {
+    /// Scenario seed the script was generated from.
+    pub seed: u64,
+    /// Recovery scheme of this case.
+    pub scheme: Scheme,
+    /// Detection method of this case.
+    pub detection: DetectionMethod,
+    /// The generated (replayable) script.
+    pub script: FaultScript,
+    /// The verdict.
+    pub outcome: CaseOutcome,
+    /// The run's report (first run when determinism-checking).
+    pub report: JobReport,
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Default)]
+pub struct CampaignReport {
+    /// Every case, in sweep order (seeds outer, schemes inner).
+    pub cases: Vec<CaseResult>,
+    /// Repro artifacts written for violations.
+    pub artifacts: Vec<PathBuf>,
+}
+
+impl CampaignReport {
+    /// Cases whose outcome is a violation.
+    pub fn violations(&self) -> impl Iterator<Item = &CaseResult> {
+        self.cases
+            .iter()
+            .filter(|c| matches!(c.outcome, CaseOutcome::Violation(_)))
+    }
+
+    /// `(clean, detected, known_escape, violation)` counts.
+    pub fn tally(&self) -> (usize, usize, usize, usize) {
+        let mut t = (0, 0, 0, 0);
+        for c in &self.cases {
+            match c.outcome {
+                CaseOutcome::Clean => t.0 += 1,
+                CaseOutcome::Detected => t.1 += 1,
+                CaseOutcome::KnownEscape => t.2 += 1,
+                CaseOutcome::Violation(_) => t.3 += 1,
+            }
+        }
+        t
+    }
+}
+
+/// Stable lowercase name for a scheme (repro artifacts, file names).
+pub fn scheme_name(s: Scheme) -> &'static str {
+    match s {
+        Scheme::Strong => "strong",
+        Scheme::Medium => "medium",
+        Scheme::Weak => "weak",
+    }
+}
+
+/// Inverse of [`scheme_name`].
+pub fn parse_scheme(s: &str) -> Option<Scheme> {
+    match s {
+        "strong" => Some(Scheme::Strong),
+        "medium" => Some(Scheme::Medium),
+        "weak" => Some(Scheme::Weak),
+        _ => None,
+    }
+}
+
+/// Stable lowercase name for a detection method.
+pub fn detection_name(d: DetectionMethod) -> &'static str {
+    match d {
+        DetectionMethod::FullCompare => "full_compare",
+        DetectionMethod::Checksum => "checksum",
+        DetectionMethod::ChunkedChecksum => "chunked_checksum",
+    }
+}
+
+/// Inverse of [`detection_name`].
+pub fn parse_detection(s: &str) -> Option<DetectionMethod> {
+    match s {
+        "full_compare" => Some(DetectionMethod::FullCompare),
+        "checksum" => Some(DetectionMethod::Checksum),
+        "chunked_checksum" => Some(DetectionMethod::ChunkedChecksum),
+        _ => None,
+    }
+}
+
+/// The campaign workload: a communicating token ring with perturbation-
+/// preserving float dynamics, sized small so virtual runs are fast but
+/// corruption always has state to land in and persist through.
+struct CampaignTask {
+    rank: usize,
+    iter: u64,
+    tokens: u64,
+    acc: Vec<f64>,
+    checksum: f64,
+    total_iters: u64,
+}
+
+impl CampaignTask {
+    fn new(rank: usize, total_iters: u64) -> Self {
+        Self {
+            rank,
+            iter: 0,
+            tokens: 0,
+            acc: (0..48).map(|i| (rank * 100 + i) as f64).collect(),
+            checksum: 0.0,
+            total_iters,
+        }
+    }
+}
+
+impl Task for CampaignTask {
+    fn try_step(&mut self, ctx: &mut TaskCtx<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        if self.iter > 0 && self.tokens == 0 {
+            return false; // waiting for the ring token
+        }
+        if self.iter > 0 {
+            self.tokens -= 1;
+        }
+        for (i, x) in self.acc.iter_mut().enumerate() {
+            // Additive update: an injected bit flip persists verbatim until
+            // a rollback or recovery install purges it.
+            *x += ((self.iter as f64 + i as f64) * 1e-3).sin();
+        }
+        self.checksum += self.acc.iter().sum::<f64>() * 1e-6;
+        let next = TaskId {
+            rank: (self.rank + 1) % ctx.ranks(),
+            task: 0,
+        };
+        ctx.send(next, self.iter, vec![]);
+        self.iter += 1;
+        true
+    }
+
+    fn on_message(&mut self, _msg: AppMsg, _ctx: &mut TaskCtx<'_>) {
+        self.tokens += 1;
+    }
+
+    fn progress(&self) -> u64 {
+        self.iter
+    }
+
+    fn done(&self) -> bool {
+        self.iter >= self.total_iters
+    }
+
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_usize(&mut self.rank)?;
+        p.pup_u64(&mut self.iter)?;
+        p.pup_u64(&mut self.tokens)?;
+        self.acc.pup(p)?;
+        p.pup_f64(&mut self.checksum)?;
+        p.pup_u64(&mut self.total_iters)
+    }
+}
+
+fn run_case(
+    cfg: &CampaignConfig,
+    scheme: Scheme,
+    detection: DetectionMethod,
+    script: &FaultScript,
+) -> JobReport {
+    let iters = cfg.iterations;
+    Job::run_scripted(
+        cfg.job_config(scheme, detection),
+        move |rank, _task| Box::new(CampaignTask::new(rank, iters)) as Box<dyn Task>,
+        script,
+        ExecMode::Virtual {
+            quantum: cfg.quantum,
+        },
+    )
+}
+
+/// Classify one completed run against the fault-free reference final state.
+fn classify(report: &JobReport, reference: &BTreeMap<(u8, usize), Vec<Bytes>>) -> CaseOutcome {
+    if !report.completed {
+        return CaseOutcome::Violation(format!(
+            "no forward progress: {}",
+            report.error.as_deref().unwrap_or("did not complete")
+        ));
+    }
+    if !report.replicas_agree() {
+        return CaseOutcome::Violation("replicas disagree at completion".into());
+    }
+    if &report.final_states == reference {
+        return if report.sdc_rounds_detected > 0 {
+            CaseOutcome::Detected
+        } else {
+            CaseOutcome::Clean
+        };
+    }
+    // The final state is corrupted. That is only legitimate if *every*
+    // injected flip falls into one of the paper's conceded escape windows.
+    if report.sdc_injected_at.is_empty() {
+        return CaseOutcome::Violation(
+            "final state differs from reference without any SDC injection".into(),
+        );
+    }
+    let all_excused = report.sdc_injected_at.iter().all(|&t| {
+        let baselined_by_ship = report.unverified_recoveries_at.iter().any(|&u| u >= t);
+        let compared_after = report.verified_round_starts.iter().any(|&v| v > t);
+        baselined_by_ship || !compared_after
+    });
+    if all_excused {
+        CaseOutcome::KnownEscape
+    } else {
+        CaseOutcome::Violation(
+            "silent corruption: a verified comparison round after the injection \
+             failed to catch a flip that reached the final output"
+                .into(),
+        )
+    }
+}
+
+/// Render the minimal repro artifact for one case: enough to re-run it with
+/// [`replay_case`] (or by hand) without the campaign.
+pub fn repro_artifact(
+    cfg: &CampaignConfig,
+    seed: u64,
+    scheme: Scheme,
+    detection: DetectionMethod,
+    script: &FaultScript,
+    why: &str,
+) -> String {
+    let mut s = String::new();
+    s.push_str("# acr fault-campaign minimal repro\n");
+    s.push_str(&format!("# violation: {why}\n"));
+    s.push_str(&format!("seed={seed}\n"));
+    s.push_str(&format!("scheme={}\n", scheme_name(scheme)));
+    s.push_str(&format!("detection={}\n", detection_name(detection)));
+    s.push_str(&format!("ranks={}\n", cfg.ranks));
+    s.push_str(&format!("spares={}\n", cfg.spares));
+    s.push_str(&format!("iterations={}\n", cfg.iterations));
+    s.push_str(&format!("quantum_ms={}\n", cfg.quantum.as_millis()));
+    s.push_str(&format!(
+        "checkpoint_interval_ms={}\n",
+        cfg.checkpoint_interval.as_millis()
+    ));
+    s.push_str("script:\n");
+    s.push_str(&script.to_repro());
+    s
+}
+
+/// Run one explicit script as a campaign case (the replay path for repro
+/// artifacts, where the script in the file is authoritative).
+pub fn run_script_case(
+    cfg: &CampaignConfig,
+    seed: u64,
+    scheme: Scheme,
+    detection: DetectionMethod,
+    script: FaultScript,
+) -> CaseResult {
+    let reference = run_case(cfg, scheme, detection, &FaultScript::new());
+    let report = run_case(cfg, scheme, detection, &script);
+    let outcome = classify(&report, &reference.final_states);
+    CaseResult {
+        seed,
+        scheme,
+        detection,
+        script,
+        outcome,
+        report,
+    }
+}
+
+/// Re-run a single `(seed, scheme, detection)` case of a campaign, e.g.
+/// when reproducing a violation artifact.
+pub fn replay_case(
+    cfg: &CampaignConfig,
+    seed: u64,
+    scheme: Scheme,
+    detection: DetectionMethod,
+) -> CaseResult {
+    let script = FaultScript::generate(seed, &cfg.scenario_space());
+    run_script_case(cfg, seed, scheme, detection, script)
+}
+
+/// Run the full campaign: `seeds × schemes`, detection cycled per seed.
+///
+/// Violations do not abort the sweep; they are collected (with repro
+/// artifacts when `repro_dir` is set) so one bad seed still yields the full
+/// campaign picture.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    type FinalStates = BTreeMap<(u8, usize), Vec<Bytes>>;
+    let space = cfg.scenario_space();
+    let mut out = CampaignReport::default();
+    // Fault-free reference finals, per (scheme, detection) job config.
+    let mut references: BTreeMap<(usize, usize), FinalStates> = BTreeMap::new();
+    for (si, &seed) in cfg.seeds.iter().enumerate() {
+        let detection = cfg.detections[si % cfg.detections.len()];
+        let script = FaultScript::generate(seed, &space);
+        for (ki, &scheme) in cfg.schemes.iter().enumerate() {
+            let di = si % cfg.detections.len();
+            let reference = references.entry((ki, di)).or_insert_with(|| {
+                run_case(cfg, scheme, detection, &FaultScript::new()).final_states
+            });
+            let report = run_case(cfg, scheme, detection, &script);
+            let mut outcome = classify(&report, reference);
+            if cfg.check_determinism && !matches!(outcome, CaseOutcome::Violation(_)) {
+                let replay = run_case(cfg, scheme, detection, &script);
+                if replay.trace != report.trace {
+                    let diverged_at = replay
+                        .trace
+                        .iter()
+                        .zip(report.trace.iter())
+                        .position(|(a, b)| a != b)
+                        .unwrap_or_else(|| report.trace.len().min(replay.trace.len()));
+                    outcome = CaseOutcome::Violation(format!(
+                        "non-deterministic replay: traces diverge at line {diverged_at}"
+                    ));
+                }
+            }
+            if let CaseOutcome::Violation(why) = &outcome {
+                if let Some(dir) = &cfg.repro_dir {
+                    let _ = std::fs::create_dir_all(dir);
+                    let path = dir.join(format!(
+                        "repro_{}_{}_seed{}.txt",
+                        scheme_name(scheme),
+                        detection_name(detection),
+                        seed
+                    ));
+                    let body = repro_artifact(cfg, seed, scheme, detection, &script, why);
+                    if std::fs::write(&path, body).is_ok() {
+                        out.artifacts.push(path);
+                    }
+                }
+            }
+            out.cases.push(CaseResult {
+                seed,
+                scheme,
+                detection,
+                script: script.clone(),
+                outcome,
+                report,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny 2-seed campaign exercises the full runner path (generation,
+    /// reference, classification, determinism replay) quickly.
+    #[test]
+    fn mini_campaign_has_no_violations() {
+        let cfg = CampaignConfig {
+            seeds: vec![0, 1],
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign(&cfg);
+        assert_eq!(report.cases.len(), 2 * cfg.schemes.len());
+        for case in &report.cases {
+            assert!(
+                !matches!(case.outcome, CaseOutcome::Violation(_)),
+                "seed {} scheme {:?}: {:?}\ntrace:\n{}",
+                case.seed,
+                case.scheme,
+                case.outcome,
+                case.report.trace.join("\n"),
+            );
+        }
+    }
+
+    #[test]
+    fn repro_artifact_round_trips_script() {
+        let cfg = CampaignConfig::default();
+        let script = FaultScript::generate(7, &cfg.scenario_space());
+        let art = repro_artifact(
+            &cfg,
+            7,
+            Scheme::Medium,
+            DetectionMethod::Checksum,
+            &script,
+            "test",
+        );
+        let script_part = art.split("script:\n").nth(1).unwrap();
+        let parsed = FaultScript::parse(script_part).unwrap();
+        assert_eq!(parsed, script);
+    }
+}

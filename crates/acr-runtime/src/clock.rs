@@ -1,0 +1,105 @@
+//! The job clock: one notion of "now" shared by the driver, every node
+//! worker, and the heartbeat machinery.
+//!
+//! Two implementations stand behind the same handle:
+//!
+//! * [`Clock::real`] — wall time measured from job start (`Instant`), the
+//!   production mode used by threaded execution.
+//! * [`Clock::simulated`] — a virtual clock that only moves when the
+//!   single-threaded executor calls [`Clock::advance`]. Under it, heartbeat
+//!   expiry, checkpoint scheduling, and fault triggers are pure functions of
+//!   the advance sequence — which is what makes a fault-campaign run's event
+//!   order a pure function of its seed.
+//!
+//! All consumers already speak `f64` seconds (the heartbeat monitor, the
+//! driver's checkpoint schedule), so the clock hands out seconds since job
+//! start and nothing else.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug)]
+enum Inner {
+    Real(Instant),
+    /// Virtual nanoseconds since job start. Atomic so one handle can be
+    /// cloned across the driver and workers; in virtual mode they all run on
+    /// one thread, but the type does not depend on that.
+    Virtual(AtomicU64),
+}
+
+/// A cloneable handle on the job's time source.
+#[derive(Debug, Clone)]
+pub struct Clock(Arc<Inner>);
+
+impl Clock {
+    /// Wall-clock time, starting now.
+    pub fn real() -> Self {
+        Clock(Arc::new(Inner::Real(Instant::now())))
+    }
+
+    /// Virtual time, starting at zero; moves only via [`Clock::advance`].
+    pub fn simulated() -> Self {
+        Clock(Arc::new(Inner::Virtual(AtomicU64::new(0))))
+    }
+
+    /// Seconds since job start.
+    pub fn now(&self) -> f64 {
+        match &*self.0 {
+            Inner::Real(start) => start.elapsed().as_secs_f64(),
+            Inner::Virtual(nanos) => nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+
+    /// Whether this clock only moves on [`Clock::advance`].
+    pub fn is_virtual(&self) -> bool {
+        matches!(&*self.0, Inner::Virtual(_))
+    }
+
+    /// Advance a virtual clock by `secs`.
+    ///
+    /// # Panics
+    /// On a real clock — wall time cannot be steered.
+    pub fn advance(&self, secs: f64) {
+        assert!(secs >= 0.0, "time does not go backwards");
+        match &*self.0 {
+            Inner::Real(_) => panic!("advance() is only valid on a virtual clock"),
+            Inner::Virtual(nanos) => {
+                nanos.fetch_add((secs * 1e9).round() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_moves_only_on_advance() {
+        let c = Clock::simulated();
+        assert!(c.is_virtual());
+        assert_eq!(c.now(), 0.0);
+        c.advance(0.5);
+        c.advance(0.25);
+        assert!((c.now() - 0.75).abs() < 1e-9);
+        let c2 = c.clone();
+        c2.advance(0.25);
+        assert!((c.now() - 1.0).abs() < 1e-9, "clones share the time source");
+    }
+
+    #[test]
+    fn real_clock_monotone() {
+        let c = Clock::real();
+        assert!(!c.is_virtual());
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual clock")]
+    fn real_clock_rejects_advance() {
+        Clock::real().advance(1.0);
+    }
+}

@@ -1,25 +1,37 @@
-//! The job driver: launches the node threads, triggers checkpoint rounds,
+//! The job driver: launches the node workers, triggers checkpoint rounds,
 //! reacts to failure reports, and executes the recovery schemes.
 //!
 //! In the paper's Charm++ implementation these responsibilities live in the
 //! distributed runtime; here the *mechanisms* (consensus, buddy exchange,
 //! comparison, heartbeat detection, state transfer) are fully distributed
-//! across the node threads, while the *policy* reactions (when to open a
+//! across the node workers, while the *policy* reactions (when to open a
 //! round, which recovery plan to execute) are centralized in this driver —
 //! an engineering simplification that leaves every protocol code path
 //! exercised for real.
+//!
+//! Two execution modes share all of that policy code ([`ExecMode`]):
+//!
+//! * **Threaded** — every node is an OS thread, time is the wall clock; the
+//!   production-shaped mode.
+//! * **Virtual** — all nodes are pumped round-robin on the caller's thread
+//!   against a simulated [`Clock`] that advances in fixed quanta between
+//!   passes. Message order, heartbeat expiry, fault triggers, and therefore
+//!   the entire event trace are a pure function of the configuration and
+//!   fault script — the substrate of the deterministic fault campaigns.
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use acr_core::{DetectionMethod, RecoveryPlanner, ReplicaLayout, Scheme};
+use acr_fault::{FaultAction, FaultScript, Trigger};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 
-use crate::message::{Ctrl, Event, Net, NodeIndex, Scope};
-use crate::node::{NodeConfig, NodeWorker, TaskFactory};
+use crate::clock::Clock;
+use crate::message::{Ctrl, Event, Net, NodeFault, NodeIndex, Scope};
+use crate::node::{NodeConfig, NodeWorker, Pump, TaskFactory};
 use crate::task::Task;
 use crate::trace::trace;
 
@@ -46,7 +58,8 @@ pub struct JobConfig {
     pub heartbeat_period: Duration,
     /// Silence after which a buddy is declared dead (§6.1).
     pub heartbeat_timeout: Duration,
-    /// Wall-clock safety limit; exceeding it fails the job.
+    /// Job-clock safety limit; exceeding it fails the job. Wall seconds in
+    /// threaded mode, virtual seconds under [`ExecMode::Virtual`].
     pub max_duration: Duration,
 }
 
@@ -63,6 +76,29 @@ impl Default for JobConfig {
             heartbeat_period: Duration::from_millis(10),
             heartbeat_timeout: Duration::from_millis(80),
             max_duration: Duration::from_secs(60),
+        }
+    }
+}
+
+/// How a job executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One OS thread per node, wall-clock time.
+    Threaded,
+    /// All nodes pumped on the calling thread against a simulated clock
+    /// advancing `quantum` per scheduler pass: fully deterministic.
+    Virtual {
+        /// Virtual time added after each round-robin pass. Smaller quanta
+        /// give finer-grained timing (and slower runs); must be positive.
+        quantum: Duration,
+    },
+}
+
+impl ExecMode {
+    /// The default deterministic mode: virtual time at a 1 ms quantum.
+    pub fn virtual_default() -> Self {
+        ExecMode::Virtual {
+            quantum: Duration::from_millis(1),
         }
     }
 }
@@ -130,7 +166,8 @@ pub struct JobReport {
     /// Recovery checkpoints installed without comparison (medium/weak).
     pub unverified_recoveries: usize,
     /// Restarts from the very beginning (crash before the first verified
-    /// checkpoint).
+    /// checkpoint, or a failure landing inside an in-flight recovery that
+    /// leaves no consistent checkpoint line).
     pub restarts_from_beginning: usize,
     /// The job ran to completion (vs. timed out or ran out of spares).
     pub completed: bool,
@@ -138,6 +175,20 @@ pub struct JobReport {
     pub error: Option<String>,
     /// Final packed task states per `(replica, rank)`.
     pub final_states: BTreeMap<(u8, usize), Vec<Bytes>>,
+    /// Job-clock duration of the run (wall or virtual seconds).
+    pub duration: f64,
+    /// Timestamped event trace. Under [`ExecMode::Virtual`] this is byte-
+    /// for-byte reproducible for a given configuration and fault script —
+    /// the campaign determinism check compares exactly these lines.
+    pub trace: Vec<String>,
+    /// Job-clock start times of rounds that completed verified-clean.
+    pub verified_round_starts: Vec<f64>,
+    /// Job-clock times of unverified (medium/weak ship) recoveries.
+    pub unverified_recoveries_at: Vec<f64>,
+    /// Job-clock times SDC injections actually landed (node-reported).
+    pub sdc_injected_at: Vec<f64>,
+    /// Job-clock times crash injections actually landed (node-reported).
+    pub crashes_injected_at: Vec<f64>,
 }
 
 impl JobReport {
@@ -170,6 +221,7 @@ enum Phase {
         pending: HashSet<NodeIndex>,
         sdc: bool,
         iteration: u64,
+        started: f64,
     },
     AwaitRollback {
         pending: HashSet<NodeIndex>,
@@ -185,6 +237,10 @@ struct Recovery {
     ship_round: Option<u64>,
     to_resume: Vec<NodeIndex>,
     counts_as_unverified: bool,
+    /// A further failure landed inside this recovery and broke its
+    /// dependency chain; when the surviving expectations drain, the driver
+    /// restarts the job from the beginning instead of resuming.
+    failed: bool,
 }
 
 impl Recovery {
@@ -195,7 +251,31 @@ impl Recovery {
     }
 }
 
-/// A replicated job. Construct with [`Job::run`].
+/// A scripted fault awaiting its driver-side trigger.
+#[derive(Debug, Clone, Copy)]
+struct PendingTrigger {
+    when: Trigger,
+    action: FaultAction,
+}
+
+/// An outstanding driver liveness probe (see [`Ctrl::Ping`]): the backstop
+/// failure detector for deaths the buddy-heartbeat graph cannot observe,
+/// e.g. both members of a buddy pair crashing close together so that
+/// neither lives to report the other.
+#[derive(Debug)]
+struct Probe {
+    token: u64,
+    sent_at: f64,
+    awaiting: HashSet<NodeIndex>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum LoopCtl {
+    Continue,
+    Done,
+}
+
+/// A replicated job. Construct with [`Job::run`] or [`Job::run_scripted`].
 pub struct Job;
 
 struct Driver {
@@ -203,7 +283,7 @@ struct Driver {
     layout: Arc<RwLock<ReplicaLayout>>,
     peers: Arc<Vec<Sender<Net>>>,
     events: Receiver<Event>,
-    start: Instant,
+    clock: Clock,
     round_counter: u64,
     phase: Phase,
     verified_exists: bool,
@@ -211,17 +291,27 @@ struct Driver {
     /// `(replica, rank)` of the most recent crash recovery (identifies the
     /// parked replica for the deferred weak-scheme ship).
     last_recovery_identity: Option<(u8, usize)>,
+    /// A failure collapsed an in-flight recovery (or struck before any
+    /// verified checkpoint): once pending promotions are done, hard-restart
+    /// the whole job.
+    needs_global_restart: bool,
     done_nodes: HashSet<NodeIndex>,
     dead_nodes: HashSet<NodeIndex>,
     pending_failures: VecDeque<NodeIndex>,
+    triggers: Vec<PendingTrigger>,
     next_ckpt: f64,
+    /// Job-clock time of the last node event (or waiting-phase entry):
+    /// silence past this + 2·heartbeat_timeout in a waiting phase raises a
+    /// liveness probe.
+    last_event: f64,
+    probe: Option<Probe>,
     report: JobReport,
 }
 
 impl Job {
-    /// Run a job to completion: spawn `2·ranks + spares` node threads, keep
-    /// it checkpointing, inject `faults` at their scheduled offsets, and
-    /// collect the report.
+    /// Run a job to completion on threads: spawn `2·ranks + spares` node
+    /// threads, keep it checkpointing, inject `faults` at their scheduled
+    /// offsets, and collect the report.
     ///
     /// `factory` constructs task `task` of rank `rank`; it is called
     /// identically for both replicas (and again for spare-node restarts),
@@ -230,11 +320,49 @@ impl Job {
     where
         F: Fn(usize, usize) -> Box<dyn Task> + Send + Sync + 'static,
     {
+        let mut script = FaultScript::new();
+        for (at, fault) in faults {
+            let when = Trigger::At(at.as_secs_f64());
+            let action = match fault {
+                Fault::Crash { replica, rank } => FaultAction::Crash { replica, rank },
+                Fault::Sdc {
+                    replica,
+                    rank,
+                    seed,
+                } => FaultAction::Sdc {
+                    replica,
+                    rank,
+                    seed,
+                    bits: 1,
+                },
+            };
+            script.push(when, action);
+        }
+        Self::run_scripted(cfg, factory, &script, ExecMode::Threaded)
+    }
+
+    /// Run a job under a [`FaultScript`], in either execution mode.
+    ///
+    /// Under [`ExecMode::Virtual`] the run is deterministic: the same
+    /// configuration and script always produce the same [`JobReport`],
+    /// including its event trace, byte for byte.
+    pub fn run_scripted<F>(
+        cfg: JobConfig,
+        factory: F,
+        script: &FaultScript,
+        mode: ExecMode,
+    ) -> JobReport
+    where
+        F: Fn(usize, usize) -> Box<dyn Task> + Send + Sync + 'static,
+    {
         assert!(cfg.ranks >= 1 && cfg.tasks_per_rank >= 1);
         assert!(
             cfg.chunk_size >= 4 && cfg.chunk_size.is_multiple_of(4),
             "chunk_size must be a positive multiple of 4"
         );
+        if let ExecMode::Virtual { quantum } = mode {
+            assert!(quantum > Duration::ZERO, "virtual quantum must be positive");
+        }
         let total = 2 * cfg.ranks + cfg.spares;
         let layout = Arc::new(RwLock::new(
             ReplicaLayout::new(total, cfg.spares).expect("valid job shape"),
@@ -249,9 +377,12 @@ impl Job {
             receivers.push(rx);
         }
         let peers = Arc::new(senders);
-        let start = Instant::now();
+        let clock = match mode {
+            ExecMode::Threaded => Clock::real(),
+            ExecMode::Virtual { .. } => Clock::simulated(),
+        };
 
-        let mut handles = Vec::with_capacity(total);
+        let mut workers = Vec::with_capacity(total);
         for (index, inbox) in receivers.into_iter().enumerate() {
             let node_cfg = NodeConfig {
                 index,
@@ -263,7 +394,7 @@ impl Job {
                 heartbeat_timeout: cfg.heartbeat_timeout,
             };
             let identity = layout.read().locate(index);
-            let worker = NodeWorker::new(
+            workers.push(NodeWorker::new(
                 node_cfg,
                 identity,
                 Arc::clone(&layout),
@@ -271,14 +402,8 @@ impl Job {
                 event_tx.clone(),
                 inbox,
                 Arc::clone(&factory),
-                start,
-            );
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("acr-node-{index}"))
-                    .spawn(move || worker.run())
-                    .expect("spawn node thread"),
-            );
+                clock.clone(),
+            ));
         }
 
         let mut driver = Driver {
@@ -287,25 +412,55 @@ impl Job {
             layout,
             peers,
             events: event_rx,
-            start,
+            clock,
             round_counter: 0,
             phase: Phase::Running,
             verified_exists: false,
             weak_parked: false,
             last_recovery_identity: None,
+            needs_global_restart: false,
             done_nodes: HashSet::new(),
             dead_nodes: HashSet::new(),
             pending_failures: VecDeque::new(),
+            triggers: Vec::new(),
+            last_event: 0.0,
+            probe: None,
             report: JobReport::default(),
         };
-        driver.event_loop(faults);
-        driver.shutdown(handles)
+        driver.arm_script(script);
+
+        match mode {
+            ExecMode::Threaded => {
+                let handles: Vec<_> = workers
+                    .into_iter()
+                    .enumerate()
+                    .map(|(index, worker)| {
+                        std::thread::Builder::new()
+                            .name(format!("acr-node-{index}"))
+                            .spawn(move || worker.run())
+                            .expect("spawn node thread")
+                    })
+                    .collect();
+                driver.run_threaded();
+                driver.shutdown_threaded(handles)
+            }
+            ExecMode::Virtual { quantum } => {
+                driver.run_virtual(&mut workers, quantum.as_secs_f64());
+                std::mem::take(&mut driver.report)
+            }
+        }
     }
 }
 
 impl Driver {
     fn now(&self) -> f64 {
-        self.start.elapsed().as_secs_f64()
+        self.clock.now()
+    }
+
+    fn tlog(&mut self, line: String) {
+        self.report
+            .trace
+            .push(format!("{:10.6} {line}", self.now()));
     }
 
     fn send(&self, node: NodeIndex, ctrl: Ctrl) {
@@ -332,97 +487,251 @@ impl Driver {
         self.round_counter
     }
 
-    fn event_loop(&mut self, mut faults: Vec<(Duration, Fault)>) {
-        faults.sort_by_key(|(t, _)| *t);
-        let mut faults = VecDeque::from(faults);
+    /// Split a script between driver-side triggers (time, checkpoint count)
+    /// and node-local iteration triggers, arming the latter immediately.
+    fn arm_script(&mut self, script: &FaultScript) {
+        for fault in &script.faults {
+            match (fault.when, fault.action) {
+                (Trigger::AtIteration(k), FaultAction::Crash { replica, rank }) => {
+                    let node = self.layout.read().host(replica, rank);
+                    self.send(
+                        node,
+                        Ctrl::ScheduleFault {
+                            at_iteration: k,
+                            fault: NodeFault::Crash,
+                        },
+                    );
+                }
+                (
+                    Trigger::AtIteration(k),
+                    FaultAction::Sdc {
+                        replica,
+                        rank,
+                        seed,
+                        bits,
+                    },
+                ) => {
+                    let node = self.layout.read().host(replica, rank);
+                    self.send(
+                        node,
+                        Ctrl::ScheduleFault {
+                            at_iteration: k,
+                            fault: NodeFault::Sdc { seed, bits },
+                        },
+                    );
+                }
+                // Iteration triggers need a live victim rank; for the other
+                // actions they degenerate to "as soon as possible".
+                (Trigger::AtIteration(_), action) => self.triggers.push(PendingTrigger {
+                    when: Trigger::At(0.0),
+                    action,
+                }),
+                (when, action) => self.triggers.push(PendingTrigger { when, action }),
+            }
+        }
+    }
+
+    /// Fire every driver-side trigger that is due. Failures don't wait for
+    /// a convenient phase — they fire whenever their trigger says.
+    fn fire_due_triggers(&mut self) {
+        let now = self.now();
+        let ckpts = self.report.checkpoints_verified as u32;
+        let mut due = Vec::new();
+        self.triggers.retain(|t| {
+            let ready = match t.when {
+                Trigger::At(at) => now >= at,
+                Trigger::AfterCheckpoints(c) => ckpts >= c,
+                Trigger::AtIteration(_) => unreachable!("compiled to node-local triggers"),
+            };
+            if ready {
+                due.push(t.action);
+            }
+            !ready
+        });
+        for action in due {
+            self.fire(action);
+        }
+    }
+
+    fn fire(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::Crash { replica, rank } => {
+                let node = self.layout.read().host(replica, rank);
+                self.send(node, Ctrl::InjectCrash);
+            }
+            FaultAction::Sdc {
+                replica,
+                rank,
+                seed,
+                bits,
+            } => {
+                let node = self.layout.read().host(replica, rank);
+                self.send(node, Ctrl::InjectSdc { seed, bits });
+            }
+            FaultAction::CrashSpare => {
+                // Kill the spare the next promotion would pick; the failure
+                // stays latent until a crash promotes the corpse.
+                let spare = self.layout.read().peek_spare();
+                if let Some(spare) = spare {
+                    self.send(spare, Ctrl::InjectCrash);
+                }
+            }
+            FaultAction::DelayHeartbeats {
+                replica,
+                rank,
+                secs,
+            } => {
+                let node = self.layout.read().host(replica, rank);
+                self.send(node, Ctrl::MuteHeartbeats { secs });
+            }
+        }
+    }
+
+    /// One policy pass: timeouts, due faults, pending recoveries, completion
+    /// detection, checkpoint scheduling. Shared by both execution modes.
+    fn poll(&mut self) -> LoopCtl {
+        let now = self.now();
         let max = self.cfg.max_duration.as_secs_f64();
+        if self.report.error.is_some() {
+            return LoopCtl::Done;
+        }
+        if now > max {
+            self.report.error = Some(format!(
+                "job exceeded max_duration ({max:.1}s) in phase {:?}",
+                self.phase
+            ));
+            self.tlog("error: max_duration exceeded".into());
+            return LoopCtl::Done;
+        }
+        self.fire_due_triggers();
+        self.poll_probe();
+        if matches!(self.phase, Phase::Running) {
+            if let Some(dead) = self.pending_failures.pop_front() {
+                self.start_recovery(dead);
+                return LoopCtl::Continue;
+            }
+            if self.needs_global_restart {
+                self.global_restart();
+                return LoopCtl::Continue;
+            }
+            let everyone_done = self
+                .active_nodes()
+                .iter()
+                .all(|n| self.done_nodes.contains(n));
+            if everyone_done && !self.weak_parked {
+                self.report.completed = true;
+                self.tlog("job completed".into());
+                return LoopCtl::Done;
+            }
+            if now >= self.next_ckpt {
+                if self.weak_parked {
+                    self.start_ship_round();
+                } else {
+                    self.start_global_round();
+                }
+            }
+        }
+        LoopCtl::Continue
+    }
+
+    /// Threaded policy loop: alternate event receipt and policy passes.
+    fn run_threaded(&mut self) {
         loop {
             if let Ok(ev) = self.events.recv_timeout(Duration::from_millis(1)) {
                 self.handle_event(ev);
             }
-            let now = self.now();
-            if now > max {
-                self.report.error = Some(format!(
-                    "job exceeded max_duration ({max:.1}s) in phase {:?}",
-                    self.phase
-                ));
+            if self.poll() == LoopCtl::Done {
                 return;
             }
-            // Inject due faults regardless of phase — failures don't wait.
-            while let Some(&(at, fault)) = faults.front() {
-                if at.as_secs_f64() > now {
-                    break;
-                }
-                faults.pop_front();
-                self.inject(fault);
-            }
-            if matches!(self.phase, Phase::Running) {
-                if let Some(dead) = self.pending_failures.pop_front() {
-                    self.start_recovery(dead);
-                    continue;
-                }
-                let everyone_done = self
-                    .active_nodes()
-                    .iter()
-                    .all(|n| self.done_nodes.contains(n));
-                if everyone_done && !self.weak_parked {
-                    self.report.completed = true;
-                    return;
-                }
-                if now >= self.next_ckpt {
-                    if self.weak_parked {
-                        self.start_ship_round();
-                    } else {
-                        self.start_global_round();
-                    }
-                }
-            }
         }
     }
 
-    fn inject(&mut self, fault: Fault) {
-        let layout = self.layout.read();
-        match fault {
-            Fault::Crash { replica, rank } => {
-                let node = layout.host(replica, rank);
-                drop(layout);
-                self.send(node, Ctrl::InjectCrash);
+    /// Virtual-time executor: a deterministic single-threaded round-robin —
+    /// drain driver events, run one policy pass, pump every worker once in
+    /// index order, advance the clock one quantum. Ends by delivering
+    /// `Shutdown` and pumping until every worker has exited.
+    fn run_virtual(&mut self, workers: &mut [NodeWorker], quantum: f64) {
+        loop {
+            while let Ok(ev) = self.events.try_recv() {
+                self.handle_event(ev);
             }
-            Fault::Sdc {
-                replica,
-                rank,
-                seed,
-            } => {
-                let node = layout.host(replica, rank);
-                drop(layout);
-                self.send(node, Ctrl::InjectSdc { seed });
+            if self.poll() == LoopCtl::Done {
+                break;
             }
+            for w in workers.iter_mut() {
+                let _ = w.pump();
+            }
+            self.clock.advance(quantum);
+        }
+        self.report.duration = self.now();
+
+        let total = workers.len();
+        for n in 0..total {
+            self.send(n, Ctrl::Shutdown);
+        }
+        let mut exited = vec![false; total];
+        // Each non-exited worker consumes at least one queued message per
+        // pass, so a few passes suffice; the bound is a hang backstop.
+        for _ in 0..10_000 {
+            for (i, w) in workers.iter_mut().enumerate() {
+                if !exited[i] && w.pump() == Pump::Exited {
+                    exited[i] = true;
+                }
+            }
+            while let Ok(ev) = self.events.try_recv() {
+                self.record_final_state(ev);
+            }
+            if exited.iter().all(|&e| e) {
+                break;
+            }
+            self.clock.advance(quantum);
         }
     }
 
-    fn start_global_round(&mut self) {
-        let round = self.alloc_round();
-        let nodes = self.active_nodes();
-        for &n in &nodes {
-            self.send(
-                n,
-                Ctrl::StartRound {
-                    scope: Scope::Global,
-                    round,
-                },
-            );
+    fn record_final_state(&mut self, ev: Event) {
+        if let Event::FinalState {
+            node,
+            identity,
+            tasks,
+        } = ev
+        {
+            // A node declared dead may still be running (a muted-heartbeat
+            // false positive): its stale state must not shadow the state of
+            // the spare that replaced it.
+            if self.dead_nodes.contains(&node) {
+                return;
+            }
+            if let Some((replica, rank)) = identity {
+                if !tasks.is_empty() {
+                    self.report.final_states.insert((replica, rank), tasks);
+                }
+            }
         }
-        self.phase = Phase::GlobalRound {
-            round,
-            pending: nodes.into_iter().collect(),
-            sdc: false,
-            iteration: 0,
-        };
     }
 
     fn handle_event(&mut self, ev: Event) {
+        self.last_event = self.now();
         match ev {
-            Event::BuddyDead { dead, .. } => self.on_dead(dead),
+            Event::BuddyDead { reporter, dead } => self.on_dead(reporter, dead),
+            Event::Pong { node, token } => {
+                if let Some(p) = &mut self.probe {
+                    if p.token == token {
+                        p.awaiting.remove(&node);
+                    }
+                }
+            }
+            Event::FaultInjected { node, at, fault } => match fault {
+                NodeFault::Crash => {
+                    self.report.crashes_injected_at.push(at);
+                    self.tlog(format!("fault crash landed node={node} at={at:.6}"));
+                }
+                NodeFault::Sdc { seed, bits } => {
+                    self.report.sdc_injected_at.push(at);
+                    self.tlog(format!(
+                        "fault sdc landed node={node} at={at:.6} seed={seed} bits={bits}"
+                    ));
+                }
+            },
             Event::CheckpointDone {
                 node,
                 round,
@@ -435,6 +744,7 @@ impl Driver {
                         pending,
                         sdc,
                         iteration: it,
+                        started,
                     } if *r == round => {
                         pending.remove(&node);
                         *it = iteration;
@@ -443,12 +753,16 @@ impl Driver {
                         }
                         if pending.is_empty() {
                             let had_sdc = *sdc;
+                            let started = *started;
                             if had_sdc {
                                 self.report.sdc_rounds_detected += 1;
+                                self.tlog(format!("round {round} detected sdc iter={iteration}"));
                                 self.begin_rollback();
                             } else {
                                 self.report.checkpoints_verified += 1;
+                                self.report.verified_round_starts.push(started);
                                 self.verified_exists = true;
+                                self.tlog(format!("round {round} verified iter={iteration}"));
                                 for n in self.active_nodes() {
                                     self.send(n, Ctrl::RoundComplete);
                                 }
@@ -484,6 +798,7 @@ impl Driver {
                 Phase::AwaitRollback { pending } => {
                     pending.remove(&node);
                     if pending.is_empty() {
+                        self.tlog("rollback complete".into());
                         self.back_to_running();
                     }
                 }
@@ -508,7 +823,57 @@ impl Driver {
         }
     }
 
+    /// The backstop failure detector. Buddy heartbeats (§6.1) cannot cover
+    /// every death: when both members of a buddy pair crash close together,
+    /// neither lives to report the other, and any round they participate in
+    /// waits on them forever. Whenever a waiting phase sees no node events
+    /// for 2·heartbeat_timeout, the driver pings every active node; nodes
+    /// that stay silent for another heartbeat_timeout are declared dead.
+    fn poll_probe(&mut self) {
+        if matches!(self.phase, Phase::Running) {
+            self.probe = None;
+            return;
+        }
+        let now = self.now();
+        let timeout = self.cfg.heartbeat_timeout.as_secs_f64();
+        match self.probe.take() {
+            None => {
+                if now - self.last_event > 2.0 * timeout {
+                    let token = self.alloc_round();
+                    let nodes = self.active_nodes();
+                    self.tlog(format!("liveness probe token={token}"));
+                    for &n in &nodes {
+                        self.send(n, Ctrl::Ping { token });
+                    }
+                    self.probe = Some(Probe {
+                        token,
+                        sent_at: now,
+                        awaiting: nodes.into_iter().collect(),
+                    });
+                }
+            }
+            Some(p) => {
+                if p.awaiting.is_empty() {
+                    // Everyone answered: the stall is slowness, not death.
+                    self.last_event = now;
+                } else if now - p.sent_at > timeout {
+                    // Deterministic order: declare in ascending node index.
+                    let mut dead: Vec<NodeIndex> = p.awaiting.into_iter().collect();
+                    dead.sort_unstable();
+                    self.last_event = now;
+                    for d in dead {
+                        self.tlog(format!("node {d} failed liveness probe"));
+                        self.declare_dead(d);
+                    }
+                } else {
+                    self.probe = Some(p);
+                }
+            }
+        }
+    }
+
     fn begin_rollback(&mut self) {
+        self.last_event = self.now();
         self.report.rollbacks += 1;
         let floor = self.alloc_round();
         let nodes = self.active_nodes();
@@ -526,7 +891,27 @@ impl Driver {
         self.next_ckpt = self.now() + self.cfg.checkpoint_interval.as_secs_f64();
     }
 
-    fn on_dead(&mut self, dead: NodeIndex) {
+    fn on_dead(&mut self, reporter: NodeIndex, dead: NodeIndex) {
+        if self.dead_nodes.contains(&dead) || self.layout.read().locate(dead).is_none() {
+            return; // duplicate report or not an active node
+        }
+        // Only the node *currently* paired with `dead` is its failure
+        // detector. A node declared dead by mistake (e.g. a muted-heartbeat
+        // false positive) keeps running with a stale watch list; its reports
+        // against nodes that merely stopped heartbeating *to it* must not
+        // kill healthy nodes.
+        if self.layout.read().buddy(dead) != Ok(reporter) {
+            self.tlog(format!(
+                "ignoring death report of node {dead} from non-buddy {reporter}"
+            ));
+            return;
+        }
+        self.declare_dead(dead);
+    }
+
+    /// Process a legitimate death report (from the current buddy, or from
+    /// the driver's own liveness probe).
+    fn declare_dead(&mut self, dead: NodeIndex) {
         if self.dead_nodes.contains(&dead) || self.layout.read().locate(dead).is_none() {
             return; // duplicate report or not an active node
         }
@@ -537,23 +922,80 @@ impl Driver {
         );
         self.dead_nodes.insert(dead);
         self.done_nodes.remove(&dead);
+        self.tlog(format!("node {dead} declared dead"));
         match &self.phase {
             Phase::Running => self.start_recovery(dead),
-            Phase::GlobalRound { round, .. } => {
+            Phase::GlobalRound { .. } => {
                 // The dead node will never finish the round: abort it, then
                 // recover.
-                let stale = *round;
                 let floor = self.alloc_round();
                 for n in self.active_nodes() {
                     if n != dead {
                         self.send(n, Ctrl::AbortRound { floor });
                     }
                 }
-                let _ = stale;
                 self.phase = Phase::Running;
                 self.start_recovery(dead);
             }
-            _ => self.pending_failures.push_back(dead),
+            Phase::AwaitRollback { .. } => {
+                // Its RolledBack will never arrive; don't wait for it.
+                self.pending_failures.push_back(dead);
+                if let Phase::AwaitRollback { pending } = &mut self.phase {
+                    pending.remove(&dead);
+                    if pending.is_empty() {
+                        self.tlog("rollback complete (minus dead node)".into());
+                        self.back_to_running();
+                    }
+                }
+            }
+            Phase::Recovery(_) => {
+                self.pending_failures.push_back(dead);
+                let (partner, located) = {
+                    let layout = self.layout.read();
+                    match layout.locate(dead) {
+                        Some((r, k)) => (layout.host(1 - r, k), true),
+                        None => (0, false),
+                    }
+                };
+                let Phase::Recovery(rec) = &mut self.phase else {
+                    unreachable!()
+                };
+                // Strip the dead node from the recovery's dependency chain:
+                // anything it owed (rollback, ship checkpoint) or was owed
+                // (install from its now-dead buddy) will never complete.
+                let mut hit = rec.expect_installed.remove(&dead);
+                hit |= rec.expect_rolled.remove(&dead);
+                if rec.expect_ckpt.remove(&dead) {
+                    hit = true;
+                    // Its ship-round install target starves too.
+                    if located {
+                        rec.expect_installed.remove(&partner);
+                    }
+                }
+                // The dead node was the pending install *source* for its
+                // buddy (strong scheme's SendVerifiedTo).
+                if located && rec.expect_installed.remove(&partner) {
+                    hit = true;
+                }
+                if hit {
+                    rec.failed = true;
+                    self.tlog(format!("recovery collapsed by death of node {dead}"));
+                    // Surviving participants of an in-flight ship round
+                    // would wait forever for the dead member's consensus
+                    // vote: don't wait for the remaining expectations —
+                    // unstick everyone and queue the global restart now.
+                    self.verified_exists = false;
+                    self.weak_parked = false;
+                    self.needs_global_restart = true;
+                    self.phase = Phase::Running;
+                    let floor = self.alloc_round();
+                    for n in self.active_nodes() {
+                        if n != dead {
+                            self.send(n, Ctrl::AbortRound { floor });
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -561,14 +1003,15 @@ impl Driver {
         let Some((replica, rank)) = self.layout.read().locate(dead) else {
             return;
         };
-        let spare = match self.layout.write().replace_with_spare(dead) {
+        self.last_event = self.now();
+        let prev_identity = self.last_recovery_identity;
+        let promotion = self.layout.write().replace_with_spare(dead);
+        let spare = match promotion {
             Ok(s) => s,
             Err(e) => {
                 self.report.error = Some(format!("cannot recover node {dead}: {e}"));
                 self.report.completed = false;
-                // Force the loop to end via max_duration; mark by setting
-                // next_ckpt far away.
-                self.next_ckpt = f64::INFINITY;
+                self.tlog(format!("error: cannot recover node {dead}: {e}"));
                 return;
             }
         };
@@ -577,6 +1020,9 @@ impl Driver {
         let healthy = 1 - replica;
         let buddy_node = self.layout.read().host(healthy, rank);
         let floor = self.alloc_round();
+        self.tlog(format!(
+            "recovery start dead={dead} replica={replica} rank={rank} spare={spare}"
+        ));
 
         // Quiesce the crashed replica (its other nodes keep state; the
         // spare starts parked by construction).
@@ -603,22 +1049,13 @@ impl Driver {
         let planner = RecoveryPlanner::new(self.cfg.scheme, self.cfg.ranks);
         let _plan = planner.plan_hard_error(dead, buddy_node, spare, replica);
 
-        if !self.verified_exists {
-            // Crash before any verified checkpoint: restart everything.
-            self.report.restarts_from_beginning += 1;
-            let all = self.active_nodes();
-            for &n in &all {
-                self.done_nodes.remove(&n);
-                self.send(n, Ctrl::Rollback { floor });
-            }
-            self.phase = Phase::Recovery(Recovery {
-                expect_installed: HashSet::new(),
-                expect_rolled: all.iter().copied().collect(),
-                expect_ckpt: HashSet::new(),
-                ship_round: None,
-                to_resume: crashed_nodes,
-                counts_as_unverified: false,
-            });
+        if !self.verified_exists || self.needs_global_restart {
+            // Crash before any verified checkpoint (or amid a collapsed
+            // recovery): promotion done, the pending global restart resets
+            // every node to a common clean slate.
+            self.needs_global_restart = true;
+            self.weak_parked = false;
+            self.phase = Phase::Running;
             return;
         }
 
@@ -639,6 +1076,7 @@ impl Driver {
                     ship_round: None,
                     to_resume: crashed_nodes,
                     counts_as_unverified: false,
+                    failed: false,
                 });
             }
             Scheme::Medium => {
@@ -660,9 +1098,28 @@ impl Driver {
                     ship_round: Some(ship_round),
                     to_resume: crashed_nodes,
                     counts_as_unverified: true,
+                    failed: false,
                 });
             }
             Scheme::Weak => {
+                if self.weak_parked {
+                    if let Some((prev_replica, _)) = prev_identity {
+                        if prev_replica != replica {
+                            // While one replica waited for its deferred
+                            // ship, the *other* replica lost a node too:
+                            // neither replica holds a complete state any
+                            // more — §2.3's restart-from-the-beginning case.
+                            self.tlog(
+                                "weak double failure across replicas: restart from beginning"
+                                    .into(),
+                            );
+                            self.needs_global_restart = true;
+                            self.weak_parked = false;
+                            self.phase = Phase::Running;
+                            return;
+                        }
+                    }
+                }
                 // Let the healthy replica run on; ship at the next periodic
                 // checkpoint time (§2.3: "zero-overhead" recovery).
                 self.weak_parked = true;
@@ -674,6 +1131,7 @@ impl Driver {
     /// The deferred weak-scheme ship: run a replica-local checkpoint in the
     /// healthy replica and install it across the parked replica.
     fn start_ship_round(&mut self) {
+        self.last_event = self.now();
         self.weak_parked = false;
         let (replica, _) = self
             .last_recovery_identity
@@ -682,6 +1140,7 @@ impl Driver {
         let ship_round = self.alloc_round();
         let healthy_nodes = self.replica_nodes(healthy);
         let crashed_nodes = self.replica_nodes(replica);
+        self.tlog(format!("weak ship round {ship_round} starts"));
         for &n in &healthy_nodes {
             self.send(
                 n,
@@ -698,6 +1157,7 @@ impl Driver {
             ship_round: Some(ship_round),
             to_resume: crashed_nodes,
             counts_as_unverified: true,
+            failed: false,
         });
     }
 
@@ -711,12 +1171,25 @@ impl Driver {
         let Phase::Recovery(rec) = std::mem::replace(&mut self.phase, Phase::Running) else {
             unreachable!()
         };
+        if rec.failed {
+            // The dependency chain broke: no consistent checkpoint line
+            // survives across both replicas. Queue a restart from the very
+            // beginning (after pending spare promotions).
+            self.verified_exists = false;
+            self.weak_parked = false;
+            self.needs_global_restart = true;
+            self.back_to_running();
+            return;
+        }
         if rec.counts_as_unverified {
             self.report.unverified_recoveries += 1;
+            let now = self.now();
+            self.report.unverified_recoveries_at.push(now);
             // The shipped state becomes the de-facto baseline.
             self.verified_exists = true;
         }
         let floor = self.alloc_round();
+        self.tlog("recovery complete".into());
         // Unpause the shipping replica's engines and unpark the recovered
         // replica.
         for n in self.active_nodes() {
@@ -728,26 +1201,74 @@ impl Driver {
         self.back_to_running();
     }
 
-    fn shutdown(&mut self, handles: Vec<std::thread::JoinHandle<()>>) -> JobReport {
+    /// Restart the whole job from the application's initial state: every
+    /// active node discards its checkpoints and rebuilds its tasks. Used
+    /// when a crash precedes the first verified checkpoint, and when a
+    /// failure inside an in-flight recovery leaves no consistent line.
+    fn global_restart(&mut self) {
+        self.last_event = self.now();
+        self.needs_global_restart = false;
+        self.verified_exists = false;
+        self.weak_parked = false;
+        self.last_recovery_identity = None;
+        self.report.restarts_from_beginning += 1;
+        let floor = self.alloc_round();
+        let nodes = self.active_nodes();
+        self.tlog("restart from beginning".into());
+        for &n in &nodes {
+            self.done_nodes.remove(&n);
+            self.send(n, Ctrl::HardRestart { floor });
+        }
+        self.phase = Phase::AwaitRollback {
+            pending: nodes.into_iter().collect(),
+        };
+    }
+
+    fn start_global_round(&mut self) {
+        self.last_event = self.now();
+        let round = self.alloc_round();
+        let nodes = self.active_nodes();
+        let started = self.now();
+        self.tlog(format!("round {round} starts"));
+        for &n in &nodes {
+            self.send(
+                n,
+                Ctrl::StartRound {
+                    scope: Scope::Global,
+                    round,
+                },
+            );
+        }
+        self.phase = Phase::GlobalRound {
+            round,
+            pending: nodes.into_iter().collect(),
+            sdc: false,
+            iteration: 0,
+            started,
+        };
+    }
+
+    fn shutdown_threaded(&mut self, handles: Vec<std::thread::JoinHandle<()>>) -> JobReport {
+        self.report.duration = self.now();
         let total = self.peers.len();
         for n in 0..total {
             self.send(n, Ctrl::Shutdown);
         }
-        let deadline = Instant::now() + Duration::from_secs(10);
+        // The drain deadline runs on the job clock, not a raw wall-clock
+        // read, so a virtual-time driver could never hang here; the attempt
+        // bound covers clocks that stand still regardless.
+        let deadline = self.now() + 10.0;
         let mut received = 0;
-        while received < total && Instant::now() < deadline {
+        let mut attempts = 0u32;
+        while received < total && self.now() < deadline && attempts < 10_000 {
+            attempts += 1;
             match self.events.recv_timeout(Duration::from_millis(50)) {
-                Ok(Event::FinalState {
-                    identity, tasks, ..
-                }) => {
-                    received += 1;
-                    if let Some((replica, rank)) = identity {
-                        if !tasks.is_empty() {
-                            self.report.final_states.insert((replica, rank), tasks);
-                        }
+                Ok(ev) => {
+                    if matches!(ev, Event::FinalState { .. }) {
+                        received += 1;
                     }
+                    self.record_final_state(ev);
                 }
-                Ok(_) => {}
                 Err(_) => break,
             }
         }

@@ -26,17 +26,26 @@
 //!
 //! The entry point is [`Job`]: configure with [`JobConfig`], submit a task
 //! factory, inject faults, and collect a [`JobReport`].
+//!
+//! Two execution modes are available ([`ExecMode`]): the threaded mode
+//! above, and a **virtual-time** mode that pumps every node on one thread
+//! against a simulated [`Clock`] — fully deterministic, the substrate of
+//! the [`campaign`] module's scripted fault campaigns.
 
 #![warn(missing_docs)]
 
+pub mod campaign;
+mod clock;
 mod driver;
 mod message;
 mod node;
 mod task;
 mod trace;
 
-pub use driver::{Fault, Job, JobConfig, JobReport, SdcDetection};
+pub use clock::Clock;
+pub use driver::{ExecMode, Fault, Job, JobConfig, JobReport, SdcDetection};
 pub use message::{AppMsg, NodeIndex, TaskId};
 pub use task::{Task, TaskCtx};
 
 pub use acr_core::{DetectionMethod, Divergence, Scheme};
+pub use acr_fault::{FaultAction, FaultScript, ScenarioSpace, ScriptedFault, Trigger};

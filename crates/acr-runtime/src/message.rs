@@ -71,6 +71,16 @@ pub(crate) enum Net {
     Ctrl(Ctrl),
 }
 
+/// A fault a node applies to itself (scripted injections that trigger on
+/// node-local progress, or immediately via `Ctrl`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeFault {
+    /// §6.1 "no-response" fail-stop.
+    Crash,
+    /// Flip `bits` random bits of PUP-visible float state, seeded.
+    Sdc { seed: u64, bits: u32 },
+}
+
 /// Driver → node control messages.
 #[derive(Debug)]
 pub(crate) enum Ctrl {
@@ -101,10 +111,27 @@ pub(crate) enum Ctrl {
     Park,
     /// Resume stepping; engines rebuilt with `floor`.
     Resume { floor: u64 },
+    /// Discard *all* checkpoint state and rebuild tasks from the factory:
+    /// a restart from the very beginning (used when a failure lands inside
+    /// an in-flight recovery and no consistent checkpoint line survives).
+    /// Replies `RolledBack`; also unparks.
+    HardRestart { floor: u64 },
     /// §6.1 fail-stop injection: stop responding to anything.
     InjectCrash,
-    /// §6.1 SDC injection: flip a random bit of PUP-visible task state.
-    InjectSdc { seed: u64 },
+    /// §6.1 SDC injection: flip `bits` random bits of PUP-visible task
+    /// state.
+    InjectSdc { seed: u64, bits: u32 },
+    /// Scripted fault armed against node-local progress: fires when any
+    /// task's iteration first reaches `at_iteration`.
+    ScheduleFault { at_iteration: u64, fault: NodeFault },
+    /// Suppress outgoing heartbeats for `secs` (receiving and computing
+    /// continue) — models a slow-but-alive node.
+    MuteHeartbeats { secs: f64 },
+    /// Driver liveness probe (the backstop failure detector for the case
+    /// §6.1's buddy heartbeats cannot cover: both buddies of a pair dying
+    /// close together, leaving neither with a live watcher). A running
+    /// node answers [`Event::Pong`]; a crashed node never does.
+    Ping { token: u64 },
     /// Finish: reply with final state and exit the scheduler loop.
     Shutdown,
 }
@@ -141,12 +168,22 @@ pub(crate) enum Event {
         payload_len: usize,
         fields_flagged: usize,
     },
+    /// A fault actually landed on this node (the node reports the exact
+    /// job-clock time, which campaign invariants compare against round
+    /// verdicts).
+    FaultInjected {
+        node: NodeIndex,
+        at: f64,
+        fault: NodeFault,
+    },
     /// Rollback finished on this node.
     RolledBack { node: NodeIndex },
     /// Recovery checkpoint installed on this node.
     Installed { node: NodeIndex, iteration: u64 },
     /// Every task on this node reports done.
     AllTasksDone { node: NodeIndex },
+    /// Answer to a [`Ctrl::Ping`] liveness probe.
+    Pong { node: NodeIndex, token: u64 },
     /// Final state at shutdown: one packed payload per task.
     FinalState {
         node: NodeIndex,

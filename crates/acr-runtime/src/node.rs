@@ -2,12 +2,13 @@
 //! tasks plus the per-node half of the ACR protocol.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use acr_core::{
     Checkpoint, CheckpointStore, ChunkTable, ConsensusAction, ConsensusEngine, ConsensusMsg,
     Detection, DetectionMethod, HeartbeatMonitor, ReplicaLayout, SdcDetector,
 };
+use acr_fault::SdcInjector;
 use acr_pup::{
     assemble_chunks, Checker, ChunkPiece, ChunkedDigest, Packer, Puper, Sizer, SlicePacker,
     Unpacker,
@@ -18,7 +19,8 @@ use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::message::{AppMsg, Ctrl, Event, Net, NodeIndex, Scope, TaskId};
+use crate::clock::Clock;
+use crate::message::{AppMsg, Ctrl, Event, Net, NodeFault, NodeIndex, Scope, TaskId};
 use crate::task::{Task, TaskCtx};
 use crate::trace::trace;
 
@@ -156,11 +158,17 @@ pub(crate) struct NodeWorker {
     events: Sender<Event>,
     inbox: Receiver<Net>,
     factory: Arc<TaskFactory>,
-    start: Instant,
+    clock: Clock,
     crashed: bool,
     parked: bool,
     done_reported: bool,
     last_heartbeat: f64,
+    /// Outgoing heartbeats are suppressed until this job-clock time
+    /// (`Ctrl::MuteHeartbeats` — a slow-but-alive node).
+    hb_muted_until: f64,
+    /// Scripted faults armed against node-local progress
+    /// (`Ctrl::ScheduleFault`).
+    scheduled_faults: Vec<(u64, NodeFault)>,
     /// Round floor for freshly built engines.
     floor: u64,
     /// Iteration of the in-flight checkpoint, per scope, so stale compare
@@ -191,7 +199,7 @@ impl NodeWorker {
         events: Sender<Event>,
         inbox: Receiver<Net>,
         factory: Arc<TaskFactory>,
-        start: Instant,
+        clock: Clock,
     ) -> Self {
         let detector = SdcDetector::new(cfg.detection);
         let timeout = cfg.heartbeat_timeout.as_secs_f64();
@@ -210,11 +218,13 @@ impl NodeWorker {
             events,
             inbox,
             factory,
-            start,
+            clock,
             crashed: false,
             parked: false,
             done_reported: false,
             last_heartbeat: 0.0,
+            hb_muted_until: 0.0,
+            scheduled_faults: Vec::new(),
             floor: 0,
             pending_remote: None,
             awaiting_verdict: None,
@@ -240,7 +250,7 @@ impl NodeWorker {
     }
 
     fn now(&self) -> f64 {
-        self.start.elapsed().as_secs_f64()
+        self.clock.now()
     }
 
     fn send(&self, node: NodeIndex, msg: Net) {
@@ -595,44 +605,144 @@ impl NodeWorker {
                 self.parked = false;
                 self.rebuild_engines(floor);
             }
-            Ctrl::InjectCrash => {
-                self.crashed = true;
+            Ctrl::HardRestart { floor } => {
+                // No consistent checkpoint line survives: scrap everything
+                // and start the application over (a §2.3 restart-from-
+                // beginning, as after a weak-scheme buddy double failure).
+                self.store = CheckpointStore::new();
+                self.pending_remote = None;
+                self.awaiting_verdict = None;
+                if let Some((_, rank)) = self.identity {
+                    self.tasks = (0..self.cfg.tasks_per_rank)
+                        .map(|t| (self.factory)(rank, t))
+                        .collect();
+                }
+                self.done_reported = false;
+                self.parked = false;
+                self.rebuild_engines(floor);
+                self.enter_epoch(floor);
+                let _ = self.events.send(Event::RolledBack {
+                    node: self.cfg.index,
+                });
             }
-            Ctrl::InjectSdc { seed } => {
-                self.inject_sdc(seed);
+            Ctrl::InjectCrash => {
+                self.apply_fault(NodeFault::Crash);
+            }
+            Ctrl::InjectSdc { seed, bits } => {
+                self.apply_fault(NodeFault::Sdc { seed, bits });
+            }
+            Ctrl::ScheduleFault {
+                at_iteration,
+                fault,
+            } => {
+                self.scheduled_faults.push((at_iteration, fault));
+            }
+            Ctrl::MuteHeartbeats { secs } => {
+                self.hb_muted_until = self.now() + secs;
+            }
+            Ctrl::Ping { token } => {
+                let _ = self.events.send(Event::Pong {
+                    node: self.cfg.index,
+                    token,
+                });
             }
             Ctrl::Shutdown => {
-                let tasks: Vec<Bytes> = if self.crashed {
-                    Vec::new()
-                } else {
-                    let ids: Vec<usize> = (0..self.tasks.len()).collect();
-                    ids.iter()
-                        .map(|&t| {
-                            let mut p = Packer::new();
-                            self.tasks[t].pup(&mut p).expect("final pack");
-                            Bytes::from(p.finish())
-                        })
-                        .collect()
-                };
-                let _ = self.events.send(Event::FinalState {
-                    node: self.cfg.index,
-                    identity: self.identity,
-                    tasks,
-                });
+                self.report_final_state();
                 return true;
             }
         }
         false
     }
 
-    /// §6.1 SDC injection: flip one random bit of the victim task's
+    /// Send the shutdown `FinalState` event (empty for a crashed node).
+    fn report_final_state(&mut self) {
+        let tasks: Vec<Bytes> = if self.crashed {
+            Vec::new()
+        } else {
+            let ids: Vec<usize> = (0..self.tasks.len()).collect();
+            ids.iter()
+                .map(|&t| {
+                    let mut p = Packer::new();
+                    self.tasks[t].pup(&mut p).expect("final pack");
+                    Bytes::from(p.finish())
+                })
+                .collect()
+        };
+        let _ = self.events.send(Event::FinalState {
+            node: self.cfg.index,
+            identity: self.identity,
+            tasks,
+        });
+    }
+
+    /// Apply an injected fault to this node, reporting the exact job-clock
+    /// time it landed.
+    fn apply_fault(&mut self, fault: NodeFault) {
+        match fault {
+            NodeFault::Crash => {
+                let _ = self.events.send(Event::FaultInjected {
+                    node: self.cfg.index,
+                    at: self.now(),
+                    fault,
+                });
+                self.crashed = true;
+            }
+            NodeFault::Sdc { seed, bits } => {
+                if self.inject_sdc(seed, bits) {
+                    let _ = self.events.send(Event::FaultInjected {
+                        node: self.cfg.index,
+                        at: self.now(),
+                        fault,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Fire scripted faults whose iteration trigger the application's
+    /// node-local progress has reached.
+    fn poll_scheduled_faults(&mut self) {
+        if self.scheduled_faults.is_empty() || self.tasks.is_empty() {
+            return;
+        }
+        let progress = self
+            .tasks
+            .iter()
+            .map(|t| t.progress())
+            .max()
+            .expect("non-empty");
+        let mut due = Vec::new();
+        self.scheduled_faults.retain(|&(at, fault)| {
+            if progress >= at {
+                due.push(fault);
+                false
+            } else {
+                true
+            }
+        });
+        for fault in due {
+            self.apply_fault(fault);
+            if self.crashed {
+                return;
+            }
+        }
+    }
+
+    /// §6.1 SDC injection: flip `bits` random bits of the victim task's
     /// floating-point *user data* (the paper targets "the user data that
     /// will be checkpointed"; corrupting runtime counters would crash or
     /// hang instead of staying silent). Float payloads accept every bit
     /// pattern, so the corrupted state always unpacks cleanly.
-    fn inject_sdc(&mut self, seed: u64) {
+    ///
+    /// The victim task is drawn first, then the [`SdcInjector`] continues
+    /// the same seeded stream for the (float-byte, bit) draws — for
+    /// `bits == 1` this reproduces the historical single-flip stream bit
+    /// for bit, so existing test seeds keep their meaning.
+    ///
+    /// Returns whether at least one bit actually flipped.
+    fn inject_sdc(&mut self, seed: u64, bits: u32) -> bool {
         if self.tasks.is_empty() {
-            return;
+            return false;
         }
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(seed);
@@ -647,17 +757,23 @@ impl NodeWorker {
             .expect("pack for injection");
         let mut payload = packer.finish();
         if mapper.float_bytes() == 0 {
-            return; // nothing silent to corrupt
+            return false; // nothing silent to corrupt
         }
-        let nth = rng.gen_range(0..mapper.float_bytes());
-        let byte = mapper.nth_float_byte(nth).expect("nth < float_bytes");
-        let bit = rng.gen_range(0..8u8);
-        payload[byte] ^= 1 << bit;
+        let mut injector = SdcInjector::from_rng(rng);
+        for _ in 0..bits.max(1) {
+            injector.corrupt_indexed(&mut payload, mapper.float_bytes(), |n| {
+                mapper.nth_float_byte(n)
+            });
+        }
+        if injector.log().is_empty() {
+            return false;
+        }
         let mut u = Unpacker::new(&payload);
         self.tasks[victim]
             .pup(&mut u)
             .expect("float flip keeps structure");
         u.finish().expect("float flip keeps structure");
+        true
     }
 
     /// Enter a new rollback epoch: in-flight messages from older epochs are
@@ -794,7 +910,9 @@ impl NodeWorker {
 
     fn heartbeat_tick(&mut self) {
         let now = self.now();
-        if now - self.last_heartbeat >= self.cfg.heartbeat_period.as_secs_f64() {
+        if now - self.last_heartbeat >= self.cfg.heartbeat_period.as_secs_f64()
+            && now >= self.hb_muted_until
+        {
             self.last_heartbeat = now;
             if let Some(buddy) = self.buddy {
                 self.send(
@@ -813,6 +931,77 @@ impl NodeWorker {
         }
     }
 
+    /// Handle one delivered message. Returns `true` when the node should
+    /// exit its scheduler loop (shutdown).
+    fn handle_net(&mut self, msg: Net) -> bool {
+        match msg {
+            Net::App {
+                to_task,
+                epoch,
+                msg,
+            } => self.receive_app(to_task, epoch, msg),
+            Net::Consensus { scope, msg } => self.engine_feed(scope, msg),
+            Net::Compare {
+                iteration,
+                detection,
+            } => {
+                let now = self.now();
+                if let Some(b) = self.buddy {
+                    self.monitor.heard_from(b, now);
+                }
+                self.pending_remote = Some((iteration, detection));
+                if let Some((round, _)) = self.awaiting_verdict {
+                    self.try_compare(round);
+                }
+            }
+            Net::CompareResult { iteration, clean } => {
+                if let Some((round, it)) = self.awaiting_verdict {
+                    if it == iteration {
+                        self.awaiting_verdict = None;
+                        let _ = self.events.send(Event::CheckpointDone {
+                            node: self.cfg.index,
+                            round,
+                            iteration,
+                            verified: Some(clean),
+                        });
+                    }
+                }
+            }
+            Net::Install { checkpoint } => {
+                let iteration = checkpoint.iteration;
+                let payload = checkpoint.payload.clone();
+                self.store.install_verified(checkpoint);
+                self.unpack_tasks(&payload);
+                self.rebuild_engines(self.floor);
+                let _ = self.events.send(Event::Installed {
+                    node: self.cfg.index,
+                    iteration,
+                });
+            }
+            Net::Heartbeat { from } => {
+                let now = self.now();
+                self.monitor.heard_from(from, now);
+            }
+            Net::Ctrl(ctrl) => return self.handle_ctrl(ctrl),
+        }
+        false
+    }
+
+    /// The per-iteration housekeeping every scheduler pass runs after
+    /// message delivery: scripted faults, heartbeats, task stepping.
+    fn tick(&mut self) {
+        if self.crashed {
+            return;
+        }
+        self.poll_scheduled_faults();
+        if self.crashed {
+            return;
+        }
+        self.heartbeat_tick();
+        self.step_tasks();
+    }
+
+    /// Threaded scheduler loop: block briefly for messages, then tick.
     pub(crate) fn run(mut self) {
         loop {
             let msg = match self.backlog.pop_front() {
@@ -825,77 +1014,79 @@ impl NodeWorker {
                 // job tears down.
                 match msg {
                     Ok(Net::Ctrl(Ctrl::Shutdown)) => {
-                        let _ = self.events.send(Event::FinalState {
-                            node: self.cfg.index,
-                            identity: self.identity,
-                            tasks: Vec::new(),
-                        });
+                        self.report_final_state();
                         return;
                     }
                     _ => continue,
                 }
             }
             match msg {
-                Ok(Net::App {
-                    to_task,
-                    epoch,
-                    msg,
-                }) => self.receive_app(to_task, epoch, msg),
-                Ok(Net::Consensus { scope, msg }) => self.engine_feed(scope, msg),
-                Ok(Net::Compare {
-                    iteration,
-                    detection,
-                }) => {
-                    let now = self.now();
-                    if let Some(b) = self.buddy {
-                        self.monitor.heard_from(b, now);
-                    }
-                    self.pending_remote = Some((iteration, detection));
-                    if let Some((round, _)) = self.awaiting_verdict {
-                        self.try_compare(round);
-                    }
-                }
-                Ok(Net::CompareResult { iteration, clean }) => {
-                    if let Some((round, it)) = self.awaiting_verdict {
-                        if it == iteration {
-                            self.awaiting_verdict = None;
-                            let _ = clean;
-                            let _ = self.events.send(Event::CheckpointDone {
-                                node: self.cfg.index,
-                                round,
-                                iteration,
-                                verified: Some(clean),
-                            });
-                        }
-                    }
-                }
-                Ok(Net::Install { checkpoint }) => {
-                    let iteration = checkpoint.iteration;
-                    let payload = checkpoint.payload.clone();
-                    self.store.install_verified(checkpoint);
-                    self.unpack_tasks(&payload);
-                    self.rebuild_engines(self.floor);
-                    let _ = self.events.send(Event::Installed {
-                        node: self.cfg.index,
-                        iteration,
-                    });
-                }
-                Ok(Net::Heartbeat { from }) => {
-                    let now = self.now();
-                    self.monitor.heard_from(from, now);
-                }
-                Ok(Net::Ctrl(ctrl)) => {
-                    if self.handle_ctrl(ctrl) {
+                Ok(m) => {
+                    if self.handle_net(m) {
                         return;
                     }
                 }
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
                 Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
             }
-            self.heartbeat_tick();
-            self.step_tasks();
+            self.tick();
         }
     }
+
+    /// One non-blocking scheduler pass, for the virtual-time executor: drain
+    /// a bounded batch of pending messages, then tick once. The executor
+    /// round-robins `pump` across all workers on one thread and advances the
+    /// virtual clock between passes, which makes the whole job's event order
+    /// deterministic.
+    pub(crate) fn pump(&mut self) -> Pump {
+        const BATCH: usize = 64;
+        if self.crashed {
+            loop {
+                let msg = match self.backlog.pop_front() {
+                    Some(m) => m,
+                    None => match self.inbox.try_recv() {
+                        Ok(m) => m,
+                        Err(_) => return Pump::Idle,
+                    },
+                };
+                if matches!(msg, Net::Ctrl(Ctrl::Shutdown)) {
+                    self.report_final_state();
+                    return Pump::Exited;
+                }
+            }
+        }
+        let mut processed = 0;
+        while processed < BATCH && !self.crashed {
+            let msg = match self.backlog.pop_front() {
+                Some(m) => m,
+                None => match self.inbox.try_recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                },
+            };
+            if self.handle_net(msg) {
+                return Pump::Exited;
+            }
+            processed += 1;
+        }
+        self.tick();
+        if processed > 0 {
+            Pump::Busy
+        } else {
+            Pump::Idle
+        }
+    }
+}
+
+/// Outcome of one [`NodeWorker::pump`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Pump {
+    /// No messages were waiting.
+    Idle,
+    /// At least one message was processed.
+    Busy,
+    /// The node exited (shutdown).
+    Exited,
 }
 
 #[cfg(test)]

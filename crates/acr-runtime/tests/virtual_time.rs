@@ -1,0 +1,297 @@
+//! Virtual-time runtime tests: determinism of scripted runs, scripted
+//! trigger kinds, and the heartbeat failure detector's behaviour around its
+//! timeout boundary — the regressions only a simulated clock can pin down.
+
+use std::time::Duration;
+
+use acr_pup::{Pup, PupResult, Puper};
+use acr_runtime::{
+    AppMsg, DetectionMethod, ExecMode, FaultAction, FaultScript, Job, JobConfig, JobReport, Scheme,
+    Task, TaskCtx, TaskId, Trigger,
+};
+
+/// Small communicating ring (one token in flight per rank) with
+/// perturbation-preserving float dynamics.
+struct MiniRing {
+    rank: usize,
+    iter: u64,
+    tokens: u64,
+    acc: Vec<f64>,
+    total_iters: u64,
+}
+
+impl MiniRing {
+    fn new(rank: usize, total_iters: u64) -> Self {
+        Self {
+            rank,
+            iter: 0,
+            tokens: 0,
+            acc: (0..32).map(|i| (rank * 100 + i) as f64).collect(),
+            total_iters,
+        }
+    }
+}
+
+impl Task for MiniRing {
+    fn try_step(&mut self, ctx: &mut TaskCtx<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        if self.iter > 0 && self.tokens == 0 {
+            return false;
+        }
+        if self.iter > 0 {
+            self.tokens -= 1;
+        }
+        for (i, x) in self.acc.iter_mut().enumerate() {
+            *x += ((self.iter as f64 + i as f64) * 1e-3).sin();
+        }
+        let next = TaskId {
+            rank: (self.rank + 1) % ctx.ranks(),
+            task: 0,
+        };
+        ctx.send(next, self.iter, vec![]);
+        self.iter += 1;
+        true
+    }
+
+    fn on_message(&mut self, _msg: AppMsg, _ctx: &mut TaskCtx<'_>) {
+        self.tokens += 1;
+    }
+
+    fn progress(&self) -> u64 {
+        self.iter
+    }
+
+    fn done(&self) -> bool {
+        self.iter >= self.total_iters
+    }
+
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_usize(&mut self.rank)?;
+        p.pup_u64(&mut self.iter)?;
+        p.pup_u64(&mut self.tokens)?;
+        self.acc.pup(p)?;
+        p.pup_u64(&mut self.total_iters)
+    }
+}
+
+const ITERS: u64 = 300;
+
+fn cfg(scheme: Scheme) -> JobConfig {
+    JobConfig {
+        ranks: 2,
+        tasks_per_rank: 1,
+        spares: 2,
+        scheme,
+        detection: DetectionMethod::FullCompare,
+        checkpoint_interval: Duration::from_millis(60),
+        heartbeat_period: Duration::from_millis(5),
+        heartbeat_timeout: Duration::from_millis(40),
+        max_duration: Duration::from_secs(30),
+        ..JobConfig::default()
+    }
+}
+
+fn run(scheme: Scheme, script: &FaultScript) -> JobReport {
+    Job::run_scripted(
+        cfg(scheme),
+        |rank, _| Box::new(MiniRing::new(rank, ITERS)) as Box<dyn Task>,
+        script,
+        ExecMode::virtual_default(),
+    )
+}
+
+fn trace_has(report: &JobReport, needle: &str) -> bool {
+    report.trace.iter().any(|l| l.contains(needle))
+}
+
+#[test]
+fn fault_free_virtual_run_completes_deterministically() {
+    let a = run(Scheme::Strong, &FaultScript::new());
+    let b = run(Scheme::Strong, &FaultScript::new());
+    assert!(a.completed, "error: {:?}\n{}", a.error, a.trace.join("\n"));
+    assert!(a.checkpoints_verified >= 1);
+    assert!(a.replicas_agree());
+    assert_eq!(a.trace, b.trace, "virtual runs must be byte-identical");
+    assert_eq!(a.final_states, b.final_states);
+    assert_eq!(a.duration, b.duration);
+}
+
+/// The acceptance determinism check: a non-trivial generated scenario,
+/// executed twice, produces byte-identical event traces and final states.
+#[test]
+fn scripted_virtual_run_replays_byte_identically() {
+    let space = acr_runtime::ScenarioSpace {
+        ranks: 2,
+        spares: 2,
+        horizon: 0.3,
+        max_iteration: ITERS,
+        heartbeat_timeout: 0.040,
+        max_faults: 3,
+        sdc_bits_max: 3,
+        allow_spare_kill: true,
+        allow_heartbeat_delay: true,
+    };
+    for seed in [3u64, 11, 19] {
+        let script = FaultScript::generate(seed, &space);
+        let a = run(Scheme::Medium, &script);
+        let b = run(Scheme::Medium, &script);
+        assert_eq!(
+            a.trace,
+            b.trace,
+            "seed {seed}: replay diverged\nscript:\n{}",
+            script.to_repro()
+        );
+        assert_eq!(a.final_states, b.final_states, "seed {seed}");
+    }
+}
+
+/// Regression (heartbeat false positive): a buddy whose heartbeats stall
+/// for *less* than `heartbeat_timeout` is slow-but-alive and must never be
+/// declared dead. Only virtual time can place the stall exactly.
+#[test]
+fn heartbeat_stall_inside_timeout_is_not_a_death() {
+    let mut script = FaultScript::new();
+    // Timeout is 40 ms; stall 30 ms, so worst-case silence is
+    // 30 ms + one 5 ms period — strictly inside the timeout.
+    script.push(
+        Trigger::At(0.050),
+        FaultAction::DelayHeartbeats {
+            replica: 1,
+            rank: 1,
+            secs: 0.030,
+        },
+    );
+    let report = run(Scheme::Strong, &script);
+    assert!(
+        report.completed,
+        "error: {:?}\n{}",
+        report.error,
+        report.trace.join("\n")
+    );
+    assert_eq!(
+        report.hard_errors_recovered,
+        0,
+        "false positive: a live node was declared dead\n{}",
+        report.trace.join("\n")
+    );
+    assert!(!trace_has(&report, "declared dead"));
+    assert!(report.replicas_agree());
+}
+
+/// The mirror case: a stall *longer* than the timeout is (correctly, per
+/// §6.1's no-response definition) declared dead even though the node is
+/// still running. The runtime must survive the resulting zombie: promote a
+/// spare, keep the zombie's stale messages out (rollback epochs), and ignore
+/// its final state at shutdown.
+#[test]
+fn heartbeat_stall_past_timeout_promotes_spare_despite_zombie() {
+    let mut script = FaultScript::new();
+    script.push(
+        Trigger::At(0.050),
+        FaultAction::DelayHeartbeats {
+            replica: 0,
+            rank: 0,
+            secs: 0.200,
+        },
+    );
+    let report = run(Scheme::Strong, &script);
+    assert!(
+        report.completed,
+        "error: {:?}\n{}",
+        report.error,
+        report.trace.join("\n")
+    );
+    assert_eq!(
+        report.hard_errors_recovered,
+        1,
+        "{}",
+        report.trace.join("\n")
+    );
+    assert!(trace_has(&report, "declared dead"));
+    assert!(report.replicas_agree(), "zombie state leaked into the run");
+    // Every (replica, rank) must be accounted for by live nodes.
+    assert_eq!(report.final_states.len(), 4);
+}
+
+/// Iteration-anchored crash: the script names app progress, not a clock
+/// time, and recovery still runs (strong scheme re-executes from the last
+/// verified checkpoint).
+#[test]
+fn crash_at_iteration_trigger_recovers() {
+    let mut script = FaultScript::new();
+    script.push(
+        Trigger::AtIteration(ITERS / 3),
+        FaultAction::Crash {
+            replica: 1,
+            rank: 0,
+        },
+    );
+    let report = run(Scheme::Strong, &script);
+    assert!(
+        report.completed,
+        "error: {:?}\n{}",
+        report.error,
+        report.trace.join("\n")
+    );
+    assert_eq!(report.crashes_injected_at.len(), 1);
+    assert_eq!(report.hard_errors_recovered, 1);
+    assert!(report.replicas_agree());
+}
+
+/// Checkpoint-anchored SDC: the flip lands right after the second verified
+/// round, and the next comparison must catch it (strong scheme, so no
+/// escape window exists).
+#[test]
+fn sdc_after_checkpoints_trigger_is_detected_and_purged() {
+    let mut script = FaultScript::new();
+    script.push(
+        Trigger::AfterCheckpoints(2),
+        FaultAction::Sdc {
+            replica: 0,
+            rank: 1,
+            seed: 42,
+            bits: 2,
+        },
+    );
+    let report = run(Scheme::Strong, &script);
+    assert!(
+        report.completed,
+        "error: {:?}\n{}",
+        report.error,
+        report.trace.join("\n")
+    );
+    assert_eq!(report.sdc_injected_at.len(), 1);
+    assert!(
+        report.sdc_rounds_detected >= 1,
+        "SDC escaped the comparison\n{}",
+        report.trace.join("\n")
+    );
+    assert!(report.rollbacks >= 1);
+    assert!(report.replicas_agree());
+}
+
+/// A crash arriving before the first verified checkpoint leaves nothing to
+/// roll back to: the job must restart from the beginning and still finish
+/// correctly — under virtual time this is exact, not racy.
+#[test]
+fn early_crash_restarts_from_beginning_virtually() {
+    let mut script = FaultScript::new();
+    script.push(
+        Trigger::At(0.010),
+        FaultAction::Crash {
+            replica: 0,
+            rank: 1,
+        },
+    );
+    let report = run(Scheme::Strong, &script);
+    assert!(
+        report.completed,
+        "error: {:?}\n{}",
+        report.error,
+        report.trace.join("\n")
+    );
+    assert_eq!(report.restarts_from_beginning, 1);
+    assert!(report.replicas_agree());
+}

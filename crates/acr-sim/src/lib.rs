@@ -29,4 +29,4 @@ pub use breakdown::{
     checkpoint_breakdown, restart_breakdown, CheckpointBreakdown, RestartBreakdown,
 };
 pub use machine::Machine;
-pub use timeline::{SimConfig, SimReport, TauPolicy, Timeline};
+pub use timeline::{ExplicitCosts, SimConfig, SimReport, TauPolicy, Timeline};

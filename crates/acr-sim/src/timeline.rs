@@ -117,17 +117,57 @@ impl SimReport {
     }
 }
 
+/// Directly-specified protocol costs, bypassing the machine-derived
+/// breakdowns.
+///
+/// Used to calibrate the simulator against *measured* runs of the real
+/// runtime (the differential campaign tests): δ and the restart costs are
+/// extracted from virtual-time [`acr_runtime`-style] executions, and node
+/// numbering follows the runtime's layout (`replica = node / ranks`), so
+/// the same fault scenario can be pushed through both engines and their
+/// event counts compared.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplicitCosts {
+    /// Checkpoint cost δ (pack + transfer + compare), seconds.
+    pub delta: f64,
+    /// Hard-error recovery cost (spare promotion + state transfer), seconds.
+    pub hard_restart: f64,
+    /// SDC rollback cost (reload + reconstruct), seconds.
+    pub sdc_restart: f64,
+    /// Ranks per replica: node `n`'s replica is `n / ranks`. In this mode a
+    /// second hard error during a parked weak recovery forces a restart
+    /// from the beginning whenever it hits the *other replica* (the
+    /// runtime's rule: neither replica holds a complete state any more),
+    /// not just the exact buddy rank.
+    pub ranks: usize,
+}
+
 /// The simulator: machine + application profile.
 #[derive(Debug, Clone)]
 pub struct Timeline {
     machine: Machine,
     app: AppProfile,
+    costs: Option<ExplicitCosts>,
 }
 
 impl Timeline {
     /// Simulator over `machine` running `app`.
     pub fn new(machine: Machine, app: AppProfile) -> Self {
-        Self { machine, app }
+        Self {
+            machine,
+            app,
+            costs: None,
+        }
+    }
+
+    /// Simulator with directly-specified costs (calibration/differential
+    /// mode); `machine` and `app` are retained only for reporting.
+    pub fn with_explicit_costs(machine: Machine, app: AppProfile, costs: ExplicitCosts) -> Self {
+        Self {
+            machine,
+            app,
+            costs: Some(costs),
+        }
     }
 
     /// The machine in use.
@@ -135,11 +175,28 @@ impl Timeline {
         &self.machine
     }
 
+    /// Whether `second` failing forces a restart from the beginning while
+    /// `first`'s weak recovery is parked.
+    fn weak_double_failure(&self, first: usize, second: usize) -> bool {
+        match self.costs {
+            // Runtime rule: any loss in the other replica while this one is
+            // incomplete.
+            Some(c) => (first / c.ranks != second / c.ranks) && second / c.ranks < 2,
+            // Machine-placement rule: the exact buddy node.
+            None => self.machine.placement().buddy(second) == Some(first),
+        }
+    }
+
     /// Run one job to completion.
     pub fn run(&self, cfg: &SimConfig) -> SimReport {
-        let delta = checkpoint_breakdown(&self.machine, &self.app, cfg.detection).total();
-        let hard_restart = restart_breakdown(&self.machine, &self.app, cfg.scheme).total();
-        let sdc_restart = restart_breakdown(&self.machine, &self.app, cfg.scheme).reconstruction;
+        let (delta, hard_restart, sdc_restart) = match self.costs {
+            Some(c) => (c.delta, c.hard_restart, c.sdc_restart),
+            None => (
+                checkpoint_breakdown(&self.machine, &self.app, cfg.detection).total(),
+                restart_breakdown(&self.machine, &self.app, cfg.scheme).total(),
+                restart_breakdown(&self.machine, &self.app, cfg.scheme).reconstruction,
+            ),
+        };
 
         assert!(
             !(matches!(cfg.tau, TauPolicy::Never) && cfg.scheme == Scheme::Weak),
@@ -215,8 +272,7 @@ impl Timeline {
                         if let Some(first_failed) = weak_pending {
                             // Second hard failure while a weak recovery is
                             // parked (§2.3).
-                            let hit_buddy =
-                                self.machine.placement().buddy(ev.node) == Some(first_failed);
+                            let hit_buddy = self.weak_double_failure(first_failed, ev.node);
                             if hit_buddy {
                                 r.restarts_from_beginning += 1;
                                 r.rework_time += work_done;

@@ -1,0 +1,193 @@
+//! Deterministic fault campaign from the command line: sweep seeded fault
+//! scenarios across the three recovery schemes under virtual time, check
+//! the paper's safety invariants on every run, and emit minimal-repro
+//! artifacts for any violation. Exit code 1 if any invariant broke.
+//!
+//! ```text
+//! cargo run --release --example fault_campaign                       # 32 seeds × 3 schemes
+//! cargo run --release --example fault_campaign -- --seeds 8
+//! cargo run --release --example fault_campaign -- --repro-dir target/repros
+//! cargo run --release --example fault_campaign -- --replay repro.txt # re-run one artifact
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use acr::fault::FaultScript;
+use acr::runtime::campaign::{
+    detection_name, parse_detection, parse_scheme, run_campaign, run_script_case, scheme_name,
+    CampaignConfig, CaseOutcome,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seeds: u64 = 32;
+    let mut repro_dir: Option<PathBuf> = None;
+    let mut replay: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                seeds = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seeds needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--repro-dir" => {
+                i += 1;
+                repro_dir = Some(PathBuf::from(
+                    args.get(i).map(String::as_str).unwrap_or_else(|| {
+                        eprintln!("--repro-dir needs a path");
+                        std::process::exit(2);
+                    }),
+                ));
+            }
+            "--replay" => {
+                i += 1;
+                replay = Some(PathBuf::from(
+                    args.get(i).map(String::as_str).unwrap_or_else(|| {
+                        eprintln!("--replay needs a file");
+                        std::process::exit(2);
+                    }),
+                ));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: fault_campaign [--seeds N] [--repro-dir DIR] [--replay FILE]");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = replay {
+        return replay_artifact(&path);
+    }
+
+    let cfg = CampaignConfig {
+        seeds: (0..seeds).collect(),
+        repro_dir,
+        ..CampaignConfig::default()
+    };
+    println!(
+        "fault campaign: {} seeds × {} schemes, determinism check {}",
+        cfg.seeds.len(),
+        cfg.schemes.len(),
+        if cfg.check_determinism { "on" } else { "off" }
+    );
+
+    let report = run_campaign(&cfg);
+    let (clean, detected, escapes, violations) = report.tally();
+    println!("  clean runs        : {clean}");
+    println!("  SDC detected      : {detected}");
+    println!("  known escapes     : {escapes}  (§2.3 unverified-window cases)");
+    println!("  violations        : {violations}");
+    for path in &report.artifacts {
+        println!("  repro written     : {}", path.display());
+    }
+    for case in report.violations() {
+        println!(
+            "\nVIOLATION seed={} scheme={} detection={}: {:?}",
+            case.seed,
+            scheme_name(case.scheme),
+            detection_name(case.detection),
+            case.outcome
+        );
+        println!("script:\n{}", case.script.to_repro());
+    }
+    if violations > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Re-run a single repro artifact: `key=value` config header, then the
+/// script after a `script:` line (the format `repro_artifact` writes).
+fn replay_artifact(path: &std::path::Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut cfg = CampaignConfig {
+        check_determinism: true,
+        repro_dir: None,
+        ..CampaignConfig::default()
+    };
+    let mut seed = 0u64;
+    let mut scheme = cfg.schemes[0];
+    let mut detection = cfg.detections[0];
+    let mut script_lines = Vec::new();
+    let mut in_script = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if in_script {
+            script_lines.push(line);
+            continue;
+        }
+        if line == "script:" {
+            in_script = true;
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        match key {
+            "seed" => seed = value.parse().unwrap_or(0),
+            "scheme" => {
+                scheme = parse_scheme(value).unwrap_or_else(|| {
+                    eprintln!("unknown scheme {value:?}");
+                    std::process::exit(2);
+                })
+            }
+            "detection" => {
+                detection = parse_detection(value).unwrap_or_else(|| {
+                    eprintln!("unknown detection {value:?}");
+                    std::process::exit(2);
+                })
+            }
+            "ranks" => cfg.ranks = value.parse().unwrap_or(cfg.ranks),
+            "spares" => cfg.spares = value.parse().unwrap_or(cfg.spares),
+            "iterations" => cfg.iterations = value.parse().unwrap_or(cfg.iterations),
+            "quantum_ms" => {
+                cfg.quantum = Duration::from_millis(value.parse().unwrap_or(1));
+            }
+            "checkpoint_interval_ms" => {
+                cfg.checkpoint_interval = Duration::from_millis(value.parse().unwrap_or(60));
+            }
+            _ => {}
+        }
+    }
+    let script = match FaultScript::parse(&script_lines.join("\n")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad script in artifact: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "replaying seed={seed} scheme={} detection={} ({} scripted fault(s))",
+        scheme_name(scheme),
+        detection_name(detection),
+        script.len()
+    );
+    let case = run_script_case(&cfg, seed, scheme, detection, script);
+    println!("outcome: {:?}", case.outcome);
+    println!("--- last trace lines ---");
+    for line in case.report.trace.iter().rev().take(25).rev() {
+        println!("{line}");
+    }
+    if matches!(case.outcome, CaseOutcome::Violation(_)) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
