@@ -142,15 +142,29 @@ pub enum ConsensusAction {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     /// Normal execution; progress reports tracked (Phase 1).
-    Idle,
+    Idle = 0,
     /// Reduction in flight: waiting for child contributions (Phase 2).
-    Collecting,
+    Collecting = 1,
     /// Contribution sent; waiting for the decision (Phase 2→3).
-    AwaitDecision,
+    AwaitDecision = 2,
     /// Decision known; tasks draining to the target (Phase 3).
-    Draining,
+    Draining = 3,
     /// All local tasks at target; waiting for the global Go (Phase 4).
-    AwaitGo,
+    AwaitGo = 4,
+}
+
+/// Flight-recorder hookup for one engine: every phase transition is emitted
+/// as a [`ConsensusPhase`](acr_obs::EventKind::ConsensusPhase) event, which
+/// is how the observability layer measures §2.2 consensus pause durations
+/// (time between leaving `Idle` and returning to it).
+#[derive(Debug, Clone)]
+pub struct ConsensusObserver {
+    /// The job's recorder.
+    pub recorder: std::sync::Arc<acr_obs::Recorder>,
+    /// Node id to attribute events to.
+    pub node: u32,
+    /// Which replica this engine serves.
+    pub scope: acr_obs::ObsScope,
 }
 
 /// One node's consensus state machine.
@@ -173,6 +187,8 @@ pub struct ConsensusEngine {
     /// runtime broadcasts `Start` to all nodes concurrently, so a fast child
     /// can outrun it); replayed once the round opens.
     early_contribs: Vec<(u64, u64)>,
+    /// Optional flight-recorder hookup for phase-transition events.
+    obs: Option<ConsensusObserver>,
 }
 
 impl ConsensusEngine {
@@ -192,6 +208,28 @@ impl ConsensusEngine {
             missing_ready: 0,
             target: None,
             early_contribs: Vec::new(),
+            obs: None,
+        }
+    }
+
+    /// Attach a flight-recorder observer; every phase transition from now
+    /// on is emitted as a `consensus_phase` event.
+    pub fn with_observer(mut self, obs: ConsensusObserver) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Transition to `phase`, emitting the observability event.
+    fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+        if let Some(obs) = &self.obs {
+            let round = self.round;
+            obs.recorder
+                .emit_with(obs.node, || acr_obs::EventKind::ConsensusPhase {
+                    scope: obs.scope,
+                    round,
+                    phase: phase as u8,
+                });
         }
     }
 
@@ -278,7 +316,7 @@ impl ConsensusEngine {
     /// their checkpoints — making buddy checkpoints diverge spuriously.
     pub fn checkpoint_done(&mut self) {
         if self.phase == Phase::AwaitGo {
-            self.phase = Phase::Idle;
+            self.set_phase(Phase::Idle);
             self.target = None;
         }
     }
@@ -288,7 +326,7 @@ impl ConsensusEngine {
             return Vec::new(); // duplicate Start while a round is in flight
         }
         self.round = round;
-        self.phase = Phase::Collecting;
+        self.set_phase(Phase::Collecting);
         self.subtree_max = self.local_max();
         self.missing_contribs = self.tree.children(self.index).count();
         self.missing_ready = self.tree.children(self.index).count();
@@ -332,7 +370,7 @@ impl ConsensusEngine {
         }
         match self.tree.parent(self.index) {
             Some(parent) => {
-                self.phase = Phase::AwaitDecision;
+                self.set_phase(Phase::AwaitDecision);
                 vec![ConsensusAction::Send {
                     to: parent,
                     msg: ConsensusMsg::Contribute {
@@ -349,7 +387,7 @@ impl ConsensusEngine {
     }
 
     fn on_decide(&mut self, iteration: u64) -> Vec<ConsensusAction> {
-        self.phase = Phase::Draining;
+        self.set_phase(Phase::Draining);
         self.target = Some(iteration);
         let mut actions: Vec<ConsensusAction> = self
             .tree
@@ -375,7 +413,7 @@ impl ConsensusEngine {
         if self.phase != Phase::Draining || !self.locally_ready() || self.missing_ready > 0 {
             return Vec::new();
         }
-        self.phase = Phase::AwaitGo;
+        self.set_phase(Phase::AwaitGo);
         match self.tree.parent(self.index) {
             Some(parent) => vec![ConsensusAction::Send {
                 to: parent,
@@ -657,6 +695,32 @@ mod tests {
             }
         }));
         assert!(root.may_advance(0), "local task must drain to 8");
+    }
+
+    #[test]
+    fn observer_sees_phase_transitions() {
+        use acr_obs::{EventKind, ObsScope, Recorder};
+        use std::sync::Arc;
+        let rec = Recorder::new(Default::default(), 1, Arc::new(|| 0.0));
+        let mut e = ConsensusEngine::new(0, 1, 1).with_observer(ConsensusObserver {
+            recorder: Arc::clone(&rec),
+            node: 0,
+            scope: ObsScope::Replica(0),
+        });
+        e.report_progress(0, 5);
+        let _ = e.on_message(ConsensusMsg::Start { round: 1 });
+        e.checkpoint_done();
+        let phases: Vec<u8> = rec
+            .drain()
+            .iter()
+            .filter_map(|ev| match ev.kind {
+                EventKind::ConsensusPhase { phase, .. } => Some(phase),
+                _ => None,
+            })
+            .collect();
+        // Single-node root: Collecting → Draining → AwaitGo → Idle
+        // (AwaitDecision is skipped — the root has no parent to wait on).
+        assert_eq!(phases, vec![1, 3, 4, 0]);
     }
 
     #[test]

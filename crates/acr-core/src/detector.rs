@@ -29,6 +29,17 @@ pub enum DetectionMethod {
     ChunkedChecksum,
 }
 
+impl DetectionMethod {
+    /// Stable lowercase label, used in event logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectionMethod::FullCompare => "full-compare",
+            DetectionMethod::Checksum => "checksum",
+            DetectionMethod::ChunkedChecksum => "chunked-checksum",
+        }
+    }
+}
+
 /// What the buddy sends for comparison under a given method.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Detection {
@@ -171,6 +182,58 @@ impl SdcDetector {
                 }
             }
         }
+    }
+
+    /// [`SdcDetector::outgoing`] plus flight-recorder bookkeeping: emits a
+    /// `compare_ship` event attributed to `node` and counts the wire bytes.
+    pub fn outgoing_recorded(
+        &self,
+        local: &Checkpoint,
+        rec: &acr_obs::Recorder,
+        node: u32,
+        iteration: u64,
+    ) -> Detection {
+        let msg = self.outgoing(local);
+        let wire = msg.wire_bytes() as u64;
+        rec.emit_with(node, || acr_obs::EventKind::CompareShip {
+            iteration,
+            wire_bytes: wire,
+            method: self.method.name().to_string(),
+        });
+        rec.inc_counter("acr_compare_wire_bytes_total", wire);
+        msg
+    }
+
+    /// [`SdcDetector::diverged`] plus flight-recorder bookkeeping: emits a
+    /// `compare_outcome` event with the divergence-window summary and bumps
+    /// the clean/SDC counters.
+    pub fn diverged_recorded(
+        &self,
+        local: &Checkpoint,
+        remote: &Detection,
+        rec: &acr_obs::Recorder,
+        node: u32,
+        iteration: u64,
+    ) -> Divergence {
+        let div = self.diverged(local, remote);
+        let (clean, bytes, windows) = (
+            div.is_clean(),
+            div.diverged_bytes() as u64,
+            div.ranges.len() as u32,
+        );
+        rec.emit_with(node, || acr_obs::EventKind::CompareOutcome {
+            iteration,
+            clean,
+            diverged_bytes: bytes,
+            windows,
+        });
+        let counter = if clean {
+            "acr_compare_clean_total"
+        } else {
+            "acr_compare_sdc_total"
+        };
+        rec.inc_counter(counter, 1);
+        div
     }
 
     fn compare_chunk(&self, local: &Checkpoint) -> usize {

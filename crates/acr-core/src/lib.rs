@@ -30,7 +30,9 @@ mod layout;
 mod recovery;
 
 pub use checkpoint::{Checkpoint, CheckpointStore, ChunkTable};
-pub use consensus::{ConsensusAction, ConsensusEngine, ConsensusMsg, ReductionTree};
+pub use consensus::{
+    ConsensusAction, ConsensusEngine, ConsensusMsg, ConsensusObserver, ReductionTree,
+};
 pub use detector::{Detection, DetectionMethod, Divergence, SdcDetector};
 pub use heartbeat::HeartbeatMonitor;
 pub use layout::{LayoutError, NodeSlot, ReplicaLayout};

@@ -36,6 +36,19 @@ impl Scheme {
         }
     }
 
+    /// The §2.3 SDC-exposure classification of a recovery under this
+    /// scheme, used to tag `recovery_start` events: `strong` restarts from
+    /// a *verified* checkpoint (zero exposure), `medium` restarts from a
+    /// forced — hence *unverified* — checkpoint with on average half a
+    /// period of exposure, `weak` runs unverified for a full period.
+    pub fn sdc_exposure_class(self) -> &'static str {
+        match self {
+            Scheme::Strong => "verified",
+            Scheme::Medium => "unverified-half-period",
+            Scheme::Weak => "unverified-full-period",
+        }
+    }
+
     /// Mean duration (seconds) left unprotected against SDC per hard
     /// failure, given the checkpoint period `tau` and cost `delta` (§5).
     pub fn unprotected_window(self, tau: f64, delta: f64) -> f64 {
@@ -181,6 +194,33 @@ impl RecoveryPlanner {
                 rework: false,
             },
         }
+    }
+
+    /// [`RecoveryPlanner::plan_hard_error`] plus flight-recorder
+    /// bookkeeping: emits a `recovery_plan` event summarizing the plan's
+    /// cost (action count, inter-replica transfers, rework).
+    #[allow(clippy::too_many_arguments)] // mirrors plan_hard_error + recorder context
+    pub fn plan_hard_error_recorded(
+        &self,
+        failed: usize,
+        buddy: usize,
+        spare: usize,
+        crashed_replica: u8,
+        rec: &acr_obs::Recorder,
+        node: u32,
+    ) -> RecoveryPlan {
+        let plan = self.plan_hard_error(failed, buddy, spare, crashed_replica);
+        let (actions, msgs, rework) = (
+            plan.actions.len() as u32,
+            plan.inter_replica_messages as u32,
+            plan.rework,
+        );
+        rec.emit_with(node, || acr_obs::EventKind::RecoveryPlan {
+            actions,
+            inter_replica_messages: msgs,
+            rework,
+        });
+        plan
     }
 
     /// Plan the response to a detected SDC (checkpoint comparison mismatch).

@@ -1,0 +1,175 @@
+//! A minimal flat-JSON writer/parser for the event log.
+//!
+//! Event records are single-line JSON objects whose values are strings,
+//! numbers, or booleans — never nested — so a ~100-line hand parser keeps
+//! the crate dependency-free while making the JSONL log fully replayable.
+//! Numbers are kept as raw token strings on parse so `u64` fields (seeds,
+//! digests) round-trip exactly instead of through an `f64`.
+
+/// Append `"key":"escaped-value",` to a JSON object under construction.
+pub(crate) fn push_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    escape_into(out, value);
+    out.push_str("\",");
+}
+
+/// Append `"key":token,` for an unquoted token (number or boolean).
+pub(crate) fn push_raw(out: &mut String, key: &str, token: impl std::fmt::Display) {
+    use std::fmt::Write;
+    let _ = write!(out, "\"{key}\":{token},");
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// One parsed value: a decoded string or a raw unquoted token.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Val {
+    Str(String),
+    Raw(String),
+}
+
+/// The parsed key/value pairs of one flat JSON object.
+#[derive(Debug, Default)]
+pub(crate) struct Fields(Vec<(String, Val)>);
+
+impl Fields {
+    /// Parse a single-line flat JSON object.
+    pub(crate) fn parse(line: &str) -> Result<Fields, String> {
+        let mut fields = Vec::new();
+        let s = line.trim();
+        let inner = s
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| format!("not a JSON object: {line:?}"))?;
+        let mut chars = inner.chars().peekable();
+        loop {
+            while matches!(chars.peek(), Some(c) if c.is_whitespace() || *c == ',') {
+                chars.next();
+            }
+            if chars.peek().is_none() {
+                break;
+            }
+            let key = parse_string(&mut chars)?;
+            match chars.next() {
+                Some(':') => {}
+                other => return Err(format!("expected ':' after key {key:?}, got {other:?}")),
+            }
+            let val = match chars.peek() {
+                Some('"') => Val::Str(parse_string(&mut chars)?),
+                Some(_) => {
+                    let mut tok = String::new();
+                    while matches!(chars.peek(), Some(c) if *c != ',') {
+                        tok.push(chars.next().expect("peeked"));
+                    }
+                    Val::Raw(tok.trim().to_string())
+                }
+                None => return Err(format!("missing value for key {key:?}")),
+            };
+            fields.push((key, val));
+        }
+        Ok(Fields(fields))
+    }
+
+    pub(crate) fn str(&self, key: &str) -> Option<&str> {
+        self.0.iter().find(|(k, _)| k == key).and_then(|(_, v)| {
+            if let Val::Str(s) = v {
+                Some(s.as_str())
+            } else {
+                None
+            }
+        })
+    }
+
+    fn raw(&self, key: &str) -> Option<&str> {
+        self.0.iter().find(|(k, _)| k == key).and_then(|(_, v)| {
+            if let Val::Raw(s) = v {
+                Some(s.as_str())
+            } else {
+                None
+            }
+        })
+    }
+
+    pub(crate) fn num<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.raw(key)?.parse().ok()
+    }
+
+    pub(crate) fn bool(&self, key: &str) -> Option<bool> {
+        match self.raw(key)? {
+            "true" => Some(true),
+            "false" => Some(false),
+            _ => None,
+        }
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<String, String> {
+    match chars.next() {
+        Some('"') => {}
+        other => return Err(format!("expected '\"', got {other:?}")),
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".into()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code =
+                        u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u{hex}"))?;
+                    out.push(char::from_u32(code).ok_or_else(|| format!("bad \\u{hex}"))?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_escapes() {
+        let mut out = String::from("{");
+        push_str(&mut out, "a", "x \"y\"\\\n\tz\u{1}");
+        push_raw(&mut out, "n", 18446744073709551615u64);
+        push_raw(&mut out, "b", true);
+        out.pop();
+        out.push('}');
+        let f = Fields::parse(&out).unwrap();
+        assert_eq!(f.str("a"), Some("x \"y\"\\\n\tz\u{1}"));
+        assert_eq!(f.num::<u64>("n"), Some(u64::MAX));
+        assert_eq!(f.bool("b"), Some(true));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Fields::parse("not json").is_err());
+        assert!(Fields::parse("{\"k\" 1}").is_err());
+    }
+}

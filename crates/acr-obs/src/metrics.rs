@@ -1,0 +1,133 @@
+//! Atomic counters and histograms with a Prometheus-style text snapshot.
+//!
+//! Metrics are the home for quantities that are *not* deterministic across
+//! runs — wall-clock pack latency, queue depths — which must never leak
+//! into the event log (that would break byte-identical virtual-mode
+//! traces). Everything here is updated with atomics only; the registry
+//! lock in [`crate::Recorder`] is taken once per metric handle, not per
+//! update.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `by` to the counter.
+    pub fn inc(&self, by: u64) {
+        self.value.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Exponential bucket bounds, in seconds: 1 µs … 10 s.
+const BOUNDS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// A fixed-bucket histogram of `f64` observations (typically seconds).
+///
+/// Buckets are cumulative on exposition (Prometheus `le` convention). The
+/// running sum is kept as an `f64` bit-pattern in an `AtomicU64` and
+/// updated with a compare-exchange loop, so `observe` never takes a lock.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BOUNDS.len() + 1],
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: Default::default(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = BOUNDS.iter().position(|b| v <= *b).unwrap_or(BOUNDS.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Render this histogram in Prometheus exposition format.
+    pub(crate) fn expose_into(&self, name: &str, out: &mut String) {
+        use std::fmt::Write;
+        let mut cumulative = 0u64;
+        for (i, bound) in BOUNDS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += self.buckets[BOUNDS.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", self.sum());
+        let _ = writeln!(out, "{name}_count {}", self.count());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::default();
+        c.inc(3);
+        c.inc(4);
+        assert_eq!(c.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = Histogram::default();
+        h.observe(5e-7); // le 1e-6
+        h.observe(5e-4); // le 1e-3
+        h.observe(100.0); // +Inf
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 100.0005005).abs() < 1e-9);
+        let mut out = String::new();
+        h.expose_into("acr_test_seconds", &mut out);
+        assert!(
+            out.contains("acr_test_seconds_bucket{le=\"0.000001\"} 1"),
+            "{out}"
+        );
+        assert!(
+            out.contains("acr_test_seconds_bucket{le=\"+Inf\"} 3"),
+            "{out}"
+        );
+        assert!(out.contains("acr_test_seconds_count 3"), "{out}");
+    }
+}

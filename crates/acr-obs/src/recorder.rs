@@ -1,0 +1,281 @@
+//! The flight recorder: per-node ring buffers, a global sequence counter,
+//! and a metrics registry behind one shared handle.
+
+use crate::event::{EventKind, RecordedEvent};
+use crate::metrics::{Counter, Histogram};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Sentinel node id for driver-side events.
+pub const DRIVER_NODE: u32 = u32::MAX;
+
+/// The time source a [`Recorder`] stamps events with.
+///
+/// The runtime installs its job `Clock` here, so virtual-mode traces carry
+/// simulated seconds and are deterministic; embedders without a clock can
+/// pass a constant.
+pub type TimeSource = Arc<dyn Fn() -> f64 + Send + Sync>;
+
+/// Construction-time knobs for a [`Recorder`].
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Master switch. When `false`, every emit is a single relaxed atomic
+    /// load and returns immediately — no allocation, no lock, no
+    /// formatting.
+    pub enabled: bool,
+    /// Capacity of each per-node ring buffer. When a ring is full the
+    /// oldest event is dropped (and counted).
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            ring_capacity: 4096,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<RecordedEvent>,
+    dropped: u64,
+}
+
+/// The flight recorder.
+///
+/// One recorder serves a whole job: the driver and every node worker hold
+/// an `Arc<Recorder>` and emit into their own ring, so contention between
+/// nodes is limited to the shared sequence counter. Events are totally
+/// ordered by that counter; [`Recorder::drain`] merges the rings back into
+/// emission order.
+pub struct Recorder {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    ring_capacity: usize,
+    /// One ring per node plus one for the driver (last index).
+    rings: Vec<Mutex<Ring>>,
+    time: TimeSource,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .field("rings", &self.rings.len())
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Whether `ACR_DEBUG` was set in the environment (read once per process).
+fn acr_debug() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("ACR_DEBUG").is_some())
+}
+
+impl Recorder {
+    /// Create a recorder for a job with `nodes` workers (driver included
+    /// implicitly). `time` is called at every emission to stamp the event.
+    pub fn new(cfg: ObsConfig, nodes: u32, time: TimeSource) -> Arc<Recorder> {
+        let rings = (0..=nodes).map(|_| Mutex::new(Ring::default())).collect();
+        Arc::new(Recorder {
+            enabled: AtomicBool::new(cfg.enabled),
+            seq: AtomicU64::new(0),
+            ring_capacity: cfg.ring_capacity.max(1),
+            rings,
+            time,
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// A permanently disabled recorder (zero-node, constant time source)
+    /// for embedders that want instrumentation hooks without a job.
+    pub fn disabled() -> Arc<Recorder> {
+        Recorder::new(
+            ObsConfig {
+                enabled: false,
+                ring_capacity: 1,
+            },
+            0,
+            Arc::new(|| 0.0),
+        )
+    }
+
+    /// The disabled-mode fast path: a single relaxed load.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flip recording on or off at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether `debug_trace!` sites should format and print. Honors the
+    /// `ACR_DEBUG` env-var switch the retired `trace!` macro used.
+    #[inline]
+    pub fn debug_enabled(&self) -> bool {
+        acr_debug()
+    }
+
+    /// Record one event for `node` ([`DRIVER_NODE`] for the driver).
+    ///
+    /// When the recorder is disabled this returns after one relaxed load;
+    /// prefer [`Recorder::emit_with`] when building the payload allocates.
+    pub fn emit(&self, node: u32, kind: EventKind) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(node, kind);
+    }
+
+    /// Record an event whose payload is built lazily: `make` is not called
+    /// (so its arguments are never formatted or allocated) when the
+    /// recorder is disabled.
+    #[inline]
+    pub fn emit_with(&self, node: u32, make: impl FnOnce() -> EventKind) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(node, make());
+    }
+
+    /// Record a free-form debug message and mirror it to stderr.
+    ///
+    /// Callers guard with [`Recorder::debug_enabled`] (via the
+    /// [`debug_trace!`](crate::debug_trace) macro) so the message is never
+    /// formatted when `ACR_DEBUG` is unset.
+    pub fn emit_debug(&self, node: u32, text: String) {
+        let ev = self.stamp(node, EventKind::Debug { text });
+        eprintln!("{ev}");
+        if self.is_enabled() {
+            self.store(ev);
+        }
+    }
+
+    fn stamp(&self, node: u32, kind: EventKind) -> RecordedEvent {
+        RecordedEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            t: (self.time)(),
+            node,
+            kind,
+        }
+    }
+
+    fn push(&self, node: u32, kind: EventKind) {
+        let ev = self.stamp(node, kind);
+        if acr_debug() {
+            eprintln!("{ev}");
+        }
+        self.store(ev);
+    }
+
+    fn store(&self, ev: RecordedEvent) {
+        let idx = (ev.node as usize).min(self.rings.len() - 1);
+        let mut ring = self.rings[idx].lock().expect("obs ring poisoned");
+        if ring.events.len() == self.ring_capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(ev);
+    }
+
+    /// Take every buffered event, merged back into emission order.
+    pub fn drain(&self) -> Vec<RecordedEvent> {
+        let mut all = Vec::new();
+        for ring in &self.rings {
+            let mut ring = ring.lock().expect("obs ring poisoned");
+            all.extend(ring.events.drain(..));
+        }
+        all.sort_by_key(|ev| ev.seq);
+        all
+    }
+
+    /// Total events discarded to ring wraparound, across all rings.
+    pub fn dropped(&self) -> u64 {
+        self.rings
+            .iter()
+            .map(|r| r.lock().expect("obs ring poisoned").dropped)
+            .sum()
+    }
+
+    /// Get or create the named counter. The handle is cheap to clone and
+    /// updates without touching the registry again.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut reg = self.counters.lock().expect("obs registry poisoned");
+        reg.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Add `by` to the named counter; a no-op (one relaxed load) when the
+    /// recorder is disabled.
+    pub fn inc_counter(&self, name: &str, by: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.counter(name).inc(by);
+    }
+
+    /// Get or create the named histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut reg = self.histograms.lock().expect("obs registry poisoned");
+        reg.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Record an observation in the named histogram; a no-op when the
+    /// recorder is disabled.
+    pub fn observe(&self, name: &str, v: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.histogram(name).observe(v);
+    }
+
+    /// Render every registered metric as a Prometheus-style text snapshot.
+    pub fn expose(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let counters = self.counters.lock().expect("obs registry poisoned");
+        for (name, c) in counters.iter() {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {}", c.get());
+        }
+        drop(counters);
+        let histograms = self.histograms.lock().expect("obs registry poisoned");
+        for (name, h) in histograms.iter() {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            h.expose_into(name, &mut out);
+        }
+        let dropped = self.dropped();
+        if dropped > 0 {
+            let _ = writeln!(out, "# TYPE acr_obs_events_dropped_total counter");
+            let _ = writeln!(out, "acr_obs_events_dropped_total {dropped}");
+        }
+        out
+    }
+}
+
+/// Format-and-record a debug message, only evaluating the format arguments
+/// when `ACR_DEBUG` is set — the drop-in replacement for the retired
+/// `trace!` macro in `acr-runtime`.
+///
+/// ```
+/// # use acr_obs::{debug_trace, Recorder, DRIVER_NODE};
+/// # let rec = Recorder::disabled();
+/// debug_trace!(rec, DRIVER_NODE, "round {} started", 7);
+/// ```
+#[macro_export]
+macro_rules! debug_trace {
+    ($rec:expr, $node:expr, $($arg:tt)*) => {
+        if $rec.debug_enabled() {
+            $rec.emit_debug($node, format!($($arg)*));
+        }
+    };
+}

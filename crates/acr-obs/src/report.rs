@@ -1,0 +1,291 @@
+//! Fold an event log into a paper-style overhead breakdown.
+//!
+//! The driver's [`PhaseEnter`](crate::EventKind::PhaseEnter) events tile
+//! the run's timeline — each marker closes the previous phase at the
+//! instant it opens the next — so the per-category times produced here sum
+//! to the run's total duration *exactly*, the property the paper's Figs.
+//! 6–8 overhead stacks rely on. Within a checkpoint round, time up to the
+//! last [`CheckpointPack`](crate::EventKind::CheckpointPack) is attributed
+//! to **checkpoint** (pack + digest), and the remainder — shipping the
+//! comparison record, the buddy compare, and the consensus drain — to
+//! **compare**.
+
+use crate::event::{EventKind, RecordedEvent, RunPhase};
+use crate::json::{push_raw, push_str};
+
+/// Per-run overhead breakdown: where the time went, per category.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Breakdown {
+    /// Recovery scheme name from the `job_start` event.
+    pub scheme: String,
+    /// Detection method label from the `job_start` event.
+    pub detection: String,
+    /// Whether the run completed (from `job_end`).
+    pub completed: bool,
+    /// Total run duration in (clock) seconds.
+    pub total: f64,
+    /// Application forward-progress time.
+    pub forward: f64,
+    /// Checkpoint pack + digest time inside rounds.
+    pub checkpoint: f64,
+    /// Buddy-compare + consensus-pause time inside rounds.
+    pub compare: f64,
+    /// Rollback + rebuild + ship + restart time.
+    pub recovery: f64,
+    /// Checkpoint rounds started.
+    pub rounds: u64,
+    /// Rounds whose verdict was clean (checkpoint verified).
+    pub verified_rounds: u64,
+    /// Recoveries started (hard errors + SDC rollbacks).
+    pub recoveries: u64,
+    /// Global restarts (double failures).
+    pub restarts: u64,
+    /// Total checkpoint bytes packed across all nodes.
+    pub pack_bytes: u64,
+    /// Total comparison-record bytes shipped between buddies.
+    pub compare_wire_bytes: u64,
+}
+
+impl Breakdown {
+    /// Fold a (seq-ordered) event log into a breakdown.
+    pub fn from_events(events: &[RecordedEvent]) -> Breakdown {
+        let mut b = Breakdown::default();
+        let Some(first) = events.first() else {
+            return b;
+        };
+        let start_t = first.t;
+        let mut phase = RunPhase::Forward;
+        let mut phase_start = start_t;
+        let mut last_pack_t: Option<f64> = None;
+        let mut end_t = start_t;
+
+        let close = |b: &mut Breakdown, phase: RunPhase, s: f64, e: f64, pack: Option<f64>| {
+            let span = (e - s).max(0.0);
+            match phase {
+                RunPhase::Forward => b.forward += span,
+                RunPhase::Round => match pack {
+                    Some(p) => {
+                        b.checkpoint += (p - s).max(0.0);
+                        b.compare += (e - p).max(0.0);
+                    }
+                    None => b.checkpoint += span,
+                },
+                RunPhase::Rollback | RunPhase::Recovery | RunPhase::Ship | RunPhase::Restart => {
+                    b.recovery += span
+                }
+            }
+        };
+
+        for ev in events {
+            end_t = ev.t;
+            match &ev.kind {
+                EventKind::JobStart {
+                    scheme, detection, ..
+                } => {
+                    b.scheme = scheme.clone();
+                    b.detection = detection.clone();
+                }
+                EventKind::PhaseEnter { phase: next } => {
+                    close(&mut b, phase, phase_start, ev.t, last_pack_t);
+                    phase = *next;
+                    phase_start = ev.t;
+                    last_pack_t = None;
+                }
+                EventKind::CheckpointPack { bytes, .. } => {
+                    last_pack_t = Some(ev.t);
+                    b.pack_bytes += bytes;
+                }
+                EventKind::CompareShip { wire_bytes, .. } => b.compare_wire_bytes += wire_bytes,
+                EventKind::RoundStart { .. } => b.rounds += 1,
+                EventKind::RoundVerdict { clean: true, .. } => b.verified_rounds += 1,
+                EventKind::RecoveryStart { .. } => b.recoveries += 1,
+                EventKind::GlobalRestart { .. } => b.restarts += 1,
+                EventKind::JobEnd { completed } => {
+                    b.completed = *completed;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        close(&mut b, phase, phase_start, end_t, last_pack_t);
+        b.total = end_t - start_t;
+        b
+    }
+
+    /// Fraction of the run not spent on forward progress (the paper's
+    /// "resilience overhead").
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.total > 0.0 {
+            1.0 - self.forward / self.total
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialize as a single-line JSON object (for `BENCH_overhead.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        push_str(&mut out, "scheme", &self.scheme);
+        push_str(&mut out, "detection", &self.detection);
+        push_raw(&mut out, "completed", self.completed);
+        push_raw(&mut out, "total_s", self.total);
+        push_raw(&mut out, "forward_s", self.forward);
+        push_raw(&mut out, "checkpoint_s", self.checkpoint);
+        push_raw(&mut out, "compare_s", self.compare);
+        push_raw(&mut out, "recovery_s", self.recovery);
+        push_raw(&mut out, "overhead_fraction", self.overhead_fraction());
+        push_raw(&mut out, "rounds", self.rounds);
+        push_raw(&mut out, "verified_rounds", self.verified_rounds);
+        push_raw(&mut out, "recoveries", self.recoveries);
+        push_raw(&mut out, "restarts", self.restarts);
+        push_raw(&mut out, "pack_bytes", self.pack_bytes);
+        push_raw(&mut out, "compare_wire_bytes", self.compare_wire_bytes);
+        out.pop();
+        out.push('}');
+        out
+    }
+}
+
+/// Render breakdowns as a paper-style text table (one row per run).
+pub fn render_table(label_header: &str, rows: &[(String, Breakdown)]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{label_header:<18} {:<8} {:>9}  {:>16}  {:>16}  {:>16}  {:>16}",
+        "scheme", "total(s)", "forward", "checkpoint", "compare", "recovery"
+    );
+    let cell = |secs: f64, total: f64| {
+        let pct = if total > 0.0 {
+            100.0 * secs / total
+        } else {
+            0.0
+        };
+        format!("{secs:>9.4} {pct:>5.1}%")
+    };
+    for (label, b) in rows {
+        let _ = writeln!(
+            out,
+            "{label:<18} {:<8} {:>9.4}  {}  {}  {}  {}",
+            b.scheme,
+            b.total,
+            cell(b.forward, b.total),
+            cell(b.checkpoint, b.total),
+            cell(b.compare, b.total),
+            cell(b.recovery, b.total),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DRIVER_NODE;
+
+    fn ev(seq: u64, t: f64, node: u32, kind: EventKind) -> RecordedEvent {
+        RecordedEvent { seq, t, node, kind }
+    }
+
+    #[test]
+    fn phases_tile_the_timeline() {
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                DRIVER_NODE,
+                EventKind::JobStart {
+                    scheme: "strong".into(),
+                    detection: "checksum".into(),
+                    ranks: 2,
+                    spares: 1,
+                },
+            ),
+            ev(
+                1,
+                0.0,
+                DRIVER_NODE,
+                EventKind::PhaseEnter {
+                    phase: RunPhase::Forward,
+                },
+            ),
+            ev(
+                2,
+                1.0,
+                DRIVER_NODE,
+                EventKind::PhaseEnter {
+                    phase: RunPhase::Round,
+                },
+            ),
+            ev(3, 1.0, DRIVER_NODE, EventKind::RoundStart { round: 1 }),
+            ev(
+                4,
+                1.3,
+                0,
+                EventKind::CheckpointPack {
+                    bytes: 100,
+                    chunks: 1,
+                    chunk_size: 100,
+                },
+            ),
+            ev(
+                5,
+                1.4,
+                1,
+                EventKind::CheckpointPack {
+                    bytes: 100,
+                    chunks: 1,
+                    chunk_size: 100,
+                },
+            ),
+            ev(
+                6,
+                2.0,
+                DRIVER_NODE,
+                EventKind::PhaseEnter {
+                    phase: RunPhase::Forward,
+                },
+            ),
+            ev(
+                7,
+                3.0,
+                DRIVER_NODE,
+                EventKind::PhaseEnter {
+                    phase: RunPhase::Recovery,
+                },
+            ),
+            ev(
+                8,
+                3.5,
+                DRIVER_NODE,
+                EventKind::PhaseEnter {
+                    phase: RunPhase::Forward,
+                },
+            ),
+            ev(9, 4.0, DRIVER_NODE, EventKind::JobEnd { completed: true }),
+        ];
+        let b = Breakdown::from_events(&events);
+        assert_eq!(b.scheme, "strong");
+        assert!(b.completed);
+        assert!((b.total - 4.0).abs() < 1e-12);
+        // forward: [0,1) + [2,3) + [3.5,4) = 2.5
+        assert!((b.forward - 2.5).abs() < 1e-12, "forward={}", b.forward);
+        // checkpoint: [1, 1.4) — up to the last pack.
+        assert!((b.checkpoint - 0.4).abs() < 1e-12);
+        // compare: [1.4, 2.0).
+        assert!((b.compare - 0.6).abs() < 1e-12);
+        // recovery: [3.0, 3.5).
+        assert!((b.recovery - 0.5).abs() < 1e-12);
+        let sum = b.forward + b.checkpoint + b.compare + b.recovery;
+        assert!((sum - b.total).abs() < 1e-12, "sum={sum} total={}", b.total);
+        assert_eq!(b.rounds, 1);
+        assert_eq!(b.pack_bytes, 200);
+    }
+
+    #[test]
+    fn empty_log_is_zeroed() {
+        let b = Breakdown::from_events(&[]);
+        assert_eq!(b.total, 0.0);
+        assert_eq!(b.overhead_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Output sinks for the flight recorder.
+//!
+//! * **JSONL event log** — one event per line, replayable: parsing the file
+//!   back with [`read_jsonl`] reproduces the exact event sequence. Under
+//!   virtual time, two runs of the same seed write byte-identical files.
+//! * **Metrics snapshot** — Prometheus-style text, rendered by
+//!   [`crate::Recorder::expose`].
+//! * **Pretty printer** — the human-readable per-line form (also used for
+//!   the live `ACR_DEBUG` trace), via [`pretty`].
+
+use crate::event::RecordedEvent;
+use std::io::{self, Write};
+
+/// Serialize events as JSONL into a string (one `\n`-terminated line each).
+pub fn to_jsonl(events: &[RecordedEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for ev in events {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Write events as JSONL to an arbitrary writer.
+pub fn write_jsonl(events: &[RecordedEvent], w: &mut impl Write) -> io::Result<()> {
+    w.write_all(to_jsonl(events).as_bytes())
+}
+
+/// Parse a JSONL event log back into events. Blank lines are skipped;
+/// any malformed line aborts with its line number.
+pub fn read_jsonl(s: &str) -> Result<Vec<RecordedEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in s.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(RecordedEvent::from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+/// Render events in the human-readable pretty-printer form, one per line.
+pub fn pretty(events: &[RecordedEvent]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for ev in events {
+        let _ = writeln!(out, "{ev}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let events = vec![
+            RecordedEvent {
+                seq: 0,
+                t: 0.0,
+                node: crate::DRIVER_NODE,
+                kind: EventKind::RoundStart { round: 1 },
+            },
+            RecordedEvent {
+                seq: 1,
+                t: 0.25,
+                node: 2,
+                kind: EventKind::CheckpointPack {
+                    bytes: 512,
+                    chunks: 4,
+                    chunk_size: 128,
+                },
+            },
+        ];
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), 2);
+        let back = read_jsonl(&text).unwrap();
+        assert_eq!(events, back);
+    }
+
+    #[test]
+    fn read_reports_bad_line() {
+        let err = read_jsonl("{\"seq\":0}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+}

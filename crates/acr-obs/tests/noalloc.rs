@@ -1,0 +1,64 @@
+//! Disabled-mode fast-path guarantee: no allocation, no formatting.
+//!
+//! This test binary installs a counting global allocator and drives the
+//! recorder's emit surface with recording switched off; the allocation
+//! counter must not move. This is the benchmark-style assertion backing
+//! the "single relaxed load when disabled" claim.
+
+use acr_obs::{debug_trace, EventKind, Recorder, DRIVER_NODE};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_fast_path_does_not_allocate() {
+    // Construction allocates (rings, registry); the fast path must not.
+    let rec = Recorder::disabled();
+    // Force the ACR_DEBUG OnceLock to initialize outside the measured
+    // window (reading the env var may allocate on first touch).
+    let _ = rec.debug_enabled();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for round in 0..10_000u64 {
+        rec.emit(0, EventKind::RoundStart { round });
+        rec.emit_with(DRIVER_NODE, || EventKind::CheckpointPack {
+            bytes: round,
+            chunks: 16,
+            chunk_size: 4096,
+        });
+        rec.inc_counter("acr_rounds_total", 1);
+        rec.observe("acr_pack_seconds", 0.001);
+        // The debug macro must not format its arguments either (this test
+        // does not set ACR_DEBUG).
+        debug_trace!(rec, 0, "round {} of {}", round, 10_000);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled emit path allocated {} times",
+        after - before
+    );
+}

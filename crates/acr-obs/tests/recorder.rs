@@ -1,0 +1,158 @@
+//! Recorder behavior: ring wraparound, concurrent emit, deterministic
+//! serialization, and the metrics registry.
+
+use acr_obs::{sinks, EventKind, ObsConfig, Recorder, DRIVER_NODE};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn ring_wraparound_keeps_newest_and_counts_drops() {
+    let rec = Recorder::new(
+        ObsConfig {
+            enabled: true,
+            ring_capacity: 4,
+        },
+        1,
+        Arc::new(|| 0.0),
+    );
+    for round in 0..10 {
+        rec.emit(0, EventKind::RoundStart { round });
+    }
+    assert_eq!(rec.dropped(), 6);
+    let events = rec.drain();
+    assert_eq!(events.len(), 4);
+    let rounds: Vec<u64> = events
+        .iter()
+        .map(|ev| match ev.kind {
+            EventKind::RoundStart { round } => round,
+            _ => unreachable!(),
+        })
+        .collect();
+    assert_eq!(rounds, vec![6, 7, 8, 9]);
+    // Drain empties the rings but keeps the drop count.
+    assert!(rec.drain().is_empty());
+    assert_eq!(rec.dropped(), 6);
+}
+
+#[test]
+fn concurrent_emit_from_worker_threads() {
+    const THREADS: u32 = 8;
+    const PER_THREAD: u64 = 200;
+    let rec = Recorder::new(
+        ObsConfig {
+            enabled: true,
+            ring_capacity: 1024,
+        },
+        THREADS,
+        Arc::new(|| 0.0),
+    );
+    std::thread::scope(|scope| {
+        for node in 0..THREADS {
+            let rec = Arc::clone(&rec);
+            scope.spawn(move || {
+                for round in 0..PER_THREAD {
+                    rec.emit(node, EventKind::RoundStart { round });
+                    rec.inc_counter("acr_rounds_total", 1);
+                }
+            });
+        }
+    });
+    let events = rec.drain();
+    assert_eq!(events.len(), (THREADS as u64 * PER_THREAD) as usize);
+    // Sequence numbers are unique and drain() returns them sorted.
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+    // Per-node event order matches per-node emission order.
+    for node in 0..THREADS {
+        let rounds: Vec<u64> = events
+            .iter()
+            .filter(|ev| ev.node == node)
+            .map(|ev| match ev.kind {
+                EventKind::RoundStart { round } => round,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(rounds, (0..PER_THREAD).collect::<Vec<_>>());
+    }
+    assert_eq!(
+        rec.counter("acr_rounds_total").get(),
+        THREADS as u64 * PER_THREAD
+    );
+    assert_eq!(rec.dropped(), 0);
+}
+
+#[test]
+fn disabled_recorder_records_nothing_and_skips_payloads() {
+    let rec = Recorder::disabled();
+    assert!(!rec.is_enabled());
+    rec.emit(DRIVER_NODE, EventKind::JobEnd { completed: true });
+    rec.emit_with(DRIVER_NODE, || {
+        panic!("payload closure must not run when disabled")
+    });
+    rec.inc_counter("acr_never", 1);
+    rec.observe("acr_never_seconds", 1.0);
+    assert!(rec.drain().is_empty());
+    assert_eq!(rec.expose(), "");
+}
+
+#[test]
+fn identical_emission_sequences_serialize_byte_identically() {
+    // The same scripted emission against two recorders sharing a virtual
+    // time source must produce byte-identical JSONL — the property the
+    // end-to-end virtual-mode determinism test relies on.
+    let run = || {
+        let tick = Arc::new(AtomicU64::new(0));
+        let t = Arc::clone(&tick);
+        let rec = Recorder::new(
+            ObsConfig::default(),
+            2,
+            Arc::new(move || t.load(Ordering::Relaxed) as f64 * 0.125),
+        );
+        for round in 0..50 {
+            tick.fetch_add(1, Ordering::Relaxed);
+            rec.emit(DRIVER_NODE, EventKind::RoundStart { round });
+            rec.emit_with(0, || EventKind::CheckpointPack {
+                bytes: 1024 * round,
+                chunks: 4,
+                chunk_size: 256,
+            });
+            rec.emit(
+                1,
+                EventKind::CompareShip {
+                    iteration: round,
+                    wire_bytes: 8,
+                    method: "checksum".into(),
+                },
+            );
+        }
+        sinks::to_jsonl(&rec.drain())
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+    // And the log round-trips through the parser.
+    let parsed = sinks::read_jsonl(&a).unwrap();
+    assert_eq!(sinks::to_jsonl(&parsed), a);
+}
+
+#[test]
+fn expose_renders_counters_and_histograms() {
+    let rec = Recorder::new(ObsConfig::default(), 1, Arc::new(|| 0.0));
+    rec.inc_counter("acr_pack_total", 2);
+    rec.observe("acr_pack_seconds", 0.002);
+    let text = rec.expose();
+    assert!(text.contains("# TYPE acr_pack_total counter"), "{text}");
+    assert!(text.contains("acr_pack_total 2"), "{text}");
+    assert!(text.contains("# TYPE acr_pack_seconds histogram"), "{text}");
+    assert!(text.contains("acr_pack_seconds_count 1"), "{text}");
+}
+
+#[test]
+fn unknown_node_ids_land_in_the_driver_ring_without_panicking() {
+    let rec = Recorder::new(ObsConfig::default(), 2, Arc::new(|| 0.0));
+    rec.emit(DRIVER_NODE, EventKind::JobEnd { completed: false });
+    rec.emit(999, EventKind::RoundStart { round: 0 });
+    assert_eq!(rec.drain().len(), 2);
+}

@@ -208,6 +208,38 @@ pub fn chunk_digests(bytes: &[u8], chunk_size: usize) -> ChunkedDigest {
     assemble_chunks(chunk_size, d.finish())
 }
 
+/// Flight-recorder bookkeeping for one completed pack through the fused
+/// pipeline: emits a `checkpoint_pack` event attributed to `node` carrying
+/// the deterministic pack shape (bytes, chunk count, chunk size), and feeds
+/// the wall-clock latency `wall_secs` into the `acr_pack_seconds` histogram
+/// plus the pack volume counters.
+///
+/// The latency goes **only** into the metrics registry — never into the
+/// event — so virtual-mode event logs stay byte-identical across runs.
+pub fn record_pack(
+    rec: &acr_obs::Recorder,
+    node: u32,
+    digest: &ChunkedDigest,
+    payload_bytes: usize,
+    wall_secs: f64,
+) {
+    if !rec.is_enabled() {
+        return;
+    }
+    rec.emit(
+        node,
+        acr_obs::EventKind::CheckpointPack {
+            bytes: payload_bytes as u64,
+            chunks: digest.chunk_digests.len() as u32,
+            chunk_size: digest.chunk_size as u32,
+        },
+    );
+    rec.inc_counter("acr_pack_total", 1);
+    rec.inc_counter("acr_pack_bytes_total", payload_bytes as u64);
+    rec.inc_counter("acr_pack_chunks_total", digest.chunk_digests.len() as u64);
+    rec.observe("acr_pack_seconds", wall_secs);
+}
+
 macro_rules! fused_pack_scalar {
     ($name:ident, $ty:ty) => {
         fn $name(&mut self, v: &mut $ty) -> PupResult {
@@ -610,5 +642,28 @@ mod tests {
     #[should_panic(expected = "multiple of 4")]
     fn unaligned_chunk_size_rejected() {
         ChunkDigester::new(10, 0);
+    }
+
+    #[test]
+    fn record_pack_emits_event_and_metrics() {
+        let rec = acr_obs::Recorder::new(Default::default(), 1, std::sync::Arc::new(|| 2.5));
+        let d = chunk_digests(&[7u8; 100], 16);
+        record_pack(&rec, 0, &d, 100, 0.002);
+        let events = rec.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].t, 2.5);
+        assert!(matches!(
+            events[0].kind,
+            acr_obs::EventKind::CheckpointPack {
+                bytes: 100,
+                chunks: 7,
+                chunk_size: 16
+            }
+        ));
+        assert_eq!(rec.counter("acr_pack_bytes_total").get(), 100);
+        assert_eq!(rec.histogram("acr_pack_seconds").count(), 1);
+        // The wall-clock latency lives only in the histogram, never in the
+        // serialized event.
+        assert!(!events[0].to_json().contains("0.002"));
     }
 }

@@ -71,8 +71,8 @@ pub use api::{
 };
 pub use checker::{CheckFailure, CheckReport, Checker};
 pub use chunked::{
-    assemble_chunks, chunk_digests, ChunkDigester, ChunkPiece, ChunkedDigest, DigestingPacker,
-    SlicePacker, DEFAULT_CHUNK_SIZE,
+    assemble_chunks, chunk_digests, record_pack, ChunkDigester, ChunkPiece, ChunkedDigest,
+    DigestingPacker, SlicePacker, DEFAULT_CHUNK_SIZE,
 };
 pub use error::{PupError, PupResult};
 pub use fletcher::{fletcher64, Fletcher64, FletcherPuper};

@@ -49,11 +49,15 @@ pub struct CampaignConfig {
     pub quantum: Duration,
     /// Checkpoint interval (virtual seconds).
     pub checkpoint_interval: Duration,
-    /// Run every case twice and require byte-identical event traces.
+    /// Run every case twice and require byte-identical event traces (both
+    /// the driver's text trace and the flight recorder's JSONL log).
     pub check_determinism: bool,
     /// Where to write minimal-repro artifacts for violations (created on
     /// demand); `None` disables artifact emission.
     pub repro_dir: Option<PathBuf>,
+    /// How many trailing flight-recorder events a violation's minimal-repro
+    /// artifact embeds (the crash-dump timeline).
+    pub timeline_events: usize,
 }
 
 impl Default for CampaignConfig {
@@ -73,6 +77,7 @@ impl Default for CampaignConfig {
             checkpoint_interval: Duration::from_millis(60),
             check_determinism: true,
             repro_dir: None,
+            timeline_events: 40,
         }
     }
 }
@@ -351,6 +356,12 @@ fn classify(report: &JobReport, reference: &BTreeMap<(u8, usize), Vec<Bytes>>) -
 
 /// Render the minimal repro artifact for one case: enough to re-run it with
 /// [`replay_case`] (or by hand) without the campaign.
+///
+/// `timeline` is the tail of the run's flight-recorder event log; it is
+/// embedded as `# ` comment lines (one JSON event per line) so the artifact
+/// doubles as a crash dump while [`FaultScript::parse`] replay — which only
+/// reads past the `script:` marker — stays unaffected.
+#[allow(clippy::too_many_arguments)]
 pub fn repro_artifact(
     cfg: &CampaignConfig,
     seed: u64,
@@ -358,10 +369,20 @@ pub fn repro_artifact(
     detection: DetectionMethod,
     script: &FaultScript,
     why: &str,
+    timeline: &[acr_obs::RecordedEvent],
 ) -> String {
     let mut s = String::new();
     s.push_str("# acr fault-campaign minimal repro\n");
     s.push_str(&format!("# violation: {why}\n"));
+    if !timeline.is_empty() {
+        s.push_str(&format!(
+            "# timeline: last {} flight-recorder events\n",
+            timeline.len()
+        ));
+        for ev in timeline {
+            s.push_str(&format!("# {}\n", ev.to_json()));
+        }
+    }
     s.push_str(&format!("seed={seed}\n"));
     s.push_str(&format!("scheme={}\n", scheme_name(scheme)));
     s.push_str(&format!("detection={}\n", detection_name(detection)));
@@ -445,6 +466,12 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                     outcome = CaseOutcome::Violation(format!(
                         "non-deterministic replay: traces diverge at line {diverged_at}"
                     ));
+                } else if acr_obs::sinks::to_jsonl(&replay.events)
+                    != acr_obs::sinks::to_jsonl(&report.events)
+                {
+                    outcome = CaseOutcome::Violation(
+                        "non-deterministic replay: flight-recorder JSONL logs differ".into(),
+                    );
                 }
             }
             if let CaseOutcome::Violation(why) = &outcome {
@@ -456,7 +483,16 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                         detection_name(detection),
                         seed
                     ));
-                    let body = repro_artifact(cfg, seed, scheme, detection, &script, why);
+                    let tail = report.events.len().saturating_sub(cfg.timeline_events);
+                    let body = repro_artifact(
+                        cfg,
+                        seed,
+                        scheme,
+                        detection,
+                        &script,
+                        why,
+                        &report.events[tail..],
+                    );
                     if std::fs::write(&path, body).is_ok() {
                         out.artifacts.push(path);
                     }
@@ -512,9 +548,50 @@ mod tests {
             DetectionMethod::Checksum,
             &script,
             "test",
+            &[],
         );
         let script_part = art.split("script:\n").nth(1).unwrap();
         let parsed = FaultScript::parse(script_part).unwrap();
         assert_eq!(parsed, script);
+    }
+
+    /// The embedded flight-recorder timeline rides along as comment lines:
+    /// each event parses back from its `# {json}` line, and the script
+    /// replay path is unaffected by their presence.
+    #[test]
+    fn repro_artifact_embeds_replayable_timeline() {
+        let cfg = CampaignConfig::default();
+        let script = FaultScript::generate(3, &cfg.scenario_space());
+        let events = vec![
+            acr_obs::RecordedEvent {
+                seq: 0,
+                t: 0.25,
+                node: acr_obs::DRIVER_NODE,
+                kind: acr_obs::EventKind::RoundStart { round: 1 },
+            },
+            acr_obs::RecordedEvent {
+                seq: 1,
+                t: 0.5,
+                node: 2,
+                kind: acr_obs::EventKind::HeartbeatExpired { dead: 5 },
+            },
+        ];
+        let art = repro_artifact(
+            &cfg,
+            3,
+            Scheme::Strong,
+            DetectionMethod::FullCompare,
+            &script,
+            "test",
+            &events,
+        );
+        let recovered: Vec<_> = art
+            .lines()
+            .filter_map(|l| l.strip_prefix("# {"))
+            .map(|rest| acr_obs::RecordedEvent::from_json(&format!("{{{rest}")).unwrap())
+            .collect();
+        assert_eq!(recovered, events);
+        let script_part = art.split("script:\n").nth(1).unwrap();
+        assert_eq!(FaultScript::parse(script_part).unwrap(), script);
     }
 }

@@ -25,6 +25,7 @@ use std::time::Duration;
 
 use acr_core::{DetectionMethod, RecoveryPlanner, ReplicaLayout, Scheme};
 use acr_fault::{FaultAction, FaultScript, Trigger};
+use acr_obs::{debug_trace, EventKind, ObsConfig, RecordedEvent, Recorder, RunPhase, DRIVER_NODE};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
@@ -33,7 +34,6 @@ use crate::clock::Clock;
 use crate::message::{Ctrl, Event, Net, NodeFault, NodeIndex, Scope};
 use crate::node::{NodeConfig, NodeWorker, Pump, TaskFactory};
 use crate::task::Task;
-use crate::trace::trace;
 
 /// Configuration of a replicated job.
 #[derive(Debug, Clone)]
@@ -61,6 +61,10 @@ pub struct JobConfig {
     /// Job-clock safety limit; exceeding it fails the job. Wall seconds in
     /// threaded mode, virtual seconds under [`ExecMode::Virtual`].
     pub max_duration: Duration,
+    /// Flight-recorder configuration: master switch and per-node ring
+    /// capacity. Disabled, every instrumentation site costs one relaxed
+    /// atomic load.
+    pub obs: ObsConfig,
 }
 
 impl Default for JobConfig {
@@ -76,6 +80,7 @@ impl Default for JobConfig {
             heartbeat_period: Duration::from_millis(10),
             heartbeat_timeout: Duration::from_millis(80),
             max_duration: Duration::from_secs(60),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -189,6 +194,16 @@ pub struct JobReport {
     pub sdc_injected_at: Vec<f64>,
     /// Job-clock times crash injections actually landed (node-reported).
     pub crashes_injected_at: Vec<f64>,
+    /// The flight-recorder event log, drained at shutdown and merged into
+    /// emission order. Serialize with [`acr_obs::sinks::to_jsonl`]; fold
+    /// into a per-phase overhead breakdown with
+    /// [`acr_obs::Breakdown::from_events`]. Under [`ExecMode::Virtual`]
+    /// the serialized log is byte-identical across replays of the same
+    /// configuration and script.
+    pub events: Vec<RecordedEvent>,
+    /// Prometheus-style text snapshot of the recorder's counters and
+    /// histograms at shutdown.
+    pub metrics: String,
 }
 
 impl JobReport {
@@ -306,6 +321,7 @@ struct Driver {
     last_event: f64,
     probe: Option<Probe>,
     report: JobReport,
+    rec: Arc<Recorder>,
 }
 
 impl Job {
@@ -381,6 +397,12 @@ impl Job {
             ExecMode::Threaded => Clock::real(),
             ExecMode::Virtual { .. } => Clock::simulated(),
         };
+        // One flight recorder serves the whole job; events are stamped with
+        // the job clock, so virtual-mode logs are deterministic.
+        let rec = {
+            let c = clock.clone();
+            Recorder::new(cfg.obs.clone(), total as u32, Arc::new(move || c.now()))
+        };
 
         let mut workers = Vec::with_capacity(total);
         for (index, inbox) in receivers.into_iter().enumerate() {
@@ -403,6 +425,7 @@ impl Job {
                 inbox,
                 Arc::clone(&factory),
                 clock.clone(),
+                Arc::clone(&rec),
             ));
         }
 
@@ -426,7 +449,15 @@ impl Job {
             last_event: 0.0,
             probe: None,
             report: JobReport::default(),
+            rec,
         };
+        driver.rec.emit_with(DRIVER_NODE, || EventKind::JobStart {
+            scheme: driver.cfg.scheme.name().to_string(),
+            detection: driver.cfg.detection.name().to_string(),
+            ranks: driver.cfg.ranks as u32,
+            spares: driver.cfg.spares as u32,
+        });
+        driver.enter_phase(RunPhase::Forward);
         driver.arm_script(script);
 
         match mode {
@@ -461,6 +492,33 @@ impl Driver {
         self.report
             .trace
             .push(format!("{:10.6} {line}", self.now()));
+    }
+
+    /// Mark a driver-phase transition in the flight recorder. Consecutive
+    /// markers tile the run's timeline, which is what lets the overhead
+    /// report's per-phase rows sum to the total duration exactly.
+    fn enter_phase(&self, phase: RunPhase) {
+        self.rec.emit(DRIVER_NODE, EventKind::PhaseEnter { phase });
+    }
+
+    /// Stamp the run's end marker. Emitted where `duration` is recorded —
+    /// before teardown — so the overhead breakdown's total matches the
+    /// reported duration; teardown events land after it and are ignored by
+    /// the fold.
+    fn emit_job_end(&self) {
+        self.rec.emit(
+            DRIVER_NODE,
+            EventKind::JobEnd {
+                completed: self.report.completed,
+            },
+        );
+    }
+
+    /// Close out the flight recorder into the report: the merged event log
+    /// and the metrics snapshot.
+    fn finalize_obs(&mut self) {
+        self.report.events = self.rec.drain();
+        self.report.metrics = self.rec.expose();
     }
 
     fn send(&self, node: NodeIndex, ctrl: Ctrl) {
@@ -664,6 +722,7 @@ impl Driver {
             self.clock.advance(quantum);
         }
         self.report.duration = self.now();
+        self.emit_job_end();
 
         let total = workers.len();
         for n in 0..total {
@@ -686,6 +745,7 @@ impl Driver {
             }
             self.clock.advance(quantum);
         }
+        self.finalize_obs();
     }
 
     fn record_final_state(&mut self, ev: Event) {
@@ -754,6 +814,14 @@ impl Driver {
                         if pending.is_empty() {
                             let had_sdc = *sdc;
                             let started = *started;
+                            self.rec.emit(
+                                DRIVER_NODE,
+                                EventKind::RoundVerdict {
+                                    round,
+                                    iteration,
+                                    clean: !had_sdc,
+                                },
+                            );
                             if had_sdc {
                                 self.report.sdc_rounds_detected += 1;
                                 self.tlog(format!("round {round} detected sdc iter={iteration}"));
@@ -842,7 +910,10 @@ impl Driver {
                     let token = self.alloc_round();
                     let nodes = self.active_nodes();
                     self.tlog(format!("liveness probe token={token}"));
+                    self.rec.inc_counter("acr_probe_rounds_total", 1);
                     for &n in &nodes {
+                        self.rec
+                            .emit_with(DRIVER_NODE, || EventKind::ProbeSent { suspect: n as u32 });
                         self.send(n, Ctrl::Ping { token });
                     }
                     self.probe = Some(Probe {
@@ -863,6 +934,8 @@ impl Driver {
                     self.last_event = now;
                     for d in dead {
                         self.tlog(format!("node {d} failed liveness probe"));
+                        self.rec
+                            .emit_with(DRIVER_NODE, || EventKind::ProbeDeath { dead: d as u32 });
                         self.declare_dead(d);
                     }
                 } else {
@@ -874,6 +947,7 @@ impl Driver {
 
     fn begin_rollback(&mut self) {
         self.last_event = self.now();
+        self.enter_phase(RunPhase::Rollback);
         self.report.rollbacks += 1;
         let floor = self.alloc_round();
         let nodes = self.active_nodes();
@@ -887,6 +961,7 @@ impl Driver {
     }
 
     fn back_to_running(&mut self) {
+        self.enter_phase(RunPhase::Forward);
         self.phase = Phase::Running;
         self.next_ckpt = self.now() + self.cfg.checkpoint_interval.as_secs_f64();
     }
@@ -912,14 +987,26 @@ impl Driver {
     /// Process a legitimate death report (from the current buddy, or from
     /// the driver's own liveness probe).
     fn declare_dead(&mut self, dead: NodeIndex) {
-        if self.dead_nodes.contains(&dead) || self.layout.read().locate(dead).is_none() {
-            return; // duplicate report or not an active node
+        let located = self.layout.read().locate(dead);
+        let Some((replica, rank)) = located else {
+            return; // not an active node
+        };
+        if self.dead_nodes.contains(&dead) {
+            return; // duplicate report
         }
-        trace!(
+        debug_trace!(
+            self.rec,
+            DRIVER_NODE,
             "[driver t={:.3}] node {dead} declared dead (phase {:?})",
             self.now(),
             self.phase
         );
+        self.rec.emit_with(DRIVER_NODE, || EventKind::NodeDead {
+            dead: dead as u32,
+            replica,
+            rank: rank as u32,
+        });
+        self.rec.inc_counter("acr_nodes_declared_dead_total", 1);
         self.dead_nodes.insert(dead);
         self.done_nodes.remove(&dead);
         self.tlog(format!("node {dead} declared dead"));
@@ -979,6 +1066,10 @@ impl Driver {
                 }
                 if hit {
                     rec.failed = true;
+                    self.rec
+                        .emit_with(DRIVER_NODE, || EventKind::RecoveryCollapsed {
+                            dead: dead as u32,
+                        });
                     self.tlog(format!("recovery collapsed by death of node {dead}"));
                     // Surviving participants of an in-flight ship round
                     // would wait forever for the dead member's consensus
@@ -987,6 +1078,7 @@ impl Driver {
                     self.verified_exists = false;
                     self.weak_parked = false;
                     self.needs_global_restart = true;
+                    self.enter_phase(RunPhase::Forward);
                     self.phase = Phase::Running;
                     let floor = self.alloc_round();
                     for n in self.active_nodes() {
@@ -1020,6 +1112,14 @@ impl Driver {
         let healthy = 1 - replica;
         let buddy_node = self.layout.read().host(healthy, rank);
         let floor = self.alloc_round();
+        self.enter_phase(RunPhase::Recovery);
+        self.rec
+            .emit_with(DRIVER_NODE, || EventKind::RecoveryStart {
+                scheme: self.cfg.scheme.name().to_string(),
+                class: self.cfg.scheme.sdc_exposure_class().to_string(),
+                dead: dead as u32,
+                spare: spare as u32,
+            });
         self.tlog(format!(
             "recovery start dead={dead} replica={replica} rank={rank} spare={spare}"
         ));
@@ -1047,7 +1147,14 @@ impl Driver {
         // Consult the planner for the scheme's action list (the executable
         // plan is what §2.3 specifies; the driver is its interpreter).
         let planner = RecoveryPlanner::new(self.cfg.scheme, self.cfg.ranks);
-        let _plan = planner.plan_hard_error(dead, buddy_node, spare, replica);
+        let _plan = planner.plan_hard_error_recorded(
+            dead,
+            buddy_node,
+            spare,
+            replica,
+            &self.rec,
+            DRIVER_NODE,
+        );
 
         if !self.verified_exists || self.needs_global_restart {
             // Crash before any verified checkpoint (or amid a collapsed
@@ -1055,6 +1162,7 @@ impl Driver {
             // every node to a common clean slate.
             self.needs_global_restart = true;
             self.weak_parked = false;
+            self.enter_phase(RunPhase::Forward);
             self.phase = Phase::Running;
             return;
         }
@@ -1115,6 +1223,7 @@ impl Driver {
                             );
                             self.needs_global_restart = true;
                             self.weak_parked = false;
+                            self.enter_phase(RunPhase::Forward);
                             self.phase = Phase::Running;
                             return;
                         }
@@ -1123,6 +1232,7 @@ impl Driver {
                 // Let the healthy replica run on; ship at the next periodic
                 // checkpoint time (§2.3: "zero-overhead" recovery).
                 self.weak_parked = true;
+                self.enter_phase(RunPhase::Forward);
                 self.phase = Phase::Running;
             }
         }
@@ -1140,6 +1250,7 @@ impl Driver {
         let ship_round = self.alloc_round();
         let healthy_nodes = self.replica_nodes(healthy);
         let crashed_nodes = self.replica_nodes(replica);
+        self.enter_phase(RunPhase::Ship);
         self.tlog(format!("weak ship round {ship_round} starts"));
         for &n in &healthy_nodes {
             self.send(
@@ -1188,6 +1299,9 @@ impl Driver {
             // The shipped state becomes the de-facto baseline.
             self.verified_exists = true;
         }
+        self.rec.emit_with(DRIVER_NODE, || EventKind::RecoveryDone {
+            unverified: rec.counts_as_unverified,
+        });
         let floor = self.alloc_round();
         self.tlog("recovery complete".into());
         // Unpause the shipping replica's engines and unpark the recovered
@@ -1214,6 +1328,10 @@ impl Driver {
         self.report.restarts_from_beginning += 1;
         let floor = self.alloc_round();
         let nodes = self.active_nodes();
+        self.enter_phase(RunPhase::Restart);
+        self.rec
+            .emit(DRIVER_NODE, EventKind::GlobalRestart { iteration: 0 });
+        self.rec.inc_counter("acr_global_restarts_total", 1);
         self.tlog("restart from beginning".into());
         for &n in &nodes {
             self.done_nodes.remove(&n);
@@ -1229,6 +1347,8 @@ impl Driver {
         let round = self.alloc_round();
         let nodes = self.active_nodes();
         let started = self.now();
+        self.enter_phase(RunPhase::Round);
+        self.rec.emit(DRIVER_NODE, EventKind::RoundStart { round });
         self.tlog(format!("round {round} starts"));
         for &n in &nodes {
             self.send(
@@ -1250,6 +1370,7 @@ impl Driver {
 
     fn shutdown_threaded(&mut self, handles: Vec<std::thread::JoinHandle<()>>) -> JobReport {
         self.report.duration = self.now();
+        self.emit_job_end();
         let total = self.peers.len();
         for n in 0..total {
             self.send(n, Ctrl::Shutdown);
@@ -1275,6 +1396,7 @@ impl Driver {
         for h in handles {
             let _ = h.join();
         }
+        self.finalize_obs();
         std::mem::take(&mut self.report)
     }
 }

@@ -23,6 +23,10 @@
 //!   (medium/weak).
 //! * Faults are injected exactly like the paper's §6.1 methodology: a
 //!   random bit flip in PUP-visible user data, and a "no-response" crash.
+//! * Every protocol transition lands in the [`acr_obs`] **flight
+//!   recorder**: the [`JobReport`] carries the structured event log
+//!   (JSONL-serializable, byte-identical across virtual-mode replays) and
+//!   a metrics snapshot, foldable into per-phase overhead breakdowns.
 //!
 //! The entry point is [`Job`]: configure with [`JobConfig`], submit a task
 //! factory, inject faults, and collect a [`JobReport`].
@@ -40,7 +44,6 @@ mod driver;
 mod message;
 mod node;
 mod task;
-mod trace;
 
 pub use clock::Clock;
 pub use driver::{ExecMode, Fault, Job, JobConfig, JobReport, SdcDetection};
@@ -49,3 +52,4 @@ pub use task::{Task, TaskCtx};
 
 pub use acr_core::{DetectionMethod, Divergence, Scheme};
 pub use acr_fault::{FaultAction, FaultScript, ScenarioSpace, ScriptedFault, Trigger};
+pub use acr_obs::{ObsConfig, RecordedEvent, Recorder};

@@ -6,12 +6,13 @@ use std::time::Duration;
 
 use acr_core::{
     Checkpoint, CheckpointStore, ChunkTable, ConsensusAction, ConsensusEngine, ConsensusMsg,
-    Detection, DetectionMethod, HeartbeatMonitor, ReplicaLayout, SdcDetector,
+    ConsensusObserver, Detection, DetectionMethod, HeartbeatMonitor, ReplicaLayout, SdcDetector,
 };
 use acr_fault::SdcInjector;
+use acr_obs::{debug_trace, EventKind, ObsScope, Recorder};
 use acr_pup::{
-    assemble_chunks, Checker, ChunkPiece, ChunkedDigest, Packer, Puper, Sizer, SlicePacker,
-    Unpacker,
+    assemble_chunks, record_pack, Checker, ChunkPiece, ChunkedDigest, Packer, Puper, Sizer,
+    SlicePacker, Unpacker,
 };
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
@@ -22,7 +23,6 @@ use rand::SeedableRng;
 use crate::clock::Clock;
 use crate::message::{AppMsg, Ctrl, Event, Net, NodeFault, NodeIndex, Scope, TaskId};
 use crate::task::{Task, TaskCtx};
-use crate::trace::trace;
 
 /// Every task's packed bytes start at a multiple of this (trailing zero
 /// padding rounds each task segment up). Word-aligned segment boundaries are
@@ -159,6 +159,7 @@ pub(crate) struct NodeWorker {
     inbox: Receiver<Net>,
     factory: Arc<TaskFactory>,
     clock: Clock,
+    rec: Arc<Recorder>,
     crashed: bool,
     parked: bool,
     done_reported: bool,
@@ -200,6 +201,7 @@ impl NodeWorker {
         inbox: Receiver<Net>,
         factory: Arc<TaskFactory>,
         clock: Clock,
+        rec: Arc<Recorder>,
     ) -> Self {
         let detector = SdcDetector::new(cfg.detection);
         let timeout = cfg.heartbeat_timeout.as_secs_f64();
@@ -219,6 +221,7 @@ impl NodeWorker {
             inbox,
             factory,
             clock,
+            rec,
             crashed: false,
             parked: false,
             done_reported: false,
@@ -253,6 +256,11 @@ impl NodeWorker {
         self.clock.now()
     }
 
+    /// This node's id in the flight recorder's numbering.
+    fn obs_node(&self) -> u32 {
+        self.cfg.index as u32
+    }
+
     fn send(&self, node: NodeIndex, msg: Net) {
         // A send to a node whose channel is gone (job tearing down) is
         // silently dropped, like a packet to a powered-off host.
@@ -268,8 +276,18 @@ impl NodeWorker {
         };
         let ranks = self.cfg.ranks;
         let mut global =
-            ConsensusEngine::new(replica as usize * ranks + rank, 2 * ranks, self.tasks.len());
-        let mut local = ConsensusEngine::new(rank, ranks, self.tasks.len());
+            ConsensusEngine::new(replica as usize * ranks + rank, 2 * ranks, self.tasks.len())
+                .with_observer(ConsensusObserver {
+                    recorder: Arc::clone(&self.rec),
+                    node: self.obs_node(),
+                    scope: ObsScope::Global,
+                });
+        let mut local =
+            ConsensusEngine::new(rank, ranks, self.tasks.len()).with_observer(ConsensusObserver {
+                recorder: Arc::clone(&self.rec),
+                node: self.obs_node(),
+                scope: ObsScope::Replica(replica),
+            });
         for (t, task) in self.tasks.iter().enumerate() {
             let _ = global.report_progress(t, task.progress());
             let _ = local.report_progress(t, task.progress());
@@ -313,7 +331,9 @@ impl NodeWorker {
         };
         let Some(engine) = engine else { return };
         let actions = engine.on_message(msg);
-        trace!(
+        debug_trace!(
+            self.rec,
+            self.obs_node(),
             "[node {} {:?}] consensus {scope:?} {msg:?} -> {} actions",
             self.cfg.index,
             self.identity,
@@ -373,8 +393,20 @@ impl NodeWorker {
 
     fn take_checkpoint(&mut self, scope: Scope, round: u64, iteration: u64) {
         self.drain_app_messages();
+        let pack_started = std::time::Instant::now();
         let (payload, chunked) = self.pack_tasks();
-        trace!("[node {} {:?}] ckpt scope={scope:?} round={round} iter={iteration} digest={:x} chunks={} progress={:?}",
+        // Deterministic pack facts go into the event log; the wall-clock
+        // latency goes only into the histogram (it would break virtual-mode
+        // log determinism).
+        record_pack(
+            &self.rec,
+            self.obs_node(),
+            &chunked,
+            payload.len(),
+            pack_started.elapsed().as_secs_f64(),
+        );
+        debug_trace!(self.rec, self.obs_node(),
+            "[node {} {:?}] ckpt scope={scope:?} round={round} iter={iteration} digest={:x} chunks={} progress={:?}",
             self.cfg.index, self.identity, chunked.digest, chunked.chunk_digests.len(),
             self.tasks.iter().map(|t| t.progress()).collect::<Vec<_>>());
         let table = ChunkTable {
@@ -395,9 +427,12 @@ impl NodeWorker {
                     // Ship content (or digest) for comparison (§2.1: "the
                     // remote checkpoint is sent to replica 2 only for SDC
                     // detection purposes").
-                    let detection = self
-                        .detector
-                        .outgoing(self.store.tentative().expect("just stored"));
+                    let detection = self.detector.outgoing_recorded(
+                        self.store.tentative().expect("just stored"),
+                        &self.rec,
+                        self.cfg.index as u32,
+                        iteration,
+                    );
                     self.awaiting_verdict = Some((round, iteration));
                     self.send(
                         buddy,
@@ -444,10 +479,17 @@ impl NodeWorker {
         // Promotion is deferred to the driver's RoundComplete: a mismatch
         // *anywhere* invalidates the whole round, so locally-clean pairs
         // must not advance their rollback target ahead of the others.
-        let divergence = self.detector.diverged(tentative, &detection);
+        let divergence = self.detector.diverged_recorded(
+            tentative,
+            &detection,
+            &self.rec,
+            self.cfg.index as u32,
+            iteration,
+        );
         let clean = divergence.is_clean();
         let payload_len = tentative.len();
-        trace!("[node {} {:?}] compare iter={iteration} clean={clean} local_len={payload_len} local_digest={:x} diverged={:?}",
+        debug_trace!(self.rec, self.obs_node(),
+            "[node {} {:?}] compare iter={iteration} clean={clean} local_len={payload_len} local_digest={:x} diverged={:?}",
             self.cfg.index, self.identity, tentative.digest, divergence.ranges);
         // On a FullCompare mismatch, re-check at field granularity — but
         // only inside the diverged chunks the table localized, not the whole
@@ -508,7 +550,9 @@ impl NodeWorker {
     fn handle_ctrl(&mut self, ctrl: Ctrl) -> bool {
         match ctrl {
             Ctrl::StartRound { scope, round } => {
-                trace!(
+                debug_trace!(
+                    self.rec,
+                    self.obs_node(),
                     "[node {} {:?}] StartRound {scope:?} round={round} progress={:?}",
                     self.cfg.index,
                     self.identity,
@@ -540,7 +584,9 @@ impl NodeWorker {
                 // back first, and those must land in the restored tasks,
                 // not in state about to be overwritten.
                 self.enter_epoch(floor);
-                trace!(
+                debug_trace!(
+                    self.rec,
+                    self.obs_node(),
                     "[node {} {:?}] rolled back to progress={:?} (floor {floor}, epoch {})",
                     self.cfg.index,
                     self.identity,
@@ -678,8 +724,14 @@ impl NodeWorker {
     /// Apply an injected fault to this node, reporting the exact job-clock
     /// time it landed.
     fn apply_fault(&mut self, fault: NodeFault) {
+        let iteration = self.tasks.iter().map(|t| t.progress()).max().unwrap_or(0);
         match fault {
             NodeFault::Crash => {
+                self.rec
+                    .emit_with(self.obs_node(), || EventKind::FaultInjected {
+                        kind: "crash".to_string(),
+                        iteration,
+                    });
                 let _ = self.events.send(Event::FaultInjected {
                     node: self.cfg.index,
                     at: self.now(),
@@ -689,6 +741,11 @@ impl NodeWorker {
             }
             NodeFault::Sdc { seed, bits } => {
                 if self.inject_sdc(seed, bits) {
+                    self.rec
+                        .emit_with(self.obs_node(), || EventKind::FaultInjected {
+                            kind: "sdc".to_string(),
+                            iteration,
+                        });
                     let _ = self.events.send(Event::FaultInjected {
                         node: self.cfg.index,
                         at: self.now(),
@@ -924,6 +981,11 @@ impl NodeWorker {
             }
         }
         for dead in self.monitor.expired(now) {
+            self.rec
+                .emit_with(self.obs_node(), || EventKind::HeartbeatExpired {
+                    dead: dead as u32,
+                });
+            self.rec.inc_counter("acr_heartbeat_expired_total", 1);
             let _ = self.events.send(Event::BuddyDead {
                 reporter: self.cfg.index,
                 dead,

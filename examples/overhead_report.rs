@@ -1,0 +1,237 @@
+//! Paper-style overhead report from the flight recorder: run a fault-free
+//! 8-node virtual job plus one crash scenario per recovery scheme, fold
+//! each run's structured event log into a per-phase overhead breakdown
+//! (forward / checkpoint / compare / recovery — the stacks of Figs. 6–8),
+//! and emit the artifacts:
+//!
+//! * `overhead_<scenario>.jsonl` — the replayable JSONL event log.
+//! * `BENCH_overhead.json` — one JSON object per scenario with the folded
+//!   breakdown.
+//!
+//! Every scenario is executed **twice** and the two JSONL logs must be
+//! byte-identical (virtual-time determinism); each breakdown's rows must
+//! sum to the run's total duration within 1%. Exit code 1 if either check
+//! fails.
+//!
+//! ```text
+//! cargo run --release --example overhead_report
+//! cargo run --release --example overhead_report -- --out target/obs
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use acr::obs::{sinks, Breakdown};
+use acr::pup::{Pup, PupResult, Puper};
+use acr::runtime::{
+    AppMsg, DetectionMethod, ExecMode, FaultAction, FaultScript, Job, JobConfig, JobReport, Scheme,
+    Task, TaskCtx, TaskId, Trigger,
+};
+
+/// Communicating token ring with float dynamics — the same workload shape
+/// the fault campaign sweeps, sized so virtual runs take milliseconds.
+struct Ring {
+    rank: usize,
+    iter: u64,
+    tokens: u64,
+    acc: Vec<f64>,
+    total_iters: u64,
+}
+
+impl Ring {
+    fn new(rank: usize, total_iters: u64) -> Self {
+        Self {
+            rank,
+            iter: 0,
+            tokens: 0,
+            acc: (0..48).map(|i| (rank * 100 + i) as f64).collect(),
+            total_iters,
+        }
+    }
+}
+
+impl Task for Ring {
+    fn try_step(&mut self, ctx: &mut TaskCtx<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        if self.iter > 0 && self.tokens == 0 {
+            return false;
+        }
+        if self.iter > 0 {
+            self.tokens -= 1;
+        }
+        for (i, x) in self.acc.iter_mut().enumerate() {
+            *x += ((self.iter as f64 + i as f64) * 1e-3).sin();
+        }
+        let next = TaskId {
+            rank: (self.rank + 1) % ctx.ranks(),
+            task: 0,
+        };
+        ctx.send(next, self.iter, vec![]);
+        self.iter += 1;
+        true
+    }
+
+    fn on_message(&mut self, _msg: AppMsg, _ctx: &mut TaskCtx<'_>) {
+        self.tokens += 1;
+    }
+
+    fn progress(&self) -> u64 {
+        self.iter
+    }
+
+    fn done(&self) -> bool {
+        self.iter >= self.total_iters
+    }
+
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_usize(&mut self.rank)?;
+        p.pup_u64(&mut self.iter)?;
+        p.pup_u64(&mut self.tokens)?;
+        self.acc.pup(p)?;
+        p.pup_u64(&mut self.total_iters)
+    }
+}
+
+const ITERS: u64 = 400;
+
+/// 8 active nodes: 4 ranks × 2 replicas, plus two spares for recovery.
+fn cfg(scheme: Scheme) -> JobConfig {
+    JobConfig {
+        ranks: 4,
+        tasks_per_rank: 1,
+        spares: 2,
+        scheme,
+        detection: DetectionMethod::ChunkedChecksum,
+        checkpoint_interval: Duration::from_millis(60),
+        heartbeat_period: Duration::from_millis(5),
+        heartbeat_timeout: Duration::from_millis(40),
+        max_duration: Duration::from_secs(30),
+        ..JobConfig::default()
+    }
+}
+
+fn run(scheme: Scheme, script: &FaultScript) -> JobReport {
+    Job::run_scripted(
+        cfg(scheme),
+        |rank, _| Box::new(Ring::new(rank, ITERS)) as Box<dyn Task>,
+        script,
+        ExecMode::virtual_default(),
+    )
+}
+
+fn crash_script() -> FaultScript {
+    FaultScript::single(
+        Trigger::AtIteration(ITERS / 3),
+        FaultAction::Crash {
+            replica: 0,
+            rank: 1,
+        },
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = PathBuf::from("target/obs");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).map(String::as_str).unwrap_or_else(|| {
+                    eprintln!("--out needs a directory");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: overhead_report [--out DIR]");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::from(2);
+    }
+
+    let scenarios: Vec<(&str, Scheme, FaultScript)> = vec![
+        ("fault_free", Scheme::Strong, FaultScript::new()),
+        ("strong_crash", Scheme::Strong, crash_script()),
+        ("medium_crash", Scheme::Medium, crash_script()),
+        ("weak_crash", Scheme::Weak, crash_script()),
+    ];
+
+    let mut rows: Vec<(String, Breakdown)> = Vec::new();
+    let mut bench_lines: Vec<String> = Vec::new();
+    let mut failed = false;
+
+    for (name, scheme, script) in &scenarios {
+        let report = run(*scheme, script);
+        let replay = run(*scheme, script);
+        let jsonl = sinks::to_jsonl(&report.events);
+        if jsonl != sinks::to_jsonl(&replay.events) {
+            eprintln!("FAIL {name}: replay produced a different JSONL event log");
+            failed = true;
+        }
+        if !report.completed {
+            eprintln!(
+                "FAIL {name}: run did not complete: {}",
+                report.error.as_deref().unwrap_or("unknown")
+            );
+            failed = true;
+        }
+
+        let b = Breakdown::from_events(&report.events);
+        let sum = b.forward + b.checkpoint + b.compare + b.recovery;
+        if b.total > 0.0 && ((sum - b.total) / b.total).abs() > 0.01 {
+            eprintln!(
+                "FAIL {name}: breakdown rows sum to {sum:.6}s, total is {:.6}s",
+                b.total
+            );
+            failed = true;
+        }
+
+        let log_path = out_dir.join(format!("overhead_{name}.jsonl"));
+        if let Err(e) = std::fs::write(&log_path, &jsonl) {
+            eprintln!("cannot write {}: {e}", log_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "{name}: {} events -> {}  (rounds {}, recoveries {}, overhead {:.1}%)",
+            report.events.len(),
+            log_path.display(),
+            b.rounds,
+            b.recoveries,
+            100.0 * b.overhead_fraction()
+        );
+
+        // Splice the scenario label into the breakdown's JSON object.
+        let json = b.to_json();
+        bench_lines.push(format!(
+            "{{\"scenario\":\"{name}\",{}",
+            json.strip_prefix('{').unwrap_or(&json)
+        ));
+        rows.push((name.to_string(), b));
+    }
+
+    println!();
+    print!("{}", acr::obs::report::render_table("scenario", &rows));
+
+    let bench_path = out_dir.join("BENCH_overhead.json");
+    let bench = format!("[\n  {}\n]\n", bench_lines.join(",\n  "));
+    if let Err(e) = std::fs::write(&bench_path, bench) {
+        eprintln!("cannot write {}: {e}", bench_path.display());
+        return ExitCode::from(2);
+    }
+    println!("\nbenchmark summary -> {}", bench_path.display());
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`model`] — the §5 analytical performance/reliability model: the three
 //!   schemes' total-time equations, optimal periods, utilization and
 //!   undetected-SDC probability (Figs. 1, 7).
+//! * [`obs`] — the flight recorder and metrics layer: structured protocol
+//!   events in per-node rings, JSONL/Prometheus-style sinks, and the
+//!   paper-style per-phase overhead breakdown folded from an event log.
 //! * [`protocol`] — runtime-agnostic ACR state machines: replica layout,
 //!   the four-phase checkpoint consensus, checkpoint store, SDC detectors,
 //!   recovery planning, heartbeat monitoring.
@@ -56,6 +59,7 @@ pub use acr_apps as apps;
 pub use acr_core as protocol;
 pub use acr_fault as fault;
 pub use acr_model as model;
+pub use acr_obs as obs;
 pub use acr_pup as pup;
 pub use acr_runtime as runtime;
 pub use acr_sim as sim;

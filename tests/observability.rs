@@ -1,0 +1,192 @@
+//! Acceptance tests for the flight-recorder / overhead-report layer: the
+//! per-phase breakdown folded from a run's event log must tile the run's
+//! duration, and virtual-mode event logs must replay byte-identically.
+
+use std::time::Duration;
+
+use acr::obs::{sinks, Breakdown, EventKind};
+use acr::pup::{Pup, PupResult, Puper};
+use acr::runtime::{
+    AppMsg, DetectionMethod, ExecMode, FaultAction, FaultScript, Job, JobConfig, JobReport, Scheme,
+    Task, TaskCtx, TaskId, Trigger,
+};
+
+struct Ring {
+    rank: usize,
+    iter: u64,
+    tokens: u64,
+    acc: Vec<f64>,
+    total_iters: u64,
+}
+
+impl Ring {
+    fn new(rank: usize, total_iters: u64) -> Self {
+        Self {
+            rank,
+            iter: 0,
+            tokens: 0,
+            acc: (0..48).map(|i| (rank * 100 + i) as f64).collect(),
+            total_iters,
+        }
+    }
+}
+
+impl Task for Ring {
+    fn try_step(&mut self, ctx: &mut TaskCtx<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        if self.iter > 0 && self.tokens == 0 {
+            return false;
+        }
+        if self.iter > 0 {
+            self.tokens -= 1;
+        }
+        for (i, x) in self.acc.iter_mut().enumerate() {
+            *x += ((self.iter as f64 + i as f64) * 1e-3).sin();
+        }
+        let next = TaskId {
+            rank: (self.rank + 1) % ctx.ranks(),
+            task: 0,
+        };
+        ctx.send(next, self.iter, vec![]);
+        self.iter += 1;
+        true
+    }
+
+    fn on_message(&mut self, _msg: AppMsg, _ctx: &mut TaskCtx<'_>) {
+        self.tokens += 1;
+    }
+
+    fn progress(&self) -> u64 {
+        self.iter
+    }
+
+    fn done(&self) -> bool {
+        self.iter >= self.total_iters
+    }
+
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_usize(&mut self.rank)?;
+        p.pup_u64(&mut self.iter)?;
+        p.pup_u64(&mut self.tokens)?;
+        self.acc.pup(p)?;
+        p.pup_u64(&mut self.total_iters)
+    }
+}
+
+const ITERS: u64 = 300;
+
+fn run(scheme: Scheme, script: &FaultScript) -> JobReport {
+    let cfg = JobConfig {
+        ranks: 4,
+        tasks_per_rank: 1,
+        spares: 2,
+        scheme,
+        detection: DetectionMethod::ChunkedChecksum,
+        checkpoint_interval: Duration::from_millis(60),
+        heartbeat_period: Duration::from_millis(5),
+        heartbeat_timeout: Duration::from_millis(40),
+        max_duration: Duration::from_secs(30),
+        ..JobConfig::default()
+    };
+    Job::run_scripted(
+        cfg,
+        |rank, _| Box::new(Ring::new(rank, ITERS)) as Box<dyn Task>,
+        script,
+        ExecMode::virtual_default(),
+    )
+}
+
+fn crash_script() -> FaultScript {
+    FaultScript::single(
+        Trigger::AtIteration(ITERS / 3),
+        FaultAction::Crash {
+            replica: 0,
+            rank: 1,
+        },
+    )
+}
+
+/// The breakdown's rows sum to the run's total duration within 1%, for a
+/// fault-free run and one crash scenario per scheme (acceptance criterion).
+#[test]
+fn breakdown_rows_tile_the_run_duration() {
+    let scenarios: Vec<(&str, Scheme, FaultScript)> = vec![
+        ("fault_free", Scheme::Strong, FaultScript::new()),
+        ("strong_crash", Scheme::Strong, crash_script()),
+        ("medium_crash", Scheme::Medium, crash_script()),
+        ("weak_crash", Scheme::Weak, crash_script()),
+    ];
+    for (name, scheme, script) in scenarios {
+        let report = run(scheme, &script);
+        assert!(
+            report.completed,
+            "{name}: {:?}\n{}",
+            report.error,
+            report.trace.join("\n")
+        );
+        let b = Breakdown::from_events(&report.events);
+        assert!(b.total > 0.0, "{name}: empty breakdown");
+        let sum = b.forward + b.checkpoint + b.compare + b.recovery;
+        assert!(
+            ((sum - b.total) / b.total).abs() <= 0.01,
+            "{name}: rows sum to {sum}, total {}",
+            b.total
+        );
+        // The breakdown total is the duration the driver itself recorded.
+        assert!(
+            (b.total - report.duration).abs() <= 0.01 * report.duration,
+            "{name}: breakdown total {} vs report duration {}",
+            b.total,
+            report.duration
+        );
+        assert!(b.rounds >= 1, "{name}: no checkpoint rounds observed");
+        if !script.is_empty() {
+            assert!(
+                b.recoveries >= 1 || b.restarts >= 1,
+                "{name}: crash produced no recovery event"
+            );
+        }
+    }
+}
+
+/// Two virtual runs of the same configuration and script serialize to
+/// byte-identical JSONL event logs, and the log round-trips through the
+/// JSONL reader (acceptance criterion).
+#[test]
+fn virtual_event_logs_replay_byte_identically() {
+    let script = crash_script();
+    let a = run(Scheme::Strong, &script);
+    let b = run(Scheme::Strong, &script);
+    let ja = sinks::to_jsonl(&a.events);
+    let jb = sinks::to_jsonl(&b.events);
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "virtual-mode JSONL logs must be byte-identical");
+
+    let parsed = sinks::read_jsonl(&ja).expect("log round-trips");
+    assert_eq!(parsed, a.events);
+}
+
+/// The event log carries the protocol story: job start/end, round verdicts,
+/// per-node checkpoint packs, the crash and its recovery.
+#[test]
+fn event_log_covers_the_protocol_surface() {
+    let report = run(Scheme::Strong, &crash_script());
+    assert!(report.completed);
+    let has = |pred: &dyn Fn(&EventKind) -> bool| report.events.iter().any(|e| pred(&e.kind));
+    assert!(has(&|k| matches!(k, EventKind::JobStart { .. })));
+    assert!(has(&|k| matches!(k, EventKind::JobEnd { completed: true })));
+    assert!(has(&|k| matches!(k, EventKind::RoundStart { .. })));
+    assert!(has(&|k| matches!(k, EventKind::RoundVerdict { .. })));
+    assert!(has(&|k| matches!(k, EventKind::CheckpointPack { .. })));
+    assert!(has(&|k| matches!(k, EventKind::CompareShip { .. })));
+    assert!(has(&|k| matches!(k, EventKind::FaultInjected { .. })));
+    assert!(has(&|k| matches!(k, EventKind::NodeDead { .. })));
+    assert!(
+        has(&|k| matches!(k, EventKind::RecoveryStart { .. }))
+            || has(&|k| matches!(k, EventKind::GlobalRestart { .. }))
+    );
+    // Metrics snapshot rode along with the report.
+    assert!(report.metrics.contains("acr_pack_total"));
+}
