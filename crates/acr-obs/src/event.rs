@@ -239,6 +239,32 @@ pub enum EventKind {
         /// Iteration of the checkpoint being restored.
         iteration: u64,
     },
+    /// (TCP transport) a node's endpoint completed the connect/accept
+    /// handshake with the driver's router.
+    TransportConnect {
+        /// Dial attempts this (re)connection took (1 = first try).
+        attempt: u32,
+    },
+    /// (TCP transport) a dial attempt failed; the endpoint backs off.
+    TransportRetry {
+        /// Failed attempt number since the last successful connect.
+        attempt: u32,
+        /// Backoff delay before the next attempt, in microseconds.
+        delay_us: u64,
+    },
+    /// (TCP transport) a node endpoint's lifetime wire-traffic totals,
+    /// emitted once at teardown so `overhead_report` can attribute
+    /// frame/byte volume per node.
+    WireBytes {
+        /// Frames successfully written to the socket.
+        frames_sent: u64,
+        /// Bytes successfully written (headers + trailers included).
+        bytes_sent: u64,
+        /// Frames received and accepted (replay duplicates excluded).
+        frames_recv: u64,
+        /// Raw bytes read off the socket.
+        bytes_recv: u64,
+    },
     /// A free-form debug message from a `debug_trace!` site.
     Debug {
         /// The formatted message.
@@ -269,6 +295,9 @@ impl EventKind {
             EventKind::RecoveryDone { .. } => "recovery_done",
             EventKind::RecoveryCollapsed { .. } => "recovery_collapsed",
             EventKind::GlobalRestart { .. } => "global_restart",
+            EventKind::TransportConnect { .. } => "transport_connect",
+            EventKind::TransportRetry { .. } => "transport_retry",
+            EventKind::WireBytes { .. } => "wire_bytes",
             EventKind::Debug { .. } => "debug",
         }
     }
@@ -375,6 +404,22 @@ impl EventKind {
             EventKind::RecoveryDone { unverified } => push_raw(out, "unverified", unverified),
             EventKind::RecoveryCollapsed { dead } => push_raw(out, "dead", dead),
             EventKind::GlobalRestart { iteration } => push_raw(out, "iteration", iteration),
+            EventKind::TransportConnect { attempt } => push_raw(out, "attempt", attempt),
+            EventKind::TransportRetry { attempt, delay_us } => {
+                push_raw(out, "attempt", attempt);
+                push_raw(out, "delay_us", delay_us);
+            }
+            EventKind::WireBytes {
+                frames_sent,
+                bytes_sent,
+                frames_recv,
+                bytes_recv,
+            } => {
+                push_raw(out, "frames_sent", frames_sent);
+                push_raw(out, "bytes_sent", bytes_sent);
+                push_raw(out, "frames_recv", frames_recv);
+                push_raw(out, "bytes_recv", bytes_recv);
+            }
             EventKind::Debug { text } => push_str(out, "text", text),
         }
     }
@@ -459,6 +504,19 @@ impl EventKind {
             },
             "global_restart" => EventKind::GlobalRestart {
                 iteration: f.num("iteration")?,
+            },
+            "transport_connect" => EventKind::TransportConnect {
+                attempt: f.num("attempt")?,
+            },
+            "transport_retry" => EventKind::TransportRetry {
+                attempt: f.num("attempt")?,
+                delay_us: f.num("delay_us")?,
+            },
+            "wire_bytes" => EventKind::WireBytes {
+                frames_sent: f.num("frames_sent")?,
+                bytes_sent: f.num("bytes_sent")?,
+                frames_recv: f.num("frames_recv")?,
+                bytes_recv: f.num("bytes_recv")?,
             },
             "debug" => EventKind::Debug {
                 text: f.str("text")?.to_string(),
@@ -626,6 +684,17 @@ mod tests {
         roundtrip(EventKind::RecoveryDone { unverified: true });
         roundtrip(EventKind::RecoveryCollapsed { dead: 6 });
         roundtrip(EventKind::GlobalRestart { iteration: 400 });
+        roundtrip(EventKind::TransportConnect { attempt: 3 });
+        roundtrip(EventKind::TransportRetry {
+            attempt: 2,
+            delay_us: 4000,
+        });
+        roundtrip(EventKind::WireBytes {
+            frames_sent: 1201,
+            bytes_sent: 88210,
+            frames_recv: 1178,
+            bytes_recv: 87555,
+        });
         roundtrip(EventKind::Debug {
             text: "free-form \"quoted\" text\nline 2".into(),
         });

@@ -11,7 +11,7 @@
 //! **compare**.
 
 use crate::event::{EventKind, RecordedEvent, RunPhase};
-use crate::json::{push_raw, push_str};
+use crate::json::{push_raw, push_str, Fields};
 
 /// Per-run overhead breakdown: where the time went, per category.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -44,6 +44,15 @@ pub struct Breakdown {
     pub pack_bytes: u64,
     /// Total comparison-record bytes shipped between buddies.
     pub compare_wire_bytes: u64,
+    /// Successful transport connections (TCP backend; handshakes, including
+    /// reconnects after a socket drop).
+    pub transport_connects: u64,
+    /// Failed transport dial attempts (reconnect backoff retries).
+    pub transport_retries: u64,
+    /// Frames crossing node endpoints, both directions summed.
+    pub wire_frames: u64,
+    /// Bytes crossing node endpoints, both directions summed.
+    pub wire_bytes: u64,
 }
 
 impl Breakdown {
@@ -96,6 +105,17 @@ impl Breakdown {
                     b.pack_bytes += bytes;
                 }
                 EventKind::CompareShip { wire_bytes, .. } => b.compare_wire_bytes += wire_bytes,
+                EventKind::TransportConnect { .. } => b.transport_connects += 1,
+                EventKind::TransportRetry { .. } => b.transport_retries += 1,
+                EventKind::WireBytes {
+                    frames_sent,
+                    bytes_sent,
+                    frames_recv,
+                    bytes_recv,
+                } => {
+                    b.wire_frames += frames_sent + frames_recv;
+                    b.wire_bytes += bytes_sent + bytes_recv;
+                }
                 EventKind::RoundStart { .. } => b.rounds += 1,
                 EventKind::RoundVerdict { clean: true, .. } => b.verified_rounds += 1,
                 EventKind::RecoveryStart { .. } => b.recoveries += 1,
@@ -140,10 +160,62 @@ impl Breakdown {
         push_raw(&mut out, "restarts", self.restarts);
         push_raw(&mut out, "pack_bytes", self.pack_bytes);
         push_raw(&mut out, "compare_wire_bytes", self.compare_wire_bytes);
+        push_raw(&mut out, "transport_connects", self.transport_connects);
+        push_raw(&mut out, "transport_retries", self.transport_retries);
+        push_raw(&mut out, "wire_frames", self.wire_frames);
+        push_raw(&mut out, "wire_bytes", self.wire_bytes);
         out.pop();
         out.push('}');
         out
     }
+
+    /// Parse a [`Breakdown::to_json`] line back. Unknown keys (e.g. the
+    /// `scenario` label `BENCH_overhead.json` splices in) are ignored;
+    /// missing numeric keys default to zero so older baselines stay
+    /// readable after new fields are added.
+    pub fn from_json(line: &str) -> Result<Breakdown, String> {
+        let f = Fields::parse(line)?;
+        Ok(Breakdown {
+            scheme: f.str("scheme").unwrap_or_default().to_string(),
+            detection: f.str("detection").unwrap_or_default().to_string(),
+            completed: f.bool("completed").unwrap_or(false),
+            total: f.num("total_s").unwrap_or(0.0),
+            forward: f.num("forward_s").unwrap_or(0.0),
+            checkpoint: f.num("checkpoint_s").unwrap_or(0.0),
+            compare: f.num("compare_s").unwrap_or(0.0),
+            recovery: f.num("recovery_s").unwrap_or(0.0),
+            rounds: f.num("rounds").unwrap_or(0),
+            verified_rounds: f.num("verified_rounds").unwrap_or(0),
+            recoveries: f.num("recoveries").unwrap_or(0),
+            restarts: f.num("restarts").unwrap_or(0),
+            pack_bytes: f.num("pack_bytes").unwrap_or(0),
+            compare_wire_bytes: f.num("compare_wire_bytes").unwrap_or(0),
+            transport_connects: f.num("transport_connects").unwrap_or(0),
+            transport_retries: f.num("transport_retries").unwrap_or(0),
+            wire_frames: f.num("wire_frames").unwrap_or(0),
+            wire_bytes: f.num("wire_bytes").unwrap_or(0),
+        })
+    }
+}
+
+/// Parse a `BENCH_overhead.json` document — a JSON array of scenario-
+/// labeled [`Breakdown`] objects, one per line, as `overhead_report`
+/// writes it — into `(scenario, breakdown)` rows.
+pub fn parse_bench(text: &str) -> Result<Vec<(String, Breakdown)>, String> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "[" || line == "]" {
+            continue;
+        }
+        let f = Fields::parse(line)?;
+        let scenario = f
+            .str("scenario")
+            .ok_or_else(|| format!("row without a scenario label: {line}"))?
+            .to_string();
+        rows.push((scenario, Breakdown::from_json(line)?));
+    }
+    Ok(rows)
 }
 
 /// Render breakdowns as a paper-style text table (one row per run).
@@ -287,5 +359,100 @@ mod tests {
         let b = Breakdown::from_events(&[]);
         assert_eq!(b.total, 0.0);
         assert_eq!(b.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let b = Breakdown {
+            scheme: "strong".into(),
+            detection: "chunked_checksum".into(),
+            completed: true,
+            total: 1.25,
+            forward: 1.0,
+            checkpoint: 0.125,
+            compare: 0.0625,
+            recovery: 0.0625,
+            rounds: 3,
+            verified_rounds: 3,
+            recoveries: 1,
+            restarts: 0,
+            pack_bytes: 4096,
+            compare_wire_bytes: 512,
+            transport_connects: 7,
+            transport_retries: 2,
+            wire_frames: 1201,
+            wire_bytes: 88210,
+        };
+        let parsed = Breakdown::from_json(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn bench_document_parses_with_scenario_labels() {
+        let b = Breakdown {
+            scheme: "medium".into(),
+            total: 0.5,
+            forward: 0.5,
+            completed: true,
+            ..Breakdown::default()
+        };
+        let json = b.to_json();
+        let spliced = format!(
+            "{{\"scenario\":\"fault_free\",{}",
+            json.strip_prefix('{').unwrap()
+        );
+        let doc = format!("[\n  {spliced},\n  {spliced}\n]\n");
+        let rows = parse_bench(&doc).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "fault_free");
+        assert_eq!(rows[0].1, b);
+        // A row missing its scenario label is an error, not a skip.
+        assert!(parse_bench(&format!("[\n  {json}\n]\n")).is_err());
+    }
+
+    /// Wire-transport events fold into the breakdown's wire columns.
+    #[test]
+    fn wire_events_are_attributed() {
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                DRIVER_NODE,
+                EventKind::JobStart {
+                    scheme: "strong".into(),
+                    detection: "checksum".into(),
+                    ranks: 2,
+                    spares: 1,
+                },
+            ),
+            ev(1, 0.001, 2, EventKind::TransportConnect { attempt: 1 }),
+            ev(
+                2,
+                0.002,
+                3,
+                EventKind::TransportRetry {
+                    attempt: 1,
+                    delay_us: 1000,
+                },
+            ),
+            ev(3, 0.003, 3, EventKind::TransportConnect { attempt: 2 }),
+            ev(
+                4,
+                0.9,
+                2,
+                EventKind::WireBytes {
+                    frames_sent: 100,
+                    bytes_sent: 5000,
+                    frames_recv: 90,
+                    bytes_recv: 4500,
+                },
+            ),
+            ev(5, 1.0, DRIVER_NODE, EventKind::JobEnd { completed: true }),
+        ];
+        let b = Breakdown::from_events(&events);
+        assert_eq!(b.transport_connects, 2);
+        assert_eq!(b.transport_retries, 1);
+        assert_eq!(b.wire_frames, 190);
+        assert_eq!(b.wire_bytes, 9500);
     }
 }

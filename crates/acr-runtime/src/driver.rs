@@ -27,13 +27,14 @@ use acr_core::{DetectionMethod, RecoveryPlanner, ReplicaLayout, Scheme};
 use acr_fault::{FaultAction, FaultScript, Trigger};
 use acr_obs::{debug_trace, EventKind, ObsConfig, RecordedEvent, Recorder, RunPhase, DRIVER_NODE};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::RwLock;
 
 use crate::clock::Clock;
 use crate::message::{Ctrl, Event, Net, NodeFault, NodeIndex, Scope};
 use crate::node::{NodeConfig, NodeWorker, Pump, TaskFactory};
 use crate::task::Task;
+use crate::transport::{build_fabric, FabricHandle, Port, TransportKind};
 
 /// Configuration of a replicated job.
 #[derive(Debug, Clone)]
@@ -65,6 +66,10 @@ pub struct JobConfig {
     /// capacity. Disabled, every instrumentation site costs one relaxed
     /// atomic load.
     pub obs: ObsConfig,
+    /// Wire fabric the job's messages travel over. The TCP backend
+    /// requires [`ExecMode::Threaded`]; [`ExecMode::Virtual`] runs are
+    /// in-process by construction.
+    pub transport: TransportKind,
 }
 
 impl Default for JobConfig {
@@ -81,6 +86,7 @@ impl Default for JobConfig {
             heartbeat_timeout: Duration::from_millis(80),
             max_duration: Duration::from_secs(60),
             obs: ObsConfig::default(),
+            transport: TransportKind::InProcess,
         }
     }
 }
@@ -296,7 +302,19 @@ pub struct Job;
 struct Driver {
     cfg: JobConfig,
     layout: Arc<RwLock<ReplicaLayout>>,
-    peers: Arc<Vec<Sender<Net>>>,
+    port: Arc<dyn Port>,
+    /// `2·ranks + spares` (the fabric no longer exposes a peers vec to
+    /// count).
+    total: usize,
+    /// Remote node hosts keep private layout copies that must be told
+    /// about spare promotions (`Ctrl::LayoutChanged`).
+    distributed_layout: bool,
+    /// Owns the transport's background machinery (TCP router/endpoints).
+    fabric: FabricHandle,
+    /// Nodes whose wire link went stale and are being probed: node →
+    /// probe deadline (job clock). A Pong clears the suspicion; expiry
+    /// declares the node dead.
+    transport_suspects: BTreeMap<NodeIndex, f64>,
     events: Receiver<Event>,
     clock: Clock,
     round_counter: u64,
@@ -378,6 +396,10 @@ impl Job {
         );
         if let ExecMode::Virtual { quantum } = mode {
             assert!(quantum > Duration::ZERO, "virtual quantum must be positive");
+            assert!(
+                matches!(cfg.transport, TransportKind::InProcess),
+                "the TCP transport requires ExecMode::Threaded"
+            );
         }
         let total = 2 * cfg.ranks + cfg.spares;
         let layout = Arc::new(RwLock::new(
@@ -385,14 +407,6 @@ impl Job {
         ));
         let factory: Arc<TaskFactory> = Arc::new(factory);
         let (event_tx, event_rx) = unbounded::<Event>();
-        let mut senders = Vec::with_capacity(total);
-        let mut receivers = Vec::with_capacity(total);
-        for _ in 0..total {
-            let (tx, rx) = unbounded::<Net>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let peers = Arc::new(senders);
         let clock = match mode {
             ExecMode::Threaded => Clock::real(),
             ExecMode::Virtual { .. } => Clock::simulated(),
@@ -403,9 +417,15 @@ impl Job {
             let c = clock.clone();
             Recorder::new(cfg.obs.clone(), total as u32, Arc::new(move || c.now()))
         };
+        let fabric = build_fabric(&cfg, total, event_tx, &rec);
 
         let mut workers = Vec::with_capacity(total);
-        for (index, inbox) in receivers.into_iter().enumerate() {
+        for (index, (inbox, port)) in fabric
+            .inboxes
+            .into_iter()
+            .zip(fabric.node_ports)
+            .enumerate()
+        {
             let node_cfg = NodeConfig {
                 index,
                 ranks: cfg.ranks,
@@ -414,14 +434,14 @@ impl Job {
                 chunk_size: cfg.chunk_size,
                 heartbeat_period: cfg.heartbeat_period,
                 heartbeat_timeout: cfg.heartbeat_timeout,
+                private_layout: false,
             };
             let identity = layout.read().locate(index);
             workers.push(NodeWorker::new(
                 node_cfg,
                 identity,
                 Arc::clone(&layout),
-                Arc::clone(&peers),
-                event_tx.clone(),
+                port,
                 inbox,
                 Arc::clone(&factory),
                 clock.clone(),
@@ -429,11 +449,16 @@ impl Job {
             ));
         }
 
+        let remote_nodes = fabric.remote_nodes;
         let mut driver = Driver {
             next_ckpt: cfg.checkpoint_interval.as_secs_f64(),
             cfg,
             layout,
-            peers,
+            port: fabric.driver_port,
+            total,
+            distributed_layout: remote_nodes,
+            fabric: fabric.handle,
+            transport_suspects: BTreeMap::new(),
             events: event_rx,
             clock,
             round_counter: 0,
@@ -472,7 +497,16 @@ impl Job {
                             .expect("spawn node thread")
                     })
                     .collect();
-                driver.run_threaded();
+                // Over TCP, hold the job until every node's link has
+                // handshaken (local endpoints connect in microseconds;
+                // remote node hosts may still be starting up).
+                match driver.fabric.wait_transport_ready() {
+                    Ok(()) => driver.run_threaded(),
+                    Err(e) => {
+                        driver.tlog(format!("transport never became ready: {e}"));
+                        driver.report.error = Some(e);
+                    }
+                }
                 driver.shutdown_threaded(handles)
             }
             ExecMode::Virtual { quantum } => {
@@ -522,7 +556,7 @@ impl Driver {
     }
 
     fn send(&self, node: NodeIndex, ctrl: Ctrl) {
-        let _ = self.peers[node].send(Net::Ctrl(ctrl));
+        self.port.send(node, Net::Ctrl(ctrl));
     }
 
     fn active_nodes(&self) -> Vec<NodeIndex> {
@@ -663,6 +697,7 @@ impl Driver {
         }
         self.fire_due_triggers();
         self.poll_probe();
+        self.poll_transport_suspects();
         if matches!(self.phase, Phase::Running) {
             if let Some(dead) = self.pending_failures.pop_front() {
                 self.start_recovery(dead);
@@ -774,12 +809,16 @@ impl Driver {
         match ev {
             Event::BuddyDead { reporter, dead } => self.on_dead(reporter, dead),
             Event::Pong { node, token } => {
+                // Any Pong proves the node is alive *and* its wire path
+                // works again, whichever probe asked.
+                self.transport_suspects.remove(&node);
                 if let Some(p) = &mut self.probe {
                     if p.token == token {
                         p.awaiting.remove(&node);
                     }
                 }
             }
+            Event::TransportStale { node } => self.on_transport_stale(node),
             Event::FaultInjected { node, at, fault } => match fault {
                 NodeFault::Crash => {
                     self.report.crashes_injected_at.push(at);
@@ -942,6 +981,53 @@ impl Driver {
                     self.probe = Some(p);
                 }
             }
+        }
+    }
+
+    /// The router's stale monitor says `node`'s socket has been gone
+    /// longer than the grace window. A dead socket is not a dead node —
+    /// the endpoint may be mid-backoff — so the report feeds the
+    /// liveness machinery instead of declaring death: send a targeted
+    /// `Ping` and give the node two heartbeat timeouts to reconnect and
+    /// answer (the replay ring preserves the Ping across the reattach).
+    fn on_transport_stale(&mut self, node: NodeIndex) {
+        if self.dead_nodes.contains(&node)
+            || self.transport_suspects.contains_key(&node)
+            || self.layout.read().locate(node).is_none()
+        {
+            return; // already dead, already suspected, or an idle spare
+        }
+        let token = self.alloc_round();
+        let timeout = self.cfg.heartbeat_timeout.as_secs_f64();
+        self.tlog(format!("transport stale: probing node {node}"));
+        self.rec.inc_counter("acr_transport_probes_total", 1);
+        self.rec.emit_with(DRIVER_NODE, || EventKind::ProbeSent {
+            suspect: node as u32,
+        });
+        self.send(node, Ctrl::Ping { token });
+        self.transport_suspects
+            .insert(node, self.now() + 2.0 * timeout);
+    }
+
+    /// Expire transport-stale probes: a suspect that never answered its
+    /// targeted Ping is dead for real.
+    fn poll_transport_suspects(&mut self) {
+        let now = self.now();
+        let expired: Vec<NodeIndex> = self
+            .transport_suspects
+            .iter()
+            .filter(|&(_, &deadline)| now >= deadline)
+            .map(|(&n, _)| n)
+            .collect();
+        for node in expired {
+            self.transport_suspects.remove(&node);
+            if self.dead_nodes.contains(&node) {
+                continue;
+            }
+            self.tlog(format!("node {node} failed transport probe"));
+            self.rec
+                .emit_with(DRIVER_NODE, || EventKind::ProbeDeath { dead: node as u32 });
+            self.declare_dead(node);
         }
     }
 
@@ -1108,6 +1194,13 @@ impl Driver {
             }
         };
         self.report.hard_errors_recovered += 1;
+        if self.distributed_layout {
+            // Remote node hosts hold private layout copies: broadcast the
+            // promotion so their layouts stay in lockstep with ours.
+            for n in 0..self.total {
+                self.send(n, Ctrl::LayoutChanged { dead });
+            }
+        }
         self.last_recovery_identity = Some((replica, rank));
         let healthy = 1 - replica;
         let buddy_node = self.layout.read().host(healthy, rank);
@@ -1371,7 +1464,7 @@ impl Driver {
     fn shutdown_threaded(&mut self, handles: Vec<std::thread::JoinHandle<()>>) -> JobReport {
         self.report.duration = self.now();
         self.emit_job_end();
-        let total = self.peers.len();
+        let total = self.total;
         for n in 0..total {
             self.send(n, Ctrl::Shutdown);
         }
@@ -1393,6 +1486,10 @@ impl Driver {
                 Err(_) => break,
             }
         }
+        // Tear the fabric down before joining: a TCP worker wedged on a
+        // link that never came up only exits once its endpoint drops the
+        // inbox sender.
+        self.fabric.teardown();
         for h in handles {
             let _ = h.join();
         }

@@ -44,11 +44,15 @@ mod driver;
 mod message;
 mod node;
 mod task;
+mod tcp;
+mod transport;
+pub mod wire;
 
 pub use clock::Clock;
 pub use driver::{ExecMode, Fault, Job, JobConfig, JobReport, SdcDetection};
 pub use message::{AppMsg, NodeIndex, TaskId};
 pub use task::{Task, TaskCtx};
+pub use transport::{run_node_host, TcpConfig, TransportControl, TransportKind};
 
 pub use acr_core::{DetectionMethod, Divergence, Scheme};
 pub use acr_fault::{FaultAction, FaultScript, ScenarioSpace, ScriptedFault, Trigger};

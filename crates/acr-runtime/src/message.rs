@@ -134,6 +134,11 @@ pub(crate) enum Ctrl {
     Ping { token: u64 },
     /// Finish: reply with final state and exit the scheduler loop.
     Shutdown,
+    /// (Distributed layout only) the driver replaced `dead` with a spare;
+    /// node hosts that keep a private copy of the replica layout apply the
+    /// same substitution so their layouts stay in lockstep with the
+    /// driver's. In-process nodes share the driver's layout and ignore it.
+    LayoutChanged { dead: NodeIndex },
 }
 
 /// Node → driver events.
@@ -190,4 +195,11 @@ pub(crate) enum Event {
         identity: Option<(u8, usize)>,
         tasks: Vec<Bytes>,
     },
+    /// (TCP transport only) synthesized by the router's stale monitor, not
+    /// by any node: `node`'s socket has been detached longer than the
+    /// configured stale window. The driver answers with a targeted
+    /// [`Ctrl::Ping`] so a dead socket is distinguished from a dead node —
+    /// a send into a broken pipe must feed the liveness probe rather than
+    /// being silently swallowed.
+    TransportStale { node: NodeIndex },
 }

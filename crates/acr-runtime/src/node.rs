@@ -15,7 +15,7 @@ use acr_pup::{
     SlicePacker, Unpacker,
 };
 use bytes::Bytes;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::Receiver;
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,6 +23,7 @@ use rand::SeedableRng;
 use crate::clock::Clock;
 use crate::message::{AppMsg, Ctrl, Event, Net, NodeFault, NodeIndex, Scope, TaskId};
 use crate::task::{Task, TaskCtx};
+use crate::transport::Port;
 
 /// Every task's packed bytes start at a multiple of this (trailing zero
 /// padding rounds each task segment up). Word-aligned segment boundaries are
@@ -141,6 +142,10 @@ pub(crate) struct NodeConfig {
     pub chunk_size: usize,
     pub heartbeat_period: Duration,
     pub heartbeat_timeout: Duration,
+    /// This node keeps its own copy of the replica layout (remote node
+    /// hosts over TCP) rather than sharing the driver's: spare promotions
+    /// arrive as `Ctrl::LayoutChanged` and must be applied locally.
+    pub private_layout: bool,
 }
 
 pub(crate) struct NodeWorker {
@@ -154,8 +159,7 @@ pub(crate) struct NodeWorker {
     monitor: HeartbeatMonitor,
     buddy: Option<NodeIndex>,
     layout: Arc<RwLock<ReplicaLayout>>,
-    peers: Arc<Vec<Sender<Net>>>,
-    events: Sender<Event>,
+    port: Arc<dyn Port>,
     inbox: Receiver<Net>,
     factory: Arc<TaskFactory>,
     clock: Clock,
@@ -196,8 +200,7 @@ impl NodeWorker {
         cfg: NodeConfig,
         identity: Option<(u8, usize)>,
         layout: Arc<RwLock<ReplicaLayout>>,
-        peers: Arc<Vec<Sender<Net>>>,
-        events: Sender<Event>,
+        port: Arc<dyn Port>,
         inbox: Receiver<Net>,
         factory: Arc<TaskFactory>,
         clock: Clock,
@@ -216,8 +219,7 @@ impl NodeWorker {
             monitor: HeartbeatMonitor::new(timeout),
             buddy: None,
             layout,
-            peers,
-            events,
+            port,
             inbox,
             factory,
             clock,
@@ -262,9 +264,11 @@ impl NodeWorker {
     }
 
     fn send(&self, node: NodeIndex, msg: Net) {
-        // A send to a node whose channel is gone (job tearing down) is
-        // silently dropped, like a packet to a powered-off host.
-        let _ = self.peers[node].send(msg);
+        // Delivery is best-effort either way, but never *silently* so:
+        // the in-process port counts sends into a closed inbox, and the
+        // TCP port's broken-socket case feeds the router's stale monitor
+        // and thence the driver's liveness probe.
+        self.port.send(node, msg);
     }
 
     fn rebuild_engines(&mut self, floor: u64) {
@@ -453,7 +457,7 @@ impl NodeWorker {
                 let ckpt = self.store.rollback_target().expect("just promoted").clone();
                 let buddy = self.buddy.expect("active node has a buddy");
                 self.send(buddy, Net::Install { checkpoint: ckpt });
-                let _ = self.events.send(Event::CheckpointDone {
+                self.port.send_event(Event::CheckpointDone {
                     node: self.cfg.index,
                     round,
                     iteration,
@@ -508,7 +512,7 @@ impl NodeWorker {
         self.send(buddy, Net::CompareResult { iteration, clean });
         self.awaiting_verdict = None;
         if !clean {
-            let _ = self.events.send(Event::SdcDetected {
+            self.port.send_event(Event::SdcDetected {
                 node: self.cfg.index,
                 iteration,
                 diverged: divergence.ranges,
@@ -516,7 +520,7 @@ impl NodeWorker {
                 fields_flagged,
             });
         }
-        let _ = self.events.send(Event::CheckpointDone {
+        self.port.send_event(Event::CheckpointDone {
             node: self.cfg.index,
             round,
             iteration,
@@ -593,7 +597,7 @@ impl NodeWorker {
                     self.tasks.iter().map(|t| t.progress()).collect::<Vec<_>>(),
                     self.epoch
                 );
-                let _ = self.events.send(Event::RolledBack {
+                self.port.send_event(Event::RolledBack {
                     node: self.cfg.index,
                 });
             }
@@ -667,7 +671,7 @@ impl NodeWorker {
                 self.parked = false;
                 self.rebuild_engines(floor);
                 self.enter_epoch(floor);
-                let _ = self.events.send(Event::RolledBack {
+                self.port.send_event(Event::RolledBack {
                     node: self.cfg.index,
                 });
             }
@@ -687,7 +691,7 @@ impl NodeWorker {
                 self.hb_muted_until = self.now() + secs;
             }
             Ctrl::Ping { token } => {
-                let _ = self.events.send(Event::Pong {
+                self.port.send_event(Event::Pong {
                     node: self.cfg.index,
                     token,
                 });
@@ -695,6 +699,14 @@ impl NodeWorker {
             Ctrl::Shutdown => {
                 self.report_final_state();
                 return true;
+            }
+            Ctrl::LayoutChanged { dead } => {
+                // Only meaningful for private layouts (remote node hosts);
+                // in-process nodes share the driver's layout, which already
+                // reflects the promotion.
+                if self.cfg.private_layout {
+                    let _ = self.layout.write().replace_with_spare(dead);
+                }
             }
         }
         false
@@ -714,7 +726,7 @@ impl NodeWorker {
                 })
                 .collect()
         };
-        let _ = self.events.send(Event::FinalState {
+        self.port.send_event(Event::FinalState {
             node: self.cfg.index,
             identity: self.identity,
             tasks,
@@ -732,7 +744,7 @@ impl NodeWorker {
                         kind: "crash".to_string(),
                         iteration,
                     });
-                let _ = self.events.send(Event::FaultInjected {
+                self.port.send_event(Event::FaultInjected {
                     node: self.cfg.index,
                     at: self.now(),
                     fault,
@@ -746,7 +758,7 @@ impl NodeWorker {
                             kind: "sdc".to_string(),
                             iteration,
                         });
-                    let _ = self.events.send(Event::FaultInjected {
+                    self.port.send_event(Event::FaultInjected {
                         node: self.cfg.index,
                         at: self.now(),
                         fault,
@@ -959,7 +971,7 @@ impl NodeWorker {
         }
         if !self.done_reported && !self.tasks.is_empty() && self.tasks.iter().all(|t| t.done()) {
             self.done_reported = true;
-            let _ = self.events.send(Event::AllTasksDone {
+            self.port.send_event(Event::AllTasksDone {
                 node: self.cfg.index,
             });
         }
@@ -986,7 +998,7 @@ impl NodeWorker {
                     dead: dead as u32,
                 });
             self.rec.inc_counter("acr_heartbeat_expired_total", 1);
-            let _ = self.events.send(Event::BuddyDead {
+            self.port.send_event(Event::BuddyDead {
                 reporter: self.cfg.index,
                 dead,
             });
@@ -1020,7 +1032,7 @@ impl NodeWorker {
                 if let Some((round, it)) = self.awaiting_verdict {
                     if it == iteration {
                         self.awaiting_verdict = None;
-                        let _ = self.events.send(Event::CheckpointDone {
+                        self.port.send_event(Event::CheckpointDone {
                             node: self.cfg.index,
                             round,
                             iteration,
@@ -1035,7 +1047,7 @@ impl NodeWorker {
                 self.store.install_verified(checkpoint);
                 self.unpack_tasks(&payload);
                 self.rebuild_engines(self.floor);
-                let _ = self.events.send(Event::Installed {
+                self.port.send_event(Event::Installed {
                     node: self.cfg.index,
                     iteration,
                 });

@@ -1,0 +1,794 @@
+//! The TCP fabric: a driver-side [`Router`] (listener + one link per
+//! node) and a node-side [`Endpoint`] (dialer with capped-exponential
+//! reconnect), exchanging [`wire`](crate::wire) frames over localhost in
+//! a star topology — every node↔node message routes through the driver's
+//! router, mirroring how the in-process backend already centralizes
+//! channel construction in the driver.
+//!
+//! Reliability model: the protocol has no message-level timeouts (a lost
+//! consensus contribution would wedge a round forever), so the wire layer
+//! must make transient socket drops *lossless* rather than merely
+//! survivable. Each link direction carries a monotone frame sequence; the
+//! sender keeps a bounded replay ring of encoded frames, the
+//! connect/accept handshake exchanges "highest sequence received", and
+//! the reattaching side replays everything newer. Receivers drop
+//! duplicates by sequence. A socket drop therefore looks, to the
+//! protocol, like a brief stall — which is exactly what distinguishes it
+//! from node death: the router's stale monitor reports a link detached
+//! too long, and the *driver's liveness probe* (not the transport)
+//! decides whether the node behind it is dead.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use acr_obs::{EventKind, Recorder};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::message::{Event, Net, NodeIndex};
+use crate::wire::{
+    decode_event, decode_hello, decode_net, decode_welcome, encode_frame, encode_hello, encode_net,
+    encode_welcome, FrameDecoder, Hello, Welcome, WelcomeCfg, DRIVER_DEST, HELLO_LEN, WELCOME_LEN,
+};
+
+/// Sent frames kept per link direction for replay after a reconnect.
+/// Sized far above what the protocol keeps in flight between two
+/// checkpoint rounds; overflow drops the *oldest* frames, trading a
+/// possible (loud, probe-visible) wedge for bounded memory.
+const REPLAY_RING_FRAMES: usize = 8192;
+
+/// How long writer/supervisor threads sleep between queue polls; bounds
+/// shutdown and reader-death detection latency.
+const POLL_TICK: Duration = Duration::from_millis(5);
+
+// ---------------------------------------------------------------------------
+// Router (driver side)
+// ---------------------------------------------------------------------------
+
+struct Link {
+    /// Writer-thread queue: frames to this node, plus lifecycle messages.
+    tx: Sender<LinkMsg>,
+    /// Whether a handshaken socket is currently attached.
+    connected: AtomicBool,
+    /// Quarantined links refuse re-accept (test hook: transport death).
+    quarantined: AtomicBool,
+    /// Highest frame sequence received from this node (dedup + handshake).
+    last_recv: AtomicU64,
+    /// When the link lost its socket; `None` before the first attach and
+    /// while attached. Drives the stale monitor.
+    detached_since: Mutex<Option<Instant>>,
+    /// One stale report per outage (reset on attach).
+    stale_reported: AtomicBool,
+    /// A clone of the attached socket, for severing from other threads.
+    conn: Mutex<Option<TcpStream>>,
+}
+
+enum LinkMsg {
+    /// Frame body for this node (framed/sequenced by the writer).
+    Frame(Vec<u8>),
+    /// A handshaken socket fresh off the acceptor.
+    Attach {
+        stream: TcpStream,
+        peer_last_recv: u64,
+    },
+    Shutdown,
+}
+
+pub(crate) struct Router {
+    addr: SocketAddr,
+    links: Vec<Link>,
+    shutdown: AtomicBool,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    rec: Arc<Recorder>,
+}
+
+impl Router {
+    /// Bind (an ephemeral localhost port when `addr` is `None`) and start
+    /// the acceptor, per-link writers, and the stale monitor.
+    pub(crate) fn spawn(
+        addr: Option<SocketAddr>,
+        total: usize,
+        event_tx: Sender<Event>,
+        rec: Arc<Recorder>,
+        welcome_cfg: WelcomeCfg,
+        stale_after: Duration,
+    ) -> Result<Arc<Router>, String> {
+        let listener = match addr {
+            Some(a) => TcpListener::bind(a),
+            None => TcpListener::bind("127.0.0.1:0"),
+        }
+        .map_err(|e| format!("bind {addr:?}: {e}"))?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+
+        let mut links = Vec::with_capacity(total);
+        let mut link_rxs = Vec::with_capacity(total);
+        for _ in 0..total {
+            let (tx, rx) = unbounded();
+            links.push(Link {
+                tx,
+                connected: AtomicBool::new(false),
+                quarantined: AtomicBool::new(false),
+                last_recv: AtomicU64::new(0),
+                detached_since: Mutex::new(None),
+                stale_reported: AtomicBool::new(false),
+                conn: Mutex::new(None),
+            });
+            link_rxs.push(rx);
+        }
+        let router = Arc::new(Router {
+            addr: local,
+            links,
+            shutdown: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+            rec,
+        });
+
+        let mut threads = Vec::new();
+        for (node, rx) in link_rxs.into_iter().enumerate() {
+            let r = Arc::clone(&router);
+            let ev = event_tx.clone();
+            let wc = welcome_cfg;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("acr-link-{node}"))
+                    .spawn(move || link_writer(r, node, rx, ev, wc))
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        {
+            let r = Arc::clone(&router);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("acr-accept".into())
+                    .spawn(move || accept_loop(r, listener))
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        {
+            let r = Arc::clone(&router);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("acr-stale".into())
+                    .spawn(move || stale_monitor(r, event_tx, stale_after))
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        router.threads.lock().extend(threads);
+        Ok(router)
+    }
+
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Frame and queue a protocol message for `to`.
+    pub(crate) fn send_net(&self, to: NodeIndex, msg: &Net) {
+        if let Some(link) = self.links.get(to) {
+            let _ = link.tx.send(LinkMsg::Frame(encode_net(msg)));
+        }
+    }
+
+    /// Kill `node`'s current socket (test hook). The endpoint notices
+    /// and reconnects; replay makes the drop lossless.
+    pub(crate) fn sever(&self, node: NodeIndex) -> bool {
+        let Some(link) = self.links.get(node) else {
+            return false;
+        };
+        match link.conn.lock().take() {
+            Some(stream) => {
+                let _ = stream.shutdown(Shutdown::Both);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Sever and refuse future re-accepts from `node` (test hook:
+    /// transport-level death, distinguishable from a crash only by the
+    /// driver's liveness probe).
+    pub(crate) fn quarantine(&self, node: NodeIndex) -> bool {
+        let Some(link) = self.links.get(node) else {
+            return false;
+        };
+        link.quarantined.store(true, Ordering::SeqCst);
+        self.sever(node);
+        true
+    }
+
+    /// Wait until every link has a handshaken socket.
+    pub(crate) fn wait_all_connected(&self, timeout: Duration) -> Result<(), String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let missing: Vec<usize> = self
+                .links
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !l.connected.load(Ordering::SeqCst))
+                .map(|(i, _)| i)
+                .collect();
+            if missing.is_empty() {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "transport: nodes {missing:?} did not connect within {timeout:?}"
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Stop every thread and close every socket.
+    pub(crate) fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for link in &self.links {
+            let _ = link.tx.send(LinkMsg::Shutdown);
+        }
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.addr);
+        for node in 0..self.links.len() {
+            self.sever(node);
+        }
+        // Writers push reader handles into `threads` as they attach
+        // sockets, so join in passes until the list stays empty.
+        loop {
+            let batch: Vec<JoinHandle<()>> = std::mem::take(&mut *self.threads.lock());
+            if batch.is_empty() {
+                return;
+            }
+            for h in batch {
+                let _ = h.join();
+            }
+        }
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Accept sockets, run the hello handshake, and hand the stream to the
+/// identified node's writer.
+fn accept_loop(router: Arc<Router>, listener: TcpListener) {
+    loop {
+        let Ok((mut stream, _)) = listener.accept() else {
+            if router.is_shutdown() {
+                return;
+            }
+            continue;
+        };
+        if router.is_shutdown() {
+            return;
+        }
+        // Handshake under a read timeout so a stuck dialer cannot wedge
+        // the acceptor.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+        let mut buf = [0u8; HELLO_LEN];
+        if stream.read_exact(&mut buf).is_err() {
+            continue;
+        }
+        let Ok(hello) = decode_hello(&buf) else {
+            continue;
+        };
+        let node = hello.node as usize;
+        let Some(link) = router.links.get(node) else {
+            continue;
+        };
+        if link.quarantined.load(Ordering::SeqCst) {
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        let _ = stream.set_read_timeout(None);
+        let _ = stream.set_nodelay(true);
+        let _ = link.tx.send(LinkMsg::Attach {
+            stream,
+            peer_last_recv: hello.last_recv_seq,
+        });
+    }
+}
+
+/// Per-node writer: owns the outgoing sequence counter and replay ring,
+/// sends the welcome + replay tail on every attach, and spawns a reader
+/// for each attached socket.
+fn link_writer(
+    router: Arc<Router>,
+    node: usize,
+    rx: Receiver<LinkMsg>,
+    event_tx: Sender<Event>,
+    welcome_cfg: WelcomeCfg,
+) {
+    let mut tx_seq: u64 = 0;
+    let mut ring: VecDeque<(u64, Vec<u8>)> = VecDeque::new();
+    let mut conn: Option<TcpStream> = None;
+    // Reader generation: each attach bumps it; a dying reader raises
+    // `dead_gen` to its own generation so the writer can drop a socket
+    // whose read half already failed.
+    let mut gen: u64 = 0;
+    let dead_gen = Arc::new(AtomicU64::new(0));
+
+    let detach = |conn: &mut Option<TcpStream>| {
+        if let Some(s) = conn.take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        let link = &router.links[node];
+        *link.conn.lock() = None;
+        link.connected.store(false, Ordering::SeqCst);
+        *link.detached_since.lock() = Some(Instant::now());
+    };
+
+    loop {
+        match rx.recv_timeout(POLL_TICK) {
+            Ok(LinkMsg::Frame(body)) => {
+                tx_seq += 1;
+                let frame = encode_frame(node as u32, tx_seq, &body);
+                ring.push_back((tx_seq, frame.clone()));
+                while ring.len() > REPLAY_RING_FRAMES {
+                    ring.pop_front();
+                }
+                if let Some(stream) = conn.as_mut() {
+                    if stream.write_all(&frame).is_err() {
+                        detach(&mut conn);
+                    }
+                }
+                // While detached the frame just sits in the ring — the
+                // send-queue draining that makes a drop lossless.
+            }
+            Ok(LinkMsg::Attach {
+                mut stream,
+                peer_last_recv,
+            }) => {
+                detach(&mut conn); // replace any half-dead predecessor
+                let link = &router.links[node];
+                let welcome = encode_welcome(&Welcome {
+                    last_recv_seq: link.last_recv.load(Ordering::SeqCst),
+                    cfg: welcome_cfg,
+                });
+                if stream.write_all(&welcome).is_err() {
+                    continue;
+                }
+                let mut ok = true;
+                for (seq, frame) in &ring {
+                    if *seq > peer_last_recv && stream.write_all(frame).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                gen += 1;
+                if let Ok(read_half) = stream.try_clone() {
+                    let r = Arc::clone(&router);
+                    let ev = event_tx.clone();
+                    let dg = Arc::clone(&dead_gen);
+                    let g = gen;
+                    if let Ok(h) = std::thread::Builder::new()
+                        .name(format!("acr-rd-{node}"))
+                        .spawn(move || router_reader(r, node, read_half, ev, dg, g))
+                    {
+                        router.threads.lock().push(h);
+                    }
+                } else {
+                    continue;
+                }
+                *link.conn.lock() = stream.try_clone().ok();
+                conn = Some(stream);
+                link.connected.store(true, Ordering::SeqCst);
+                *link.detached_since.lock() = None;
+                link.stale_reported.store(false, Ordering::SeqCst);
+            }
+            Ok(LinkMsg::Shutdown) => break,
+            Err(RecvTimeoutError::Timeout) => {
+                if router.is_shutdown() {
+                    break;
+                }
+                // Reader died (peer closed / sever): drop our half too.
+                if conn.is_some() && dead_gen.load(Ordering::SeqCst) >= gen {
+                    detach(&mut conn);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    detach(&mut conn);
+}
+
+/// Read frames from one node's socket: events go to the driver's event
+/// channel, node→node frames are re-queued on the destination's writer.
+fn router_reader(
+    router: Arc<Router>,
+    node: usize,
+    mut stream: TcpStream,
+    event_tx: Sender<Event>,
+    dead_gen: Arc<AtomicU64>,
+    gen: u64,
+) {
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    'io: loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        dec.feed(&buf[..n]);
+        loop {
+            match dec.next_frame() {
+                Ok(Some(frame)) => {
+                    let link = &router.links[node];
+                    let prev = link.last_recv.fetch_max(frame.seq, Ordering::SeqCst);
+                    if prev >= frame.seq {
+                        continue; // replay duplicate
+                    }
+                    if frame.to == DRIVER_DEST {
+                        match decode_event(&frame.body) {
+                            Ok(ev) => {
+                                let _ = event_tx.send(ev);
+                            }
+                            Err(_) => break 'io,
+                        }
+                    } else if let Some(dest) = router.links.get(frame.to as usize) {
+                        let _ = dest.tx.send(LinkMsg::Frame(frame.body));
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => break 'io,
+            }
+        }
+    }
+    dead_gen.fetch_max(gen, Ordering::SeqCst);
+}
+
+/// Report links detached longer than `stale_after` — once per outage —
+/// so the driver can probe the node behind the dead socket.
+fn stale_monitor(router: Arc<Router>, event_tx: Sender<Event>, stale_after: Duration) {
+    let tick = (stale_after / 4).max(Duration::from_millis(5));
+    while !router.is_shutdown() {
+        for (node, link) in router.links.iter().enumerate() {
+            if link.connected.load(Ordering::SeqCst) {
+                continue;
+            }
+            let stale = link
+                .detached_since
+                .lock()
+                .is_some_and(|t| t.elapsed() >= stale_after);
+            if stale && !link.stale_reported.swap(true, Ordering::SeqCst) {
+                router.rec.inc_counter("acr_transport_stale_total", 1);
+                let _ = event_tx.send(Event::TransportStale { node });
+            }
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint (node side)
+// ---------------------------------------------------------------------------
+
+/// Wire traffic counters for one endpoint, reported as a
+/// [`EventKind::WireBytes`] event at shutdown.
+#[derive(Default)]
+struct WireStats {
+    frames_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    frames_recv: AtomicU64,
+    bytes_recv: AtomicU64,
+}
+
+enum EpMsg {
+    /// Encoded body for `to` (framed/sequenced by the supervisor).
+    Frame {
+        to: u32,
+        body: Vec<u8>,
+    },
+    Shutdown,
+}
+
+/// A node's side of the fabric: one supervisor thread that dials the
+/// router (reconnecting with capped exponential backoff), writes frames,
+/// and keeps the replay ring; plus one reader thread per live socket
+/// feeding the node's inbox.
+pub(crate) struct Endpoint {
+    node: usize,
+    tx: Sender<EpMsg>,
+    shutdown: AtomicBool,
+    /// Highest frame sequence received from the router (dedup; sent in
+    /// the hello so the router replays what a dropped socket swallowed).
+    last_recv: AtomicU64,
+    /// A clone of the live socket, for shutdown/sever.
+    conn: Mutex<Option<TcpStream>>,
+    /// The node's inbox sender; set to `None` at shutdown so a worker
+    /// blocked on `inbox.recv()` sees `Disconnected` and exits.
+    inbox_tx: Mutex<Option<Sender<Net>>>,
+    welcome: Mutex<Option<WelcomeCfg>>,
+    stats: WireStats,
+    rec: Arc<Recorder>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Endpoint {
+    pub(crate) fn spawn(
+        node: usize,
+        addr: SocketAddr,
+        inbox: Sender<Net>,
+        rec: Arc<Recorder>,
+        reconnect_initial: Duration,
+        reconnect_max: Duration,
+    ) -> Arc<Endpoint> {
+        let (tx, rx) = unbounded();
+        let ep = Arc::new(Endpoint {
+            node,
+            tx,
+            shutdown: AtomicBool::new(false),
+            last_recv: AtomicU64::new(0),
+            conn: Mutex::new(None),
+            inbox_tx: Mutex::new(Some(inbox)),
+            welcome: Mutex::new(None),
+            stats: WireStats::default(),
+            rec,
+            threads: Mutex::new(Vec::new()),
+        });
+        let e = Arc::clone(&ep);
+        let h = std::thread::Builder::new()
+            .name(format!("acr-ep-{node}"))
+            .spawn(move || supervisor(e, addr, rx, reconnect_initial, reconnect_max))
+            .expect("spawn endpoint supervisor");
+        ep.threads.lock().push(h);
+        ep
+    }
+
+    /// Frame and queue a protocol message for `to` (another node, routed
+    /// by the driver's router).
+    pub(crate) fn send_net(&self, to: NodeIndex, msg: &Net) {
+        let _ = self.tx.send(EpMsg::Frame {
+            to: to as u32,
+            body: encode_net(msg),
+        });
+    }
+
+    /// Frame and queue a node→driver event.
+    pub(crate) fn send_event(&self, ev: &Event) {
+        let _ = self.tx.send(EpMsg::Frame {
+            to: DRIVER_DEST,
+            body: crate::wire::encode_event(ev),
+        });
+    }
+
+    /// Block until the welcome handshake delivers the job shape (polled;
+    /// the first connect normally lands within a few milliseconds).
+    pub(crate) fn wait_welcome(&self, timeout: Duration) -> Option<WelcomeCfg> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(w) = *self.welcome.lock() {
+                return Some(w);
+            }
+            if Instant::now() >= deadline || self.is_shutdown() {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Stop the supervisor and reader, close the socket, and drop the
+    /// inbox sender (unblocking a worker waiting on it).
+    pub(crate) fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = self.tx.send(EpMsg::Shutdown);
+        if let Some(s) = self.conn.lock().take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        loop {
+            let batch: Vec<JoinHandle<()>> = std::mem::take(&mut *self.threads.lock());
+            if batch.is_empty() {
+                break;
+            }
+            for h in batch {
+                let _ = h.join();
+            }
+        }
+        *self.inbox_tx.lock() = None;
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    fn obs_node(&self) -> u32 {
+        self.node as u32
+    }
+}
+
+/// Dial the router; on success run the handshake and replay, then write
+/// queued frames until the socket or the endpoint dies; on failure back
+/// off (1ms doubling to the cap) and retry. Each failed dial emits a
+/// `TransportRetry` event, each success a `TransportConnect`.
+fn supervisor(
+    ep: Arc<Endpoint>,
+    addr: SocketAddr,
+    rx: Receiver<EpMsg>,
+    reconnect_initial: Duration,
+    reconnect_max: Duration,
+) {
+    let mut tx_seq: u64 = 0;
+    let mut ring: VecDeque<(u64, Vec<u8>)> = VecDeque::new();
+    let mut conn: Option<TcpStream> = None;
+    let mut backoff = reconnect_initial;
+    let mut attempt: u32 = 0;
+    let mut gen: u64 = 0;
+    let dead_gen = Arc::new(AtomicU64::new(0));
+
+    let detach = |conn: &mut Option<TcpStream>, ep: &Endpoint| {
+        if let Some(s) = conn.take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        *ep.conn.lock() = None;
+    };
+
+    'main: while !ep.is_shutdown() {
+        if conn.is_none() {
+            attempt += 1;
+            match dial(&ep, addr) {
+                Ok((stream, welcome)) => {
+                    // Replay is driven by the router's view of what it
+                    // received; everything newer went down with the old
+                    // socket.
+                    let mut stream = stream;
+                    let mut ok = true;
+                    for (seq, frame) in &ring {
+                        if *seq > welcome.last_recv_seq && stream.write_all(frame).is_err() {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if !ok {
+                        detach(&mut conn, &ep);
+                    } else {
+                        gen += 1;
+                        if let Ok(read_half) = stream.try_clone() {
+                            let e = Arc::clone(&ep);
+                            let dg = Arc::clone(&dead_gen);
+                            let g = gen;
+                            if let Ok(h) = std::thread::Builder::new()
+                                .name(format!("acr-eprd-{}", ep.node))
+                                .spawn(move || ep_reader(e, read_half, dg, g))
+                            {
+                                ep.threads.lock().push(h);
+                            }
+                            *ep.conn.lock() = stream.try_clone().ok();
+                            conn = Some(stream);
+                            *ep.welcome.lock() = Some(welcome.cfg);
+                            let a = attempt;
+                            ep.rec.inc_counter("acr_transport_connects_total", 1);
+                            let node = ep.obs_node();
+                            ep.rec
+                                .emit_with(node, || EventKind::TransportConnect { attempt: a });
+                            backoff = reconnect_initial;
+                            attempt = 0;
+                        }
+                    }
+                }
+                Err(_) => {
+                    let delay = backoff;
+                    let a = attempt;
+                    ep.rec.inc_counter("acr_transport_retries_total", 1);
+                    let node = ep.obs_node();
+                    ep.rec.emit_with(node, || EventKind::TransportRetry {
+                        attempt: a,
+                        delay_us: delay.as_micros() as u64,
+                    });
+                    // Backoff in small slices so shutdown stays prompt.
+                    let deadline = Instant::now() + delay;
+                    while Instant::now() < deadline {
+                        if ep.is_shutdown() {
+                            break 'main;
+                        }
+                        std::thread::sleep(POLL_TICK.min(delay));
+                    }
+                    backoff = (backoff * 2).min(reconnect_max);
+                    continue;
+                }
+            }
+        }
+        match rx.recv_timeout(POLL_TICK) {
+            Ok(EpMsg::Frame { to, body }) => {
+                tx_seq += 1;
+                let frame = encode_frame(to, tx_seq, &body);
+                ring.push_back((tx_seq, frame.clone()));
+                while ring.len() > REPLAY_RING_FRAMES {
+                    ring.pop_front();
+                }
+                if let Some(stream) = conn.as_mut() {
+                    match stream.write_all(&frame) {
+                        Ok(()) => {
+                            ep.stats.frames_sent.fetch_add(1, Ordering::SeqCst);
+                            ep.stats
+                                .bytes_sent
+                                .fetch_add(frame.len() as u64, Ordering::SeqCst);
+                        }
+                        Err(_) => detach(&mut conn, &ep),
+                    }
+                }
+            }
+            Ok(EpMsg::Shutdown) => break,
+            Err(RecvTimeoutError::Timeout) => {
+                if conn.is_some() && dead_gen.load(Ordering::SeqCst) >= gen {
+                    detach(&mut conn, &ep);
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let node = ep.obs_node();
+    ep.rec.emit_with(node, || EventKind::WireBytes {
+        frames_sent: ep.stats.frames_sent.load(Ordering::SeqCst),
+        bytes_sent: ep.stats.bytes_sent.load(Ordering::SeqCst),
+        frames_recv: ep.stats.frames_recv.load(Ordering::SeqCst),
+        bytes_recv: ep.stats.bytes_recv.load(Ordering::SeqCst),
+    });
+    detach(&mut conn, &ep);
+}
+
+/// One dial + handshake: connect, send the hello (with our high-water
+/// receive mark), read the welcome.
+fn dial(ep: &Endpoint, addr: SocketAddr) -> Result<(TcpStream, Welcome), String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, Duration::from_secs(1)).map_err(|e| e.to_string())?;
+    let _ = stream.set_nodelay(true);
+    let hello = encode_hello(&Hello {
+        node: ep.node as u32,
+        last_recv_seq: ep.last_recv.load(Ordering::SeqCst),
+    });
+    stream.write_all(&hello).map_err(|e| e.to_string())?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; WELCOME_LEN];
+    stream.read_exact(&mut buf).map_err(|e| e.to_string())?;
+    let welcome = decode_welcome(&buf).map_err(|e| e.to_string())?;
+    let _ = stream.set_read_timeout(None);
+    Ok((stream, welcome))
+}
+
+/// Read frames from the router into the node's inbox (dedup by
+/// sequence).
+fn ep_reader(ep: Arc<Endpoint>, mut stream: TcpStream, dead_gen: Arc<AtomicU64>, gen: u64) {
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    'io: loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        ep.stats.bytes_recv.fetch_add(n as u64, Ordering::SeqCst);
+        dec.feed(&buf[..n]);
+        loop {
+            match dec.next_frame() {
+                Ok(Some(frame)) => {
+                    let prev = ep.last_recv.fetch_max(frame.seq, Ordering::SeqCst);
+                    if prev >= frame.seq {
+                        continue;
+                    }
+                    ep.stats.frames_recv.fetch_add(1, Ordering::SeqCst);
+                    match decode_net(&frame.body) {
+                        Ok(msg) => {
+                            let guard = ep.inbox_tx.lock();
+                            if let Some(tx) = guard.as_ref() {
+                                let _ = tx.send(msg);
+                            }
+                        }
+                        Err(_) => break 'io,
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => break 'io,
+            }
+        }
+    }
+    dead_gen.fetch_max(gen, Ordering::SeqCst);
+}

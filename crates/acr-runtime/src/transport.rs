@@ -1,0 +1,436 @@
+//! Pluggable channel fabric: the same driver/node protocol can run over
+//! in-process crossbeam channels (the default, and the only option under
+//! [`ExecMode::Virtual`](crate::driver::ExecMode)) or over length-prefixed
+//! framed TCP on localhost with one socket pair per node — the wire path
+//! that makes buddy-checkpoint shipping and spare-node restart real
+//! (§2.1/§3 of the paper run replicas on separate physical nodes).
+//!
+//! Only the *send* side is abstracted: a [`Port`] turns `Net`/`Event`
+//! values into deliveries, while every receiver keeps an ordinary
+//! crossbeam inbox (the TCP backend's reader threads feed the same
+//! channels the in-process backend hands out directly). That keeps the
+//! node scheduler and the driver event loop byte-identical across
+//! backends.
+
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use acr_core::ReplicaLayout;
+use acr_obs::Recorder;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use crate::clock::Clock;
+use crate::driver::JobConfig;
+use crate::message::{Event, Net, NodeIndex};
+use crate::node::{NodeConfig, NodeWorker, TaskFactory};
+use crate::tcp::{Endpoint, Router};
+use crate::wire::WelcomeCfg;
+
+/// Send side of the fabric, as seen by one sender (the driver or one
+/// node). Delivery is best-effort and non-blocking: the in-process
+/// backend enqueues on an unbounded channel, the TCP backend hands the
+/// frame to a writer thread (which queues it for replay while the link
+/// is down). Loss is surfaced through liveness machinery — counters and
+/// the router's stale monitor — never through return values, because a
+/// node must not be able to distinguish "peer crashed" from "peer slow"
+/// synchronously (§6.1's fail-stop model).
+pub(crate) trait Port: Send + Sync {
+    /// Deliver a protocol message to `to`'s inbox.
+    fn send(&self, to: NodeIndex, msg: Net);
+    /// Deliver a node→driver event.
+    fn send_event(&self, ev: Event);
+}
+
+/// In-process backend: direct crossbeam senders, shared by the driver
+/// and every node (the pre-transport fabric, unchanged semantics).
+pub(crate) struct ChannelPort {
+    peers: Arc<Vec<Sender<Net>>>,
+    events: Sender<Event>,
+    rec: Arc<Recorder>,
+}
+
+impl Port for ChannelPort {
+    fn send(&self, to: NodeIndex, msg: Net) {
+        // A send to a node whose channel is gone (job tearing down) is
+        // dropped like a packet to a powered-off host — but counted, so
+        // a swallowed delivery is visible to the metrics surface instead
+        // of silently ok (the in-process analogue of a broken socket
+        // feeding the liveness probe).
+        if self.peers[to].send(msg).is_err() {
+            self.rec.inc_counter("acr_send_to_closed_inbox_total", 1);
+        }
+    }
+
+    fn send_event(&self, ev: Event) {
+        let _ = self.events.send(ev);
+    }
+}
+
+/// TCP backend, node side: every send is framed and handed to the
+/// node's [`Endpoint`] (star topology — all traffic routes through the
+/// driver's router, which re-frames by destination).
+struct TcpNodePort {
+    ep: Arc<Endpoint>,
+}
+
+impl Port for TcpNodePort {
+    fn send(&self, to: NodeIndex, msg: Net) {
+        self.ep.send_net(to, &msg);
+    }
+
+    fn send_event(&self, ev: Event) {
+        self.ep.send_event(&ev);
+    }
+}
+
+/// TCP backend, driver side: control traffic goes out through the
+/// router's per-node links; the driver's own events loop back directly
+/// (the driver never talks to itself over the wire).
+struct TcpDriverPort {
+    router: Arc<Router>,
+    events: Sender<Event>,
+}
+
+impl Port for TcpDriverPort {
+    fn send(&self, to: NodeIndex, msg: Net) {
+        self.router.send_net(to, &msg);
+    }
+
+    fn send_event(&self, ev: Event) {
+        let _ = self.events.send(ev);
+    }
+}
+
+/// Which wire fabric a job runs on.
+#[derive(Debug, Clone, Default)]
+pub enum TransportKind {
+    /// In-process crossbeam channels (default; required by
+    /// [`ExecMode::Virtual`](crate::driver::ExecMode)).
+    #[default]
+    InProcess,
+    /// Length-prefixed framed messaging over localhost TCP, one socket
+    /// pair per node. Requires [`ExecMode::Threaded`](crate::driver::ExecMode).
+    Tcp(TcpConfig),
+}
+
+/// Tuning for the TCP backend.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Listen address for the driver's router; `None` binds an ephemeral
+    /// localhost port (the in-process-workers case). Multi-process jobs
+    /// pass an explicit address that node hosts dial.
+    pub addr: Option<SocketAddr>,
+    /// First reconnect backoff delay after a failed dial.
+    pub reconnect_initial: Duration,
+    /// Backoff cap (delays double per consecutive failure up to this).
+    pub reconnect_max: Duration,
+    /// How long a node's link may stay detached before the router's
+    /// stale monitor reports it to the driver (which answers with a
+    /// targeted liveness probe — a dead socket is not a dead node).
+    pub stale_after: Duration,
+    /// How long the driver waits for every node to complete the
+    /// connect/accept handshake before declaring the job failed.
+    pub connect_timeout: Duration,
+    /// When true, the driver spawns no local workers and instead waits
+    /// for `2·ranks + spares` external node hosts (see
+    /// [`run_node_host`]) to connect.
+    pub remote_nodes: bool,
+    /// Optional hook tests use to sever or quarantine live links
+    /// mid-run (socket-kill coverage). `None` in production.
+    pub control: Option<TransportControl>,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            reconnect_initial: Duration::from_millis(1),
+            reconnect_max: Duration::from_millis(50),
+            stale_after: Duration::from_millis(50),
+            connect_timeout: Duration::from_secs(10),
+            remote_nodes: false,
+            control: None,
+        }
+    }
+}
+
+/// Test hook for injecting transport faults into a live TCP fabric:
+/// clone one into [`TcpConfig::control`] before the run, then `sever`
+/// (one-shot socket kill; the endpoint reconnects) or `quarantine`
+/// (refuse re-accept; the node stays unreachable until the driver's
+/// probe declares it dead) from the test thread.
+#[derive(Clone, Default)]
+pub struct TransportControl {
+    router: Arc<Mutex<Option<Weak<Router>>>>,
+}
+
+impl TransportControl {
+    /// New, unattached control (attaches when the job builds its fabric).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_router<T>(&self, f: impl FnOnce(&Router) -> T) -> Option<T> {
+        let weak = self.router.lock().clone()?;
+        weak.upgrade().map(|r| f(&r))
+    }
+
+    /// Kill `node`'s current socket (both directions). Returns `false`
+    /// if the fabric is gone or the link was already detached.
+    pub fn sever(&self, node: NodeIndex) -> bool {
+        self.with_router(|r| r.sever(node)).unwrap_or(false)
+    }
+
+    /// Kill `node`'s socket *and* refuse its reconnect attempts, making
+    /// the node permanently unreachable (transport-level death).
+    pub fn quarantine(&self, node: NodeIndex) -> bool {
+        self.with_router(|r| r.quarantine(node)).unwrap_or(false)
+    }
+
+    pub(crate) fn attach(&self, router: &Arc<Router>) {
+        *self.router.lock() = Some(Arc::downgrade(router));
+    }
+}
+
+impl fmt::Debug for TransportControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TransportControl")
+    }
+}
+
+/// Everything the driver needs from a built fabric.
+pub(crate) struct Fabric {
+    /// The driver's send side.
+    pub driver_port: Arc<dyn Port>,
+    /// One send side per local node (empty when `remote_nodes`).
+    pub node_ports: Vec<Arc<dyn Port>>,
+    /// One inbox per local node (empty when `remote_nodes`).
+    pub inboxes: Vec<Receiver<Net>>,
+    /// Teardown + readiness handle.
+    pub handle: FabricHandle,
+    /// Whether workers run in external processes.
+    pub remote_nodes: bool,
+}
+
+/// Owns the fabric's background machinery for teardown.
+pub(crate) enum FabricHandle {
+    InProcess,
+    Tcp {
+        router: Arc<Router>,
+        endpoints: Vec<Arc<Endpoint>>,
+        connect_timeout: Duration,
+    },
+}
+
+impl FabricHandle {
+    /// Block until every node's link has completed the handshake (TCP
+    /// only; trivially ready in-process).
+    pub fn wait_transport_ready(&self) -> Result<(), String> {
+        match self {
+            FabricHandle::InProcess => Ok(()),
+            FabricHandle::Tcp {
+                router,
+                connect_timeout,
+                ..
+            } => router.wait_all_connected(*connect_timeout),
+        }
+    }
+
+    /// Tear the fabric down: endpoints first (so workers wedged on a
+    /// dead inbox see `Disconnected` and exit), then the router.
+    pub fn teardown(&self) {
+        if let FabricHandle::Tcp {
+            router, endpoints, ..
+        } = self
+        {
+            for ep in endpoints {
+                ep.shutdown();
+            }
+            router.shutdown();
+        }
+    }
+}
+
+/// Build the fabric for a job: channels for [`TransportKind::InProcess`],
+/// a router plus per-node endpoints for [`TransportKind::Tcp`].
+pub(crate) fn build_fabric(
+    cfg: &JobConfig,
+    total: usize,
+    event_tx: Sender<Event>,
+    rec: &Arc<Recorder>,
+) -> Fabric {
+    match &cfg.transport {
+        TransportKind::InProcess => {
+            let mut senders = Vec::with_capacity(total);
+            let mut inboxes = Vec::with_capacity(total);
+            for _ in 0..total {
+                let (tx, rx) = unbounded::<Net>();
+                senders.push(tx);
+                inboxes.push(rx);
+            }
+            let port: Arc<dyn Port> = Arc::new(ChannelPort {
+                peers: Arc::new(senders),
+                events: event_tx,
+                rec: Arc::clone(rec),
+            });
+            Fabric {
+                driver_port: Arc::clone(&port),
+                node_ports: (0..total).map(|_| Arc::clone(&port)).collect(),
+                inboxes,
+                handle: FabricHandle::InProcess,
+                remote_nodes: false,
+            }
+        }
+        TransportKind::Tcp(tcp) => {
+            let welcome = welcome_cfg(cfg, total);
+            let router = Router::spawn(
+                tcp.addr,
+                total,
+                event_tx.clone(),
+                Arc::clone(rec),
+                welcome,
+                tcp.stale_after,
+            )
+            .unwrap_or_else(|e| panic!("tcp transport: cannot bind router: {e}"));
+            if let Some(control) = &tcp.control {
+                control.attach(&router);
+            }
+            let mut node_ports: Vec<Arc<dyn Port>> = Vec::new();
+            let mut inboxes = Vec::new();
+            let mut endpoints = Vec::new();
+            if !tcp.remote_nodes {
+                for node in 0..total {
+                    let (tx, rx) = unbounded::<Net>();
+                    let ep = Endpoint::spawn(
+                        node,
+                        router.local_addr(),
+                        tx,
+                        Arc::clone(rec),
+                        tcp.reconnect_initial,
+                        tcp.reconnect_max,
+                    );
+                    node_ports.push(Arc::new(TcpNodePort {
+                        ep: Arc::clone(&ep),
+                    }));
+                    inboxes.push(rx);
+                    endpoints.push(ep);
+                }
+            }
+            let driver_port: Arc<dyn Port> = Arc::new(TcpDriverPort {
+                router: Arc::clone(&router),
+                events: event_tx,
+            });
+            Fabric {
+                driver_port,
+                node_ports,
+                inboxes,
+                handle: FabricHandle::Tcp {
+                    router,
+                    endpoints,
+                    connect_timeout: tcp.connect_timeout,
+                },
+                remote_nodes: tcp.remote_nodes,
+            }
+        }
+    }
+}
+
+fn welcome_cfg(cfg: &JobConfig, total: usize) -> WelcomeCfg {
+    WelcomeCfg {
+        ranks: cfg.ranks as u32,
+        tasks_per_rank: cfg.tasks_per_rank as u32,
+        spares: cfg.spares as u32,
+        total: total as u32,
+        detection: cfg.detection,
+        chunk_size: cfg.chunk_size as u64,
+        heartbeat_period_ns: cfg.heartbeat_period.as_nanos() as u64,
+        heartbeat_timeout_ns: cfg.heartbeat_timeout.as_nanos() as u64,
+    }
+}
+
+/// Host `nodes` of a distributed job in this process: dial the driver's
+/// router at `addr`, receive the job configuration in the welcome
+/// handshake, and run one worker thread per node until the driver sends
+/// `Shutdown`. The factory must be the same one the driver's job uses
+/// (both replicas reconstruct tasks from it, bit-identically).
+///
+/// This is the worker half of a multi-process TCP job: start the driver
+/// with [`TransportKind::Tcp`] and
+/// [`remote_nodes`](TcpConfig::remote_nodes) set, then one or more node
+/// hosts covering node indices `0..2·ranks+spares` between them.
+pub fn run_node_host(
+    addr: SocketAddr,
+    nodes: &[NodeIndex],
+    factory: impl Fn(usize, usize) -> Box<dyn crate::task::Task> + Send + Sync + 'static,
+) -> Result<(), String> {
+    let factory: Arc<TaskFactory> = Arc::new(factory);
+    let rec = Recorder::disabled();
+    let mut endpoints = Vec::new();
+    let mut handles = Vec::new();
+    for &node in nodes {
+        let (tx, rx) = unbounded::<Net>();
+        let ep = Endpoint::spawn(
+            node,
+            addr,
+            tx,
+            Arc::clone(&rec),
+            Duration::from_millis(1),
+            Duration::from_millis(50),
+        );
+        let welcome = ep.wait_welcome(Duration::from_secs(30)).ok_or_else(|| {
+            format!("node {node}: no welcome from the driver at {addr} within 30s")
+        })?;
+        let total = welcome.total as usize;
+        if node >= total {
+            return Err(format!(
+                "node index {node} out of range (job total {total})"
+            ));
+        }
+        // Private layout copy, kept in lockstep with the driver's via
+        // `Ctrl::LayoutChanged` broadcasts.
+        let layout = ReplicaLayout::new(total, welcome.spares as usize)
+            .map_err(|e| format!("node {node}: layout: {e:?}"))?;
+        let layout = Arc::new(RwLock::new(layout));
+        let identity = layout.read().locate(node);
+        let cfg = NodeConfig {
+            index: node,
+            ranks: welcome.ranks as usize,
+            tasks_per_rank: welcome.tasks_per_rank as usize,
+            detection: welcome.detection,
+            chunk_size: welcome.chunk_size as usize,
+            heartbeat_period: Duration::from_nanos(welcome.heartbeat_period_ns),
+            heartbeat_timeout: Duration::from_nanos(welcome.heartbeat_timeout_ns),
+            private_layout: true,
+        };
+        let port: Arc<dyn Port> = Arc::new(TcpNodePort {
+            ep: Arc::clone(&ep),
+        });
+        let worker = NodeWorker::new(
+            cfg,
+            identity,
+            layout,
+            port,
+            rx,
+            Arc::clone(&factory),
+            Clock::real(),
+            Arc::clone(&rec),
+        );
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("acr-node-{node}"))
+                .spawn(move || worker.run())
+                .map_err(|e| format!("node {node}: spawn: {e}"))?,
+        );
+        endpoints.push(ep);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    for ep in &endpoints {
+        ep.shutdown();
+    }
+    Ok(())
+}

@@ -1,0 +1,1275 @@
+//! Wire serialization for the TCP transport: length-prefixed frames with a
+//! Fletcher-64 body trailer, tag-byte codecs for the `message.rs` protocol
+//! enums, and the connect/accept handshake records.
+//!
+//! ## Frame format
+//!
+//! Every message crossing a socket travels in one frame (all integers
+//! little-endian):
+//!
+//! ```text
+//! magic   u32   0x41435246 ("ACRF")
+//! len     u32   body length in bytes (≤ MAX_FRAME_BODY)
+//! to      u32   destination node index; DRIVER_DEST for the driver
+//! seq     u64   per-link-direction sequence number, starting at 1
+//! body    [u8; len]   tag-byte-encoded Net or Event
+//! check   u64   fletcher64(body)
+//! ```
+//!
+//! `seq` is what makes a transient socket drop lossless: each side keeps a
+//! replay ring of sent frames and, on reconnect, the handshake exchanges the
+//! highest `seq` each side has *received* so the peer can replay exactly the
+//! frames the dead socket swallowed. Receivers drop `seq` values they have
+//! already seen (replayed duplicates).
+//!
+//! The body codec is deliberately hand-rolled (no serde in the dependency
+//! tree): one tag byte per enum variant, fixed little-endian scalars,
+//! `u64`-length-prefixed byte strings.
+
+use acr_core::{Checkpoint, ChunkTable, ConsensusMsg, Detection, DetectionMethod};
+use acr_pup::fletcher64;
+use bytes::Bytes;
+
+use crate::message::{AppMsg, Ctrl, Event, Net, NodeFault, Scope, TaskId};
+
+/// Frame magic: `"ACRF"` little-endian.
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"ACRF");
+/// Handshake (client hello) magic: `"ACRH"`.
+pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"ACRH");
+/// Handshake (server welcome) magic: `"ACRW"`.
+pub const WELCOME_MAGIC: u32 = u32::from_le_bytes(*b"ACRW");
+/// Wire protocol version carried by the handshake.
+pub const WIRE_VERSION: u32 = 1;
+/// `to` value addressing the driver rather than a node.
+pub const DRIVER_DEST: u32 = u32::MAX;
+/// Upper bound on a frame body; anything larger is a corrupt length field.
+pub const MAX_FRAME_BODY: usize = 256 << 20;
+
+/// Frame header bytes ahead of the body (magic + len + to + seq).
+pub const FRAME_HEADER: usize = 4 + 4 + 4 + 8;
+/// Trailer bytes after the body (the Fletcher-64 checksum).
+pub const FRAME_TRAILER: usize = 8;
+/// Encoded hello length (fixed).
+pub const HELLO_LEN: usize = 4 + 4 + 4 + 8;
+/// Encoded welcome length (fixed).
+pub const WELCOME_LEN: usize = 4 + 4 + 8 + 4 * 4 + 1 + 8 + 8 + 8;
+
+/// A decoding failure. `Truncated` is only returned by the fixed-size
+/// handshake parsers and the body codecs; the incremental [`FrameDecoder`]
+/// reports an incomplete frame as `Ok(None)` instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream does not start with the expected magic — garbage, or a
+    /// desynchronized peer. The connection must be dropped.
+    BadMagic(u32),
+    /// The length field exceeds [`MAX_FRAME_BODY`].
+    TooLarge(usize),
+    /// The body's Fletcher-64 trailer does not match.
+    Checksum {
+        /// Checksum computed over the received body.
+        expected: u64,
+        /// Checksum carried in the frame trailer.
+        found: u64,
+    },
+    /// An unknown enum tag inside a frame body.
+    BadTag {
+        /// Which type was being decoded.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// The buffer ended mid-record.
+    Truncated,
+    /// Handshake version mismatch.
+    BadVersion(u32),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::TooLarge(n) => write!(f, "frame body of {n} bytes exceeds the cap"),
+            WireError::Checksum { expected, found } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: body {expected:#x}, trailer {found:#x}"
+                )
+            }
+            WireError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            WireError::Truncated => write!(f, "record truncated"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Primitive writers / reader
+// ---------------------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+fn put_usize(buf: &mut Vec<u8>, v: usize) {
+    put_u64(buf, v as u64);
+}
+fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u64(buf, v.len() as u64);
+    buf.extend_from_slice(v);
+}
+
+/// Cursor over a received body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn usize(&mut self) -> Result<usize, WireError> {
+        Ok(self.u64()? as usize)
+    }
+    fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.usize()?;
+        if n > MAX_FRAME_BODY {
+            return Err(WireError::TooLarge(n));
+        }
+        self.take(n)
+    }
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Truncated)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame layer
+// ---------------------------------------------------------------------------
+
+/// One decoded frame: destination, link sequence number, opaque body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Destination node index, or [`DRIVER_DEST`].
+    pub to: u32,
+    /// Per-link-direction sequence number (starts at 1).
+    pub seq: u64,
+    /// Tag-byte-encoded message body.
+    pub body: Vec<u8>,
+}
+
+/// Encode one frame ready for the socket.
+pub fn encode_frame(to: u32, seq: u64, body: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER + body.len() + FRAME_TRAILER);
+    put_u32(&mut buf, FRAME_MAGIC);
+    put_u32(&mut buf, body.len() as u32);
+    put_u32(&mut buf, to);
+    put_u64(&mut buf, seq);
+    buf.extend_from_slice(body);
+    put_u64(&mut buf, fletcher64(body));
+    buf
+}
+
+/// Incremental frame decoder for a byte stream delivered in arbitrary
+/// chunks (partial reads, coalesced writes). Feed bytes as they arrive,
+/// then pull complete frames. Any error is fatal for the stream: the
+/// decoder stays poisoned and the connection should be dropped (a fresh
+/// connection starts a fresh decoder).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    poisoned: bool,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder for a new connection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append received bytes.
+    pub fn feed(&mut self, data: &[u8]) {
+        // Compact lazily: drop consumed prefix once it dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Next complete frame, `Ok(None)` if more bytes are needed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if self.poisoned {
+            return Err(WireError::Truncated);
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        let magic = u32::from_le_bytes(avail[0..4].try_into().unwrap());
+        if magic != FRAME_MAGIC {
+            self.poisoned = true;
+            return Err(WireError::BadMagic(magic));
+        }
+        let len = u32::from_le_bytes(avail[4..8].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_BODY {
+            self.poisoned = true;
+            return Err(WireError::TooLarge(len));
+        }
+        let total = FRAME_HEADER + len + FRAME_TRAILER;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let to = u32::from_le_bytes(avail[8..12].try_into().unwrap());
+        let seq = u64::from_le_bytes(avail[12..20].try_into().unwrap());
+        let body = avail[FRAME_HEADER..FRAME_HEADER + len].to_vec();
+        let found = u64::from_le_bytes(avail[FRAME_HEADER + len..total].try_into().unwrap());
+        let expected = fletcher64(&body);
+        if expected != found {
+            self.poisoned = true;
+            return Err(WireError::Checksum { expected, found });
+        }
+        self.pos += total;
+        Ok(Some(Frame { to, seq, body }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+/// Client hello: the connecting node's identity plus the highest frame
+/// sequence it has received from the router (so the router can replay the
+/// tail a dropped socket swallowed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Hello {
+    pub node: u32,
+    pub last_recv_seq: u64,
+}
+
+pub(crate) fn encode_hello(h: &Hello) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HELLO_LEN);
+    put_u32(&mut buf, HELLO_MAGIC);
+    put_u32(&mut buf, WIRE_VERSION);
+    put_u32(&mut buf, h.node);
+    put_u64(&mut buf, h.last_recv_seq);
+    buf
+}
+
+pub(crate) fn decode_hello(buf: &[u8]) -> Result<Hello, WireError> {
+    let mut r = Reader::new(buf);
+    let magic = r.u32()?;
+    if magic != HELLO_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = r.u32()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let h = Hello {
+        node: r.u32()?,
+        last_recv_seq: r.u64()?,
+    };
+    r.finish()?;
+    Ok(h)
+}
+
+/// The job-shape blob the welcome carries, enough for a remote node host to
+/// build its `NodeConfig` and a private replica layout matching the
+/// driver's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WelcomeCfg {
+    pub ranks: u32,
+    pub tasks_per_rank: u32,
+    pub spares: u32,
+    pub total: u32,
+    pub detection: DetectionMethod,
+    pub chunk_size: u64,
+    pub heartbeat_period_ns: u64,
+    pub heartbeat_timeout_ns: u64,
+}
+
+/// Server welcome: the router's highest received sequence from this node
+/// (the node replays everything above it) plus the job shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Welcome {
+    pub last_recv_seq: u64,
+    pub cfg: WelcomeCfg,
+}
+
+fn detection_tag(d: DetectionMethod) -> u8 {
+    match d {
+        DetectionMethod::FullCompare => 0,
+        DetectionMethod::Checksum => 1,
+        DetectionMethod::ChunkedChecksum => 2,
+    }
+}
+
+fn detection_from_tag(tag: u8) -> Result<DetectionMethod, WireError> {
+    Ok(match tag {
+        0 => DetectionMethod::FullCompare,
+        1 => DetectionMethod::Checksum,
+        2 => DetectionMethod::ChunkedChecksum,
+        t => {
+            return Err(WireError::BadTag {
+                what: "DetectionMethod",
+                tag: t,
+            })
+        }
+    })
+}
+
+pub(crate) fn encode_welcome(w: &Welcome) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(WELCOME_LEN);
+    put_u32(&mut buf, WELCOME_MAGIC);
+    put_u32(&mut buf, WIRE_VERSION);
+    put_u64(&mut buf, w.last_recv_seq);
+    put_u32(&mut buf, w.cfg.ranks);
+    put_u32(&mut buf, w.cfg.tasks_per_rank);
+    put_u32(&mut buf, w.cfg.spares);
+    put_u32(&mut buf, w.cfg.total);
+    put_u8(&mut buf, detection_tag(w.cfg.detection));
+    put_u64(&mut buf, w.cfg.chunk_size);
+    put_u64(&mut buf, w.cfg.heartbeat_period_ns);
+    put_u64(&mut buf, w.cfg.heartbeat_timeout_ns);
+    debug_assert_eq!(buf.len(), WELCOME_LEN);
+    buf
+}
+
+pub(crate) fn decode_welcome(buf: &[u8]) -> Result<Welcome, WireError> {
+    let mut r = Reader::new(buf);
+    let magic = r.u32()?;
+    if magic != WELCOME_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = r.u32()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let last_recv_seq = r.u64()?;
+    let cfg = WelcomeCfg {
+        ranks: r.u32()?,
+        tasks_per_rank: r.u32()?,
+        spares: r.u32()?,
+        total: r.u32()?,
+        detection: detection_from_tag(r.u8()?)?,
+        chunk_size: r.u64()?,
+        heartbeat_period_ns: r.u64()?,
+        heartbeat_timeout_ns: r.u64()?,
+    };
+    r.finish()?;
+    Ok(Welcome { last_recv_seq, cfg })
+}
+
+// ---------------------------------------------------------------------------
+// Body codec: shared pieces
+// ---------------------------------------------------------------------------
+
+fn put_scope(buf: &mut Vec<u8>, s: Scope) {
+    match s {
+        Scope::Global => put_u8(buf, 0),
+        Scope::Replica(r) => {
+            put_u8(buf, 1);
+            put_u8(buf, r);
+        }
+    }
+}
+
+fn get_scope(r: &mut Reader<'_>) -> Result<Scope, WireError> {
+    Ok(match r.u8()? {
+        0 => Scope::Global,
+        1 => Scope::Replica(r.u8()?),
+        t => {
+            return Err(WireError::BadTag {
+                what: "Scope",
+                tag: t,
+            })
+        }
+    })
+}
+
+fn put_consensus(buf: &mut Vec<u8>, m: &ConsensusMsg) {
+    match *m {
+        ConsensusMsg::Start { round } => {
+            put_u8(buf, 0);
+            put_u64(buf, round);
+        }
+        ConsensusMsg::Contribute { round, max } => {
+            put_u8(buf, 1);
+            put_u64(buf, round);
+            put_u64(buf, max);
+        }
+        ConsensusMsg::Decide { round, iteration } => {
+            put_u8(buf, 2);
+            put_u64(buf, round);
+            put_u64(buf, iteration);
+        }
+        ConsensusMsg::ReadyUp { round } => {
+            put_u8(buf, 3);
+            put_u64(buf, round);
+        }
+        ConsensusMsg::Go { round } => {
+            put_u8(buf, 4);
+            put_u64(buf, round);
+        }
+    }
+}
+
+fn get_consensus(r: &mut Reader<'_>) -> Result<ConsensusMsg, WireError> {
+    Ok(match r.u8()? {
+        0 => ConsensusMsg::Start { round: r.u64()? },
+        1 => ConsensusMsg::Contribute {
+            round: r.u64()?,
+            max: r.u64()?,
+        },
+        2 => ConsensusMsg::Decide {
+            round: r.u64()?,
+            iteration: r.u64()?,
+        },
+        3 => ConsensusMsg::ReadyUp { round: r.u64()? },
+        4 => ConsensusMsg::Go { round: r.u64()? },
+        t => {
+            return Err(WireError::BadTag {
+                what: "ConsensusMsg",
+                tag: t,
+            })
+        }
+    })
+}
+
+fn put_chunk_table(buf: &mut Vec<u8>, t: &ChunkTable) {
+    put_u32(buf, t.chunk_size);
+    put_u64(buf, t.digests.len() as u64);
+    for &d in &t.digests {
+        put_u64(buf, d);
+    }
+}
+
+fn get_chunk_table(r: &mut Reader<'_>) -> Result<ChunkTable, WireError> {
+    let chunk_size = r.u32()?;
+    let n = r.usize()?;
+    if n > MAX_FRAME_BODY / 8 {
+        return Err(WireError::TooLarge(n));
+    }
+    let mut digests = Vec::with_capacity(n);
+    for _ in 0..n {
+        digests.push(r.u64()?);
+    }
+    Ok(ChunkTable {
+        chunk_size,
+        digests,
+    })
+}
+
+fn put_detection(buf: &mut Vec<u8>, d: &Detection) {
+    match d {
+        Detection::Payload(p) => {
+            put_u8(buf, 0);
+            put_bytes(buf, p);
+        }
+        Detection::Digest(x) => {
+            put_u8(buf, 1);
+            put_u64(buf, *x);
+        }
+        Detection::DigestTable { digest, table } => {
+            put_u8(buf, 2);
+            put_u64(buf, *digest);
+            put_chunk_table(buf, table);
+        }
+    }
+}
+
+fn get_detection(r: &mut Reader<'_>) -> Result<Detection, WireError> {
+    Ok(match r.u8()? {
+        0 => Detection::Payload(Bytes::copy_from_slice(r.bytes()?)),
+        1 => Detection::Digest(r.u64()?),
+        2 => Detection::DigestTable {
+            digest: r.u64()?,
+            table: get_chunk_table(r)?,
+        },
+        t => {
+            return Err(WireError::BadTag {
+                what: "Detection",
+                tag: t,
+            })
+        }
+    })
+}
+
+fn put_checkpoint(buf: &mut Vec<u8>, c: &Checkpoint) {
+    put_u64(buf, c.iteration);
+    put_bytes(buf, &c.payload);
+    put_u64(buf, c.digest);
+    match &c.chunks {
+        None => put_u8(buf, 0),
+        Some(t) => {
+            put_u8(buf, 1);
+            put_chunk_table(buf, t);
+        }
+    }
+}
+
+fn get_checkpoint(r: &mut Reader<'_>) -> Result<Checkpoint, WireError> {
+    let iteration = r.u64()?;
+    let payload = Bytes::copy_from_slice(r.bytes()?);
+    let digest = r.u64()?;
+    Ok(match r.u8()? {
+        0 => Checkpoint::new(iteration, payload, digest),
+        1 => Checkpoint::with_chunks(iteration, payload, digest, get_chunk_table(r)?),
+        t => {
+            return Err(WireError::BadTag {
+                what: "Checkpoint.chunks",
+                tag: t,
+            })
+        }
+    })
+}
+
+fn put_app_msg(buf: &mut Vec<u8>, m: &AppMsg) {
+    put_usize(buf, m.from.rank);
+    put_usize(buf, m.from.task);
+    put_u64(buf, m.tag);
+    put_bytes(buf, &m.data);
+}
+
+fn get_app_msg(r: &mut Reader<'_>) -> Result<AppMsg, WireError> {
+    Ok(AppMsg {
+        from: TaskId {
+            rank: r.usize()?,
+            task: r.usize()?,
+        },
+        tag: r.u64()?,
+        data: r.bytes()?.to_vec(),
+    })
+}
+
+fn put_node_fault(buf: &mut Vec<u8>, f: NodeFault) {
+    match f {
+        NodeFault::Crash => put_u8(buf, 0),
+        NodeFault::Sdc { seed, bits } => {
+            put_u8(buf, 1);
+            put_u64(buf, seed);
+            put_u32(buf, bits);
+        }
+    }
+}
+
+fn get_node_fault(r: &mut Reader<'_>) -> Result<NodeFault, WireError> {
+    Ok(match r.u8()? {
+        0 => NodeFault::Crash,
+        1 => NodeFault::Sdc {
+            seed: r.u64()?,
+            bits: r.u32()?,
+        },
+        t => {
+            return Err(WireError::BadTag {
+                what: "NodeFault",
+                tag: t,
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Net codec
+// ---------------------------------------------------------------------------
+
+fn put_ctrl(buf: &mut Vec<u8>, c: &Ctrl) {
+    match *c {
+        Ctrl::StartRound { scope, round } => {
+            put_u8(buf, 0);
+            put_scope(buf, scope);
+            put_u64(buf, round);
+        }
+        Ctrl::AbortRound { floor } => {
+            put_u8(buf, 1);
+            put_u64(buf, floor);
+        }
+        Ctrl::Rollback { floor } => {
+            put_u8(buf, 2);
+            put_u64(buf, floor);
+        }
+        Ctrl::SendVerifiedTo { to } => {
+            put_u8(buf, 3);
+            put_usize(buf, to);
+        }
+        Ctrl::AssumeIdentity {
+            replica,
+            rank,
+            buddy,
+            floor,
+        } => {
+            put_u8(buf, 4);
+            put_u8(buf, replica);
+            put_usize(buf, rank);
+            put_usize(buf, buddy);
+            put_u64(buf, floor);
+        }
+        Ctrl::BuddyChanged { buddy } => {
+            put_u8(buf, 5);
+            put_usize(buf, buddy);
+        }
+        Ctrl::RoundComplete => put_u8(buf, 6),
+        Ctrl::Park => put_u8(buf, 7),
+        Ctrl::Resume { floor } => {
+            put_u8(buf, 8);
+            put_u64(buf, floor);
+        }
+        Ctrl::HardRestart { floor } => {
+            put_u8(buf, 9);
+            put_u64(buf, floor);
+        }
+        Ctrl::InjectCrash => put_u8(buf, 10),
+        Ctrl::InjectSdc { seed, bits } => {
+            put_u8(buf, 11);
+            put_u64(buf, seed);
+            put_u32(buf, bits);
+        }
+        Ctrl::ScheduleFault {
+            at_iteration,
+            fault,
+        } => {
+            put_u8(buf, 12);
+            put_u64(buf, at_iteration);
+            put_node_fault(buf, fault);
+        }
+        Ctrl::MuteHeartbeats { secs } => {
+            put_u8(buf, 13);
+            put_f64(buf, secs);
+        }
+        Ctrl::Ping { token } => {
+            put_u8(buf, 14);
+            put_u64(buf, token);
+        }
+        Ctrl::Shutdown => put_u8(buf, 15),
+        Ctrl::LayoutChanged { dead } => {
+            put_u8(buf, 16);
+            put_usize(buf, dead);
+        }
+    }
+}
+
+fn get_ctrl(r: &mut Reader<'_>) -> Result<Ctrl, WireError> {
+    Ok(match r.u8()? {
+        0 => Ctrl::StartRound {
+            scope: get_scope(r)?,
+            round: r.u64()?,
+        },
+        1 => Ctrl::AbortRound { floor: r.u64()? },
+        2 => Ctrl::Rollback { floor: r.u64()? },
+        3 => Ctrl::SendVerifiedTo { to: r.usize()? },
+        4 => Ctrl::AssumeIdentity {
+            replica: r.u8()?,
+            rank: r.usize()?,
+            buddy: r.usize()?,
+            floor: r.u64()?,
+        },
+        5 => Ctrl::BuddyChanged { buddy: r.usize()? },
+        6 => Ctrl::RoundComplete,
+        7 => Ctrl::Park,
+        8 => Ctrl::Resume { floor: r.u64()? },
+        9 => Ctrl::HardRestart { floor: r.u64()? },
+        10 => Ctrl::InjectCrash,
+        11 => Ctrl::InjectSdc {
+            seed: r.u64()?,
+            bits: r.u32()?,
+        },
+        12 => Ctrl::ScheduleFault {
+            at_iteration: r.u64()?,
+            fault: get_node_fault(r)?,
+        },
+        13 => Ctrl::MuteHeartbeats { secs: r.f64()? },
+        14 => Ctrl::Ping { token: r.u64()? },
+        15 => Ctrl::Shutdown,
+        16 => Ctrl::LayoutChanged { dead: r.usize()? },
+        t => {
+            return Err(WireError::BadTag {
+                what: "Ctrl",
+                tag: t,
+            })
+        }
+    })
+}
+
+/// Encode a node-bound protocol message into a frame body.
+pub(crate) fn encode_net(msg: &Net) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match msg {
+        Net::App {
+            to_task,
+            epoch,
+            msg,
+        } => {
+            put_u8(&mut buf, 0);
+            put_usize(&mut buf, *to_task);
+            put_u64(&mut buf, *epoch);
+            put_app_msg(&mut buf, msg);
+        }
+        Net::Consensus { scope, msg } => {
+            put_u8(&mut buf, 1);
+            put_scope(&mut buf, *scope);
+            put_consensus(&mut buf, msg);
+        }
+        Net::Compare {
+            iteration,
+            detection,
+        } => {
+            put_u8(&mut buf, 2);
+            put_u64(&mut buf, *iteration);
+            put_detection(&mut buf, detection);
+        }
+        Net::CompareResult { iteration, clean } => {
+            put_u8(&mut buf, 3);
+            put_u64(&mut buf, *iteration);
+            put_u8(&mut buf, *clean as u8);
+        }
+        Net::Install { checkpoint } => {
+            put_u8(&mut buf, 4);
+            put_checkpoint(&mut buf, checkpoint);
+        }
+        Net::Heartbeat { from } => {
+            put_u8(&mut buf, 5);
+            put_usize(&mut buf, *from);
+        }
+        Net::Ctrl(c) => {
+            put_u8(&mut buf, 6);
+            put_ctrl(&mut buf, c);
+        }
+    }
+    buf
+}
+
+/// Decode a frame body into a node-bound protocol message.
+pub(crate) fn decode_net(buf: &[u8]) -> Result<Net, WireError> {
+    let mut r = Reader::new(buf);
+    let msg = match r.u8()? {
+        0 => Net::App {
+            to_task: r.usize()?,
+            epoch: r.u64()?,
+            msg: get_app_msg(&mut r)?,
+        },
+        1 => Net::Consensus {
+            scope: get_scope(&mut r)?,
+            msg: get_consensus(&mut r)?,
+        },
+        2 => Net::Compare {
+            iteration: r.u64()?,
+            detection: get_detection(&mut r)?,
+        },
+        3 => Net::CompareResult {
+            iteration: r.u64()?,
+            clean: r.u8()? != 0,
+        },
+        4 => Net::Install {
+            checkpoint: get_checkpoint(&mut r)?,
+        },
+        5 => Net::Heartbeat { from: r.usize()? },
+        6 => Net::Ctrl(get_ctrl(&mut r)?),
+        t => {
+            return Err(WireError::BadTag {
+                what: "Net",
+                tag: t,
+            })
+        }
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Event codec
+// ---------------------------------------------------------------------------
+
+/// Encode a driver-bound event into a frame body.
+pub(crate) fn encode_event(ev: &Event) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match ev {
+        Event::BuddyDead { reporter, dead } => {
+            put_u8(&mut buf, 0);
+            put_usize(&mut buf, *reporter);
+            put_usize(&mut buf, *dead);
+        }
+        Event::CheckpointDone {
+            node,
+            round,
+            iteration,
+            verified,
+        } => {
+            put_u8(&mut buf, 1);
+            put_usize(&mut buf, *node);
+            put_u64(&mut buf, *round);
+            put_u64(&mut buf, *iteration);
+            put_u8(
+                &mut buf,
+                match verified {
+                    None => 0,
+                    Some(false) => 1,
+                    Some(true) => 2,
+                },
+            );
+        }
+        Event::SdcDetected {
+            node,
+            iteration,
+            diverged,
+            payload_len,
+            fields_flagged,
+        } => {
+            put_u8(&mut buf, 2);
+            put_usize(&mut buf, *node);
+            put_u64(&mut buf, *iteration);
+            put_u64(&mut buf, diverged.len() as u64);
+            for range in diverged {
+                put_usize(&mut buf, range.start);
+                put_usize(&mut buf, range.end);
+            }
+            put_usize(&mut buf, *payload_len);
+            put_usize(&mut buf, *fields_flagged);
+        }
+        Event::FaultInjected { node, at, fault } => {
+            put_u8(&mut buf, 3);
+            put_usize(&mut buf, *node);
+            put_f64(&mut buf, *at);
+            put_node_fault(&mut buf, *fault);
+        }
+        Event::RolledBack { node } => {
+            put_u8(&mut buf, 4);
+            put_usize(&mut buf, *node);
+        }
+        Event::Installed { node, iteration } => {
+            put_u8(&mut buf, 5);
+            put_usize(&mut buf, *node);
+            put_u64(&mut buf, *iteration);
+        }
+        Event::AllTasksDone { node } => {
+            put_u8(&mut buf, 6);
+            put_usize(&mut buf, *node);
+        }
+        Event::Pong { node, token } => {
+            put_u8(&mut buf, 7);
+            put_usize(&mut buf, *node);
+            put_u64(&mut buf, *token);
+        }
+        Event::FinalState {
+            node,
+            identity,
+            tasks,
+        } => {
+            put_u8(&mut buf, 8);
+            put_usize(&mut buf, *node);
+            match identity {
+                None => put_u8(&mut buf, 0),
+                Some((replica, rank)) => {
+                    put_u8(&mut buf, 1);
+                    put_u8(&mut buf, *replica);
+                    put_usize(&mut buf, *rank);
+                }
+            }
+            put_u64(&mut buf, tasks.len() as u64);
+            for t in tasks {
+                put_bytes(&mut buf, t);
+            }
+        }
+        Event::TransportStale { node } => {
+            put_u8(&mut buf, 9);
+            put_usize(&mut buf, *node);
+        }
+    }
+    buf
+}
+
+/// Decode a frame body into a driver-bound event.
+pub(crate) fn decode_event(buf: &[u8]) -> Result<Event, WireError> {
+    let mut r = Reader::new(buf);
+    let ev = match r.u8()? {
+        0 => Event::BuddyDead {
+            reporter: r.usize()?,
+            dead: r.usize()?,
+        },
+        1 => Event::CheckpointDone {
+            node: r.usize()?,
+            round: r.u64()?,
+            iteration: r.u64()?,
+            verified: match r.u8()? {
+                0 => None,
+                1 => Some(false),
+                2 => Some(true),
+                t => {
+                    return Err(WireError::BadTag {
+                        what: "CheckpointDone.verified",
+                        tag: t,
+                    })
+                }
+            },
+        },
+        2 => {
+            let node = r.usize()?;
+            let iteration = r.u64()?;
+            let n = r.usize()?;
+            if n > MAX_FRAME_BODY / 16 {
+                return Err(WireError::TooLarge(n));
+            }
+            let mut diverged = Vec::with_capacity(n);
+            for _ in 0..n {
+                let start = r.usize()?;
+                let end = r.usize()?;
+                diverged.push(start..end);
+            }
+            Event::SdcDetected {
+                node,
+                iteration,
+                diverged,
+                payload_len: r.usize()?,
+                fields_flagged: r.usize()?,
+            }
+        }
+        3 => Event::FaultInjected {
+            node: r.usize()?,
+            at: r.f64()?,
+            fault: get_node_fault(&mut r)?,
+        },
+        4 => Event::RolledBack { node: r.usize()? },
+        5 => Event::Installed {
+            node: r.usize()?,
+            iteration: r.u64()?,
+        },
+        6 => Event::AllTasksDone { node: r.usize()? },
+        7 => Event::Pong {
+            node: r.usize()?,
+            token: r.u64()?,
+        },
+        8 => {
+            let node = r.usize()?;
+            let identity = match r.u8()? {
+                0 => None,
+                1 => Some((r.u8()?, r.usize()?)),
+                t => {
+                    return Err(WireError::BadTag {
+                        what: "FinalState.identity",
+                        tag: t,
+                    })
+                }
+            };
+            let n = r.usize()?;
+            if n > MAX_FRAME_BODY / 8 {
+                return Err(WireError::TooLarge(n));
+            }
+            let mut tasks = Vec::with_capacity(n);
+            for _ in 0..n {
+                tasks.push(Bytes::copy_from_slice(r.bytes()?));
+            }
+            Event::FinalState {
+                node,
+                identity,
+                tasks,
+            }
+        }
+        9 => Event::TransportStale { node: r.usize()? },
+        t => {
+            return Err(WireError::BadTag {
+                what: "Event",
+                tag: t,
+            })
+        }
+    };
+    r.finish()?;
+    Ok(ev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_nets() -> Vec<Net> {
+        vec![
+            Net::App {
+                to_task: 3,
+                epoch: 7,
+                msg: AppMsg {
+                    from: TaskId { rank: 1, task: 2 },
+                    tag: 99,
+                    data: vec![1, 2, 3, 255],
+                },
+            },
+            Net::Consensus {
+                scope: Scope::Global,
+                msg: ConsensusMsg::Start { round: 5 },
+            },
+            Net::Consensus {
+                scope: Scope::Replica(1),
+                msg: ConsensusMsg::Contribute { round: 5, max: 42 },
+            },
+            Net::Consensus {
+                scope: Scope::Global,
+                msg: ConsensusMsg::Decide {
+                    round: 5,
+                    iteration: 40,
+                },
+            },
+            Net::Consensus {
+                scope: Scope::Global,
+                msg: ConsensusMsg::ReadyUp { round: 5 },
+            },
+            Net::Consensus {
+                scope: Scope::Replica(0),
+                msg: ConsensusMsg::Go { round: 5 },
+            },
+            Net::Compare {
+                iteration: 40,
+                detection: Detection::Payload(Bytes::from_static(b"payload")),
+            },
+            Net::Compare {
+                iteration: 40,
+                detection: Detection::Digest(0xdead_beef),
+            },
+            Net::Compare {
+                iteration: 40,
+                detection: Detection::DigestTable {
+                    digest: 0xfeed,
+                    table: ChunkTable {
+                        chunk_size: 64,
+                        digests: vec![1, 2, 3],
+                    },
+                },
+            },
+            Net::CompareResult {
+                iteration: 40,
+                clean: true,
+            },
+            Net::CompareResult {
+                iteration: 41,
+                clean: false,
+            },
+            Net::Install {
+                checkpoint: Checkpoint::new(9, Bytes::from_static(b"state"), 0xabc),
+            },
+            Net::Install {
+                checkpoint: Checkpoint::with_chunks(
+                    9,
+                    Bytes::from_static(b"statestate"),
+                    0xabc,
+                    ChunkTable {
+                        chunk_size: 4,
+                        digests: vec![7, 8, 9],
+                    },
+                ),
+            },
+            Net::Heartbeat { from: 4 },
+            Net::Ctrl(Ctrl::StartRound {
+                scope: Scope::Global,
+                round: 2,
+            }),
+            Net::Ctrl(Ctrl::AbortRound { floor: 3 }),
+            Net::Ctrl(Ctrl::Rollback { floor: 4 }),
+            Net::Ctrl(Ctrl::SendVerifiedTo { to: 6 }),
+            Net::Ctrl(Ctrl::AssumeIdentity {
+                replica: 1,
+                rank: 3,
+                buddy: 2,
+                floor: 11,
+            }),
+            Net::Ctrl(Ctrl::BuddyChanged { buddy: 5 }),
+            Net::Ctrl(Ctrl::RoundComplete),
+            Net::Ctrl(Ctrl::Park),
+            Net::Ctrl(Ctrl::Resume { floor: 12 }),
+            Net::Ctrl(Ctrl::HardRestart { floor: 13 }),
+            Net::Ctrl(Ctrl::InjectCrash),
+            Net::Ctrl(Ctrl::InjectSdc { seed: 77, bits: 3 }),
+            Net::Ctrl(Ctrl::ScheduleFault {
+                at_iteration: 100,
+                fault: NodeFault::Sdc { seed: 5, bits: 2 },
+            }),
+            Net::Ctrl(Ctrl::ScheduleFault {
+                at_iteration: 101,
+                fault: NodeFault::Crash,
+            }),
+            Net::Ctrl(Ctrl::MuteHeartbeats { secs: 0.125 }),
+            Net::Ctrl(Ctrl::Ping { token: 31 }),
+            Net::Ctrl(Ctrl::Shutdown),
+            Net::Ctrl(Ctrl::LayoutChanged { dead: 3 }),
+        ]
+    }
+
+    fn all_events() -> Vec<Event> {
+        vec![
+            Event::BuddyDead {
+                reporter: 1,
+                dead: 2,
+            },
+            Event::CheckpointDone {
+                node: 0,
+                round: 3,
+                iteration: 40,
+                verified: None,
+            },
+            Event::CheckpointDone {
+                node: 0,
+                round: 3,
+                iteration: 40,
+                verified: Some(false),
+            },
+            Event::CheckpointDone {
+                node: 0,
+                round: 3,
+                iteration: 40,
+                verified: Some(true),
+            },
+            Event::SdcDetected {
+                node: 2,
+                iteration: 40,
+                diverged: vec![0..8, 64..72],
+                payload_len: 128,
+                fields_flagged: 1,
+            },
+            Event::FaultInjected {
+                node: 1,
+                at: 0.25,
+                fault: NodeFault::Crash,
+            },
+            Event::FaultInjected {
+                node: 1,
+                at: 0.5,
+                fault: NodeFault::Sdc { seed: 9, bits: 1 },
+            },
+            Event::RolledBack { node: 3 },
+            Event::Installed {
+                node: 4,
+                iteration: 40,
+            },
+            Event::AllTasksDone { node: 5 },
+            Event::Pong { node: 6, token: 8 },
+            Event::FinalState {
+                node: 7,
+                identity: Some((1, 3)),
+                tasks: vec![Bytes::from_static(b"a"), Bytes::from_static(b"bb")],
+            },
+            Event::FinalState {
+                node: 8,
+                identity: None,
+                tasks: vec![],
+            },
+            Event::TransportStale { node: 9 },
+        ]
+    }
+
+    /// Debug-format equality stands in for PartialEq (Net/Event carry types
+    /// without Eq); the codec round-trip must preserve every field.
+    #[test]
+    fn net_codec_round_trips_every_variant() {
+        for msg in all_nets() {
+            let body = encode_net(&msg);
+            let back = decode_net(&body).expect("decodes");
+            assert_eq!(format!("{msg:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn event_codec_round_trips_every_variant() {
+        for ev in all_events() {
+            let body = encode_event(&ev);
+            let back = decode_event(&body).expect("decodes");
+            assert_eq!(format!("{ev:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn frame_round_trips_through_incremental_decoder() {
+        let bodies: Vec<Vec<u8>> = all_nets().iter().map(encode_net).collect();
+        let mut stream = Vec::new();
+        for (i, body) in bodies.iter().enumerate() {
+            stream.extend_from_slice(&encode_frame(i as u32, i as u64 + 1, body));
+        }
+        // Feed one byte at a time: the decoder must handle any split.
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for b in &stream {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().expect("clean stream") {
+                out.push(f);
+            }
+        }
+        assert_eq!(out.len(), bodies.len());
+        for (i, f) in out.iter().enumerate() {
+            assert_eq!(f.to, i as u32);
+            assert_eq!(f.seq, i as u64 + 1);
+            assert_eq!(f.body, bodies[i]);
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_garbage_prefix_and_corrupt_body() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(b"GETS / HTTP/1.1\r\n\r\n__");
+        assert!(matches!(dec.next_frame(), Err(WireError::BadMagic(_))));
+
+        let mut frame = encode_frame(1, 1, b"hello world body");
+        let flip = FRAME_HEADER + 3;
+        frame[flip] ^= 0x40;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        assert!(matches!(dec.next_frame(), Err(WireError::Checksum { .. })));
+    }
+
+    #[test]
+    fn hello_and_welcome_round_trip() {
+        let h = Hello {
+            node: 5,
+            last_recv_seq: 123,
+        };
+        let buf = encode_hello(&h);
+        assert_eq!(buf.len(), HELLO_LEN);
+        assert_eq!(decode_hello(&buf).unwrap(), h);
+
+        let w = Welcome {
+            last_recv_seq: 456,
+            cfg: WelcomeCfg {
+                ranks: 4,
+                tasks_per_rank: 1,
+                spares: 2,
+                total: 10,
+                detection: DetectionMethod::ChunkedChecksum,
+                chunk_size: 2048,
+                heartbeat_period_ns: 5_000_000,
+                heartbeat_timeout_ns: 40_000_000,
+            },
+        };
+        let buf = encode_welcome(&w);
+        assert_eq!(buf.len(), WELCOME_LEN);
+        assert_eq!(decode_welcome(&buf).unwrap(), w);
+    }
+}

@@ -7,6 +7,7 @@
 //! cargo run --release --example fault_campaign                       # 32 seeds × 3 schemes
 //! cargo run --release --example fault_campaign -- --seeds 8
 //! cargo run --release --example fault_campaign -- --repro-dir target/repros
+//! cargo run --release --example fault_campaign -- --transport tcp    # soak over real sockets
 //! cargo run --release --example fault_campaign -- --replay repro.txt # re-run one artifact
 //! ```
 
@@ -19,15 +20,28 @@ use acr::runtime::campaign::{
     detection_name, parse_detection, parse_scheme, run_campaign, run_script_case, scheme_name,
     CampaignConfig, CaseOutcome,
 };
+use acr::runtime::{TcpConfig, TransportKind};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seeds: u64 = 32;
     let mut repro_dir: Option<PathBuf> = None;
     let mut replay: Option<PathBuf> = None;
+    let mut transport = TransportKind::InProcess;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--transport" => {
+                i += 1;
+                transport = match args.get(i).map(String::as_str) {
+                    Some("tcp") => TransportKind::Tcp(TcpConfig::default()),
+                    Some("in-process") => TransportKind::InProcess,
+                    other => {
+                        eprintln!("--transport must be `tcp` or `in-process`, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             "--seeds" => {
                 i += 1;
                 seeds = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -55,7 +69,10 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: fault_campaign [--seeds N] [--repro-dir DIR] [--replay FILE]");
+                eprintln!(
+                    "usage: fault_campaign [--seeds N] [--repro-dir DIR] \
+                     [--transport tcp|in-process] [--replay FILE]"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -69,13 +86,23 @@ fn main() -> ExitCode {
     let cfg = CampaignConfig {
         seeds: (0..seeds).collect(),
         repro_dir,
+        transport,
         ..CampaignConfig::default()
     };
     println!(
-        "fault campaign: {} seeds × {} schemes, determinism check {}",
+        "fault campaign: {} seeds × {} schemes over {}, determinism check {}",
         cfg.seeds.len(),
         cfg.schemes.len(),
-        if cfg.check_determinism { "on" } else { "off" }
+        if cfg.wall_clock() {
+            "localhost TCP (wall clock)"
+        } else {
+            "in-process channels (virtual time)"
+        },
+        if cfg.check_determinism && !cfg.wall_clock() {
+            "on"
+        } else {
+            "off"
+        }
     );
 
     let report = run_campaign(&cfg);

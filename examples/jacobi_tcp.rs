@@ -1,0 +1,260 @@
+//! Jacobi3D across **OS processes**: the driver and the node hosts talk
+//! over the framed localhost-TCP transport instead of in-process channels.
+//! Each node host owns a slice of the node indices (`0..2·ranks+spares`),
+//! dials the driver's router, learns the job geometry from the `WELCOME`
+//! handshake, and runs its nodes' schedulers on local threads.
+//!
+//! Run it as one self-contained demo (the default forks two node-host
+//! child processes), or place the roles by hand across terminals:
+//!
+//! ```text
+//! cargo run --release --example jacobi_tcp                 # self-forking demo
+//!
+//! # by hand, across three shells:
+//! cargo run --release --example jacobi_tcp -- --driver --addr 127.0.0.1:4600
+//! cargo run --release --example jacobi_tcp -- --node --addr 127.0.0.1:4600 --nodes 0,2,4,6,8
+//! cargo run --release --example jacobi_tcp -- --node --addr 127.0.0.1:4600 --nodes 1,3,5,7
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use acr::integration::JacobiHaloTask;
+use acr::runtime::{
+    run_node_host, DetectionMethod, ExecMode, FaultScript, Job, JobConfig, Scheme, Task, TcpConfig,
+    TransportKind,
+};
+
+const NX: usize = 10;
+const NY: usize = 12;
+const NZ: usize = 12;
+
+#[derive(Clone)]
+struct Opts {
+    addr: Option<SocketAddr>,
+    ranks: usize,
+    spares: usize,
+    iters: u64,
+    nodes: Vec<usize>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            ranks: 4,
+            spares: 1,
+            iters: 1000,
+            nodes: Vec::new(),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut role: Option<&str> = None;
+    let mut opts = Opts::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--driver" => role = Some("driver"),
+            "--node" => role = Some("node"),
+            "--addr" => {
+                i += 1;
+                opts.addr = Some(parse_or_die(args.get(i), "--addr needs host:port"));
+            }
+            "--ranks" => {
+                i += 1;
+                opts.ranks = parse_or_die(args.get(i), "--ranks needs a number");
+            }
+            "--spares" => {
+                i += 1;
+                opts.spares = parse_or_die(args.get(i), "--spares needs a number");
+            }
+            "--iters" => {
+                i += 1;
+                opts.iters = parse_or_die(args.get(i), "--iters needs a number");
+            }
+            "--nodes" => {
+                i += 1;
+                let list = args.get(i).map(String::as_str).unwrap_or_else(|| {
+                    eprintln!("--nodes needs a comma-separated index list");
+                    std::process::exit(2);
+                });
+                opts.nodes = list
+                    .split(',')
+                    .map(|s| parse_or_die(Some(&s.to_string()), "bad node index"))
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: jacobi_tcp [--driver|--node] [--addr HOST:PORT] [--ranks N] \
+                     [--spares N] [--iters N] [--nodes 0,2,4]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    match role {
+        Some("driver") => run_driver(&opts),
+        Some("node") => run_node(&opts),
+        _ => run_demo(&opts),
+    }
+}
+
+fn parse_or_die<T: std::str::FromStr>(arg: Option<&String>, msg: &str) -> T {
+    arg.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    })
+}
+
+fn job_config(opts: &Opts, addr: SocketAddr) -> JobConfig {
+    JobConfig {
+        ranks: opts.ranks,
+        tasks_per_rank: 1,
+        spares: opts.spares,
+        scheme: Scheme::Strong,
+        detection: DetectionMethod::ChunkedChecksum,
+        checkpoint_interval: Duration::from_millis(150),
+        heartbeat_period: Duration::from_millis(20),
+        // Process scheduling is coarser than thread scheduling; leave the
+        // buddy detector plenty of margin.
+        heartbeat_timeout: Duration::from_millis(800),
+        max_duration: Duration::from_secs(120),
+        transport: TransportKind::Tcp(TcpConfig {
+            addr: Some(addr),
+            remote_nodes: true,
+            ..TcpConfig::default()
+        }),
+        ..JobConfig::default()
+    }
+}
+
+/// Driver role: bind the router, wait for external node hosts to cover
+/// every node index, then run the replicated job to completion.
+fn run_driver(opts: &Opts) -> ExitCode {
+    let addr = opts.addr.unwrap_or_else(|| {
+        eprintln!("--driver needs --addr");
+        std::process::exit(2);
+    });
+    let total = 2 * opts.ranks + opts.spares;
+    println!(
+        "driver: {} ranks × 2 replicas + {} spare(s) = {total} nodes expected on {addr}",
+        opts.ranks, opts.spares
+    );
+    let (ranks, iters) = (opts.ranks, opts.iters);
+    let t0 = Instant::now();
+    let report = Job::run_scripted(
+        job_config(opts, addr),
+        move |rank, _task| {
+            Box::new(JacobiHaloTask::new(rank, ranks, NX, NY, NZ, iters)) as Box<dyn Task>
+        },
+        &FaultScript::new(),
+        ExecMode::Threaded,
+    );
+    println!(
+        "driver: completed={} agree={} checkpoints={} wall={:.2}s",
+        report.completed,
+        report.replicas_agree(),
+        report.checkpoints_verified,
+        t0.elapsed().as_secs_f64()
+    );
+    if report.completed && report.replicas_agree() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("driver: job failed: {:?}", report.error);
+        ExitCode::FAILURE
+    }
+}
+
+/// Node-host role: run the given node indices in this process, dialing the
+/// driver at `--addr`. The factory only needs the rank — the rest of the
+/// geometry arrives in the `WELCOME` handshake.
+fn run_node(opts: &Opts) -> ExitCode {
+    let addr = opts.addr.unwrap_or_else(|| {
+        eprintln!("--node needs --addr");
+        std::process::exit(2);
+    });
+    if opts.nodes.is_empty() {
+        eprintln!("--node needs --nodes 0,2,4");
+        return ExitCode::from(2);
+    }
+    println!("node host: nodes {:?} dialing {addr}", opts.nodes);
+    let (ranks, iters) = (opts.ranks, opts.iters);
+    match run_node_host(addr, &opts.nodes, move |rank, _task| {
+        Box::new(JacobiHaloTask::new(rank, ranks, NX, NY, NZ, iters)) as Box<dyn Task>
+    }) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("node host failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Demo: fork this binary into two node-host processes splitting the node
+/// indices even/odd, run the driver in this process, reap the children.
+fn run_demo(opts: &Opts) -> ExitCode {
+    let exe = std::env::current_exe().expect("current_exe");
+    // Reserve a port by binding then dropping; the router rebinds it.
+    let addr = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("bind probe");
+        probe.local_addr().expect("probe addr")
+    };
+    let total = 2 * opts.ranks + opts.spares;
+    let split = |parity: usize| -> String {
+        (0..total)
+            .filter(|n| n % 2 == parity)
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    println!("demo: driver on {addr}, two node-host child processes covering {total} nodes");
+    let mut children = Vec::new();
+    for parity in 0..2 {
+        let child = std::process::Command::new(&exe)
+            .args([
+                "--node",
+                "--addr",
+                &addr.to_string(),
+                "--nodes",
+                &split(parity),
+                "--ranks",
+                &opts.ranks.to_string(),
+                "--iters",
+                &opts.iters.to_string(),
+            ])
+            .spawn()
+            .expect("spawn node host");
+        children.push(child);
+    }
+    let code = run_driver(&Opts {
+        addr: Some(addr),
+        ..opts.clone()
+    });
+    let mut ok = code == ExitCode::SUCCESS;
+    for mut child in children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("node host exited with {status}");
+                ok = false;
+            }
+            Err(e) => {
+                eprintln!("cannot reap node host: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        println!("demo: multi-process run complete");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -13,9 +13,17 @@
 //! sum to the run's total duration within 1%. Exit code 1 if either check
 //! fails.
 //!
+//! With `--baseline FILE` the freshly produced breakdowns are additionally
+//! gated against a committed `BENCH_overhead.json`: any phase row (total /
+//! forward / checkpoint / compare / recovery) that regresses by more than
+//! the tolerance (default 25%) fails the run, as does a scenario missing
+//! from the current sweep. Virtual time makes the numbers deterministic,
+//! so the gate catches protocol-behavior regressions, not machine noise.
+//!
 //! ```text
 //! cargo run --release --example overhead_report
 //! cargo run --release --example overhead_report -- --out target/obs
+//! cargo run --release --example overhead_report -- --baseline BENCH_overhead.json --tolerance 0.25
 //! ```
 
 use std::path::PathBuf;
@@ -135,6 +143,8 @@ fn crash_script() -> FaultScript {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_dir = PathBuf::from("target/obs");
+    let mut baseline: Option<PathBuf> = None;
+    let mut tolerance = 0.25f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -145,9 +155,27 @@ fn main() -> ExitCode {
                     std::process::exit(2);
                 }));
             }
+            "--baseline" => {
+                i += 1;
+                baseline = Some(PathBuf::from(
+                    args.get(i).map(String::as_str).unwrap_or_else(|| {
+                        eprintln!("--baseline needs a file");
+                        std::process::exit(2);
+                    }),
+                ));
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tolerance needs a fraction (e.g. 0.25)");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: overhead_report [--out DIR]");
+                eprintln!(
+                    "usage: overhead_report [--out DIR] [--baseline FILE] [--tolerance FRAC]"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -229,9 +257,79 @@ fn main() -> ExitCode {
     }
     println!("\nbenchmark summary -> {}", bench_path.display());
 
+    if let Some(base_path) = baseline {
+        if !gate_against_baseline(&base_path, tolerance, &rows) {
+            failed = true;
+        }
+    }
+
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Compare fresh breakdowns against a committed baseline: every baseline
+/// scenario must still exist, and no phase row may regress past the
+/// tolerance. Returns `false` on any regression.
+fn gate_against_baseline(
+    base_path: &std::path::Path,
+    tolerance: f64,
+    rows: &[(String, Breakdown)],
+) -> bool {
+    let text = match std::fs::read_to_string(base_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {}: {e}", base_path.display());
+            return false;
+        }
+    };
+    let base_rows = match acr::obs::report::parse_bench(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bad baseline {}: {e}", base_path.display());
+            return false;
+        }
+    };
+    println!(
+        "\nperf gate: {} baseline scenario(s) from {}, tolerance {:.0}%",
+        base_rows.len(),
+        base_path.display(),
+        100.0 * tolerance
+    );
+    let mut ok = true;
+    for (scenario, base) in &base_rows {
+        let Some((_, cur)) = rows.iter().find(|(name, _)| name == scenario) else {
+            eprintln!("FAIL perf gate: baseline scenario {scenario:?} missing from this run");
+            ok = false;
+            continue;
+        };
+        let phases = [
+            ("total", base.total, cur.total),
+            ("forward", base.forward, cur.forward),
+            ("checkpoint", base.checkpoint, cur.checkpoint),
+            ("compare", base.compare, cur.compare),
+            ("recovery", base.recovery, cur.recovery),
+        ];
+        for (phase, old, new) in phases {
+            // A phase the baseline never entered has no regression budget
+            // to apportion; its appearance shows up in `total` anyway.
+            if old <= 1e-9 {
+                continue;
+            }
+            let ratio = new / old;
+            if ratio > 1.0 + tolerance {
+                eprintln!(
+                    "FAIL perf gate: {scenario}/{phase} regressed {:.1}% \
+                     (baseline {old:.6}s, now {new:.6}s)",
+                    100.0 * (ratio - 1.0)
+                );
+                ok = false;
+            } else {
+                println!("  ok {scenario}/{phase}: {old:.6}s -> {new:.6}s ({ratio:.2}x)");
+            }
+        }
+    }
+    ok
 }
