@@ -12,13 +12,13 @@ use rand::Rng;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FailureDistribution {
     /// Exponential with the given mean (a Poisson failure process) — the
-    /// assumption under which a *fixed* checkpoint interval is optimal [7].
+    /// assumption under which a *fixed* checkpoint interval is optimal \[7\].
     Exponential {
         /// Mean time between failures.
         mean: f64,
     },
     /// Weibull with `shape` k and `scale` λ. `shape < 1` gives the
-    /// decreasing hazard observed on real systems [29].
+    /// decreasing hazard observed on real systems \[29\].
     Weibull {
         /// Shape parameter `k`.
         shape: f64,

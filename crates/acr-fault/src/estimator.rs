@@ -8,7 +8,7 @@ use crate::distributions::gamma_fn;
 /// gaps.
 ///
 /// A windowed mean tracks non-stationary failure rates (the Weibull-ish
-/// reality of [29]) instead of averaging the whole history: early bursts
+/// reality of \[29\]) instead of averaging the whole history: early bursts
 /// stop depressing the estimate once they leave the window, which is what
 /// lets the Fig. 12 run stretch its checkpoint period from 6 s to 17 s.
 #[derive(Debug, Clone)]

@@ -5,7 +5,7 @@
 //!
 //! * [`FailureDistribution`] — inter-arrival distributions (exponential,
 //!   Weibull, log-normal, gamma) implemented with inverse-CDF / standard
-//!   samplers on top of `rand`. Schroeder & Gibson's large-scale study [29]
+//!   samplers on top of `rand`. Schroeder & Gibson's large-scale study \[29\]
 //!   found Weibull (decreasing hazard) the best fit for real HPC systems,
 //!   which is exactly the regime where adapting the period pays off.
 //! * [`FailureProcess`] — renewal processes over those distributions plus

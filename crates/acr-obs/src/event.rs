@@ -264,6 +264,33 @@ pub enum EventKind {
         frames_recv: u64,
         /// Raw bytes read off the socket.
         bytes_recv: u64,
+        /// Uncompressed body bytes of checkpoint-ship frames
+        /// (`Net::Compare` / `Net::Install`) sent on this link.
+        ship_raw_bytes: u64,
+        /// Wire bytes actually spent on that ship traffic (its share of
+        /// each batched, possibly compressed flush).
+        ship_wire_bytes: u64,
+        /// Flushes that coalesced ≥ 2 frames or applied a codec.
+        batch_flushes: u64,
+        /// What `bytes_sent` would have been as one plain frame per
+        /// message — the unbatched baseline batching is measured against.
+        plain_bytes: u64,
+        /// Negotiated ship codec for this link ("none"/"rle"/"lz").
+        codec: String,
+    },
+    /// (TCP transport) one batched flush that coalesced several frames
+    /// into a super-frame and/or compressed the payload. Emitted only for
+    /// flushes where batching did something (≥ 2 frames or a codec), so
+    /// event volume stays bounded by send-side coalescing opportunities.
+    BatchFlush {
+        /// Frames coalesced into this super-frame.
+        frames: u64,
+        /// Super-frame payload bytes before compression.
+        raw_bytes: u64,
+        /// Bytes that went on the wire (header + stored payload + trailer).
+        wire_bytes: u64,
+        /// Codec actually applied ("none" when compression didn't pay).
+        codec: String,
     },
     /// A free-form debug message from a `debug_trace!` site.
     Debug {
@@ -298,6 +325,7 @@ impl EventKind {
             EventKind::TransportConnect { .. } => "transport_connect",
             EventKind::TransportRetry { .. } => "transport_retry",
             EventKind::WireBytes { .. } => "wire_bytes",
+            EventKind::BatchFlush { .. } => "batch_flush",
             EventKind::Debug { .. } => "debug",
         }
     }
@@ -414,11 +442,32 @@ impl EventKind {
                 bytes_sent,
                 frames_recv,
                 bytes_recv,
+                ship_raw_bytes,
+                ship_wire_bytes,
+                batch_flushes,
+                plain_bytes,
+                codec,
             } => {
                 push_raw(out, "frames_sent", frames_sent);
                 push_raw(out, "bytes_sent", bytes_sent);
                 push_raw(out, "frames_recv", frames_recv);
                 push_raw(out, "bytes_recv", bytes_recv);
+                push_raw(out, "ship_raw_bytes", ship_raw_bytes);
+                push_raw(out, "ship_wire_bytes", ship_wire_bytes);
+                push_raw(out, "batch_flushes", batch_flushes);
+                push_raw(out, "plain_bytes", plain_bytes);
+                push_str(out, "codec", codec);
+            }
+            EventKind::BatchFlush {
+                frames,
+                raw_bytes,
+                wire_bytes,
+                codec,
+            } => {
+                push_raw(out, "frames", frames);
+                push_raw(out, "raw_bytes", raw_bytes);
+                push_raw(out, "wire_bytes", wire_bytes);
+                push_str(out, "codec", codec);
             }
             EventKind::Debug { text } => push_str(out, "text", text),
         }
@@ -517,6 +566,19 @@ impl EventKind {
                 bytes_sent: f.num("bytes_sent")?,
                 frames_recv: f.num("frames_recv")?,
                 bytes_recv: f.num("bytes_recv")?,
+                // Batching fields default to zero so logs written before
+                // the batching layer still parse.
+                ship_raw_bytes: f.num("ship_raw_bytes").unwrap_or(0),
+                ship_wire_bytes: f.num("ship_wire_bytes").unwrap_or(0),
+                batch_flushes: f.num("batch_flushes").unwrap_or(0),
+                plain_bytes: f.num("plain_bytes").unwrap_or(0),
+                codec: f.str("codec").unwrap_or("none").to_string(),
+            },
+            "batch_flush" => EventKind::BatchFlush {
+                frames: f.num("frames")?,
+                raw_bytes: f.num("raw_bytes")?,
+                wire_bytes: f.num("wire_bytes")?,
+                codec: f.str("codec")?.to_string(),
             },
             "debug" => EventKind::Debug {
                 text: f.str("text")?.to_string(),
@@ -694,6 +756,17 @@ mod tests {
             bytes_sent: 88210,
             frames_recv: 1178,
             bytes_recv: 87555,
+            ship_raw_bytes: 51200,
+            ship_wire_bytes: 20480,
+            batch_flushes: 97,
+            plain_bytes: 91022,
+            codec: "lz".into(),
+        });
+        roundtrip(EventKind::BatchFlush {
+            frames: 7,
+            raw_bytes: 4096,
+            wire_bytes: 1210,
+            codec: "rle".into(),
         });
         roundtrip(EventKind::Debug {
             text: "free-form \"quoted\" text\nline 2".into(),

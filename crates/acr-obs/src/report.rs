@@ -53,6 +53,17 @@ pub struct Breakdown {
     pub wire_frames: u64,
     /// Bytes crossing node endpoints, both directions summed.
     pub wire_bytes: u64,
+    /// Uncompressed checkpoint-ship body bytes (Compare/Install frames)
+    /// summed over all links' `WireBytes` totals.
+    pub wire_ship_raw_bytes: u64,
+    /// Wire bytes actually spent on that ship traffic after batching and
+    /// the negotiated codec.
+    pub wire_ship_wire_bytes: u64,
+    /// Send-side flushes that coalesced ≥ 2 frames or applied a codec.
+    pub wire_batch_flushes: u64,
+    /// What the sent traffic would have cost unbatched (one plain frame
+    /// per message) — the baseline for the batching non-regression gate.
+    pub wire_plain_bytes: u64,
 }
 
 impl Breakdown {
@@ -85,7 +96,8 @@ impl Breakdown {
             }
         };
 
-        for ev in events {
+        let mut iter = events.iter();
+        for ev in iter.by_ref() {
             end_t = ev.t;
             match &ev.kind {
                 EventKind::JobStart {
@@ -112,9 +124,21 @@ impl Breakdown {
                     bytes_sent,
                     frames_recv,
                     bytes_recv,
+                    ship_raw_bytes,
+                    ship_wire_bytes,
+                    batch_flushes,
+                    plain_bytes,
+                    ..
                 } => {
                     b.wire_frames += frames_sent + frames_recv;
                     b.wire_bytes += bytes_sent + bytes_recv;
+                    // Ship/batching totals come from the per-link lifetime
+                    // summaries only; per-flush `BatchFlush` events would
+                    // double-count them.
+                    b.wire_ship_raw_bytes += ship_raw_bytes;
+                    b.wire_ship_wire_bytes += ship_wire_bytes;
+                    b.wire_batch_flushes += batch_flushes;
+                    b.wire_plain_bytes += plain_bytes;
                 }
                 EventKind::RoundStart { .. } => b.rounds += 1,
                 EventKind::RoundVerdict { clean: true, .. } => b.verified_rounds += 1,
@@ -129,6 +153,30 @@ impl Breakdown {
         }
         close(&mut b, phase, phase_start, end_t, last_pack_t);
         b.total = end_t - start_t;
+        // The transport's per-link lifetime summaries are emitted at
+        // teardown, after `JobEnd`; keep folding those (and only those)
+        // without letting teardown timestamps stretch the phase totals.
+        for ev in iter {
+            if let EventKind::WireBytes {
+                frames_sent,
+                bytes_sent,
+                frames_recv,
+                bytes_recv,
+                ship_raw_bytes,
+                ship_wire_bytes,
+                batch_flushes,
+                plain_bytes,
+                ..
+            } = &ev.kind
+            {
+                b.wire_frames += frames_sent + frames_recv;
+                b.wire_bytes += bytes_sent + bytes_recv;
+                b.wire_ship_raw_bytes += ship_raw_bytes;
+                b.wire_ship_wire_bytes += ship_wire_bytes;
+                b.wire_batch_flushes += batch_flushes;
+                b.wire_plain_bytes += plain_bytes;
+            }
+        }
         b
     }
 
@@ -164,6 +212,10 @@ impl Breakdown {
         push_raw(&mut out, "transport_retries", self.transport_retries);
         push_raw(&mut out, "wire_frames", self.wire_frames);
         push_raw(&mut out, "wire_bytes", self.wire_bytes);
+        push_raw(&mut out, "wire_ship_raw_bytes", self.wire_ship_raw_bytes);
+        push_raw(&mut out, "wire_ship_wire_bytes", self.wire_ship_wire_bytes);
+        push_raw(&mut out, "wire_batch_flushes", self.wire_batch_flushes);
+        push_raw(&mut out, "wire_plain_bytes", self.wire_plain_bytes);
         out.pop();
         out.push('}');
         out
@@ -194,6 +246,10 @@ impl Breakdown {
             transport_retries: f.num("transport_retries").unwrap_or(0),
             wire_frames: f.num("wire_frames").unwrap_or(0),
             wire_bytes: f.num("wire_bytes").unwrap_or(0),
+            wire_ship_raw_bytes: f.num("wire_ship_raw_bytes").unwrap_or(0),
+            wire_ship_wire_bytes: f.num("wire_ship_wire_bytes").unwrap_or(0),
+            wire_batch_flushes: f.num("wire_batch_flushes").unwrap_or(0),
+            wire_plain_bytes: f.num("wire_plain_bytes").unwrap_or(0),
         })
     }
 }
@@ -382,6 +438,10 @@ mod tests {
             transport_retries: 2,
             wire_frames: 1201,
             wire_bytes: 88210,
+            wire_ship_raw_bytes: 51200,
+            wire_ship_wire_bytes: 20480,
+            wire_batch_flushes: 97,
+            wire_plain_bytes: 91022,
         };
         let parsed = Breakdown::from_json(&b.to_json()).unwrap();
         assert_eq!(parsed, b);
@@ -445,6 +505,11 @@ mod tests {
                     bytes_sent: 5000,
                     frames_recv: 90,
                     bytes_recv: 4500,
+                    ship_raw_bytes: 3000,
+                    ship_wire_bytes: 1200,
+                    batch_flushes: 12,
+                    plain_bytes: 5600,
+                    codec: "lz".into(),
                 },
             ),
             ev(5, 1.0, DRIVER_NODE, EventKind::JobEnd { completed: true }),
@@ -454,5 +519,9 @@ mod tests {
         assert_eq!(b.transport_retries, 1);
         assert_eq!(b.wire_frames, 190);
         assert_eq!(b.wire_bytes, 9500);
+        assert_eq!(b.wire_ship_raw_bytes, 3000);
+        assert_eq!(b.wire_ship_wire_bytes, 1200);
+        assert_eq!(b.wire_batch_flushes, 12);
+        assert_eq!(b.wire_plain_bytes, 5600);
     }
 }

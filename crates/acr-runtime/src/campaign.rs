@@ -115,20 +115,20 @@ impl CampaignConfig {
         } else {
             (Duration::from_millis(5), Duration::from_millis(40))
         };
-        JobConfig {
-            ranks: self.ranks,
-            tasks_per_rank: 1,
-            spares: self.spares,
-            scheme,
-            detection,
-            checkpoint_interval: self.checkpoint_interval,
-            heartbeat_period: hb_period,
-            heartbeat_timeout: hb_timeout,
+        JobConfig::builder()
+            .ranks(self.ranks)
+            .tasks_per_rank(1)
+            .spares(self.spares)
+            .scheme(scheme)
+            .detection(detection)
+            .checkpoint_interval(self.checkpoint_interval)
+            .heartbeat_period(hb_period)
+            .heartbeat_timeout(hb_timeout)
             // Virtual seconds; generous so only genuine hangs trip it.
-            max_duration: Duration::from_secs(30),
-            transport: self.transport.clone(),
-            ..JobConfig::default()
-        }
+            .max_duration(Duration::from_secs(30))
+            .transport(self.transport.clone())
+            .build()
+            .expect("campaign job shape is always valid")
     }
 
     /// The scenario space scripts are generated from: the crash budget is
@@ -353,12 +353,12 @@ fn run_case(
             Duration::ZERO,
         )
     };
-    Job::run_scripted(
-        cfg.job_config(scheme, detection),
-        move |rank, _task| Box::new(CampaignTask::new(rank, iters, step_delay)) as Box<dyn Task>,
-        script,
-        mode,
-    )
+    Job::new(cfg.job_config(scheme, detection))
+        .with_faults(script.clone())
+        .mode(mode)
+        .run(move |rank, _task| {
+            Box::new(CampaignTask::new(rank, iters, step_delay)) as Box<dyn Task>
+        })
 }
 
 /// The fault-free reference run a case's final state is compared against.

@@ -91,6 +91,226 @@ impl Default for JobConfig {
     }
 }
 
+impl JobConfig {
+    /// Start building a validated configuration from the defaults. Unlike
+    /// a raw struct literal, [`JobConfigBuilder::build`] checks every
+    /// shape invariant up front and reports a [`ConfigError`] instead of
+    /// panicking mid-job.
+    pub fn builder() -> JobConfigBuilder {
+        JobConfigBuilder {
+            cfg: JobConfig::default(),
+        }
+    }
+
+    /// Check the mode-independent invariants (the builder's checks, for
+    /// configurations that bypassed it).
+    pub(crate) fn validate(&self) -> Result<(), ConfigError> {
+        if self.ranks == 0 {
+            return Err(ConfigError::ZeroRanks);
+        }
+        if self.tasks_per_rank == 0 {
+            return Err(ConfigError::ZeroTasksPerRank);
+        }
+        if self.chunk_size < 4 || !self.chunk_size.is_multiple_of(4) {
+            return Err(ConfigError::BadChunkSize {
+                got: self.chunk_size,
+            });
+        }
+        if self.heartbeat_period.is_zero() || self.heartbeat_timeout <= self.heartbeat_period {
+            return Err(ConfigError::BadHeartbeat {
+                period: self.heartbeat_period,
+                timeout: self.heartbeat_timeout,
+            });
+        }
+        let total = 2 * self.ranks + self.spares;
+        if let Err(e) = ReplicaLayout::new(total, self.spares) {
+            return Err(ConfigError::BadLayout {
+                total,
+                spares: self.spares,
+                reason: format!("{e:?}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// An invalid job configuration (or configuration/mode combination),
+/// reported by [`JobConfigBuilder::build`] before a job ever starts
+/// instead of by a runtime panic halfway into one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `ranks` must be at least 1.
+    ZeroRanks,
+    /// `tasks_per_rank` must be at least 1.
+    ZeroTasksPerRank,
+    /// `chunk_size` must be a positive multiple of 4 (the fused pipeline
+    /// digests word-aligned chunks).
+    BadChunkSize {
+        /// The rejected value.
+        got: usize,
+    },
+    /// `heartbeat_timeout` must exceed `heartbeat_period` (and the period
+    /// must be nonzero) or every buddy is declared dead on its first
+    /// silent interval.
+    BadHeartbeat {
+        /// Configured heartbeat period.
+        period: Duration,
+        /// Configured heartbeat timeout.
+        timeout: Duration,
+    },
+    /// The derived `2·ranks + spares` node layout cannot be split into
+    /// two replicas plus a spare pool.
+    BadLayout {
+        /// Total nodes the shape implies.
+        total: usize,
+        /// Spares requested.
+        spares: usize,
+        /// Underlying layout error.
+        reason: String,
+    },
+    /// The TCP transport needs wall-clock threads;
+    /// [`ExecMode::Virtual`] runs are in-process by construction.
+    TcpRequiresThreaded,
+    /// A virtual-mode quantum must be positive or time never advances.
+    ZeroQuantum,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroRanks => write!(f, "ranks must be >= 1"),
+            ConfigError::ZeroTasksPerRank => write!(f, "tasks_per_rank must be >= 1"),
+            ConfigError::BadChunkSize { got } => {
+                write!(f, "chunk_size must be a positive multiple of 4, got {got}")
+            }
+            ConfigError::BadHeartbeat { period, timeout } => write!(
+                f,
+                "heartbeat_timeout ({timeout:?}) must exceed a nonzero heartbeat_period \
+                 ({period:?})"
+            ),
+            ConfigError::BadLayout {
+                total,
+                spares,
+                reason,
+            } => write!(
+                f,
+                "cannot lay out {total} nodes with {spares} spares as two replicas: {reason}"
+            ),
+            ConfigError::TcpRequiresThreaded => {
+                write!(f, "the TCP transport requires ExecMode::Threaded")
+            }
+            ConfigError::ZeroQuantum => write!(f, "virtual quantum must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`JobConfig`] with up-front validation: start from
+/// [`JobConfig::builder`], chain setters, finish with
+/// [`build`](JobConfigBuilder::build) — the one place shape invariants
+/// are checked, so misconfigurations fail as a typed [`ConfigError`]
+/// instead of a panic once the job is already running.
+///
+/// ```
+/// use acr_runtime::JobConfig;
+///
+/// let cfg = JobConfig::builder()
+///     .ranks(2)
+///     .spares(2)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.ranks, 2);
+/// assert!(JobConfig::builder().chunk_size(6).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct JobConfigBuilder {
+    cfg: JobConfig,
+}
+
+impl JobConfigBuilder {
+    /// Ranks per replica (must end up ≥ 1).
+    pub fn ranks(mut self, ranks: usize) -> Self {
+        self.cfg.ranks = ranks;
+        self
+    }
+
+    /// Tasks per rank (must end up ≥ 1).
+    pub fn tasks_per_rank(mut self, tasks: usize) -> Self {
+        self.cfg.tasks_per_rank = tasks;
+        self
+    }
+
+    /// Spare nodes reserved for crash recovery.
+    pub fn spares(mut self, spares: usize) -> Self {
+        self.cfg.spares = spares;
+        self
+    }
+
+    /// Recovery scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.cfg.scheme = scheme;
+        self
+    }
+
+    /// SDC detection method.
+    pub fn detection(mut self, detection: DetectionMethod) -> Self {
+        self.cfg.detection = detection;
+        self
+    }
+
+    /// Chunk size of the fused pack+digest pipeline (positive multiple
+    /// of 4).
+    pub fn chunk_size(mut self, bytes: usize) -> Self {
+        self.cfg.chunk_size = bytes;
+        self
+    }
+
+    /// Periodic checkpoint interval.
+    pub fn checkpoint_interval(mut self, interval: Duration) -> Self {
+        self.cfg.checkpoint_interval = interval;
+        self
+    }
+
+    /// Buddy heartbeat period (must end up nonzero and below the
+    /// timeout).
+    pub fn heartbeat_period(mut self, period: Duration) -> Self {
+        self.cfg.heartbeat_period = period;
+        self
+    }
+
+    /// Silence after which a buddy is declared dead.
+    pub fn heartbeat_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Job-clock safety limit.
+    pub fn max_duration(mut self, limit: Duration) -> Self {
+        self.cfg.max_duration = limit;
+        self
+    }
+
+    /// Flight-recorder configuration.
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.cfg.obs = obs;
+        self
+    }
+
+    /// Wire fabric the job's messages travel over.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.cfg.transport = transport;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<JobConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 /// How a job executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
@@ -296,8 +516,94 @@ enum LoopCtl {
     Done,
 }
 
-/// A replicated job. Construct with [`Job::run`] or [`Job::run_scripted`].
+/// A replicated job. Configure with [`Job::new`], optionally attach a
+/// fault scenario and an execution mode, then [`JobBuilder::run`]:
+///
+/// ```no_run
+/// use acr_runtime::{ExecMode, Job, JobConfig};
+/// # fn factory(_rank: usize, _task: usize) -> Box<dyn acr_runtime::Task> { unimplemented!() }
+///
+/// let cfg = JobConfig::builder().ranks(2).build().unwrap();
+/// let report = Job::new(cfg)
+///     .mode(ExecMode::virtual_default())
+///     .run(factory);
+/// assert!(report.completed);
+/// ```
+///
+/// The pre-builder entry points ([`Job::run`], [`Job::run_scripted`])
+/// remain as deprecated shims for one release.
 pub struct Job;
+
+/// A configured job, ready to run: holds the validated [`JobConfig`],
+/// the fault scenario (empty by default), and the execution mode
+/// (threaded by default). Produced by [`Job::new`].
+#[derive(Debug, Clone)]
+pub struct JobBuilder {
+    cfg: JobConfig,
+    script: FaultScript,
+    mode: ExecMode,
+}
+
+impl JobBuilder {
+    /// Attach a scripted fault scenario (replacing any previous one).
+    pub fn with_faults(mut self, script: FaultScript) -> Self {
+        self.script = script;
+        self
+    }
+
+    /// Attach wall-clock-offset faults, the ergonomic form for threaded
+    /// demos: each entry fires at its [`Duration`] into the run.
+    pub fn with_timed_faults(mut self, faults: Vec<(Duration, Fault)>) -> Self {
+        let mut script = FaultScript::new();
+        for (at, fault) in faults {
+            let when = Trigger::At(at.as_secs_f64());
+            let action = match fault {
+                Fault::Crash { replica, rank } => FaultAction::Crash { replica, rank },
+                Fault::Sdc {
+                    replica,
+                    rank,
+                    seed,
+                } => FaultAction::Sdc {
+                    replica,
+                    rank,
+                    seed,
+                    bits: 1,
+                },
+            };
+            script.push(when, action);
+        }
+        self.script = script;
+        self
+    }
+
+    /// Select the execution mode (threaded wall clock by default).
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Run the job to completion and collect its report.
+    ///
+    /// `factory` constructs task `task` of rank `rank`; it is called
+    /// identically for both replicas (and again for spare-node restarts),
+    /// so it must be deterministic. Under [`ExecMode::Virtual`] the run
+    /// is deterministic end to end: the same configuration and script
+    /// always produce the same [`JobReport`], event trace included, byte
+    /// for byte.
+    ///
+    /// # Panics
+    ///
+    /// If the configuration bypassed [`JobConfig::builder`] and violates
+    /// a shape invariant, or the configuration/mode combination is
+    /// invalid ([`ConfigError::TcpRequiresThreaded`],
+    /// [`ConfigError::ZeroQuantum`]).
+    pub fn run<F>(self, factory: F) -> JobReport
+    where
+        F: Fn(usize, usize) -> Box<dyn Task> + Send + Sync + 'static,
+    {
+        run_job(self.cfg, factory, &self.script, self.mode)
+    }
+}
 
 struct Driver {
     cfg: JobConfig,
@@ -343,43 +649,35 @@ struct Driver {
 }
 
 impl Job {
-    /// Run a job to completion on threads: spawn `2·ranks + spares` node
-    /// threads, keep it checkpointing, inject `faults` at their scheduled
-    /// offsets, and collect the report.
-    ///
-    /// `factory` constructs task `task` of rank `rank`; it is called
-    /// identically for both replicas (and again for spare-node restarts),
-    /// so it must be deterministic.
+    /// Configure a job: returns a [`JobBuilder`] holding `cfg` with an
+    /// empty fault scenario and the threaded execution mode, ready for
+    /// [`JobBuilder::run`].
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new(cfg: JobConfig) -> JobBuilder {
+        JobBuilder {
+            cfg,
+            script: FaultScript::new(),
+            mode: ExecMode::Threaded,
+        }
+    }
+
+    /// Run a job to completion on threads with wall-clock-offset faults.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Job::new(cfg).with_timed_faults(faults).run(factory)"
+    )]
     pub fn run<F>(cfg: JobConfig, factory: F, faults: Vec<(Duration, Fault)>) -> JobReport
     where
         F: Fn(usize, usize) -> Box<dyn Task> + Send + Sync + 'static,
     {
-        let mut script = FaultScript::new();
-        for (at, fault) in faults {
-            let when = Trigger::At(at.as_secs_f64());
-            let action = match fault {
-                Fault::Crash { replica, rank } => FaultAction::Crash { replica, rank },
-                Fault::Sdc {
-                    replica,
-                    rank,
-                    seed,
-                } => FaultAction::Sdc {
-                    replica,
-                    rank,
-                    seed,
-                    bits: 1,
-                },
-            };
-            script.push(when, action);
-        }
-        Self::run_scripted(cfg, factory, &script, ExecMode::Threaded)
+        Job::new(cfg).with_timed_faults(faults).run(factory)
     }
 
     /// Run a job under a [`FaultScript`], in either execution mode.
-    ///
-    /// Under [`ExecMode::Virtual`] the run is deterministic: the same
-    /// configuration and script always produce the same [`JobReport`],
-    /// including its event trace, byte for byte.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Job::new(cfg).with_faults(script).mode(mode).run(factory)"
+    )]
     pub fn run_scripted<F>(
         cfg: JobConfig,
         factory: F,
@@ -389,17 +687,33 @@ impl Job {
     where
         F: Fn(usize, usize) -> Box<dyn Task> + Send + Sync + 'static,
     {
-        assert!(cfg.ranks >= 1 && cfg.tasks_per_rank >= 1);
-        assert!(
-            cfg.chunk_size >= 4 && cfg.chunk_size.is_multiple_of(4),
-            "chunk_size must be a positive multiple of 4"
-        );
+        Job::new(cfg)
+            .with_faults(script.clone())
+            .mode(mode)
+            .run(factory)
+    }
+}
+
+/// The one true job entry point ([`JobBuilder::run`] delegates here):
+/// validate, build the fabric, spawn or pump the node workers, and drive
+/// the policy loop to a report.
+fn run_job<F>(cfg: JobConfig, factory: F, script: &FaultScript, mode: ExecMode) -> JobReport
+where
+    F: Fn(usize, usize) -> Box<dyn Task> + Send + Sync + 'static,
+{
+    {
+        // Configurations from `JobConfig::builder()` already passed these
+        // checks; raw struct literals get them here, fatally.
+        if let Err(e) = cfg.validate() {
+            panic!("invalid JobConfig: {e}");
+        }
         if let ExecMode::Virtual { quantum } = mode {
-            assert!(quantum > Duration::ZERO, "virtual quantum must be positive");
-            assert!(
-                matches!(cfg.transport, TransportKind::InProcess),
-                "the TCP transport requires ExecMode::Threaded"
-            );
+            if quantum.is_zero() {
+                panic!("invalid JobConfig: {}", ConfigError::ZeroQuantum);
+            }
+            if !matches!(cfg.transport, TransportKind::InProcess) {
+                panic!("invalid JobConfig: {}", ConfigError::TcpRequiresThreaded);
+            }
         }
         let total = 2 * cfg.ranks + cfg.spares;
         let layout = Arc::new(RwLock::new(

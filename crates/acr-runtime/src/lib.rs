@@ -28,8 +28,9 @@
 //!   (JSONL-serializable, byte-identical across virtual-mode replays) and
 //!   a metrics snapshot, foldable into per-phase overhead breakdowns.
 //!
-//! The entry point is [`Job`]: configure with [`JobConfig`], submit a task
-//! factory, inject faults, and collect a [`JobReport`].
+//! The entry point is [`Job`]: validate a configuration with
+//! [`JobConfig::builder`], then `Job::new(cfg).with_faults(script).run(factory)`
+//! to collect a [`JobReport`].
 //!
 //! Two execution modes are available ([`ExecMode`]): the threaded mode
 //! above, and a **virtual-time** mode that pumps every node on one thread
@@ -49,10 +50,14 @@ mod transport;
 pub mod wire;
 
 pub use clock::Clock;
-pub use driver::{ExecMode, Fault, Job, JobConfig, JobReport, SdcDetection};
+pub use driver::{
+    ConfigError, ExecMode, Fault, Job, JobBuilder, JobConfig, JobConfigBuilder, JobReport,
+    SdcDetection,
+};
 pub use message::{AppMsg, NodeIndex, TaskId};
 pub use task::{Task, TaskCtx};
 pub use transport::{run_node_host, TcpConfig, TransportControl, TransportKind};
+pub use wire::WireCodec;
 
 pub use acr_core::{DetectionMethod, Divergence, Scheme};
 pub use acr_fault::{FaultAction, FaultScript, ScenarioSpace, ScriptedFault, Trigger};

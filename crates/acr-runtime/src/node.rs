@@ -266,8 +266,8 @@ impl NodeWorker {
     fn send(&self, node: NodeIndex, msg: Net) {
         // Delivery is best-effort either way, but never *silently* so:
         // the in-process port counts sends into a closed inbox, and the
-        // TCP port's broken-socket case feeds the router's stale monitor
-        // and thence the driver's liveness probe.
+        // TCP port's broken-socket case feeds the reactor's stale-link
+        // scan and thence the driver's liveness probe.
         self.port.send(node, msg);
     }
 

@@ -7,8 +7,8 @@
 //!
 //! Only the *send* side is abstracted: a [`Port`] turns `Net`/`Event`
 //! values into deliveries, while every receiver keeps an ordinary
-//! crossbeam inbox (the TCP backend's reader threads feed the same
-//! channels the in-process backend hands out directly). That keeps the
+//! crossbeam inbox (the TCP backend's reactor and endpoint loops feed
+//! the same channels the in-process backend hands out directly). That keeps the
 //! node scheduler and the driver event loop byte-identical across
 //! backends.
 
@@ -27,14 +27,15 @@ use crate::driver::JobConfig;
 use crate::message::{Event, Net, NodeIndex};
 use crate::node::{NodeConfig, NodeWorker, TaskFactory};
 use crate::tcp::{Endpoint, Router};
-use crate::wire::WelcomeCfg;
+use crate::wire::{WelcomeCfg, WireCodec};
 
 /// Send side of the fabric, as seen by one sender (the driver or one
 /// node). Delivery is best-effort and non-blocking: the in-process
 /// backend enqueues on an unbounded channel, the TCP backend hands the
-/// frame to a writer thread (which queues it for replay while the link
-/// is down). Loss is surfaced through liveness machinery — counters and
-/// the router's stale monitor — never through return values, because a
+/// frame to the reactor/endpoint loop (which queues it for replay while
+/// the link is down). Loss is surfaced through liveness machinery —
+/// counters and the reactor's stale-link scan — never through return
+/// values, because a
 /// node must not be able to distinguish "peer crashed" from "peer slow"
 /// synchronously (§6.1's fail-stop model).
 pub(crate) trait Port: Send + Sync {
@@ -138,6 +139,11 @@ pub struct TcpConfig {
     /// for `2·ranks + spares` external node hosts (see
     /// [`run_node_host`]) to connect.
     pub remote_nodes: bool,
+    /// Preferred codec for checkpoint-ship bodies, negotiated per link at
+    /// the HELLO handshake (a peer that doesn't offer it falls back to
+    /// [`WireCodec::None`]). Applies to batched super-frame payloads;
+    /// kept only when it actually shrinks them.
+    pub codec: WireCodec,
     /// Optional hook tests use to sever or quarantine live links
     /// mid-run (socket-kill coverage). `None` in production.
     pub control: Option<TransportControl>,
@@ -152,6 +158,7 @@ impl Default for TcpConfig {
             stale_after: Duration::from_millis(50),
             connect_timeout: Duration::from_secs(10),
             remote_nodes: false,
+            codec: WireCodec::default(),
             control: None,
         }
     }
@@ -293,6 +300,7 @@ pub(crate) fn build_fabric(
                 Arc::clone(rec),
                 welcome,
                 tcp.stale_after,
+                tcp.codec,
             )
             .unwrap_or_else(|e| panic!("tcp transport: cannot bind router: {e}"));
             if let Some(control) = &tcp.control {

@@ -22,6 +22,30 @@
 //! frames the dead socket swallowed. Receivers drop `seq` values they have
 //! already seen (replayed duplicates).
 //!
+//! ## Super-frames (batching + compression)
+//!
+//! Several frames headed for the same socket may be coalesced into one
+//! *super-frame* so a flush costs one syscall instead of one per frame:
+//!
+//! ```text
+//! magic    u32   0x53524341 ("ACRS")
+//! wire_len u32   stored payload length (≤ MAX_FRAME_BODY)
+//! count    u16   number of sub-frames inside
+//! codec    u8    WireCodec tag the payload is stored under
+//! raw_len  u32   payload length after decompression
+//! payload  [u8; wire_len]   codec(concat of sub-records)
+//! check    u64   fletcher64(payload as stored)
+//! ```
+//!
+//! Each sub-record is `to u32 · seq u64 · len u32 · body`: the same triple a
+//! plain frame carries, so batching is invisible above the decoder. The
+//! payload may be compressed with an optional std-only [`WireCodec`]
+//! (byte-RLE or an LZSS-style "LZ-lite"), negotiated at HELLO/WELCOME time:
+//! the hello advertises a codec bitmask, the welcome picks one. Checkpoint
+//! ship bodies (`Compare`/`Install`) are where compression pays; an encoder
+//! that fails to shrink the payload stores it uncompressed (`codec` says
+//! what was actually stored, never what was merely attempted).
+//!
 //! The body codec is deliberately hand-rolled (no serde in the dependency
 //! tree): one tag byte per enum variant, fixed little-endian scalars,
 //! `u64`-length-prefixed byte strings.
@@ -34,12 +58,15 @@ use crate::message::{AppMsg, Ctrl, Event, Net, NodeFault, Scope, TaskId};
 
 /// Frame magic: `"ACRF"` little-endian.
 pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"ACRF");
+/// Super-frame (batched, possibly compressed) magic: `"ACRS"`.
+pub const SUPER_MAGIC: u32 = u32::from_le_bytes(*b"ACRS");
 /// Handshake (client hello) magic: `"ACRH"`.
 pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"ACRH");
 /// Handshake (server welcome) magic: `"ACRW"`.
 pub const WELCOME_MAGIC: u32 = u32::from_le_bytes(*b"ACRW");
-/// Wire protocol version carried by the handshake.
-pub const WIRE_VERSION: u32 = 1;
+/// Wire protocol version carried by the handshake. Version 2 added
+/// super-frames and the codec negotiation byte in hello/welcome.
+pub const WIRE_VERSION: u32 = 2;
 /// `to` value addressing the driver rather than a node.
 pub const DRIVER_DEST: u32 = u32::MAX;
 /// Upper bound on a frame body; anything larger is a corrupt length field.
@@ -49,10 +76,18 @@ pub const MAX_FRAME_BODY: usize = 256 << 20;
 pub const FRAME_HEADER: usize = 4 + 4 + 4 + 8;
 /// Trailer bytes after the body (the Fletcher-64 checksum).
 pub const FRAME_TRAILER: usize = 8;
-/// Encoded hello length (fixed).
-pub const HELLO_LEN: usize = 4 + 4 + 4 + 8;
-/// Encoded welcome length (fixed).
-pub const WELCOME_LEN: usize = 4 + 4 + 8 + 4 * 4 + 1 + 8 + 8 + 8;
+/// Super-frame header bytes (magic + wire_len + count + codec + raw_len).
+pub const SUPER_HEADER: usize = 4 + 4 + 2 + 1 + 4;
+/// Per-sub-frame overhead inside a super-frame payload (to + seq + len).
+pub const SUPER_RECORD_HEADER: usize = 4 + 8 + 4;
+/// Encoded hello length (fixed): magic + version + node + last_recv + codecs.
+pub const HELLO_LEN: usize = 4 + 4 + 4 + 8 + 1;
+/// Encoded welcome length (fixed); the final byte is the chosen codec tag.
+pub const WELCOME_LEN: usize = 4 + 4 + 8 + 4 * 4 + 1 + 8 + 8 + 8 + 1;
+
+/// Only compress payloads at least this large: below it the codec header
+/// bookkeeping eats any saving and the CPU is better spent elsewhere.
+pub const COMPRESS_MIN: usize = 128;
 
 /// A decoding failure. `Truncated` is only returned by the fixed-size
 /// handshake parsers and the body codecs; the incremental [`FrameDecoder`]
@@ -103,6 +138,289 @@ impl std::fmt::Display for WireError {
 }
 
 impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Compression codecs
+// ---------------------------------------------------------------------------
+
+/// Payload codec a super-frame may be stored under. Negotiated at
+/// handshake time: the hello carries a bitmask of codecs the client can
+/// decode ([`WireCodec::bit`]), the welcome answers with the single codec
+/// the link will use for compressible flushes. `None` is always legal and
+/// is what an encoder falls back to when compression does not pay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireCodec {
+    /// Payload stored verbatim.
+    None,
+    /// Byte-oriented run-length encoding (PackBits-style). Cheap, wins on
+    /// long zero runs — freshly-initialised or sparse checkpoint payloads.
+    Rle,
+    /// LZSS-style "LZ-lite": greedy single-probe hash matching over a
+    /// 64 KiB window, flag-byte groups of 8 literals/copies. Wins on
+    /// repetitive structured state (striding f64 fields, repeated tables).
+    #[default]
+    Lz,
+}
+
+impl WireCodec {
+    /// Wire tag carried in super-frame headers and the welcome.
+    pub fn tag(self) -> u8 {
+        match self {
+            WireCodec::None => 0,
+            WireCodec::Rle => 1,
+            WireCodec::Lz => 2,
+        }
+    }
+
+    /// Inverse of [`WireCodec::tag`].
+    pub fn from_tag(tag: u8) -> Result<Self, WireError> {
+        Ok(match tag {
+            0 => WireCodec::None,
+            1 => WireCodec::Rle,
+            2 => WireCodec::Lz,
+            t => {
+                return Err(WireError::BadTag {
+                    what: "WireCodec",
+                    tag: t,
+                })
+            }
+        })
+    }
+
+    /// This codec's bit in the hello's supported-codec bitmask.
+    pub fn bit(self) -> u8 {
+        1 << self.tag()
+    }
+
+    /// Stable lower-case label for metrics and event streams.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireCodec::None => "none",
+            WireCodec::Rle => "rle",
+            WireCodec::Lz => "lz",
+        }
+    }
+}
+
+/// Bitmask of every codec this build can decode (advertised in the hello).
+pub fn codec_mask_all() -> u8 {
+    WireCodec::None.bit() | WireCodec::Rle.bit() | WireCodec::Lz.bit()
+}
+
+/// Pick the link codec: the server's preference if the client offered it,
+/// otherwise uncompressed.
+pub(crate) fn negotiate_codec(preferred: WireCodec, offered_mask: u8) -> WireCodec {
+    if offered_mask & preferred.bit() != 0 {
+        preferred
+    } else {
+        WireCodec::None
+    }
+}
+
+/// Compress `data` under `codec`. The caller compares lengths and keeps
+/// the original when compression does not shrink it.
+fn compress(codec: WireCodec, data: &[u8]) -> Vec<u8> {
+    match codec {
+        WireCodec::None => data.to_vec(),
+        WireCodec::Rle => rle_compress(data),
+        WireCodec::Lz => lz_compress(data),
+    }
+}
+
+/// Decompress a stored payload; `raw_len` is the expected output length
+/// from the super-frame header and any mismatch is a decode error.
+fn decompress(codec: WireCodec, data: &[u8], raw_len: usize) -> Result<Vec<u8>, WireError> {
+    let out = match codec {
+        WireCodec::None => data.to_vec(),
+        WireCodec::Rle => rle_decompress(data, raw_len)?,
+        WireCodec::Lz => lz_decompress(data, raw_len)?,
+    };
+    if out.len() != raw_len {
+        return Err(WireError::Truncated);
+    }
+    Ok(out)
+}
+
+/// PackBits-style RLE. Control byte `c`: `0..=127` → copy `c+1` literal
+/// bytes; `129..=255` → repeat the next byte `257-c` times; `128` is
+/// never emitted and rejected on decode.
+fn rle_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut i = 0;
+    while i < data.len() {
+        // Measure the run starting here.
+        let b = data[i];
+        let mut run = 1;
+        while run < 128 && i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        if run >= 3 {
+            out.push((257 - run) as u8);
+            out.push(b);
+            i += run;
+            continue;
+        }
+        // Literal stretch: emit until the next ≥3 run or 128 bytes.
+        let start = i;
+        i += run;
+        while i < data.len() && i - start < 128 {
+            let c = data[i];
+            let mut r = 1;
+            while r < 3 && i + r < data.len() && data[i + r] == c {
+                r += 1;
+            }
+            if r >= 3 {
+                break;
+            }
+            i += r;
+        }
+        let lit = (i - start).min(128);
+        out.push((lit - 1) as u8);
+        out.extend_from_slice(&data[start..start + lit]);
+        i = start + lit;
+    }
+    out
+}
+
+fn rle_decompress(data: &[u8], raw_len: usize) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut i = 0;
+    while i < data.len() {
+        let c = data[i];
+        i += 1;
+        if c < 128 {
+            let n = c as usize + 1;
+            if i + n > data.len() {
+                return Err(WireError::Truncated);
+            }
+            out.extend_from_slice(&data[i..i + n]);
+            i += n;
+        } else if c == 128 {
+            return Err(WireError::BadTag {
+                what: "rle control",
+                tag: c,
+            });
+        } else {
+            let n = 257 - c as usize;
+            if i >= data.len() {
+                return Err(WireError::Truncated);
+            }
+            out.resize(out.len() + n, data[i]);
+            i += 1;
+        }
+        if out.len() > raw_len {
+            return Err(WireError::TooLarge(out.len()));
+        }
+    }
+    Ok(out)
+}
+
+/// LZ-lite window: matches may reach back up to `u16::MAX` bytes.
+const LZ_WINDOW: usize = u16::MAX as usize;
+/// Minimum/maximum encodable match length (`len` byte stores `len-4`).
+const LZ_MIN_MATCH: usize = 4;
+const LZ_MAX_MATCH: usize = 255 + LZ_MIN_MATCH;
+
+fn lz_hash(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+    (v.wrapping_mul(2_654_435_761) >> 16) as usize
+}
+
+/// Greedy LZSS with flag-byte groups: each flag byte covers 8 items, bit
+/// set → a 3-byte copy (`offset u16 LE`, `len-4 u8`), bit clear → one
+/// literal byte. A single-probe hash table keeps compression O(n).
+fn lz_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // Hash table of position+1 (0 = empty) for 4-byte sequences.
+    let mut table = vec![0u32; 1 << 16];
+    let mut i = 0;
+    let mut flag_at = usize::MAX;
+    let mut flag_bit = 8;
+    let mut push_item = |out: &mut Vec<u8>, is_match: bool| {
+        if flag_bit == 8 {
+            flag_at = out.len();
+            out.push(0);
+            flag_bit = 0;
+        }
+        if is_match {
+            out[flag_at] |= 1 << flag_bit;
+        }
+        flag_bit += 1;
+    };
+    while i < data.len() {
+        let mut matched = 0usize;
+        let mut offset = 0usize;
+        if i + LZ_MIN_MATCH <= data.len() {
+            let h = lz_hash(&data[i..]);
+            let cand = table[h] as usize;
+            table[h] = (i + 1) as u32;
+            if cand > 0 {
+                let p = cand - 1;
+                let off = i - p;
+                if (1..=LZ_WINDOW).contains(&off) {
+                    let max = (data.len() - i).min(LZ_MAX_MATCH);
+                    let mut l = 0;
+                    while l < max && data[p + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l >= LZ_MIN_MATCH {
+                        matched = l;
+                        offset = off;
+                    }
+                }
+            }
+        }
+        if matched > 0 {
+            push_item(&mut out, true);
+            out.extend_from_slice(&(offset as u16).to_le_bytes());
+            out.push((matched - LZ_MIN_MATCH) as u8);
+            i += matched;
+        } else {
+            push_item(&mut out, false);
+            out.push(data[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn lz_decompress(data: &[u8], raw_len: usize) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut i = 0;
+    while i < data.len() {
+        let flags = data[i];
+        i += 1;
+        for bit in 0..8 {
+            if i >= data.len() {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                if i + 3 > data.len() {
+                    return Err(WireError::Truncated);
+                }
+                let offset = u16::from_le_bytes(data[i..i + 2].try_into().unwrap()) as usize;
+                let len = data[i + 2] as usize + LZ_MIN_MATCH;
+                i += 3;
+                if offset == 0 || offset > out.len() {
+                    return Err(WireError::Truncated);
+                }
+                let start = out.len() - offset;
+                // Overlapping copies are legal (offset < len repeats).
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                out.push(data[i]);
+                i += 1;
+            }
+            if out.len() > raw_len {
+                return Err(WireError::TooLarge(out.len()));
+            }
+        }
+    }
+    Ok(out)
+}
 
 // ---------------------------------------------------------------------------
 // Primitive writers / reader
@@ -204,16 +522,107 @@ pub fn encode_frame(to: u32, seq: u64, body: &[u8]) -> Vec<u8> {
     buf
 }
 
+/// The result of encoding one flush via [`encode_batch`].
+#[derive(Debug, Clone)]
+pub struct EncodedBatch {
+    /// Exactly what goes on the socket: one plain frame or one super-frame.
+    pub bytes: Vec<u8>,
+    /// Codec the payload was *actually stored* under ([`WireCodec::None`]
+    /// when compression was skipped or did not pay).
+    pub codec: WireCodec,
+    /// Concatenated sub-record payload length before compression. For a
+    /// plain-frame fallback this is the body length.
+    pub raw_payload: usize,
+    /// Number of frames coalesced into this flush.
+    pub frames: usize,
+}
+
+/// Encode one flush worth of frames for a single socket. A lone frame
+/// stays a plain `"ACRF"` frame unless compressing it beats the plain
+/// encoding outright; two or more frames always coalesce into a
+/// super-frame (whose per-record overhead, 16 bytes, undercuts the
+/// 28-byte plain header+trailer — batching never costs bytes).
+///
+/// The caller must keep the batch payload under [`MAX_FRAME_BODY`] and
+/// the frame count under `u16::MAX` (the reactor's flush loop splits
+/// batches long before either bound).
+pub fn encode_batch(records: &[(u32, u64, &[u8])], codec: WireCodec) -> EncodedBatch {
+    assert!(!records.is_empty(), "encode_batch of zero frames");
+    assert!(
+        records.len() <= u16::MAX as usize,
+        "batch frame count overflow"
+    );
+    let plain_single = |records: &[(u32, u64, &[u8])]| {
+        let (to, seq, body) = records[0];
+        EncodedBatch {
+            bytes: encode_frame(to, seq, body),
+            codec: WireCodec::None,
+            raw_payload: body.len(),
+            frames: 1,
+        }
+    };
+    if records.len() == 1 && codec == WireCodec::None {
+        return plain_single(records);
+    }
+    let raw_len: usize = records
+        .iter()
+        .map(|(_, _, b)| SUPER_RECORD_HEADER + b.len())
+        .sum();
+    assert!(raw_len <= MAX_FRAME_BODY, "batch payload exceeds frame cap");
+    let mut raw = Vec::with_capacity(raw_len);
+    for &(to, seq, body) in records {
+        put_u32(&mut raw, to);
+        put_u64(&mut raw, seq);
+        put_u32(&mut raw, body.len() as u32);
+        raw.extend_from_slice(body);
+    }
+    let (stored, used) = if codec != WireCodec::None && raw.len() >= COMPRESS_MIN {
+        let c = compress(codec, &raw);
+        if c.len() < raw.len() {
+            (c, codec)
+        } else {
+            (raw.clone(), WireCodec::None)
+        }
+    } else {
+        (raw.clone(), WireCodec::None)
+    };
+    if records.len() == 1 {
+        // A singleton super-frame only earns its keep when compression
+        // beats the plain encoding.
+        let super_total = SUPER_HEADER + stored.len() + FRAME_TRAILER;
+        let plain_total = FRAME_HEADER + records[0].2.len() + FRAME_TRAILER;
+        if super_total >= plain_total {
+            return plain_single(records);
+        }
+    }
+    let mut buf = Vec::with_capacity(SUPER_HEADER + stored.len() + FRAME_TRAILER);
+    put_u32(&mut buf, SUPER_MAGIC);
+    put_u32(&mut buf, stored.len() as u32);
+    buf.extend_from_slice(&(records.len() as u16).to_le_bytes());
+    put_u8(&mut buf, used.tag());
+    put_u32(&mut buf, raw.len() as u32);
+    buf.extend_from_slice(&stored);
+    put_u64(&mut buf, fletcher64(&stored));
+    EncodedBatch {
+        bytes: buf,
+        codec: used,
+        raw_payload: raw.len(),
+        frames: records.len(),
+    }
+}
+
 /// Incremental frame decoder for a byte stream delivered in arbitrary
 /// chunks (partial reads, coalesced writes). Feed bytes as they arrive,
-/// then pull complete frames. Any error is fatal for the stream: the
-/// decoder stays poisoned and the connection should be dropped (a fresh
-/// connection starts a fresh decoder).
+/// then pull complete frames — a super-frame is unpacked transparently,
+/// its sub-frames queued and returned one at a time. Any error is fatal
+/// for the stream: the decoder stays poisoned and the connection should
+/// be dropped (a fresh connection starts a fresh decoder).
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
     pos: usize,
     poisoned: bool,
+    pending: std::collections::VecDeque<Frame>,
 }
 
 impl FrameDecoder {
@@ -232,24 +641,38 @@ impl FrameDecoder {
         self.buf.extend_from_slice(data);
     }
 
+    fn poison<T>(&mut self, e: WireError) -> Result<T, WireError> {
+        self.poisoned = true;
+        Err(e)
+    }
+
     /// Next complete frame, `Ok(None)` if more bytes are needed.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if let Some(f) = self.pending.pop_front() {
+            return Ok(Some(f));
+        }
         if self.poisoned {
             return Err(WireError::Truncated);
         }
         let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        match u32::from_le_bytes(avail[0..4].try_into().unwrap()) {
+            FRAME_MAGIC => self.next_plain(),
+            SUPER_MAGIC => self.next_super(),
+            magic => self.poison(WireError::BadMagic(magic)),
+        }
+    }
+
+    fn next_plain(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.pos..];
         if avail.len() < FRAME_HEADER {
             return Ok(None);
         }
-        let magic = u32::from_le_bytes(avail[0..4].try_into().unwrap());
-        if magic != FRAME_MAGIC {
-            self.poisoned = true;
-            return Err(WireError::BadMagic(magic));
-        }
         let len = u32::from_le_bytes(avail[4..8].try_into().unwrap()) as usize;
         if len > MAX_FRAME_BODY {
-            self.poisoned = true;
-            return Err(WireError::TooLarge(len));
+            return self.poison(WireError::TooLarge(len));
         }
         let total = FRAME_HEADER + len + FRAME_TRAILER;
         if avail.len() < total {
@@ -261,11 +684,79 @@ impl FrameDecoder {
         let found = u64::from_le_bytes(avail[FRAME_HEADER + len..total].try_into().unwrap());
         let expected = fletcher64(&body);
         if expected != found {
-            self.poisoned = true;
-            return Err(WireError::Checksum { expected, found });
+            return self.poison(WireError::Checksum { expected, found });
         }
         self.pos += total;
         Ok(Some(Frame { to, seq, body }))
+    }
+
+    fn next_super(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < SUPER_HEADER {
+            return Ok(None);
+        }
+        let wire_len = u32::from_le_bytes(avail[4..8].try_into().unwrap()) as usize;
+        if wire_len > MAX_FRAME_BODY {
+            return self.poison(WireError::TooLarge(wire_len));
+        }
+        let count = u16::from_le_bytes(avail[8..10].try_into().unwrap()) as usize;
+        let codec_tag = avail[10];
+        let raw_len = u32::from_le_bytes(avail[11..15].try_into().unwrap()) as usize;
+        if raw_len > MAX_FRAME_BODY {
+            return self.poison(WireError::TooLarge(raw_len));
+        }
+        let total = SUPER_HEADER + wire_len + FRAME_TRAILER;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let stored = &avail[SUPER_HEADER..SUPER_HEADER + wire_len];
+        let found = u64::from_le_bytes(avail[SUPER_HEADER + wire_len..total].try_into().unwrap());
+        let expected = fletcher64(stored);
+        if expected != found {
+            return self.poison(WireError::Checksum { expected, found });
+        }
+        // An empty batch is never emitted; a zero count means corruption
+        // the checksum happened to miss structurally.
+        if count == 0 {
+            return self.poison(WireError::Truncated);
+        }
+        let codec = match WireCodec::from_tag(codec_tag) {
+            Ok(c) => c,
+            Err(e) => return self.poison(e),
+        };
+        let raw = match decompress(codec, stored, raw_len) {
+            Ok(r) => r,
+            Err(e) => return self.poison(e),
+        };
+        // Unpack sub-records; they must exactly tile the raw payload.
+        let mut frames = Vec::with_capacity(count);
+        let mut pos = 0usize;
+        for _ in 0..count {
+            if raw.len() - pos < SUPER_RECORD_HEADER {
+                return self.poison(WireError::Truncated);
+            }
+            let to = u32::from_le_bytes(raw[pos..pos + 4].try_into().unwrap());
+            let seq = u64::from_le_bytes(raw[pos + 4..pos + 12].try_into().unwrap());
+            let len = u32::from_le_bytes(raw[pos + 12..pos + 16].try_into().unwrap()) as usize;
+            pos += SUPER_RECORD_HEADER;
+            if len > MAX_FRAME_BODY || raw.len() - pos < len {
+                return self.poison(WireError::Truncated);
+            }
+            frames.push(Frame {
+                to,
+                seq,
+                body: raw[pos..pos + len].to_vec(),
+            });
+            pos += len;
+        }
+        if pos != raw.len() {
+            return self.poison(WireError::Truncated);
+        }
+        self.pos += total;
+        let mut it = frames.into_iter();
+        let first = it.next();
+        self.pending.extend(it);
+        Ok(first)
     }
 }
 
@@ -273,13 +764,15 @@ impl FrameDecoder {
 // Handshake
 // ---------------------------------------------------------------------------
 
-/// Client hello: the connecting node's identity plus the highest frame
+/// Client hello: the connecting node's identity, the highest frame
 /// sequence it has received from the router (so the router can replay the
-/// tail a dropped socket swallowed).
+/// tail a dropped socket swallowed), and the bitmask of [`WireCodec`]s it
+/// can decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Hello {
     pub node: u32,
     pub last_recv_seq: u64,
+    pub codecs: u8,
 }
 
 pub(crate) fn encode_hello(h: &Hello) -> Vec<u8> {
@@ -288,6 +781,8 @@ pub(crate) fn encode_hello(h: &Hello) -> Vec<u8> {
     put_u32(&mut buf, WIRE_VERSION);
     put_u32(&mut buf, h.node);
     put_u64(&mut buf, h.last_recv_seq);
+    put_u8(&mut buf, h.codecs);
+    debug_assert_eq!(buf.len(), HELLO_LEN);
     buf
 }
 
@@ -304,6 +799,7 @@ pub(crate) fn decode_hello(buf: &[u8]) -> Result<Hello, WireError> {
     let h = Hello {
         node: r.u32()?,
         last_recv_seq: r.u64()?,
+        codecs: r.u8()?,
     };
     r.finish()?;
     Ok(h)
@@ -325,11 +821,14 @@ pub(crate) struct WelcomeCfg {
 }
 
 /// Server welcome: the router's highest received sequence from this node
-/// (the node replays everything above it) plus the job shape.
+/// (the node replays everything above it), the job shape, and the codec
+/// the link will use for compressible flushes (chosen from the hello's
+/// offered bitmask).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Welcome {
     pub last_recv_seq: u64,
     pub cfg: WelcomeCfg,
+    pub codec: WireCodec,
 }
 
 fn detection_tag(d: DetectionMethod) -> u8 {
@@ -367,6 +866,7 @@ pub(crate) fn encode_welcome(w: &Welcome) -> Vec<u8> {
     put_u64(&mut buf, w.cfg.chunk_size);
     put_u64(&mut buf, w.cfg.heartbeat_period_ns);
     put_u64(&mut buf, w.cfg.heartbeat_timeout_ns);
+    put_u8(&mut buf, w.codec.tag());
     debug_assert_eq!(buf.len(), WELCOME_LEN);
     buf
 }
@@ -392,8 +892,13 @@ pub(crate) fn decode_welcome(buf: &[u8]) -> Result<Welcome, WireError> {
         heartbeat_period_ns: r.u64()?,
         heartbeat_timeout_ns: r.u64()?,
     };
+    let codec = WireCodec::from_tag(r.u8()?)?;
     r.finish()?;
-    Ok(Welcome { last_recv_seq, cfg })
+    Ok(Welcome {
+        last_recv_seq,
+        cfg,
+        codec,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1250,6 +1755,7 @@ mod tests {
         let h = Hello {
             node: 5,
             last_recv_seq: 123,
+            codecs: codec_mask_all(),
         };
         let buf = encode_hello(&h);
         assert_eq!(buf.len(), HELLO_LEN);
@@ -1267,9 +1773,203 @@ mod tests {
                 heartbeat_period_ns: 5_000_000,
                 heartbeat_timeout_ns: 40_000_000,
             },
+            codec: WireCodec::Lz,
         };
         let buf = encode_welcome(&w);
         assert_eq!(buf.len(), WELCOME_LEN);
         assert_eq!(decode_welcome(&buf).unwrap(), w);
+    }
+
+    #[test]
+    fn codec_negotiation_prefers_offered_codec_else_none() {
+        assert_eq!(
+            negotiate_codec(WireCodec::Lz, codec_mask_all()),
+            WireCodec::Lz
+        );
+        assert_eq!(
+            negotiate_codec(WireCodec::Rle, WireCodec::None.bit() | WireCodec::Rle.bit()),
+            WireCodec::Rle
+        );
+        assert_eq!(
+            negotiate_codec(WireCodec::Lz, WireCodec::None.bit()),
+            WireCodec::None
+        );
+    }
+
+    fn decode_all(bytes: &[u8]) -> Vec<Frame> {
+        let mut dec = FrameDecoder::new();
+        dec.feed(bytes);
+        let mut out = Vec::new();
+        while let Some(f) = dec.next_frame().expect("clean stream") {
+            out.push(f);
+        }
+        out
+    }
+
+    #[test]
+    fn batch_of_many_frames_round_trips_and_never_costs_bytes() {
+        for codec in [WireCodec::None, WireCodec::Rle, WireCodec::Lz] {
+            let bodies: Vec<Vec<u8>> = all_nets().iter().map(encode_net).collect();
+            let records: Vec<(u32, u64, &[u8])> = bodies
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (i as u32, i as u64 + 1, b.as_slice()))
+                .collect();
+            let batch = encode_batch(&records, codec);
+            let plain: usize = bodies
+                .iter()
+                .map(|b| FRAME_HEADER + b.len() + FRAME_TRAILER)
+                .sum();
+            assert!(
+                batch.bytes.len() <= plain,
+                "{codec:?}: batch {} > plain {plain}",
+                batch.bytes.len()
+            );
+            let frames = decode_all(&batch.bytes);
+            assert_eq!(frames.len(), records.len());
+            for (f, (to, seq, body)) in frames.iter().zip(&records) {
+                assert_eq!((f.to, f.seq, f.body.as_slice()), (*to, *seq, *body));
+            }
+        }
+    }
+
+    #[test]
+    fn two_frame_batch_beats_two_plain_frames() {
+        // The smallest possible batch must already undercut plain framing —
+        // the "batching must not regress" gate holds by construction.
+        let records: Vec<(u32, u64, &[u8])> = vec![(1, 1, b"x"), (2, 2, b"y")];
+        let batch = encode_batch(&records, WireCodec::None);
+        let plain = 2 * (FRAME_HEADER + 1 + FRAME_TRAILER);
+        assert!(batch.bytes.len() < plain);
+        assert_eq!(decode_all(&batch.bytes).len(), 2);
+    }
+
+    #[test]
+    fn incompressible_singleton_stays_a_plain_frame() {
+        // Pseudo-random bytes: neither codec can shrink them, so a lone
+        // frame must keep the cheaper plain encoding.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let body: Vec<u8> = (0..512)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        for codec in [WireCodec::Rle, WireCodec::Lz] {
+            let batch = encode_batch(&[(3, 7, body.as_slice())], codec);
+            assert_eq!(batch.codec, WireCodec::None);
+            assert_eq!(batch.bytes.len(), FRAME_HEADER + body.len() + FRAME_TRAILER);
+            let frames = decode_all(&batch.bytes);
+            assert_eq!(frames[0].body, body);
+        }
+    }
+
+    #[test]
+    fn compressible_singleton_ships_compressed() {
+        let body = vec![0u8; 4096];
+        for codec in [WireCodec::Rle, WireCodec::Lz] {
+            let batch = encode_batch(&[(3, 7, body.as_slice())], codec);
+            assert_eq!(batch.codec, codec, "{codec:?} should win on zeros");
+            assert!(batch.bytes.len() < body.len() / 4);
+            let frames = decode_all(&batch.bytes);
+            assert_eq!(frames.len(), 1);
+            assert_eq!(frames[0].body, body);
+        }
+    }
+
+    #[test]
+    fn rle_and_lz_round_trip_awkward_inputs() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![7],
+            vec![0; 1],
+            vec![0; 2],
+            vec![0; 3],
+            vec![0; 127],
+            vec![0; 128],
+            vec![0; 129],
+            vec![0; 100_000],
+            (0..=255u8).collect(),
+            (0..1024).map(|i| (i % 7) as u8).collect(),
+            b"abcabcabcabcabcabcabcabc".to_vec(),
+            {
+                let mut v = vec![1, 2, 3, 4];
+                v.extend_from_slice(&[9u8; 300]);
+                v.extend_from_slice(&[1, 2, 3, 4, 1, 2, 3, 4]);
+                v
+            },
+        ];
+        for data in &cases {
+            let c = rle_compress(data);
+            assert_eq!(&rle_decompress(&c, data.len()).unwrap(), data, "rle");
+            let c = lz_compress(data);
+            assert_eq!(&lz_decompress(&c, data.len()).unwrap(), data, "lz");
+        }
+    }
+
+    #[test]
+    fn corrupt_super_frames_poison_the_decoder() {
+        let records: Vec<(u32, u64, &[u8])> = vec![(1, 1, &[0u8; 300]), (2, 2, &[0u8; 300])];
+        let good = encode_batch(&records, WireCodec::Lz).bytes;
+
+        // Flipped payload bit → checksum failure.
+        let mut bad = good.clone();
+        bad[SUPER_HEADER + 2] ^= 0x10;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bad);
+        assert!(matches!(dec.next_frame(), Err(WireError::Checksum { .. })));
+        assert!(dec.next_frame().is_err(), "decoder must stay poisoned");
+
+        // Lying raw_len (header is not checksummed) → strict tiling check.
+        let mut bad = good.clone();
+        bad[11] ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bad);
+        assert!(dec.next_frame().is_err());
+
+        // Lying count.
+        let mut bad = good.clone();
+        bad[8] = bad[8].wrapping_add(1);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bad);
+        assert!(dec.next_frame().is_err());
+
+        // Unknown codec tag.
+        let mut bad = good;
+        bad[10] = 0xEE;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bad);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(WireError::BadTag {
+                what: "WireCodec",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn mixed_plain_and_super_frames_share_one_stream() {
+        let a = encode_frame(1, 1, b"plain");
+        let recs: Vec<(u32, u64, &[u8])> = vec![(2, 2, b"bb"), (3, 3, b"ccc")];
+        let b = encode_batch(&recs, WireCodec::Rle).bytes;
+        let c = encode_frame(4, 4, b"tail");
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+        stream.extend_from_slice(&c);
+        // Byte-at-a-time: partial super-frames must decode as Ok(None).
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for byte in &stream {
+            dec.feed(std::slice::from_ref(byte));
+            while let Some(f) = dec.next_frame().expect("clean stream") {
+                out.push(f);
+            }
+        }
+        let got: Vec<(u32, u64)> = out.iter().map(|f| (f.to, f.seq)).collect();
+        assert_eq!(got, vec![(1, 1), (2, 2), (3, 3), (4, 4)]);
     }
 }

@@ -100,18 +100,18 @@ impl Task for RingTask {
 }
 
 fn ring_cfg(scheme: Scheme, detection: DetectionMethod) -> JobConfig {
-    JobConfig {
-        ranks: 4,
-        tasks_per_rank: 1,
-        spares: 2,
-        scheme,
-        detection,
-        checkpoint_interval: Duration::from_millis(100),
-        heartbeat_period: Duration::from_millis(10),
-        heartbeat_timeout: Duration::from_millis(300),
-        max_duration: Duration::from_secs(40),
-        ..JobConfig::default()
-    }
+    JobConfig::builder()
+        .ranks(4)
+        .tasks_per_rank(1)
+        .spares(2)
+        .scheme(scheme)
+        .detection(detection)
+        .checkpoint_interval(Duration::from_millis(100))
+        .heartbeat_period(Duration::from_millis(10))
+        .heartbeat_timeout(Duration::from_millis(300))
+        .max_duration(Duration::from_secs(40))
+        .build()
+        .expect("valid ring config")
 }
 
 const ITERS: u64 = 600;
@@ -123,11 +123,7 @@ fn ring_factory(rank: usize, _task: usize) -> Box<dyn Task> {
 #[test]
 fn failure_free_run_completes_with_identical_replicas() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let report = Job::run(
-        ring_cfg(Scheme::Strong, DetectionMethod::FullCompare),
-        ring_factory,
-        vec![],
-    );
+    let report = Job::new(ring_cfg(Scheme::Strong, DetectionMethod::FullCompare)).run(ring_factory);
     assert!(report.completed, "error: {:?}", report.error);
     assert!(report.checkpoints_verified >= 1, "{report:?}");
     assert_eq!(report.sdc_rounds_detected, 0);
@@ -140,11 +136,7 @@ fn failure_free_run_completes_with_identical_replicas() {
 #[test]
 fn checksum_detection_mode_also_completes() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let report = Job::run(
-        ring_cfg(Scheme::Strong, DetectionMethod::Checksum),
-        ring_factory,
-        vec![],
-    );
+    let report = Job::new(ring_cfg(Scheme::Strong, DetectionMethod::Checksum)).run(ring_factory);
     assert!(report.completed, "error: {:?}", report.error);
     assert!(report.checkpoints_verified >= 1);
     assert!(report.replicas_agree());
@@ -161,11 +153,9 @@ fn injected_sdc_is_detected_and_rolled_back() {
             seed: 7,
         },
     )];
-    let report = Job::run(
-        ring_cfg(Scheme::Strong, DetectionMethod::FullCompare),
-        ring_factory,
-        faults,
-    );
+    let report = Job::new(ring_cfg(Scheme::Strong, DetectionMethod::FullCompare))
+        .with_timed_faults(faults)
+        .run(ring_factory);
     assert!(report.completed, "error: {:?}", report.error);
     assert!(report.sdc_rounds_detected >= 1, "SDC escaped: {report:?}");
     assert!(report.rollbacks >= 1);
@@ -184,11 +174,9 @@ fn injected_sdc_is_detected_by_checksum_exchange() {
             seed: 99,
         },
     )];
-    let report = Job::run(
-        ring_cfg(Scheme::Strong, DetectionMethod::Checksum),
-        ring_factory,
-        faults,
-    );
+    let report = Job::new(ring_cfg(Scheme::Strong, DetectionMethod::Checksum))
+        .with_timed_faults(faults)
+        .run(ring_factory);
     assert!(report.completed, "error: {:?}", report.error);
     assert!(
         report.sdc_rounds_detected >= 1,
@@ -214,7 +202,7 @@ fn full_compare_localizes_sdc_to_diverged_chunks() {
             seed: 7,
         },
     )];
-    let report = Job::run(cfg, ring_factory, faults);
+    let report = Job::new(cfg).with_timed_faults(faults).run(ring_factory);
     assert!(report.completed, "error: {:?}", report.error);
     assert!(report.sdc_rounds_detected >= 1, "SDC escaped: {report:?}");
     assert!(!report.sdc_detections.is_empty(), "no localization records");
@@ -256,7 +244,7 @@ fn chunked_checksum_detects_and_localizes_sdc() {
             seed: 99,
         },
     )];
-    let report = Job::run(cfg, ring_factory, faults);
+    let report = Job::new(cfg).with_timed_faults(faults).run(ring_factory);
     assert!(report.completed, "error: {:?}", report.error);
     assert!(
         report.sdc_rounds_detected >= 1,
@@ -278,11 +266,8 @@ fn chunked_checksum_detects_and_localizes_sdc() {
 #[test]
 fn chunked_checksum_mode_completes_without_faults() {
     let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let report = Job::run(
-        ring_cfg(Scheme::Strong, DetectionMethod::ChunkedChecksum),
-        ring_factory,
-        vec![],
-    );
+    let report =
+        Job::new(ring_cfg(Scheme::Strong, DetectionMethod::ChunkedChecksum)).run(ring_factory);
     assert!(report.completed, "error: {:?}", report.error);
     assert!(report.checkpoints_verified >= 1);
     assert_eq!(report.sdc_rounds_detected, 0);
@@ -299,11 +284,9 @@ fn crash_recovers_via_spare_under_strong_scheme() {
             rank: 1,
         },
     )];
-    let report = Job::run(
-        ring_cfg(Scheme::Strong, DetectionMethod::FullCompare),
-        ring_factory,
-        faults,
-    );
+    let report = Job::new(ring_cfg(Scheme::Strong, DetectionMethod::FullCompare))
+        .with_timed_faults(faults)
+        .run(ring_factory);
     assert!(report.completed, "error: {:?}", report.error);
     assert_eq!(report.hard_errors_recovered, 1);
     assert!(report.replicas_agree(), "restarted rank diverged");
@@ -320,11 +303,9 @@ fn crash_recovers_under_medium_scheme() {
             rank: 3,
         },
     )];
-    let report = Job::run(
-        ring_cfg(Scheme::Medium, DetectionMethod::FullCompare),
-        ring_factory,
-        faults,
-    );
+    let report = Job::new(ring_cfg(Scheme::Medium, DetectionMethod::FullCompare))
+        .with_timed_faults(faults)
+        .run(ring_factory);
     assert!(report.completed, "error: {:?}", report.error);
     assert_eq!(report.hard_errors_recovered, 1);
     assert!(report.unverified_recoveries >= 1, "{report:?}");
@@ -341,11 +322,9 @@ fn crash_recovers_under_weak_scheme() {
             rank: 0,
         },
     )];
-    let report = Job::run(
-        ring_cfg(Scheme::Weak, DetectionMethod::FullCompare),
-        ring_factory,
-        faults,
-    );
+    let report = Job::new(ring_cfg(Scheme::Weak, DetectionMethod::FullCompare))
+        .with_timed_faults(faults)
+        .run(ring_factory);
     assert!(report.completed, "error: {:?}", report.error);
     assert_eq!(report.hard_errors_recovered, 1);
     assert!(report.unverified_recoveries >= 1, "{report:?}");
@@ -364,7 +343,7 @@ fn crash_before_first_checkpoint_restarts_from_beginning() {
             rank: 0,
         },
     )];
-    let report = Job::run(cfg, ring_factory, faults);
+    let report = Job::new(cfg).with_timed_faults(faults).run(ring_factory);
     assert!(report.completed, "error: {:?}", report.error);
     assert_eq!(report.restarts_from_beginning, 1);
     assert!(report.replicas_agree());
@@ -390,11 +369,9 @@ fn sdc_then_crash_both_handled_in_one_run() {
             },
         ),
     ];
-    let report = Job::run(
-        ring_cfg(Scheme::Strong, DetectionMethod::FullCompare),
-        ring_factory,
-        faults,
-    );
+    let report = Job::new(ring_cfg(Scheme::Strong, DetectionMethod::FullCompare))
+        .with_timed_faults(faults)
+        .run(ring_factory);
     assert!(report.completed, "error: {:?}", report.error);
     assert!(report.sdc_rounds_detected >= 1, "{report:?}");
     assert_eq!(report.hard_errors_recovered, 1);
@@ -422,7 +399,7 @@ fn two_crashes_consume_two_spares() {
             },
         ),
     ];
-    let report = Job::run(cfg, ring_factory, faults);
+    let report = Job::new(cfg).with_timed_faults(faults).run(ring_factory);
     assert!(report.completed, "error: {:?}", report.error);
     assert_eq!(report.hard_errors_recovered, 2);
     assert!(report.replicas_agree());
@@ -441,7 +418,7 @@ fn out_of_spares_fails_gracefully() {
             rank: 0,
         },
     )];
-    let report = Job::run(cfg, ring_factory, faults);
+    let report = Job::new(cfg).with_timed_faults(faults).run(ring_factory);
     assert!(!report.completed);
     assert!(report.error.is_some());
 }
@@ -485,24 +462,22 @@ fn multiple_tasks_per_rank() {
             self.state.pup(p)
         }
     }
-    let report = Job::run(
-        cfg,
-        |rank, task| {
-            Box::new(Counter {
-                iter: 0,
-                stride: 1 + (rank + task) as u64,
-                state: vec![rank as f64 * 17.0 + task as f64; 64],
-            })
-        },
-        vec![(
+    let report = Job::new(cfg)
+        .with_timed_faults(vec![(
             Duration::from_millis(250),
             Fault::Sdc {
                 replica: 1,
                 rank: 1,
                 seed: 3,
             },
-        )],
-    );
+        )])
+        .run(|rank, task| {
+            Box::new(Counter {
+                iter: 0,
+                stride: 1 + (rank + task) as u64,
+                state: vec![rank as f64 * 17.0 + task as f64; 64],
+            })
+        });
     assert!(report.completed, "error: {:?}", report.error);
     assert!(report.replicas_agree());
     assert!(report.sdc_rounds_detected >= 1);

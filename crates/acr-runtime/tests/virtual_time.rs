@@ -79,27 +79,25 @@ impl Task for MiniRing {
 const ITERS: u64 = 300;
 
 fn cfg(scheme: Scheme) -> JobConfig {
-    JobConfig {
-        ranks: 2,
-        tasks_per_rank: 1,
-        spares: 2,
-        scheme,
-        detection: DetectionMethod::FullCompare,
-        checkpoint_interval: Duration::from_millis(60),
-        heartbeat_period: Duration::from_millis(5),
-        heartbeat_timeout: Duration::from_millis(40),
-        max_duration: Duration::from_secs(30),
-        ..JobConfig::default()
-    }
+    JobConfig::builder()
+        .ranks(2)
+        .tasks_per_rank(1)
+        .spares(2)
+        .scheme(scheme)
+        .detection(DetectionMethod::FullCompare)
+        .checkpoint_interval(Duration::from_millis(60))
+        .heartbeat_period(Duration::from_millis(5))
+        .heartbeat_timeout(Duration::from_millis(40))
+        .max_duration(Duration::from_secs(30))
+        .build()
+        .expect("valid virtual-time config")
 }
 
 fn run(scheme: Scheme, script: &FaultScript) -> JobReport {
-    Job::run_scripted(
-        cfg(scheme),
-        |rank, _| Box::new(MiniRing::new(rank, ITERS)) as Box<dyn Task>,
-        script,
-        ExecMode::virtual_default(),
-    )
+    Job::new(cfg(scheme))
+        .with_faults(script.clone())
+        .mode(ExecMode::virtual_default())
+        .run(|rank, _| Box::new(MiniRing::new(rank, ITERS)) as Box<dyn Task>)
 }
 
 fn trace_has(report: &JobReport, needle: &str) -> bool {

@@ -42,7 +42,7 @@ pub struct Machine {
     /// Replica mapping in use.
     pub mapping: MappingKind,
     /// Fraction of the buddy-transfer time hidden behind application
-    /// execution (the semi-blocking checkpointing of [27], which the paper
+    /// execution (the semi-blocking checkpointing of \[27\], which the paper
     /// leaves as future work; 0.0 = fully blocking, the paper's setting).
     pub async_overlap: f64,
     cached_placement: Placement,

@@ -122,7 +122,7 @@ impl SimReport {
 ///
 /// Used to calibrate the simulator against *measured* runs of the real
 /// runtime (the differential campaign tests): δ and the restart costs are
-/// extracted from virtual-time [`acr_runtime`-style] executions, and node
+/// extracted from virtual-time `acr_runtime`-style executions, and node
 /// numbering follows the runtime's layout (`replica = node / ranks`), so
 /// the same fault scenario can be pushed through both engines and their
 /// event counts compared.

@@ -113,16 +113,16 @@ fn main() {
     // Part 2 — the same machinery inside a replicated ACR job: chunked
     // checksum detection catches an injected SDC at the next coordinated
     // checkpoint and the report records the localized windows.
-    let cfg = JobConfig {
-        ranks: 4,
-        spares: 1,
-        scheme: Scheme::Strong,
-        detection: DetectionMethod::ChunkedChecksum,
-        chunk_size,
-        checkpoint_interval: Duration::from_millis(150),
-        max_duration: Duration::from_secs(120),
-        ..JobConfig::default()
-    };
+    let cfg = JobConfig::builder()
+        .ranks(4)
+        .spares(1)
+        .scheme(Scheme::Strong)
+        .detection(DetectionMethod::ChunkedChecksum)
+        .chunk_size(chunk_size)
+        .checkpoint_interval(Duration::from_millis(150))
+        .max_duration(Duration::from_secs(120))
+        .build()
+        .expect("valid localization config");
     let faults = vec![(
         Duration::from_millis(400),
         Fault::Sdc {
@@ -132,7 +132,9 @@ fn main() {
         },
     )];
     println!("\nACR run (chunked-checksum detection, strong scheme), injected SDC:");
-    let report = Job::run(cfg, |rank, _| Box::new(Shard::new(rank, 800)), faults);
+    let report = Job::new(cfg)
+        .with_timed_faults(faults)
+        .run(|rank, _| Box::new(Shard::new(rank, 800)));
     assert!(report.completed, "{:?}", report.error);
     assert!(report.sdc_rounds_detected >= 1, "the flip must be caught");
     println!("  SDC rounds detected : {}", report.sdc_rounds_detected);

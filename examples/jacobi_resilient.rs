@@ -29,16 +29,16 @@ fn main() {
     );
 
     for scheme in [Scheme::Strong, Scheme::Medium, Scheme::Weak] {
-        let cfg = JobConfig {
-            ranks: RANKS,
-            tasks_per_rank: 1,
-            spares: 1,
-            scheme,
-            detection: DetectionMethod::FullCompare,
-            checkpoint_interval: Duration::from_millis(200),
-            max_duration: Duration::from_secs(120),
-            ..JobConfig::default()
-        };
+        let cfg = JobConfig::builder()
+            .ranks(RANKS)
+            .tasks_per_rank(1)
+            .spares(1)
+            .scheme(scheme)
+            .detection(DetectionMethod::FullCompare)
+            .checkpoint_interval(Duration::from_millis(200))
+            .max_duration(Duration::from_secs(120))
+            .build()
+            .expect("valid jacobi config");
         let faults = vec![(
             Duration::from_millis(800),
             Fault::Crash {
@@ -47,11 +47,9 @@ fn main() {
             },
         )];
         let t0 = Instant::now();
-        let report = Job::run(
-            cfg,
-            move |rank, _task| Box::new(JacobiHaloTask::new(rank, RANKS, 10, 12, 12, ITERS)),
-            faults,
-        );
+        let report = Job::new(cfg)
+            .with_timed_faults(faults)
+            .run(move |rank, _task| Box::new(JacobiHaloTask::new(rank, RANKS, 10, 12, 12, ITERS)));
         let wall = t0.elapsed().as_secs_f64();
         assert!(report.completed, "{scheme}: {:?}", report.error);
         println!(

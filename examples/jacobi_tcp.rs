@@ -22,8 +22,7 @@ use std::time::{Duration, Instant};
 
 use acr::integration::JacobiHaloTask;
 use acr::runtime::{
-    run_node_host, DetectionMethod, ExecMode, FaultScript, Job, JobConfig, Scheme, Task, TcpConfig,
-    TransportKind,
+    run_node_host, DetectionMethod, Job, JobConfig, Scheme, Task, TcpConfig, TransportKind,
 };
 
 const NX: usize = 10;
@@ -114,25 +113,25 @@ fn parse_or_die<T: std::str::FromStr>(arg: Option<&String>, msg: &str) -> T {
 }
 
 fn job_config(opts: &Opts, addr: SocketAddr) -> JobConfig {
-    JobConfig {
-        ranks: opts.ranks,
-        tasks_per_rank: 1,
-        spares: opts.spares,
-        scheme: Scheme::Strong,
-        detection: DetectionMethod::ChunkedChecksum,
-        checkpoint_interval: Duration::from_millis(150),
-        heartbeat_period: Duration::from_millis(20),
+    JobConfig::builder()
+        .ranks(opts.ranks)
+        .tasks_per_rank(1)
+        .spares(opts.spares)
+        .scheme(Scheme::Strong)
+        .detection(DetectionMethod::ChunkedChecksum)
+        .checkpoint_interval(Duration::from_millis(150))
+        .heartbeat_period(Duration::from_millis(20))
         // Process scheduling is coarser than thread scheduling; leave the
         // buddy detector plenty of margin.
-        heartbeat_timeout: Duration::from_millis(800),
-        max_duration: Duration::from_secs(120),
-        transport: TransportKind::Tcp(TcpConfig {
+        .heartbeat_timeout(Duration::from_millis(800))
+        .max_duration(Duration::from_secs(120))
+        .transport(TransportKind::Tcp(TcpConfig {
             addr: Some(addr),
             remote_nodes: true,
             ..TcpConfig::default()
-        }),
-        ..JobConfig::default()
-    }
+        }))
+        .build()
+        .expect("valid tcp job config")
 }
 
 /// Driver role: bind the router, wait for external node hosts to cover
@@ -149,14 +148,9 @@ fn run_driver(opts: &Opts) -> ExitCode {
     );
     let (ranks, iters) = (opts.ranks, opts.iters);
     let t0 = Instant::now();
-    let report = Job::run_scripted(
-        job_config(opts, addr),
-        move |rank, _task| {
-            Box::new(JacobiHaloTask::new(rank, ranks, NX, NY, NZ, iters)) as Box<dyn Task>
-        },
-        &FaultScript::new(),
-        ExecMode::Threaded,
-    );
+    let report = Job::new(job_config(opts, addr)).run(move |rank, _task| {
+        Box::new(JacobiHaloTask::new(rank, ranks, NX, NY, NZ, iters)) as Box<dyn Task>
+    });
     println!(
         "driver: completed={} agree={} checkpoints={} wall={:.2}s",
         report.completed,

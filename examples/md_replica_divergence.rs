@@ -52,15 +52,15 @@ fn main() {
     );
 
     // Now the same corruption under ACR with checksum detection.
-    let cfg = JobConfig {
-        ranks: 4,
-        spares: 1,
-        scheme: Scheme::Strong,
-        detection: DetectionMethod::Checksum,
-        checkpoint_interval: Duration::from_millis(150),
-        max_duration: Duration::from_secs(120),
-        ..JobConfig::default()
-    };
+    let cfg = JobConfig::builder()
+        .ranks(4)
+        .spares(1)
+        .scheme(Scheme::Strong)
+        .detection(DetectionMethod::Checksum)
+        .checkpoint_interval(Duration::from_millis(150))
+        .max_duration(Duration::from_secs(120))
+        .build()
+        .expect("valid md config");
     let faults = vec![(
         Duration::from_millis(400),
         Fault::Sdc {
@@ -70,11 +70,9 @@ fn main() {
         },
     )];
     println!("ACR run (checksum detection, strong scheme), same class of fault:");
-    let report = Job::run(
-        cfg,
-        |rank, _| Box::new(MiniAppTask::new(LeanMd::new(128, rank as u64), 400)),
-        faults,
-    );
+    let report = Job::new(cfg)
+        .with_timed_faults(faults)
+        .run(|rank, _| Box::new(MiniAppTask::new(LeanMd::new(128, rank as u64), 400)));
     assert!(report.completed, "{:?}", report.error);
     println!("  SDC rounds detected : {}", report.sdc_rounds_detected);
     println!("  rollbacks           : {}", report.rollbacks);

@@ -20,6 +20,12 @@
 //! from the current sweep. Virtual time makes the numbers deterministic,
 //! so the gate catches protocol-behavior regressions, not machine noise.
 //!
+//! Two additional `jacobi_wire_codec_{off,on}` scenarios run the Jacobi
+//! halo workload over the threaded TCP backend and gate the wire columns:
+//! batching must never cost more bytes than plain per-message framing, the
+//! negotiated codec must cut checkpoint-ship bytes by ≥ 20%, and under
+//! `--baseline` the ship compression ratio must not regress.
+//!
 //! ```text
 //! cargo run --release --example overhead_report
 //! cargo run --release --example overhead_report -- --out target/obs
@@ -30,11 +36,12 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use acr::obs::{sinks, Breakdown};
+use acr::integration::JacobiHaloTask;
+use acr::obs::{sinks, Breakdown, EventKind};
 use acr::pup::{Pup, PupResult, Puper};
 use acr::runtime::{
     AppMsg, DetectionMethod, ExecMode, FaultAction, FaultScript, Job, JobConfig, JobReport, Scheme,
-    Task, TaskCtx, TaskId, Trigger,
+    Task, TaskCtx, TaskId, TcpConfig, TransportKind, Trigger, WireCodec,
 };
 
 /// Communicating token ring with float dynamics — the same workload shape
@@ -107,27 +114,80 @@ const ITERS: u64 = 400;
 
 /// 8 active nodes: 4 ranks × 2 replicas, plus two spares for recovery.
 fn cfg(scheme: Scheme) -> JobConfig {
-    JobConfig {
-        ranks: 4,
-        tasks_per_rank: 1,
-        spares: 2,
-        scheme,
-        detection: DetectionMethod::ChunkedChecksum,
-        checkpoint_interval: Duration::from_millis(60),
-        heartbeat_period: Duration::from_millis(5),
-        heartbeat_timeout: Duration::from_millis(40),
-        max_duration: Duration::from_secs(30),
-        ..JobConfig::default()
-    }
+    JobConfig::builder()
+        .ranks(4)
+        .tasks_per_rank(1)
+        .spares(2)
+        .scheme(scheme)
+        .detection(DetectionMethod::ChunkedChecksum)
+        .checkpoint_interval(Duration::from_millis(60))
+        .heartbeat_period(Duration::from_millis(5))
+        .heartbeat_timeout(Duration::from_millis(40))
+        .max_duration(Duration::from_secs(30))
+        .build()
+        .expect("valid overhead config")
 }
 
 fn run(scheme: Scheme, script: &FaultScript) -> JobReport {
-    Job::run_scripted(
-        cfg(scheme),
-        |rank, _| Box::new(Ring::new(rank, ITERS)) as Box<dyn Task>,
-        script,
-        ExecMode::virtual_default(),
-    )
+    Job::new(cfg(scheme))
+        .with_faults(script.clone())
+        .mode(ExecMode::virtual_default())
+        .run(|rank, _| Box::new(Ring::new(rank, ITERS)) as Box<dyn Task>)
+}
+
+/// Threaded-TCP wire scenario: the Jacobi halo workload over real sockets
+/// with `FullCompare` detection, so every comparison round ships whole
+/// checkpoint payloads to the buddy — the traffic the super-frame batching
+/// and `WireCodec` exist for.
+fn run_wire(codec: WireCodec) -> JobReport {
+    const RANKS: usize = 2;
+    let cfg = JobConfig::builder()
+        .ranks(RANKS)
+        .tasks_per_rank(1)
+        .spares(1)
+        .scheme(Scheme::Strong)
+        .detection(DetectionMethod::FullCompare)
+        .checkpoint_interval(Duration::from_millis(50))
+        .heartbeat_period(Duration::from_millis(10))
+        .heartbeat_timeout(Duration::from_millis(800))
+        .max_duration(Duration::from_secs(60))
+        .transport(TransportKind::Tcp(TcpConfig {
+            codec,
+            ..TcpConfig::default()
+        }))
+        .build()
+        .expect("valid wire config");
+    Job::new(cfg)
+        .run(|rank, _| Box::new(JacobiHaloTask::new(rank, RANKS, 16, 16, 16, 300)) as Box<dyn Task>)
+}
+
+/// Send-side wire totals folded from a run's `WireBytes` link summaries.
+#[derive(Default)]
+struct WireTotals {
+    sent: u64,
+    plain: u64,
+    ship_raw: u64,
+    ship_wire: u64,
+}
+
+fn wire_totals(report: &JobReport) -> WireTotals {
+    let mut w = WireTotals::default();
+    for e in &report.events {
+        if let EventKind::WireBytes {
+            bytes_sent,
+            plain_bytes,
+            ship_raw_bytes,
+            ship_wire_bytes,
+            ..
+        } = &e.kind
+        {
+            w.sent += bytes_sent;
+            w.plain += plain_bytes;
+            w.ship_raw += ship_raw_bytes;
+            w.ship_wire += ship_wire_bytes;
+        }
+    }
+    w
 }
 
 fn crash_script() -> FaultScript {
@@ -246,6 +306,75 @@ fn main() -> ExitCode {
         rows.push((name.to_string(), b));
     }
 
+    // Wire-efficiency scenarios: the same report, but over the threaded TCP
+    // backend with the ship codec off and on. Wall-clock phase timings are
+    // machine noise, so those columns are zeroed (the baseline phase gate
+    // skips zero rows); the wire columns carry the signal and are gated by
+    // within-run invariants that hold on any machine.
+    for (name, codec) in [
+        ("jacobi_wire_codec_off", WireCodec::None),
+        ("jacobi_wire_codec_on", WireCodec::default()),
+    ] {
+        let report = run_wire(codec);
+        if !report.completed {
+            eprintln!(
+                "FAIL {name}: run did not complete: {}",
+                report.error.as_deref().unwrap_or("unknown")
+            );
+            failed = true;
+        }
+        let w = wire_totals(&report);
+        if w.ship_raw == 0 {
+            eprintln!("FAIL {name}: no checkpoint-ship traffic recorded");
+            failed = true;
+        }
+        // Batching non-regression: coalesced super-frames must never cost
+        // more than one plain frame per message would have.
+        if w.sent > w.plain {
+            eprintln!(
+                "FAIL {name}: batching inflated the wire ({} sent > {} plain)",
+                w.sent, w.plain
+            );
+            failed = true;
+        }
+        // Codec effectiveness: ship bytes must drop by ≥ 20% on this
+        // mostly-smooth Jacobi state.
+        if codec != WireCodec::None && w.ship_wire * 10 > w.ship_raw * 8 {
+            eprintln!(
+                "FAIL {name}: codec saved too little ({} wire vs {} raw ship bytes)",
+                w.ship_wire, w.ship_raw
+            );
+            failed = true;
+        }
+        let jsonl = sinks::to_jsonl(&report.events);
+        let log_path = out_dir.join(format!("overhead_{name}.jsonl"));
+        if let Err(e) = std::fs::write(&log_path, &jsonl) {
+            eprintln!("cannot write {}: {e}", log_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "{name}: ship {} -> {} bytes ({:.1}% of raw), sent {} vs {} plain -> {}",
+            w.ship_raw,
+            w.ship_wire,
+            100.0 * w.ship_wire as f64 / w.ship_raw.max(1) as f64,
+            w.sent,
+            w.plain,
+            log_path.display(),
+        );
+        let mut b = Breakdown::from_events(&report.events);
+        b.total = 0.0;
+        b.forward = 0.0;
+        b.checkpoint = 0.0;
+        b.compare = 0.0;
+        b.recovery = 0.0;
+        let json = b.to_json();
+        bench_lines.push(format!(
+            "{{\"scenario\":\"{name}\",{}",
+            json.strip_prefix('{').unwrap_or(&json)
+        ));
+        rows.push((name.to_string(), b));
+    }
+
     println!();
     print!("{}", acr::obs::report::render_table("scenario", &rows));
 
@@ -328,6 +457,23 @@ fn gate_against_baseline(
                 ok = false;
             } else {
                 println!("  ok {scenario}/{phase}: {old:.6}s -> {new:.6}s ({ratio:.2}x)");
+            }
+        }
+        // Wire-efficiency column: the checkpoint-ship compression ratio
+        // (wire/raw, lower is better) must not regress past the tolerance.
+        // Absolute byte counts vary with wall-clock round counts on a
+        // threaded run; the ratio is machine-independent.
+        if base.wire_ship_raw_bytes > 0 && cur.wire_ship_raw_bytes > 0 {
+            let old = base.wire_ship_wire_bytes as f64 / base.wire_ship_raw_bytes as f64;
+            let new = cur.wire_ship_wire_bytes as f64 / cur.wire_ship_raw_bytes as f64;
+            if new > old * (1.0 + tolerance) {
+                eprintln!(
+                    "FAIL perf gate: {scenario}/ship_ratio regressed \
+                     (baseline {old:.3}, now {new:.3})"
+                );
+                ok = false;
+            } else {
+                println!("  ok {scenario}/ship_ratio: {old:.3} -> {new:.3}");
             }
         }
     }

@@ -14,16 +14,16 @@ use acr::runtime::{DetectionMethod, Fault, Job, JobConfig, Scheme};
 fn main() {
     // 4 ranks per replica + 2 spares = 10 virtual nodes (threads), each
     // running a small Jacobi3D block for 800 iterations.
-    let cfg = JobConfig {
-        ranks: 4,
-        tasks_per_rank: 1,
-        spares: 2,
-        scheme: Scheme::Strong,
-        detection: DetectionMethod::FullCompare,
-        checkpoint_interval: Duration::from_millis(150),
-        max_duration: Duration::from_secs(120),
-        ..JobConfig::default()
-    };
+    let cfg = JobConfig::builder()
+        .ranks(4)
+        .tasks_per_rank(1)
+        .spares(2)
+        .scheme(Scheme::Strong)
+        .detection(DetectionMethod::FullCompare)
+        .checkpoint_interval(Duration::from_millis(150))
+        .max_duration(Duration::from_secs(120))
+        .build()
+        .expect("valid quickstart config");
 
     // The §6.1 fault plan: flip a bit in rank 2's user data at t = 0.4 s,
     // fail-stop rank 1 of replica 0 at t = 1.2 s.
@@ -46,11 +46,9 @@ fn main() {
     ];
 
     println!("launching replicated Jacobi3D (2 × 4 ranks + 2 spares)...");
-    let report = Job::run(
-        cfg,
-        |_rank, _task| Box::new(MiniAppTask::new(Jacobi3d::new(12, 12, 12), 800)),
-        faults,
-    );
+    let report = Job::new(cfg)
+        .with_timed_faults(faults)
+        .run(|_rank, _task| Box::new(MiniAppTask::new(Jacobi3d::new(12, 12, 12), 800)));
 
     println!("completed:              {}", report.completed);
     println!("checkpoints verified:   {}", report.checkpoints_verified);

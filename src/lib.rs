@@ -37,23 +37,25 @@
 //! ```no_run
 //! use std::time::Duration;
 //! use acr::integration::MiniAppTask;
-//! use acr::runtime::{DetectionMethod, Fault, Job, JobConfig, Scheme};
+//! use acr::prelude::*;
 //!
-//! let cfg = JobConfig {
-//!     ranks: 4,
-//!     scheme: Scheme::Strong,
-//!     detection: DetectionMethod::Checksum,
-//!     ..JobConfig::default()
-//! };
-//! let report = Job::run(
-//!     cfg,
-//!     |rank, _task| Box::new(MiniAppTask::new(acr::apps::Jacobi3d::new(8, 8, 8), 500)),
-//!     vec![(Duration::from_millis(300), Fault::Sdc { replica: 1, rank: 2, seed: 7 })],
-//! );
+//! let cfg = JobConfig::builder()
+//!     .ranks(4)
+//!     .scheme(Scheme::Strong)
+//!     .detection(DetectionMethod::Checksum)
+//!     .build()
+//!     .expect("valid config");
+//! let report = Job::new(cfg)
+//!     .with_timed_faults(vec![(
+//!         Duration::from_millis(300),
+//!         Fault::Sdc { replica: 1, rank: 2, seed: 7 },
+//!     )])
+//!     .run(|rank, _task| Box::new(MiniAppTask::new(acr::apps::Jacobi3d::new(8, 8, 8), 500)));
 //! assert!(report.completed && report.replicas_agree());
 //! ```
 
 pub mod integration;
+pub mod prelude;
 
 pub use acr_apps as apps;
 pub use acr_core as protocol;

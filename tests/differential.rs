@@ -87,27 +87,25 @@ impl Task for MiniRing {
 }
 
 fn runtime_cfg(scheme: Scheme, interval: Duration) -> JobConfig {
-    JobConfig {
-        ranks: RANKS,
-        tasks_per_rank: 1,
-        spares: 3,
-        scheme,
-        detection: DetectionMethod::FullCompare,
-        checkpoint_interval: interval,
-        heartbeat_period: Duration::from_millis(5),
-        heartbeat_timeout: Duration::from_millis(40),
-        max_duration: Duration::from_secs(30),
-        ..JobConfig::default()
-    }
+    JobConfig::builder()
+        .ranks(RANKS)
+        .tasks_per_rank(1)
+        .spares(3)
+        .scheme(scheme)
+        .detection(DetectionMethod::FullCompare)
+        .checkpoint_interval(interval)
+        .heartbeat_period(Duration::from_millis(5))
+        .heartbeat_timeout(Duration::from_millis(40))
+        .max_duration(Duration::from_secs(30))
+        .build()
+        .expect("valid differential config")
 }
 
 fn run_runtime(scheme: Scheme, interval: Duration, script: &FaultScript) -> JobReport {
-    let report = Job::run_scripted(
-        runtime_cfg(scheme, interval),
-        |rank, _| Box::new(MiniRing::new(rank)) as Box<dyn Task>,
-        script,
-        ExecMode::virtual_default(),
-    );
+    let report = Job::new(runtime_cfg(scheme, interval))
+        .with_faults(script.clone())
+        .mode(ExecMode::virtual_default())
+        .run(|rank, _| Box::new(MiniRing::new(rank)) as Box<dyn Task>);
     assert!(
         report.completed,
         "runtime run failed: {:?}\n{}",

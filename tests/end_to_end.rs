@@ -15,17 +15,17 @@ use acr::integration::{JacobiHaloTask, MiniAppTask};
 use acr::runtime::{DetectionMethod, Fault, Job, JobConfig, Scheme};
 
 fn base_cfg(scheme: Scheme, detection: DetectionMethod) -> JobConfig {
-    JobConfig {
-        ranks: 3,
-        tasks_per_rank: 1,
-        spares: 1,
-        scheme,
-        detection,
-        checkpoint_interval: Duration::from_millis(150),
-        heartbeat_timeout: Duration::from_millis(400),
-        max_duration: Duration::from_secs(300),
-        ..JobConfig::default()
-    }
+    JobConfig::builder()
+        .ranks(3)
+        .tasks_per_rank(1)
+        .spares(1)
+        .scheme(scheme)
+        .detection(detection)
+        .checkpoint_interval(Duration::from_millis(150))
+        .heartbeat_timeout(Duration::from_millis(400))
+        .max_duration(Duration::from_secs(300))
+        .build()
+        .expect("valid end-to-end config")
 }
 
 #[test]
@@ -40,11 +40,9 @@ fn jacobi_halo_exchange_survives_a_crash() {
             rank: 1,
         },
     )];
-    let report = Job::run(
-        cfg,
-        move |rank, _| Box::new(JacobiHaloTask::new(rank, RANKS, 8, 10, 10, 2000)),
-        faults,
-    );
+    let report = Job::new(cfg)
+        .with_timed_faults(faults)
+        .run(move |rank, _| Box::new(JacobiHaloTask::new(rank, RANKS, 8, 10, 10, 2000)));
     assert!(report.completed, "{:?}", report.error);
     assert_eq!(report.hard_errors_recovered, 1);
     assert!(report.replicas_agree());
@@ -93,11 +91,9 @@ fn leanmd_checksum_detection_under_sdc() {
             seed: 11,
         },
     )];
-    let report = Job::run(
-        cfg,
-        |rank, _| Box::new(MiniAppTask::new(LeanMd::new(64, rank as u64), 500)),
-        faults,
-    );
+    let report = Job::new(cfg)
+        .with_timed_faults(faults)
+        .run(|rank, _| Box::new(MiniAppTask::new(LeanMd::new(64, rank as u64), 500)));
     assert!(report.completed, "{:?}", report.error);
     assert!(report.sdc_rounds_detected >= 1, "{report:?}");
     assert!(report.replicas_agree());
@@ -114,11 +110,9 @@ fn hpccg_medium_scheme_crash() {
             rank: 0,
         },
     )];
-    let report = Job::run(
-        cfg,
-        |_rank, _| Box::new(MiniAppTask::new(Hpccg::new(12, 12, 12), 800)),
-        faults,
-    );
+    let report = Job::new(cfg)
+        .with_timed_faults(faults)
+        .run(|_rank, _| Box::new(MiniAppTask::new(Hpccg::new(12, 12, 12), 800)));
     assert!(report.completed, "{:?}", report.error);
     assert_eq!(report.hard_errors_recovered, 1);
     assert!(report.unverified_recoveries >= 1);
@@ -136,11 +130,9 @@ fn minimd_weak_scheme_crash() {
             rank: 0,
         },
     )];
-    let report = Job::run(
-        cfg,
-        |rank, _| Box::new(MiniAppTask::new(MiniMd::new(64, rank as u64), 800)),
-        faults,
-    );
+    let report = Job::new(cfg)
+        .with_timed_faults(faults)
+        .run(|rank, _| Box::new(MiniAppTask::new(MiniMd::new(64, rank as u64), 800)));
     assert!(report.completed, "{:?}", report.error);
     assert_eq!(report.hard_errors_recovered, 1);
     assert!(report.replicas_agree());
@@ -153,11 +145,9 @@ fn recovered_run_matches_undisturbed_run_bit_for_bit() {
     // restart is the *same answer*.
     let mk = |faults: Vec<(Duration, Fault)>| {
         let cfg = base_cfg(Scheme::Strong, DetectionMethod::FullCompare);
-        Job::run(
-            cfg,
-            |rank, _| Box::new(MiniAppTask::new(LeanMd::new(64, rank as u64), 800)),
-            faults,
-        )
+        Job::new(cfg)
+            .with_timed_faults(faults)
+            .run(|rank, _| Box::new(MiniAppTask::new(LeanMd::new(64, rank as u64), 800)))
     };
     let undisturbed = mk(vec![]);
     let disturbed = mk(vec![

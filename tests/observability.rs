@@ -78,24 +78,22 @@ impl Task for Ring {
 const ITERS: u64 = 300;
 
 fn run(scheme: Scheme, script: &FaultScript) -> JobReport {
-    let cfg = JobConfig {
-        ranks: 4,
-        tasks_per_rank: 1,
-        spares: 2,
-        scheme,
-        detection: DetectionMethod::ChunkedChecksum,
-        checkpoint_interval: Duration::from_millis(60),
-        heartbeat_period: Duration::from_millis(5),
-        heartbeat_timeout: Duration::from_millis(40),
-        max_duration: Duration::from_secs(30),
-        ..JobConfig::default()
-    };
-    Job::run_scripted(
-        cfg,
-        |rank, _| Box::new(Ring::new(rank, ITERS)) as Box<dyn Task>,
-        script,
-        ExecMode::virtual_default(),
-    )
+    let cfg = JobConfig::builder()
+        .ranks(4)
+        .tasks_per_rank(1)
+        .spares(2)
+        .scheme(scheme)
+        .detection(DetectionMethod::ChunkedChecksum)
+        .checkpoint_interval(Duration::from_millis(60))
+        .heartbeat_period(Duration::from_millis(5))
+        .heartbeat_timeout(Duration::from_millis(40))
+        .max_duration(Duration::from_secs(30))
+        .build()
+        .expect("valid observability config");
+    Job::new(cfg)
+        .with_faults(script.clone())
+        .mode(ExecMode::virtual_default())
+        .run(|rank, _| Box::new(Ring::new(rank, ITERS)) as Box<dyn Task>)
 }
 
 fn crash_script() -> FaultScript {

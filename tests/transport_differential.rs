@@ -110,21 +110,21 @@ impl Task for Ring {
 }
 
 fn cfg(scheme: Scheme, transport: TransportKind) -> JobConfig {
-    JobConfig {
-        ranks: RANKS,
-        tasks_per_rank: 1,
-        spares: SPARES,
-        scheme,
-        detection: DetectionMethod::ChunkedChecksum,
-        checkpoint_interval: Duration::from_millis(10),
-        heartbeat_period: Duration::from_millis(5),
+    JobConfig::builder()
+        .ranks(RANKS)
+        .tasks_per_rank(1)
+        .spares(SPARES)
+        .scheme(scheme)
+        .detection(DetectionMethod::ChunkedChecksum)
+        .checkpoint_interval(Duration::from_millis(10))
+        .heartbeat_period(Duration::from_millis(5))
         // Generous: a loaded CI runner must never see a false-positive
         // buddy death; scripted crashes are the only deaths expected.
-        heartbeat_timeout: Duration::from_millis(300),
-        max_duration: Duration::from_secs(30),
-        transport,
-        ..JobConfig::default()
-    }
+        .heartbeat_timeout(Duration::from_millis(300))
+        .max_duration(Duration::from_secs(30))
+        .transport(transport)
+        .build()
+        .expect("valid differential config")
 }
 
 /// Deterministic per-seed scenario: even seeds flip bits mid-run (SDC
@@ -153,21 +153,18 @@ fn script_for(seed: u64) -> FaultScript {
 }
 
 fn run_in_process(scheme: Scheme, script: &FaultScript) -> JobReport {
-    Job::run_scripted(
-        cfg(scheme, TransportKind::InProcess),
-        |rank, _| Box::new(Ring::new(rank, ITERS, Duration::ZERO)) as Box<dyn Task>,
-        script,
-        ExecMode::virtual_default(),
-    )
+    Job::new(cfg(scheme, TransportKind::InProcess))
+        .with_faults(script.clone())
+        .mode(ExecMode::virtual_default())
+        .run(|rank, _| Box::new(Ring::new(rank, ITERS, Duration::ZERO)) as Box<dyn Task>)
 }
 
 fn run_tcp(scheme: Scheme, script: &FaultScript) -> JobReport {
-    Job::run_scripted(
-        cfg(scheme, TransportKind::Tcp(TcpConfig::default())),
-        |rank, _| Box::new(Ring::new(rank, ITERS, Duration::from_micros(200))) as Box<dyn Task>,
-        script,
-        ExecMode::Threaded,
-    )
+    Job::new(cfg(scheme, TransportKind::Tcp(TcpConfig::default())))
+        .with_faults(script.clone())
+        .run(|rank, _| {
+            Box::new(Ring::new(rank, ITERS, Duration::from_micros(200))) as Box<dyn Task>
+        })
 }
 
 /// The protocol outcome a transport must not change.

@@ -11,11 +11,11 @@
 use std::sync::Mutex;
 use std::time::Duration;
 
-use acr::obs::EventKind;
+use acr::obs::{EventKind, DRIVER_NODE};
 use acr::pup::{Pup, PupResult, Puper};
 use acr::runtime::{
-    AppMsg, DetectionMethod, ExecMode, FaultScript, Job, JobConfig, JobReport, Scheme, Task,
-    TaskCtx, TaskId, TcpConfig, TransportControl, TransportKind,
+    AppMsg, DetectionMethod, ExecMode, Job, JobConfig, JobReport, Scheme, Task, TaskCtx, TaskId,
+    TcpConfig, TransportControl, TransportKind,
 };
 
 /// Threaded TCP jobs are thread-heavy; concurrent cases oversubscribe CI
@@ -90,28 +90,25 @@ impl Task for PacedRing {
 }
 
 fn run_tcp(cfg: JobConfig) -> JobReport {
-    Job::run_scripted(
-        cfg,
-        |rank, _| Box::new(PacedRing::new(rank)) as Box<dyn Task>,
-        &FaultScript::new(),
-        ExecMode::Threaded,
-    )
+    Job::new(cfg)
+        .mode(ExecMode::Threaded)
+        .run(|rank, _| Box::new(PacedRing::new(rank)) as Box<dyn Task>)
 }
 
 fn base_cfg(heartbeat_timeout: Duration, transport: TransportKind) -> JobConfig {
-    JobConfig {
-        ranks: RANKS,
-        tasks_per_rank: 1,
-        spares: 2,
-        scheme: Scheme::Strong,
-        detection: DetectionMethod::ChunkedChecksum,
-        checkpoint_interval: Duration::from_millis(15),
-        heartbeat_period: Duration::from_millis(10),
-        heartbeat_timeout,
-        max_duration: Duration::from_secs(30),
-        transport,
-        ..JobConfig::default()
-    }
+    JobConfig::builder()
+        .ranks(RANKS)
+        .tasks_per_rank(1)
+        .spares(2)
+        .scheme(Scheme::Strong)
+        .detection(DetectionMethod::ChunkedChecksum)
+        .checkpoint_interval(Duration::from_millis(15))
+        .heartbeat_period(Duration::from_millis(10))
+        .heartbeat_timeout(heartbeat_timeout)
+        .max_duration(Duration::from_secs(30))
+        .transport(transport)
+        .build()
+        .expect("valid reconnect config")
 }
 
 fn connects_for(report: &JobReport, node: u32) -> usize {
@@ -120,6 +117,29 @@ fn connects_for(report: &JobReport, node: u32) -> usize {
         .iter()
         .filter(|e| e.node == node && matches!(e.kind, EventKind::TransportConnect { .. }))
         .count()
+}
+
+/// Event-taxonomy attribution audit: liveness probes are *driver* policy
+/// (emitted as `DRIVER_NODE`), while dial attempts and retries are
+/// *endpoint* mechanics (emitted as the dialing node). An event on the
+/// wrong side means a probe got blamed on a node or a retry on the
+/// driver, which corrupts per-node overhead attribution downstream.
+fn audit_transport_attribution(report: &JobReport) {
+    for e in &report.events {
+        match e.kind {
+            EventKind::ProbeSent { .. } | EventKind::ProbeDeath { .. } => assert_eq!(
+                e.node, DRIVER_NODE,
+                "liveness probe attributed to a node: {e:?}"
+            ),
+            EventKind::TransportConnect { .. } | EventKind::TransportRetry { .. } => {
+                assert_ne!(
+                    e.node, DRIVER_NODE,
+                    "endpoint dial event attributed to the driver: {e:?}"
+                );
+            }
+            _ => {}
+        }
+    }
 }
 
 /// A mid-run socket kill is a *transient* fault: the endpoint must redial,
@@ -183,6 +203,7 @@ fn socket_kill_reconnects_without_spurious_death() {
         )),
         "no WireBytes event recorded"
     );
+    audit_transport_attribution(&report);
 }
 
 /// A quarantined link never reattaches: the stale monitor must flag it,
@@ -241,4 +262,5 @@ fn quarantined_link_is_probed_and_node_replaced() {
         "transport probe counter missing from metrics:\n{}",
         report.metrics
     );
+    audit_transport_attribution(&report);
 }
