@@ -54,6 +54,29 @@ pub enum Detection {
         /// Per-chunk digests for localization on mismatch.
         table: ChunkTable,
     },
+    /// Incremental ship (FullCompare with delta checkpoints enabled): only
+    /// the chunks that changed since `base_iteration` travel as bytes; the
+    /// rest are covered by the full per-chunk digest table. The buddy
+    /// overlays the dirty windows onto its retained base payload, verifies
+    /// the whole-payload digest, and then byte-compares exactly as if the
+    /// full payload had been shipped. When the buddy's base doesn't match
+    /// (reconnect, recovery, spare promotion) the record still carries
+    /// everything needed for a digest-table-grade comparison, so the
+    /// verdict never depends on the base being present.
+    Delta {
+        /// Iteration of the base checkpoint the dirty windows apply to.
+        base_iteration: u64,
+        /// Full payload length after applying the delta.
+        payload_len: usize,
+        /// Whole-payload Fletcher-64 digest of the *reconstructed* payload.
+        digest: u64,
+        /// Complete per-chunk digest table of the reconstructed payload.
+        table: ChunkTable,
+        /// Dirty chunk windows `(chunk index, bytes)`, indices strictly
+        /// increasing; each window spans its full chunk (the last chunk
+        /// may be short).
+        dirty: Vec<(u32, bytes::Bytes)>,
+    },
 }
 
 impl Detection {
@@ -64,6 +87,24 @@ impl Detection {
             Detection::Payload(p) => p.len(),
             Detection::Digest(_) => std::mem::size_of::<u64>(),
             Detection::DigestTable { table, .. } => std::mem::size_of::<u64>() + table.wire_bytes(),
+            Detection::Delta { table, dirty, .. } => {
+                // base_iteration + payload_len + digest + dirty count, the
+                // full table, then each window's index + length + bytes.
+                8 + 8
+                    + std::mem::size_of::<u64>()
+                    + 4
+                    + table.wire_bytes()
+                    + dirty.iter().map(|(_, b)| 4 + 8 + b.len()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Payload bytes a delta record carries (0 for the other variants) —
+    /// the numerator of the delta-savings ratio.
+    pub fn delta_payload_bytes(&self) -> usize {
+        match self {
+            Detection::Delta { dirty, .. } => dirty.iter().map(|(_, b)| b.len()).sum(),
+            _ => 0,
         }
     }
 }
@@ -162,7 +203,13 @@ impl SdcDetector {
                     Divergence::whole(local.len())
                 }
             }
-            Detection::DigestTable { digest, table } => {
+            Detection::DigestTable { digest, table }
+            // A delta the node could not reconstruct (missing or mismatched
+            // base) still carries the whole digest and the full chunk
+            // table: compare at digest-table grade. The clean/corrupt
+            // verdict is identical to the byte compare — only the
+            // localization is coarser.
+            | Detection::Delta { digest, table, .. } => {
                 if local.digest == *digest {
                     return Divergence::clean();
                 }
@@ -194,14 +241,27 @@ impl SdcDetector {
         iteration: u64,
     ) -> Detection {
         let msg = self.outgoing(local);
+        self.record_ship(&msg, rec, node, iteration);
+        msg
+    }
+
+    /// Flight-recorder bookkeeping for a detection message assembled outside
+    /// [`SdcDetector::outgoing`] (the incremental-delta path builds its
+    /// own): emits the same `compare_ship` event and wire-byte counter.
+    /// Delta records are labeled distinctly so reports can separate thin
+    /// ships from full ones.
+    pub fn record_ship(&self, msg: &Detection, rec: &acr_obs::Recorder, node: u32, iteration: u64) {
         let wire = msg.wire_bytes() as u64;
+        let method = match msg {
+            Detection::Delta { .. } => "full-compare-delta".to_string(),
+            _ => self.method.name().to_string(),
+        };
         rec.emit_with(node, || acr_obs::EventKind::CompareShip {
             iteration,
             wire_bytes: wire,
-            method: self.method.name().to_string(),
+            method,
         });
         rec.inc_counter("acr_compare_wire_bytes_total", wire);
-        msg
     }
 
     /// [`SdcDetector::diverged`] plus flight-recorder bookkeeping: emits a
@@ -397,5 +457,49 @@ mod tests {
             };
             assert_eq!(msg.wire_bytes(), 8 + 12 + 8 * n_chunks);
         }
+    }
+
+    /// A delta record's detection payload for `data` against itself-with-
+    /// edits, dirty windows included.
+    fn delta_msg(data: &[u8], dirty: Vec<(u32, &[u8])>) -> Detection {
+        let c = chunked_ckpt(data);
+        Detection::Delta {
+            base_iteration: 1,
+            payload_len: data.len(),
+            digest: c.digest,
+            table: c.chunks.clone().unwrap(),
+            dirty: dirty
+                .into_iter()
+                .map(|(i, b)| (i, Bytes::copy_from_slice(b)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn delta_without_base_compares_at_digest_table_grade() {
+        let mut data = vec![3u8; 100];
+        let d = SdcDetector::new(DetectionMethod::FullCompare);
+        let msg = delta_msg(&data, vec![(0, &[9u8; 16])]);
+        // Same payload on the local side: clean, regardless of the dirty
+        // windows (they describe the sender's own evolution, not a diff
+        // against us).
+        assert!(d.diverged(&chunked_ckpt(&data), &msg).is_clean());
+        // Local divergence in chunk 2 is localized from the carried table.
+        data[40] ^= 0xFF;
+        let div = d.diverged(&chunked_ckpt(&data), &msg);
+        assert_eq!(div.ranges, vec![32..48]);
+    }
+
+    #[test]
+    fn delta_wire_bytes_count_windows_table_and_header() {
+        let data = vec![5u8; 100]; // 7 chunks of 16
+        let msg = delta_msg(&data, vec![(1, &[0u8; 16]), (6, &[0u8; 4])]);
+        let header = 8 + 8 + 8 + 4;
+        let table = 12 + 8 * 7;
+        let windows = (4 + 8 + 16) + (4 + 8 + 4);
+        assert_eq!(msg.wire_bytes(), header + table + windows);
+        assert_eq!(msg.delta_payload_bytes(), 20);
+        assert_eq!(delta_msg(&data, vec![]).delta_payload_bytes(), 0);
+        assert_eq!(Detection::Digest(1).delta_payload_bytes(), 0);
     }
 }

@@ -27,6 +27,7 @@ mod consensus;
 mod detector;
 mod heartbeat;
 mod layout;
+mod policy;
 mod recovery;
 
 pub use checkpoint::{Checkpoint, CheckpointStore, ChunkTable};
@@ -36,4 +37,5 @@ pub use consensus::{
 pub use detector::{Detection, DetectionMethod, Divergence, SdcDetector};
 pub use heartbeat::HeartbeatMonitor;
 pub use layout::{LayoutError, NodeSlot, ReplicaLayout};
+pub use policy::{chunk_ship_decision, ChunkShip, GammaBetaEstimator, RateEstimate};
 pub use recovery::{RecoveryAction, RecoveryPlan, RecoveryPlanner, Scheme};

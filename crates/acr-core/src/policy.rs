@@ -1,0 +1,226 @@
+//! The §4.2 ship-vs-checksum decision, generalized per chunk.
+//!
+//! The paper compares two ways of checking a checkpoint against the buddy:
+//! ship the payload (network time `β·n`) or ship a Fletcher checksum and
+//! compare digests (extra compute `4γ·n`); the checksum wins iff
+//! `γ < β/4`. With per-chunk digest tables the rule applies chunk by
+//! chunk: a chunk whose digest already differs from the previous round
+//! *must* ship its bytes (the buddy needs them to reconstruct), while a
+//! clean chunk may either ship anyway (when checksumming doesn't pay) or
+//! be covered by its 8-byte digest alone.
+//!
+//! γ and β are *measured*, not assumed: [`GammaBetaEstimator`] folds
+//! checksum-rate samples (from the fused pack+digest pass) and
+//! transfer-rate samples (from compare round trips) into exponential
+//! moving averages. An estimate that has not seen a transfer sample for
+//! several rounds is **stale** — recovery, reconnects, and spare
+//! promotions all interrupt the sampling — and the safe fallback for a
+//! stale estimate is the unconditional full ship.
+
+/// What to do with one chunk of the checkpoint when talking to the buddy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkShip {
+    /// Ship the chunk's bytes.
+    Bytes,
+    /// Ship only the chunk's 8-byte digest and let the buddy compare.
+    DigestCompare,
+}
+
+/// Measured cost rates, both in seconds per byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateEstimate {
+    /// Checksum compute rate γ (seconds per byte digested).
+    pub gamma: f64,
+    /// Network transfer rate β (seconds per byte shipped).
+    pub beta: f64,
+}
+
+impl RateEstimate {
+    /// The paper's §4.2 inequality: checksumming a byte beats shipping it
+    /// iff `γ < β/4`.
+    pub fn checksum_wins(&self) -> bool {
+        self.gamma < self.beta / 4.0
+    }
+}
+
+/// Per-chunk §4.2 decision: a dirty chunk always ships its bytes (the
+/// buddy cannot reconstruct without them); a clean chunk ships only when
+/// checksum-comparing would cost more than transfer (`γ ≥ β/4`). With
+/// uniform rates across chunks this degenerates to the paper's global
+/// rule: either every clean chunk is digest-compared or none is.
+pub fn chunk_ship_decision(dirty: bool, est: &RateEstimate) -> ChunkShip {
+    if dirty || !est.checksum_wins() {
+        ChunkShip::Bytes
+    } else {
+        ChunkShip::DigestCompare
+    }
+}
+
+/// Rounds without a fresh β sample after which the estimate is stale.
+const STALE_AFTER_ROUNDS: u32 = 8;
+/// EWMA weight of a new sample.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Exponential-moving-average estimator of γ and β.
+///
+/// Feed it `observe_gamma` from each fused pack (bytes digested, seconds
+/// spent) and `observe_beta` from each compare round trip (bytes shipped,
+/// seconds until the verdict); call [`GammaBetaEstimator::mark_round`]
+/// once per checkpoint round so staleness ages. [`GammaBetaEstimator::
+/// estimate`] yields `None` until both rates have at least one sample, or
+/// again once β goes `STALE_AFTER_ROUNDS` rounds unsampled — the caller
+/// must treat `None` as "full ship".
+#[derive(Debug, Clone, Default)]
+pub struct GammaBetaEstimator {
+    gamma: Option<f64>,
+    beta: Option<f64>,
+    rounds_since_beta: u32,
+}
+
+impl GammaBetaEstimator {
+    /// Fresh estimator with no samples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn fold(slot: &mut Option<f64>, sample: f64) {
+        *slot = Some(match *slot {
+            None => sample,
+            Some(prev) => prev + EWMA_ALPHA * (sample - prev),
+        });
+    }
+
+    /// Record a checksum-rate sample: `bytes` digested in `secs`.
+    /// Non-positive inputs are ignored (virtual clocks can legitimately
+    /// measure zero elapsed time; zero would make γ degenerate).
+    pub fn observe_gamma(&mut self, bytes: usize, secs: f64) {
+        if bytes > 0 && secs > 0.0 {
+            Self::fold(&mut self.gamma, secs / bytes as f64);
+        }
+    }
+
+    /// Record a transfer-rate sample: `bytes` shipped, verdict after
+    /// `secs`. Non-positive inputs are ignored.
+    pub fn observe_beta(&mut self, bytes: usize, secs: f64) {
+        if bytes > 0 && secs > 0.0 {
+            Self::fold(&mut self.beta, secs / bytes as f64);
+            self.rounds_since_beta = 0;
+        }
+    }
+
+    /// Age the estimate by one checkpoint round.
+    pub fn mark_round(&mut self) {
+        self.rounds_since_beta = self.rounds_since_beta.saturating_add(1);
+    }
+
+    /// Forget everything (recovery, reconnect, buddy change): the next
+    /// rounds full-ship until fresh samples arrive.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// The current estimate, or `None` when unsampled or stale.
+    pub fn estimate(&self) -> Option<RateEstimate> {
+        if self.rounds_since_beta > STALE_AFTER_ROUNDS {
+            return None;
+        }
+        Some(RateEstimate {
+            gamma: self.gamma?,
+            beta: self.beta?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rule_at_the_boundary() {
+        let win = RateEstimate {
+            gamma: 0.9,
+            beta: 4.0,
+        };
+        assert!(win.checksum_wins());
+        let lose = RateEstimate {
+            gamma: 1.0,
+            beta: 4.0,
+        };
+        assert!(
+            !lose.checksum_wins(),
+            "γ = β/4 exactly: shipping ties, ship"
+        );
+    }
+
+    #[test]
+    fn dirty_chunks_always_ship() {
+        let est = RateEstimate {
+            gamma: 1e-12,
+            beta: 1.0,
+        };
+        assert_eq!(chunk_ship_decision(true, &est), ChunkShip::Bytes);
+        assert_eq!(chunk_ship_decision(false, &est), ChunkShip::DigestCompare);
+    }
+
+    #[test]
+    fn slow_checksum_degenerates_to_full_ship() {
+        // γ ≥ β/4: even clean chunks ship — the global §4.2 rule.
+        let est = RateEstimate {
+            gamma: 1.0,
+            beta: 1.0,
+        };
+        assert_eq!(chunk_ship_decision(false, &est), ChunkShip::Bytes);
+        assert_eq!(chunk_ship_decision(true, &est), ChunkShip::Bytes);
+    }
+
+    #[test]
+    fn estimator_needs_both_rates() {
+        let mut e = GammaBetaEstimator::new();
+        assert!(e.estimate().is_none());
+        e.observe_gamma(1_000_000, 0.001);
+        assert!(e.estimate().is_none(), "β unsampled");
+        e.observe_beta(1_000_000, 0.1);
+        let est = e.estimate().unwrap();
+        assert!((est.gamma - 1e-9).abs() < 1e-15);
+        assert!((est.beta - 1e-7).abs() < 1e-13);
+        assert!(est.checksum_wins());
+    }
+
+    #[test]
+    fn estimator_ewma_tracks_new_samples() {
+        let mut e = GammaBetaEstimator::new();
+        e.observe_gamma(1000, 1.0); // 1e-3 s/B
+        e.observe_gamma(1000, 2.0); // sample 2e-3
+        let g = e.gamma.unwrap();
+        assert!((g - (1e-3 + 0.3 * 1e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_and_negative_samples_are_ignored() {
+        let mut e = GammaBetaEstimator::new();
+        e.observe_gamma(0, 1.0);
+        e.observe_gamma(100, 0.0);
+        e.observe_beta(100, -1.0);
+        assert!(e.gamma.is_none());
+        assert!(e.beta.is_none());
+    }
+
+    #[test]
+    fn estimate_goes_stale_without_beta_samples() {
+        let mut e = GammaBetaEstimator::new();
+        e.observe_gamma(1000, 0.001);
+        e.observe_beta(1000, 0.1);
+        for _ in 0..STALE_AFTER_ROUNDS {
+            e.mark_round();
+        }
+        assert!(e.estimate().is_some(), "exactly at the limit: still fresh");
+        e.mark_round();
+        assert!(e.estimate().is_none(), "past the limit: stale");
+        // A new β sample revives it.
+        e.observe_beta(1000, 0.1);
+        assert!(e.estimate().is_some());
+        // Reset forgets everything.
+        e.reset();
+        assert!(e.estimate().is_none());
+    }
+}

@@ -275,6 +275,13 @@ pub enum EventKind {
         /// What `bytes_sent` would have been as one plain frame per
         /// message — the unbatched baseline batching is measured against.
         plain_bytes: u64,
+        /// Full-payload bytes the link's delta compare records stood in
+        /// for (what a full ship would have cost).
+        delta_raw_bytes: u64,
+        /// Body bytes those delta records actually occupied.
+        delta_shipped_bytes: u64,
+        /// Dirty chunk windows carried across all delta records.
+        chunks_dirty: u64,
         /// Negotiated ship codec for this link ("none"/"rle"/"lz").
         codec: String,
     },
@@ -446,6 +453,9 @@ impl EventKind {
                 ship_wire_bytes,
                 batch_flushes,
                 plain_bytes,
+                delta_raw_bytes,
+                delta_shipped_bytes,
+                chunks_dirty,
                 codec,
             } => {
                 push_raw(out, "frames_sent", frames_sent);
@@ -456,6 +466,9 @@ impl EventKind {
                 push_raw(out, "ship_wire_bytes", ship_wire_bytes);
                 push_raw(out, "batch_flushes", batch_flushes);
                 push_raw(out, "plain_bytes", plain_bytes);
+                push_raw(out, "delta_raw_bytes", delta_raw_bytes);
+                push_raw(out, "delta_shipped_bytes", delta_shipped_bytes);
+                push_raw(out, "chunks_dirty", chunks_dirty);
                 push_str(out, "codec", codec);
             }
             EventKind::BatchFlush {
@@ -572,6 +585,10 @@ impl EventKind {
                 ship_wire_bytes: f.num("ship_wire_bytes").unwrap_or(0),
                 batch_flushes: f.num("batch_flushes").unwrap_or(0),
                 plain_bytes: f.num("plain_bytes").unwrap_or(0),
+                // Delta fields likewise default for pre-delta logs.
+                delta_raw_bytes: f.num("delta_raw_bytes").unwrap_or(0),
+                delta_shipped_bytes: f.num("delta_shipped_bytes").unwrap_or(0),
+                chunks_dirty: f.num("chunks_dirty").unwrap_or(0),
                 codec: f.str("codec").unwrap_or("none").to_string(),
             },
             "batch_flush" => EventKind::BatchFlush {
@@ -760,6 +777,9 @@ mod tests {
             ship_wire_bytes: 20480,
             batch_flushes: 97,
             plain_bytes: 91022,
+            delta_raw_bytes: 40960,
+            delta_shipped_bytes: 8192,
+            chunks_dirty: 13,
             codec: "lz".into(),
         });
         roundtrip(EventKind::BatchFlush {

@@ -64,6 +64,20 @@ pub struct Breakdown {
     /// What the sent traffic would have cost unbatched (one plain frame
     /// per message) — the baseline for the batching non-regression gate.
     pub wire_plain_bytes: u64,
+    /// Full-payload bytes the delta compare records stood in for (what
+    /// those compares would have shipped without incremental checkpoints).
+    pub wire_delta_raw_bytes: u64,
+    /// Body bytes the delta compare records actually occupied.
+    pub wire_delta_shipped_bytes: u64,
+    /// Dirty chunk windows carried across all delta compare records.
+    pub wire_chunks_dirty: u64,
+}
+
+/// Round to 6 decimals: phase timings in `BENCH_overhead.json` carry
+/// sub-microsecond float noise between otherwise identical runs, which
+/// made baseline diffs churn on every regeneration.
+fn round6(v: f64) -> f64 {
+    (v * 1e6).round() / 1e6
 }
 
 impl Breakdown {
@@ -128,6 +142,9 @@ impl Breakdown {
                     ship_wire_bytes,
                     batch_flushes,
                     plain_bytes,
+                    delta_raw_bytes,
+                    delta_shipped_bytes,
+                    chunks_dirty,
                     ..
                 } => {
                     b.wire_frames += frames_sent + frames_recv;
@@ -139,6 +156,9 @@ impl Breakdown {
                     b.wire_ship_wire_bytes += ship_wire_bytes;
                     b.wire_batch_flushes += batch_flushes;
                     b.wire_plain_bytes += plain_bytes;
+                    b.wire_delta_raw_bytes += delta_raw_bytes;
+                    b.wire_delta_shipped_bytes += delta_shipped_bytes;
+                    b.wire_chunks_dirty += chunks_dirty;
                 }
                 EventKind::RoundStart { .. } => b.rounds += 1,
                 EventKind::RoundVerdict { clean: true, .. } => b.verified_rounds += 1,
@@ -166,6 +186,9 @@ impl Breakdown {
                 ship_wire_bytes,
                 batch_flushes,
                 plain_bytes,
+                delta_raw_bytes,
+                delta_shipped_bytes,
+                chunks_dirty,
                 ..
             } = &ev.kind
             {
@@ -175,6 +198,9 @@ impl Breakdown {
                 b.wire_ship_wire_bytes += ship_wire_bytes;
                 b.wire_batch_flushes += batch_flushes;
                 b.wire_plain_bytes += plain_bytes;
+                b.wire_delta_raw_bytes += delta_raw_bytes;
+                b.wire_delta_shipped_bytes += delta_shipped_bytes;
+                b.wire_chunks_dirty += chunks_dirty;
             }
         }
         b
@@ -190,18 +216,35 @@ impl Breakdown {
         }
     }
 
+    /// Fraction of full-ship bytes the delta compares avoided:
+    /// `1 - shipped/raw`, or 0 when no delta records were sent.
+    pub fn delta_savings_fraction(&self) -> f64 {
+        if self.wire_delta_raw_bytes > 0 {
+            1.0 - self.wire_delta_shipped_bytes as f64 / self.wire_delta_raw_bytes as f64
+        } else {
+            0.0
+        }
+    }
+
     /// Serialize as a single-line JSON object (for `BENCH_overhead.json`).
+    /// Phase timings are rounded to microsecond precision — enough for any
+    /// overhead comparison, and it stops float noise from churning the
+    /// checked-in baseline on every regeneration.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         push_str(&mut out, "scheme", &self.scheme);
         push_str(&mut out, "detection", &self.detection);
         push_raw(&mut out, "completed", self.completed);
-        push_raw(&mut out, "total_s", self.total);
-        push_raw(&mut out, "forward_s", self.forward);
-        push_raw(&mut out, "checkpoint_s", self.checkpoint);
-        push_raw(&mut out, "compare_s", self.compare);
-        push_raw(&mut out, "recovery_s", self.recovery);
-        push_raw(&mut out, "overhead_fraction", self.overhead_fraction());
+        push_raw(&mut out, "total_s", round6(self.total));
+        push_raw(&mut out, "forward_s", round6(self.forward));
+        push_raw(&mut out, "checkpoint_s", round6(self.checkpoint));
+        push_raw(&mut out, "compare_s", round6(self.compare));
+        push_raw(&mut out, "recovery_s", round6(self.recovery));
+        push_raw(
+            &mut out,
+            "overhead_fraction",
+            round6(self.overhead_fraction()),
+        );
         push_raw(&mut out, "rounds", self.rounds);
         push_raw(&mut out, "verified_rounds", self.verified_rounds);
         push_raw(&mut out, "recoveries", self.recoveries);
@@ -216,6 +259,13 @@ impl Breakdown {
         push_raw(&mut out, "wire_ship_wire_bytes", self.wire_ship_wire_bytes);
         push_raw(&mut out, "wire_batch_flushes", self.wire_batch_flushes);
         push_raw(&mut out, "wire_plain_bytes", self.wire_plain_bytes);
+        push_raw(&mut out, "wire_delta_raw_bytes", self.wire_delta_raw_bytes);
+        push_raw(
+            &mut out,
+            "wire_delta_shipped_bytes",
+            self.wire_delta_shipped_bytes,
+        );
+        push_raw(&mut out, "wire_chunks_dirty", self.wire_chunks_dirty);
         out.pop();
         out.push('}');
         out
@@ -250,6 +300,9 @@ impl Breakdown {
             wire_ship_wire_bytes: f.num("wire_ship_wire_bytes").unwrap_or(0),
             wire_batch_flushes: f.num("wire_batch_flushes").unwrap_or(0),
             wire_plain_bytes: f.num("wire_plain_bytes").unwrap_or(0),
+            wire_delta_raw_bytes: f.num("wire_delta_raw_bytes").unwrap_or(0),
+            wire_delta_shipped_bytes: f.num("wire_delta_shipped_bytes").unwrap_or(0),
+            wire_chunks_dirty: f.num("wire_chunks_dirty").unwrap_or(0),
         })
     }
 }
@@ -442,9 +495,30 @@ mod tests {
             wire_ship_wire_bytes: 20480,
             wire_batch_flushes: 97,
             wire_plain_bytes: 91022,
+            wire_delta_raw_bytes: 40960,
+            wire_delta_shipped_bytes: 10240,
+            wire_chunks_dirty: 21,
         };
         let parsed = Breakdown::from_json(&b.to_json()).unwrap();
         assert_eq!(parsed, b);
+        assert!((b.delta_savings_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    /// Phase timings serialize at microsecond precision: sub-µs noise must
+    /// not survive a JSON round trip (it churned baseline diffs).
+    #[test]
+    fn json_rounds_phase_timings_to_six_decimals() {
+        let b = Breakdown {
+            scheme: "strong".into(),
+            total: 1.000000123456,
+            forward: 0.9999994,
+            checkpoint: 1e-9,
+            ..Breakdown::default()
+        };
+        let parsed = Breakdown::from_json(&b.to_json()).unwrap();
+        assert_eq!(parsed.total, 1.0);
+        assert_eq!(parsed.forward, 0.999999);
+        assert_eq!(parsed.checkpoint, 0.0);
     }
 
     #[test]
@@ -509,6 +583,9 @@ mod tests {
                     ship_wire_bytes: 1200,
                     batch_flushes: 12,
                     plain_bytes: 5600,
+                    delta_raw_bytes: 2000,
+                    delta_shipped_bytes: 500,
+                    chunks_dirty: 4,
                     codec: "lz".into(),
                 },
             ),
@@ -523,5 +600,9 @@ mod tests {
         assert_eq!(b.wire_ship_wire_bytes, 1200);
         assert_eq!(b.wire_batch_flushes, 12);
         assert_eq!(b.wire_plain_bytes, 5600);
+        assert_eq!(b.wire_delta_raw_bytes, 2000);
+        assert_eq!(b.wire_delta_shipped_bytes, 500);
+        assert_eq!(b.wire_chunks_dirty, 4);
+        assert!((b.delta_savings_fraction() - 0.75).abs() < 1e-12);
     }
 }

@@ -56,6 +56,7 @@
 mod api;
 mod checker;
 mod chunked;
+mod delta;
 mod error;
 mod fletcher;
 mod impls;
@@ -74,6 +75,7 @@ pub use chunked::{
     assemble_chunks, chunk_digests, record_pack, ChunkDigester, ChunkPiece, ChunkedDigest,
     DigestingPacker, SlicePacker, DEFAULT_CHUNK_SIZE,
 };
+pub use delta::{apply_delta, chunk_span, diff_tables, extract_delta, DeltaPlan};
 pub use error::{PupError, PupResult};
 pub use fletcher::{fletcher64, Fletcher64, FletcherPuper};
 pub use impls::{pup_btree_map, pup_vec};

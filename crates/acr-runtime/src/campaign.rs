@@ -72,6 +72,12 @@ pub struct CampaignConfig {
     /// the same scripts over framed localhost sockets under real threads
     /// (wall clock, heartbeat margins widened, determinism check skipped).
     pub transport: TransportKind,
+    /// Run every case with incremental delta checkpoints enabled (small
+    /// chunk size so the per-chunk machinery actually runs). The scripted
+    /// faults then double as a soak of the delta reset/fallback paths:
+    /// every rollback, spare promotion, and reconnect lands mid-chain and
+    /// must recover through the deterministic full-ship fallback.
+    pub delta_checkpoints: bool,
 }
 
 impl Default for CampaignConfig {
@@ -93,6 +99,7 @@ impl Default for CampaignConfig {
             repro_dir: None,
             timeline_events: 40,
             transport: TransportKind::InProcess,
+            delta_checkpoints: false,
         }
     }
 }
@@ -115,13 +122,16 @@ impl CampaignConfig {
         } else {
             (Duration::from_millis(5), Duration::from_millis(40))
         };
-        JobConfig::builder()
+        let mut b = JobConfig::builder()
             .ranks(self.ranks)
             .tasks_per_rank(1)
             .spares(self.spares)
             .scheme(scheme)
-            .detection(detection)
-            .checkpoint_interval(self.checkpoint_interval)
+            .detection(detection);
+        if self.delta_checkpoints {
+            b = b.chunk_size(256).delta_checkpoints(true);
+        }
+        b.checkpoint_interval(self.checkpoint_interval)
             .heartbeat_period(hb_period)
             .heartbeat_timeout(hb_timeout)
             // Virtual seconds; generous so only genuine hangs trip it.
@@ -463,6 +473,7 @@ pub fn repro_artifact(
         "checkpoint_interval_ms={}\n",
         cfg.checkpoint_interval.as_millis()
     ));
+    s.push_str(&format!("delta={}\n", cfg.delta_checkpoints as u8));
     s.push_str("script:\n");
     s.push_str(&script.to_repro());
     s

@@ -59,6 +59,18 @@ pub struct JobConfig {
     pub heartbeat_period: Duration,
     /// Silence after which a buddy is declared dead (§6.1).
     pub heartbeat_timeout: Duration,
+    /// Ship incremental delta checkpoints on the buddy-compare path:
+    /// between full-checkpoint anchors, only chunks whose digests changed
+    /// since the previous round travel, and clean chunks are covered by
+    /// their digest table. Only effective with
+    /// [`DetectionMethod::FullCompare`] (the checksum methods already ship
+    /// a few bytes per round); correctness never depends on it — any base
+    /// mismatch falls back to a full ship.
+    pub delta_checkpoints: bool,
+    /// Rounds between full-checkpoint anchors when `delta_checkpoints` is
+    /// on: every K-th compare ships the whole payload so a corrupted or
+    /// lost base can never persist. Must be ≥ 1 when deltas are enabled.
+    pub delta_anchor_interval: u32,
     /// Job-clock safety limit; exceeding it fails the job. Wall seconds in
     /// threaded mode, virtual seconds under [`ExecMode::Virtual`].
     pub max_duration: Duration,
@@ -84,6 +96,8 @@ impl Default for JobConfig {
             checkpoint_interval: Duration::from_millis(150),
             heartbeat_period: Duration::from_millis(10),
             heartbeat_timeout: Duration::from_millis(80),
+            delta_checkpoints: false,
+            delta_anchor_interval: 16,
             max_duration: Duration::from_secs(60),
             obs: ObsConfig::default(),
             transport: TransportKind::InProcess,
@@ -115,6 +129,9 @@ impl JobConfig {
             return Err(ConfigError::BadChunkSize {
                 got: self.chunk_size,
             });
+        }
+        if self.delta_checkpoints && self.delta_anchor_interval == 0 {
+            return Err(ConfigError::BadDeltaAnchor);
         }
         if self.heartbeat_period.is_zero() || self.heartbeat_timeout <= self.heartbeat_period {
             return Err(ConfigError::BadHeartbeat {
@@ -169,6 +186,10 @@ pub enum ConfigError {
         /// Underlying layout error.
         reason: String,
     },
+    /// `delta_anchor_interval` must be ≥ 1 when `delta_checkpoints` is
+    /// enabled — an interval of 0 would never ship a full anchor and a
+    /// lost base could stall delta shipping forever.
+    BadDeltaAnchor,
     /// The TCP transport needs wall-clock threads;
     /// [`ExecMode::Virtual`] runs are in-process by construction.
     TcpRequiresThreaded,
@@ -197,6 +218,12 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "cannot lay out {total} nodes with {spares} spares as two replicas: {reason}"
             ),
+            ConfigError::BadDeltaAnchor => {
+                write!(
+                    f,
+                    "delta_anchor_interval must be >= 1 when delta_checkpoints is enabled"
+                )
+            }
             ConfigError::TcpRequiresThreaded => {
                 write!(f, "the TCP transport requires ExecMode::Threaded")
             }
@@ -283,6 +310,19 @@ impl JobConfigBuilder {
     /// Silence after which a buddy is declared dead.
     pub fn heartbeat_timeout(mut self, timeout: Duration) -> Self {
         self.cfg.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Enable incremental delta checkpoints on the buddy-compare path.
+    pub fn delta_checkpoints(mut self, on: bool) -> Self {
+        self.cfg.delta_checkpoints = on;
+        self
+    }
+
+    /// Rounds between full-checkpoint anchors under delta shipping (must
+    /// end up ≥ 1 when deltas are enabled).
+    pub fn delta_anchor_interval(mut self, rounds: u32) -> Self {
+        self.cfg.delta_anchor_interval = rounds;
         self
     }
 
@@ -529,9 +569,6 @@ enum LoopCtl {
 ///     .run(factory);
 /// assert!(report.completed);
 /// ```
-///
-/// The pre-builder entry points ([`Job::run`], [`Job::run_scripted`])
-/// remain as deprecated shims for one release.
 pub struct Job;
 
 /// A configured job, ready to run: holds the validated [`JobConfig`],
@@ -660,38 +697,6 @@ impl Job {
             mode: ExecMode::Threaded,
         }
     }
-
-    /// Run a job to completion on threads with wall-clock-offset faults.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Job::new(cfg).with_timed_faults(faults).run(factory)"
-    )]
-    pub fn run<F>(cfg: JobConfig, factory: F, faults: Vec<(Duration, Fault)>) -> JobReport
-    where
-        F: Fn(usize, usize) -> Box<dyn Task> + Send + Sync + 'static,
-    {
-        Job::new(cfg).with_timed_faults(faults).run(factory)
-    }
-
-    /// Run a job under a [`FaultScript`], in either execution mode.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Job::new(cfg).with_faults(script).mode(mode).run(factory)"
-    )]
-    pub fn run_scripted<F>(
-        cfg: JobConfig,
-        factory: F,
-        script: &FaultScript,
-        mode: ExecMode,
-    ) -> JobReport
-    where
-        F: Fn(usize, usize) -> Box<dyn Task> + Send + Sync + 'static,
-    {
-        Job::new(cfg)
-            .with_faults(script.clone())
-            .mode(mode)
-            .run(factory)
-    }
 }
 
 /// The one true job entry point ([`JobBuilder::run`] delegates here):
@@ -748,6 +753,8 @@ where
                 chunk_size: cfg.chunk_size,
                 heartbeat_period: cfg.heartbeat_period,
                 heartbeat_timeout: cfg.heartbeat_timeout,
+                delta_checkpoints: cfg.delta_checkpoints,
+                delta_anchor_interval: cfg.delta_anchor_interval,
                 private_layout: false,
             };
             let identity = layout.read().locate(index);

@@ -6,13 +6,14 @@ use std::time::Duration;
 
 use acr_core::{
     Checkpoint, CheckpointStore, ChunkTable, ConsensusAction, ConsensusEngine, ConsensusMsg,
-    ConsensusObserver, Detection, DetectionMethod, HeartbeatMonitor, ReplicaLayout, SdcDetector,
+    ConsensusObserver, Detection, DetectionMethod, GammaBetaEstimator, HeartbeatMonitor,
+    ReplicaLayout, SdcDetector,
 };
 use acr_fault::SdcInjector;
 use acr_obs::{debug_trace, EventKind, ObsScope, Recorder};
 use acr_pup::{
-    assemble_chunks, record_pack, Checker, ChunkPiece, ChunkedDigest, Packer, Puper, Sizer,
-    SlicePacker, Unpacker,
+    apply_delta, assemble_chunks, chunk_span, diff_tables, fletcher64, record_pack, Checker,
+    ChunkPiece, ChunkedDigest, Packer, Puper, Sizer, SlicePacker, Unpacker,
 };
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
@@ -142,10 +143,48 @@ pub(crate) struct NodeConfig {
     pub chunk_size: usize,
     pub heartbeat_period: Duration,
     pub heartbeat_timeout: Duration,
+    /// Ship only dirty chunk windows on the buddy-compare path (the §4.2
+    /// decision applied per chunk), with periodic full-payload anchors.
+    pub delta_checkpoints: bool,
+    /// Compares between full-payload anchors when deltas are on.
+    pub delta_anchor_interval: u32,
     /// This node keeps its own copy of the replica layout (remote node
     /// hosts over TCP) rather than sharing the driver's: spare promotions
     /// arrive as `Ctrl::LayoutChanged` and must be applied locally.
     pub private_layout: bool,
+}
+
+/// γ-sample floor: the virtual clock legitimately measures zero seconds for
+/// an in-pump pack; flooring the sample keeps the estimator deterministically
+/// fed (and a pack too fast to time is exactly when checksumming wins).
+const MIN_GAMMA_SECS: f64 = 1e-9;
+
+/// Sender-side record of the last comparison this node shipped — the base
+/// the buddy is expected to hold when the next delta record arrives.
+struct PrevShip {
+    iteration: u64,
+    payload_len: usize,
+    chunk_digests: Vec<u64>,
+}
+
+/// Incremental-checkpoint state. The sender half (previous chunk table,
+/// anchor cadence, γ/β estimator) is live on replica 0; the receiver half
+/// (retained base payload) on replica 1. Every protocol disruption clears
+/// the whole thing — correctness never depends on this state, only wire
+/// savings do: a delta record always carries the full digest and chunk
+/// table, so a buddy without the base still reaches the same verdict.
+#[derive(Default)]
+struct DeltaState {
+    prev: Option<PrevShip>,
+    /// Compares since the last full-payload ship.
+    rounds_since_anchor: u32,
+    estimator: GammaBetaEstimator,
+    /// `(iteration, sent_at, wire_bytes)` of the in-flight compare ship,
+    /// closed into a β sample by its `CompareResult`.
+    ship_in_flight: Option<(u64, f64, usize)>,
+    /// Receiver side: the buddy payload from the last compare processed,
+    /// keyed by its iteration — what the next delta overlays onto.
+    base: Option<(u64, Bytes)>,
 }
 
 pub(crate) struct NodeWorker {
@@ -176,6 +215,8 @@ pub(crate) struct NodeWorker {
     scheduled_faults: Vec<(u64, NodeFault)>,
     /// Round floor for freshly built engines.
     floor: u64,
+    /// Incremental-checkpoint continuity (see [`DeltaState`]).
+    delta: DeltaState,
     /// Iteration of the in-flight checkpoint, per scope, so stale compare
     /// traffic can be recognized.
     pending_remote: Option<(u64, Detection)>,
@@ -231,6 +272,7 @@ impl NodeWorker {
             hb_muted_until: 0.0,
             scheduled_faults: Vec::new(),
             floor: 0,
+            delta: DeltaState::default(),
             pending_remote: None,
             awaiting_verdict: None,
             outbox: Vec::new(),
@@ -398,7 +440,11 @@ impl NodeWorker {
     fn take_checkpoint(&mut self, scope: Scope, round: u64, iteration: u64) {
         self.drain_app_messages();
         let pack_started = std::time::Instant::now();
+        let pack_clock_started = self.now();
         let (payload, chunked) = self.pack_tasks();
+        // γ is measured on the job clock (deterministically zero under the
+        // virtual executor, floored below) so ship decisions replay exactly.
+        let pack_clock_secs = self.now() - pack_clock_started;
         // Deterministic pack facts go into the event log; the wall-clock
         // latency goes only into the histogram (it would break virtual-mode
         // log determinism).
@@ -415,13 +461,13 @@ impl NodeWorker {
             self.tasks.iter().map(|t| t.progress()).collect::<Vec<_>>());
         let table = ChunkTable {
             chunk_size: chunked.chunk_size as u32,
-            digests: chunked.chunk_digests,
+            digests: chunked.chunk_digests.clone(),
         };
         self.store.store_tentative(Checkpoint::with_chunks(
             iteration,
-            payload,
+            payload.clone(),
             chunked.digest,
-            table,
+            table.clone(),
         ));
         match scope {
             Scope::Global => {
@@ -430,13 +476,25 @@ impl NodeWorker {
                 if replica == 0 {
                     // Ship content (or digest) for comparison (§2.1: "the
                     // remote checkpoint is sent to replica 2 only for SDC
-                    // detection purposes").
-                    let detection = self.detector.outgoing_recorded(
-                        self.store.tentative().expect("just stored"),
+                    // detection purposes"). With delta checkpoints on, this
+                    // may thin to the dirty chunk windows only.
+                    let detection = self.plan_compare_ship(
+                        iteration,
+                        &payload,
+                        &chunked,
+                        &table,
+                        pack_clock_secs,
+                    );
+                    self.detector.record_ship(
+                        &detection,
                         &self.rec,
                         self.cfg.index as u32,
                         iteration,
                     );
+                    if self.delta_enabled() {
+                        self.delta.ship_in_flight =
+                            Some((iteration, self.now(), detection.wire_bytes()));
+                    }
                     self.awaiting_verdict = Some((round, iteration));
                     self.send(
                         buddy,
@@ -467,19 +525,177 @@ impl NodeWorker {
         }
     }
 
+    /// Delta shipping applies only to FullCompare comparisons — the other
+    /// methods never ship payload bytes, so there is nothing to thin.
+    fn delta_enabled(&self) -> bool {
+        self.cfg.delta_checkpoints && self.cfg.detection == DetectionMethod::FullCompare
+    }
+
+    /// Forget all incremental-checkpoint continuity. Every disruption that
+    /// can desynchronize the sender's idea of the buddy's base from what the
+    /// buddy actually holds lands here; the next compare full-ships (a fresh
+    /// anchor) and the chain restarts.
+    fn reset_delta_state(&mut self) {
+        self.delta = DeltaState::default();
+    }
+
+    /// Decide what the replica-0 node ships for comparison this round: the
+    /// detector's full message, or — when deltas are enabled, the anchor is
+    /// not due, the previous round's table is available, and a fresh γ/β
+    /// estimate says checksumming clean chunks beats shipping them — an
+    /// incremental record carrying only the dirty chunk windows.
+    fn plan_compare_ship(
+        &mut self,
+        iteration: u64,
+        payload: &Bytes,
+        chunked: &ChunkedDigest,
+        table: &ChunkTable,
+        pack_secs: f64,
+    ) -> Detection {
+        if !self.delta_enabled() {
+            return self
+                .detector
+                .outgoing(self.store.tentative().expect("just stored"));
+        }
+        self.delta
+            .estimator
+            .observe_gamma(payload.len(), pack_secs.max(MIN_GAMMA_SECS));
+        self.delta.estimator.mark_round();
+        let detection = self.build_delta(payload, chunked, table);
+        let anchored = !matches!(detection, Detection::Delta { .. });
+        // This round's table is what the next round diffs against, and its
+        // payload is the base the buddy will retain after comparing.
+        self.delta.prev = Some(PrevShip {
+            iteration,
+            payload_len: payload.len(),
+            chunk_digests: table.digests.clone(),
+        });
+        self.delta.rounds_since_anchor = if anchored {
+            0
+        } else {
+            self.delta.rounds_since_anchor + 1
+        };
+        detection
+    }
+
+    /// The delta record for this round, or the full payload when any
+    /// eligibility condition fails (§4.2 fallbacks are always full ships).
+    fn build_delta(
+        &self,
+        payload: &Bytes,
+        chunked: &ChunkedDigest,
+        table: &ChunkTable,
+    ) -> Detection {
+        let full = || Detection::Payload(payload.clone());
+        let Some(prev) = &self.delta.prev else {
+            return full(); // first compare of a chain: anchor
+        };
+        if self.delta.rounds_since_anchor + 1 >= self.cfg.delta_anchor_interval {
+            return full(); // periodic anchor bounds fallback chains
+        }
+        if prev.payload_len != payload.len() {
+            return full(); // repacked size changed: base is incompatible
+        }
+        // Per-chunk §4.2 rule: covering clean chunks by digest only pays
+        // when γ < β/4; a stale or unsampled estimate full-ships.
+        match self.delta.estimator.estimate() {
+            Some(est) if est.checksum_wins() => {}
+            _ => return full(),
+        }
+        let Some(plan) = diff_tables(&prev.chunk_digests, chunked, payload.len()) else {
+            return full();
+        };
+        if plan.is_full() {
+            return full(); // everything moved: the delta would be a copy
+        }
+        let dirty: Vec<(u32, Bytes)> = plan
+            .dirty
+            .iter()
+            .map(|&index| {
+                (
+                    index,
+                    payload.slice(chunk_span(plan.chunk_size, plan.payload_len, index)),
+                )
+            })
+            .collect();
+        let delta = Detection::Delta {
+            base_iteration: prev.iteration,
+            payload_len: payload.len(),
+            digest: chunked.digest,
+            table: table.clone(),
+            dirty,
+        };
+        // The record carries the full chunk table; for very dirty rounds
+        // that overhead can exceed the payload itself.
+        if delta.wire_bytes() >= payload.len() {
+            return full();
+        }
+        delta
+    }
+
+    /// Resolve a buddy detection message into the form the comparison runs
+    /// on. A delta record is overlaid onto the retained base and verified
+    /// against its whole-payload digest; success yields a byte-exact
+    /// [`Detection::Payload`], so comparison and the field-level re-check
+    /// behave exactly as under a full ship. Failure (base missing or
+    /// mismatched, overlay rejected, digest wrong) falls back to the
+    /// record's own digest-table-grade comparison — same verdict, coarser
+    /// localization — and drops the base. Full payloads are retained as the
+    /// next round's base.
+    fn resolve_incoming(&mut self, iteration: u64, detection: Detection) -> Detection {
+        if !self.delta_enabled() {
+            return detection;
+        }
+        match &detection {
+            Detection::Payload(p) => {
+                self.delta.base = Some((iteration, p.clone()));
+                detection
+            }
+            Detection::Delta {
+                base_iteration,
+                payload_len,
+                digest,
+                table,
+                dirty,
+            } => {
+                if let Some((base_iter, base)) = self.delta.base.take() {
+                    if base_iter == *base_iteration && base.len() == *payload_len {
+                        let windows: Vec<(u32, &[u8])> =
+                            dirty.iter().map(|(i, w)| (*i, w.as_ref())).collect();
+                        if let Some(rebuilt) =
+                            apply_delta(&base, table.chunk_size as usize, *payload_len, &windows)
+                        {
+                            if fletcher64(&rebuilt) == *digest {
+                                let payload = Bytes::from(rebuilt);
+                                self.delta.base = Some((iteration, payload.clone()));
+                                return Detection::Payload(payload);
+                            }
+                        }
+                    }
+                }
+                self.delta.base = None;
+                self.rec.inc_counter("acr_delta_fallback_total", 1);
+                detection
+            }
+            _ => detection,
+        }
+    }
+
     /// Replica-1 side: compare once both the local tentative checkpoint and
     /// the buddy's detection message are present.
     fn try_compare(&mut self, round: u64) {
-        let Some(tentative) = self.store.tentative() else {
+        let Some(tentative_iter) = self.store.tentative().map(|t| t.iteration) else {
             return;
         };
         let Some((iteration, _)) = self.pending_remote else {
             return;
         };
-        if iteration != tentative.iteration {
+        if iteration != tentative_iter {
             return; // stale traffic from an aborted round
         }
         let (_, detection) = self.pending_remote.take().expect("checked above");
+        let detection = self.resolve_incoming(iteration, detection);
+        let tentative = self.store.tentative().expect("checked above");
         // Promotion is deferred to the driver's RoundComplete: a mismatch
         // *anywhere* invalidates the whole round, so locally-clean pairs
         // must not advance their rollback target ahead of the others.
@@ -567,12 +783,14 @@ impl NodeWorker {
             Ctrl::AbortRound { floor } => {
                 self.awaiting_verdict = None;
                 self.pending_remote = None;
+                self.reset_delta_state();
                 self.rebuild_engines(floor);
             }
             Ctrl::Rollback { floor } => {
                 self.store.discard_tentative();
                 self.pending_remote = None;
                 self.awaiting_verdict = None;
+                self.reset_delta_state();
                 if let Some(ckpt) = self.store.rollback_target() {
                     let payload = ckpt.payload.clone();
                     self.unpack_tasks(&payload);
@@ -623,6 +841,7 @@ impl NodeWorker {
                 let now = self.now();
                 self.monitor.watch(buddy, now);
                 self.store = CheckpointStore::new();
+                self.reset_delta_state();
                 self.rebuild_engines(floor);
                 self.enter_epoch(floor);
                 self.parked = true; // driver resumes explicitly
@@ -634,6 +853,8 @@ impl NodeWorker {
                 self.buddy = Some(buddy);
                 let now = self.now();
                 self.monitor.watch(buddy, now);
+                // The new buddy holds no base from us (nor we from it).
+                self.reset_delta_state();
             }
             Ctrl::RoundComplete => {
                 // The driver saw a clean verdict from every buddy pair: the
@@ -653,6 +874,7 @@ impl NodeWorker {
             Ctrl::Resume { floor } => {
                 self.enter_epoch(floor);
                 self.parked = false;
+                self.reset_delta_state();
                 self.rebuild_engines(floor);
             }
             Ctrl::HardRestart { floor } => {
@@ -662,6 +884,7 @@ impl NodeWorker {
                 self.store = CheckpointStore::new();
                 self.pending_remote = None;
                 self.awaiting_verdict = None;
+                self.reset_delta_state();
                 if let Some((_, rank)) = self.identity {
                     self.tasks = (0..self.cfg.tasks_per_rank)
                         .map(|t| (self.factory)(rank, t))
@@ -1029,6 +1252,16 @@ impl NodeWorker {
                 }
             }
             Net::CompareResult { iteration, clean } => {
+                // β sample: bytes shipped for this compare, seconds until
+                // the verdict came back (deterministic under the virtual
+                // clock — pumps advance it between send and receipt).
+                if let Some((it, sent_at, bytes)) = self.delta.ship_in_flight {
+                    if it == iteration {
+                        self.delta.ship_in_flight = None;
+                        let rtt = self.now() - sent_at;
+                        self.delta.estimator.observe_beta(bytes, rtt);
+                    }
+                }
                 if let Some((round, it)) = self.awaiting_verdict {
                     if it == iteration {
                         self.awaiting_verdict = None;
@@ -1044,6 +1277,9 @@ impl NodeWorker {
             Net::Install { checkpoint } => {
                 let iteration = checkpoint.iteration;
                 let payload = checkpoint.payload.clone();
+                // A wholesale install is a recovery path: any delta chain
+                // spanning it is meaningless on both sides.
+                self.reset_delta_state();
                 self.store.install_verified(checkpoint);
                 self.unpack_tasks(&payload);
                 self.rebuild_engines(self.floor);

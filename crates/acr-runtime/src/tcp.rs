@@ -120,6 +120,13 @@ struct WireStats {
     ship_wire_bytes: u64,
     batch_flushes: u64,
     plain_bytes: u64,
+    /// Full-payload bytes each delta compare record stood in for (the
+    /// denominator of the delta-savings ratio).
+    delta_raw_bytes: u64,
+    /// Actual body bytes of delta compare records (the numerator).
+    delta_shipped_bytes: u64,
+    /// Dirty chunk windows carried across all delta compare records.
+    chunks_dirty: u64,
 }
 
 impl WireStats {
@@ -128,6 +135,9 @@ impl WireStats {
         let (frames_recv, bytes_recv) = (self.frames_recv, self.bytes_recv);
         let (ship_raw_bytes, ship_wire_bytes) = (self.ship_raw_bytes, self.ship_wire_bytes);
         let (batch_flushes, plain_bytes) = (self.batch_flushes, self.plain_bytes);
+        let (delta_raw_bytes, delta_shipped_bytes) =
+            (self.delta_raw_bytes, self.delta_shipped_bytes);
+        let chunks_dirty = self.chunks_dirty;
         rec.emit_with(node, || EventKind::WireBytes {
             frames_sent,
             bytes_sent,
@@ -137,8 +147,26 @@ impl WireStats {
             ship_wire_bytes,
             batch_flushes,
             plain_bytes,
+            delta_raw_bytes,
+            delta_shipped_bytes,
+            chunks_dirty,
             codec: codec.name().to_string(),
         });
+    }
+
+    /// Classify one outgoing node-bound frame body for the delta columns.
+    /// Field offsets inside a delta `Net::Compare` body are fixed (pinned by
+    /// `wire::tests::delta_compare_body_offsets_are_pinned`), so the counters
+    /// come from a cheap peek instead of a full decode.
+    fn classify_delta(&mut self, to: u32, body: &[u8]) {
+        if to == DRIVER_DEST || body.len() < 38 || body[0] != 2 || body[9] != 3 {
+            return;
+        }
+        let payload_len = u64::from_le_bytes(body[18..26].try_into().unwrap());
+        let dirty = u32::from_le_bytes(body[34..38].try_into().unwrap());
+        self.delta_raw_bytes += payload_len;
+        self.delta_shipped_bytes += body.len() as u64;
+        self.chunks_dirty += dirty as u64;
     }
 }
 
@@ -226,6 +254,9 @@ fn flush_socket(
             .filter(|(to, _, b)| is_ship(*to, b))
             .map(|(_, _, b)| b.len() as u64)
             .sum();
+        for (to, _, body) in &records {
+            stats.classify_delta(*to, body);
+        }
         stats.frames_sent += batch.frames as u64;
         stats.bytes_sent += wire;
         stats.plain_bytes += plain;
@@ -1092,6 +1123,8 @@ mod tests {
             chunk_size: 1024,
             heartbeat_period_ns: 1_000_000_000,
             heartbeat_timeout_ns: 10_000_000_000,
+            delta_checkpoints: false,
+            delta_anchor_interval: 16,
         };
         let router = Router::spawn(
             None,

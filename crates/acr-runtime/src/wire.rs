@@ -65,8 +65,10 @@ pub const HELLO_MAGIC: u32 = u32::from_le_bytes(*b"ACRH");
 /// Handshake (server welcome) magic: `"ACRW"`.
 pub const WELCOME_MAGIC: u32 = u32::from_le_bytes(*b"ACRW");
 /// Wire protocol version carried by the handshake. Version 2 added
-/// super-frames and the codec negotiation byte in hello/welcome.
-pub const WIRE_VERSION: u32 = 2;
+/// super-frames and the codec negotiation byte in hello/welcome; version 3
+/// added the delta detection record and the welcome's delta-checkpoint
+/// knobs.
+pub const WIRE_VERSION: u32 = 3;
 /// `to` value addressing the driver rather than a node.
 pub const DRIVER_DEST: u32 = u32::MAX;
 /// Upper bound on a frame body; anything larger is a corrupt length field.
@@ -83,7 +85,9 @@ pub const SUPER_RECORD_HEADER: usize = 4 + 8 + 4;
 /// Encoded hello length (fixed): magic + version + node + last_recv + codecs.
 pub const HELLO_LEN: usize = 4 + 4 + 4 + 8 + 1;
 /// Encoded welcome length (fixed); the final byte is the chosen codec tag.
-pub const WELCOME_LEN: usize = 4 + 4 + 8 + 4 * 4 + 1 + 8 + 8 + 8 + 1;
+/// The `+ 1 + 4` pair is the delta-checkpoint enable flag and anchor
+/// interval added in wire version 3.
+pub const WELCOME_LEN: usize = 4 + 4 + 8 + 4 * 4 + 1 + 8 + 8 + 8 + 1 + 4 + 1;
 
 /// Only compress payloads at least this large: below it the codec header
 /// bookkeeping eats any saving and the CPU is better spent elsewhere.
@@ -818,6 +822,8 @@ pub(crate) struct WelcomeCfg {
     pub chunk_size: u64,
     pub heartbeat_period_ns: u64,
     pub heartbeat_timeout_ns: u64,
+    pub delta_checkpoints: bool,
+    pub delta_anchor_interval: u32,
 }
 
 /// Server welcome: the router's highest received sequence from this node
@@ -866,6 +872,8 @@ pub(crate) fn encode_welcome(w: &Welcome) -> Vec<u8> {
     put_u64(&mut buf, w.cfg.chunk_size);
     put_u64(&mut buf, w.cfg.heartbeat_period_ns);
     put_u64(&mut buf, w.cfg.heartbeat_timeout_ns);
+    put_u32(&mut buf, w.cfg.delta_anchor_interval);
+    put_u8(&mut buf, w.cfg.delta_checkpoints as u8);
     put_u8(&mut buf, w.codec.tag());
     debug_assert_eq!(buf.len(), WELCOME_LEN);
     buf
@@ -891,6 +899,8 @@ pub(crate) fn decode_welcome(buf: &[u8]) -> Result<Welcome, WireError> {
         chunk_size: r.u64()?,
         heartbeat_period_ns: r.u64()?,
         heartbeat_timeout_ns: r.u64()?,
+        delta_anchor_interval: r.u32()?,
+        delta_checkpoints: r.u8()? != 0,
     };
     let codec = WireCodec::from_tag(r.u8()?)?;
     r.finish()?;
@@ -1016,6 +1026,32 @@ fn put_detection(buf: &mut Vec<u8>, d: &Detection) {
             put_u64(buf, *digest);
             put_chunk_table(buf, table);
         }
+        Detection::Delta {
+            base_iteration,
+            payload_len,
+            digest,
+            table,
+            dirty,
+        } => {
+            // Fixed prefix layout (the transport classifies ship traffic by
+            // peeking at these offsets without a full decode — see the
+            // `delta_compare_body_offsets_are_pinned` test):
+            //   [0]      detection tag 3
+            //   [1..9]   base_iteration u64
+            //   [9..17]  payload_len u64
+            //   [17..25] digest u64
+            //   [25..29] dirty chunk count u32
+            put_u8(buf, 3);
+            put_u64(buf, *base_iteration);
+            put_usize(buf, *payload_len);
+            put_u64(buf, *digest);
+            put_u32(buf, dirty.len() as u32);
+            put_chunk_table(buf, table);
+            for (index, window) in dirty {
+                put_u32(buf, *index);
+                put_bytes(buf, window);
+            }
+        }
     }
 }
 
@@ -1027,6 +1063,54 @@ fn get_detection(r: &mut Reader<'_>) -> Result<Detection, WireError> {
             digest: r.u64()?,
             table: get_chunk_table(r)?,
         },
+        3 => {
+            let base_iteration = r.u64()?;
+            let payload_len = r.usize()?;
+            if payload_len > MAX_FRAME_BODY {
+                return Err(WireError::TooLarge(payload_len));
+            }
+            let digest = r.u64()?;
+            let n = r.u32()? as usize;
+            let table = get_chunk_table(r)?;
+            let chunk_size = table.chunk_size as usize;
+            let total_chunks = if chunk_size == 0 {
+                0
+            } else {
+                payload_len.div_ceil(chunk_size)
+            };
+            // Strict structural validation: the table must cover the whole
+            // payload and every window must be a real chunk span, indices
+            // strictly increasing. A record that fails here poisons the
+            // frame rather than reaching the protocol layer malformed.
+            if (chunk_size == 0 && payload_len > 0)
+                || table.digests.len() != total_chunks
+                || n > total_chunks
+            {
+                return Err(WireError::Truncated);
+            }
+            let mut dirty = Vec::with_capacity(n);
+            let mut prev: Option<u32> = None;
+            for _ in 0..n {
+                let index = r.u32()?;
+                let window = r.bytes()?;
+                if (index as usize) >= total_chunks || prev.is_some_and(|p| index <= p) {
+                    return Err(WireError::Truncated);
+                }
+                let span = acr_pup::chunk_span(chunk_size, payload_len, index);
+                if window.len() != span.len() {
+                    return Err(WireError::Truncated);
+                }
+                prev = Some(index);
+                dirty.push((index, Bytes::copy_from_slice(window)));
+            }
+            Detection::Delta {
+                base_iteration,
+                payload_len,
+                digest,
+                table,
+                dirty,
+            }
+        }
         t => {
             return Err(WireError::BadTag {
                 what: "Detection",
@@ -1316,6 +1400,32 @@ pub(crate) fn decode_net(buf: &[u8]) -> Result<Net, WireError> {
     Ok(msg)
 }
 
+/// Encode a `Compare` record exactly as it crosses the wire as a frame
+/// body — the public surface behind the pinned compare-body offsets.
+/// Property tests and diagnostic tooling build and inspect delta records
+/// through this pair without reaching into the crate-private `Net` codec.
+pub fn encode_compare_body(iteration: u64, detection: &Detection) -> Vec<u8> {
+    encode_net(&Net::Compare {
+        iteration,
+        detection: detection.clone(),
+    })
+}
+
+/// Decode a frame body produced by [`encode_compare_body`], applying the
+/// same strict structural validation the transport does.
+pub fn decode_compare_body(buf: &[u8]) -> Result<(u64, Detection), WireError> {
+    match decode_net(buf)? {
+        Net::Compare {
+            iteration,
+            detection,
+        } => Ok((iteration, detection)),
+        _ => Err(WireError::BadTag {
+            what: "Net::Compare",
+            tag: buf.first().copied().unwrap_or(u8::MAX),
+        }),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Event codec
 // ---------------------------------------------------------------------------
@@ -1572,6 +1682,35 @@ mod tests {
                     },
                 },
             },
+            Net::Compare {
+                iteration: 42,
+                detection: Detection::Delta {
+                    base_iteration: 40,
+                    payload_len: 10,
+                    digest: 0xabcd,
+                    table: ChunkTable {
+                        chunk_size: 4,
+                        digests: vec![11, 22, 33],
+                    },
+                    dirty: vec![
+                        (0, Bytes::from_static(b"abcd")),
+                        (2, Bytes::from_static(b"xy")),
+                    ],
+                },
+            },
+            Net::Compare {
+                iteration: 43,
+                detection: Detection::Delta {
+                    base_iteration: 41,
+                    payload_len: 0,
+                    digest: 0,
+                    table: ChunkTable {
+                        chunk_size: 4,
+                        digests: vec![],
+                    },
+                    dirty: vec![],
+                },
+            },
             Net::CompareResult {
                 iteration: 40,
                 clean: true,
@@ -1772,12 +1911,94 @@ mod tests {
                 chunk_size: 2048,
                 heartbeat_period_ns: 5_000_000,
                 heartbeat_timeout_ns: 40_000_000,
+                delta_checkpoints: true,
+                delta_anchor_interval: 16,
             },
             codec: WireCodec::Lz,
         };
         let buf = encode_welcome(&w);
         assert_eq!(buf.len(), WELCOME_LEN);
         assert_eq!(decode_welcome(&buf).unwrap(), w);
+    }
+
+    fn delta_compare(dirty: Vec<(u32, Bytes)>) -> Net {
+        Net::Compare {
+            iteration: 42,
+            detection: Detection::Delta {
+                base_iteration: 41,
+                payload_len: 10,
+                digest: 0xfeed_f00d,
+                table: ChunkTable {
+                    chunk_size: 4,
+                    digests: vec![1, 2, 3],
+                },
+                dirty,
+            },
+        }
+    }
+
+    /// The transport classifies delta ship traffic by peeking at fixed
+    /// offsets in the Compare body instead of running the full decoder;
+    /// this test pins those offsets so a codec reshuffle cannot silently
+    /// break the accounting.
+    #[test]
+    fn delta_compare_body_offsets_are_pinned() {
+        let body = encode_net(&delta_compare(vec![(1, Bytes::from_static(b"abcd"))]));
+        assert_eq!(body[0], 2, "Net::Compare tag");
+        assert_eq!(u64::from_le_bytes(body[1..9].try_into().unwrap()), 42);
+        assert_eq!(body[9], 3, "Detection::Delta tag");
+        assert_eq!(
+            u64::from_le_bytes(body[10..18].try_into().unwrap()),
+            41,
+            "base_iteration"
+        );
+        assert_eq!(
+            u64::from_le_bytes(body[18..26].try_into().unwrap()),
+            10,
+            "payload_len"
+        );
+        assert_eq!(
+            u64::from_le_bytes(body[26..34].try_into().unwrap()),
+            0xfeed_f00d,
+            "digest"
+        );
+        assert_eq!(
+            u32::from_le_bytes(body[34..38].try_into().unwrap()),
+            1,
+            "dirty count"
+        );
+    }
+
+    #[test]
+    fn malformed_delta_records_are_rejected() {
+        let w4 = Bytes::from_static(b"abcd");
+        let w2 = Bytes::from_static(b"xy");
+        // Well-formed baselines decode.
+        assert!(decode_net(&encode_net(&delta_compare(vec![]))).is_ok());
+        assert!(decode_net(&encode_net(&delta_compare(vec![
+            (0, w4.clone()),
+            (2, w2.clone())
+        ])))
+        .is_ok());
+        let bad = vec![
+            // Out-of-bounds chunk index (3 chunks: 0..=2).
+            delta_compare(vec![(3, w2.clone())]),
+            // Non-increasing indices.
+            delta_compare(vec![(1, w4.clone()), (1, w4.clone())]),
+            delta_compare(vec![(2, w2.clone()), (0, w4.clone())]),
+            // Window length disagrees with the chunk span (tail is 2 bytes).
+            delta_compare(vec![(2, w4.clone())]),
+            delta_compare(vec![(0, w2.clone())]),
+        ];
+        for msg in bad {
+            let body = encode_net(&msg);
+            assert!(decode_net(&body).is_err(), "{msg:?} must be rejected");
+        }
+        // Truncation anywhere in the record is rejected.
+        let body = encode_net(&delta_compare(vec![(0, w4), (2, w2)]));
+        for cut in 1..body.len() {
+            assert!(decode_net(&body[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! The incremental-checkpoint diff kernel: given the previous round's
+//! per-chunk digest table and the current round's `ChunkedDigest`, how fast
+//! can the sender plan a delta (`diff_tables`), slice out the dirty windows
+//! (`extract_delta`), and how fast can the receiver overlay them onto its
+//! retained base (`apply_delta`)? Swept across payload sizes and dirty
+//! fractions — the §4.2 decision between shipping a thin delta and a full
+//! payload hinges on the plan step being effectively free next to the
+//! digest pass itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use acr_pup::{apply_delta, chunk_digests, diff_tables, extract_delta, DEFAULT_CHUNK_SIZE};
+
+/// One prepared sweep point: base payload, mutated payload, both digest
+/// tables, and the resulting plan.
+struct Case {
+    base: Vec<u8>,
+    current: Vec<u8>,
+    prev_digests: Vec<u64>,
+    current_chunked: acr_pup::ChunkedDigest,
+}
+
+/// Mutate `dirty_frac` of the payload's chunks, spread evenly, so the diff
+/// kernel sees realistic scattered dirt rather than one contiguous run.
+fn prepare(payload_len: usize, dirty_frac: f64) -> Case {
+    let base: Vec<u8> = (0..payload_len).map(|i| (i * 31) as u8).collect();
+    let mut current = base.clone();
+    let total_chunks = payload_len.div_ceil(DEFAULT_CHUNK_SIZE);
+    let dirty_chunks = ((total_chunks as f64) * dirty_frac).round().max(1.0) as usize;
+    let stride = (total_chunks / dirty_chunks).max(1);
+    for c in (0..total_chunks).step_by(stride).take(dirty_chunks) {
+        let at = c * DEFAULT_CHUNK_SIZE;
+        current[at] ^= 0x5a;
+    }
+    let prev_digests = chunk_digests(&base, DEFAULT_CHUNK_SIZE).chunk_digests;
+    let current_chunked = chunk_digests(&current, DEFAULT_CHUNK_SIZE);
+    Case {
+        base,
+        current,
+        prev_digests,
+        current_chunked,
+    }
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let sizes = [256 << 10, 1 << 20, 4 << 20];
+    let fracs = [0.01, 0.05, 0.25];
+
+    let mut plan = c.benchmark_group("delta_diff_tables");
+    for &size in &sizes {
+        for &frac in &fracs {
+            let case = prepare(size, frac);
+            plan.throughput(Throughput::Bytes(size as u64));
+            plan.bench_with_input(
+                BenchmarkId::new(
+                    format!("{}KiB", size >> 10),
+                    format!("dirty{:.0}%", frac * 100.0),
+                ),
+                &case,
+                |b, case| {
+                    b.iter(|| {
+                        diff_tables(
+                            black_box(&case.prev_digests),
+                            black_box(&case.current_chunked),
+                            size,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    plan.finish();
+
+    let mut extract = c.benchmark_group("delta_extract");
+    for &size in &sizes {
+        for &frac in &fracs {
+            let case = prepare(size, frac);
+            let p = diff_tables(&case.prev_digests, &case.current_chunked, size).unwrap();
+            extract.throughput(Throughput::Bytes(p.dirty_bytes() as u64));
+            extract.bench_with_input(
+                BenchmarkId::new(
+                    format!("{}KiB", size >> 10),
+                    format!("dirty{:.0}%", frac * 100.0),
+                ),
+                &(case, p),
+                |b, (case, p)| b.iter(|| extract_delta(black_box(&case.current), black_box(p))),
+            );
+        }
+    }
+    extract.finish();
+
+    let mut apply = c.benchmark_group("delta_apply");
+    for &size in &sizes {
+        for &frac in &fracs {
+            let case = prepare(size, frac);
+            let p = diff_tables(&case.prev_digests, &case.current_chunked, size).unwrap();
+            let dirty = extract_delta(&case.current, &p);
+            apply.throughput(Throughput::Bytes(size as u64));
+            apply.bench_with_input(
+                BenchmarkId::new(
+                    format!("{}KiB", size >> 10),
+                    format!("dirty{:.0}%", frac * 100.0),
+                ),
+                &(case.base.clone(), dirty),
+                |b, (base, dirty)| {
+                    b.iter(|| {
+                        apply_delta(black_box(base), DEFAULT_CHUNK_SIZE, size, black_box(dirty))
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    apply.finish();
+}
+
+criterion_group!(benches, bench_delta);
+criterion_main!(benches);

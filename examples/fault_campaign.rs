@@ -8,6 +8,7 @@
 //! cargo run --release --example fault_campaign -- --seeds 8
 //! cargo run --release --example fault_campaign -- --repro-dir target/repros
 //! cargo run --release --example fault_campaign -- --transport tcp    # soak over real sockets
+//! cargo run --release --example fault_campaign -- --delta            # incremental delta checkpoints on
 //! cargo run --release --example fault_campaign -- --replay repro.txt # re-run one artifact
 //! ```
 
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
     let mut repro_dir: Option<PathBuf> = None;
     let mut replay: Option<PathBuf> = None;
     let mut transport = TransportKind::InProcess;
+    let mut delta = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -67,11 +69,12 @@ fn main() -> ExitCode {
                     }),
                 ));
             }
+            "--delta" => delta = true,
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: fault_campaign [--seeds N] [--repro-dir DIR] \
-                     [--transport tcp|in-process] [--replay FILE]"
+                     [--transport tcp|in-process] [--delta] [--replay FILE]"
                 );
                 return ExitCode::from(2);
             }
@@ -87,16 +90,22 @@ fn main() -> ExitCode {
         seeds: (0..seeds).collect(),
         repro_dir,
         transport,
+        delta_checkpoints: delta,
         ..CampaignConfig::default()
     };
     println!(
-        "fault campaign: {} seeds × {} schemes over {}, determinism check {}",
+        "fault campaign: {} seeds × {} schemes over {}{}, determinism check {}",
         cfg.seeds.len(),
         cfg.schemes.len(),
         if cfg.wall_clock() {
             "localhost TCP (wall clock)"
         } else {
             "in-process channels (virtual time)"
+        },
+        if cfg.delta_checkpoints {
+            ", delta checkpoints"
+        } else {
+            ""
         },
         if cfg.check_determinism && !cfg.wall_clock() {
             "on"
@@ -190,6 +199,7 @@ fn replay_artifact(path: &std::path::Path) -> ExitCode {
             "checkpoint_interval_ms" => {
                 cfg.checkpoint_interval = Duration::from_millis(value.parse().unwrap_or(60));
             }
+            "delta" => cfg.delta_checkpoints = value == "1",
             _ => {}
         }
     }

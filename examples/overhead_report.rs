@@ -26,6 +26,12 @@
 //! negotiated codec must cut checkpoint-ship bytes by ≥ 20%, and under
 //! `--baseline` the ship compression ratio must not regress.
 //!
+//! A `jacobi_wire_delta{,_off}` pair runs a slowly-mutating drift-field
+//! workload with incremental delta checkpoints on and off: delta records
+//! must ship ≤ 40% of the full payload bytes they replace, the final
+//! application states must be bit-identical between the two runs, and
+//! under `--baseline` the delta shipped/raw ratio must not regress.
+//!
 //! ```text
 //! cargo run --release --example overhead_report
 //! cargo run --release --example overhead_report -- --out target/obs
@@ -37,7 +43,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use acr::integration::JacobiHaloTask;
-use acr::obs::{sinks, Breakdown, EventKind};
+use acr::obs::{sinks, Breakdown, EventKind, ObsConfig};
 use acr::pup::{Pup, PupResult, Puper};
 use acr::runtime::{
     AppMsg, DetectionMethod, ExecMode, FaultAction, FaultScript, Job, JobConfig, JobReport, Scheme,
@@ -112,6 +118,85 @@ impl Task for Ring {
 
 const ITERS: u64 = 400;
 
+/// Token-ring-paced workload with a large, slowly-mutating float field:
+/// each iteration relaxes a ~1 K-float window whose position advances only
+/// every 256 iterations, so between two checkpoint rounds just a handful of
+/// the field's 4 KiB chunks change. This is the shape incremental delta
+/// checkpoints exist for — a full compare would re-ship the whole field
+/// every round.
+struct DriftField {
+    rank: usize,
+    iter: u64,
+    tokens: u64,
+    field: Vec<f64>,
+    total_iters: u64,
+}
+
+/// 64 Ki floats = 512 KiB of checkpointed field per task.
+const DRIFT_FIELD_LEN: usize = 64 * 1024;
+/// Floats relaxed per iteration.
+const DRIFT_WINDOW: usize = 1024;
+
+impl DriftField {
+    fn new(rank: usize, total_iters: u64) -> Self {
+        Self {
+            rank,
+            iter: 0,
+            tokens: 0,
+            field: (0..DRIFT_FIELD_LEN)
+                .map(|i| (rank * DRIFT_FIELD_LEN + i) as f64 * 1e-4)
+                .collect(),
+            total_iters,
+        }
+    }
+}
+
+impl Task for DriftField {
+    fn try_step(&mut self, ctx: &mut TaskCtx<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        if self.iter > 0 && self.tokens == 0 {
+            return false;
+        }
+        if self.iter > 0 {
+            self.tokens -= 1;
+        }
+        let start = ((self.iter / 256) as usize * (DRIFT_WINDOW / 2)) % DRIFT_FIELD_LEN;
+        for k in 0..DRIFT_WINDOW {
+            let i = (start + k) % DRIFT_FIELD_LEN;
+            self.field[i] += ((self.iter as f64 + i as f64) * 1e-3).sin() * 1e-3;
+        }
+        let next = TaskId {
+            rank: (self.rank + 1) % ctx.ranks(),
+            task: 0,
+        };
+        ctx.send(next, self.iter, vec![]);
+        self.iter += 1;
+        true
+    }
+
+    fn on_message(&mut self, _msg: AppMsg, _ctx: &mut TaskCtx<'_>) {
+        self.tokens += 1;
+    }
+
+    fn progress(&self) -> u64 {
+        self.iter
+    }
+
+    fn done(&self) -> bool {
+        self.iter >= self.total_iters
+    }
+
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_usize(&mut self.rank)?;
+        p.pup_u64(&mut self.iter)?;
+        p.pup_u64(&mut self.tokens)?;
+        self.field.pup(p)?;
+        p.pup_u64(&mut self.total_iters)
+    }
+}
+
 /// 8 active nodes: 4 ranks × 2 replicas, plus two spares for recovery.
 fn cfg(scheme: Scheme) -> JobConfig {
     JobConfig::builder()
@@ -161,6 +246,40 @@ fn run_wire(codec: WireCodec) -> JobReport {
         .run(|rank, _| Box::new(JacobiHaloTask::new(rank, RANKS, 16, 16, 16, 300)) as Box<dyn Task>)
 }
 
+/// Delta-checkpoint wire scenario: the drift-field workload over real
+/// sockets with `FullCompare`, chunked at 4 KiB, with incremental delta
+/// checkpoints off or on. The codec is off so the delta savings are
+/// measured unconfounded.
+fn run_wire_delta(delta: bool) -> JobReport {
+    const RANKS: usize = 2;
+    const DRIFT_ITERS: u64 = 2500;
+    let cfg = JobConfig::builder()
+        .ranks(RANKS)
+        .tasks_per_rank(1)
+        .spares(1)
+        .scheme(Scheme::Strong)
+        .detection(DetectionMethod::FullCompare)
+        .chunk_size(4096)
+        .delta_checkpoints(delta)
+        // The long threaded run emits enough driver-link flush events to
+        // overflow the default ring and evict `job_start`; size for it.
+        .obs(ObsConfig {
+            ring_capacity: 16384,
+            ..ObsConfig::default()
+        })
+        .checkpoint_interval(Duration::from_millis(25))
+        .heartbeat_period(Duration::from_millis(10))
+        .heartbeat_timeout(Duration::from_millis(800))
+        .max_duration(Duration::from_secs(60))
+        .transport(TransportKind::Tcp(TcpConfig {
+            codec: WireCodec::None,
+            ..TcpConfig::default()
+        }))
+        .build()
+        .expect("valid delta wire config");
+    Job::new(cfg).run(|rank, _| Box::new(DriftField::new(rank, DRIFT_ITERS)) as Box<dyn Task>)
+}
+
 /// Send-side wire totals folded from a run's `WireBytes` link summaries.
 #[derive(Default)]
 struct WireTotals {
@@ -168,6 +287,8 @@ struct WireTotals {
     plain: u64,
     ship_raw: u64,
     ship_wire: u64,
+    delta_raw: u64,
+    delta_shipped: u64,
 }
 
 fn wire_totals(report: &JobReport) -> WireTotals {
@@ -178,6 +299,8 @@ fn wire_totals(report: &JobReport) -> WireTotals {
             plain_bytes,
             ship_raw_bytes,
             ship_wire_bytes,
+            delta_raw_bytes,
+            delta_shipped_bytes,
             ..
         } = &e.kind
         {
@@ -185,6 +308,8 @@ fn wire_totals(report: &JobReport) -> WireTotals {
             w.plain += plain_bytes;
             w.ship_raw += ship_raw_bytes;
             w.ship_wire += ship_wire_bytes;
+            w.delta_raw += delta_raw_bytes;
+            w.delta_shipped += delta_shipped_bytes;
         }
     }
     w
@@ -375,6 +500,83 @@ fn main() -> ExitCode {
         rows.push((name.to_string(), b));
     }
 
+    // Incremental-delta scenario pair: the same slowly-mutating workload
+    // with delta checkpoints off (full-ship baseline) and on. Gates:
+    // deltas must engage, their bytes must undercut the full ships they
+    // replace by ≥ 60%, and the application outcome must be bit-identical
+    // to the full-ship run.
+    {
+        let full = run_wire_delta(false);
+        let thin = run_wire_delta(true);
+        for (name, r) in [
+            ("jacobi_wire_delta_off", &full),
+            ("jacobi_wire_delta", &thin),
+        ] {
+            if !r.completed {
+                eprintln!(
+                    "FAIL {name}: run did not complete: {}",
+                    r.error.as_deref().unwrap_or("unknown")
+                );
+                failed = true;
+            }
+        }
+        if full.final_states != thin.final_states {
+            eprintln!("FAIL jacobi_wire_delta: final states differ from the full-ship run");
+            failed = true;
+        }
+        let w_full = wire_totals(&full);
+        let w_thin = wire_totals(&thin);
+        if w_full.delta_raw != 0 {
+            eprintln!("FAIL jacobi_wire_delta_off: delta records on a delta-off run");
+            failed = true;
+        }
+        if w_thin.delta_raw == 0 {
+            eprintln!("FAIL jacobi_wire_delta: no delta compare records were shipped");
+            failed = true;
+        }
+        // The §4.2 payoff: each delta record carries the full chunk table
+        // plus only the dirty windows, so across all delta rounds the
+        // shipped bytes must be ≤ 40% of the full payloads they stood for.
+        if w_thin.delta_shipped * 10 > w_thin.delta_raw * 4 {
+            eprintln!(
+                "FAIL jacobi_wire_delta: delta ships {} bytes for {} full-ship bytes (> 40%)",
+                w_thin.delta_shipped, w_thin.delta_raw
+            );
+            failed = true;
+        }
+        for (name, report, w) in [
+            ("jacobi_wire_delta_off", &full, &w_full),
+            ("jacobi_wire_delta", &thin, &w_thin),
+        ] {
+            let jsonl = sinks::to_jsonl(&report.events);
+            let log_path = out_dir.join(format!("overhead_{name}.jsonl"));
+            if let Err(e) = std::fs::write(&log_path, &jsonl) {
+                eprintln!("cannot write {}: {e}", log_path.display());
+                return ExitCode::from(2);
+            }
+            println!(
+                "{name}: delta {} -> {} bytes ({:.1}% of full ship), ship raw {} -> {}",
+                w.delta_raw,
+                w.delta_shipped,
+                100.0 * w.delta_shipped as f64 / w.delta_raw.max(1) as f64,
+                w.ship_raw,
+                log_path.display(),
+            );
+            let mut b = Breakdown::from_events(&report.events);
+            b.total = 0.0;
+            b.forward = 0.0;
+            b.checkpoint = 0.0;
+            b.compare = 0.0;
+            b.recovery = 0.0;
+            let json = b.to_json();
+            bench_lines.push(format!(
+                "{{\"scenario\":\"{name}\",{}",
+                json.strip_prefix('{').unwrap_or(&json)
+            ));
+            rows.push((name.to_string(), b));
+        }
+    }
+
     println!();
     print!("{}", acr::obs::report::render_table("scenario", &rows));
 
@@ -474,6 +676,22 @@ fn gate_against_baseline(
                 ok = false;
             } else {
                 println!("  ok {scenario}/ship_ratio: {old:.3} -> {new:.3}");
+            }
+        }
+        // Delta-efficiency column: the delta shipped/raw ratio (lower is
+        // better) must not regress past the tolerance, same reasoning as
+        // the ship ratio above.
+        if base.wire_delta_raw_bytes > 0 && cur.wire_delta_raw_bytes > 0 {
+            let old = base.wire_delta_shipped_bytes as f64 / base.wire_delta_raw_bytes as f64;
+            let new = cur.wire_delta_shipped_bytes as f64 / cur.wire_delta_raw_bytes as f64;
+            if new > old * (1.0 + tolerance) {
+                eprintln!(
+                    "FAIL perf gate: {scenario}/delta_ratio regressed \
+                     (baseline {old:.3}, now {new:.3})"
+                );
+                ok = false;
+            } else {
+                println!("  ok {scenario}/delta_ratio: {old:.3} -> {new:.3}");
             }
         }
     }

@@ -238,3 +238,38 @@ fn sim_and_model_agree_on_scheme_ordering() {
         "strong should cost the most in both: {sim_overheads:?}"
     );
 }
+
+/// The config builder covers the incremental-delta knobs, and the anchor
+/// interval is validated up front: delta with a zero anchor interval is a
+/// configuration error, not a runtime surprise; the interval is ignored
+/// (any value fine) while delta is off.
+#[test]
+fn builder_covers_delta_knobs_and_validates_anchor_interval() {
+    let cfg = JobConfig::builder()
+        .ranks(2)
+        .delta_checkpoints(true)
+        .delta_anchor_interval(8)
+        .build()
+        .expect("valid delta config");
+    assert!(cfg.delta_checkpoints);
+    assert_eq!(cfg.delta_anchor_interval, 8);
+
+    let err = JobConfig::builder()
+        .ranks(2)
+        .delta_checkpoints(true)
+        .delta_anchor_interval(0)
+        .build()
+        .expect_err("zero anchor interval with delta on must not validate");
+    assert!(
+        err.to_string().contains("anchor"),
+        "unexpected error: {err}"
+    );
+
+    // Off by default, and the interval is unchecked while off.
+    let cfg = JobConfig::builder()
+        .ranks(2)
+        .delta_anchor_interval(0)
+        .build()
+        .expect("anchor interval is ignored while delta is off");
+    assert!(!cfg.delta_checkpoints);
+}

@@ -206,6 +206,162 @@ fn socket_kill_reconnects_without_spurious_death() {
     audit_transport_attribution(&report);
 }
 
+/// Paced ring variant whose checkpoint payload is mostly static: a 4 Ki
+/// float field with one 64-float window mutating per iteration, chunked
+/// small enough that delta records engage between rounds.
+struct DriftPacedRing {
+    rank: usize,
+    iter: u64,
+    tokens: u64,
+    field: Vec<f64>,
+}
+
+const DRIFT_LEN: usize = 4096;
+const DRIFT_WINDOW: usize = 64;
+
+impl DriftPacedRing {
+    fn new(rank: usize) -> Self {
+        Self {
+            rank,
+            iter: 0,
+            tokens: 0,
+            field: (0..DRIFT_LEN)
+                .map(|i| (rank * DRIFT_LEN + i) as f64 * 1e-4)
+                .collect(),
+        }
+    }
+}
+
+impl Task for DriftPacedRing {
+    fn try_step(&mut self, ctx: &mut TaskCtx<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        if self.iter > 0 && self.tokens == 0 {
+            return false;
+        }
+        if self.iter > 0 {
+            self.tokens -= 1;
+        }
+        std::thread::sleep(Duration::from_micros(500));
+        let start = ((self.iter / 32) as usize * DRIFT_WINDOW) % DRIFT_LEN;
+        for k in 0..DRIFT_WINDOW {
+            let i = (start + k) % DRIFT_LEN;
+            self.field[i] += ((self.iter as f64 + i as f64) * 1e-3).sin() * 1e-3;
+        }
+        let next = TaskId {
+            rank: (self.rank + 1) % ctx.ranks(),
+            task: 0,
+        };
+        ctx.send(next, self.iter, vec![]);
+        self.iter += 1;
+        true
+    }
+
+    fn on_message(&mut self, _msg: AppMsg, _ctx: &mut TaskCtx<'_>) {
+        self.tokens += 1;
+    }
+
+    fn progress(&self) -> u64 {
+        self.iter
+    }
+
+    fn done(&self) -> bool {
+        self.iter >= ITERS
+    }
+
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_usize(&mut self.rank)?;
+        p.pup_u64(&mut self.iter)?;
+        p.pup_u64(&mut self.tokens)?;
+        self.field.pup(p)
+    }
+}
+
+/// A socket kill in the middle of an active delta chain must be absorbed
+/// exactly like any other transient outage: the replay ring re-delivers
+/// the in-flight compare records, nobody is declared dead, the replicas
+/// still agree, and the delta path keeps (or resumes) shipping thin
+/// records — any base desync the outage could cause is covered by the
+/// deterministic full-ship fallback, never by a wrong verdict.
+#[test]
+fn socket_kill_mid_delta_chain_recovers_cleanly() {
+    let _guard = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let control = TransportControl::new();
+    let cfg = JobConfig::builder()
+        .ranks(RANKS)
+        .tasks_per_rank(1)
+        .spares(2)
+        .scheme(Scheme::Strong)
+        .detection(DetectionMethod::FullCompare)
+        .chunk_size(256)
+        .delta_checkpoints(true)
+        .delta_anchor_interval(8)
+        .checkpoint_interval(Duration::from_millis(15))
+        .heartbeat_period(Duration::from_millis(10))
+        .heartbeat_timeout(Duration::from_secs(1))
+        .max_duration(Duration::from_secs(30))
+        .transport(TransportKind::Tcp(TcpConfig {
+            control: Some(control.clone()),
+            ..TcpConfig::default()
+        }))
+        .build()
+        .expect("valid delta reconnect config");
+    let killer = {
+        let control = control.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            let a = control.sever(2);
+            std::thread::sleep(Duration::from_millis(40));
+            let b = control.sever(3);
+            (a, b)
+        })
+    };
+    let report = Job::new(cfg)
+        .mode(ExecMode::Threaded)
+        .run(|rank, _| Box::new(DriftPacedRing::new(rank)) as Box<dyn Task>);
+    let (severed_a, severed_b) = killer.join().unwrap();
+    assert!(severed_a && severed_b, "sever() found no live link to kill");
+    assert!(
+        report.completed,
+        "job failed: {:?}\n{}",
+        report.error,
+        report.trace.join("\n")
+    );
+    assert!(report.replicas_agree());
+    assert_eq!(
+        report.hard_errors_recovered,
+        0,
+        "socket kill mid-delta was misread as node death:\n{}",
+        report.trace.join("\n")
+    );
+    assert_eq!(report.restarts_from_beginning, 0);
+    for node in [2u32, 3u32] {
+        assert!(
+            connects_for(&report, node) >= 2,
+            "node {node} shows no reconnect (connects: {})",
+            connects_for(&report, node),
+        );
+    }
+    // The delta path was live around the outage, not silently disabled.
+    let delta_ships = report
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                &e.kind,
+                EventKind::CompareShip { method, .. } if method == "full-compare-delta"
+            )
+        })
+        .count();
+    assert!(
+        delta_ships > 0,
+        "no delta compare records shipped:\n{}",
+        report.metrics
+    );
+    audit_transport_attribution(&report);
+}
+
 /// A quarantined link never reattaches: the stale monitor must flag it,
 /// the driver must probe, and the unreachable node must be replaced by a
 /// spare via the ordinary hard-error recovery path — reachability loss is

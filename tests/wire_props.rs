@@ -8,10 +8,13 @@
 //! never pays more bytes than plain per-frame framing, and rejects
 //! truncated or structurally corrupt super-frames.
 
+use acr::protocol::{Checkpoint, ChunkTable, Detection, DetectionMethod, SdcDetector};
+use acr::pup::{chunk_digests, chunk_span};
 use acr::runtime::wire::{
-    encode_batch, encode_frame, Frame, FrameDecoder, WireCodec, FRAME_HEADER, FRAME_MAGIC,
-    FRAME_TRAILER, SUPER_HEADER, SUPER_MAGIC,
+    decode_compare_body, encode_batch, encode_compare_body, encode_frame, Frame, FrameDecoder,
+    WireCodec, FRAME_HEADER, FRAME_MAGIC, FRAME_TRAILER, SUPER_HEADER, SUPER_MAGIC,
 };
+use bytes::Bytes;
 use proptest::prelude::*;
 
 fn frame_strategy() -> impl Strategy<Value = Frame> {
@@ -324,5 +327,202 @@ proptest! {
         dec.feed(&bytes);
         prop_assert!(dec.next_frame().is_err(), "structural garbage accepted");
         prop_assert!(dec.next_frame().is_err(), "decoder resynced after poison");
+    }
+}
+
+// --------------------------------------------------------------------------
+// Delta compare records
+// --------------------------------------------------------------------------
+
+/// A structurally valid delta record plus its compare iteration: a random
+/// chunking of a random payload length, a strictly increasing dirty subset
+/// with correctly sized windows, and a full digest table.
+fn delta_record_strategy() -> impl Strategy<Value = (u64, Detection)> {
+    (
+        any::<u64>(), // compare iteration
+        any::<u64>(), // base iteration
+        1usize..48,   // chunk size
+        0usize..1200, // payload length
+        any::<u64>(), // seed: dirty selection + window bytes
+    )
+        .prop_map(
+            |(iteration, base_iteration, chunk_size, payload_len, seed)| {
+                let total = payload_len.div_ceil(chunk_size);
+                let digests = (0..total as u64)
+                    .map(|i| seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i))
+                    .collect();
+                let table = ChunkTable {
+                    chunk_size: chunk_size as u32,
+                    digests,
+                };
+                let dirty = (0..total as u32)
+                    .filter(|i| (seed >> (i % 61)) & 1 == 1)
+                    .map(|i| {
+                        let window: Vec<u8> = chunk_span(chunk_size, payload_len, i)
+                            .map(|b| (b as u8).wrapping_add(seed as u8))
+                            .collect();
+                        (i, Bytes::from(window))
+                    })
+                    .collect();
+                let record = Detection::Delta {
+                    base_iteration,
+                    payload_len,
+                    digest: seed.rotate_left(17),
+                    table,
+                    dirty,
+                };
+                (iteration, record)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A well-formed delta record survives the compare-body codec
+    /// byte-for-byte: decoding reproduces the record exactly and
+    /// re-encoding reproduces the exact wire bytes.
+    #[test]
+    fn delta_records_roundtrip_byte_for_byte(
+        (iteration, record) in delta_record_strategy(),
+    ) {
+        let body = encode_compare_body(iteration, &record);
+        let (got_iter, got) =
+            decode_compare_body(&body).expect("valid delta record must decode");
+        prop_assert_eq!(got_iter, iteration);
+        prop_assert_eq!(&got, &record);
+        prop_assert_eq!(encode_compare_body(got_iter, &got), body);
+    }
+
+    /// Any proper prefix of a delta compare body is rejected — the strict
+    /// structural validation never fabricates a shorter record from a
+    /// truncated read.
+    #[test]
+    fn truncated_delta_record_is_rejected(
+        (iteration, record) in delta_record_strategy(),
+        cut_seed in any::<u64>(),
+    ) {
+        let body = encode_compare_body(iteration, &record);
+        let keep = (cut_seed as usize) % (body.len() - 1);
+        prop_assert!(
+            decode_compare_body(&body[..keep]).is_err(),
+            "truncated delta record decoded at {keep}/{} bytes",
+            body.len()
+        );
+    }
+
+    /// A delta record whose base the receiver does not hold degrades to a
+    /// digest-table-grade comparison — and that fallback must be
+    /// verdict-identical to the full digest-table record, clean exactly
+    /// when the underlying payloads agree. This is what makes the forced
+    /// full-ship fallback safe: no verdict ever depends on the base.
+    #[test]
+    fn base_epoch_mismatch_falls_back_verdict_identically(
+        payload in prop::collection::vec(any::<u8>(), 1..800),
+        // The digest pipeline requires 4-byte-aligned chunk sizes.
+        chunk_size in (1usize..12).prop_map(|k| k * 4),
+        base_iteration in any::<u64>(),
+        flip in any::<u64>(),
+        mutate in any::<bool>(),
+    ) {
+        let mut remote = payload.clone();
+        if mutate {
+            let at = (flip as usize) % remote.len();
+            remote[at] ^= 1 | (flip >> 32) as u8;
+        }
+        let local_chunked = chunk_digests(&payload, chunk_size);
+        let local = Checkpoint::with_chunks(
+            7,
+            Bytes::from(payload.clone()),
+            local_chunked.digest,
+            ChunkTable {
+                chunk_size: chunk_size as u32,
+                digests: local_chunked.chunk_digests.clone(),
+            },
+        );
+        let remote_chunked = chunk_digests(&remote, chunk_size);
+        let table = ChunkTable {
+            chunk_size: chunk_size as u32,
+            digests: remote_chunked.chunk_digests.clone(),
+        };
+        let digest = remote_chunked.digest;
+        // The dirty windows are irrelevant to the fallback verdict; carry
+        // one real one.
+        let span = chunk_span(chunk_size, remote.len(), 0);
+        let delta = Detection::Delta {
+            base_iteration,
+            payload_len: remote.len(),
+            digest,
+            table: table.clone(),
+            dirty: vec![(0, Bytes::from(remote[span].to_vec()))],
+        };
+        let det = SdcDetector::new(DetectionMethod::FullCompare);
+        let via_delta = det.diverged(&local, &delta);
+        let via_table = det.diverged(&local, &Detection::DigestTable { digest, table });
+        prop_assert_eq!(via_delta.is_clean(), remote == payload);
+        prop_assert_eq!(via_delta, via_table);
+    }
+
+    /// Flipping any bit of a shipped dirty window poisons the whole frame:
+    /// the Fletcher-64 trailer catches it before the record reaches the
+    /// protocol layer.
+    #[test]
+    fn corrupted_delta_window_poisons_frame(
+        (iteration, record) in delta_record_strategy(),
+        seq in any::<u64>(),
+    ) {
+        let dirty_len = match &record {
+            Detection::Delta { dirty, .. } => dirty.len(),
+            _ => 0,
+        };
+        prop_assume!(dirty_len > 0);
+        let body = encode_compare_body(iteration, &record);
+        let mut framed = encode_frame(3, seq, &body);
+        // The body's final byte is the last byte of the last dirty window.
+        let at = FRAME_HEADER + body.len() - 1;
+        framed[at] ^= 0x40;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&framed);
+        prop_assert!(
+            dec.next_frame().is_err(),
+            "flipped delta window decoded cleanly"
+        );
+    }
+
+    /// Structural corruption the frame checksum was never asked about —
+    /// out-of-range chunk indices, non-increasing indices, or a window
+    /// whose size does not match its chunk span — is rejected by the body
+    /// decoder, never surfaced as a mangled record.
+    #[test]
+    fn malformed_delta_structure_is_rejected(
+        (iteration, record) in delta_record_strategy(),
+        which in 0u8..3,
+    ) {
+        let Detection::Delta { base_iteration, payload_len, digest, table, mut dirty } = record
+        else {
+            unreachable!("strategy yields Delta records only")
+        };
+        prop_assume!(!dirty.is_empty());
+        let total = table.digests.len() as u32;
+        match which {
+            0 => dirty[0].0 = total, // out-of-range index
+            1 => {
+                // Duplicate first index: indices must strictly increase.
+                let first = dirty[0].clone();
+                dirty.insert(0, first);
+            }
+            _ => {
+                // Window one byte short of its chunk span.
+                let mut v = dirty[0].1.to_vec();
+                v.pop();
+                dirty[0].1 = Bytes::from(v);
+            }
+        }
+        let bad = Detection::Delta { base_iteration, payload_len, digest, table, dirty };
+        let body = encode_compare_body(iteration, &bad);
+        prop_assert!(
+            decode_compare_body(&body).is_err(),
+            "structurally malformed delta record decoded"
+        );
     }
 }
