@@ -276,6 +276,61 @@ impl SdcDetector {
         iteration: u64,
     ) -> Divergence {
         let div = self.diverged(local, remote);
+        self.record_outcome(&div, rec, node, iteration);
+        div
+    }
+
+    /// Byte-compare only the `candidates` chunks of `remote` against the
+    /// local checkpoint — the incremental-checkpoint fast path.
+    ///
+    /// Sound only when the caller has proven every non-candidate chunk
+    /// byte-identical on both sides by transitivity through a common
+    /// verified base: the delta's base round compared clean byte-for-byte,
+    /// so a chunk whose digest is unchanged since that base on *both* the
+    /// sender (its dirty set) and the receiver (its own digest table vs the
+    /// base's) still matches without re-reading it. `candidates` must be
+    /// sorted ascending so adjacent diverged chunks coalesce.
+    ///
+    /// Emits the same `compare_outcome` event and clean/SDC counters as
+    /// [`SdcDetector::diverged_recorded`], so verdicts and event logs are
+    /// indistinguishable from a full compare.
+    pub fn diverged_restricted_recorded(
+        &self,
+        local: &Checkpoint,
+        remote: &bytes::Bytes,
+        candidates: &[usize],
+        rec: &acr_obs::Recorder,
+        node: u32,
+        iteration: u64,
+    ) -> Divergence {
+        let div = if local.payload.len() != remote.len() {
+            // Same conservative stance as the full compare: a size change
+            // is corruption, and no chunk restriction applies.
+            Divergence::whole(local.len().max(remote.len()))
+        } else {
+            let chunk = self.compare_chunk(local);
+            let mut ranges: Vec<Range<usize>> = Vec::new();
+            for &index in candidates {
+                let start = index * chunk;
+                if start >= local.payload.len() {
+                    continue;
+                }
+                let end = (start + chunk).min(local.payload.len());
+                if local.payload[start..end] != remote[start..end] {
+                    match ranges.last_mut() {
+                        Some(last) if last.end == start => last.end = end,
+                        _ => ranges.push(start..end),
+                    }
+                }
+            }
+            Divergence { ranges }
+        };
+        self.record_outcome(&div, rec, node, iteration);
+        div
+    }
+
+    /// Shared flight-recorder bookkeeping for a comparison outcome.
+    fn record_outcome(&self, div: &Divergence, rec: &acr_obs::Recorder, node: u32, iteration: u64) {
         let (clean, bytes, windows) = (
             div.is_clean(),
             div.diverged_bytes() as u64,
@@ -293,7 +348,6 @@ impl SdcDetector {
             "acr_compare_sdc_total"
         };
         rec.inc_counter(counter, 1);
-        div
     }
 
     fn compare_chunk(&self, local: &Checkpoint) -> usize {

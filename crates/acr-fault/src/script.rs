@@ -60,6 +60,12 @@ pub enum FaultAction {
         /// Silence duration in seconds.
         secs: f64,
     },
+    /// Hard-kill the *driver process itself*: the run stops dead at the
+    /// trigger point with no shutdown, no drain, and no final report —
+    /// exactly what `kill -9` on the driver leaves behind. Only meaningful
+    /// for jobs with a persist dir; the crash-restart battery resumes them
+    /// from disk. A fired kill never re-fires on resume.
+    KillDriver,
 }
 
 /// One scheduled fault.
@@ -95,6 +101,11 @@ pub struct ScenarioSpace {
     pub allow_spare_kill: bool,
     /// Whether scenarios may delay heartbeats.
     pub allow_heartbeat_delay: bool,
+    /// Whether scenarios also hard-kill the driver: when set, every
+    /// generated scenario gets exactly one [`FaultAction::KillDriver`] at
+    /// a seeded time, so a crash-restart sweep exercises resume under
+    /// every node-fault mix the space produces.
+    pub allow_driver_kill: bool,
 }
 
 /// A reproducible fault scenario: an ordered list of scripted faults.
@@ -197,6 +208,13 @@ impl FaultScript {
             };
             script.push(when, action);
         }
+        if space.allow_driver_kill {
+            // Dead center of the run, jittered: late enough that commits
+            // exist to resume from, early enough that meaningful work —
+            // often the node faults above — still follows the restart.
+            let t = rng.gen_range(0.15..0.75) * space.horizon;
+            script.push(Trigger::At(t), FaultAction::KillDriver);
+        }
         script
     }
 
@@ -225,6 +243,7 @@ impl FaultScript {
                     rank,
                     secs,
                 } => format!("hbdelay {when} replica={replica} rank={rank} dur={secs}"),
+                FaultAction::KillDriver => format!("killdriver {when}"),
             };
             out.push_str(&line);
             out.push('\n');
@@ -290,6 +309,7 @@ impl FaultScript {
                     rank: get_num(&kv, "rank")? as usize,
                     secs: get_num(&kv, "dur")?,
                 },
+                "killdriver" => FaultAction::KillDriver,
                 other => return Err(err(&format!("unknown fault kind {other:?}"))),
             };
             script.push(when, action);
@@ -313,6 +333,7 @@ mod tests {
             sdc_bits_max: 3,
             allow_spare_kill: true,
             allow_heartbeat_delay: true,
+            allow_driver_kill: false,
         }
     }
 
@@ -357,6 +378,9 @@ mod tests {
                             "generated delays must not trip the timeout"
                         );
                     }
+                    FaultAction::KillDriver => {
+                        panic!("space forbids driver kills but seed {seed} generated one")
+                    }
                 }
             }
             assert!(cost <= s.spares, "seed {seed} overspends spares");
@@ -382,6 +406,30 @@ mod tests {
         assert!(FaultScript::parse("warp at=1").is_err()); // unknown kind
         assert!(FaultScript::parse("sdc at=1 replica=0 rank=0").is_err()); // no seed
         assert!(FaultScript::parse("crash at=x replica=0 rank=0").is_err());
+    }
+
+    #[test]
+    fn driver_kill_generation_and_repro() {
+        let mut s = space();
+        s.allow_driver_kill = true;
+        for seed in 0..64 {
+            let script = FaultScript::generate(seed, &s);
+            let kills: Vec<_> = script
+                .faults
+                .iter()
+                .filter(|f| f.action == FaultAction::KillDriver)
+                .collect();
+            assert_eq!(kills.len(), 1, "seed {seed}: exactly one driver kill");
+            match kills[0].when {
+                Trigger::At(t) => assert!(t > 0.0 && t < s.horizon),
+                ref other => panic!("driver kill should be time-triggered, got {other:?}"),
+            }
+            let back = FaultScript::parse(&script.to_repro()).expect("own output parses");
+            assert_eq!(back, script, "seed {seed}");
+        }
+        let parsed = FaultScript::parse("killdriver at=0.25\n").unwrap();
+        assert_eq!(parsed.faults[0].action, FaultAction::KillDriver);
+        assert_eq!(parsed.faults[0].when, Trigger::At(0.25));
     }
 
     #[test]

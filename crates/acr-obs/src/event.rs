@@ -299,6 +299,24 @@ pub enum EventKind {
         /// Codec actually applied ("none" when compression didn't pay).
         codec: String,
     },
+    /// The driver appended a record to its durable event log (or wrote a
+    /// checkpoint slot), followed by an fsync.
+    StoreAppend {
+        /// Record kind label (`admit`, `trigger`, `dead`, `promote`,
+        /// `buddy`, `commit`, `closed`, `slot`).
+        kind: String,
+        /// Bytes this durable write put on disk (framing included).
+        bytes: u64,
+    },
+    /// A resumed driver finished replaying its durable store.
+    StoreRecover {
+        /// Checkpoint source used: `primary`, `rollback`, or `none`.
+        source: String,
+        /// Log records replayed into driver state.
+        replayed: u64,
+        /// Valid post-commit records rolled back over.
+        skipped: u64,
+    },
     /// A free-form debug message from a `debug_trace!` site.
     Debug {
         /// The formatted message.
@@ -333,6 +351,8 @@ impl EventKind {
             EventKind::TransportRetry { .. } => "transport_retry",
             EventKind::WireBytes { .. } => "wire_bytes",
             EventKind::BatchFlush { .. } => "batch_flush",
+            EventKind::StoreAppend { .. } => "store_append",
+            EventKind::StoreRecover { .. } => "store_recover",
             EventKind::Debug { .. } => "debug",
         }
     }
@@ -482,6 +502,19 @@ impl EventKind {
                 push_raw(out, "wire_bytes", wire_bytes);
                 push_str(out, "codec", codec);
             }
+            EventKind::StoreAppend { kind, bytes } => {
+                push_str(out, "kind", kind);
+                push_raw(out, "bytes", bytes);
+            }
+            EventKind::StoreRecover {
+                source,
+                replayed,
+                skipped,
+            } => {
+                push_str(out, "source", source);
+                push_raw(out, "replayed", replayed);
+                push_raw(out, "skipped", skipped);
+            }
             EventKind::Debug { text } => push_str(out, "text", text),
         }
     }
@@ -596,6 +629,15 @@ impl EventKind {
                 raw_bytes: f.num("raw_bytes")?,
                 wire_bytes: f.num("wire_bytes")?,
                 codec: f.str("codec")?.to_string(),
+            },
+            "store_append" => EventKind::StoreAppend {
+                kind: f.str("kind")?.to_string(),
+                bytes: f.num("bytes")?,
+            },
+            "store_recover" => EventKind::StoreRecover {
+                source: f.str("source")?.to_string(),
+                replayed: f.num("replayed")?,
+                skipped: f.num("skipped")?,
             },
             "debug" => EventKind::Debug {
                 text: f.str("text")?.to_string(),
@@ -787,6 +829,15 @@ mod tests {
             raw_bytes: 4096,
             wire_bytes: 1210,
             codec: "rle".into(),
+        });
+        roundtrip(EventKind::StoreAppend {
+            kind: "commit".into(),
+            bytes: 172,
+        });
+        roundtrip(EventKind::StoreRecover {
+            source: "rollback".into(),
+            replayed: 14,
+            skipped: 2,
         });
         roundtrip(EventKind::Debug {
             text: "free-form \"quoted\" text\nline 2".into(),

@@ -71,6 +71,13 @@ pub struct Breakdown {
     pub wire_delta_shipped_bytes: u64,
     /// Dirty chunk windows carried across all delta compare records.
     pub wire_chunks_dirty: u64,
+    /// Durable-store writes (journal records + checkpoint slots) the
+    /// driver performed.
+    pub store_appends: u64,
+    /// Bytes those durable writes put on disk, framing included.
+    pub store_bytes: u64,
+    /// fsyncs the store issued (one per durable write).
+    pub store_fsyncs: u64,
 }
 
 /// Round to 6 decimals: phase timings in `BENCH_overhead.json` carry
@@ -159,6 +166,11 @@ impl Breakdown {
                     b.wire_delta_raw_bytes += delta_raw_bytes;
                     b.wire_delta_shipped_bytes += delta_shipped_bytes;
                     b.wire_chunks_dirty += chunks_dirty;
+                }
+                EventKind::StoreAppend { bytes, .. } => {
+                    b.store_appends += 1;
+                    b.store_bytes += bytes;
+                    b.store_fsyncs += 1;
                 }
                 EventKind::RoundStart { .. } => b.rounds += 1,
                 EventKind::RoundVerdict { clean: true, .. } => b.verified_rounds += 1,
@@ -266,6 +278,9 @@ impl Breakdown {
             self.wire_delta_shipped_bytes,
         );
         push_raw(&mut out, "wire_chunks_dirty", self.wire_chunks_dirty);
+        push_raw(&mut out, "store_appends", self.store_appends);
+        push_raw(&mut out, "store_bytes", self.store_bytes);
+        push_raw(&mut out, "store_fsyncs", self.store_fsyncs);
         out.pop();
         out.push('}');
         out
@@ -303,6 +318,9 @@ impl Breakdown {
             wire_delta_raw_bytes: f.num("wire_delta_raw_bytes").unwrap_or(0),
             wire_delta_shipped_bytes: f.num("wire_delta_shipped_bytes").unwrap_or(0),
             wire_chunks_dirty: f.num("wire_chunks_dirty").unwrap_or(0),
+            store_appends: f.num("store_appends").unwrap_or(0),
+            store_bytes: f.num("store_bytes").unwrap_or(0),
+            store_fsyncs: f.num("store_fsyncs").unwrap_or(0),
         })
     }
 }
@@ -498,6 +516,9 @@ mod tests {
             wire_delta_raw_bytes: 40960,
             wire_delta_shipped_bytes: 10240,
             wire_chunks_dirty: 21,
+            store_appends: 15,
+            store_bytes: 2048,
+            store_fsyncs: 15,
         };
         let parsed = Breakdown::from_json(&b.to_json()).unwrap();
         assert_eq!(parsed, b);
@@ -604,5 +625,35 @@ mod tests {
         assert_eq!(b.wire_delta_shipped_bytes, 500);
         assert_eq!(b.wire_chunks_dirty, 4);
         assert!((b.delta_savings_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    /// Durable-store events fold into the journal-volume columns.
+    #[test]
+    fn store_events_are_attributed() {
+        let events = vec![
+            ev(
+                0,
+                0.0,
+                DRIVER_NODE,
+                EventKind::StoreAppend {
+                    kind: "admit".into(),
+                    bytes: 120,
+                },
+            ),
+            ev(
+                1,
+                0.5,
+                DRIVER_NODE,
+                EventKind::StoreAppend {
+                    kind: "slot".into(),
+                    bytes: 4096,
+                },
+            ),
+            ev(2, 1.0, DRIVER_NODE, EventKind::JobEnd { completed: true }),
+        ];
+        let b = Breakdown::from_events(&events);
+        assert_eq!(b.store_appends, 2);
+        assert_eq!(b.store_bytes, 4216);
+        assert_eq!(b.store_fsyncs, 2);
     }
 }

@@ -25,7 +25,7 @@
 //! count, so the cross-backend comparison is exact.
 
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use acr_core::{DetectionMethod, Scheme};
@@ -78,6 +78,17 @@ pub struct CampaignConfig {
     /// every rollback, spare promotion, and reconnect lands mid-chain and
     /// must recover through the deterministic full-ship fallback.
     pub delta_checkpoints: bool,
+    /// Let scripted scenarios kill the driver mid-run (virtual-time only).
+    /// A killed case is resumed from its durable store with
+    /// [`Job::resume`] and the *resumed* run's outcome is classified — the
+    /// sweep then doubles as a crash-restart battery. Silently inert
+    /// unless `persist_dir` is also set (a kill without a store could
+    /// never resume).
+    pub driver_kill: bool,
+    /// Root directory for per-case durable stores; each case journals into
+    /// `<root>/<scheme>_<detection>_seed<N>` (wiped before the run).
+    /// `None` keeps cases fully in-memory.
+    pub persist_dir: Option<PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -100,6 +111,8 @@ impl Default for CampaignConfig {
             timeline_events: 40,
             transport: TransportKind::InProcess,
             delta_checkpoints: false,
+            driver_kill: false,
+            persist_dir: None,
         }
     }
 }
@@ -156,7 +169,26 @@ impl CampaignConfig {
             sdc_bits_max: 3,
             allow_spare_kill: true,
             allow_heartbeat_delay: true,
+            allow_driver_kill: self.driver_kill && self.persist_dir.is_some() && !self.wall_clock(),
         }
+    }
+
+    /// The durable store directory one case persists into, when the
+    /// campaign has a `persist_dir` root.
+    pub fn case_store_dir(
+        &self,
+        scheme: Scheme,
+        detection: DetectionMethod,
+        seed: u64,
+    ) -> Option<PathBuf> {
+        self.persist_dir.as_ref().map(|root| {
+            root.join(format!(
+                "{}_{}_seed{}",
+                scheme_name(scheme),
+                detection_name(detection),
+                seed
+            ))
+        })
     }
 }
 
@@ -351,6 +383,7 @@ fn run_case(
     scheme: Scheme,
     detection: DetectionMethod,
     script: &FaultScript,
+    store: Option<&Path>,
 ) -> JobReport {
     let iters = cfg.iterations;
     let (mode, step_delay) = if cfg.wall_clock() {
@@ -363,12 +396,42 @@ fn run_case(
             Duration::ZERO,
         )
     };
-    Job::new(cfg.job_config(scheme, detection))
+    let mut job_cfg = cfg.job_config(scheme, detection);
+    if let Some(dir) = store {
+        // A stale store from a previous sweep would poison the journal.
+        let _ = std::fs::remove_dir_all(dir);
+        job_cfg.persist_dir = Some(dir.to_path_buf());
+    }
+    let report = Job::new(job_cfg)
         .with_faults(script.clone())
         .mode(mode)
         .run(move |rank, _task| {
             Box::new(CampaignTask::new(rank, iters, step_delay)) as Box<dyn Task>
-        })
+        });
+    // A scripted driver kill truncates the run; the case's real verdict is
+    // the resumed run's. The kill's journal record survives compaction, so
+    // the resume cannot be killed again by the same script entry.
+    if let Some(dir) = store {
+        if report.error.as_deref() == Some("driver killed by scripted fault") {
+            return Job::resume(dir).run(move |rank, _task| {
+                Box::new(CampaignTask::new(rank, iters, step_delay)) as Box<dyn Task>
+            });
+        }
+    }
+    report
+}
+
+/// Resume a previously-killed campaign case straight from its store dir —
+/// the `--resume` path of `examples/fault_campaign.rs`. Scheme, detection,
+/// script, and clock come from the journal's admission record; only the
+/// task factory must match, and campaign stores are always written by
+/// `CampaignTask` runs under virtual time (driver kills are virtual-only),
+/// so the iteration count is the one knob the caller supplies.
+pub fn resume_case(cfg: &CampaignConfig, dir: &Path) -> JobReport {
+    let iters = cfg.iterations;
+    Job::resume(dir).run(move |rank, _task| {
+        Box::new(CampaignTask::new(rank, iters, Duration::ZERO)) as Box<dyn Task>
+    })
 }
 
 /// The fault-free reference run a case's final state is compared against.
@@ -378,7 +441,9 @@ fn run_case(
 fn run_reference(cfg: &CampaignConfig, scheme: Scheme, detection: DetectionMethod) -> JobReport {
     let mut vcfg = cfg.clone();
     vcfg.transport = TransportKind::InProcess;
-    run_case(&vcfg, scheme, detection, &FaultScript::new())
+    // The reference never persists: journaling must not perturb it, and a
+    // store is only needed where a kill can land.
+    run_case(&vcfg, scheme, detection, &FaultScript::new(), None)
 }
 
 /// Classify one completed run against the fault-free reference final state.
@@ -453,6 +518,11 @@ pub fn repro_artifact(
     let mut s = String::new();
     s.push_str("# acr fault-campaign minimal repro\n");
     s.push_str(&format!("# violation: {why}\n"));
+    if let Some(dir) = cfg.case_store_dir(scheme, detection, seed) {
+        // The case's durable store (journal + slots) outlives the sweep;
+        // point the investigator at it.
+        s.push_str(&format!("# persist_dir: {}\n", dir.display()));
+    }
     if !timeline.is_empty() {
         s.push_str(&format!(
             "# timeline: last {} flight-recorder events\n",
@@ -489,7 +559,8 @@ pub fn run_script_case(
     script: FaultScript,
 ) -> CaseResult {
     let reference = run_reference(cfg, scheme, detection);
-    let report = run_case(cfg, scheme, detection, &script);
+    let store = cfg.case_store_dir(scheme, detection, seed);
+    let report = run_case(cfg, scheme, detection, &script, store.as_deref());
     let outcome = classify(&report, &reference.final_states);
     CaseResult {
         seed,
@@ -532,15 +603,18 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             let reference = references
                 .entry((ki, di))
                 .or_insert_with(|| run_reference(cfg, scheme, detection).final_states);
-            let report = run_case(cfg, scheme, detection, &script);
+            let store = cfg.case_store_dir(scheme, detection, seed);
+            let report = run_case(cfg, scheme, detection, &script, store.as_deref());
             let mut outcome = classify(&report, reference);
             // Wall-clock runs are not replay-deterministic by nature;
-            // determinism is a virtual-time claim only.
+            // determinism is a virtual-time claim only. The replay reuses
+            // the case's store dir (wiped on entry), so a killed case is
+            // killed and resumed identically.
             if cfg.check_determinism
                 && !cfg.wall_clock()
                 && !matches!(outcome, CaseOutcome::Violation(_))
             {
-                let replay = run_case(cfg, scheme, detection, &script);
+                let replay = run_case(cfg, scheme, detection, &script, store.as_deref());
                 if replay.trace != report.trace {
                     let diverged_at = replay
                         .trace

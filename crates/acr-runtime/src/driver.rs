@@ -20,12 +20,14 @@
 //!   fault script — the substrate of the deterministic fault campaigns.
 
 use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-use acr_core::{DetectionMethod, RecoveryPlanner, ReplicaLayout, Scheme};
-use acr_fault::{FaultAction, FaultScript, Trigger};
+use acr_core::{Checkpoint, DetectionMethod, RecoveryPlanner, ReplicaLayout, Scheme};
+use acr_fault::{FaultAction, FaultScript, ScriptedFault, Trigger};
 use acr_obs::{debug_trace, EventKind, ObsConfig, RecordedEvent, Recorder, RunPhase, DRIVER_NODE};
+use acr_store::{RecoveryReport, SlotData, SlotEntry};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver};
 use parking_lot::RwLock;
@@ -33,6 +35,9 @@ use parking_lot::RwLock;
 use crate::clock::Clock;
 use crate::message::{Ctrl, Event, Net, NodeFault, NodeIndex, Scope};
 use crate::node::{NodeConfig, NodeWorker, Pump, TaskFactory};
+use crate::persist::{
+    AdmitRecord, CommitRecord, DriverRecord, DriverStore, ResumePlan, NO_NODE, REPORT_FILE,
+};
 use crate::task::Task;
 use crate::transport::{build_fabric, FabricHandle, Port, TransportKind};
 
@@ -82,6 +87,13 @@ pub struct JobConfig {
     /// requires [`ExecMode::Threaded`]; [`ExecMode::Virtual`] runs are
     /// in-process by construction.
     pub transport: TransportKind,
+    /// Durable store directory, enabling driver crash-restart: the driver
+    /// journals every policy decision to an append-only event log and
+    /// persists each verified epoch into alternating checkpoint slots, so
+    /// a killed job can be resumed with [`Job::resume`]. `None` (the
+    /// default) keeps the job fully in-memory and byte-identical to
+    /// pre-persistence behavior.
+    pub persist_dir: Option<PathBuf>,
 }
 
 impl Default for JobConfig {
@@ -101,6 +113,7 @@ impl Default for JobConfig {
             max_duration: Duration::from_secs(60),
             obs: ObsConfig::default(),
             transport: TransportKind::InProcess,
+            persist_dir: None,
         }
     }
 }
@@ -344,6 +357,13 @@ impl JobConfigBuilder {
         self
     }
 
+    /// Enable durable persistence into `dir` (event log + checkpoint
+    /// slots), making the job resumable with [`Job::resume`].
+    pub fn persist_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.persist_dir = Some(dir.into());
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<JobConfig, ConfigError> {
         self.cfg.validate()?;
@@ -470,6 +490,10 @@ pub struct JobReport {
     /// Prometheus-style text snapshot of the recorder's counters and
     /// histograms at shutdown.
     pub metrics: String,
+    /// Machine-readable recovery report when this run was produced by
+    /// [`Job::resume`]: which slot was loaded, how much of the journal
+    /// replayed, and what was skipped or repaired along the way.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl JobReport {
@@ -508,6 +532,16 @@ enum Phase {
         pending: HashSet<NodeIndex>,
     },
     Recovery(Recovery),
+    /// A verified round is being captured into the durable store: every
+    /// active node was asked to report its verified state, and the epoch
+    /// commits to a slot once all reports are in. Only entered when
+    /// persistence is configured.
+    Persist {
+        round: u64,
+        iteration: u64,
+        pending: HashSet<NodeIndex>,
+        states: BTreeMap<(u8, usize), (u64, u64, Bytes)>,
+    },
 }
 
 #[derive(Debug)]
@@ -532,9 +566,12 @@ impl Recovery {
     }
 }
 
-/// A scripted fault awaiting its driver-side trigger.
+/// A scripted fault awaiting its driver-side trigger. `seq` is the fault's
+/// index in the script, the identity the journal uses to avoid re-firing
+/// already-consumed faults after a resume.
 #[derive(Debug, Clone, Copy)]
 struct PendingTrigger {
+    seq: usize,
     when: Trigger,
     action: FaultAction,
 }
@@ -579,6 +616,9 @@ pub struct JobBuilder {
     cfg: JobConfig,
     script: FaultScript,
     mode: ExecMode,
+    /// Set by [`Job::resume`]: rebuild configuration, script, and state
+    /// from this store directory instead of the fields above.
+    resume_from: Option<PathBuf>,
 }
 
 impl JobBuilder {
@@ -638,7 +678,10 @@ impl JobBuilder {
     where
         F: Fn(usize, usize) -> Box<dyn Task> + Send + Sync + 'static,
     {
-        run_job(self.cfg, factory, &self.script, self.mode)
+        if let Some(dir) = self.resume_from {
+            return resume_job(dir, factory);
+        }
+        run_job(self.cfg, factory, &self.script, self.mode, None)
     }
 }
 
@@ -683,6 +726,22 @@ struct Driver {
     probe: Option<Probe>,
     report: JobReport,
     rec: Arc<Recorder>,
+    /// Durable store (event log + checkpoint slots) when persistence is
+    /// configured; `None` keeps the run fully in-memory.
+    store: Option<DriverStore>,
+    /// The armed script's faults, indexed by script position (`seq`).
+    script_faults: Vec<ScriptedFault>,
+    /// Per-`seq` fired flags, pre-seeded from the journal on resume so
+    /// consumed faults never fire twice.
+    fired: Vec<bool>,
+    /// Checkpoint slot the next epoch commit writes (alternates A/B).
+    next_slot: u8,
+    /// A scripted `KillDriver` fired: stop the policy loop dead, skipping
+    /// every shutdown nicety, to model a driver crash.
+    killed: bool,
+    /// Whether this run executes under [`ExecMode::Virtual`] (scripted
+    /// driver kills are only meaningful there).
+    virtual_mode: bool,
 }
 
 impl Job {
@@ -695,14 +754,43 @@ impl Job {
             cfg,
             script: FaultScript::new(),
             mode: ExecMode::Threaded,
+            resume_from: None,
+        }
+    }
+
+    /// Resume a persisted virtual-mode job from its store directory.
+    ///
+    /// The returned builder ignores any configuration, script, or mode
+    /// attached to it: everything is rebuilt from the journal's admission
+    /// record — the job continues from its last committed epoch with the
+    /// already-consumed script entries filtered out. `factory` must be the
+    /// same deterministic task factory the original run used.
+    ///
+    /// Resume **fails closed**: a missing or closed journal, a threaded-
+    /// mode journal, or an unrecoverable store (both slots unusable after
+    /// a commit) produces a [`JobReport`] with `error` set and the
+    /// diagnosis in `recovery` — it never guesses at state.
+    pub fn resume(dir: impl Into<PathBuf>) -> JobBuilder {
+        JobBuilder {
+            cfg: JobConfig::default(),
+            script: FaultScript::new(),
+            mode: ExecMode::Threaded,
+            resume_from: Some(dir.into()),
         }
     }
 }
 
 /// The one true job entry point ([`JobBuilder::run`] delegates here):
 /// validate, build the fabric, spawn or pump the node workers, and drive
-/// the policy loop to a report.
-fn run_job<F>(cfg: JobConfig, factory: F, script: &FaultScript, mode: ExecMode) -> JobReport
+/// the policy loop to a report. `resume` carries the loaded [`ResumePlan`]
+/// when this run continues a persisted job.
+fn run_job<F>(
+    cfg: JobConfig,
+    factory: F,
+    script: &FaultScript,
+    mode: ExecMode,
+    resume: Option<(PathBuf, ResumePlan)>,
+) -> JobReport
 where
     F: Fn(usize, usize) -> Box<dyn Task> + Send + Sync + 'static,
 {
@@ -796,6 +884,12 @@ where
             probe: None,
             report: JobReport::default(),
             rec,
+            store: None,
+            script_faults: Vec::new(),
+            fired: Vec::new(),
+            next_slot: 0,
+            killed: false,
+            virtual_mode: matches!(mode, ExecMode::Virtual { .. }),
         };
         driver.rec.emit_with(DRIVER_NODE, || EventKind::JobStart {
             scheme: driver.cfg.scheme.name().to_string(),
@@ -804,7 +898,25 @@ where
             spares: driver.cfg.spares as u32,
         });
         driver.enter_phase(RunPhase::Forward);
-        driver.arm_script(script);
+        match resume {
+            Some((dir, plan)) => driver.apply_resume(&dir, plan),
+            None => {
+                if let Some(dir) = driver.cfg.persist_dir.clone() {
+                    match DriverStore::create(&dir, Arc::clone(&driver.rec)) {
+                        Ok(store) => {
+                            driver.store = Some(store);
+                            let admit = admit_record(&driver.cfg, script, mode);
+                            driver.journal(&DriverRecord::JobAdmitted(admit));
+                        }
+                        Err(e) => {
+                            driver.report.error =
+                                Some(format!("cannot create persist dir {}: {e}", dir.display()));
+                        }
+                    }
+                }
+                driver.arm_script(script, &HashSet::new());
+            }
+        }
 
         match mode {
             ExecMode::Threaded => {
@@ -835,6 +947,113 @@ where
                 std::mem::take(&mut driver.report)
             }
         }
+    }
+}
+
+/// Resume a persisted job ([`Job::resume`] delegates here): load and
+/// validate the plan, rebuild the configuration from the admission record,
+/// and hand [`run_job`] the plan to apply. Fails closed — any doubt about
+/// the store's integrity returns an error report instead of a guess.
+fn resume_job<F>(dir: PathBuf, factory: F) -> JobReport
+where
+    F: Fn(usize, usize) -> Box<dyn Task> + Send + Sync + 'static,
+{
+    let plan = match ResumePlan::load(&dir) {
+        Ok(plan) => plan,
+        Err((msg, report)) => {
+            let _ = report.write_json(dir.join(REPORT_FILE));
+            return JobReport {
+                error: Some(msg),
+                recovery: Some(report),
+                ..Default::default()
+            };
+        }
+    };
+    let a = &plan.admit;
+    let quantum = Duration::from_secs_f64(
+        a.virtual_quantum
+            .expect("ResumePlan::load refuses threaded journals"),
+    );
+    let cfg = JobConfig {
+        ranks: a.ranks as usize,
+        tasks_per_rank: a.tasks_per_rank as usize,
+        spares: a.spares as usize,
+        scheme: scheme_from_tag(a.scheme),
+        detection: detection_from_tag(a.detection),
+        chunk_size: a.chunk_size as usize,
+        checkpoint_interval: Duration::from_secs_f64(a.checkpoint_interval),
+        heartbeat_period: Duration::from_secs_f64(a.heartbeat_period),
+        heartbeat_timeout: Duration::from_secs_f64(a.heartbeat_timeout),
+        delta_checkpoints: a.delta_checkpoints,
+        delta_anchor_interval: a.delta_anchor_interval,
+        max_duration: Duration::from_secs_f64(a.max_duration),
+        obs: ObsConfig::default(),
+        transport: TransportKind::InProcess,
+        persist_dir: Some(dir.clone()),
+    };
+    let script = plan.script.clone();
+    run_job(
+        cfg,
+        factory,
+        &script,
+        ExecMode::Virtual { quantum },
+        Some((dir, plan)),
+    )
+}
+
+/// The journal's admission record for this job: everything a resume needs
+/// to rebuild the configuration and script without the caller's help.
+fn admit_record(cfg: &JobConfig, script: &FaultScript, mode: ExecMode) -> AdmitRecord {
+    AdmitRecord {
+        ranks: cfg.ranks as u64,
+        tasks_per_rank: cfg.tasks_per_rank as u64,
+        spares: cfg.spares as u64,
+        scheme: scheme_tag(cfg.scheme),
+        detection: detection_tag(cfg.detection),
+        chunk_size: cfg.chunk_size as u64,
+        checkpoint_interval: cfg.checkpoint_interval.as_secs_f64(),
+        heartbeat_period: cfg.heartbeat_period.as_secs_f64(),
+        heartbeat_timeout: cfg.heartbeat_timeout.as_secs_f64(),
+        max_duration: cfg.max_duration.as_secs_f64(),
+        delta_checkpoints: cfg.delta_checkpoints,
+        delta_anchor_interval: cfg.delta_anchor_interval,
+        virtual_quantum: match mode {
+            ExecMode::Virtual { quantum } => Some(quantum.as_secs_f64()),
+            ExecMode::Threaded => None,
+        },
+        script: script.to_repro(),
+    }
+}
+
+fn scheme_tag(s: Scheme) -> u8 {
+    match s {
+        Scheme::Strong => 0,
+        Scheme::Medium => 1,
+        Scheme::Weak => 2,
+    }
+}
+
+fn scheme_from_tag(t: u8) -> Scheme {
+    match t {
+        0 => Scheme::Strong,
+        1 => Scheme::Medium,
+        _ => Scheme::Weak,
+    }
+}
+
+fn detection_tag(d: DetectionMethod) -> u8 {
+    match d {
+        DetectionMethod::FullCompare => 0,
+        DetectionMethod::Checksum => 1,
+        DetectionMethod::ChunkedChecksum => 2,
+    }
+}
+
+fn detection_from_tag(t: u8) -> DetectionMethod {
+    match t {
+        0 => DetectionMethod::FullCompare,
+        1 => DetectionMethod::Checksum,
+        _ => DetectionMethod::ChunkedChecksum,
     }
 }
 
@@ -900,10 +1119,83 @@ impl Driver {
         self.round_counter
     }
 
+    /// Append one record to the journal, if persistence is on. An append
+    /// failure is terminal — a journal that silently misses records would
+    /// resume into a corrupt state, so the job fails instead.
+    fn journal(&mut self, record: &DriverRecord) {
+        let Some(store) = &mut self.store else {
+            return;
+        };
+        if let Err(e) = store.append(record) {
+            self.report.error = Some(format!("event-log append failed: {e}"));
+        }
+    }
+
+    /// Mark script index `seq` consumed and journal the fire.
+    fn journal_fired(&mut self, seq: usize, node: u64) {
+        if let Some(f) = self.fired.get_mut(seq) {
+            *f = true;
+        }
+        self.journal(&DriverRecord::TriggerFired {
+            seq: seq as u64,
+            node,
+        });
+    }
+
+    /// A node reported an injected fault that was armed as a node-local
+    /// iteration trigger: find its script entry and journal the fire (the
+    /// driver-side triggers journal at send time instead). Matching is by
+    /// shape — victim identity for crashes, seed+bits for SDC — against
+    /// the first unfired iteration entry, which is unambiguous because
+    /// `arm_script` armed them all from the same script.
+    fn journal_node_fault(&mut self, node: NodeIndex, fault: NodeFault) {
+        if self.store.is_none() {
+            return;
+        }
+        let located = self.layout.read().locate(node);
+        let mut matched = None;
+        for (seq, f) in self.script_faults.iter().enumerate() {
+            if self.fired.get(seq).copied().unwrap_or(true) {
+                continue;
+            }
+            if !matches!(f.when, Trigger::AtIteration(_)) {
+                continue;
+            }
+            let hit = match (f.action, fault) {
+                (FaultAction::Crash { replica, rank }, NodeFault::Crash) => {
+                    located == Some((replica, rank))
+                }
+                (FaultAction::Sdc { seed, bits, .. }, NodeFault::Sdc { seed: s, bits: b }) => {
+                    seed == s && bits == b
+                }
+                _ => false,
+            };
+            if hit {
+                matched = Some(seq);
+                break;
+            }
+        }
+        if let Some(seq) = matched {
+            self.journal_fired(seq, NO_NODE);
+        }
+    }
+
     /// Split a script between driver-side triggers (time, checkpoint count)
     /// and node-local iteration triggers, arming the latter immediately.
-    fn arm_script(&mut self, script: &FaultScript) {
-        for fault in &script.faults {
+    /// `dropped` holds script indices whose effects are already part of
+    /// committed history (resume's trigger filter): they are never re-armed.
+    fn arm_script(&mut self, script: &FaultScript, dropped: &HashSet<usize>) {
+        self.script_faults = script.faults.clone();
+        self.fired = vec![false; script.faults.len()];
+        for &seq in dropped {
+            if let Some(f) = self.fired.get_mut(seq) {
+                *f = true;
+            }
+        }
+        for (seq, fault) in script.faults.iter().enumerate() {
+            if dropped.contains(&seq) {
+                continue;
+            }
             match (fault.when, fault.action) {
                 (Trigger::AtIteration(k), FaultAction::Crash { replica, rank }) => {
                     let node = self.layout.read().host(replica, rank);
@@ -936,10 +1228,11 @@ impl Driver {
                 // Iteration triggers need a live victim rank; for the other
                 // actions they degenerate to "as soon as possible".
                 (Trigger::AtIteration(_), action) => self.triggers.push(PendingTrigger {
+                    seq,
                     when: Trigger::At(0.0),
                     action,
                 }),
-                (when, action) => self.triggers.push(PendingTrigger { when, action }),
+                (when, action) => self.triggers.push(PendingTrigger { seq, when, action }),
             }
         }
     }
@@ -957,18 +1250,19 @@ impl Driver {
                 Trigger::AtIteration(_) => unreachable!("compiled to node-local triggers"),
             };
             if ready {
-                due.push(t.action);
+                due.push((t.seq, t.action));
             }
             !ready
         });
-        for action in due {
-            self.fire(action);
+        for (seq, action) in due {
+            self.fire(seq, action);
         }
     }
 
-    fn fire(&mut self, action: FaultAction) {
+    fn fire(&mut self, seq: usize, action: FaultAction) {
         match action {
             FaultAction::Crash { replica, rank } => {
+                self.journal_fired(seq, NO_NODE);
                 let node = self.layout.read().host(replica, rank);
                 self.send(node, Ctrl::InjectCrash);
             }
@@ -978,13 +1272,17 @@ impl Driver {
                 seed,
                 bits,
             } => {
+                self.journal_fired(seq, NO_NODE);
                 let node = self.layout.read().host(replica, rank);
                 self.send(node, Ctrl::InjectSdc { seed, bits });
             }
             FaultAction::CrashSpare => {
                 // Kill the spare the next promotion would pick; the failure
-                // stays latent until a crash promotes the corpse.
+                // stays latent until a crash promotes the corpse. Journal
+                // the corpse's index: it is in no checkpoint, so a resume
+                // must re-halt it explicitly.
                 let spare = self.layout.read().peek_spare();
+                self.journal_fired(seq, spare.map_or(NO_NODE, |s| s as u64));
                 if let Some(spare) = spare {
                     self.send(spare, Ctrl::InjectCrash);
                 }
@@ -994,8 +1292,20 @@ impl Driver {
                 rank,
                 secs,
             } => {
+                self.journal_fired(seq, NO_NODE);
                 let node = self.layout.read().host(replica, rank);
                 self.send(node, Ctrl::MuteHeartbeats { secs });
+            }
+            FaultAction::KillDriver => {
+                if !self.virtual_mode {
+                    self.tlog("scripted driver kill ignored (threaded mode)".into());
+                    return;
+                }
+                // Journal the fire *before* dying: the kept record is what
+                // stops a resume from re-arming the kill forever.
+                self.journal_fired(seq, NO_NODE);
+                self.tlog("scripted driver kill".into());
+                self.killed = true;
             }
         }
     }
@@ -1016,7 +1326,15 @@ impl Driver {
             self.tlog("error: max_duration exceeded".into());
             return LoopCtl::Done;
         }
-        self.fire_due_triggers();
+        // A kill firing mid-persist would journal a TriggerFired between
+        // the round's records and its commit, muddying the capture
+        // boundary; hold fire until the epoch commits or is abandoned.
+        if !matches!(self.phase, Phase::Persist { .. }) {
+            self.fire_due_triggers();
+        }
+        if self.killed {
+            return LoopCtl::Done;
+        }
         self.poll_probe();
         self.poll_transport_suspects();
         if matches!(self.phase, Phase::Running) {
@@ -1077,8 +1395,21 @@ impl Driver {
             }
             self.clock.advance(quantum);
         }
+        if self.killed {
+            // A scripted driver kill models `kill -9`: no JobClosed record,
+            // no shutdown handshake, no final-state collection — the store
+            // holds exactly what the fsynced appends left behind. The
+            // in-memory report is still returned so tests can introspect
+            // the truncated run.
+            self.report.completed = false;
+            self.report.error = Some("driver killed by scripted fault".into());
+            self.report.duration = self.now();
+            self.finalize_obs();
+            return;
+        }
         self.report.duration = self.now();
         self.emit_job_end();
+        self.close_journal();
 
         let total = workers.len();
         for n in 0..total {
@@ -1140,18 +1471,21 @@ impl Driver {
                 }
             }
             Event::TransportStale { node } => self.on_transport_stale(node),
-            Event::FaultInjected { node, at, fault } => match fault {
-                NodeFault::Crash => {
-                    self.report.crashes_injected_at.push(at);
-                    self.tlog(format!("fault crash landed node={node} at={at:.6}"));
+            Event::FaultInjected { node, at, fault } => {
+                self.journal_node_fault(node, fault);
+                match fault {
+                    NodeFault::Crash => {
+                        self.report.crashes_injected_at.push(at);
+                        self.tlog(format!("fault crash landed node={node} at={at:.6}"));
+                    }
+                    NodeFault::Sdc { seed, bits } => {
+                        self.report.sdc_injected_at.push(at);
+                        self.tlog(format!(
+                            "fault sdc landed node={node} at={at:.6} seed={seed} bits={bits}"
+                        ));
+                    }
                 }
-                NodeFault::Sdc { seed, bits } => {
-                    self.report.sdc_injected_at.push(at);
-                    self.tlog(format!(
-                        "fault sdc landed node={node} at={at:.6} seed={seed} bits={bits}"
-                    ));
-                }
-            },
+            }
             Event::CheckpointDone {
                 node,
                 round,
@@ -1191,10 +1525,16 @@ impl Driver {
                                 self.report.verified_round_starts.push(started);
                                 self.verified_exists = true;
                                 self.tlog(format!("round {round} verified iter={iteration}"));
-                                for n in self.active_nodes() {
-                                    self.send(n, Ctrl::RoundComplete);
+                                if self.store.is_some() {
+                                    // Capture the verified epoch durably
+                                    // before releasing the round.
+                                    self.begin_persist(round, iteration);
+                                } else {
+                                    for n in self.active_nodes() {
+                                        self.send(n, Ctrl::RoundComplete);
+                                    }
+                                    self.back_to_running();
                                 }
-                                self.back_to_running();
                             }
                         }
                     }
@@ -1240,6 +1580,34 @@ impl Driver {
                 if let Phase::Recovery(rec) = &mut self.phase {
                     rec.expect_installed.remove(&node);
                     self.maybe_finish_recovery();
+                }
+            }
+            Event::VerifiedState {
+                node,
+                round,
+                iteration,
+                digest,
+                payload,
+            } => {
+                let located = self.layout.read().locate(node);
+                let mut ready = false;
+                if let Phase::Persist {
+                    round: r,
+                    pending,
+                    states,
+                    ..
+                } = &mut self.phase
+                {
+                    if *r == round {
+                        pending.remove(&node);
+                        if let Some((replica, rank)) = located {
+                            states.insert((replica, rank), (iteration, digest, payload));
+                        }
+                        ready = pending.is_empty();
+                    }
+                }
+                if ready {
+                    self.commit_epoch();
                 }
             }
             Event::AllTasksDone { node } => {
@@ -1373,6 +1741,232 @@ impl Driver {
         self.next_ckpt = self.now() + self.cfg.checkpoint_interval.as_secs_f64();
     }
 
+    /// A round verified clean with persistence on: collect every active
+    /// node's verified state before releasing the round, so the epoch can
+    /// commit to a slot as one consistent line.
+    fn begin_persist(&mut self, round: u64, iteration: u64) {
+        self.last_event = self.now();
+        self.tlog(format!("round {round} persisting"));
+        let nodes = self.active_nodes();
+        for &n in &nodes {
+            self.send(n, Ctrl::ReportVerified { round });
+        }
+        self.phase = Phase::Persist {
+            round,
+            iteration,
+            pending: nodes.into_iter().collect(),
+            states: BTreeMap::new(),
+        };
+    }
+
+    /// All verified-state reports are in: write the epoch to the next slot,
+    /// journal the commit, and release the round. After the journal append
+    /// returns, this epoch is what a resume restores.
+    fn commit_epoch(&mut self) {
+        let Phase::Persist {
+            round,
+            iteration,
+            states,
+            ..
+        } = std::mem::replace(&mut self.phase, Phase::Running)
+        else {
+            unreachable!("commit_epoch outside Persist");
+        };
+        let slot = self.next_slot;
+        let data = SlotData {
+            epoch: round,
+            entries: states
+                .iter()
+                .map(|(&(replica, rank), (it, _digest, payload))| SlotEntry {
+                    replica,
+                    rank: rank as u64,
+                    iteration: *it,
+                    payload: payload.to_vec(),
+                })
+                .collect(),
+        };
+        if let Some(store) = &mut self.store {
+            if let Err(e) = store.write_slot(slot, &data) {
+                self.report.error = Some(format!("checkpoint slot write failed: {e}"));
+                return;
+            }
+        }
+        self.next_slot = 1 - slot;
+        let commit = CommitRecord {
+            round,
+            slot,
+            t: self.now(),
+            iteration,
+            round_counter: self.round_counter,
+            checkpoints_verified: self.report.checkpoints_verified as u64,
+            sdc_rounds_detected: self.report.sdc_rounds_detected as u64,
+            rollbacks: self.report.rollbacks as u64,
+            hard_errors_recovered: self.report.hard_errors_recovered as u64,
+            unverified_recoveries: self.report.unverified_recoveries as u64,
+            restarts_from_beginning: self.report.restarts_from_beginning as u64,
+            verified_round_starts: self.report.verified_round_starts.clone(),
+            unverified_recoveries_at: self.report.unverified_recoveries_at.clone(),
+            sdc_injected_at: self.report.sdc_injected_at.clone(),
+            crashes_injected_at: self.report.crashes_injected_at.clone(),
+        };
+        self.journal(&DriverRecord::EpochCommit(commit));
+        self.tlog(format!("epoch {round} committed to slot {slot}"));
+        for n in self.active_nodes() {
+            self.send(n, Ctrl::RoundComplete);
+        }
+        self.back_to_running();
+    }
+
+    /// Append the journal's terminal record. A closed journal refuses to
+    /// resume — the job either completed or failed in a way a resume
+    /// cannot mend (e.g. out of spares).
+    fn close_journal(&mut self) {
+        if self.store.is_some() {
+            let completed = self.report.completed;
+            self.journal(&DriverRecord::JobClosed { completed });
+        }
+    }
+
+    /// Rebuild driver state from a [`ResumePlan`]: reopen the journal
+    /// compacted, advance the clock to the committed epoch, replay the
+    /// layout history (halting corpses), seed every active node with its
+    /// slot checkpoint, and re-arm the filtered fault script.
+    fn apply_resume(&mut self, dir: &Path, plan: ResumePlan) {
+        match DriverStore::resume(dir, &plan.kept, Arc::clone(&self.rec)) {
+            Ok(store) => self.store = Some(store),
+            Err(e) => {
+                self.report.error = Some(format!("cannot reopen event log: {e}"));
+                return;
+            }
+        }
+        self.next_slot = plan.next_slot;
+        self.rec.emit_with(DRIVER_NODE, || EventKind::StoreRecover {
+            source: plan.report.source.clone(),
+            replayed: plan.report.records_replayed,
+            skipped: plan.report.records_skipped,
+        });
+        if let Some(c) = &plan.commit {
+            // The resumed job clock continues from the commit time so
+            // time-anchored triggers and the max_duration budget keep their
+            // original meaning.
+            self.clock.advance(c.t);
+        }
+        self.last_event = self.now();
+
+        // Replay the pre-commit layout history. Promotions must pick the
+        // same spares they picked originally (the layout allocator is
+        // deterministic); divergence means the journal does not describe
+        // this job, and resuming would corrupt state.
+        for p in &plan.promotions {
+            let picked = self.layout.write().replace_with_spare(p.dead);
+            match picked {
+                Ok(s) if s == p.spare => {}
+                other => {
+                    self.report.error = Some(format!(
+                        "journal replay diverged: promotion of node {} expected spare {}, \
+                         layout gave {other:?}",
+                        p.dead, p.spare
+                    ));
+                    return;
+                }
+            }
+            self.dead_nodes.insert(p.dead);
+            self.send(p.dead, Ctrl::Halt);
+            let buddy = self.layout.read().host(1 - p.replica, p.rank);
+            self.send(
+                p.spare,
+                Ctrl::AssumeIdentity {
+                    replica: p.replica,
+                    rank: p.rank,
+                    buddy,
+                    floor: 0,
+                },
+            );
+            self.send(p.spare, Ctrl::Resume { floor: 0 });
+            self.last_recovery_identity = Some((p.replica, p.rank));
+        }
+        // Deaths the journal recorded without a matching promotion (the
+        // kill landed between the death and its recovery): halt the corpse
+        // and let the resumed driver run the recovery itself.
+        let promoted: HashSet<usize> = plan.promotions.iter().map(|p| p.dead).collect();
+        for &n in &plan.dead {
+            if promoted.contains(&n) {
+                continue;
+            }
+            if self.dead_nodes.insert(n) {
+                self.send(n, Ctrl::Halt);
+                self.pending_failures.push_back(n);
+            }
+        }
+        // Pre-commit CrashSpare corpses are in no checkpoint: re-halt.
+        for &n in &plan.halt_targets {
+            self.send(n, Ctrl::Halt);
+        }
+
+        if let Some(c) = &plan.commit {
+            self.round_counter = c.round_counter;
+            self.report.checkpoints_verified = c.checkpoints_verified as usize;
+            self.report.sdc_rounds_detected = c.sdc_rounds_detected as usize;
+            self.report.rollbacks = c.rollbacks as usize;
+            self.report.hard_errors_recovered = c.hard_errors_recovered as usize;
+            self.report.unverified_recoveries = c.unverified_recoveries as usize;
+            self.report.restarts_from_beginning = c.restarts_from_beginning as usize;
+            self.report.verified_round_starts = c.verified_round_starts.clone();
+            self.report.unverified_recoveries_at = c.unverified_recoveries_at.clone();
+            self.report.sdc_injected_at = c.sdc_injected_at.clone();
+            self.report.crashes_injected_at = c.crashes_injected_at.clone();
+            self.verified_exists = true;
+            self.next_ckpt = c.t + self.cfg.checkpoint_interval.as_secs_f64();
+            // Every worker armed its heartbeat watch at clock 0; with the
+            // clock now at the commit time, re-watch before the first tick
+            // or every buddy would look timed out instantly.
+            for n in self.active_nodes() {
+                let buddy = self
+                    .layout
+                    .read()
+                    .buddy(n)
+                    .expect("active node has a buddy");
+                self.send(n, Ctrl::BuddyChanged { buddy });
+            }
+            for (&(replica, rank), (it, digest, payload)) in &plan.slot_states {
+                let node = self.layout.read().host(replica, rank);
+                self.port.send(
+                    node,
+                    Net::Install {
+                        checkpoint: Checkpoint::new(*it, payload.clone(), *digest),
+                    },
+                );
+            }
+            self.tlog(format!(
+                "resumed from {} checkpoint: epoch {} iteration {}",
+                plan.report.source, c.round, c.iteration
+            ));
+        } else {
+            for n in self.active_nodes() {
+                let buddy = self
+                    .layout
+                    .read()
+                    .buddy(n)
+                    .expect("active node has a buddy");
+                self.send(n, Ctrl::BuddyChanged { buddy });
+            }
+            if !plan.promotions.is_empty() {
+                // The layout changed but no epoch was ever captured:
+                // restart the application from a common clean slate.
+                self.needs_global_restart = true;
+            }
+            self.tlog("resumed with no committed epoch: restarting from initial state".into());
+        }
+        self.report.recovery = Some(plan.report.clone());
+        if let Err(e) = plan.report.write_json(dir.join(REPORT_FILE)) {
+            self.tlog(format!("could not write recovery report: {e}"));
+        }
+        // Arm last, after the layout replay, so iteration-trigger faults
+        // target the nodes *currently* hosting their victim ranks.
+        let script = plan.script.clone();
+        self.arm_script(&script, &plan.dropped_seqs);
+    }
+
     fn on_dead(&mut self, reporter: NodeIndex, dead: NodeIndex) {
         if self.dead_nodes.contains(&dead) || self.layout.read().locate(dead).is_none() {
             return; // duplicate report or not an active node
@@ -1417,6 +2011,7 @@ impl Driver {
         self.dead_nodes.insert(dead);
         self.done_nodes.remove(&dead);
         self.tlog(format!("node {dead} declared dead"));
+        self.journal(&DriverRecord::NodeDead { node: dead as u64 });
         match &self.phase {
             Phase::Running => self.start_recovery(dead),
             Phase::GlobalRound { .. } => {
@@ -1429,6 +2024,21 @@ impl Driver {
                     }
                 }
                 self.phase = Phase::Running;
+                self.start_recovery(dead);
+            }
+            Phase::Persist { .. } => {
+                // The round already verified clean; only its durable
+                // capture is incomplete. Abandon the capture (the store
+                // keeps the previous epoch), release the round, and
+                // recover — exactly what would happen had the death landed
+                // a moment after the commit.
+                self.tlog("epoch persist abandoned by death".into());
+                for n in self.active_nodes() {
+                    if n != dead {
+                        self.send(n, Ctrl::RoundComplete);
+                    }
+                }
+                self.back_to_running();
                 self.start_recovery(dead);
             }
             Phase::AwaitRollback { .. } => {
@@ -1515,6 +2125,12 @@ impl Driver {
             }
         };
         self.report.hard_errors_recovered += 1;
+        self.journal(&DriverRecord::SparePromoted {
+            dead: dead as u64,
+            spare: spare as u64,
+            replica,
+            rank: rank as u64,
+        });
         if self.distributed_layout {
             // Remote node hosts hold private layout copies: broadcast the
             // promotion so their layouts stay in lockstep with ours.
@@ -1763,6 +2379,7 @@ impl Driver {
         let started = self.now();
         self.enter_phase(RunPhase::Round);
         self.rec.emit(DRIVER_NODE, EventKind::RoundStart { round });
+        self.journal(&DriverRecord::RoundOpened { round });
         self.tlog(format!("round {round} starts"));
         for &n in &nodes {
             self.send(
@@ -1785,6 +2402,7 @@ impl Driver {
     fn shutdown_threaded(&mut self, handles: Vec<std::thread::JoinHandle<()>>) -> JobReport {
         self.report.duration = self.now();
         self.emit_job_end();
+        self.close_journal();
         let total = self.total;
         for n in 0..total {
             self.send(n, Ctrl::Shutdown);

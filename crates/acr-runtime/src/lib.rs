@@ -44,6 +44,7 @@ mod clock;
 mod driver;
 mod message;
 mod node;
+mod persist;
 mod task;
 mod tcp;
 mod transport;
@@ -62,3 +63,4 @@ pub use wire::WireCodec;
 pub use acr_core::{DetectionMethod, Divergence, Scheme};
 pub use acr_fault::{FaultAction, FaultScript, ScenarioSpace, ScriptedFault, Trigger};
 pub use acr_obs::{ObsConfig, RecordedEvent, Recorder};
+pub use acr_store::RecoveryReport;

@@ -134,6 +134,16 @@ pub(crate) enum Ctrl {
     Ping { token: u64 },
     /// Finish: reply with final state and exit the scheduler loop.
     Shutdown,
+    /// (Persistence only) the global round `round` just got a clean verdict:
+    /// reply [`Event::VerifiedState`] with the packed task payloads the node
+    /// is about to promote, so the driver can write them to the on-disk
+    /// checkpoint slot before releasing the round.
+    ReportVerified { round: u64 },
+    /// (Resume replay only) stop responding to anything, silently. Same
+    /// terminal behavior as `InjectCrash`, but without a `FaultInjected`
+    /// report: replayed deaths are history, not new faults, and must not
+    /// perturb restored injection counters.
+    Halt,
     /// (Distributed layout only) the driver replaced `dead` with a spare;
     /// node hosts that keep a private copy of the replica layout apply the
     /// same substitution so their layouts stay in lockstep with the
@@ -194,6 +204,17 @@ pub(crate) enum Event {
         node: NodeIndex,
         identity: Option<(u8, usize)>,
         tasks: Vec<Bytes>,
+    },
+    /// Answer to [`Ctrl::ReportVerified`]: the packed checkpoint payload this
+    /// node is promoting for round `round`, captured at `iteration`. The
+    /// payload/digest pair is exactly what [`Ctrl`]'s `Install` path accepts,
+    /// so a resumed driver can seed nodes with it verbatim.
+    VerifiedState {
+        node: NodeIndex,
+        round: u64,
+        iteration: u64,
+        digest: u64,
+        payload: Bytes,
     },
     /// (TCP transport only) synthesized by the router's stale monitor, not
     /// by any node: `node`'s socket has been detached longer than the

@@ -185,6 +185,13 @@ struct DeltaState {
     /// Receiver side: the buddy payload from the last compare processed,
     /// keyed by its iteration — what the next delta overlays onto.
     base: Option<(u64, Bytes)>,
+    /// Receiver side: this node's *own* per-chunk digests at the base
+    /// iteration. Chunks whose digest is unchanged here AND absent from the
+    /// sender's dirty set were byte-verified clean at the base round on both
+    /// sides, so the next compare may skip them (transitivity through the
+    /// common verified base). Purely an optimization key: when it is stale
+    /// or absent the compare simply runs over every chunk.
+    local_base: Option<(u64, Vec<u64>)>,
 }
 
 pub(crate) struct NodeWorker {
@@ -633,6 +640,16 @@ impl NodeWorker {
         delta
     }
 
+    /// This node's own tentative per-chunk digest table, if the in-flight
+    /// checkpoint carries one (the receiver side of the clean-chunk-skip
+    /// bookkeeping).
+    fn tentative_chunks(&self) -> Option<(u32, Vec<u64>)> {
+        self.store
+            .tentative()
+            .and_then(|t| t.chunks.as_ref())
+            .map(|c| (c.chunk_size, c.digests.clone()))
+    }
+
     /// Resolve a buddy detection message into the form the comparison runs
     /// on. A delta record is overlaid onto the retained base and verified
     /// against its whole-payload digest; success yields a byte-exact
@@ -642,14 +659,31 @@ impl NodeWorker {
     /// record's own digest-table-grade comparison — same verdict, coarser
     /// localization — and drops the base. Full payloads are retained as the
     /// next round's base.
-    fn resolve_incoming(&mut self, iteration: u64, detection: Detection) -> Detection {
+    ///
+    /// The second return value is the clean-chunk-skip candidate set: when a
+    /// delta resolves against a base whose round was byte-verified on both
+    /// sides, only chunks dirty on the sender (its dirty windows) or the
+    /// receiver (own digest changed since that base) can possibly differ —
+    /// every other chunk matched byte-for-byte at the base round and is
+    /// unchanged since on both sides. `Some(indices)` (sorted, deduplicated)
+    /// licenses the restricted compare; `None` means compare everything.
+    fn resolve_incoming(
+        &mut self,
+        iteration: u64,
+        detection: Detection,
+    ) -> (Detection, Option<Vec<usize>>) {
         if !self.delta_enabled() {
-            return detection;
+            return (detection, None);
         }
         match &detection {
             Detection::Payload(p) => {
                 self.delta.base = Some((iteration, p.clone()));
-                detection
+                // A full ship round, once verified, is a fresh transitivity
+                // anchor: remember our own chunk digests at this iteration.
+                self.delta.local_base = self
+                    .tentative_chunks()
+                    .map(|(_, digests)| (iteration, digests));
+                (detection, None)
             }
             Detection::Delta {
                 base_iteration,
@@ -668,17 +702,53 @@ impl NodeWorker {
                             if fletcher64(&rebuilt) == *digest {
                                 let payload = Bytes::from(rebuilt);
                                 self.delta.base = Some((iteration, payload.clone()));
-                                return Detection::Payload(payload);
+                                let candidates =
+                                    self.skip_candidates(*base_iteration, table, dirty);
+                                self.delta.local_base = self
+                                    .tentative_chunks()
+                                    .map(|(_, digests)| (iteration, digests));
+                                return (Detection::Payload(payload), candidates);
                             }
                         }
                     }
                 }
                 self.delta.base = None;
+                self.delta.local_base = None;
                 self.rec.inc_counter("acr_delta_fallback_total", 1);
-                detection
+                (detection, None)
             }
-            _ => detection,
+            _ => (detection, None),
         }
+    }
+
+    /// Chunk indices that can possibly differ this round, or `None` when the
+    /// transitivity preconditions don't hold (stale or absent own-base
+    /// digests, chunk geometry changed) and the full compare must run.
+    fn skip_candidates(
+        &self,
+        base_iteration: u64,
+        table: &ChunkTable,
+        dirty: &[(u32, Bytes)],
+    ) -> Option<Vec<usize>> {
+        let (lb_iter, lb_digests) = self.delta.local_base.as_ref()?;
+        if *lb_iter != base_iteration {
+            return None; // our anchor is from a different round than the delta's
+        }
+        let (cur_chunk_size, cur_digests) = self.tentative_chunks()?;
+        if cur_chunk_size != table.chunk_size
+            || cur_digests.len() != lb_digests.len()
+            || cur_digests.len() != table.digests.len()
+        {
+            return None; // geometry drifted: per-chunk correspondence is void
+        }
+        let mut candidates: std::collections::BTreeSet<usize> =
+            dirty.iter().map(|&(i, _)| i as usize).collect();
+        for (i, (cur, old)) in cur_digests.iter().zip(lb_digests).enumerate() {
+            if cur != old {
+                candidates.insert(i);
+            }
+        }
+        Some(candidates.into_iter().collect())
     }
 
     /// Replica-1 side: compare once both the local tentative checkpoint and
@@ -694,18 +764,39 @@ impl NodeWorker {
             return; // stale traffic from an aborted round
         }
         let (_, detection) = self.pending_remote.take().expect("checked above");
-        let detection = self.resolve_incoming(iteration, detection);
+        let (detection, candidates) = self.resolve_incoming(iteration, detection);
         let tentative = self.store.tentative().expect("checked above");
         // Promotion is deferred to the driver's RoundComplete: a mismatch
         // *anywhere* invalidates the whole round, so locally-clean pairs
         // must not advance their rollback target ahead of the others.
-        let divergence = self.detector.diverged_recorded(
-            tentative,
-            &detection,
-            &self.rec,
-            self.cfg.index as u32,
-            iteration,
-        );
+        let divergence = match (&detection, &candidates) {
+            (Detection::Payload(remote), Some(cands)) => {
+                // Transitivity through the verified base (see
+                // `resolve_incoming`): chunks outside the candidate set are
+                // provably identical and need not be re-read.
+                let total = tentative.chunks.as_ref().map_or(0, |t| t.digests.len());
+                let skipped = total.saturating_sub(cands.len()) as u64;
+                if skipped > 0 {
+                    self.rec
+                        .inc_counter("acr_delta_compare_skipped_total", skipped);
+                }
+                self.detector.diverged_restricted_recorded(
+                    tentative,
+                    remote,
+                    cands,
+                    &self.rec,
+                    self.cfg.index as u32,
+                    iteration,
+                )
+            }
+            _ => self.detector.diverged_recorded(
+                tentative,
+                &detection,
+                &self.rec,
+                self.cfg.index as u32,
+                iteration,
+            ),
+        };
         let clean = divergence.is_clean();
         let payload_len = tentative.len();
         debug_trace!(self.rec, self.obs_node(),
@@ -922,6 +1013,32 @@ impl NodeWorker {
             Ctrl::Shutdown => {
                 self.report_final_state();
                 return true;
+            }
+            Ctrl::ReportVerified { round } => {
+                // The driver holds the round open (Phase::Persist) until every
+                // active node answers, so the tentative checkpoint — promoted
+                // only on the RoundComplete that follows — is still in place.
+                // The rollback target covers the pathological reorder where a
+                // promotion slipped in first.
+                let ckpt = self
+                    .store
+                    .tentative()
+                    .or_else(|| self.store.rollback_target());
+                if let Some(t) = ckpt {
+                    self.port.send_event(Event::VerifiedState {
+                        node: self.cfg.index,
+                        round,
+                        iteration: t.iteration,
+                        digest: t.digest,
+                        payload: t.payload.clone(),
+                    });
+                }
+            }
+            Ctrl::Halt => {
+                // Replayed death from a resumed journal: same terminal
+                // behavior as an injected crash, but silent — no
+                // FaultInjected event, so restored counters stay exact.
+                self.crashed = true;
             }
             Ctrl::LayoutChanged { dead } => {
                 // Only meaningful for private layouts (remote node hosts);

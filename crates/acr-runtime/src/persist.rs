@@ -1,0 +1,1092 @@
+//! Driver persistence: journal records, the durable store wrapper, and the
+//! resume planner (DESIGN.md §11).
+//!
+//! The split follows the store's motto — *events are what happened,
+//! checkpoints are what we believe*. The journal records driver decisions
+//! (admission, fired triggers, deaths, promotions, committed epochs); the
+//! slot store holds the two most recent verified checkpoint payloads. A
+//! resume scans the journal with the self-healing reader, picks the last
+//! commit whose slot validates (the primary; the previous commit's slot is
+//! the rollback), replays the pre-commit layout history, and re-arms only
+//! the scripted faults whose effects are not already part of committed
+//! history.
+
+use std::collections::{BTreeMap, HashSet};
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use acr_fault::{FaultAction, FaultScript};
+use acr_obs::{EventKind, Recorder, DRIVER_NODE};
+use acr_store::{scan_log, EventLog, RecoveryReport, SlotData, SlotStore};
+use bytes::Bytes;
+
+/// File name of the driver journal inside a persist dir.
+pub(crate) const LOG_FILE: &str = "events.log";
+/// File name of the machine-readable recovery report a resume writes.
+pub(crate) const REPORT_FILE: &str = "recovery_report.json";
+
+/// `TriggerFired::node` when the fire has no single target node.
+pub(crate) const NO_NODE: u64 = u64::MAX;
+
+/// Everything the driver journals. One record per durable decision; the
+/// on-wire form is a tag byte plus little-endian fields, small enough that
+/// the per-record fsync dominates the append cost.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum DriverRecord {
+    /// The job was admitted with this configuration and fault script.
+    /// Always the first record; a resume reconstructs the job from it.
+    JobAdmitted(AdmitRecord),
+    /// A global checkpoint round opened. Marks the capture boundary for
+    /// trigger filtering: a fault fired *before* the committing round
+    /// opened is reflected in the committed state (or was already rolled
+    /// back); one fired after the round opened landed on post-pack live
+    /// state that the resume discards, so it must fire again.
+    RoundOpened {
+        /// Driver round id.
+        round: u64,
+    },
+    /// Scripted fault `seq` (index into the admitted script) fired —
+    /// journaled when the driver sends the injection for driver-side
+    /// triggers, and when the node's `FaultInjected` receipt arrives for
+    /// node-local iteration triggers. `node` is the targeted node for
+    /// `CrashSpare` (whose corpse a resume must re-halt), [`NO_NODE`]
+    /// otherwise.
+    TriggerFired { seq: u64, node: u64 },
+    /// `node` was declared dead.
+    NodeDead { node: u64 },
+    /// `spare` assumed the identity `(replica, rank)` that `dead` held.
+    SparePromoted {
+        dead: u64,
+        spare: u64,
+        replica: u8,
+        rank: u64,
+    },
+    /// A clean global round's checkpoints were durably written to `slot`.
+    EpochCommit(CommitRecord),
+    /// The job finished (or failed terminally); the journal is closed and
+    /// refuses to resume.
+    JobClosed { completed: bool },
+}
+
+/// The admitted job shape: everything a resume needs to rebuild the
+/// [`crate::JobConfig`] and fault script without the caller's help.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AdmitRecord {
+    pub ranks: u64,
+    pub tasks_per_rank: u64,
+    pub spares: u64,
+    /// [`acr_core::Scheme`] as its stable wire tag (0 strong / 1 medium /
+    /// 2 weak).
+    pub scheme: u8,
+    /// [`acr_core::DetectionMethod`] tag (0 full / 1 checksum / 2 chunked).
+    pub detection: u8,
+    pub chunk_size: u64,
+    pub checkpoint_interval: f64,
+    pub heartbeat_period: f64,
+    pub heartbeat_timeout: f64,
+    pub max_duration: f64,
+    pub delta_checkpoints: bool,
+    pub delta_anchor_interval: u32,
+    /// Virtual-mode quantum in seconds; `None` means the job ran threaded,
+    /// which a resume refuses (its timing cannot be reproduced).
+    pub virtual_quantum: Option<f64>,
+    /// The fault script in repro text form ([`FaultScript::to_repro`]).
+    pub script: String,
+}
+
+/// One committed epoch: which slot holds the verified payloads plus the
+/// driver-counter snapshot a resume restores.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CommitRecord {
+    /// Driver round whose clean verdict this commit persists.
+    pub round: u64,
+    /// Slot (0/1) the payloads were written to; commits alternate.
+    pub slot: u8,
+    /// Job clock at commit time — the resumed clock starts here.
+    pub t: f64,
+    /// Application iteration of the committed checkpoints.
+    pub iteration: u64,
+    /// Driver round counter after the round, so resumed round ids stay
+    /// unique and monotonic.
+    pub round_counter: u64,
+    pub checkpoints_verified: u64,
+    pub sdc_rounds_detected: u64,
+    pub rollbacks: u64,
+    pub hard_errors_recovered: u64,
+    pub unverified_recoveries: u64,
+    pub restarts_from_beginning: u64,
+    pub verified_round_starts: Vec<f64>,
+    pub unverified_recoveries_at: Vec<f64>,
+    pub sdc_injected_at: Vec<f64>,
+    pub crashes_injected_at: Vec<f64>,
+}
+
+impl DriverRecord {
+    /// Stable label for the flight recorder's `store_append` events.
+    pub(crate) fn kind(&self) -> &'static str {
+        match self {
+            DriverRecord::JobAdmitted(_) => "admit",
+            DriverRecord::RoundOpened { .. } => "round",
+            DriverRecord::TriggerFired { .. } => "trigger",
+            DriverRecord::NodeDead { .. } => "dead",
+            DriverRecord::SparePromoted { .. } => "promote",
+            DriverRecord::EpochCommit(_) => "commit",
+            DriverRecord::JobClosed { .. } => "closed",
+        }
+    }
+
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            DriverRecord::JobAdmitted(a) => {
+                b.push(0);
+                put_u64(&mut b, a.ranks);
+                put_u64(&mut b, a.tasks_per_rank);
+                put_u64(&mut b, a.spares);
+                b.push(a.scheme);
+                b.push(a.detection);
+                put_u64(&mut b, a.chunk_size);
+                put_f64(&mut b, a.checkpoint_interval);
+                put_f64(&mut b, a.heartbeat_period);
+                put_f64(&mut b, a.heartbeat_timeout);
+                put_f64(&mut b, a.max_duration);
+                b.push(a.delta_checkpoints as u8);
+                b.extend_from_slice(&a.delta_anchor_interval.to_le_bytes());
+                match a.virtual_quantum {
+                    None => b.push(0),
+                    Some(q) => {
+                        b.push(1);
+                        put_f64(&mut b, q);
+                    }
+                }
+                put_str(&mut b, &a.script);
+            }
+            DriverRecord::RoundOpened { round } => {
+                b.push(1);
+                put_u64(&mut b, *round);
+            }
+            DriverRecord::TriggerFired { seq, node } => {
+                b.push(2);
+                put_u64(&mut b, *seq);
+                put_u64(&mut b, *node);
+            }
+            DriverRecord::NodeDead { node } => {
+                b.push(3);
+                put_u64(&mut b, *node);
+            }
+            DriverRecord::SparePromoted {
+                dead,
+                spare,
+                replica,
+                rank,
+            } => {
+                b.push(4);
+                put_u64(&mut b, *dead);
+                put_u64(&mut b, *spare);
+                b.push(*replica);
+                put_u64(&mut b, *rank);
+            }
+            DriverRecord::EpochCommit(c) => {
+                b.push(5);
+                put_u64(&mut b, c.round);
+                b.push(c.slot);
+                put_f64(&mut b, c.t);
+                put_u64(&mut b, c.iteration);
+                put_u64(&mut b, c.round_counter);
+                put_u64(&mut b, c.checkpoints_verified);
+                put_u64(&mut b, c.sdc_rounds_detected);
+                put_u64(&mut b, c.rollbacks);
+                put_u64(&mut b, c.hard_errors_recovered);
+                put_u64(&mut b, c.unverified_recoveries);
+                put_u64(&mut b, c.restarts_from_beginning);
+                put_f64s(&mut b, &c.verified_round_starts);
+                put_f64s(&mut b, &c.unverified_recoveries_at);
+                put_f64s(&mut b, &c.sdc_injected_at);
+                put_f64s(&mut b, &c.crashes_injected_at);
+            }
+            DriverRecord::JobClosed { completed } => {
+                b.push(6);
+                b.push(*completed as u8);
+            }
+        }
+        b
+    }
+
+    pub(crate) fn decode(buf: &[u8]) -> Result<DriverRecord, String> {
+        let mut r = Rd { buf, pos: 0 };
+        let rec = match r.u8()? {
+            0 => DriverRecord::JobAdmitted(AdmitRecord {
+                ranks: r.u64()?,
+                tasks_per_rank: r.u64()?,
+                spares: r.u64()?,
+                scheme: r.u8()?,
+                detection: r.u8()?,
+                chunk_size: r.u64()?,
+                checkpoint_interval: r.f64()?,
+                heartbeat_period: r.f64()?,
+                heartbeat_timeout: r.f64()?,
+                max_duration: r.f64()?,
+                delta_checkpoints: r.u8()? != 0,
+                delta_anchor_interval: r.u32()?,
+                virtual_quantum: if r.u8()? != 0 { Some(r.f64()?) } else { None },
+                script: r.str()?,
+            }),
+            1 => DriverRecord::RoundOpened { round: r.u64()? },
+            2 => DriverRecord::TriggerFired {
+                seq: r.u64()?,
+                node: r.u64()?,
+            },
+            3 => DriverRecord::NodeDead { node: r.u64()? },
+            4 => DriverRecord::SparePromoted {
+                dead: r.u64()?,
+                spare: r.u64()?,
+                replica: r.u8()?,
+                rank: r.u64()?,
+            },
+            5 => DriverRecord::EpochCommit(CommitRecord {
+                round: r.u64()?,
+                slot: r.u8()?,
+                t: r.f64()?,
+                iteration: r.u64()?,
+                round_counter: r.u64()?,
+                checkpoints_verified: r.u64()?,
+                sdc_rounds_detected: r.u64()?,
+                rollbacks: r.u64()?,
+                hard_errors_recovered: r.u64()?,
+                unverified_recoveries: r.u64()?,
+                restarts_from_beginning: r.u64()?,
+                verified_round_starts: r.f64s()?,
+                unverified_recoveries_at: r.f64s()?,
+                sdc_injected_at: r.f64s()?,
+                crashes_injected_at: r.f64s()?,
+            }),
+            6 => DriverRecord::JobClosed {
+                completed: r.u8()? != 0,
+            },
+            t => return Err(format!("unknown record tag {t}")),
+        };
+        r.finish()?;
+        Ok(rec)
+    }
+}
+
+fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(b: &mut Vec<u8>, v: f64) {
+    b.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_f64s(b: &mut Vec<u8>, vs: &[f64]) {
+    b.extend_from_slice(&(vs.len() as u32).to_le_bytes());
+    for &v in vs {
+        put_f64(b, v);
+    }
+}
+
+fn put_str(b: &mut Vec<u8>, s: &str) {
+    b.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    b.extend_from_slice(s.as_bytes());
+}
+
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Rd<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err(format!(
+                "record truncated at offset {} (wanted {n} more bytes)",
+                self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|e| format!("bad utf-8: {e}"))
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.pos != self.buf.len() {
+            return Err(format!(
+                "{} trailing bytes after record",
+                self.buf.len() - self.pos
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The driver's durable store: the append-only journal plus the two
+/// checkpoint slots, with every durable write mirrored into the flight
+/// recorder (`store_append` events, `acr_store_*` counters) so the
+/// journaling overhead is measurable from any [`crate::JobReport`].
+pub(crate) struct DriverStore {
+    log: EventLog,
+    slots: SlotStore,
+    rec: Arc<Recorder>,
+}
+
+impl DriverStore {
+    /// Fresh store in `dir` (created if needed); truncates any previous
+    /// journal.
+    pub(crate) fn create(dir: &Path, rec: Arc<Recorder>) -> io::Result<DriverStore> {
+        std::fs::create_dir_all(dir)?;
+        Ok(DriverStore {
+            log: EventLog::create(dir.join(LOG_FILE))?,
+            slots: SlotStore::new(dir),
+            rec,
+        })
+    }
+
+    /// Reopen `dir` for a resumed run: the journal is compacted — rewritten
+    /// to exactly the records the resume replayed (post-commit records
+    /// describe abandoned work, except kill-driver fires, which the planner
+    /// preserves so a second resume never re-arms the kill) — and appending
+    /// continues from there. Slot files are left as they are.
+    pub(crate) fn resume(
+        dir: &Path,
+        kept: &[DriverRecord],
+        rec: Arc<Recorder>,
+    ) -> io::Result<DriverStore> {
+        let mut store = DriverStore::create(dir, rec)?;
+        for r in kept {
+            store.append(r)?;
+        }
+        Ok(store)
+    }
+
+    /// Append one journal record (synchronous, fsynced).
+    pub(crate) fn append(&mut self, r: &DriverRecord) -> io::Result<()> {
+        let bytes = self.log.append(&r.encode())?;
+        self.note(r.kind(), bytes);
+        Ok(())
+    }
+
+    /// Write one checkpoint slot (synchronous, fsynced).
+    pub(crate) fn write_slot(&mut self, slot: u8, data: &SlotData) -> io::Result<()> {
+        let bytes = self.slots.write(slot, data)?;
+        self.note("slot", bytes);
+        Ok(())
+    }
+
+    fn note(&self, kind: &'static str, bytes: u64) {
+        self.rec.emit_with(DRIVER_NODE, || EventKind::StoreAppend {
+            kind: kind.to_string(),
+            bytes,
+        });
+        self.rec.inc_counter("acr_store_appends_total", 1);
+        self.rec.inc_counter("acr_store_bytes_total", bytes);
+        self.rec.inc_counter("acr_store_fsyncs_total", 1);
+    }
+}
+
+/// A spare promotion the resume replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Promotion {
+    pub dead: usize,
+    pub spare: usize,
+    pub replica: u8,
+    pub rank: usize,
+}
+
+/// Everything [`ResumePlan::load`] distilled from a persist dir: the job
+/// shape, the chosen checkpoint source, the layout history to replay, and
+/// the trigger filter. The driver executes the plan; the plan never touches
+/// live state.
+#[derive(Debug)]
+pub(crate) struct ResumePlan {
+    pub admit: AdmitRecord,
+    pub script: FaultScript,
+    /// The chosen commit; `None` means no epoch ever committed and the job
+    /// restarts from its initial state under the replayed layout.
+    pub commit: Option<CommitRecord>,
+    /// `(replica, rank)` → `(iteration, digest, payload)` from the chosen
+    /// slot, ready for `Install`.
+    pub slot_states: BTreeMap<(u8, usize), (u64, u64, Bytes)>,
+    /// Nodes dead at the chosen commit, in declaration order.
+    pub dead: Vec<usize>,
+    /// Spare promotions up to the chosen commit, in order.
+    pub promotions: Vec<Promotion>,
+    /// Script indices whose effects are already part of committed history:
+    /// the resume must not re-arm them.
+    pub dropped_seqs: HashSet<usize>,
+    /// Nodes killed by pre-commit `CrashSpare` fires: their corpse state
+    /// is in no checkpoint, so the resume re-halts them explicitly.
+    pub halt_targets: Vec<usize>,
+    /// Records the compacted journal keeps (see [`DriverStore::resume`]).
+    pub kept: Vec<DriverRecord>,
+    /// Slot the next epoch commit writes to (commits alternate).
+    pub next_slot: u8,
+    /// The machine-readable summary of what this plan will do.
+    pub report: RecoveryReport,
+}
+
+impl ResumePlan {
+    /// Scan `dir` and build the plan. Fails closed — missing or corrupt
+    /// prerequisites return an error plus a diagnostics-laden report, never
+    /// a guessed state.
+    pub(crate) fn load(dir: &Path) -> Result<ResumePlan, (String, RecoveryReport)> {
+        let mut diagnostics: Vec<String> = Vec::new();
+        let fail = |msg: String, mut diagnostics: Vec<String>| {
+            diagnostics.push(msg.clone());
+            let report = RecoveryReport {
+                source: "failed".into(),
+                diagnostics,
+                ..RecoveryReport::default()
+            };
+            (msg, report)
+        };
+
+        let log_path = dir.join(LOG_FILE);
+        let scan = match scan_log(&log_path) {
+            Ok(s) => s,
+            Err(e) => {
+                return Err(fail(
+                    format!("cannot read event log {}: {e}", log_path.display()),
+                    diagnostics,
+                ))
+            }
+        };
+        if scan.missing_magic {
+            diagnostics.push("event log file magic missing or damaged".into());
+        }
+        if scan.skipped_bytes > 0 {
+            diagnostics.push(format!(
+                "self-healing reader skipped {} garbage bytes",
+                scan.skipped_bytes
+            ));
+        }
+        let mut records = Vec::new();
+        for (i, payload) in scan.records.iter().enumerate() {
+            match DriverRecord::decode(payload) {
+                Ok(r) => records.push(r),
+                Err(e) => diagnostics.push(format!("record {i} undecodable: {e}")),
+            }
+        }
+
+        let Some(DriverRecord::JobAdmitted(admit)) = records.first().cloned() else {
+            return Err(fail(
+                "journal has no admission record; nothing to resume".into(),
+                diagnostics,
+            ));
+        };
+        if admit.virtual_quantum.is_none() {
+            return Err(fail(
+                "journal was recorded under the threaded executor; only virtual-mode jobs \
+                 can be resumed (their timing is reproducible)"
+                    .into(),
+                diagnostics,
+            ));
+        }
+        for r in &records {
+            if let DriverRecord::JobClosed { completed } = r {
+                return Err(fail(
+                    format!("journal is closed (completed={completed}); nothing to resume"),
+                    diagnostics,
+                ));
+            }
+        }
+        let script = match FaultScript::parse(&admit.script) {
+            Ok(s) => s,
+            Err(e) => {
+                return Err(fail(
+                    format!("admitted fault script unparsable: {e}"),
+                    diagnostics,
+                ))
+            }
+        };
+
+        // Choose the checkpoint source. Only the last two commits can be
+        // usable — slots alternate, so older commits' slots have been
+        // overwritten. Last commit whose slot validates wins: "primary" when
+        // it is the newest, "rollback" when the newest was rejected.
+        let slots = SlotStore::new(dir);
+        let commits: Vec<(usize, CommitRecord)> = records
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r {
+                DriverRecord::EpochCommit(c) => Some((i, c.clone())),
+                _ => None,
+            })
+            .collect();
+        let mut chosen: Option<(usize, CommitRecord, SlotData, &'static str)> = None;
+        for (which, (pos, c)) in commits.iter().rev().take(2).enumerate() {
+            let label = if which == 0 { "primary" } else { "rollback" };
+            match slots.read(c.slot) {
+                Ok(data) if data.epoch == c.round => {
+                    if which == 1 {
+                        diagnostics
+                            .push("primary slot unusable; falling back to rollback slot".into());
+                    }
+                    chosen = Some((*pos, c.clone(), data, label));
+                    break;
+                }
+                Ok(data) => diagnostics.push(format!(
+                    "{label} slot {} holds epoch {}, commit names epoch {}; rejected as stale",
+                    c.slot, data.epoch, c.round
+                )),
+                Err(e) => diagnostics.push(format!("{label} slot {} rejected: {e}", c.slot)),
+            }
+        }
+        if chosen.is_none() && !commits.is_empty() {
+            return Err(fail(
+                "no usable checkpoint slot: the journal names committed epochs but neither \
+                 slot validates; refusing to resume from guessed state"
+                    .into(),
+                diagnostics,
+            ));
+        }
+        let (commit_pos, commit, slot_data, source) = match chosen {
+            Some((p, c, d, s)) => (p, Some(c), Some(d), s),
+            None => (usize::MAX, None, None, "none"),
+        };
+
+        // The capture boundary: the committing round's RoundOpened record.
+        // Faults fired before it are reflected in (or rolled back from) the
+        // committed state; faults fired after it landed on post-pack live
+        // state the resume discards, so they must fire again. With no
+        // commit nothing was captured durably, so everything that fired is
+        // dropped (usize::MAX boundary) — conservative, documented.
+        let boundary = match &commit {
+            Some(c) => records
+                .iter()
+                .enumerate()
+                .take(commit_pos)
+                .filter(
+                    |(_, r)| matches!(r, DriverRecord::RoundOpened { round } if *round == c.round),
+                )
+                .map(|(i, _)| i)
+                .next_back()
+                .unwrap_or(commit_pos),
+            None => usize::MAX,
+        };
+
+        let mut dead = Vec::new();
+        let mut promotions = Vec::new();
+        let mut fired: Vec<(usize, usize, u64)> = Vec::new(); // (pos, seq, node)
+        for (i, r) in records.iter().enumerate() {
+            match r {
+                DriverRecord::TriggerFired { seq, node } => {
+                    fired.push((i, *seq as usize, *node));
+                }
+                DriverRecord::NodeDead { node } if i <= commit_pos => dead.push(*node as usize),
+                DriverRecord::SparePromoted {
+                    dead: d,
+                    spare,
+                    replica,
+                    rank,
+                } if i <= commit_pos => promotions.push(Promotion {
+                    dead: *d as usize,
+                    spare: *spare as usize,
+                    replica: *replica,
+                    rank: *rank as usize,
+                }),
+                _ => {}
+            }
+        }
+
+        let mut dropped_seqs = HashSet::new();
+        let mut halt_targets = Vec::new();
+        for (seq, f) in script.faults.iter().enumerate() {
+            let fires: Vec<&(usize, usize, u64)> =
+                fired.iter().filter(|(_, s, _)| *s == seq).collect();
+            match f.action {
+                // A driver kill that fired must never re-arm, no matter
+                // where it sits relative to the commit — re-arming it would
+                // kill the resumed run immediately, forever.
+                FaultAction::KillDriver => {
+                    if !fires.is_empty() {
+                        dropped_seqs.insert(seq);
+                    }
+                }
+                // A spare corpse is in no checkpoint: replay the kill as an
+                // explicit halt instead of re-injecting (re-injection would
+                // double-count the fault).
+                FaultAction::CrashSpare => {
+                    for &&(pos, _, node) in &fires {
+                        if pos <= commit_pos {
+                            dropped_seqs.insert(seq);
+                            if node != NO_NODE {
+                                halt_targets.push(node as usize);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    if fires.iter().any(|(pos, _, _)| *pos < boundary) {
+                        dropped_seqs.insert(seq);
+                    }
+                }
+            }
+        }
+
+        let mut kept = Vec::new();
+        let mut records_replayed = 0u64;
+        for (i, r) in records.iter().enumerate() {
+            if i <= commit_pos {
+                records_replayed += 1;
+                kept.push(r.clone());
+            } else if matches!(r, DriverRecord::TriggerFired { seq, .. }
+                if matches!(script.faults.get(*seq as usize).map(|f| f.action),
+                    Some(FaultAction::KillDriver)))
+            {
+                kept.push(r.clone());
+            }
+        }
+        let records_skipped = records.len() as u64 - records_replayed;
+
+        let mut slot_states = BTreeMap::new();
+        if let (Some(c), Some(data)) = (&commit, &slot_data) {
+            for e in &data.entries {
+                if e.iteration != c.iteration {
+                    diagnostics.push(format!(
+                        "slot entry ({},{}) at iteration {} disagrees with commit iteration {}",
+                        e.replica, e.rank, e.iteration, c.iteration
+                    ));
+                }
+                let payload = Bytes::from(e.payload.clone());
+                let digest = acr_pup::fletcher64(&payload);
+                slot_states.insert((e.replica, e.rank as usize), (e.iteration, digest, payload));
+            }
+            let expected = 2 * admit.ranks as usize;
+            if slot_states.len() != expected {
+                return Err(fail(
+                    format!(
+                        "chosen slot holds {} node states, job shape needs {expected}; \
+                         refusing to resume from partial state",
+                        slot_states.len()
+                    ),
+                    diagnostics,
+                ));
+            }
+        }
+
+        let next_slot = commit.as_ref().map(|c| 1 - c.slot).unwrap_or(0);
+        let report = RecoveryReport {
+            source: source.to_string(),
+            epoch: commit.as_ref().map(|c| c.round).unwrap_or(0),
+            iteration: commit.as_ref().map(|c| c.iteration).unwrap_or(0),
+            records_replayed,
+            records_skipped,
+            bytes_skipped: scan.skipped_bytes,
+            diagnostics,
+        };
+        Ok(ResumePlan {
+            admit,
+            script,
+            commit,
+            slot_states,
+            dead,
+            promotions,
+            dropped_seqs,
+            halt_targets,
+            kept,
+            next_slot,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acr_obs::ObsConfig;
+    use acr_store::SlotEntry;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("acr-persist-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rec() -> Arc<Recorder> {
+        Recorder::new(ObsConfig::default(), 1, Arc::new(|| 0.0))
+    }
+
+    fn admit(script: &str) -> AdmitRecord {
+        AdmitRecord {
+            ranks: 2,
+            tasks_per_rank: 1,
+            spares: 2,
+            scheme: 0,
+            detection: 0,
+            chunk_size: 256,
+            checkpoint_interval: 0.06,
+            heartbeat_period: 0.005,
+            heartbeat_timeout: 0.04,
+            max_duration: 30.0,
+            delta_checkpoints: false,
+            delta_anchor_interval: 16,
+            virtual_quantum: Some(0.001),
+            script: script.to_string(),
+        }
+    }
+
+    fn commit(round: u64, slot: u8, iteration: u64) -> CommitRecord {
+        CommitRecord {
+            round,
+            slot,
+            t: round as f64 * 0.06,
+            iteration,
+            round_counter: round,
+            checkpoints_verified: round,
+            sdc_rounds_detected: 0,
+            rollbacks: 0,
+            hard_errors_recovered: 0,
+            unverified_recoveries: 0,
+            restarts_from_beginning: 0,
+            verified_round_starts: vec![0.01 * round as f64],
+            unverified_recoveries_at: vec![],
+            sdc_injected_at: vec![],
+            crashes_injected_at: vec![],
+        }
+    }
+
+    fn slot_data(epoch: u64, iteration: u64) -> SlotData {
+        SlotData {
+            epoch,
+            entries: (0..2u8)
+                .flat_map(|replica| {
+                    (0..2u64).map(move |rank| SlotEntry {
+                        replica,
+                        rank,
+                        iteration,
+                        payload: vec![replica ^ rank as u8; 16],
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn every_record_round_trips() {
+        let records = vec![
+            DriverRecord::JobAdmitted(admit("crash replica=0 rank=1 at=0.25\n")),
+            DriverRecord::JobAdmitted(AdmitRecord {
+                virtual_quantum: None,
+                ..admit("")
+            }),
+            DriverRecord::RoundOpened { round: 7 },
+            DriverRecord::TriggerFired {
+                seq: 3,
+                node: NO_NODE,
+            },
+            DriverRecord::NodeDead { node: 2 },
+            DriverRecord::SparePromoted {
+                dead: 2,
+                spare: 4,
+                replica: 1,
+                rank: 0,
+            },
+            DriverRecord::EpochCommit(commit(9, 1, 160)),
+            DriverRecord::JobClosed { completed: true },
+        ];
+        for r in records {
+            let back = DriverRecord::decode(&r.encode()).expect("decodes");
+            assert_eq!(r, back);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_truncation() {
+        assert!(DriverRecord::decode(&[]).is_err());
+        assert!(DriverRecord::decode(&[99]).is_err());
+        let full = DriverRecord::RoundOpened { round: 7 }.encode();
+        assert!(DriverRecord::decode(&full[..full.len() - 1]).is_err());
+        let mut padded = full;
+        padded.push(0);
+        assert!(DriverRecord::decode(&padded).is_err());
+    }
+
+    #[test]
+    fn load_picks_the_primary_commit() {
+        let dir = tmp("primary");
+        let mut store = DriverStore::create(&dir, rec()).unwrap();
+        store.append(&DriverRecord::JobAdmitted(admit(""))).unwrap();
+        for (round, slot) in [(3u64, 0u8), (5, 1)] {
+            store.append(&DriverRecord::RoundOpened { round }).unwrap();
+            store
+                .write_slot(slot, &slot_data(round, round * 20))
+                .unwrap();
+            store
+                .append(&DriverRecord::EpochCommit(commit(round, slot, round * 20)))
+                .unwrap();
+        }
+        let plan = ResumePlan::load(&dir).expect("plan");
+        assert_eq!(plan.report.source, "primary");
+        assert_eq!(plan.report.epoch, 5);
+        assert_eq!(plan.report.iteration, 100);
+        assert_eq!(plan.slot_states.len(), 4);
+        assert_eq!(plan.next_slot, 0);
+        assert_eq!(plan.report.records_replayed, 5);
+        assert_eq!(plan.report.records_skipped, 0);
+    }
+
+    #[test]
+    fn corrupt_primary_falls_back_to_rollback_slot() {
+        let dir = tmp("rollback");
+        let mut store = DriverStore::create(&dir, rec()).unwrap();
+        store.append(&DriverRecord::JobAdmitted(admit(""))).unwrap();
+        for (round, slot) in [(3u64, 0u8), (5, 1)] {
+            store.append(&DriverRecord::RoundOpened { round }).unwrap();
+            store
+                .write_slot(slot, &slot_data(round, round * 20))
+                .unwrap();
+            store
+                .append(&DriverRecord::EpochCommit(commit(round, slot, round * 20)))
+                .unwrap();
+        }
+        // Round 5 committed to slot 1: flip a byte in its body.
+        let path = SlotStore::new(&dir).slot_path(1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+
+        let plan = ResumePlan::load(&dir).expect("plan");
+        assert_eq!(plan.report.source, "rollback");
+        assert_eq!(plan.report.epoch, 3);
+        assert_eq!(plan.report.iteration, 60);
+        assert_eq!(
+            plan.report.records_skipped, 2,
+            "the round-5 records roll back"
+        );
+        assert!(plan
+            .report
+            .diagnostics
+            .iter()
+            .any(|d| d.contains("falling back to rollback")));
+    }
+
+    #[test]
+    fn both_slots_unusable_fails_closed() {
+        let dir = tmp("guardrail");
+        let mut store = DriverStore::create(&dir, rec()).unwrap();
+        store.append(&DriverRecord::JobAdmitted(admit(""))).unwrap();
+        store
+            .append(&DriverRecord::EpochCommit(commit(4, 0, 80)))
+            .unwrap();
+        let (msg, report) = ResumePlan::load(&dir).expect_err("must fail closed");
+        assert!(msg.contains("refusing to resume"), "{msg}");
+        assert_eq!(report.source, "failed");
+        assert!(report.diagnostics.iter().any(|d| d.contains("slot")));
+    }
+
+    #[test]
+    fn closed_journal_refuses_resume() {
+        let dir = tmp("closed");
+        let mut store = DriverStore::create(&dir, rec()).unwrap();
+        store.append(&DriverRecord::JobAdmitted(admit(""))).unwrap();
+        store
+            .append(&DriverRecord::JobClosed { completed: true })
+            .unwrap();
+        let (msg, _) = ResumePlan::load(&dir).expect_err("closed journal");
+        assert!(msg.contains("closed"), "{msg}");
+    }
+
+    #[test]
+    fn threaded_journal_refuses_resume() {
+        let dir = tmp("threaded");
+        let mut store = DriverStore::create(&dir, rec()).unwrap();
+        store
+            .append(&DriverRecord::JobAdmitted(AdmitRecord {
+                virtual_quantum: None,
+                ..admit("")
+            }))
+            .unwrap();
+        let (msg, _) = ResumePlan::load(&dir).expect_err("threaded journal");
+        assert!(msg.contains("threaded"), "{msg}");
+    }
+
+    #[test]
+    fn trigger_filter_honors_the_capture_boundary() {
+        // Script: seq 0 fires before the committing round (dropped), seq 1
+        // fires mid-round after the pack (kept), seq 2 is a driver kill
+        // fired after the commit (dropped anywhere), seq 3 never fired
+        // (kept).
+        let script = "sdc replica=0 rank=0 seed=1 bits=1 at=0.01\n\
+                      sdc replica=0 rank=1 seed=2 bits=1 at=0.05\n\
+                      killdriver at=0.10\n\
+                      crash replica=1 rank=0 at=0.50\n";
+        let dir = tmp("filter");
+        let mut store = DriverStore::create(&dir, rec()).unwrap();
+        store
+            .append(&DriverRecord::JobAdmitted(admit(script)))
+            .unwrap();
+        store
+            .append(&DriverRecord::TriggerFired {
+                seq: 0,
+                node: NO_NODE,
+            })
+            .unwrap();
+        store
+            .append(&DriverRecord::RoundOpened { round: 2 })
+            .unwrap();
+        store
+            .append(&DriverRecord::TriggerFired {
+                seq: 1,
+                node: NO_NODE,
+            })
+            .unwrap();
+        store.write_slot(0, &slot_data(2, 40)).unwrap();
+        store
+            .append(&DriverRecord::EpochCommit(commit(2, 0, 40)))
+            .unwrap();
+        store
+            .append(&DriverRecord::TriggerFired {
+                seq: 2,
+                node: NO_NODE,
+            })
+            .unwrap();
+        let plan = ResumePlan::load(&dir).expect("plan");
+        assert!(plan.dropped_seqs.contains(&0), "pre-round fire is history");
+        assert!(
+            !plan.dropped_seqs.contains(&1),
+            "mid-round fire landed on discarded live state; must re-fire"
+        );
+        assert!(plan.dropped_seqs.contains(&2), "driver kill never re-arms");
+        assert!(!plan.dropped_seqs.contains(&3));
+        // The kill-driver fire record survives compaction even though it
+        // sits after the commit.
+        assert!(plan
+            .kept
+            .iter()
+            .any(|r| matches!(r, DriverRecord::TriggerFired { seq: 2, .. })));
+        assert_eq!(plan.report.records_skipped, 1);
+    }
+
+    #[test]
+    fn crash_spare_fires_become_halt_targets() {
+        let script = "spare at=0.02\n";
+        let dir = tmp("spare");
+        let mut store = DriverStore::create(&dir, rec()).unwrap();
+        store
+            .append(&DriverRecord::JobAdmitted(admit(script)))
+            .unwrap();
+        store
+            .append(&DriverRecord::TriggerFired { seq: 0, node: 4 })
+            .unwrap();
+        store
+            .append(&DriverRecord::RoundOpened { round: 1 })
+            .unwrap();
+        store.write_slot(0, &slot_data(1, 20)).unwrap();
+        store
+            .append(&DriverRecord::EpochCommit(commit(1, 0, 20)))
+            .unwrap();
+        let plan = ResumePlan::load(&dir).expect("plan");
+        assert!(plan.dropped_seqs.contains(&0));
+        assert_eq!(plan.halt_targets, vec![4]);
+    }
+
+    #[test]
+    fn no_commit_resumes_from_scratch_with_layout_replay() {
+        let dir = tmp("none");
+        let mut store = DriverStore::create(&dir, rec()).unwrap();
+        store
+            .append(&DriverRecord::JobAdmitted(admit(
+                "crash replica=0 rank=0 at=0.01\n",
+            )))
+            .unwrap();
+        store
+            .append(&DriverRecord::TriggerFired {
+                seq: 0,
+                node: NO_NODE,
+            })
+            .unwrap();
+        store.append(&DriverRecord::NodeDead { node: 0 }).unwrap();
+        store
+            .append(&DriverRecord::SparePromoted {
+                dead: 0,
+                spare: 4,
+                replica: 0,
+                rank: 0,
+            })
+            .unwrap();
+        let plan = ResumePlan::load(&dir).expect("plan");
+        assert_eq!(plan.report.source, "none");
+        assert_eq!(plan.report.epoch, 0);
+        assert!(plan.commit.is_none());
+        assert_eq!(plan.dead, vec![0]);
+        assert_eq!(
+            plan.promotions,
+            vec![Promotion {
+                dead: 0,
+                spare: 4,
+                replica: 0,
+                rank: 0
+            }]
+        );
+        assert!(
+            plan.dropped_seqs.contains(&0),
+            "with no commit, fired faults cannot be replayed faithfully; drop them"
+        );
+        assert_eq!(plan.report.records_replayed, 4);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_and_counted() {
+        let dir = tmp("torn");
+        let mut store = DriverStore::create(&dir, rec()).unwrap();
+        store.append(&DriverRecord::JobAdmitted(admit(""))).unwrap();
+        store
+            .append(&DriverRecord::RoundOpened { round: 1 })
+            .unwrap();
+        store.write_slot(0, &slot_data(1, 20)).unwrap();
+        store
+            .append(&DriverRecord::EpochCommit(commit(1, 0, 20)))
+            .unwrap();
+        drop(store);
+        // Torn append: half a record's worth of garbage at the tail.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(LOG_FILE))
+            .unwrap();
+        f.write_all(b"ACRE\x40\x00\x00\x00half-a-record").unwrap();
+        drop(f);
+        let plan = ResumePlan::load(&dir).expect("plan survives torn tail");
+        assert_eq!(plan.report.source, "primary");
+        assert!(plan.report.bytes_skipped > 0);
+        assert!(plan
+            .report
+            .diagnostics
+            .iter()
+            .any(|d| d.contains("garbage bytes")));
+    }
+}

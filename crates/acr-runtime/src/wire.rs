@@ -1270,6 +1270,11 @@ fn put_ctrl(buf: &mut Vec<u8>, c: &Ctrl) {
             put_u8(buf, 16);
             put_usize(buf, dead);
         }
+        Ctrl::ReportVerified { round } => {
+            put_u8(buf, 17);
+            put_u64(buf, round);
+        }
+        Ctrl::Halt => put_u8(buf, 18),
     }
 }
 
@@ -1306,6 +1311,8 @@ fn get_ctrl(r: &mut Reader<'_>) -> Result<Ctrl, WireError> {
         14 => Ctrl::Ping { token: r.u64()? },
         15 => Ctrl::Shutdown,
         16 => Ctrl::LayoutChanged { dead: r.usize()? },
+        17 => Ctrl::ReportVerified { round: r.u64()? },
+        18 => Ctrl::Halt,
         t => {
             return Err(WireError::BadTag {
                 what: "Ctrl",
@@ -1524,6 +1531,20 @@ pub(crate) fn encode_event(ev: &Event) -> Vec<u8> {
             put_u8(&mut buf, 9);
             put_usize(&mut buf, *node);
         }
+        Event::VerifiedState {
+            node,
+            round,
+            iteration,
+            digest,
+            payload,
+        } => {
+            put_u8(&mut buf, 10);
+            put_usize(&mut buf, *node);
+            put_u64(&mut buf, *round);
+            put_u64(&mut buf, *iteration);
+            put_u64(&mut buf, *digest);
+            put_bytes(&mut buf, payload);
+        }
     }
     buf
 }
@@ -1615,6 +1636,13 @@ pub(crate) fn decode_event(buf: &[u8]) -> Result<Event, WireError> {
             }
         }
         9 => Event::TransportStale { node: r.usize()? },
+        10 => Event::VerifiedState {
+            node: r.usize()?,
+            round: r.u64()?,
+            iteration: r.u64()?,
+            digest: r.u64()?,
+            payload: Bytes::copy_from_slice(r.bytes()?),
+        },
         t => {
             return Err(WireError::BadTag {
                 what: "Event",
@@ -1766,6 +1794,8 @@ mod tests {
             Net::Ctrl(Ctrl::Ping { token: 31 }),
             Net::Ctrl(Ctrl::Shutdown),
             Net::Ctrl(Ctrl::LayoutChanged { dead: 3 }),
+            Net::Ctrl(Ctrl::ReportVerified { round: 17 }),
+            Net::Ctrl(Ctrl::Halt),
         ]
     }
 
@@ -1828,6 +1858,13 @@ mod tests {
                 tasks: vec![],
             },
             Event::TransportStale { node: 9 },
+            Event::VerifiedState {
+                node: 10,
+                round: 4,
+                iteration: 80,
+                digest: 0xfeed,
+                payload: Bytes::from_static(b"ckpt"),
+            },
         ]
     }
 

@@ -1,0 +1,426 @@
+//! Driver crash-restart battery: hard-kill the driver at scripted points,
+//! resume from the durable store, and require the resumed run to finish
+//! with a bit-identical outcome to the uninterrupted run. The C-01..C-04
+//! cases pin the store contract — primary recovery, torn-tail healing,
+//! corrupt-primary rollback, and the missing-both fail-closed guardrail —
+//! end to end through `Job::resume` rather than at the persist layer.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use acr_pup::{Pup, PupResult, Puper};
+use acr_runtime::campaign::{run_campaign, CampaignConfig, CaseOutcome};
+use acr_runtime::{
+    AppMsg, DetectionMethod, ExecMode, FaultAction, FaultScript, Job, JobConfig, JobReport, Scheme,
+    Task, TaskCtx, TaskId, Trigger,
+};
+use bytes::Bytes;
+
+/// Small communicating ring (one token in flight per rank) with
+/// perturbation-preserving float dynamics — the same workload the
+/// virtual-time tests use, so the final state is a pure function of the
+/// iteration count.
+struct MiniRing {
+    rank: usize,
+    iter: u64,
+    tokens: u64,
+    acc: Vec<f64>,
+    total_iters: u64,
+}
+
+impl MiniRing {
+    fn new(rank: usize, total_iters: u64) -> Self {
+        Self {
+            rank,
+            iter: 0,
+            tokens: 0,
+            acc: (0..32).map(|i| (rank * 100 + i) as f64).collect(),
+            total_iters,
+        }
+    }
+}
+
+impl Task for MiniRing {
+    fn try_step(&mut self, ctx: &mut TaskCtx<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        if self.iter > 0 && self.tokens == 0 {
+            return false;
+        }
+        if self.iter > 0 {
+            self.tokens -= 1;
+        }
+        for (i, x) in self.acc.iter_mut().enumerate() {
+            *x += ((self.iter as f64 + i as f64) * 1e-3).sin();
+        }
+        let next = TaskId {
+            rank: (self.rank + 1) % ctx.ranks(),
+            task: 0,
+        };
+        ctx.send(next, self.iter, vec![]);
+        self.iter += 1;
+        true
+    }
+
+    fn on_message(&mut self, _msg: AppMsg, _ctx: &mut TaskCtx<'_>) {
+        self.tokens += 1;
+    }
+
+    fn progress(&self) -> u64 {
+        self.iter
+    }
+
+    fn done(&self) -> bool {
+        self.iter >= self.total_iters
+    }
+
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_usize(&mut self.rank)?;
+        p.pup_u64(&mut self.iter)?;
+        p.pup_u64(&mut self.tokens)?;
+        self.acc.pup(p)?;
+        p.pup_u64(&mut self.total_iters)
+    }
+}
+
+const ITERS: u64 = 300;
+
+fn cfg(scheme: Scheme) -> JobConfig {
+    JobConfig::builder()
+        .ranks(2)
+        .tasks_per_rank(1)
+        .spares(2)
+        .scheme(scheme)
+        .detection(DetectionMethod::FullCompare)
+        .checkpoint_interval(Duration::from_millis(60))
+        .heartbeat_period(Duration::from_millis(5))
+        .heartbeat_timeout(Duration::from_millis(40))
+        .max_duration(Duration::from_secs(30))
+        .build()
+        .expect("valid virtual-time config")
+}
+
+fn factory(rank: usize, _task: usize) -> Box<dyn Task> {
+    Box::new(MiniRing::new(rank, ITERS)) as Box<dyn Task>
+}
+
+/// Per-test store directory. `ACR_CRASH_RESTART_DIR` overrides the temp
+/// root so CI can upload the stores and `recovery_report.json` files left
+/// behind by a failing run.
+fn tmp(name: &str) -> PathBuf {
+    let root =
+        std::env::var_os("ACR_CRASH_RESTART_DIR").map_or_else(std::env::temp_dir, PathBuf::from);
+    let dir = root.join(format!("acr_crash_restart_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Run a persisted virtual-mode job with `script` into `dir`.
+fn run_persisted(scheme: Scheme, script: &FaultScript, dir: &Path) -> JobReport {
+    let mut c = cfg(scheme);
+    c.persist_dir = Some(dir.to_path_buf());
+    Job::new(c)
+        .with_faults(script.clone())
+        .mode(ExecMode::virtual_default())
+        .run(factory)
+}
+
+fn kill_script(at: f64) -> FaultScript {
+    let mut s = FaultScript::new();
+    s.push(Trigger::At(at), FaultAction::KillDriver);
+    s
+}
+
+/// The comparable outcome of a run: completion, agreement, every
+/// protocol counter, and the bit-exact final task states.
+#[allow(clippy::type_complexity)]
+fn outcome_tuple(
+    r: &JobReport,
+) -> (
+    bool,
+    bool,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    std::collections::BTreeMap<(u8, usize), Vec<Bytes>>,
+) {
+    (
+        r.completed,
+        r.replicas_agree(),
+        r.checkpoints_verified,
+        r.sdc_rounds_detected,
+        r.rollbacks,
+        r.hard_errors_recovered,
+        r.unverified_recoveries,
+        r.restarts_from_beginning,
+        r.final_states.clone(),
+    )
+}
+
+fn assert_killed(report: &JobReport) {
+    assert!(!report.completed);
+    assert_eq!(
+        report.error.as_deref(),
+        Some("driver killed by scripted fault"),
+        "expected a scripted kill, got {:?}\n{}",
+        report.error,
+        report.trace.join("\n")
+    );
+}
+
+/// C-01: kill after at least one committed epoch, resume from the primary
+/// slot, and finish with an outcome bit-identical to the uninterrupted
+/// persisted run — counters, agreement, and final task states included.
+#[test]
+fn c01_kill_after_commit_resumes_from_primary_to_identical_outcome() {
+    let base_dir = tmp("c01_base");
+    let baseline = run_persisted(Scheme::Strong, &FaultScript::new(), &base_dir);
+    assert!(baseline.completed, "baseline: {:?}", baseline.error);
+    assert!(baseline.checkpoints_verified >= 2);
+
+    let dir = tmp("c01");
+    // First round lands at ~60 ms; 100 ms is mid-interval, clear of any
+    // round boundary, with exactly one epoch committed.
+    let killed = run_persisted(Scheme::Strong, &kill_script(0.100), &dir);
+    assert_killed(&killed);
+
+    let resumed = Job::resume(&dir).run(factory);
+    assert!(
+        resumed.completed,
+        "resume failed: {:?}\n{}",
+        resumed.error,
+        resumed.trace.join("\n")
+    );
+    let rec = resumed.recovery.as_ref().expect("resume carries a report");
+    assert_eq!(rec.source, "primary");
+    assert!(rec.records_replayed > 0);
+    // The only record not replayed into state is the kill's own
+    // post-commit TriggerFired (kept so the resume never re-arms it).
+    assert!(rec.records_skipped <= 1, "report: {rec:?}");
+    assert_eq!(
+        outcome_tuple(&resumed),
+        outcome_tuple(&baseline),
+        "resumed outcome differs from the uninterrupted run\nresumed:\n{}",
+        resumed.trace.join("\n")
+    );
+    // The machine-readable report also landed next to the store.
+    assert!(dir.join("recovery_report.json").is_file());
+}
+
+/// C-02: a torn tail append (power loss mid-write) must be skipped by the
+/// self-healing reader, reported in the recovery report, and must not
+/// prevent a successful resume.
+#[test]
+fn c02_torn_tail_is_skipped_and_resume_succeeds() {
+    let dir = tmp("c02");
+    let killed = run_persisted(Scheme::Strong, &kill_script(0.100), &dir);
+    assert_killed(&killed);
+
+    // Simulate a torn append: a record header that promises more payload
+    // than was ever written.
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(dir.join("events.log"))
+        .unwrap();
+    f.write_all(b"ACRE\x40\x00\x00\x00torn").unwrap();
+    drop(f);
+
+    let resumed = Job::resume(&dir).run(factory);
+    assert!(
+        resumed.completed,
+        "resume failed: {:?}\n{}",
+        resumed.error,
+        resumed.trace.join("\n")
+    );
+    let rec = resumed.recovery.as_ref().expect("resume carries a report");
+    assert!(rec.bytes_skipped > 0, "torn tail went unreported: {rec:?}");
+    assert!(resumed.replicas_agree());
+}
+
+/// C-03: with two committed epochs the slots alternate; corrupting the
+/// primary slot must fall back to the rollback slot — an older but valid
+/// epoch — and still finish correctly.
+#[test]
+fn c03_corrupt_primary_falls_back_to_rollback_slot() {
+    let dir = tmp("c03");
+    // ~160 ms: two rounds (~60, ~120 ms) have committed, one per slot.
+    let killed = run_persisted(Scheme::Strong, &kill_script(0.160), &dir);
+    assert_killed(&killed);
+
+    // The newest commit lives in slot B (second commit); flip a byte in
+    // whichever slot file the journal names last by corrupting both
+    // candidates' newest: slot 1 holds commit #2.
+    let path = dir.join("ckpt_b.slot");
+    let mut bytes = std::fs::read(&path).expect("slot B exists after two commits");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&path, bytes).unwrap();
+
+    let resumed = Job::resume(&dir).run(factory);
+    assert!(
+        resumed.completed,
+        "resume failed: {:?}\n{}",
+        resumed.error,
+        resumed.trace.join("\n")
+    );
+    let rec = resumed.recovery.as_ref().expect("resume carries a report");
+    assert_eq!(rec.source, "rollback", "diagnostics: {:?}", rec.diagnostics);
+    assert!(resumed.replicas_agree());
+
+    // Bit-identical to the uninterrupted run regardless of the rollback:
+    // the final state is a pure function of the iteration count.
+    let base_dir = tmp("c03_base");
+    let baseline = run_persisted(Scheme::Strong, &FaultScript::new(), &base_dir);
+    assert_eq!(resumed.final_states, baseline.final_states);
+}
+
+/// C-04: both slots gone after a commit — resume must fail closed with a
+/// diagnosis, never guess at state, and still write the machine-readable
+/// recovery report.
+#[test]
+fn c04_missing_both_slots_fails_closed() {
+    let dir = tmp("c04");
+    let killed = run_persisted(Scheme::Strong, &kill_script(0.100), &dir);
+    assert_killed(&killed);
+
+    let _ = std::fs::remove_file(dir.join("ckpt_a.slot"));
+    let _ = std::fs::remove_file(dir.join("ckpt_b.slot"));
+
+    let resumed = Job::resume(&dir).run(factory);
+    assert!(!resumed.completed);
+    let err = resumed.error.as_deref().expect("fail-closed error");
+    assert!(
+        err.contains("refusing to resume"),
+        "unexpected error: {err}"
+    );
+    let rec = resumed.recovery.as_ref().expect("failure carries a report");
+    assert_eq!(rec.source, "failed");
+    assert!(!rec.diagnostics.is_empty());
+    assert!(resumed.final_states.is_empty(), "no state may be invented");
+    assert!(dir.join("recovery_report.json").is_file());
+}
+
+/// A kill before the first commit resumes with no checkpoint: the job
+/// restarts from its initial state under the journaled script filter and
+/// still finishes identically.
+#[test]
+fn kill_before_first_commit_restarts_from_initial_state() {
+    let dir = tmp("precommit");
+    // First round opens at ~60 ms; 30 ms is before any commit.
+    let killed = run_persisted(Scheme::Strong, &kill_script(0.030), &dir);
+    assert_killed(&killed);
+
+    let resumed = Job::resume(&dir).run(factory);
+    assert!(
+        resumed.completed,
+        "resume failed: {:?}\n{}",
+        resumed.error,
+        resumed.trace.join("\n")
+    );
+    assert_eq!(resumed.recovery.as_ref().unwrap().source, "none");
+    assert!(resumed.replicas_agree());
+
+    let base_dir = tmp("precommit_base");
+    let baseline = run_persisted(Scheme::Strong, &FaultScript::new(), &base_dir);
+    assert_eq!(resumed.final_states, baseline.final_states);
+}
+
+/// A killed-and-resumed run is itself deterministic: the whole
+/// kill → resume pipeline replayed from scratch produces byte-identical
+/// resumed traces and final states.
+#[test]
+fn kill_resume_pipeline_is_deterministic() {
+    let mut traces = Vec::new();
+    let mut finals = Vec::new();
+    for pass in 0..2 {
+        let dir = tmp(&format!("det{pass}"));
+        let killed = run_persisted(Scheme::Medium, &kill_script(0.100), &dir);
+        assert_killed(&killed);
+        let resumed = Job::resume(&dir).run(factory);
+        assert!(resumed.completed, "pass {pass}: {:?}", resumed.error);
+        traces.push(resumed.trace);
+        finals.push(resumed.final_states);
+    }
+    assert_eq!(traces[0], traces[1], "resumed replay diverged");
+    assert_eq!(finals[0], finals[1]);
+}
+
+/// A kill landing *between* a node death and the next commit: the resumed
+/// driver must replay the journaled promotion (or run the recovery itself)
+/// and still finish with both replicas agreeing.
+#[test]
+fn kill_after_crash_recovery_resumes_promotion() {
+    let dir = tmp("promo");
+    let mut script = kill_script(0.200);
+    // Crash at an iteration close to mid-run; the recovery promotes a
+    // spare and a later round commits the post-promotion epoch before the
+    // kill lands.
+    script.push(
+        Trigger::AtIteration(ITERS / 4),
+        FaultAction::Crash {
+            replica: 1,
+            rank: 0,
+        },
+    );
+    let killed = run_persisted(Scheme::Strong, &script, &dir);
+    assert_killed(&killed);
+    assert_eq!(
+        killed.hard_errors_recovered,
+        1,
+        "{}",
+        killed.trace.join("\n")
+    );
+
+    let resumed = Job::resume(&dir).run(factory);
+    assert!(
+        resumed.completed,
+        "resume failed: {:?}\n{}",
+        resumed.error,
+        resumed.trace.join("\n")
+    );
+    assert!(resumed.replicas_agree());
+    // The journal's promotion replayed into the resumed counters.
+    assert_eq!(resumed.hard_errors_recovered, 1);
+    assert_eq!(resumed.final_states.len(), 4);
+}
+
+/// Satellite sweep: 8 seeds × 3 schemes of generated scenarios with the
+/// driver-kill trigger armed. Every killed case is resumed from its store
+/// and the resumed outcome classified against the fault-free reference —
+/// no violations allowed, and at least one scenario must actually kill.
+#[test]
+fn driver_kill_campaign_sweep_survives_restart() {
+    let root = tmp("campaign");
+    let cfg = CampaignConfig {
+        seeds: (0..8).collect(),
+        driver_kill: true,
+        persist_dir: Some(root.clone()),
+        repro_dir: Some(root.join("repros")),
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&cfg);
+    assert_eq!(report.cases.len(), 8 * cfg.schemes.len());
+    let mut kills = 0;
+    for case in &report.cases {
+        assert!(
+            !matches!(case.outcome, CaseOutcome::Violation(_)),
+            "seed {} scheme {:?}: {:?}\ntrace:\n{}",
+            case.seed,
+            case.scheme,
+            case.outcome,
+            case.report.trace.join("\n"),
+        );
+        if case.report.recovery.is_some() {
+            kills += 1;
+        }
+    }
+    assert!(
+        kills > 0,
+        "no scenario ever killed the driver; the sweep proved nothing"
+    );
+}

@@ -130,6 +130,7 @@ fn scripted_virtual_run_replays_byte_identically() {
         sdc_bits_max: 3,
         allow_spare_kill: true,
         allow_heartbeat_delay: true,
+        allow_driver_kill: false,
     };
     for seed in [3u64, 11, 19] {
         let script = FaultScript::generate(seed, &space);

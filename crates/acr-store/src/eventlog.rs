@@ -1,0 +1,291 @@
+//! The append-only event log: file magic, length-prefixed records with a
+//! per-record Fletcher-64 trailer, and a byte-scanning self-healing reader.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! file   := "ACRELOG1" record*
+//! record := "ACRE" len:u32le payload:[u8; len] fletcher64(payload):u64le
+//! ```
+//!
+//! The writer appends and fsyncs; it never seeks backwards, so a crash at
+//! any byte offset leaves a fully intact prefix followed by at most one
+//! torn record. The reader makes the weaker assumption that *anything* may
+//! follow the intact prefix — torn tails, zero-fill, bit flips from a bad
+//! disk — and scans byte-by-byte for the next record magic whenever
+//! validation fails, counting what it skipped.
+
+use acr_pup::fletcher64;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// 8-byte file magic at offset 0.
+pub(crate) const FILE_MAGIC: &[u8; 8] = b"ACRELOG1";
+/// 4-byte per-record magic.
+pub(crate) const RECORD_MAGIC: &[u8; 4] = b"ACRE";
+/// Sanity cap on a record's payload length. Driver journal records are a
+/// few hundred bytes; anything claiming more is garbage bytes that happen
+/// to spell the record magic.
+pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
+
+/// Append-only writer over one log file.
+///
+/// Appends are synchronous: every [`EventLog::append`] writes the framed
+/// record and fsyncs before returning, so the on-disk state after a hard
+/// kill is exactly the sequence of `append` calls that returned.
+#[derive(Debug)]
+pub struct EventLog {
+    file: File,
+    path: PathBuf,
+    appends: u64,
+    bytes: u64,
+    syncs: u64,
+}
+
+impl EventLog {
+    /// Create a fresh log at `path`, truncating anything already there,
+    /// and durably write the file magic.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<EventLog> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.write_all(FILE_MAGIC)?;
+        file.sync_data()?;
+        Ok(EventLog {
+            file,
+            path,
+            appends: 0,
+            bytes: FILE_MAGIC.len() as u64,
+            syncs: 1,
+        })
+    }
+
+    /// Append one record (framing + payload + trailer), fsync, and return
+    /// the number of bytes written.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        assert!(
+            payload.len() as u64 <= MAX_RECORD_LEN as u64,
+            "record payload exceeds MAX_RECORD_LEN"
+        );
+        let mut frame = Vec::with_capacity(4 + 4 + payload.len() + 8);
+        frame.extend_from_slice(RECORD_MAGIC);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        frame.extend_from_slice(&fletcher64(payload).to_le_bytes());
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.appends += 1;
+        self.bytes += frame.len() as u64;
+        self.syncs += 1;
+        Ok(frame.len() as u64)
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended through this handle.
+    pub fn appends(&self) -> u64 {
+        self.appends
+    }
+
+    /// Bytes written through this handle (magic included).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// fsyncs issued through this handle.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+}
+
+/// What the self-healing reader recovered from a log file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogScan {
+    /// Every record whose framing and Fletcher-64 trailer validated, in
+    /// file order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes that belonged to no valid record (torn tails, corruption,
+    /// garbage between records) and were skipped while resynchronizing.
+    pub skipped_bytes: u64,
+    /// The 8-byte file magic was missing or damaged. Records found after
+    /// a resync are still returned — the header is advisory, not
+    /// load-bearing.
+    pub missing_magic: bool,
+}
+
+/// Scan a log file from disk. Missing file is an error (the caller decides
+/// whether that is "nothing to resume" or a guardrail violation); any file
+/// *content* is handled without panicking.
+pub fn scan_log(path: impl AsRef<Path>) -> io::Result<LogScan> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    Ok(scan_bytes(&buf))
+}
+
+/// The pure scanning kernel over an in-memory image of the log file.
+///
+/// Validation per candidate offset: record magic, a sane length that fits
+/// inside the buffer, and a matching Fletcher-64 trailer. On any failure
+/// the scan advances one byte and tries again, so a single valid record
+/// embedded after arbitrary garbage is still found, and a truncated tail
+/// record is skipped without losing the intact prefix.
+pub fn scan_bytes(buf: &[u8]) -> LogScan {
+    let mut scan = LogScan::default();
+    let mut i = if buf.len() >= FILE_MAGIC.len() && &buf[..FILE_MAGIC.len()] == FILE_MAGIC {
+        FILE_MAGIC.len()
+    } else {
+        scan.missing_magic = true;
+        0
+    };
+    while i < buf.len() {
+        match try_record(&buf[i..]) {
+            Some((payload, consumed)) => {
+                scan.records.push(payload);
+                i += consumed;
+            }
+            None => {
+                scan.skipped_bytes += 1;
+                i += 1;
+            }
+        }
+    }
+    scan
+}
+
+/// Try to parse one record at the start of `buf`; `None` if anything about
+/// it fails validation.
+fn try_record(buf: &[u8]) -> Option<(Vec<u8>, usize)> {
+    if buf.len() < 4 + 4 + 8 || &buf[..4] != RECORD_MAGIC {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if len > MAX_RECORD_LEN {
+        return None;
+    }
+    let end = 8 + len as usize + 8;
+    if end > buf.len() {
+        return None;
+    }
+    let payload = &buf[8..8 + len as usize];
+    let trailer = u64::from_le_bytes(buf[8 + len as usize..end].try_into().expect("8 bytes"));
+    if fletcher64(payload) != trailer {
+        return None;
+    }
+    Some((payload.to_vec(), end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("acr-store-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = tmp("roundtrip.log");
+        let mut log = EventLog::create(&path).unwrap();
+        log.append(b"alpha").unwrap();
+        log.append(b"").unwrap();
+        log.append(&[0u8; 300]).unwrap();
+        assert_eq!(log.appends(), 3);
+        assert_eq!(log.syncs(), 4, "one per append plus the header");
+        let scan = scan_log(&path).unwrap();
+        assert_eq!(
+            scan.records,
+            vec![b"alpha".to_vec(), Vec::new(), vec![0u8; 300]]
+        );
+        assert_eq!(scan.skipped_bytes, 0);
+        assert!(!scan.missing_magic);
+    }
+
+    #[test]
+    fn create_truncates() {
+        let path = tmp("truncate.log");
+        let mut log = EventLog::create(&path).unwrap();
+        log.append(b"old").unwrap();
+        let log2 = EventLog::create(&path).unwrap();
+        assert_eq!(log2.appends(), 0);
+        assert!(scan_log(&path).unwrap().records.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_keeps_prefix() {
+        let path = tmp("torn.log");
+        let mut log = EventLog::create(&path).unwrap();
+        log.append(b"kept-1").unwrap();
+        log.append(b"kept-2").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // A torn third record: header + half the payload, no trailer.
+        bytes.extend_from_slice(b"ACRE");
+        bytes.extend_from_slice(&40u32.to_le_bytes());
+        bytes.extend_from_slice(&[7u8; 13]);
+        let scan = scan_bytes(&bytes);
+        assert_eq!(scan.records, vec![b"kept-1".to_vec(), b"kept-2".to_vec()]);
+        assert_eq!(scan.skipped_bytes, 4 + 4 + 13);
+    }
+
+    #[test]
+    fn resyncs_over_garbage_between_records() {
+        let path = tmp("resync.log");
+        let mut log = EventLog::create(&path).unwrap();
+        log.append(b"before").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"not a record at all");
+        // A fully valid record after the garbage must still be found.
+        let payload = b"after";
+        bytes.extend_from_slice(b"ACRE");
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        bytes.extend_from_slice(&fletcher64(payload).to_le_bytes());
+        let scan = scan_bytes(&bytes);
+        assert_eq!(scan.records, vec![b"before".to_vec(), b"after".to_vec()]);
+        assert_eq!(scan.skipped_bytes, 19);
+        assert!(!scan.missing_magic);
+    }
+
+    #[test]
+    fn damaged_header_still_yields_records() {
+        let path = tmp("header.log");
+        let mut log = EventLog::create(&path).unwrap();
+        log.append(b"survivor").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xFF;
+        let scan = scan_bytes(&bytes);
+        assert!(scan.missing_magic);
+        assert_eq!(scan.records, vec![b"survivor".to_vec()]);
+    }
+
+    #[test]
+    fn insane_length_is_garbage_not_a_panic() {
+        let mut bytes = FILE_MAGIC.to_vec();
+        bytes.extend_from_slice(b"ACRE");
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[1u8; 64]);
+        let scan = scan_bytes(&bytes);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.skipped_bytes, 4 + 4 + 64);
+    }
+
+    #[test]
+    fn empty_and_magic_only_files() {
+        assert_eq!(
+            scan_bytes(&[]),
+            LogScan {
+                missing_magic: true,
+                ..LogScan::default()
+            }
+        );
+        assert_eq!(scan_bytes(FILE_MAGIC), LogScan::default());
+    }
+}

@@ -1,0 +1,270 @@
+//! The A/B checkpoint slot store: two alternating whole-file slots holding
+//! "what we believe" — the per-node checkpoint payloads of the last
+//! committed epoch(s).
+//!
+//! On-disk layout of one slot file:
+//!
+//! ```text
+//! file  := "ACRSLOT1" epoch:u64le count:u64le entry* fletcher64(body):u64le
+//! entry := replica:u8 rank:u64le iteration:u64le len:u64le payload:[u8; len]
+//! ```
+//!
+//! where `body` is everything between the magic and the trailer. The store
+//! always writes the slot the *previous* commit did not use, so a crash
+//! mid-write can only damage the slot being written; the other slot still
+//! holds the previous epoch intact. Which slot is authoritative is not
+//! recorded here — the event log's epoch-commit records carry the slot id,
+//! and the log is the source of truth ("events = what happened").
+
+use acr_pup::fletcher64;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+const SLOT_MAGIC: &[u8; 8] = b"ACRSLOT1";
+/// Sanity cap on one entry's payload (mirrors the log's record cap).
+const MAX_ENTRY_LEN: u64 = 256 * 1024 * 1024;
+
+/// One node's checkpoint inside a slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotEntry {
+    /// Replica the node belongs to.
+    pub replica: u8,
+    /// Rank within the replica.
+    pub rank: u64,
+    /// Iteration the checkpoint captures.
+    pub iteration: u64,
+    /// Opaque packed checkpoint payload.
+    pub payload: Vec<u8>,
+}
+
+/// A full slot image: one epoch's checkpoints for every active node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotData {
+    /// The commit epoch this slot belongs to. Recovery cross-checks it
+    /// against the epoch named by the log's commit record; a mismatch
+    /// means the slot is stale or torn and must not be used.
+    pub epoch: u64,
+    /// Per-node checkpoints.
+    pub entries: Vec<SlotEntry>,
+}
+
+/// Why a slot could not be read.
+#[derive(Debug)]
+pub enum SlotError {
+    /// The slot file does not exist.
+    Missing,
+    /// The file exists but is torn, bit-flipped, or structurally invalid.
+    Corrupt(String),
+    /// An I/O error other than not-found.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for SlotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlotError::Missing => write!(f, "slot file missing"),
+            SlotError::Corrupt(why) => write!(f, "slot corrupt: {why}"),
+            SlotError::Io(e) => write!(f, "slot i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SlotError {}
+
+/// The two-slot store rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct SlotStore {
+    dir: PathBuf,
+}
+
+impl SlotStore {
+    /// A store over `dir` (created on first write).
+    pub fn new(dir: impl AsRef<Path>) -> SlotStore {
+        SlotStore {
+            dir: dir.as_ref().to_path_buf(),
+        }
+    }
+
+    /// Path of slot `0` (`ckpt_a.slot`) or `1` (`ckpt_b.slot`).
+    pub fn slot_path(&self, slot: u8) -> PathBuf {
+        self.dir.join(if slot == 0 {
+            "ckpt_a.slot"
+        } else {
+            "ckpt_b.slot"
+        })
+    }
+
+    /// Serialize `data` into slot `slot`, fsync, and return bytes written.
+    /// The write goes straight to the final path: tearing it mid-write is
+    /// exactly the failure mode the *other* slot exists to absorb.
+    pub fn write(&self, slot: u8, data: &SlotData) -> io::Result<u64> {
+        std::fs::create_dir_all(&self.dir)?;
+        let mut body = Vec::new();
+        body.extend_from_slice(&data.epoch.to_le_bytes());
+        body.extend_from_slice(&(data.entries.len() as u64).to_le_bytes());
+        for e in &data.entries {
+            body.push(e.replica);
+            body.extend_from_slice(&e.rank.to_le_bytes());
+            body.extend_from_slice(&e.iteration.to_le_bytes());
+            body.extend_from_slice(&(e.payload.len() as u64).to_le_bytes());
+            body.extend_from_slice(&e.payload);
+        }
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(self.slot_path(slot))?;
+        file.write_all(SLOT_MAGIC)?;
+        file.write_all(&body)?;
+        file.write_all(&fletcher64(&body).to_le_bytes())?;
+        file.sync_data()?;
+        Ok((SLOT_MAGIC.len() + body.len() + 8) as u64)
+    }
+
+    /// Read and validate slot `slot`.
+    pub fn read(&self, slot: u8) -> Result<SlotData, SlotError> {
+        let path = self.slot_path(slot);
+        let mut buf = Vec::new();
+        match File::open(&path) {
+            Ok(mut f) => f.read_to_end(&mut buf).map_err(SlotError::Io)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(SlotError::Missing),
+            Err(e) => return Err(SlotError::Io(e)),
+        };
+        decode_slot(&buf)
+    }
+}
+
+fn decode_slot(buf: &[u8]) -> Result<SlotData, SlotError> {
+    let corrupt = |why: &str| SlotError::Corrupt(why.to_string());
+    if buf.len() < SLOT_MAGIC.len() + 8 + 8 + 8 {
+        return Err(corrupt("shorter than an empty slot"));
+    }
+    if &buf[..SLOT_MAGIC.len()] != SLOT_MAGIC {
+        return Err(corrupt("bad slot magic"));
+    }
+    let body = &buf[SLOT_MAGIC.len()..buf.len() - 8];
+    let trailer = u64::from_le_bytes(buf[buf.len() - 8..].try_into().expect("8 bytes"));
+    if fletcher64(body) != trailer {
+        return Err(corrupt("fletcher trailer mismatch"));
+    }
+    let u64_at = |i: usize| -> u64 { u64::from_le_bytes(body[i..i + 8].try_into().expect("8")) };
+    let epoch = u64_at(0);
+    let count = u64_at(8);
+    let mut entries = Vec::new();
+    let mut i = 16usize;
+    for _ in 0..count {
+        if i + 1 + 8 + 8 + 8 > body.len() {
+            return Err(corrupt("entry header past end of body"));
+        }
+        let replica = body[i];
+        let rank = u64_at(i + 1);
+        let iteration = u64_at(i + 9);
+        let len = u64_at(i + 17);
+        i += 25;
+        if len > MAX_ENTRY_LEN || i + len as usize > body.len() {
+            return Err(corrupt("entry payload past end of body"));
+        }
+        entries.push(SlotEntry {
+            replica,
+            rank,
+            iteration,
+            payload: body[i..i + len as usize].to_vec(),
+        });
+        i += len as usize;
+    }
+    if i != body.len() {
+        return Err(corrupt("trailing bytes after last entry"));
+    }
+    Ok(SlotData { epoch, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(name: &str) -> SlotStore {
+        let dir = std::env::temp_dir()
+            .join(format!("acr-slot-test-{}", std::process::id()))
+            .join(name);
+        SlotStore::new(dir)
+    }
+
+    fn sample(epoch: u64) -> SlotData {
+        SlotData {
+            epoch,
+            entries: vec![
+                SlotEntry {
+                    replica: 0,
+                    rank: 0,
+                    iteration: 40,
+                    payload: vec![1, 2, 3, 4],
+                },
+                SlotEntry {
+                    replica: 1,
+                    rank: 1,
+                    iteration: 40,
+                    payload: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_both_slots() {
+        let s = store("roundtrip");
+        s.write(0, &sample(3)).unwrap();
+        s.write(1, &sample(4)).unwrap();
+        assert_eq!(s.read(0).unwrap(), sample(3));
+        assert_eq!(s.read(1).unwrap(), sample(4));
+    }
+
+    #[test]
+    fn missing_slot() {
+        assert!(matches!(store("missing").read(0), Err(SlotError::Missing)));
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_detected() {
+        let s = store("flip");
+        s.write(0, &sample(7)).unwrap();
+        let clean = std::fs::read(s.slot_path(0)).unwrap();
+        for pos in 0..clean.len() {
+            let mut dirty = clean.clone();
+            dirty[pos] ^= 0x10;
+            std::fs::write(s.slot_path(0), &dirty).unwrap();
+            assert!(
+                matches!(s.read(0), Err(SlotError::Corrupt(_))),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let s = store("trunc");
+        s.write(0, &sample(7)).unwrap();
+        let clean = std::fs::read(s.slot_path(0)).unwrap();
+        for cut in 0..clean.len() {
+            std::fs::write(s.slot_path(0), &clean[..cut]).unwrap();
+            assert!(
+                matches!(s.read(0), Err(SlotError::Corrupt(_))),
+                "truncation to {cut} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn overwrite_replaces_epoch() {
+        let s = store("overwrite");
+        s.write(0, &sample(1)).unwrap();
+        s.write(0, &sample(2)).unwrap();
+        assert_eq!(s.read(0).unwrap().epoch, 2);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(SlotError::Missing.to_string(), "slot file missing");
+        assert!(SlotError::Corrupt("x".into()).to_string().contains('x'));
+    }
+}

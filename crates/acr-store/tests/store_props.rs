@@ -1,0 +1,208 @@
+//! Property tests for the durable store: whatever bytes the filesystem
+//! hands back — truncated tails, bit flips, missing files — the event-log
+//! scanner and the slot store must never panic, never fabricate data, and
+//! degrade exactly along the contract: intact prefix recovered, corrupt
+//! slot rejected, missing slots reported as missing (the fail-closed
+//! C-03/C-04 behaviors, pinned at the store layer).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use acr_store::{scan_bytes, EventLog, SlotData, SlotEntry, SlotError, SlotStore};
+use proptest::prelude::*;
+use proptest::prop::collection::vec as pvec;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn tmp() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "acr_store_props_{}_{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Append `records` through the real `EventLog` and return the file bytes.
+fn log_bytes(records: &[Vec<u8>]) -> Vec<u8> {
+    let dir = tmp();
+    let path = dir.join("log");
+    let mut log = EventLog::create(&path).unwrap();
+    for r in records {
+        log.append(r).unwrap();
+    }
+    drop(log);
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+/// `found` must be a subsequence of `appended`: the scanner may drop
+/// damaged records but must never reorder or invent them.
+fn is_subsequence(found: &[Vec<u8>], appended: &[Vec<u8>]) -> bool {
+    let mut it = appended.iter();
+    found.iter().all(|f| it.any(|a| a == f))
+}
+
+fn payloads() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    pvec(pvec(any::<u8>(), 0..64), 1..8)
+}
+
+fn slot_data() -> impl Strategy<Value = SlotData> {
+    (
+        any::<u64>(),
+        pvec(
+            (0u8..2, 0u64..8, any::<u64>(), pvec(any::<u8>(), 0..64)),
+            1..6,
+        ),
+    )
+        .prop_map(|(epoch, entries)| SlotData {
+            epoch,
+            entries: entries
+                .into_iter()
+                .map(|(replica, rank, iteration, payload)| SlotEntry {
+                    replica,
+                    rank,
+                    iteration,
+                    payload,
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Append → scan is the identity: every record back, in order,
+    /// nothing skipped, magic intact.
+    #[test]
+    fn log_round_trips_exactly(records in payloads()) {
+        let bytes = log_bytes(&records);
+        let scan = scan_bytes(&bytes);
+        prop_assert_eq!(&scan.records, &records);
+        prop_assert_eq!(scan.skipped_bytes, 0);
+        prop_assert!(!scan.missing_magic);
+    }
+
+    /// Torn write: truncating the file at *every* byte offset yields a
+    /// clean prefix of the appended records — never a panic, never a
+    /// half-record, never a record out of order.
+    #[test]
+    fn truncation_at_any_offset_yields_clean_prefix(records in payloads()) {
+        let bytes = log_bytes(&records);
+        for cut in 0..=bytes.len() {
+            let scan = scan_bytes(&bytes[..cut]);
+            prop_assert!(
+                scan.records.len() <= records.len(),
+                "cut {cut}: more records out than in"
+            );
+            prop_assert_eq!(
+                &scan.records[..],
+                &records[..scan.records.len()],
+                "cut {} produced a non-prefix",
+                cut
+            );
+        }
+    }
+
+    /// Arbitrary bit flips anywhere in the file: the scanner self-heals —
+    /// surviving records are a subsequence of what was appended (damage
+    /// drops records, it never rewrites or reorders them) and every
+    /// dropped byte is accounted for in `skipped_bytes`.
+    #[test]
+    fn bit_flips_never_fabricate_or_reorder(
+        records in payloads(),
+        flips in pvec((any::<usize>(), 1u8..255), 1..5),
+    ) {
+        let mut bytes = log_bytes(&records);
+        for (idx, mask) in &flips {
+            let i = idx % bytes.len();
+            bytes[i] ^= mask;
+        }
+        let scan = scan_bytes(&bytes);
+        prop_assert!(
+            is_subsequence(&scan.records, &records),
+            "scanner fabricated or reordered records"
+        );
+        if scan.records.len() < records.len() {
+            prop_assert!(
+                scan.skipped_bytes > 0 || scan.missing_magic,
+                "records vanished without any damage reported"
+            );
+        }
+    }
+
+    /// Slot write → read is the identity.
+    #[test]
+    fn slot_round_trips_exactly(data in slot_data(), slot in 0u8..2) {
+        let dir = tmp();
+        let store = SlotStore::new(&dir);
+        store.write(slot, &data).unwrap();
+        prop_assert_eq!(store.read(slot).unwrap(), data);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Any single byte flip in a slot file is caught: the read reports
+    /// corruption rather than returning altered checkpoint state.
+    #[test]
+    fn slot_bit_flip_is_rejected_not_returned(
+        data in slot_data(),
+        idx in any::<usize>(),
+        mask in 1u8..255,
+    ) {
+        let dir = tmp();
+        let store = SlotStore::new(&dir);
+        store.write(0, &data).unwrap();
+        let path = store.slot_path(0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let i = idx % bytes.len();
+        bytes[i] ^= mask;
+        std::fs::write(&path, bytes).unwrap();
+        match store.read(0) {
+            Err(SlotError::Corrupt(_)) => {}
+            Err(other) => prop_assert!(false, "wrong error class: {other}"),
+            Ok(read) => prop_assert!(
+                false,
+                "corrupt slot returned data (epoch {})",
+                read.epoch
+            ),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// C-03 at the store layer: with both slots written, corrupting the
+    /// primary leaves the rollback slot's epoch fully readable.
+    #[test]
+    fn corrupt_primary_leaves_rollback_readable(
+        older in slot_data(),
+        newer in slot_data(),
+        idx in any::<usize>(),
+        mask in 1u8..255,
+    ) {
+        let dir = tmp();
+        let store = SlotStore::new(&dir);
+        store.write(0, &older).unwrap();
+        store.write(1, &newer).unwrap();
+        let path = store.slot_path(1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let i = idx % bytes.len();
+        bytes[i] ^= mask;
+        std::fs::write(&path, bytes).unwrap();
+        prop_assert!(store.read(1).is_err(), "damaged primary must not read");
+        prop_assert_eq!(store.read(0).unwrap(), older);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// C-04 at the store layer: an empty store has no slots to offer — both
+/// reads fail closed with `Missing`, the signal the resume planner turns
+/// into "refusing to resume from guessed state".
+#[test]
+fn missing_both_slots_fails_closed() {
+    let dir = tmp();
+    let store = SlotStore::new(&dir);
+    assert!(matches!(store.read(0), Err(SlotError::Missing)));
+    assert!(matches!(store.read(1), Err(SlotError::Missing)));
+    let _ = std::fs::remove_dir_all(&dir);
+}

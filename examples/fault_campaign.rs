@@ -9,6 +9,10 @@
 //! cargo run --release --example fault_campaign -- --repro-dir target/repros
 //! cargo run --release --example fault_campaign -- --transport tcp    # soak over real sockets
 //! cargo run --release --example fault_campaign -- --delta            # incremental delta checkpoints on
+//! cargo run --release --example fault_campaign -- --driver-kill --persist-dir target/stores
+//!                                                                    # scripted driver kills + resume-from-disk
+//! cargo run --release --example fault_campaign -- --resume target/stores/strong_full-compare_seed3
+//!                                                                    # resume one killed case from its store
 //! cargo run --release --example fault_campaign -- --replay repro.txt # re-run one artifact
 //! ```
 
@@ -18,8 +22,8 @@ use std::time::Duration;
 
 use acr::fault::FaultScript;
 use acr::runtime::campaign::{
-    detection_name, parse_detection, parse_scheme, run_campaign, run_script_case, scheme_name,
-    CampaignConfig, CaseOutcome,
+    detection_name, parse_detection, parse_scheme, resume_case, run_campaign, run_script_case,
+    scheme_name, CampaignConfig, CaseOutcome,
 };
 use acr::runtime::{TcpConfig, TransportKind};
 
@@ -28,8 +32,11 @@ fn main() -> ExitCode {
     let mut seeds: u64 = 32;
     let mut repro_dir: Option<PathBuf> = None;
     let mut replay: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
     let mut transport = TransportKind::InProcess;
     let mut delta = false;
+    let mut driver_kill = false;
+    let mut persist_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -70,11 +77,31 @@ fn main() -> ExitCode {
                 ));
             }
             "--delta" => delta = true,
+            "--resume" => {
+                i += 1;
+                resume = Some(PathBuf::from(
+                    args.get(i).map(String::as_str).unwrap_or_else(|| {
+                        eprintln!("--resume needs a store directory");
+                        std::process::exit(2);
+                    }),
+                ));
+            }
+            "--driver-kill" => driver_kill = true,
+            "--persist-dir" => {
+                i += 1;
+                persist_dir = Some(PathBuf::from(
+                    args.get(i).map(String::as_str).unwrap_or_else(|| {
+                        eprintln!("--persist-dir needs a path");
+                        std::process::exit(2);
+                    }),
+                ));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: fault_campaign [--seeds N] [--repro-dir DIR] \
-                     [--transport tcp|in-process] [--delta] [--replay FILE]"
+                     [--transport tcp|in-process] [--delta] \
+                     [--driver-kill --persist-dir DIR] [--resume STORE] [--replay FILE]"
                 );
                 return ExitCode::from(2);
             }
@@ -83,7 +110,19 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = replay {
-        return replay_artifact(&path);
+        return replay_artifact(&path, persist_dir);
+    }
+    if let Some(dir) = resume {
+        return resume_store(&dir);
+    }
+
+    if driver_kill && persist_dir.is_none() {
+        eprintln!("--driver-kill needs --persist-dir DIR (resume state must live somewhere)");
+        return ExitCode::from(2);
+    }
+    if driver_kill && !matches!(transport, TransportKind::InProcess) {
+        eprintln!("--driver-kill requires the in-process (virtual time) transport");
+        return ExitCode::from(2);
     }
 
     let cfg = CampaignConfig {
@@ -91,10 +130,12 @@ fn main() -> ExitCode {
         repro_dir,
         transport,
         delta_checkpoints: delta,
+        driver_kill,
+        persist_dir,
         ..CampaignConfig::default()
     };
     println!(
-        "fault campaign: {} seeds × {} schemes over {}{}, determinism check {}",
+        "fault campaign: {} seeds × {} schemes over {}{}{}, determinism check {}",
         cfg.seeds.len(),
         cfg.schemes.len(),
         if cfg.wall_clock() {
@@ -104,6 +145,11 @@ fn main() -> ExitCode {
         },
         if cfg.delta_checkpoints {
             ", delta checkpoints"
+        } else {
+            ""
+        },
+        if cfg.driver_kill {
+            ", scripted driver kills + resume"
         } else {
             ""
         },
@@ -140,9 +186,43 @@ fn main() -> ExitCode {
     }
 }
 
+/// Resume a previously-killed campaign case straight from its store
+/// directory (the per-case dirs `--driver-kill --persist-dir` leaves
+/// behind). Prints the machine-readable `RecoveryReport` so operators
+/// can see which slot the job came back from.
+fn resume_store(dir: &std::path::Path) -> ExitCode {
+    if !dir.join("events.log").is_file() {
+        eprintln!("{} has no events.log — not a job store", dir.display());
+        return ExitCode::from(2);
+    }
+    println!("resuming from {}", dir.display());
+    let report = resume_case(&CampaignConfig::default(), dir);
+    if let Some(rec) = &report.recovery {
+        println!("recovery report: {}", rec.to_json());
+    }
+    println!(
+        "completed: {} ({} checkpoints verified, {} rollbacks)",
+        report.completed, report.checkpoints_verified, report.rollbacks
+    );
+    if let Some(err) = &report.error {
+        println!("error: {err}");
+    }
+    println!("--- last trace lines ---");
+    for line in report.trace.iter().rev().take(25).rev() {
+        println!("{line}");
+    }
+    if report.completed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// Re-run a single repro artifact: `key=value` config header, then the
 /// script after a `script:` line (the format `repro_artifact` writes).
-fn replay_artifact(path: &std::path::Path) -> ExitCode {
+/// Pass `--persist-dir` alongside `--replay` when the artifact's script
+/// kills the driver: the kill-and-resume pipeline needs a store on disk.
+fn replay_artifact(path: &std::path::Path, persist_dir: Option<PathBuf>) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -153,6 +233,7 @@ fn replay_artifact(path: &std::path::Path) -> ExitCode {
     let mut cfg = CampaignConfig {
         check_determinism: true,
         repro_dir: None,
+        persist_dir,
         ..CampaignConfig::default()
     };
     let mut seed = 0u64;

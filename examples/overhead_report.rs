@@ -32,6 +32,13 @@
 //! application states must be bit-identical between the two runs, and
 //! under `--baseline` the delta shipped/raw ratio must not regress.
 //!
+//! A `fault_free_persisted` scenario re-runs the fault-free sweep with the
+//! durable store on (event-log journaling + checkpoint slots). Virtual
+//! time makes the journaling overhead a deterministic protocol cost — the
+//! extra verified-state collection round-trip per epoch — and it is gated
+//! at ≤ 5% of the in-memory run's total, run-to-run and (for the store
+//! volume columns) against the committed baseline.
+//!
 //! ```text
 //! cargo run --release --example overhead_report
 //! cargo run --release --example overhead_report -- --out target/obs
@@ -431,6 +438,115 @@ fn main() -> ExitCode {
         rows.push((name.to_string(), b));
     }
 
+    // Durable-store scenario: the fault-free run again with journaling and
+    // checkpoint-slot persistence on. The cost model is deterministic
+    // under virtual time: durable writes themselves consume no virtual
+    // time, but each epoch commit adds a verified-state collection
+    // round-trip before the round closes. That protocol-level journaling
+    // overhead is gated at ≤ 5% of the in-memory run's total.
+    {
+        let name = "fault_free_persisted";
+        let store_dir = out_dir.join("store_fault_free");
+        let replay_dir = out_dir.join("store_fault_free_replay");
+        let run_persisted = |dir: &std::path::Path| {
+            let _ = std::fs::remove_dir_all(dir);
+            let cfg = JobConfig::builder()
+                .ranks(4)
+                .tasks_per_rank(1)
+                .spares(2)
+                .scheme(Scheme::Strong)
+                .detection(DetectionMethod::ChunkedChecksum)
+                .checkpoint_interval(Duration::from_millis(60))
+                .heartbeat_period(Duration::from_millis(5))
+                .heartbeat_timeout(Duration::from_millis(40))
+                .max_duration(Duration::from_secs(30))
+                .persist_dir(dir)
+                .build()
+                .expect("valid persisted overhead config");
+            Job::new(cfg)
+                .mode(ExecMode::virtual_default())
+                .run(|rank, _| Box::new(Ring::new(rank, ITERS)) as Box<dyn Task>)
+        };
+        let report = run_persisted(&store_dir);
+        let replay = run_persisted(&replay_dir);
+        let jsonl = sinks::to_jsonl(&report.events);
+        if jsonl != sinks::to_jsonl(&replay.events) {
+            eprintln!("FAIL {name}: replay produced a different JSONL event log");
+            failed = true;
+        }
+        let _ = std::fs::remove_dir_all(&replay_dir);
+        if !report.completed {
+            eprintln!(
+                "FAIL {name}: run did not complete: {}",
+                report.error.as_deref().unwrap_or("unknown")
+            );
+            failed = true;
+        }
+        let b = Breakdown::from_events(&report.events);
+        // Journal-volume accounting: the event log (decision records) vs
+        // the checkpoint slots (state payloads).
+        let (mut journal_bytes, mut slot_bytes) = (0u64, 0u64);
+        for e in &report.events {
+            if let EventKind::StoreAppend { kind, bytes } = &e.kind {
+                if kind == "slot" {
+                    slot_bytes += bytes;
+                } else {
+                    journal_bytes += bytes;
+                }
+            }
+        }
+        if journal_bytes == 0 || slot_bytes == 0 {
+            eprintln!(
+                "FAIL {name}: durable store never engaged \
+                 (journal {journal_bytes} B, slots {slot_bytes} B)"
+            );
+            failed = true;
+        }
+        // The ≤ 5% journaling-overhead gate, measured against the
+        // in-memory fault_free breakdown computed above. Both runs are
+        // virtual-time deterministic, so this is a protocol property, not
+        // machine noise.
+        if let Some((_, mem)) = rows.iter().find(|(n, _)| n == "fault_free") {
+            let overhead = (b.total - mem.total) / mem.total.max(1e-9);
+            if overhead > 0.05 {
+                eprintln!(
+                    "FAIL {name}: journaling overhead {:.2}% > 5% \
+                     (in-memory {:.6}s, persisted {:.6}s)",
+                    100.0 * overhead,
+                    mem.total,
+                    b.total
+                );
+                failed = true;
+            } else {
+                println!(
+                    "{name}: journaling overhead {:.2}% of total \
+                     (in-memory {:.6}s -> persisted {:.6}s)",
+                    100.0 * overhead.max(0.0),
+                    mem.total,
+                    b.total
+                );
+            }
+        }
+        let log_path = out_dir.join(format!("overhead_{name}.jsonl"));
+        if let Err(e) = std::fs::write(&log_path, &jsonl) {
+            eprintln!("cannot write {}: {e}", log_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "{name}: journal {journal_bytes} B + slots {slot_bytes} B over {} durable \
+             writes ({} fsyncs) -> {}",
+            b.store_appends,
+            b.store_fsyncs,
+            log_path.display(),
+        );
+        let json = b.to_json();
+        bench_lines.push(format!(
+            "{{\"scenario\":\"{name}\",{}",
+            json.strip_prefix('{').unwrap_or(&json)
+        ));
+        rows.push((name.to_string(), b));
+    }
+
     // Wire-efficiency scenarios: the same report, but over the threaded TCP
     // backend with the ship codec off and on. Wall-clock phase timings are
     // machine noise, so those columns are zeroed (the baseline phase gate
@@ -676,6 +792,28 @@ fn gate_against_baseline(
                 ok = false;
             } else {
                 println!("  ok {scenario}/ship_ratio: {old:.3} -> {new:.3}");
+            }
+        }
+        // Durable-store volume columns: journal + slot bytes written per
+        // run are virtual-time deterministic, so they get a hard ≤ 5%
+        // regression budget regardless of `--tolerance` — a new record
+        // type or a chattier journal shows up here immediately.
+        if base.store_bytes > 0 && cur.store_bytes > 0 {
+            let volumes = [
+                ("store_appends", base.store_appends, cur.store_appends),
+                ("store_bytes", base.store_bytes, cur.store_bytes),
+                ("store_fsyncs", base.store_fsyncs, cur.store_fsyncs),
+            ];
+            for (col, old, new) in volumes {
+                if new as f64 > old as f64 * 1.05 {
+                    eprintln!(
+                        "FAIL perf gate: {scenario}/{col} regressed \
+                         (baseline {old}, now {new}, budget 5%)"
+                    );
+                    ok = false;
+                } else {
+                    println!("  ok {scenario}/{col}: {old} -> {new}");
+                }
             }
         }
         // Delta-efficiency column: the delta shipped/raw ratio (lower is

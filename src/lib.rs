@@ -65,4 +65,5 @@ pub use acr_obs as obs;
 pub use acr_pup as pup;
 pub use acr_runtime as runtime;
 pub use acr_sim as sim;
+pub use acr_store as store;
 pub use acr_topology as topology;

@@ -347,6 +347,15 @@ fn delta_ships(r: &JobReport) -> usize {
         .count()
 }
 
+/// Buddy-side digest compares skipped because the chunk was clean in the
+/// incoming delta and the local base epoch matched.
+fn compare_skips(r: &JobReport) -> u64 {
+    r.metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("acr_delta_compare_skipped_total "))
+        .map_or(0, |v| v.trim().parse().unwrap_or(0))
+}
+
 /// Turning incremental delta checkpoints on must not change any protocol
 /// outcome: across 8 seeds × 3 schemes, alternating SDC and crash
 /// scenarios, the outcome tuple and the bit-level final states are
@@ -356,6 +365,7 @@ fn delta_ships(r: &JobReport) -> usize {
 fn delta_checkpoints_do_not_change_protocol_outcomes() {
     let schemes = [Scheme::Strong, Scheme::Medium, Scheme::Weak];
     let mut engaged = 0usize;
+    let mut skipped = 0u64;
     for seed in 0..8u64 {
         let script = script_for(seed);
         for scheme in schemes {
@@ -378,8 +388,23 @@ fn delta_checkpoints_do_not_change_protocol_outcomes() {
                 0,
                 "seed {seed} scheme {scheme:?}: delta records on a delta-off run"
             );
+            // The clean-chunk compare skip is a delta-path optimization;
+            // a full-ship run must never take it.
+            assert_eq!(
+                compare_skips(&full),
+                0,
+                "seed {seed} scheme {scheme:?}: compare skips on a delta-off run"
+            );
             engaged += delta_ships(&thin);
+            skipped += compare_skips(&thin);
         }
     }
     assert!(engaged > 0, "delta records never engaged across the sweep");
+    // Clean chunks with a matching base epoch skip the buddy digest
+    // compare entirely — and (asserted above, per case) doing so changes
+    // neither the outcome tuple nor a single bit of the final states.
+    assert!(
+        skipped > 0,
+        "clean-chunk compare skip never engaged across the sweep"
+    );
 }
