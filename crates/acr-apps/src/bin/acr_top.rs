@@ -1,0 +1,195 @@
+//! `acr-top` — a terminal status view over a running or dead ACR job.
+//!
+//! Two sources, one fold:
+//!
+//! - **Live**: `acr-top --addr 127.0.0.1:7070` polls the driver's
+//!   operator endpoint (`GET /events?since=<seq>`) and folds the NDJSON
+//!   event tail into an [`acr_obs::StatusModel`] locally — the same model
+//!   the driver itself serves at `/status`.
+//! - **Offline**: `acr-top --store <persist_dir>` replays a dead or
+//!   killed driver's durable journal through
+//!   [`acr_runtime::StoreView`], rendering what was true when the driver
+//!   stopped writing — including a round it abandoned mid-capture.
+//!
+//! `--snapshot` prints one frame and exits (no ANSI, deterministic for a
+//! given store), which is what CI runs against the crash-restart battery's
+//! killed stores.
+
+use acr_obs::{RecordedEvent, StatusModel};
+use acr_runtime::StoreView;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+const USAGE: &str = "\
+acr-top: live/offline status view of an ACR job
+
+USAGE:
+    acr-top --addr <host:port>  [--snapshot] [--interval-ms <n>]
+    acr-top --store <dir>       [--snapshot] [--follow] [--interval-ms <n>]
+
+SOURCES:
+    --addr <host:port>   poll a live driver's operator endpoint
+                         (JobConfig::builder().http_addr(..)); http:// prefix ok
+    --store <dir>        replay a persist_dir journal (dead/killed driver)
+
+MODES:
+    --snapshot           print one frame and exit (no ANSI; CI-friendly)
+    --follow             with --store: keep polling the journal for appends
+    --interval-ms <n>    poll/redraw cadence, default 500
+";
+
+struct Args {
+    addr: Option<String>,
+    store: Option<String>,
+    snapshot: bool,
+    follow: bool,
+    interval: Duration,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        store: None,
+        snapshot: false,
+        follow: false,
+        interval: Duration::from_millis(500),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => args.addr = Some(it.next().ok_or("--addr needs a value")?),
+            "--store" => args.store = Some(it.next().ok_or("--store needs a value")?),
+            "--snapshot" => args.snapshot = true,
+            "--follow" => args.follow = true,
+            "--interval-ms" => {
+                let v = it.next().ok_or("--interval-ms needs a value")?;
+                let ms: u64 = v.parse().map_err(|_| format!("bad --interval-ms {v}"))?;
+                args.interval = Duration::from_millis(ms.max(1));
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    match (&args.addr, &args.store) {
+        (Some(_), Some(_)) => Err("--addr and --store are mutually exclusive".into()),
+        (None, None) => Err("one of --addr or --store is required".into()),
+        _ => Ok(args),
+    }
+}
+
+/// One blocking HTTP/1.1 GET against `addr`, returning the response body.
+fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: acr\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed HTTP response",
+        )),
+    }
+}
+
+fn draw(frame: &str, snapshot: bool) {
+    if snapshot {
+        print!("{frame}");
+    } else {
+        // Clear screen + home, then the frame — a full redraw per tick.
+        print!("\x1b[2J\x1b[H{frame}");
+        let _ = std::io::stdout().flush();
+    }
+}
+
+fn run_live(addr: &str, args: &Args) -> Result<(), String> {
+    let addr = addr.trim_start_matches("http://").trim_end_matches('/');
+    let mut model = StatusModel::default();
+    let mut next_seq = 0u64;
+    let mut misses = 0u32;
+    loop {
+        match http_get(addr, &format!("/events?since={next_seq}")) {
+            Ok(body) => {
+                misses = 0;
+                for line in body.lines().filter(|l| !l.trim().is_empty()) {
+                    match RecordedEvent::from_json(line) {
+                        Ok(ev) => model.apply(&ev),
+                        Err(e) => eprintln!("acr-top: skipping bad event line: {e}"),
+                    }
+                }
+                if let Some(seen) = model.last_seq() {
+                    next_seq = next_seq.max(seen + 1);
+                }
+            }
+            Err(e) => {
+                misses += 1;
+                // The endpoint dies with the driver; after a few misses
+                // show the final frame rather than spinning forever.
+                if misses >= 3 {
+                    if model.events_folded() == 0 {
+                        return Err(format!("cannot reach {addr}: {e}"));
+                    }
+                    model.mark_source_ended();
+                    draw(&model.render(), args.snapshot);
+                    println!("acr-top: endpoint gone ({e}); last known state above");
+                    return Ok(());
+                }
+            }
+        }
+        draw(&model.render(), args.snapshot);
+        if args.snapshot || model.ended().is_some() {
+            return Ok(());
+        }
+        std::thread::sleep(args.interval);
+    }
+}
+
+fn run_store(dir: &str, args: &Args) -> Result<(), String> {
+    let mut view = StoreView::open(dir);
+    loop {
+        view.refresh().map_err(|e| format!("reading {dir}: {e}"))?;
+        if view.records() == 0 && view.skipped_bytes() == 0 {
+            return Err(format!("no journal records found under {dir}"));
+        }
+        let status = view.status();
+        let mut frame = status.render();
+        if view.decode_errors() > 0 || view.skipped_bytes() > 0 {
+            frame.push_str(&format!(
+                "store damage: {} undecodable records, {} skipped bytes\n",
+                view.decode_errors(),
+                view.skipped_bytes()
+            ));
+        }
+        draw(&frame, args.snapshot);
+        if args.snapshot || !args.follow || view.closed().is_some() {
+            return Ok(());
+        }
+        std::thread::sleep(args.interval);
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("acr-top: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match (&args.addr, &args.store) {
+        (Some(addr), None) => run_live(&addr.clone(), &args),
+        (None, Some(dir)) => run_store(&dir.clone(), &args),
+        _ => unreachable!("parse_args enforces exactly one source"),
+    };
+    if let Err(e) = result {
+        eprintln!("acr-top: {e}");
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,10 @@
 //!   byte-for-byte under virtual time), a Prometheus-style text metrics
 //!   snapshot, and the human-readable pretty printer behind the `ACR_DEBUG`
 //!   live trace.
+//! * [`StatusModel`] — a deterministic left-fold of the event stream into
+//!   "what is currently true" (per-node phase and buddy assignment, epoch
+//!   progress, recovery timeline) serving the driver's `/status` endpoint
+//!   and the `acr-top` TUI, live or from a replayed store.
 //! * [`report`] — folds an event log into a paper-style overhead breakdown
 //!   (forward progress vs. checkpoint vs. compare vs. recovery time, per
 //!   scheme) whose rows sum to the run's total duration.
@@ -38,8 +42,10 @@ mod metrics;
 mod recorder;
 pub mod report;
 pub mod sinks;
+pub mod status;
 
 pub use event::{EventKind, ObsScope, RecordedEvent, RunPhase};
 pub use metrics::{Counter, Histogram};
 pub use recorder::{ObsConfig, Recorder, TimeSource, DRIVER_NODE};
 pub use report::Breakdown;
+pub use status::{JobInfo, NodeRole, NodeStatus, StatusModel, TimelineEntry};

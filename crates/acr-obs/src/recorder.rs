@@ -188,6 +188,26 @@ impl Recorder {
         ring.events.push_back(ev);
     }
 
+    /// Copy every buffered event with `seq >= from_seq`, merged into
+    /// emission order, **without** consuming the rings.
+    ///
+    /// This is the read path for live tailing (`GET /events?since=`, the
+    /// `/status` fold): pollers remember the highest sequence number they
+    /// have seen and ask only for what is new. Unlike [`Recorder::drain`]
+    /// the rings stay intact, so the final [`crate::report`] is unaffected
+    /// by however many scrapes happened mid-run. Events that rotated out
+    /// of a full ring before the caller polled are gone — the
+    /// `acr_obs_events_dropped_total` counter is the detector for that.
+    pub fn snapshot_since(&self, from_seq: u64) -> Vec<RecordedEvent> {
+        let mut all = Vec::new();
+        for ring in &self.rings {
+            let ring = ring.lock().expect("obs ring poisoned");
+            all.extend(ring.events.iter().filter(|ev| ev.seq >= from_seq).cloned());
+        }
+        all.sort_by_key(|ev| ev.seq);
+        all
+    }
+
     /// Take every buffered event, merged back into emission order.
     pub fn drain(&self) -> Vec<RecordedEvent> {
         let mut all = Vec::new();
@@ -239,26 +259,79 @@ impl Recorder {
     }
 
     /// Render every registered metric as a Prometheus-style text snapshot.
+    ///
+    /// Exposition-format guarantees (the `/metrics` endpoint serves this
+    /// verbatim, so scrapers rely on them):
+    /// - every metric family is preceded by a `# HELP` line and a `# TYPE`
+    ///   line, in that order;
+    /// - `acr_obs_events_dropped_total` is **always** present (even at 0),
+    ///   so the ring-overflow detector does not appear mid-run as a brand
+    ///   new series;
+    /// - families are emitted in a stable order (counters sorted by name,
+    ///   then histograms sorted by name, then the dropped counter).
+    ///
+    /// A disabled recorder exposes the empty string — there is no scrape
+    /// surface when observability is off.
     pub fn expose(&self) -> String {
         use std::fmt::Write;
+        if !self.is_enabled() {
+            return String::new();
+        }
         let mut out = String::new();
         let counters = self.counters.lock().expect("obs registry poisoned");
         for (name, c) in counters.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", metric_help(name));
             let _ = writeln!(out, "# TYPE {name} counter");
             let _ = writeln!(out, "{name} {}", c.get());
         }
         drop(counters);
         let histograms = self.histograms.lock().expect("obs registry poisoned");
         for (name, h) in histograms.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", metric_help(name));
             let _ = writeln!(out, "# TYPE {name} histogram");
             h.expose_into(name, &mut out);
         }
-        let dropped = self.dropped();
-        if dropped > 0 {
-            let _ = writeln!(out, "# TYPE acr_obs_events_dropped_total counter");
-            let _ = writeln!(out, "acr_obs_events_dropped_total {dropped}");
-        }
+        drop(histograms);
+        let _ = writeln!(
+            out,
+            "# HELP acr_obs_events_dropped_total {}",
+            metric_help("acr_obs_events_dropped_total")
+        );
+        let _ = writeln!(out, "# TYPE acr_obs_events_dropped_total counter");
+        let _ = writeln!(out, "acr_obs_events_dropped_total {}", self.dropped());
         out
+    }
+}
+
+/// One-line `# HELP` text for the metric names the runtime registers.
+/// Unknown names (embedder-defined metrics) get a generic line rather
+/// than none — the exposition format promises HELP before TYPE for every
+/// family.
+fn metric_help(name: &str) -> &'static str {
+    match name {
+        "acr_pack_total" => "Task state captures packed for checkpointing.",
+        "acr_pack_bytes_total" => "Bytes of task state packed for checkpointing.",
+        "acr_pack_chunks_total" => "Checkpoint chunks produced by packing.",
+        "acr_pack_seconds" => "Wall-clock seconds spent packing task state.",
+        "acr_compare_wire_bytes_total" => "Bytes shipped between buddies for comparison.",
+        "acr_delta_compare_skipped_total" => "Delta rounds that skipped clean-chunk comparison.",
+        "acr_delta_fallback_total" => "Delta rounds that fell back to a full-state ship.",
+        "acr_global_restarts_total" => "Whole-job restarts from the last verified checkpoint.",
+        "acr_heartbeat_expired_total" => "Heartbeat windows that expired on the driver.",
+        "acr_nodes_declared_dead_total" => "Nodes the failure detector declared dead.",
+        "acr_probe_rounds_total" => "Probe rounds launched against suspect nodes.",
+        "acr_send_to_closed_inbox_total" => "Messages dropped on a closed node inbox.",
+        "acr_store_appends_total" => "Records appended to the durable driver store.",
+        "acr_store_bytes_total" => "Bytes appended to the durable driver store.",
+        "acr_store_fsyncs_total" => "fsync calls issued by the durable driver store.",
+        "acr_transport_connects_total" => "Transport connections established.",
+        "acr_transport_probes_total" => "Transport-level liveness probes sent.",
+        "acr_transport_retries_total" => "Transport connect/send retries.",
+        "acr_transport_stale_total" => "Stale transport frames discarded after reconnect.",
+        "acr_obs_events_dropped_total" => {
+            "Events discarded to ring-buffer wraparound (scrape more often or grow ring_capacity)."
+        }
+        _ => "Embedder-defined metric (no registered help text).",
     }
 }
 

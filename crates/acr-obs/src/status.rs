@@ -1,0 +1,1127 @@
+//! The status fold: turn the structured event stream into "what is
+//! currently true".
+//!
+//! [`StatusModel`] is a deterministic left-fold over [`RecordedEvent`]s —
+//! the same events whether they come from a live [`crate::Recorder`] ring
+//! (via [`crate::Recorder::snapshot_since`]), a replayed JSONL trace, or a
+//! store replay synthesized by the runtime. Feeding the same event
+//! sequence twice produces byte-identical [`StatusModel::to_json`] output,
+//! which is what makes the `/status` endpoint testable under virtual time.
+//!
+//! The model tracks:
+//! - job identity and lifecycle (scheme, detection, ended/interrupted);
+//! - the driver phase and cumulative per-phase seconds;
+//! - epoch progress: open round, last committed (clean-verdict) round, and
+//!   — after [`StatusModel::mark_source_ended`] — a round the source died
+//!   inside of (the *abandoned capture*);
+//! - per-node identity (replica/rank/spare), buddy assignment, liveness,
+//!   and last observed activity;
+//! - checkpoint-ship and delta-checkpoint progress gauges;
+//! - transport storms (connects, retries, probes) and the recovery /
+//!   restart timeline;
+//! - trailing-window event rates, computed from event timestamps only so
+//!   virtual-time runs stay deterministic.
+
+use crate::event::{EventKind, RecordedEvent};
+use crate::json;
+use std::collections::BTreeMap;
+
+/// Timeline entries kept (newest win); old entries age out silently.
+const TIMELINE_CAP: usize = 64;
+/// Width of the trailing rate window, in (possibly virtual) seconds.
+const RATE_WINDOW: f64 = 1.0;
+
+/// Job identity, copied from the `job_start` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobInfo {
+    /// Recovery scheme label (`strong` / `medium` / `weak`).
+    pub scheme: String,
+    /// Detection mode label (`full-compare` / `checksum` / …).
+    pub detection: String,
+    /// Ranks per replica.
+    pub ranks: u32,
+    /// Spare pool size.
+    pub spares: u32,
+    /// Timestamp of the `job_start` event.
+    pub started: f64,
+}
+
+/// What a node currently *is* in the replica layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// Active member of a replica: `(replica, rank)`.
+    Active(u8, u32),
+    /// Idle spare, available for promotion.
+    Spare,
+    /// Declared dead and (if it was active) replaced or abandoned.
+    Failed,
+}
+
+impl NodeRole {
+    fn label(self) -> &'static str {
+        match self {
+            NodeRole::Active(..) => "active",
+            NodeRole::Spare => "spare",
+            NodeRole::Failed => "failed",
+        }
+    }
+}
+
+/// Per-node live state inside a [`StatusModel`].
+#[derive(Debug, Clone)]
+pub struct NodeStatus {
+    /// Current layout role.
+    pub role: NodeRole,
+    /// Short label of the last observed activity ("forward", "pack",
+    /// "ship", "consensus p2", "dead", …).
+    pub phase: String,
+    /// Timestamp of the last event attributed to this node.
+    pub last_t: f64,
+    /// Checkpoint captures packed.
+    pub packs: u64,
+    /// Bytes packed.
+    pub pack_bytes: u64,
+    /// Buddy-comparison ships sent.
+    pub ships: u64,
+    /// Wire bytes shipped for comparison.
+    pub ship_bytes: u64,
+    /// Clean comparison outcomes.
+    pub clean: u64,
+    /// Diverged comparison outcomes (SDC detections).
+    pub diverged: u64,
+}
+
+impl NodeStatus {
+    fn new(role: NodeRole) -> NodeStatus {
+        NodeStatus {
+            role,
+            phase: "idle".to_string(),
+            last_t: 0.0,
+            packs: 0,
+            pack_bytes: 0,
+            ships: 0,
+            ship_bytes: 0,
+            clean: 0,
+            diverged: 0,
+        }
+    }
+
+    fn touch(&mut self, t: f64, phase: &str) {
+        self.last_t = t;
+        if self.role != NodeRole::Failed {
+            self.phase.clear();
+            self.phase.push_str(phase);
+        }
+    }
+}
+
+/// One line of the recovery/fault timeline.
+#[derive(Debug, Clone)]
+pub struct TimelineEntry {
+    /// Event timestamp.
+    pub t: f64,
+    /// Originating node (`u32::MAX` = driver).
+    pub node: u32,
+    /// Human-readable description.
+    pub what: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RateClass {
+    Event,
+    Ship,
+    Retry,
+    Probe,
+}
+
+/// The fold. See the module docs for what it tracks; construct with
+/// [`StatusModel::default`], feed events with [`StatusModel::apply`] (or
+/// [`StatusModel::fold`]), read with [`StatusModel::to_json`] /
+/// [`StatusModel::render`].
+#[derive(Debug, Clone, Default)]
+pub struct StatusModel {
+    job: Option<JobInfo>,
+    ended: Option<bool>,
+    interrupted: bool,
+
+    phase: Option<String>,
+    phase_since: f64,
+    phase_seconds: BTreeMap<String, f64>,
+
+    rounds_started: u64,
+    open_round: Option<u64>,
+    abandoned_round: Option<u64>,
+    committed_round: Option<u64>,
+    verdicts_clean: u64,
+    verdicts_dirty: u64,
+    iteration: u64,
+
+    packs: u64,
+    pack_bytes: u64,
+    pack_chunks: u64,
+    ships: u64,
+    ship_wire_bytes: u64,
+    compare_clean: u64,
+    compare_diverged: u64,
+    diverged_bytes: u64,
+
+    delta_raw_bytes: u64,
+    delta_shipped_bytes: u64,
+    chunks_dirty: u64,
+
+    connects: u64,
+    retries: u64,
+    probes_sent: u64,
+    probe_deaths: u64,
+    heartbeats_expired: u64,
+
+    store_appends: u64,
+    store_bytes: u64,
+
+    recoveries: u64,
+    recoveries_done: u64,
+    collapsed: u64,
+    restarts: u64,
+    faults: u64,
+
+    nodes: BTreeMap<u32, NodeStatus>,
+    /// Current holder of each `(replica, rank)` slot.
+    hosts: BTreeMap<(u8, u32), u32>,
+    /// Slot each failed node vacated, so a later `recovery_start` can hand
+    /// the exact identity to the promoted spare.
+    vacated: BTreeMap<u32, (u8, u32)>,
+
+    timeline: Vec<TimelineEntry>,
+    recent: std::collections::VecDeque<(f64, RateClass)>,
+
+    events_folded: u64,
+    last_seq: Option<u64>,
+    last_t: f64,
+}
+
+impl StatusModel {
+    /// Fold a complete event sequence into a fresh model.
+    pub fn fold<'a>(events: impl IntoIterator<Item = &'a RecordedEvent>) -> StatusModel {
+        let mut m = StatusModel::default();
+        for ev in events {
+            m.apply(ev);
+        }
+        m
+    }
+
+    /// Number of events folded so far.
+    pub fn events_folded(&self) -> u64 {
+        self.events_folded
+    }
+
+    /// Highest sequence number folded, if any. Feed
+    /// `last_seq + 1` to [`crate::Recorder::snapshot_since`] (or an
+    /// `/events?since=` poll) to continue incrementally.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.last_seq
+    }
+
+    /// Whether the job ended, and if so whether it completed.
+    pub fn ended(&self) -> Option<bool> {
+        self.ended
+    }
+
+    /// The round the source died inside of, if
+    /// [`StatusModel::mark_source_ended`] found one open.
+    pub fn abandoned_round(&self) -> Option<u64> {
+        self.abandoned_round
+    }
+
+    /// Last committed (clean-verdict) round, if any.
+    pub fn committed_round(&self) -> Option<u64> {
+        self.committed_round
+    }
+
+    /// Declare that the event source is finished (log EOF, dead driver).
+    ///
+    /// A live model cannot distinguish "round in flight" from "driver died
+    /// mid-capture"; the *consumer* knows when the source is exhausted.
+    /// If the job never ended and a round is still open, that round is
+    /// marked as the abandoned capture and the model as interrupted —
+    /// exactly the signature a killed driver's store leaves behind
+    /// (records ending without a job-close).
+    pub fn mark_source_ended(&mut self) {
+        if self.ended.is_none() {
+            self.interrupted = true;
+            if let Some(round) = self.open_round.take() {
+                self.abandoned_round = Some(round);
+            }
+        }
+    }
+
+    fn accumulate_phase(&mut self, now: f64) {
+        if let Some(cur) = &self.phase {
+            *self.phase_seconds.entry(cur.clone()).or_insert(0.0) +=
+                (now - self.phase_since).max(0.0);
+        }
+    }
+
+    fn note(&mut self, t: f64, node: u32, what: String) {
+        if self.timeline.len() == TIMELINE_CAP {
+            self.timeline.remove(0);
+        }
+        self.timeline.push(TimelineEntry { t, node, what });
+    }
+
+    fn rate_mark(&mut self, t: f64, class: RateClass) {
+        self.recent.push_back((t, class));
+        while let Some(&(t0, _)) = self.recent.front() {
+            if t - t0 > RATE_WINDOW {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn rate(&self, class: RateClass) -> f64 {
+        let n = self
+            .recent
+            .iter()
+            .filter(|(t, c)| *c == class && self.last_t - *t <= RATE_WINDOW)
+            .count();
+        n as f64 / RATE_WINDOW
+    }
+
+    fn node_mut(&mut self, node: u32) -> &mut NodeStatus {
+        self.nodes
+            .entry(node)
+            .or_insert_with(|| NodeStatus::new(NodeRole::Spare))
+    }
+
+    /// Fold one event. Events must be applied in sequence order for the
+    /// phase/round bookkeeping to be meaningful.
+    pub fn apply(&mut self, ev: &RecordedEvent) {
+        self.events_folded += 1;
+        self.last_seq = Some(ev.seq);
+        self.last_t = ev.t;
+        self.rate_mark(ev.t, RateClass::Event);
+        let t = ev.t;
+        let node = ev.node;
+        match &ev.kind {
+            EventKind::JobStart {
+                scheme,
+                detection,
+                ranks,
+                spares,
+            } => {
+                self.job = Some(JobInfo {
+                    scheme: scheme.clone(),
+                    detection: detection.clone(),
+                    ranks: *ranks,
+                    spares: *spares,
+                    started: t,
+                });
+                self.nodes.clear();
+                self.hosts.clear();
+                for n in 0..2 * *ranks + *spares {
+                    let role = if n < 2 * *ranks {
+                        let replica = (n >= *ranks) as u8;
+                        let rank = n % *ranks;
+                        self.hosts.insert((replica, rank), n);
+                        NodeRole::Active(replica, rank)
+                    } else {
+                        NodeRole::Spare
+                    };
+                    self.nodes.insert(n, NodeStatus::new(role));
+                }
+            }
+            EventKind::JobEnd { completed } => {
+                self.accumulate_phase(t);
+                self.phase = None;
+                self.ended = Some(*completed);
+                self.open_round = None;
+            }
+            EventKind::PhaseEnter { phase } => {
+                self.accumulate_phase(t);
+                self.phase = Some(phase.label().to_string());
+                self.phase_since = t;
+            }
+            EventKind::RoundStart { round } => {
+                self.rounds_started += 1;
+                self.open_round = Some(*round);
+            }
+            EventKind::RoundVerdict {
+                round,
+                iteration,
+                clean,
+            } => {
+                self.open_round = None;
+                self.iteration = self.iteration.max(*iteration);
+                if *clean {
+                    self.verdicts_clean += 1;
+                    self.committed_round = Some(*round);
+                } else {
+                    self.verdicts_dirty += 1;
+                }
+            }
+            EventKind::ConsensusPhase { phase, .. } => {
+                self.node_mut(node).touch(t, &format!("consensus p{phase}"));
+            }
+            EventKind::CheckpointPack { bytes, chunks, .. } => {
+                self.packs += 1;
+                self.pack_bytes += bytes;
+                self.pack_chunks += u64::from(*chunks);
+                let ns = self.node_mut(node);
+                ns.packs += 1;
+                ns.pack_bytes += bytes;
+                ns.touch(t, "pack");
+            }
+            EventKind::CompareShip {
+                iteration,
+                wire_bytes,
+                ..
+            } => {
+                self.ships += 1;
+                self.ship_wire_bytes += wire_bytes;
+                self.iteration = self.iteration.max(*iteration);
+                self.rate_mark(t, RateClass::Ship);
+                let ns = self.node_mut(node);
+                ns.ships += 1;
+                ns.ship_bytes += wire_bytes;
+                ns.touch(t, "ship");
+            }
+            EventKind::CompareOutcome {
+                clean,
+                diverged_bytes,
+                ..
+            } => {
+                if *clean {
+                    self.compare_clean += 1;
+                    let ns = self.node_mut(node);
+                    ns.clean += 1;
+                    ns.touch(t, "compare=clean");
+                } else {
+                    self.compare_diverged += 1;
+                    self.diverged_bytes += diverged_bytes;
+                    let ns = self.node_mut(node);
+                    ns.diverged += 1;
+                    ns.touch(t, "compare=DIVERGED");
+                    self.note(t, node, format!("SDC: {diverged_bytes} bytes diverged"));
+                }
+            }
+            EventKind::HeartbeatExpired { dead } => {
+                self.heartbeats_expired += 1;
+                self.note(t, node, format!("heartbeat expired for node {dead}"));
+            }
+            EventKind::ProbeSent { .. } => {
+                self.probes_sent += 1;
+                self.rate_mark(t, RateClass::Probe);
+            }
+            EventKind::ProbeDeath { dead } => {
+                self.probe_deaths += 1;
+                self.note(t, node, format!("probe declared node {dead} dead"));
+            }
+            EventKind::NodeDead {
+                dead,
+                replica,
+                rank,
+            } => {
+                let was_active = matches!(
+                    self.nodes.get(dead).map(|n| n.role),
+                    Some(NodeRole::Active(..))
+                );
+                if was_active || self.hosts.get(&(*replica, *rank)) == Some(dead) {
+                    self.vacated.insert(*dead, (*replica, *rank));
+                }
+                let ns = self.node_mut(*dead);
+                ns.role = NodeRole::Failed;
+                ns.phase = "dead".to_string();
+                ns.last_t = t;
+                if self.hosts.get(&(*replica, *rank)) == Some(dead) {
+                    self.hosts.remove(&(*replica, *rank));
+                }
+                self.note(
+                    t,
+                    node,
+                    format!("node {dead} dead (replica {replica} rank {rank})"),
+                );
+            }
+            EventKind::FaultInjected { kind, iteration } => {
+                self.faults += 1;
+                self.note(
+                    t,
+                    node,
+                    format!("fault injected: {kind} @ iter {iteration}"),
+                );
+            }
+            EventKind::RecoveryStart {
+                class, dead, spare, ..
+            } => {
+                self.recoveries += 1;
+                // The spare inherits the dead node's (replica, rank). The
+                // dead node's identity was recorded before it failed; find
+                // the slot it vacated.
+                let slot = self
+                    .nodes
+                    .get(dead)
+                    .and_then(|ns| match ns.role {
+                        NodeRole::Active(r, k) => Some((r, k)),
+                        _ => None,
+                    })
+                    // Usually node_dead came first and recorded the slot
+                    // the corpse vacated.
+                    .or_else(|| self.vacated.get(dead).copied())
+                    // Last resort: whichever (replica, rank) has no host.
+                    .or_else(|| self.vacant_slot());
+                if let Some((r, k)) = slot {
+                    self.hosts.insert((r, k), *spare);
+                    let sp = self.node_mut(*spare);
+                    sp.role = NodeRole::Active(r, k);
+                    sp.touch(t, "recovering");
+                    self.note(
+                        t,
+                        node,
+                        format!("recovery ({class}): spare {spare} takes replica {r} rank {k}"),
+                    );
+                } else {
+                    self.note(
+                        t,
+                        node,
+                        format!("recovery ({class}): node {dead} -> spare {spare}"),
+                    );
+                }
+            }
+            EventKind::RecoveryPlan {
+                actions,
+                inter_replica_messages,
+                rework,
+            } => {
+                self.note(
+                    t,
+                    node,
+                    format!(
+                        "recovery plan: {actions} actions, {inter_replica_messages} cross-replica msgs, rework={rework}"
+                    ),
+                );
+            }
+            EventKind::RecoveryDone { unverified } => {
+                self.recoveries_done += 1;
+                self.note(t, node, format!("recovery done (unverified={unverified})"));
+            }
+            EventKind::RecoveryCollapsed { dead } => {
+                self.collapsed += 1;
+                self.note(
+                    t,
+                    node,
+                    format!("replica collapsed: node {dead} unrecoverable"),
+                );
+            }
+            EventKind::GlobalRestart { iteration } => {
+                self.restarts += 1;
+                self.note(
+                    t,
+                    node,
+                    format!("GLOBAL RESTART from iteration {iteration}"),
+                );
+            }
+            EventKind::TransportConnect { .. } => {
+                self.connects += 1;
+            }
+            EventKind::TransportRetry { .. } => {
+                self.retries += 1;
+                self.rate_mark(t, RateClass::Retry);
+            }
+            EventKind::WireBytes {
+                delta_raw_bytes,
+                delta_shipped_bytes,
+                chunks_dirty,
+                ..
+            } => {
+                self.delta_raw_bytes += delta_raw_bytes;
+                self.delta_shipped_bytes += delta_shipped_bytes;
+                self.chunks_dirty += chunks_dirty;
+            }
+            EventKind::StoreAppend { bytes, .. } => {
+                self.store_appends += 1;
+                self.store_bytes += bytes;
+            }
+            EventKind::StoreRecover {
+                source,
+                replayed,
+                skipped,
+            } => {
+                self.note(
+                    t,
+                    node,
+                    format!(
+                        "resumed from {source}: {replayed} records replayed, {skipped} skipped"
+                    ),
+                );
+            }
+            EventKind::BatchFlush { .. } | EventKind::Debug { .. } => {}
+        }
+    }
+
+    /// The current holder of a node's buddy slot — the same rank in the
+    /// other replica — or `None` for spares, failed nodes, and vacant
+    /// buddy slots.
+    pub fn buddy_of(&self, node: u32) -> Option<u32> {
+        match self.nodes.get(&node)?.role {
+            NodeRole::Active(r, k) => self.hosts.get(&(1 - r, k)).copied(),
+            _ => None,
+        }
+    }
+
+    fn vacant_slot(&self) -> Option<(u8, u32)> {
+        let ranks = self.job.as_ref()?.ranks;
+        for r in 0..2u8 {
+            for k in 0..ranks {
+                if !self.hosts.contains_key(&(r, k)) {
+                    return Some((r, k));
+                }
+            }
+        }
+        None
+    }
+
+    /// Serialize the model as deterministic JSON: fixed key order, nodes
+    /// sorted by id, timeline in arrival order. Two models built from the
+    /// same event sequence serialize byte-identically.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        match &self.job {
+            Some(j) => {
+                out.push_str("\"job\":{");
+                json::push_str(&mut out, "scheme", &j.scheme);
+                json::push_str(&mut out, "detection", &j.detection);
+                json::push_raw(&mut out, "ranks", j.ranks);
+                json::push_raw(&mut out, "spares", j.spares);
+                json::push_raw(&mut out, "started", j.started);
+                close(&mut out);
+                out.push(',');
+            }
+            None => out.push_str("\"job\":null,"),
+        }
+        push_opt_bool(&mut out, "ended", self.ended);
+        json::push_raw(&mut out, "interrupted", self.interrupted);
+        match &self.phase {
+            Some(p) => json::push_str(&mut out, "phase", p),
+            None => out.push_str("\"phase\":null,"),
+        }
+        json::push_raw(&mut out, "phase_since", self.phase_since);
+        out.push_str("\"phase_seconds\":{");
+        for (name, secs) in &self.phase_seconds {
+            json::push_raw(&mut out, name, secs);
+        }
+        close(&mut out);
+        out.push(',');
+
+        out.push_str("\"epoch\":{");
+        push_opt_u64(&mut out, "open_round", self.open_round);
+        push_opt_u64(&mut out, "committed_round", self.committed_round);
+        push_opt_u64(&mut out, "abandoned_round", self.abandoned_round);
+        json::push_raw(&mut out, "rounds_started", self.rounds_started);
+        json::push_raw(&mut out, "verdicts_clean", self.verdicts_clean);
+        json::push_raw(&mut out, "verdicts_dirty", self.verdicts_dirty);
+        json::push_raw(&mut out, "iteration", self.iteration);
+        close(&mut out);
+        out.push(',');
+
+        out.push_str("\"ship\":{");
+        json::push_raw(&mut out, "packs", self.packs);
+        json::push_raw(&mut out, "pack_bytes", self.pack_bytes);
+        json::push_raw(&mut out, "pack_chunks", self.pack_chunks);
+        json::push_raw(&mut out, "ships", self.ships);
+        json::push_raw(&mut out, "wire_bytes", self.ship_wire_bytes);
+        json::push_raw(&mut out, "compare_clean", self.compare_clean);
+        json::push_raw(&mut out, "compare_diverged", self.compare_diverged);
+        json::push_raw(&mut out, "diverged_bytes", self.diverged_bytes);
+        close(&mut out);
+        out.push(',');
+
+        out.push_str("\"delta\":{");
+        json::push_raw(&mut out, "raw_bytes", self.delta_raw_bytes);
+        json::push_raw(&mut out, "shipped_bytes", self.delta_shipped_bytes);
+        json::push_raw(&mut out, "chunks_dirty", self.chunks_dirty);
+        close(&mut out);
+        out.push(',');
+
+        out.push_str("\"transport\":{");
+        json::push_raw(&mut out, "connects", self.connects);
+        json::push_raw(&mut out, "retries", self.retries);
+        json::push_raw(&mut out, "probes_sent", self.probes_sent);
+        json::push_raw(&mut out, "probe_deaths", self.probe_deaths);
+        json::push_raw(&mut out, "heartbeats_expired", self.heartbeats_expired);
+        close(&mut out);
+        out.push(',');
+
+        out.push_str("\"store\":{");
+        json::push_raw(&mut out, "appends", self.store_appends);
+        json::push_raw(&mut out, "bytes", self.store_bytes);
+        close(&mut out);
+        out.push(',');
+
+        out.push_str("\"recovery\":{");
+        json::push_raw(&mut out, "recoveries", self.recoveries);
+        json::push_raw(&mut out, "recoveries_done", self.recoveries_done);
+        json::push_raw(&mut out, "collapsed", self.collapsed);
+        json::push_raw(&mut out, "global_restarts", self.restarts);
+        json::push_raw(&mut out, "faults_injected", self.faults);
+        close(&mut out);
+        out.push(',');
+
+        out.push_str("\"rates\":{");
+        json::push_raw(&mut out, "window_seconds", RATE_WINDOW);
+        json::push_raw(&mut out, "events_per_sec", self.rate(RateClass::Event));
+        json::push_raw(&mut out, "ships_per_sec", self.rate(RateClass::Ship));
+        json::push_raw(&mut out, "retries_per_sec", self.rate(RateClass::Retry));
+        json::push_raw(&mut out, "probes_per_sec", self.rate(RateClass::Probe));
+        close(&mut out);
+        out.push(',');
+
+        out.push_str("\"nodes\":[");
+        for (id, ns) in &self.nodes {
+            out.push('{');
+            json::push_raw(&mut out, "node", id);
+            json::push_str(&mut out, "role", ns.role.label());
+            match ns.role {
+                NodeRole::Active(r, k) => {
+                    json::push_raw(&mut out, "replica", r);
+                    json::push_raw(&mut out, "rank", k);
+                }
+                NodeRole::Spare | NodeRole::Failed => {
+                    out.push_str("\"replica\":null,\"rank\":null,");
+                }
+            }
+            push_opt_u64(&mut out, "buddy", self.buddy_of(*id).map(u64::from));
+            json::push_str(&mut out, "phase", &ns.phase);
+            json::push_raw(&mut out, "last_t", ns.last_t);
+            json::push_raw(&mut out, "packs", ns.packs);
+            json::push_raw(&mut out, "pack_bytes", ns.pack_bytes);
+            json::push_raw(&mut out, "ships", ns.ships);
+            json::push_raw(&mut out, "ship_bytes", ns.ship_bytes);
+            json::push_raw(&mut out, "clean", ns.clean);
+            json::push_raw(&mut out, "diverged", ns.diverged);
+            close(&mut out);
+            out.push(',');
+        }
+        if out.ends_with(',') {
+            out.pop();
+        }
+        out.push_str("],");
+
+        out.push_str("\"timeline\":[");
+        for e in &self.timeline {
+            out.push('{');
+            json::push_raw(&mut out, "t", e.t);
+            json::push_raw(&mut out, "node", e.node);
+            json::push_str(&mut out, "event", &e.what);
+            close(&mut out);
+            out.push(',');
+        }
+        if out.ends_with(',') {
+            out.pop();
+        }
+        out.push_str("],");
+
+        out.push_str("\"fold\":{");
+        json::push_raw(&mut out, "events", self.events_folded);
+        push_opt_u64(&mut out, "last_seq", self.last_seq);
+        json::push_raw(&mut out, "last_t", self.last_t);
+        close(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Render a plain-text status frame (the `acr-top` screen): job line,
+    /// epoch/phase gauges, per-node phase grid with buddy assignments, and
+    /// the recent recovery timeline. Deterministic for a given model.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        match &self.job {
+            Some(j) => {
+                let _ = writeln!(
+                    out,
+                    "ACR job · scheme={} detection={} · {} ranks x2 replicas · {} spares",
+                    j.scheme, j.detection, j.ranks, j.spares
+                );
+            }
+            None => {
+                let _ = writeln!(out, "ACR job · (no job_start seen)");
+            }
+        }
+        let state = match (self.ended, self.interrupted) {
+            (Some(true), _) => "completed".to_string(),
+            (Some(false), _) => "ended (incomplete)".to_string(),
+            (None, true) => "INTERRUPTED (source died)".to_string(),
+            (None, false) => format!("running · phase {}", self.phase.as_deref().unwrap_or("?")),
+        };
+        let _ = writeln!(
+            out,
+            "state: {state} · t={:.3} · {} events",
+            self.last_t, self.events_folded
+        );
+        let _ = write!(out, "epoch: ");
+        match self.committed_round {
+            Some(r) => {
+                let _ = write!(out, "committed {r}");
+            }
+            None => {
+                let _ = write!(out, "committed none");
+            }
+        }
+        if let Some(r) = self.open_round {
+            let _ = write!(out, " · round {r} open");
+        }
+        if let Some(r) = self.abandoned_round {
+            let _ = write!(out, " · round {r} ABANDONED mid-capture");
+        }
+        let _ = writeln!(
+            out,
+            " · iter {} · verdicts {}+{}-",
+            self.iteration, self.verdicts_clean, self.verdicts_dirty
+        );
+
+        let mut phases: Vec<String> = self
+            .phase_seconds
+            .iter()
+            .map(|(name, secs)| format!("{name} {secs:.3}s"))
+            .collect();
+        if phases.is_empty() {
+            phases.push("(none)".to_string());
+        }
+        let _ = writeln!(out, "phase-seconds: {}", phases.join(" · "));
+
+        let _ = writeln!(
+            out,
+            "ship: {} packs / {} B · {} ships / {} B wire · compare {}+ {}- ({} B diverged)",
+            self.packs,
+            self.pack_bytes,
+            self.ships,
+            self.ship_wire_bytes,
+            self.compare_clean,
+            self.compare_diverged,
+            self.diverged_bytes
+        );
+        let _ = writeln!(
+            out,
+            "delta: {} B raw -> {} B shipped · {} dirty chunks | store: {} appends / {} B",
+            self.delta_raw_bytes,
+            self.delta_shipped_bytes,
+            self.chunks_dirty,
+            self.store_appends,
+            self.store_bytes
+        );
+        let _ = writeln!(
+            out,
+            "transport: {} connects · {} retries · {} probes · {} probe-deaths · {} hb-expired",
+            self.connects,
+            self.retries,
+            self.probes_sent,
+            self.probe_deaths,
+            self.heartbeats_expired
+        );
+        let _ = writeln!(
+            out,
+            "rates/{RATE_WINDOW:.0}s: {:.0} ev · {:.0} ships · {:.0} retries · {:.0} probes",
+            self.rate(RateClass::Event),
+            self.rate(RateClass::Ship),
+            self.rate(RateClass::Retry),
+            self.rate(RateClass::Probe)
+        );
+
+        let _ = writeln!(out, "nodes:");
+        if let Some(j) = &self.job {
+            for r in 0..2u8 {
+                let _ = write!(out, "  r{r}:");
+                for k in 0..j.ranks {
+                    match self.hosts.get(&(r, k)) {
+                        Some(id) => {
+                            let ns = &self.nodes[id];
+                            let buddy = self
+                                .buddy_of(*id)
+                                .map(|b| b.to_string())
+                                .unwrap_or_else(|| "-".to_string());
+                            let _ = write!(out, " [{id}:{} b={buddy}]", ns.phase);
+                        }
+                        None => {
+                            let _ = write!(out, " [rank {k} VACANT]");
+                        }
+                    }
+                }
+                let _ = writeln!(out);
+            }
+            let mut rest: Vec<String> = Vec::new();
+            for (id, ns) in &self.nodes {
+                match ns.role {
+                    NodeRole::Spare => rest.push(format!("[{id}:spare]")),
+                    NodeRole::Failed => rest.push(format!("[{id}:DEAD]")),
+                    NodeRole::Active(..) => {}
+                }
+            }
+            if !rest.is_empty() {
+                let _ = writeln!(out, "  pool: {}", rest.join(" "));
+            }
+        } else {
+            let _ = writeln!(out, "  (unknown layout)");
+        }
+
+        let _ = writeln!(out, "recent events:");
+        let tail = self.timeline.iter().rev().take(12).collect::<Vec<_>>();
+        if tail.is_empty() {
+            let _ = writeln!(out, "  (none)");
+        }
+        for e in tail.into_iter().rev() {
+            let who = if e.node == u32::MAX {
+                "driver".to_string()
+            } else {
+                format!("node {}", e.node)
+            };
+            let _ = writeln!(out, "  {:>9.3}  {:<8}  {}", e.t, who, e.what);
+        }
+        out
+    }
+}
+
+fn close(out: &mut String) {
+    if out.ends_with(',') {
+        out.pop();
+    }
+    out.push('}');
+}
+
+fn push_opt_u64(out: &mut String, key: &str, v: Option<u64>) {
+    match v {
+        Some(v) => json::push_raw(out, key, v),
+        None => {
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\":null,");
+        }
+    }
+}
+
+fn push_opt_bool(out: &mut String, key: &str, v: Option<bool>) {
+    match v {
+        Some(v) => json::push_raw(out, key, v),
+        None => {
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\":null,");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::RunPhase;
+
+    fn ev(seq: u64, t: f64, node: u32, kind: EventKind) -> RecordedEvent {
+        RecordedEvent { seq, t, node, kind }
+    }
+
+    fn job_start(seq: u64, t: f64) -> RecordedEvent {
+        ev(
+            seq,
+            t,
+            u32::MAX,
+            EventKind::JobStart {
+                scheme: "strong".into(),
+                detection: "full-compare".into(),
+                ranks: 2,
+                spares: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn layout_and_buddies_from_job_start() {
+        let m = StatusModel::fold(&[job_start(0, 0.0)]);
+        // 2 ranks x 2 replicas + 2 spares = nodes 0..6.
+        assert_eq!(m.nodes.len(), 6);
+        assert_eq!(m.buddy_of(0), Some(2));
+        assert_eq!(m.buddy_of(2), Some(0));
+        assert_eq!(m.buddy_of(1), Some(3));
+        assert_eq!(m.buddy_of(4), None, "spares have no buddy");
+    }
+
+    #[test]
+    fn promotion_moves_buddy_assignment() {
+        let events = vec![
+            job_start(0, 0.0),
+            ev(
+                1,
+                0.5,
+                u32::MAX,
+                EventKind::NodeDead {
+                    dead: 3,
+                    replica: 1,
+                    rank: 1,
+                },
+            ),
+            ev(
+                2,
+                0.6,
+                u32::MAX,
+                EventKind::RecoveryStart {
+                    scheme: "strong".into(),
+                    class: "verified".into(),
+                    dead: 3,
+                    spare: 5,
+                },
+            ),
+        ];
+        let m = StatusModel::fold(&events);
+        assert_eq!(m.nodes[&3].role, NodeRole::Failed);
+        assert_eq!(m.nodes[&5].role, NodeRole::Active(1, 1));
+        assert_eq!(
+            m.buddy_of(1),
+            Some(5),
+            "rank 1 replica 0 now buddies the promoted spare"
+        );
+        assert_eq!(m.buddy_of(5), Some(1));
+        assert_eq!(m.recoveries, 1);
+    }
+
+    #[test]
+    fn open_round_becomes_abandoned_only_when_source_ends() {
+        let events = vec![
+            job_start(0, 0.0),
+            ev(1, 0.06, u32::MAX, EventKind::RoundStart { round: 1 }),
+        ];
+        let mut m = StatusModel::fold(&events);
+        assert_eq!(m.open_round, Some(1));
+        assert_eq!(m.abandoned_round(), None);
+        m.mark_source_ended();
+        assert_eq!(m.abandoned_round(), Some(1));
+        assert!(m.interrupted);
+        assert!(m.to_json().contains("\"abandoned_round\":1"));
+        assert!(m.render().contains("ABANDONED"));
+    }
+
+    #[test]
+    fn completed_job_is_not_interrupted() {
+        let events = vec![
+            job_start(0, 0.0),
+            ev(1, 0.06, u32::MAX, EventKind::RoundStart { round: 1 }),
+            ev(
+                2,
+                0.07,
+                u32::MAX,
+                EventKind::RoundVerdict {
+                    round: 1,
+                    iteration: 10,
+                    clean: true,
+                },
+            ),
+            ev(3, 0.1, u32::MAX, EventKind::JobEnd { completed: true }),
+        ];
+        let mut m = StatusModel::fold(&events);
+        m.mark_source_ended();
+        assert!(!m.interrupted);
+        assert_eq!(m.abandoned_round(), None);
+        assert_eq!(m.committed_round(), Some(1));
+    }
+
+    #[test]
+    fn phase_seconds_accumulate_deterministically() {
+        let events = vec![
+            job_start(0, 0.0),
+            ev(
+                1,
+                0.0,
+                u32::MAX,
+                EventKind::PhaseEnter {
+                    phase: RunPhase::Forward,
+                },
+            ),
+            ev(
+                2,
+                0.5,
+                u32::MAX,
+                EventKind::PhaseEnter {
+                    phase: RunPhase::Round,
+                },
+            ),
+            ev(
+                3,
+                0.7,
+                u32::MAX,
+                EventKind::PhaseEnter {
+                    phase: RunPhase::Forward,
+                },
+            ),
+            ev(4, 1.0, u32::MAX, EventKind::JobEnd { completed: true }),
+        ];
+        let m = StatusModel::fold(&events);
+        assert!((m.phase_seconds["forward"] - 0.8).abs() < 1e-12);
+        assert!((m.phase_seconds["round"] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_folds_serialize_byte_identically() {
+        let build = || {
+            let mut events = vec![job_start(0, 0.0)];
+            for i in 0..200u64 {
+                let t = 0.01 * i as f64;
+                events.push(ev(
+                    1 + i * 3,
+                    t,
+                    (i % 4) as u32,
+                    EventKind::CheckpointPack {
+                        bytes: 1024 + i,
+                        chunks: 4,
+                        chunk_size: 256,
+                    },
+                ));
+                events.push(ev(
+                    2 + i * 3,
+                    t,
+                    (i % 4) as u32,
+                    EventKind::CompareShip {
+                        iteration: i,
+                        wire_bytes: 8 * i,
+                        method: "checksum".into(),
+                    },
+                ));
+                events.push(ev(
+                    3 + i * 3,
+                    t,
+                    u32::MAX,
+                    EventKind::RoundVerdict {
+                        round: i,
+                        iteration: i,
+                        clean: i % 7 != 3,
+                    },
+                ));
+            }
+            StatusModel::fold(&events).to_json()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert!(a.starts_with('{') && a.ends_with('}'));
+    }
+
+    #[test]
+    fn incremental_apply_matches_batch_fold() {
+        let events = vec![
+            job_start(0, 0.0),
+            ev(1, 0.06, u32::MAX, EventKind::RoundStart { round: 1 }),
+            ev(
+                2,
+                0.07,
+                0,
+                EventKind::CheckpointPack {
+                    bytes: 100,
+                    chunks: 1,
+                    chunk_size: 100,
+                },
+            ),
+        ];
+        let batch = StatusModel::fold(&events).to_json();
+        let mut inc = StatusModel::default();
+        for e in &events {
+            inc.apply(e);
+        }
+        assert_eq!(inc.to_json(), batch);
+    }
+}

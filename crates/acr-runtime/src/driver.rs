@@ -94,6 +94,17 @@ pub struct JobConfig {
     /// default) keeps the job fully in-memory and byte-identical to
     /// pre-persistence behavior.
     pub persist_dir: Option<PathBuf>,
+    /// Bind address (e.g. `"127.0.0.1:7070"`, or port `0` for an
+    /// OS-assigned port) of the opt-in operator endpoint serving
+    /// `GET /metrics`, `GET /status`, and `GET /events?since=<seq>` from a
+    /// dedicated listener thread for the lifetime of the job. `None` (the
+    /// default) serves nothing. Read-only: the endpoint observes the
+    /// flight recorder and never perturbs the protocol or the job clock.
+    pub http_addr: Option<String>,
+    /// Where the driver publishes the endpoint's *bound* address once the
+    /// listener is up — the only way to learn the port when `http_addr`
+    /// asked for port `0`.
+    pub http_bound: Option<crate::http::AddrSlot>,
 }
 
 impl Default for JobConfig {
@@ -114,6 +125,8 @@ impl Default for JobConfig {
             obs: ObsConfig::default(),
             transport: TransportKind::InProcess,
             persist_dir: None,
+            http_addr: None,
+            http_bound: None,
         }
     }
 }
@@ -361,6 +374,22 @@ impl JobConfigBuilder {
     /// slots), making the job resumable with [`Job::resume`].
     pub fn persist_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cfg.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// Serve the operator endpoint (`/metrics`, `/status`,
+    /// `/events?since=`) on `addr` for the lifetime of the job. Use port
+    /// `0` plus [`JobConfigBuilder::http_bound`] to let the OS pick.
+    pub fn http_addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.http_addr = Some(addr.into());
+        self
+    }
+
+    /// Publish the endpoint's bound address into `slot` once the listener
+    /// is up (needed to discover an OS-assigned port while the job is
+    /// still running).
+    pub fn http_bound(mut self, slot: crate::http::AddrSlot) -> Self {
+        self.cfg.http_bound = Some(slot);
         self
     }
 
@@ -824,6 +853,26 @@ where
             let c = clock.clone();
             Recorder::new(cfg.obs.clone(), total as u32, Arc::new(move || c.now()))
         };
+        // The operator endpoint observes the recorder from its own thread;
+        // it is up before the first protocol event and torn down after the
+        // last, in both execution modes.
+        let http = match &cfg.http_addr {
+            Some(addr) => match crate::http::StatusServer::start(addr, Arc::clone(&rec)) {
+                Ok(server) => {
+                    if let Some(slot) = &cfg.http_bound {
+                        slot.set(server.local_addr());
+                    }
+                    Some(server)
+                }
+                Err(e) => {
+                    return JobReport {
+                        error: Some(format!("cannot bind http endpoint {addr}: {e}")),
+                        ..Default::default()
+                    };
+                }
+            },
+            None => None,
+        };
         let fabric = build_fabric(&cfg, total, event_tx, &rec);
 
         let mut workers = Vec::with_capacity(total);
@@ -918,7 +967,7 @@ where
             }
         }
 
-        match mode {
+        let report = match mode {
             ExecMode::Threaded => {
                 let handles: Vec<_> = workers
                     .into_iter()
@@ -946,7 +995,11 @@ where
                 driver.run_virtual(&mut workers, quantum.as_secs_f64());
                 std::mem::take(&mut driver.report)
             }
+        };
+        if let Some(server) = http {
+            server.stop();
         }
+        report
     }
 }
 
@@ -990,6 +1043,8 @@ where
         obs: ObsConfig::default(),
         transport: TransportKind::InProcess,
         persist_dir: Some(dir.clone()),
+        http_addr: None,
+        http_bound: None,
     };
     let script = plan.script.clone();
     run_job(
@@ -1033,7 +1088,7 @@ fn scheme_tag(s: Scheme) -> u8 {
     }
 }
 
-fn scheme_from_tag(t: u8) -> Scheme {
+pub(crate) fn scheme_from_tag(t: u8) -> Scheme {
     match t {
         0 => Scheme::Strong,
         1 => Scheme::Medium,
@@ -1049,7 +1104,7 @@ fn detection_tag(d: DetectionMethod) -> u8 {
     }
 }
 
-fn detection_from_tag(t: u8) -> DetectionMethod {
+pub(crate) fn detection_from_tag(t: u8) -> DetectionMethod {
     match t {
         0 => DetectionMethod::FullCompare,
         1 => DetectionMethod::Checksum,

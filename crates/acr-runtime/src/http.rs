@@ -1,0 +1,210 @@
+//! The driver's opt-in operator endpoint: a std-only HTTP/1.1 listener
+//! serving the flight recorder's live state.
+//!
+//! Enabled with [`crate::JobConfigBuilder::http_addr`]; the driver starts
+//! the listener right after the recorder is built and stops it before the
+//! [`crate::JobReport`] is returned, in both threaded and virtual modes.
+//! Three routes, all read-only:
+//!
+//! - `GET /metrics` — the Prometheus text snapshot from
+//!   [`Recorder::expose`], served verbatim (same exposition-format
+//!   guarantees).
+//! - `GET /status` — the [`StatusModel`] fold as deterministic JSON. The
+//!   server keeps one model and advances it incrementally with
+//!   [`Recorder::snapshot_since`] on every request, so early events that
+//!   later rotate out of the rings stay folded in.
+//! - `GET /events?since=<seq>` — NDJSON event tail: every buffered event
+//!   with `seq >= since`, one JSON object per line. Pollers resume from
+//!   their last seen `seq + 1`; ring overflow between polls is visible as
+//!   a gap in `seq` and in `acr_obs_events_dropped_total`.
+//!
+//! The server is deliberately minimal: one listener thread, one request
+//! per connection (`Connection: close`), no keep-alive, no TLS. It exists
+//! to be scraped by curl / Prometheus / `acr-top`, not to be a web server.
+
+use acr_obs::{Recorder, StatusModel};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A shared slot the driver publishes the endpoint's bound address into.
+///
+/// Binding `127.0.0.1:0` gives an OS-assigned port, which the caller of
+/// [`crate::JobBuilder::run`] cannot otherwise learn while the job is still
+/// running. Hand a clone of one `AddrSlot` to
+/// [`crate::JobConfigBuilder::http_bound`] and poll (or
+/// [`AddrSlot::wait`]) from another thread.
+#[derive(Debug, Clone, Default)]
+pub struct AddrSlot(Arc<parking_lot::Mutex<Option<SocketAddr>>>);
+
+impl AddrSlot {
+    /// A fresh, empty slot.
+    pub fn new() -> AddrSlot {
+        AddrSlot::default()
+    }
+
+    /// The bound address, if the endpoint has started.
+    pub fn get(&self) -> Option<SocketAddr> {
+        *self.0.lock()
+    }
+
+    /// Block until the endpoint publishes its address or `timeout`
+    /// elapses.
+    pub fn wait(&self, timeout: Duration) -> Option<SocketAddr> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(addr) = self.get() {
+                return Some(addr);
+            }
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    pub(crate) fn set(&self, addr: SocketAddr) {
+        *self.0.lock() = Some(addr);
+    }
+}
+
+/// The running endpoint: a listener thread plus its shutdown handshake.
+pub(crate) struct StatusServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Bind `addr` and start serving `rec`. Returns once the socket is
+    /// bound (requests may arrive immediately).
+    pub(crate) fn start(addr: &str, rec: Arc<Recorder>) -> io::Result<StatusServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("acr-http".to_string())
+            .spawn(move || serve(listener, rec, thread_stop))?;
+        Ok(StatusServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the blocked `accept`, and join the thread.
+    pub(crate) fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The listener blocks in accept(); a throwaway connection wakes it
+        // so it can observe the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve(listener: TcpListener, rec: Arc<Recorder>, stop: Arc<AtomicBool>) {
+    // The server's own status fold: advanced incrementally on every
+    // /status request so events that later rotate out of a full ring are
+    // already accounted for.
+    let mut model = StatusModel::default();
+    let mut next_seq = 0u64;
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = handle_request(&mut stream, &rec, &mut model, &mut next_seq);
+    }
+}
+
+fn handle_request(
+    stream: &mut TcpStream,
+    rec: &Recorder,
+    model: &mut StatusModel,
+    next_seq: &mut u64,
+) -> io::Result<()> {
+    let target = match read_request_target(stream)? {
+        Some(t) => t,
+        None => return Ok(()),
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target.as_str(), ""),
+    };
+    match path {
+        "/metrics" => respond(stream, 200, "text/plain; version=0.0.4", &rec.expose()),
+        "/status" => {
+            for ev in rec.snapshot_since(*next_seq) {
+                model.apply(&ev);
+            }
+            if let Some(seen) = model.last_seq() {
+                *next_seq = (*next_seq).max(seen + 1);
+            }
+            respond(stream, 200, "application/json", &model.to_json())
+        }
+        "/events" => {
+            let since = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("since="))
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0);
+            let mut body = String::new();
+            for ev in rec.snapshot_since(since) {
+                body.push_str(&ev.to_json());
+                body.push('\n');
+            }
+            respond(stream, 200, "application/x-ndjson", &body)
+        }
+        _ => respond(stream, 404, "text/plain; version=0.0.4", "not found\n"),
+    }
+}
+
+/// Read the request head (through the blank line) and return the target
+/// of the request line, or `None` for an unreadable/non-GET request.
+fn read_request_target(stream: &mut TcpStream) -> io::Result<Option<String>> {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    // Request heads here are tiny ("GET /status HTTP/1.1" + a few
+    // headers); cap at 8 KiB against garbage.
+    while head.len() < 8192 && !head.ends_with(b"\r\n\r\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(target)) => Ok(Some(target.to_string())),
+        _ => Ok(None),
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) -> io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        _ => "Not Found",
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -27,6 +27,12 @@
 //!   recorder**: the [`JobReport`] carries the structured event log
 //!   (JSONL-serializable, byte-identical across virtual-mode replays) and
 //!   a metrics snapshot, foldable into per-phase overhead breakdowns.
+//! * An opt-in **operator endpoint**
+//!   ([`JobConfigBuilder::http_addr`]) serves the live recorder over
+//!   HTTP — `/metrics` (Prometheus text), `/status`
+//!   ([`acr_obs::StatusModel`] JSON), `/events?since=` (NDJSON tail) —
+//!   and [`StoreView`]/[`fold_store`] replay a dead driver's
+//!   `persist_dir` into the same status model offline.
 //!
 //! The entry point is [`Job`]: validate a configuration with
 //! [`JobConfig::builder`], then `Job::new(cfg).with_faults(script).run(factory)`
@@ -42,9 +48,11 @@
 pub mod campaign;
 mod clock;
 mod driver;
+mod http;
 mod message;
 mod node;
 mod persist;
+mod storeview;
 mod task;
 mod tcp;
 mod transport;
@@ -55,7 +63,9 @@ pub use driver::{
     ConfigError, ExecMode, Fault, Job, JobBuilder, JobConfig, JobConfigBuilder, JobReport,
     SdcDetection,
 };
+pub use http::AddrSlot;
 pub use message::{AppMsg, NodeIndex, TaskId};
+pub use storeview::{fold_store, StoreView};
 pub use task::{Task, TaskCtx};
 pub use transport::{run_node_host, TcpConfig, TransportControl, TransportKind};
 pub use wire::WireCodec;

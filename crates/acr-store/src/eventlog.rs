@@ -159,26 +159,173 @@ pub fn scan_bytes(buf: &[u8]) -> LogScan {
     scan
 }
 
-/// Try to parse one record at the start of `buf`; `None` if anything about
-/// it fails validation.
-fn try_record(buf: &[u8]) -> Option<(Vec<u8>, usize)> {
-    if buf.len() < 4 + 4 + 8 || &buf[..4] != RECORD_MAGIC {
-        return None;
+/// Outcome of trying to parse one record at the start of a buffer. The
+/// distinction between `Bad` and `NeedMore` only matters to the live
+/// tailer: a whole-file scan treats an incomplete tail as garbage (the
+/// file *is* the final state), while a tailer must wait for the writer to
+/// finish the record.
+enum RecordParse {
+    /// A fully validated record: `(payload, bytes consumed)`.
+    Ok(Vec<u8>, usize),
+    /// The prefix is consistent with a record still being written: the
+    /// bytes present match the record magic and a sane length, but the
+    /// frame is not complete yet.
+    NeedMore,
+    /// The byte at the start of the buffer cannot begin a record.
+    Bad,
+}
+
+fn parse_record(buf: &[u8]) -> RecordParse {
+    // Not enough bytes for magic + length yet: NeedMore only while every
+    // byte present still agrees with the record magic.
+    if buf.len() < 8 {
+        return if buf[..buf.len().min(4)] == RECORD_MAGIC[..buf.len().min(4)] {
+            RecordParse::NeedMore
+        } else {
+            RecordParse::Bad
+        };
+    }
+    if &buf[..4] != RECORD_MAGIC {
+        return RecordParse::Bad;
     }
     let len = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
     if len > MAX_RECORD_LEN {
-        return None;
+        return RecordParse::Bad;
     }
     let end = 8 + len as usize + 8;
     if end > buf.len() {
-        return None;
+        return RecordParse::NeedMore;
     }
     let payload = &buf[8..8 + len as usize];
     let trailer = u64::from_le_bytes(buf[8 + len as usize..end].try_into().expect("8 bytes"));
     if fletcher64(payload) != trailer {
-        return None;
+        return RecordParse::Bad;
     }
-    Some((payload.to_vec(), end))
+    RecordParse::Ok(payload.to_vec(), end)
+}
+
+/// Try to parse one record at the start of `buf`; `None` if anything about
+/// it fails validation *or* the buffer ends mid-record (whole-file scans
+/// treat a torn tail as skippable garbage).
+fn try_record(buf: &[u8]) -> Option<(Vec<u8>, usize)> {
+    match parse_record(buf) {
+        RecordParse::Ok(payload, consumed) => Some((payload, consumed)),
+        RecordParse::NeedMore | RecordParse::Bad => None,
+    }
+}
+
+/// Incremental read-side tail over a growing log file.
+///
+/// Where [`scan_log`] re-reads the whole file, a `LogTailer` remembers its
+/// byte offset and only reads what the writer appended since the last
+/// [`LogTailer::poll`] — the shared code path behind the driver's
+/// `GET /events` endpoint and `acr-top`'s store-follow mode.
+///
+/// Semantics:
+/// - `from_seq` records (0-based index into the valid-record sequence) are
+///   parsed but not returned, so a poller that already folded `n` records
+///   can attach with `from_seq = n` and receive only what is new;
+/// - a clean-looking but incomplete tail (a record mid-write, or the torn
+///   last record of a killed driver) is *held*, not skipped — the next
+///   poll re-examines it once more bytes exist;
+/// - garbage bytes are skipped one at a time exactly like [`scan_bytes`],
+///   counted in [`LogTailer::skipped_bytes`], and resynchronized past.
+#[derive(Debug)]
+pub struct LogTailer {
+    path: PathBuf,
+    /// File offset up to which bytes have been pulled into `carry`.
+    read_to: u64,
+    /// Bytes read from the file but not yet consumed as records (at most
+    /// one partial record plus unscanned garbage).
+    carry: Vec<u8>,
+    /// Whether the 8-byte file magic has been consumed (or judged absent).
+    header_done: bool,
+    /// Valid records still to suppress before returning any (from_seq).
+    skip: u64,
+    records_seen: u64,
+    skipped_bytes: u64,
+}
+
+impl LogTailer {
+    /// Tail `path` from the first record.
+    pub fn new(path: impl AsRef<Path>) -> LogTailer {
+        LogTailer::from_seq(path, 0)
+    }
+
+    /// Tail `path`, suppressing the first `from_seq` valid records. The
+    /// file need not exist yet; polls return empty until it does.
+    pub fn from_seq(path: impl AsRef<Path>, from_seq: u64) -> LogTailer {
+        LogTailer {
+            path: path.as_ref().to_path_buf(),
+            read_to: 0,
+            carry: Vec::new(),
+            header_done: false,
+            skip: from_seq,
+            records_seen: 0,
+            skipped_bytes: 0,
+        }
+    }
+
+    /// Valid records parsed so far (returned *and* `from_seq`-suppressed).
+    /// This is the `from_seq` a fresh tailer would need to continue where
+    /// this one is.
+    pub fn records_seen(&self) -> u64 {
+        self.records_seen
+    }
+
+    /// Garbage bytes skipped while resynchronizing.
+    pub fn skipped_bytes(&self) -> u64 {
+        self.skipped_bytes
+    }
+
+    /// Read any new bytes and return the new complete records, oldest
+    /// first. An empty `Vec` means nothing new (or the file is still
+    /// missing / mid-write).
+    pub fn poll(&mut self) -> io::Result<Vec<Vec<u8>>> {
+        match File::open(&self.path) {
+            Ok(mut file) => {
+                use std::io::Seek;
+                file.seek(io::SeekFrom::Start(self.read_to))?;
+                let pulled = file.read_to_end(&mut self.carry)?;
+                self.read_to += pulled as u64;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        }
+        if !self.header_done {
+            if self.carry.len() < FILE_MAGIC.len() {
+                // Cannot judge the header yet; wait for more bytes rather
+                // than misparsing a half-written magic as garbage.
+                return Ok(Vec::new());
+            }
+            if &self.carry[..FILE_MAGIC.len()] == FILE_MAGIC {
+                self.carry.drain(..FILE_MAGIC.len());
+            }
+            self.header_done = true;
+        }
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i < self.carry.len() {
+            match parse_record(&self.carry[i..]) {
+                RecordParse::Ok(payload, consumed) => {
+                    i += consumed;
+                    self.records_seen += 1;
+                    if self.skip > 0 {
+                        self.skip -= 1;
+                    } else {
+                        out.push(payload);
+                    }
+                }
+                RecordParse::NeedMore => break,
+                RecordParse::Bad => {
+                    self.skipped_bytes += 1;
+                    i += 1;
+                }
+            }
+        }
+        self.carry.drain(..i);
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +422,118 @@ mod tests {
         let scan = scan_bytes(&bytes);
         assert!(scan.records.is_empty());
         assert_eq!(scan.skipped_bytes, 4 + 4 + 64);
+    }
+
+    #[test]
+    fn tailer_sees_only_new_records_per_poll() {
+        let path = tmp("tailer-incremental.log");
+        let mut log = EventLog::create(&path).unwrap();
+        log.append(b"one").unwrap();
+        log.append(b"two").unwrap();
+        let mut tail = LogTailer::new(&path);
+        assert_eq!(tail.poll().unwrap(), vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(tail.poll().unwrap(), Vec::<Vec<u8>>::new());
+        log.append(b"three").unwrap();
+        assert_eq!(tail.poll().unwrap(), vec![b"three".to_vec()]);
+        assert_eq!(tail.records_seen(), 3);
+        assert_eq!(tail.skipped_bytes(), 0);
+    }
+
+    #[test]
+    fn tailer_from_seq_suppresses_prefix() {
+        let path = tmp("tailer-fromseq.log");
+        let mut log = EventLog::create(&path).unwrap();
+        for p in [b"a".as_ref(), b"b", b"c", b"d"] {
+            log.append(p).unwrap();
+        }
+        let mut tail = LogTailer::from_seq(&path, 3);
+        assert_eq!(tail.poll().unwrap(), vec![b"d".to_vec()]);
+        log.append(b"e").unwrap();
+        assert_eq!(tail.poll().unwrap(), vec![b"e".to_vec()]);
+        assert_eq!(tail.records_seen(), 5);
+    }
+
+    #[test]
+    fn tailer_holds_a_partial_record_until_completed() {
+        let path = tmp("tailer-partial.log");
+        let mut log = EventLog::create(&path).unwrap();
+        log.append(b"whole").unwrap();
+        // Hand-write a record in two halves, polling in between: the
+        // tailer must hold the torn prefix rather than skipping it.
+        let payload = b"split-record";
+        let mut frame = RECORD_MAGIC.to_vec();
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        frame.extend_from_slice(&fletcher64(payload).to_le_bytes());
+        let mid = frame.len() / 2;
+        let mut tail = LogTailer::new(&path);
+        assert_eq!(tail.poll().unwrap(), vec![b"whole".to_vec()]);
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&frame[..mid]).unwrap();
+        }
+        assert_eq!(tail.poll().unwrap(), Vec::<Vec<u8>>::new());
+        assert_eq!(
+            tail.skipped_bytes(),
+            0,
+            "torn prefix must be held, not skipped"
+        );
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&frame[mid..]).unwrap();
+        }
+        assert_eq!(tail.poll().unwrap(), vec![payload.to_vec()]);
+    }
+
+    #[test]
+    fn tailer_resyncs_over_garbage_like_scan_bytes() {
+        let path = tmp("tailer-garbage.log");
+        let mut log = EventLog::create(&path).unwrap();
+        log.append(b"before").unwrap();
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"not a record at all").unwrap();
+        }
+        log = EventLog {
+            file: OpenOptions::new().append(true).open(&path).unwrap(),
+            path: path.clone(),
+            appends: 0,
+            bytes: 0,
+            syncs: 0,
+        };
+        log.append(b"after").unwrap();
+        let mut tail = LogTailer::new(&path);
+        assert_eq!(
+            tail.poll().unwrap(),
+            vec![b"before".to_vec(), b"after".to_vec()]
+        );
+        assert_eq!(tail.skipped_bytes(), 19);
+    }
+
+    #[test]
+    fn tailer_on_missing_file_waits_quietly() {
+        let path = tmp("tailer-missing.log");
+        let _ = std::fs::remove_file(&path);
+        let mut tail = LogTailer::new(&path);
+        assert_eq!(tail.poll().unwrap(), Vec::<Vec<u8>>::new());
+        let mut log = EventLog::create(&path).unwrap();
+        log.append(b"late").unwrap();
+        assert_eq!(tail.poll().unwrap(), vec![b"late".to_vec()]);
+    }
+
+    #[test]
+    fn tailer_agrees_with_scan_log() {
+        let path = tmp("tailer-vs-scan.log");
+        let mut log = EventLog::create(&path).unwrap();
+        for i in 0..50u32 {
+            log.append(&i.to_le_bytes()).unwrap();
+        }
+        let mut tail = LogTailer::new(&path);
+        let tailed = tail.poll().unwrap();
+        assert_eq!(tailed, scan_log(&path).unwrap().records);
     }
 
     #[test]

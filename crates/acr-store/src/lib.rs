@@ -35,6 +35,6 @@ mod eventlog;
 mod report;
 mod slots;
 
-pub use eventlog::{scan_bytes, scan_log, EventLog, LogScan, MAX_RECORD_LEN};
+pub use eventlog::{scan_bytes, scan_log, EventLog, LogScan, LogTailer, MAX_RECORD_LEN};
 pub use report::RecoveryReport;
 pub use slots::{SlotData, SlotEntry, SlotError, SlotStore};

@@ -45,16 +45,20 @@
 //! cargo run --release --example overhead_report -- --baseline BENCH_overhead.json --tolerance 0.25
 //! ```
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use acr::integration::JacobiHaloTask;
 use acr::obs::{sinks, Breakdown, EventKind, ObsConfig};
 use acr::pup::{Pup, PupResult, Puper};
 use acr::runtime::{
-    AppMsg, DetectionMethod, ExecMode, FaultAction, FaultScript, Job, JobConfig, JobReport, Scheme,
-    Task, TaskCtx, TaskId, TcpConfig, TransportKind, Trigger, WireCodec,
+    AddrSlot, AppMsg, DetectionMethod, ExecMode, FaultAction, FaultScript, Job, JobConfig,
+    JobReport, Scheme, Task, TaskCtx, TaskId, TcpConfig, TransportKind, Trigger, WireCodec,
 };
 
 /// Communicating token ring with float dynamics — the same workload shape
@@ -225,6 +229,75 @@ fn run(scheme: Scheme, script: &FaultScript) -> JobReport {
         .with_faults(script.clone())
         .mode(ExecMode::virtual_default())
         .run(|rank, _| Box::new(Ring::new(rank, ITERS)) as Box<dyn Task>)
+}
+
+/// One blocking GET against the operator endpoint, returning the body.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: acr\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    Ok(response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or_default())
+}
+
+/// Iteration count for the operator-endpoint scenario: 10x the sweep, so
+/// the virtual run spans enough wall-clock for the scraper thread to land
+/// requests while the protocol is genuinely mid-flight.
+const HTTP_ITERS: u64 = 10 * ITERS;
+
+/// The fault-free sweep again, with the operator endpoint enabled and a
+/// scraper thread polling `/metrics` + `/status` flat-out for the whole
+/// run. Returns the report plus (successful scrapes, all-well-formed).
+fn run_http_scraped() -> (JobReport, u64, bool) {
+    let slot = AddrSlot::new();
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let slot = slot.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let Some(addr) = slot.wait(Duration::from_secs(10)) else {
+                return (0u64, false);
+            };
+            let mut scrapes = 0u64;
+            let mut well_formed = true;
+            loop {
+                match (scrape(addr, "/metrics"), scrape(addr, "/status")) {
+                    (Ok(metrics), Ok(status)) => {
+                        scrapes += 1;
+                        well_formed &= metrics.contains("acr_obs_events_dropped_total")
+                            && status.starts_with('{')
+                            && status.ends_with('}');
+                    }
+                    // The endpoint dies with the driver; once the run is
+                    // over, connection errors are the natural end.
+                    _ => {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                }
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            (scrapes, well_formed)
+        })
+    };
+    let mut c = cfg(Scheme::Strong);
+    c.http_addr = Some("127.0.0.1:0".to_string());
+    c.http_bound = Some(slot);
+    let report = Job::new(c)
+        .mode(ExecMode::virtual_default())
+        .run(|rank, _| Box::new(Ring::new(rank, HTTP_ITERS)) as Box<dyn Task>);
+    stop.store(true, Ordering::Relaxed);
+    let (scrapes, well_formed) = scraper.join().unwrap_or((0, false));
+    (report, scrapes, well_formed)
 }
 
 /// Threaded-TCP wire scenario: the Jacobi halo workload over real sockets
@@ -539,6 +612,84 @@ fn main() -> ExitCode {
             b.store_fsyncs,
             log_path.display(),
         );
+        let json = b.to_json();
+        bench_lines.push(format!(
+            "{{\"scenario\":\"{name}\",{}",
+            json.strip_prefix('{').unwrap_or(&json)
+        ));
+        rows.push((name.to_string(), b));
+    }
+
+    // Operator-endpoint scenario: the fault-free sweep shape once more
+    // (10x iterations, so the scraper genuinely overlaps the run), with
+    // the live /metrics + /status endpoint enabled and scraped flat-out
+    // from another thread. Serving scrapes must not perturb the protocol
+    // at all: the endpoint reads non-draining ring snapshots and never
+    // touches the virtual clock, so the event log must stay byte-identical
+    // to an endpoint-less twin of the same run, and the virtual-time total
+    // is gated at ≤ 1% of the twin's.
+    {
+        let name = "fault_free_http";
+        let plain = Job::new(cfg(Scheme::Strong))
+            .mode(ExecMode::virtual_default())
+            .run(|rank, _| Box::new(Ring::new(rank, HTTP_ITERS)) as Box<dyn Task>);
+        let (report, scrapes, well_formed) = run_http_scraped();
+        let (replay, replay_scrapes, replay_well_formed) = run_http_scraped();
+        let jsonl = sinks::to_jsonl(&report.events);
+        if jsonl != sinks::to_jsonl(&replay.events) {
+            eprintln!("FAIL {name}: replay produced a different JSONL event log");
+            failed = true;
+        }
+        if !plain.completed || !report.completed || !replay.completed {
+            eprintln!(
+                "FAIL {name}: run did not complete: {}",
+                report.error.as_deref().unwrap_or("unknown")
+            );
+            failed = true;
+        }
+        // The scraper races a fast virtual run for wall-clock; demand
+        // evidence of scrape-under-load from at least one of the two
+        // endpoint-enabled runs.
+        if scrapes + replay_scrapes == 0 {
+            eprintln!("FAIL {name}: endpoint was never scraped during either run");
+            failed = true;
+        }
+        if !well_formed || !replay_well_formed {
+            eprintln!("FAIL {name}: a scrape returned a malformed /metrics or /status body");
+            failed = true;
+        }
+        // Byte-identical to the endpoint-less twin: the operator surface
+        // is a pure observer.
+        if jsonl != sinks::to_jsonl(&plain.events) {
+            eprintln!("FAIL {name}: enabling the endpoint changed the event log");
+            failed = true;
+        }
+        let b = Breakdown::from_events(&report.events);
+        let mem = Breakdown::from_events(&plain.events);
+        let overhead = (b.total - mem.total) / mem.total.max(1e-9);
+        if overhead > 0.01 {
+            eprintln!(
+                "FAIL {name}: scrape-under-load overhead {:.2}% > 1% \
+                 (plain {:.6}s, scraped {:.6}s)",
+                100.0 * overhead,
+                mem.total,
+                b.total
+            );
+            failed = true;
+        } else {
+            println!(
+                "{name}: {scrapes}+{replay_scrapes} scrapes served, overhead {:.2}% \
+                 (plain {:.6}s -> scraped {:.6}s)",
+                100.0 * overhead.max(0.0),
+                mem.total,
+                b.total
+            );
+        }
+        let log_path = out_dir.join(format!("overhead_{name}.jsonl"));
+        if let Err(e) = std::fs::write(&log_path, &jsonl) {
+            eprintln!("cannot write {}: {e}", log_path.display());
+            return ExitCode::from(2);
+        }
         let json = b.to_json();
         bench_lines.push(format!(
             "{{\"scenario\":\"{name}\",{}",
