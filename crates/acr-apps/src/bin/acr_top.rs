@@ -10,6 +10,9 @@
 //!   killed driver's durable journal through
 //!   [`acr_runtime::StoreView`], rendering what was true when the driver
 //!   stopped writing — including a round it abandoned mid-capture.
+//! - **Service overview**: `acr-top --store-root <root>` lists every
+//!   per-job store a driver *service* left under `<root>/jobs/` (the
+//!   [`acr_store::job_store_dir`] layout), one summary line per job.
 //!
 //! `--snapshot` prints one frame and exits (no ANSI, deterministic for a
 //! given store), which is what CI runs against the crash-restart battery's
@@ -27,21 +30,25 @@ acr-top: live/offline status view of an ACR job
 USAGE:
     acr-top --addr <host:port>  [--snapshot] [--interval-ms <n>]
     acr-top --store <dir>       [--snapshot] [--follow] [--interval-ms <n>]
+    acr-top --store-root <dir>  [--snapshot] [--follow] [--interval-ms <n>]
 
 SOURCES:
     --addr <host:port>   poll a live driver's operator endpoint
                          (JobConfig::builder().http_addr(..)); http:// prefix ok
     --store <dir>        replay a persist_dir journal (dead/killed driver)
+    --store-root <dir>   multi-job overview of a driver service's store root
+                         (one line per <dir>/jobs/<id>-<name> store)
 
 MODES:
     --snapshot           print one frame and exit (no ANSI; CI-friendly)
-    --follow             with --store: keep polling the journal for appends
+    --follow             with --store/--store-root: keep polling for appends
     --interval-ms <n>    poll/redraw cadence, default 500
 ";
 
 struct Args {
     addr: Option<String>,
     store: Option<String>,
+    store_root: Option<String>,
     snapshot: bool,
     follow: bool,
     interval: Duration,
@@ -51,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: None,
         store: None,
+        store_root: None,
         snapshot: false,
         follow: false,
         interval: Duration::from_millis(500),
@@ -60,6 +68,9 @@ fn parse_args() -> Result<Args, String> {
         match a.as_str() {
             "--addr" => args.addr = Some(it.next().ok_or("--addr needs a value")?),
             "--store" => args.store = Some(it.next().ok_or("--store needs a value")?),
+            "--store-root" => {
+                args.store_root = Some(it.next().ok_or("--store-root needs a value")?)
+            }
             "--snapshot" => args.snapshot = true,
             "--follow" => args.follow = true,
             "--interval-ms" => {
@@ -74,10 +85,14 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    match (&args.addr, &args.store) {
-        (Some(_), Some(_)) => Err("--addr and --store are mutually exclusive".into()),
-        (None, None) => Err("one of --addr or --store is required".into()),
-        _ => Ok(args),
+    let sources = [&args.addr, &args.store, &args.store_root]
+        .iter()
+        .filter(|s| s.is_some())
+        .count();
+    match sources {
+        0 => Err("one of --addr, --store or --store-root is required".into()),
+        1 => Ok(args),
+        _ => Err("--addr, --store and --store-root are mutually exclusive".into()),
     }
 }
 
@@ -112,10 +127,16 @@ fn draw(frame: &str, snapshot: bool) {
 fn run_live(addr: &str, args: &Args) -> Result<(), String> {
     let addr = addr.trim_start_matches("http://").trim_end_matches('/');
     let mut model = StatusModel::default();
-    let mut next_seq = 0u64;
+    // `since` is exclusive: name the last seq actually seen; the first
+    // poll omits the parameter to get the full buffer.
+    let mut last_seen: Option<u64> = None;
     let mut misses = 0u32;
     loop {
-        match http_get(addr, &format!("/events?since={next_seq}")) {
+        let path = match last_seen {
+            Some(seq) => format!("/events?since={seq}"),
+            None => "/events".to_string(),
+        };
+        match http_get(addr, &path) {
             Ok(body) => {
                 misses = 0;
                 for line in body.lines().filter(|l| !l.trim().is_empty()) {
@@ -125,7 +146,7 @@ fn run_live(addr: &str, args: &Args) -> Result<(), String> {
                     }
                 }
                 if let Some(seen) = model.last_seq() {
-                    next_seq = next_seq.max(seen + 1);
+                    last_seen = Some(last_seen.unwrap_or(0).max(seen));
                 }
             }
             Err(e) => {
@@ -175,6 +196,63 @@ fn run_store(dir: &str, args: &Args) -> Result<(), String> {
     }
 }
 
+/// One line per job store under the service root: id, name, progress,
+/// and how the store ended (running / completed / failed / interrupted).
+fn run_store_root(root: &str, args: &Args) -> Result<(), String> {
+    loop {
+        let jobs = acr_store::list_job_stores(root).map_err(|e| format!("listing {root}: {e}"))?;
+        let mut frame = format!("driver service store: {root}\n");
+        if jobs.is_empty() {
+            frame.push_str("no job stores found (nothing admitted yet?)\n");
+        } else {
+            frame.push_str(&format!(
+                "{:>4}  {:<20} {:>8} {:>10} {:>7}  state\n",
+                "id", "name", "records", "committed", "faults"
+            ));
+        }
+        let mut all_closed = !jobs.is_empty();
+        for job in &jobs {
+            let mut view = StoreView::open(&job.dir);
+            let line = match view.refresh() {
+                Ok(_) => {
+                    let status = view.status();
+                    let state = match view.closed() {
+                        Some(true) => "completed",
+                        Some(false) => "failed",
+                        None => {
+                            all_closed = false;
+                            "running/interrupted"
+                        }
+                    };
+                    let committed = status
+                        .committed_round()
+                        .map(|r| r.to_string())
+                        .unwrap_or_else(|| "-".to_string());
+                    format!(
+                        "{:>4}  {:<20} {:>8} {:>10} {:>7}  {}\n",
+                        job.id,
+                        job.name,
+                        view.records(),
+                        committed,
+                        status.faults_injected(),
+                        state
+                    )
+                }
+                Err(e) => {
+                    all_closed = false;
+                    format!("{:>4}  {:<20} unreadable: {e}\n", job.id, job.name)
+                }
+            };
+            frame.push_str(&line);
+        }
+        draw(&frame, args.snapshot);
+        if args.snapshot || !args.follow || all_closed {
+            return Ok(());
+        }
+        std::thread::sleep(args.interval);
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -183,9 +261,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let result = match (&args.addr, &args.store) {
-        (Some(addr), None) => run_live(&addr.clone(), &args),
-        (None, Some(dir)) => run_store(&dir.clone(), &args),
+    let result = match (&args.addr, &args.store, &args.store_root) {
+        (Some(addr), None, None) => run_live(&addr.clone(), &args),
+        (None, Some(dir), None) => run_store(&dir.clone(), &args),
+        (None, None, Some(root)) => run_store_root(&root.clone(), &args),
         _ => unreachable!("parse_args enforces exactly one source"),
     };
     if let Err(e) = result {

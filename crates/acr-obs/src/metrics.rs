@@ -83,18 +83,28 @@ impl Histogram {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 
-    /// Render this histogram in Prometheus exposition format.
-    pub(crate) fn expose_into(&self, name: &str, out: &mut String) {
+    /// Render this histogram in Prometheus exposition format. `label` is
+    /// an optional pre-escaped `key="value"` pair (the recorder's job
+    /// label) prepended to every sample's label set.
+    pub(crate) fn expose_into(&self, name: &str, label: Option<&str>, out: &mut String) {
         use std::fmt::Write;
+        let lead = match label {
+            Some(l) => format!("{l},"),
+            None => String::new(),
+        };
+        let suffix = match label {
+            Some(l) => format!("{{{l}}}"),
+            None => String::new(),
+        };
         let mut cumulative = 0u64;
         for (i, bound) in BOUNDS.iter().enumerate() {
             cumulative += self.buckets[i].load(Ordering::Relaxed);
-            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            let _ = writeln!(out, "{name}_bucket{{{lead}le=\"{bound}\"}} {cumulative}");
         }
         cumulative += self.buckets[BOUNDS.len()].load(Ordering::Relaxed);
-        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
-        let _ = writeln!(out, "{name}_sum {}", self.sum());
-        let _ = writeln!(out, "{name}_count {}", self.count());
+        let _ = writeln!(out, "{name}_bucket{{{lead}le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum{suffix} {}", self.sum());
+        let _ = writeln!(out, "{name}_count{suffix} {}", self.count());
     }
 }
 
@@ -119,7 +129,7 @@ mod tests {
         assert_eq!(h.count(), 3);
         assert!((h.sum() - 100.0005005).abs() < 1e-9);
         let mut out = String::new();
-        h.expose_into("acr_test_seconds", &mut out);
+        h.expose_into("acr_test_seconds", None, &mut out);
         assert!(
             out.contains("acr_test_seconds_bucket{le=\"0.000001\"} 1"),
             "{out}"

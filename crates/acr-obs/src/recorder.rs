@@ -28,6 +28,12 @@ pub struct ObsConfig {
     /// Capacity of each per-node ring buffer. When a ring is full the
     /// oldest event is dropped (and counted).
     pub ring_capacity: usize,
+    /// Job label for multi-job deployments: when set, every metric family
+    /// in [`Recorder::expose`] carries a `job="<name>"` label so scrapes
+    /// of different jobs on one host stay distinguishable. `None` (the
+    /// default) keeps the label-free single-job exposition byte-identical
+    /// to earlier releases.
+    pub job: Option<String>,
 }
 
 impl Default for ObsConfig {
@@ -35,6 +41,7 @@ impl Default for ObsConfig {
         ObsConfig {
             enabled: true,
             ring_capacity: 4096,
+            job: None,
         }
     }
 }
@@ -61,6 +68,7 @@ pub struct Recorder {
     time: TimeSource,
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    job: Option<String>,
 }
 
 impl fmt::Debug for Recorder {
@@ -92,6 +100,7 @@ impl Recorder {
             time,
             counters: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
+            job: cfg.job,
         })
     }
 
@@ -102,10 +111,17 @@ impl Recorder {
             ObsConfig {
                 enabled: false,
                 ring_capacity: 1,
+                job: None,
             },
             0,
             Arc::new(|| 0.0),
         )
+    }
+
+    /// The job label every exposed metric carries, if one was configured
+    /// ([`ObsConfig::job`]).
+    pub fn job_label(&self) -> Option<&str> {
+        self.job.as_deref()
     }
 
     /// The disabled-mode fast path: a single relaxed load.
@@ -278,18 +294,29 @@ impl Recorder {
             return String::new();
         }
         let mut out = String::new();
+        // With a job label configured, every sample line carries
+        // `job="<name>"`; without one the exposition stays byte-identical
+        // to the label-free single-job format.
+        let label = self
+            .job
+            .as_deref()
+            .map(|j| format!("job=\"{}\"", escape_label_value(j)));
+        let suffix = match &label {
+            Some(l) => format!("{{{l}}}"),
+            None => String::new(),
+        };
         let counters = self.counters.lock().expect("obs registry poisoned");
         for (name, c) in counters.iter() {
             let _ = writeln!(out, "# HELP {name} {}", metric_help(name));
             let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {}", c.get());
+            let _ = writeln!(out, "{name}{suffix} {}", c.get());
         }
         drop(counters);
         let histograms = self.histograms.lock().expect("obs registry poisoned");
         for (name, h) in histograms.iter() {
             let _ = writeln!(out, "# HELP {name} {}", metric_help(name));
             let _ = writeln!(out, "# TYPE {name} histogram");
-            h.expose_into(name, &mut out);
+            h.expose_into(name, label.as_deref(), &mut out);
         }
         drop(histograms);
         let _ = writeln!(
@@ -298,9 +325,28 @@ impl Recorder {
             metric_help("acr_obs_events_dropped_total")
         );
         let _ = writeln!(out, "# TYPE acr_obs_events_dropped_total counter");
-        let _ = writeln!(out, "acr_obs_events_dropped_total {}", self.dropped());
+        let _ = writeln!(
+            out,
+            "acr_obs_events_dropped_total{suffix} {}",
+            self.dropped()
+        );
         out
     }
+}
+
+/// Escape a label value per the Prometheus exposition format (backslash,
+/// double quote, newline).
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// One-line `# HELP` text for the metric names the runtime registers.

@@ -140,6 +140,9 @@ enum RateClass {
 /// [`StatusModel::render`].
 #[derive(Debug, Clone, Default)]
 pub struct StatusModel {
+    /// External job name for multi-job deployments (set by the consumer,
+    /// not folded from events — events carry no job identity).
+    job_label: Option<String>,
     job: Option<JobInfo>,
     ended: Option<bool>,
     interrupted: bool,
@@ -214,6 +217,19 @@ impl StatusModel {
         self.events_folded
     }
 
+    /// Attach (or clear) the job name this model describes. Shows up as a
+    /// `"job_label"` key in [`StatusModel::to_json`] so multi-job scrapers
+    /// can tell whose status they are reading; absent when unset, keeping
+    /// single-job output byte-identical to earlier releases.
+    pub fn set_job_label(&mut self, label: Option<String>) {
+        self.job_label = label;
+    }
+
+    /// The job name attached with [`StatusModel::set_job_label`], if any.
+    pub fn job_label(&self) -> Option<&str> {
+        self.job_label.as_deref()
+    }
+
     /// Highest sequence number folded, if any. Feed
     /// `last_seq + 1` to [`crate::Recorder::snapshot_since`] (or an
     /// `/events?since=` poll) to continue incrementally.
@@ -235,6 +251,11 @@ impl StatusModel {
     /// Last committed (clean-verdict) round, if any.
     pub fn committed_round(&self) -> Option<u64> {
         self.committed_round
+    }
+
+    /// Faults injected so far (the `acr-top` overview column).
+    pub fn faults_injected(&self) -> u64 {
+        self.faults
     }
 
     /// Declare that the event source is finished (log EOF, dead driver).
@@ -585,6 +606,9 @@ impl StatusModel {
     /// same event sequence serialize byte-identically.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
+        if let Some(label) = &self.job_label {
+            json::push_str(&mut out, "job_label", label);
+        }
         match &self.job {
             Some(j) => {
                 out.push_str("\"job\":{");

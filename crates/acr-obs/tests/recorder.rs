@@ -11,6 +11,7 @@ fn ring_wraparound_keeps_newest_and_counts_drops() {
         ObsConfig {
             enabled: true,
             ring_capacity: 4,
+            ..ObsConfig::default()
         },
         1,
         Arc::new(|| 0.0),
@@ -42,6 +43,7 @@ fn concurrent_emit_from_worker_threads() {
         ObsConfig {
             enabled: true,
             ring_capacity: 1024,
+            ..ObsConfig::default()
         },
         THREADS,
         Arc::new(|| 0.0),

@@ -35,6 +35,7 @@ use bytes::Bytes;
 
 use crate::driver::{ExecMode, Job, JobConfig, JobReport};
 use crate::message::{AppMsg, TaskId};
+use crate::service::{DriverService, ServiceConfig};
 use crate::task::{Task, TaskCtx};
 use crate::transport::TransportKind;
 
@@ -681,6 +682,150 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     out
 }
 
+/// The comparable fingerprint of one case run: completion, agreement,
+/// every protocol counter, the driver's text trace, and the bit-exact
+/// final task states. Two runs of the same case must match on all of it.
+#[allow(clippy::type_complexity)]
+fn case_fingerprint(
+    r: &JobReport,
+) -> (
+    bool,
+    bool,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    Vec<String>,
+    BTreeMap<(u8, usize), Vec<Bytes>>,
+) {
+    (
+        r.completed,
+        r.replicas_agree(),
+        r.checkpoints_verified,
+        r.sdc_rounds_detected,
+        r.rollbacks,
+        r.hard_errors_recovered,
+        r.unverified_recoveries,
+        r.restarts_from_beginning,
+        r.trace.clone(),
+        r.final_states.clone(),
+    )
+}
+
+/// Differential sweep through the multi-job driver service: every case is
+/// run **twice** — once alone on its own [`Job`], and once submitted to a
+/// [`DriverService`] that runs two jobs at a time over one shared spare
+/// pool — and each pair must agree bit for bit: same outcome tuple, same
+/// driver trace, same final task states. A disagreement is reported as a
+/// [`CaseOutcome::Violation`] on the case, so the existing campaign
+/// tooling (tallies, CI gating) applies unchanged.
+///
+/// Virtual-time in-process cases only: a wall-clock TCP case is not
+/// replay-deterministic (so "bit-identical" is not a meaningful claim),
+/// and driver-kill scenarios need [`Job::resume`], which the service
+/// rejects by design — resume owns a store, services own fresh jobs.
+pub fn run_campaign_via_service(cfg: &CampaignConfig) -> Result<CampaignReport, String> {
+    if cfg.wall_clock() {
+        return Err("service differential requires the virtual in-process transport".into());
+    }
+    if cfg.driver_kill {
+        return Err(
+            "service differential cannot run driver-kill scenarios (resume is per-job)".into(),
+        );
+    }
+    let space = cfg.scenario_space();
+    let iters = cfg.iterations;
+    let mode = ExecMode::Virtual {
+        quantum: cfg.quantum,
+    };
+
+    // Two concurrent jobs drawing on one pooled spare reservation.
+    let service = DriverService::start(ServiceConfig {
+        max_concurrent: 2,
+        spare_pool: 2 * cfg.spares,
+        ..ServiceConfig::default()
+    })?;
+
+    type FinalStates = BTreeMap<(u8, usize), Vec<Bytes>>;
+    let mut references: BTreeMap<(usize, usize), FinalStates> = BTreeMap::new();
+    let mut out = CampaignReport::default();
+    let mut pending = Vec::new();
+    for (si, &seed) in cfg.seeds.iter().enumerate() {
+        let detection = cfg.detections[si % cfg.detections.len()];
+        let script = FaultScript::generate(seed, &space);
+        for (ki, &scheme) in cfg.schemes.iter().enumerate() {
+            let di = si % cfg.detections.len();
+            references
+                .entry((ki, di))
+                .or_insert_with(|| run_reference(cfg, scheme, detection).final_states);
+            // Solo run first: the same case the service job must reproduce.
+            let solo_store = cfg.case_store_dir(scheme, detection, seed);
+            let solo = run_case(cfg, scheme, detection, &script, solo_store.as_deref());
+
+            let mut job_cfg = cfg.job_config(scheme, detection);
+            if let Some(dir) = &solo_store {
+                // A sibling store, not the solo case's: the service job
+                // journals beside it, it must never write over it.
+                let svc_dir = dir.with_file_name(format!(
+                    "{}_svc",
+                    dir.file_name().and_then(|n| n.to_str()).unwrap_or("case")
+                ));
+                let _ = std::fs::remove_dir_all(&svc_dir);
+                job_cfg.persist_dir = Some(svc_dir);
+            }
+            let name = format!(
+                "{}_{}_seed{}",
+                scheme_name(scheme),
+                detection_name(detection),
+                seed
+            );
+            let builder = Job::new(job_cfg).with_faults(script.clone()).mode(mode);
+            let handle = service
+                .submit(&name, builder, move |rank, _task| {
+                    Box::new(CampaignTask::new(rank, iters, Duration::ZERO)) as Box<dyn Task>
+                })
+                .map_err(|e| format!("admission of case {name} failed: {e}"))?;
+            pending.push((
+                seed,
+                scheme,
+                detection,
+                script.clone(),
+                ki,
+                di,
+                solo,
+                handle,
+            ));
+        }
+    }
+
+    for (seed, scheme, detection, script, ki, di, solo, handle) in pending {
+        let report = handle.wait();
+        let reference = &references[&(ki, di)];
+        let mut outcome = classify(&report, reference);
+        if !matches!(outcome, CaseOutcome::Violation(_))
+            && case_fingerprint(&report) != case_fingerprint(&solo)
+        {
+            outcome = CaseOutcome::Violation(
+                "service/solo divergence: the same case run through the driver \
+                 service did not reproduce the solo run bit for bit"
+                    .into(),
+            );
+        }
+        out.cases.push(CaseResult {
+            seed,
+            scheme,
+            detection,
+            script,
+            outcome,
+            report,
+        });
+    }
+    service.shutdown();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -730,6 +875,49 @@ mod tests {
                 case.report.trace.join("\n"),
             );
         }
+    }
+
+    /// Service differential: campaign cases submitted to a two-slot
+    /// `DriverService` sharing one spare pool must reproduce their solo
+    /// runs bit for bit (outcome tuple, trace, final states) — otherwise
+    /// the runner flags the case as a violation, which this test forbids.
+    #[test]
+    fn mini_service_campaign_matches_solo_runs() {
+        let cfg = CampaignConfig {
+            seeds: vec![0, 1],
+            schemes: vec![Scheme::Strong, Scheme::Medium],
+            check_determinism: false,
+            ..CampaignConfig::default()
+        };
+        let report = run_campaign_via_service(&cfg).expect("service sweep runs");
+        assert_eq!(report.cases.len(), 4);
+        for case in &report.cases {
+            assert!(
+                !matches!(case.outcome, CaseOutcome::Violation(_)),
+                "seed {} scheme {:?}: {:?}\ntrace:\n{}",
+                case.seed,
+                case.scheme,
+                case.outcome,
+                case.report.trace.join("\n"),
+            );
+        }
+    }
+
+    /// The service differential refuses the modes where "bit-identical"
+    /// is not a meaningful claim.
+    #[test]
+    fn service_campaign_rejects_wall_clock_and_driver_kill() {
+        let tcp = CampaignConfig {
+            transport: TransportKind::Tcp(crate::transport::TcpConfig::default()),
+            ..CampaignConfig::default()
+        };
+        assert!(run_campaign_via_service(&tcp).is_err());
+        let kill = CampaignConfig {
+            driver_kill: true,
+            persist_dir: Some(std::env::temp_dir().join("acr_svc_kill_reject")),
+            ..CampaignConfig::default()
+        };
+        assert!(run_campaign_via_service(&kill).is_err());
     }
 
     #[test]

@@ -642,12 +642,12 @@ pub struct Job;
 /// (threaded by default). Produced by [`Job::new`].
 #[derive(Debug, Clone)]
 pub struct JobBuilder {
-    cfg: JobConfig,
-    script: FaultScript,
-    mode: ExecMode,
+    pub(crate) cfg: JobConfig,
+    pub(crate) script: FaultScript,
+    pub(crate) mode: ExecMode,
     /// Set by [`Job::resume`]: rebuild configuration, script, and state
     /// from this store directory instead of the fields above.
-    resume_from: Option<PathBuf>,
+    pub(crate) resume_from: Option<PathBuf>,
 }
 
 impl JobBuilder {

@@ -14,9 +14,10 @@
 //!   [`Recorder::snapshot_since`] on every request, so early events that
 //!   later rotate out of the rings stay folded in.
 //! - `GET /events?since=<seq>` — NDJSON event tail: every buffered event
-//!   with `seq >= since`, one JSON object per line. Pollers resume from
-//!   their last seen `seq + 1`; ring overflow between polls is visible as
-//!   a gap in `seq` and in `acr_obs_events_dropped_total`.
+//!   with `seq > since` (exclusive — `since` is the last sequence number
+//!   the poller has already seen; omit it for the full buffer), one JSON
+//!   object per line. Ring overflow between polls is visible as a gap in
+//!   `seq` and in `acr_obs_events_dropped_total`.
 //!
 //! The server is deliberately minimal: one listener thread, one request
 //! per connection (`Connection: close`), no keep-alive, no TLS. It exists
@@ -117,6 +118,7 @@ fn serve(listener: TcpListener, rec: Arc<Recorder>, stop: Arc<AtomicBool>) {
     // /status request so events that later rotate out of a full ring are
     // already accounted for.
     let mut model = StatusModel::default();
+    model.set_job_label(rec.job_label().map(str::to_string));
     let mut next_seq = 0u64;
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -155,13 +157,18 @@ fn handle_request(
             respond(stream, 200, "application/json", &model.to_json())
         }
         "/events" => {
-            let since = query
+            // `since` is EXCLUSIVE: the poller names the last sequence
+            // number it has already seen and gets strictly newer events
+            // (`seq > since`), matching `LogTailer::since` on the store
+            // path. No parameter means "from the beginning".
+            let from = query
                 .split('&')
                 .find_map(|kv| kv.strip_prefix("since="))
                 .and_then(|v| v.parse::<u64>().ok())
+                .map(|since| since.saturating_add(1))
                 .unwrap_or(0);
             let mut body = String::new();
-            for ev in rec.snapshot_since(since) {
+            for ev in rec.snapshot_since(from) {
                 body.push_str(&ev.to_json());
                 body.push('\n');
             }

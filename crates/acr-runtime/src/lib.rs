@@ -52,6 +52,8 @@ mod http;
 mod message;
 mod node;
 mod persist;
+mod service;
+pub mod soak;
 mod storeview;
 mod task;
 mod tcp;
@@ -65,9 +67,12 @@ pub use driver::{
 };
 pub use http::AddrSlot;
 pub use message::{AppMsg, NodeIndex, TaskId};
+pub use service::{AdmitError, DriverService, JobHandle, ServiceConfig};
 pub use storeview::{fold_store, StoreView};
 pub use task::{Task, TaskCtx};
-pub use transport::{run_node_host, TcpConfig, TransportControl, TransportKind};
+pub use transport::{
+    run_node_host, run_node_host_for_job, SharedReactor, TcpConfig, TransportControl, TransportKind,
+};
 pub use wire::WireCodec;
 
 pub use acr_core::{DetectionMethod, Divergence, Scheme};

@@ -1,0 +1,420 @@
+//! The multi-job driver **service**: admission control over a shared
+//! spare pool, one reactor thread for every job's links, one store root
+//! for every job's durable state.
+//!
+//! A [`crate::Job`] runs one job and owns everything it touches — its
+//! router thread, its `persist_dir`, its metrics. [`DriverService`]
+//! promotes that to "a job among many":
+//!
+//! - **Registry + admission.** [`DriverService::submit`] assigns the job
+//!   a service-unique id and queues it FIFO. A job starts when a
+//!   concurrency slot is free **and** its spare reservation fits the
+//!   shared pool ([`ServiceConfig::spare_pool`]); the queue never
+//!   reorders (head-of-line blocking is deliberate — a huge job cannot
+//!   be starved by a stream of small ones). Completion releases the
+//!   slot and the spares, admitting the next queued job.
+//! - **One reactor thread.** TCP jobs get a [`SharedReactor`] handle
+//!   injected into their [`TcpConfig`](crate::TcpConfig): instead of a
+//!   private router per job, every link of every job lands on the
+//!   service's single reactor, namespaced by the job id the HELLO
+//!   handshake carries. Remote node hosts join a specific job with
+//!   [`crate::run_node_host_for_job`] against
+//!   [`DriverService::local_addr`] (bind `0.0.0.0:<port>` via
+//!   [`ServiceConfig::bind_addr`] to accept non-local hosts).
+//! - **One store root.** With [`ServiceConfig::store_root`] set, each
+//!   job persists under `<root>/jobs/<id:04>-<name>` (the
+//!   [`acr_store::job_store_dir`] layout). The per-job directory is an
+//!   ordinary `persist_dir` — `Job::resume`, `StoreView` and `acr-top`
+//!   read it unchanged, siblings or not.
+//! - **Distinguishable telemetry.** Each job's metrics carry a
+//!   `job="<name>"` label and its `/status` JSON a `"job_label"` key
+//!   (unless the submitter already configured one).
+//!
+//! Scheduling is driven entirely by submitting and completing jobs — the
+//! service spawns one thread per *running* job (the policy loop the solo
+//! driver runs inline) and no scheduler thread of its own.
+
+use crate::driver::{JobBuilder, JobReport};
+use crate::task::Task;
+use crate::tcp::Router;
+use crate::transport::{SharedReactor, TransportKind};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::fmt;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Capacity and placement knobs for a [`DriverService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum jobs running at once; queued submissions wait (default 4).
+    pub max_concurrent: usize,
+    /// Size of the shared spare pool jobs reserve their `spares` from. A
+    /// job whose reservation does not fit waits at the head of the queue
+    /// until running jobs return enough spares. The default
+    /// (`usize::MAX`) leaves the pool uncapped.
+    pub spare_pool: usize,
+    /// Listen address for the service's shared reactor. `None` (default)
+    /// binds an ephemeral loopback port when the first TCP job arrives;
+    /// bind `0.0.0.0:<port>` (or a specific interface) so node hosts on
+    /// other machines can dial in.
+    pub bind_addr: Option<SocketAddr>,
+    /// Root directory for per-job durable stores
+    /// (`<root>/jobs/<id:04>-<name>`). `None` leaves persistence to each
+    /// job's own `persist_dir` (usually: off).
+    pub store_root: Option<PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_concurrent: 4,
+            spare_pool: usize::MAX,
+            bind_addr: None,
+            store_root: None,
+        }
+    }
+}
+
+/// Why [`DriverService::submit`] refused a job.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AdmitError {
+    /// The job asks for more spares than the whole pool holds — it could
+    /// never start, so it is refused rather than queued forever.
+    SparesExceedPool {
+        /// Spares the job's configuration reserves.
+        requested: usize,
+        /// Total size of the service's shared pool.
+        pool: usize,
+    },
+    /// The service is shutting down and admits nothing new.
+    ShuttingDown,
+    /// The builder came from [`crate::Job::resume`]; resume a persisted
+    /// job directly (its store already pins every configuration choice
+    /// the service would want to make).
+    ResumeUnsupported,
+    /// The service's shared reactor could not be started (bind failure).
+    Transport(String),
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::SparesExceedPool { requested, pool } => write!(
+                f,
+                "job reserves {requested} spares but the shared pool holds only {pool}"
+            ),
+            AdmitError::ShuttingDown => write!(f, "driver service is shutting down"),
+            AdmitError::ResumeUnsupported => write!(
+                f,
+                "Job::resume builders cannot be submitted to a service; resume directly"
+            ),
+            AdmitError::Transport(e) => write!(f, "shared reactor unavailable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// A submitted job: its identity, where it persists, and its report.
+#[derive(Debug)]
+pub struct JobHandle {
+    id: u32,
+    name: String,
+    store_dir: Option<PathBuf>,
+    report_rx: Receiver<JobReport>,
+}
+
+impl JobHandle {
+    /// The service-assigned job id (also the HELLO-routing id remote
+    /// node hosts pass to [`crate::run_node_host_for_job`]).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The name the job was submitted under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Where this job persists, when the service (or the job itself)
+    /// configured a store.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.store_dir.as_deref()
+    }
+
+    /// Block until the job has run to completion (including any time
+    /// spent queued) and return its report.
+    ///
+    /// # Panics
+    ///
+    /// If the job's thread panicked — which [`crate::JobBuilder::run`]
+    /// only does for configuration-shape violations it would also panic
+    /// for when run directly.
+    pub fn wait(self) -> JobReport {
+        self.report_rx
+            .recv()
+            .unwrap_or_else(|_| panic!("job '{}' (id {}) panicked", self.name, self.id))
+    }
+
+    /// The report, if the job already finished; `None` while it is
+    /// queued or running.
+    pub fn try_wait(&self) -> Option<JobReport> {
+        self.report_rx.try_recv().ok()
+    }
+}
+
+type Factory = dyn Fn(usize, usize) -> Box<dyn Task> + Send + Sync;
+
+struct Pending {
+    id: u32,
+    name: String,
+    builder: JobBuilder,
+    factory: Arc<Factory>,
+    spares: usize,
+    report_tx: Sender<JobReport>,
+}
+
+#[derive(Default)]
+struct SchedState {
+    next_id: u32,
+    running: usize,
+    spares_reserved: usize,
+    queue: VecDeque<Pending>,
+    shutting_down: bool,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    /// The shared reactor, spawned eagerly when `bind_addr` is set and
+    /// lazily (loopback ephemeral) on the first TCP submission otherwise.
+    router: Mutex<Option<Arc<Router>>>,
+    state: Mutex<SchedState>,
+    /// Signaled on every job completion (join/shutdown wait on it).
+    done: Condvar,
+}
+
+/// A long-lived driver process scheduling many jobs; see the module docs.
+pub struct DriverService {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for DriverService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.inner.state.lock();
+        f.debug_struct("DriverService")
+            .field("running", &state.running)
+            .field("queued", &state.queue.len())
+            .field("spares_reserved", &state.spares_reserved)
+            .field("addr", &self.local_addr())
+            .finish()
+    }
+}
+
+impl DriverService {
+    /// Start a service. With [`ServiceConfig::bind_addr`] set the shared
+    /// reactor binds immediately (so remote hosts can start dialing);
+    /// otherwise it starts on demand.
+    pub fn start(cfg: ServiceConfig) -> Result<DriverService, String> {
+        let router = match cfg.bind_addr {
+            Some(addr) => Some(Router::spawn(Some(addr))?),
+            None => None,
+        };
+        Ok(DriverService {
+            inner: Arc::new(Inner {
+                cfg,
+                router: Mutex::new(router),
+                state: Mutex::new(SchedState::default()),
+                done: Condvar::new(),
+            }),
+        })
+    }
+
+    /// The address the shared reactor listens on, once it exists (always,
+    /// after `start`, when `bind_addr` was configured; after the first
+    /// TCP submission otherwise).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.inner.router.lock().as_ref().map(|r| r.local_addr())
+    }
+
+    /// Jobs currently running (admitted, not yet complete).
+    pub fn running(&self) -> usize {
+        self.inner.state.lock().running
+    }
+
+    /// Jobs waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    /// Spares currently reserved out of the shared pool by running jobs.
+    pub fn spares_reserved(&self) -> usize {
+        self.inner.state.lock().spares_reserved
+    }
+
+    /// Submit `job` under `name`. Returns immediately with a
+    /// [`JobHandle`]; the job starts as soon as admission control lets
+    /// it through ([`ServiceConfig::max_concurrent`] and the spare
+    /// pool), in submission order.
+    ///
+    /// The service adjusts the configuration for multi-job life before
+    /// queueing, never overriding what the submitter set explicitly:
+    /// TCP jobs ride the shared reactor, persistence lands under the
+    /// store root, metrics get a `job="<name>"` label.
+    pub fn submit<F>(
+        &self,
+        name: &str,
+        job: JobBuilder,
+        factory: F,
+    ) -> Result<JobHandle, AdmitError>
+    where
+        F: Fn(usize, usize) -> Box<dyn Task> + Send + Sync + 'static,
+    {
+        let mut job = job;
+        if job.resume_from.is_some() {
+            return Err(AdmitError::ResumeUnsupported);
+        }
+        let spares = job.cfg.spares;
+        if spares > self.inner.cfg.spare_pool {
+            return Err(AdmitError::SparesExceedPool {
+                requested: spares,
+                pool: self.inner.cfg.spare_pool,
+            });
+        }
+        let id = {
+            let mut state = self.inner.state.lock();
+            if state.shutting_down {
+                return Err(AdmitError::ShuttingDown);
+            }
+            // 1-based: id 0 is the convention for "not a service job"
+            // (plain `Job::run` registers as job 0 on a private reactor).
+            state.next_id += 1;
+            state.next_id
+        };
+        if let TransportKind::Tcp(tcp) = &mut job.cfg.transport {
+            if tcp.shared.is_none() {
+                tcp.shared = Some(SharedReactor::new(self.router()?, id));
+            }
+        }
+        if job.cfg.obs.job.is_none() {
+            job.cfg.obs.job = Some(name.to_string());
+        }
+        let store_dir = match (&self.inner.cfg.store_root, &job.cfg.persist_dir) {
+            (_, Some(dir)) => Some(dir.clone()),
+            (Some(root), None) => {
+                let dir = acr_store::job_store_dir(root, id, name);
+                job.cfg.persist_dir = Some(dir.clone());
+                Some(dir)
+            }
+            (None, None) => None,
+        };
+        let (report_tx, report_rx) = unbounded();
+        let mut state = self.inner.state.lock();
+        if state.shutting_down {
+            return Err(AdmitError::ShuttingDown);
+        }
+        state.queue.push_back(Pending {
+            id,
+            name: name.to_string(),
+            builder: job,
+            factory: Arc::new(factory),
+            spares,
+            report_tx,
+        });
+        pump(&self.inner, &mut state);
+        drop(state);
+        Ok(JobHandle {
+            id,
+            name: name.to_string(),
+            store_dir,
+            report_rx,
+        })
+    }
+
+    /// Block until every submitted job (queued included) has completed.
+    pub fn join(&self) {
+        let mut state = self.inner.state.lock();
+        while state.running > 0 || !state.queue.is_empty() {
+            state = self.inner.done.wait(state);
+        }
+    }
+
+    /// Stop admitting, wait for everything in flight, and stop the
+    /// shared reactor.
+    pub fn shutdown(self) {
+        self.inner.state.lock().shutting_down = true;
+        self.join();
+        if let Some(router) = self.inner.router.lock().take() {
+            router.shutdown();
+        }
+    }
+
+    /// The shared reactor, starting it (ephemeral loopback) on first use.
+    fn router(&self) -> Result<Arc<Router>, AdmitError> {
+        let mut slot = self.inner.router.lock();
+        if let Some(router) = slot.as_ref() {
+            return Ok(Arc::clone(router));
+        }
+        let router = Router::spawn(self.inner.cfg.bind_addr).map_err(AdmitError::Transport)?;
+        *slot = Some(Arc::clone(&router));
+        Ok(router)
+    }
+}
+
+/// Releases a completed (or panicked) job's concurrency slot and spare
+/// reservation, then re-runs admission — as a `Drop` guard so a
+/// panicking policy loop cannot wedge the whole service.
+struct RunSlot {
+    inner: Arc<Inner>,
+    spares: usize,
+}
+
+impl Drop for RunSlot {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock();
+        state.running -= 1;
+        state.spares_reserved -= self.spares;
+        pump(&self.inner, &mut state);
+        self.inner.done.notify_all();
+    }
+}
+
+/// Admit queued jobs in FIFO order while capacity allows. Called with
+/// the scheduler state locked, from submissions and completions.
+fn pump(inner: &Arc<Inner>, state: &mut SchedState) {
+    while state.running < inner.cfg.max_concurrent {
+        let Some(front) = state.queue.front() else {
+            break;
+        };
+        let free = inner.cfg.spare_pool - state.spares_reserved;
+        if front.spares > free {
+            break;
+        }
+        let pending = state.queue.pop_front().expect("front exists");
+        state.running += 1;
+        state.spares_reserved += pending.spares;
+        let slot = RunSlot {
+            inner: Arc::clone(inner),
+            spares: pending.spares,
+        };
+        let Pending {
+            id,
+            name,
+            builder,
+            factory,
+            report_tx,
+            ..
+        } = pending;
+        std::thread::Builder::new()
+            .name(format!("acr-job-{id}"))
+            .spawn(move || {
+                let _slot = slot;
+                let report = builder.run(move |rank, task| factory(rank, task));
+                let _ = report_tx.send(report);
+            })
+            .unwrap_or_else(|e| panic!("driver service: cannot spawn job '{name}': {e}"));
+    }
+}

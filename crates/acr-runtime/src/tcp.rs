@@ -28,6 +28,7 @@
 //! coalesce queued frames into [`wire::encode_batch`](encode_batch)
 //! super-frames with the link's negotiated [`WireCodec`].
 
+use std::collections::btree_map::Entry;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -286,6 +287,86 @@ fn flush_socket(
 // Router (driver side): the reactor
 // ---------------------------------------------------------------------------
 
+/// Linear-bucket tick-latency accounting for the reactor loop: how long
+/// each loop iteration's *work* portion took (the 1 ms command-channel
+/// wait is excluded — an idle reactor records near-zero ticks, not
+/// `REACTOR_TICK`). The decade-spaced [`acr_obs::Histogram`] buckets are
+/// too coarse to gate a 25% p99 regression, so this keeps its own
+/// fixed-size linear buckets: [`TICK_BUCKET_NS`] nanoseconds each, with
+/// everything past the last bucket clamped into it (the max still tracks
+/// the true worst case).
+pub(crate) struct TickStats {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+/// Width of one [`TickStats`] bucket in nanoseconds.
+const TICK_BUCKET_NS: u64 = 250;
+/// Number of [`TickStats`] buckets: 8192 × 250 ns ≈ 2 ms of linear range.
+const TICK_BUCKETS: usize = 8192;
+
+impl TickStats {
+    fn new() -> TickStats {
+        TickStats {
+            buckets: (0..TICK_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, d: Duration) {
+        let ns = d.as_nanos() as u64;
+        let idx = ((ns / TICK_BUCKET_NS) as usize).min(TICK_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Ticks recorded so far.
+    pub(crate) fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean tick duration.
+    pub(crate) fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / n)
+    }
+
+    /// Worst tick observed.
+    pub(crate) fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile tick
+    /// (`0.0 < q <= 1.0`); the true max for the clamped overflow bucket.
+    pub(crate) fn percentile(&self, q: f64) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                if i == TICK_BUCKETS - 1 {
+                    return self.max();
+                }
+                return Duration::from_nanos((i as u64 + 1) * TICK_BUCKET_NS);
+            }
+        }
+        self.max()
+    }
+}
+
 /// Cross-thread view of one link (the reactor owns the rest).
 struct LinkShared {
     /// Whether a handshaken socket is currently attached.
@@ -329,7 +410,8 @@ impl LinkState {
     }
 }
 
-/// A freshly-accepted socket still reading its hello.
+/// A freshly-accepted socket still reading its hello. Which job (and
+/// link) it belongs to is unknown until the hello decodes.
 struct PendingHello {
     stream: TcpStream,
     buf: [u8; HELLO_LEN],
@@ -338,36 +420,60 @@ struct PendingHello {
 }
 
 enum Cmd {
-    /// Encoded body for node `to` (sequenced and framed by the reactor).
+    /// Encoded body for node `to` of `job` (sequenced and framed by the
+    /// reactor within that job's link namespace).
     Send {
+        job: u32,
         to: usize,
         body: Vec<u8>,
+    },
+    /// Detach `job`'s links, emit its wire stats, and drop its reactor
+    /// state; `done` acknowledges so the caller can drain the job's
+    /// recorder afterwards.
+    Deregister {
+        job: u32,
+        done: Sender<()>,
     },
     Shutdown,
 }
 
-pub(crate) struct Router {
-    addr: SocketAddr,
+/// Everything the reactor shares with other threads about one registered
+/// job: the per-link flags/handles, where its driver-bound events go, and
+/// the handshake/staleness parameters its links use.
+struct JobShared {
     links: Vec<LinkShared>,
-    cmd_tx: Sender<Cmd>,
-    shutdown: AtomicBool,
-    thread: Mutex<Option<JoinHandle<()>>>,
+    event_tx: Sender<Event>,
+    welcome_cfg: WelcomeCfg,
+    stale_after: Duration,
+    codec: WireCodec,
+    /// The job's flight recorder: batch-flush events, the stale counter,
+    /// and the shutdown wire-stats report all land here, so a service
+    /// job's transport telemetry stays in its own report.
     rec: Arc<Recorder>,
 }
 
+/// The reactor: **one** nonblocking driver-side transport thread serving
+/// every link of every registered job. A single-job driver owns a private
+/// router (job id 0); the multi-job driver service registers each admitted
+/// job into the same reactor, and the hello's job id routes each accepted
+/// socket into its job's link namespace — node indices never collide
+/// across jobs.
+pub(crate) struct Router {
+    addr: SocketAddr,
+    jobs: parking_lot::RwLock<std::collections::BTreeMap<u32, Arc<JobShared>>>,
+    cmd_tx: Sender<Cmd>,
+    shutdown: AtomicBool,
+    thread: Mutex<Option<JoinHandle<()>>>,
+    ticks: TickStats,
+}
+
 impl Router {
-    /// Bind (an ephemeral localhost port when `addr` is `None`) and start
-    /// the reactor — the one driver-side transport thread, regardless of
-    /// how many links the job has.
-    pub(crate) fn spawn(
-        addr: Option<SocketAddr>,
-        total: usize,
-        event_tx: Sender<Event>,
-        rec: Arc<Recorder>,
-        welcome_cfg: WelcomeCfg,
-        stale_after: Duration,
-        codec: WireCodec,
-    ) -> Result<Arc<Router>, String> {
+    /// Bind (an ephemeral localhost port when `addr` is `None`; any
+    /// explicit address — including non-loopback ones like
+    /// `0.0.0.0:7070` for remote node hosts — otherwise) and start the
+    /// reactor with no jobs registered. The thread count is O(1)
+    /// regardless of how many jobs and links are later registered.
+    pub(crate) fn spawn(addr: Option<SocketAddr>) -> Result<Arc<Router>, String> {
         let listener = match addr {
             Some(a) => TcpListener::bind(a),
             None => TcpListener::bind("127.0.0.1:0"),
@@ -379,6 +485,40 @@ impl Router {
             .map_err(|e| format!("nonblocking listener: {e}"))?;
 
         let (cmd_tx, cmd_rx) = unbounded();
+        let router = Arc::new(Router {
+            addr: local,
+            jobs: parking_lot::RwLock::new(std::collections::BTreeMap::new()),
+            cmd_tx,
+            shutdown: AtomicBool::new(false),
+            thread: Mutex::new(None),
+            ticks: TickStats::new(),
+        });
+        let r = Arc::clone(&router);
+        let h = std::thread::Builder::new()
+            .name("acr-reactor".into())
+            .spawn(move || reactor(r, listener, cmd_rx))
+            .map_err(|e| e.to_string())?;
+        *router.thread.lock() = Some(h);
+        Ok(router)
+    }
+
+    /// Register `job`'s link namespace: `total` links, the channel its
+    /// driver-bound events feed, and its handshake parameters. Fails on a
+    /// duplicate id or a shut-down reactor.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn register_job(
+        &self,
+        job: u32,
+        total: usize,
+        event_tx: Sender<Event>,
+        rec: Arc<Recorder>,
+        welcome_cfg: WelcomeCfg,
+        stale_after: Duration,
+        codec: WireCodec,
+    ) -> Result<(), String> {
+        if self.is_shutdown() {
+            return Err("reactor is shut down".into());
+        }
         let links = (0..total)
             .map(|_| LinkShared {
                 connected: AtomicBool::new(false),
@@ -388,41 +528,69 @@ impl Router {
                 conn: Mutex::new(None),
             })
             .collect();
-        let router = Arc::new(Router {
-            addr: local,
+        let shared = Arc::new(JobShared {
             links,
-            cmd_tx,
-            shutdown: AtomicBool::new(false),
-            thread: Mutex::new(None),
+            event_tx,
+            welcome_cfg,
+            stale_after,
+            codec,
             rec,
         });
-        let r = Arc::clone(&router);
-        let h = std::thread::Builder::new()
-            .name("acr-reactor".into())
-            .spawn(move || {
-                reactor(
-                    r,
-                    listener,
-                    cmd_rx,
-                    event_tx,
-                    welcome_cfg,
-                    stale_after,
-                    codec,
-                )
-            })
-            .map_err(|e| e.to_string())?;
-        *router.thread.lock() = Some(h);
-        Ok(router)
+        let mut jobs = self.jobs.write();
+        if jobs.contains_key(&job) {
+            return Err(format!("job id {job} is already registered"));
+        }
+        jobs.insert(job, shared);
+        Ok(())
+    }
+
+    /// Remove `job` from the reactor: no new accepts, links detached,
+    /// wire stats emitted into the job's recorder. Blocks (briefly — the
+    /// reactor drains commands every tick) until the reactor acknowledges,
+    /// so the caller may drain the job's recorder immediately after.
+    pub(crate) fn deregister_job(&self, job: u32) {
+        if self.jobs.write().remove(&job).is_none() {
+            return;
+        }
+        let (done_tx, done_rx) = unbounded();
+        if self
+            .cmd_tx
+            .send(Cmd::Deregister { job, done: done_tx })
+            .is_ok()
+        {
+            let _ = done_rx.recv_timeout(Duration::from_secs(5));
+        }
     }
 
     pub(crate) fn local_addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// Frame and queue a protocol message for `to`.
-    pub(crate) fn send_net(&self, to: NodeIndex, msg: &Net) {
-        if to < self.links.len() {
+    /// The address local endpoints should dial: the bound port, with an
+    /// unspecified bind IP (`0.0.0.0` / `::`) rewritten to loopback.
+    pub(crate) fn dial_addr(&self) -> SocketAddr {
+        let mut addr = self.addr;
+        if addr.ip().is_unspecified() {
+            match addr {
+                SocketAddr::V4(_) => addr.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+                SocketAddr::V6(_) => addr.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+            }
+        }
+        addr
+    }
+
+    fn job(&self, job: u32) -> Option<Arc<JobShared>> {
+        self.jobs.read().get(&job).cloned()
+    }
+
+    /// Frame and queue a protocol message for node `to` of `job`.
+    pub(crate) fn send_net(&self, job: u32, to: NodeIndex, msg: &Net) {
+        let Some(shared) = self.job(job) else {
+            return;
+        };
+        if to < shared.links.len() {
             let _ = self.cmd_tx.send(Cmd::Send {
+                job,
                 to,
                 body: encode_net(msg),
             });
@@ -431,11 +599,15 @@ impl Router {
 
     /// Kill `node`'s current socket (test hook). The endpoint notices
     /// and reconnects; replay makes the drop lossless.
-    pub(crate) fn sever(&self, node: NodeIndex) -> bool {
-        let Some(link) = self.links.get(node) else {
+    pub(crate) fn sever(&self, job: u32, node: NodeIndex) -> bool {
+        let Some(shared) = self.job(job) else {
             return false;
         };
-        match link.conn.lock().take() {
+        let Some(link) = shared.links.get(node) else {
+            return false;
+        };
+        let taken = link.conn.lock().take();
+        match taken {
             Some(stream) => {
                 let _ = stream.shutdown(Shutdown::Both);
                 true
@@ -447,20 +619,26 @@ impl Router {
     /// Sever and refuse future re-accepts from `node` (test hook:
     /// transport-level death, distinguishable from a crash only by the
     /// driver's liveness probe).
-    pub(crate) fn quarantine(&self, node: NodeIndex) -> bool {
-        let Some(link) = self.links.get(node) else {
+    pub(crate) fn quarantine(&self, job: u32, node: NodeIndex) -> bool {
+        let Some(shared) = self.job(job) else {
+            return false;
+        };
+        let Some(link) = shared.links.get(node) else {
             return false;
         };
         link.quarantined.store(true, Ordering::SeqCst);
-        self.sever(node);
+        self.sever(job, node);
         true
     }
 
-    /// Wait until every link has a handshaken socket.
-    pub(crate) fn wait_all_connected(&self, timeout: Duration) -> Result<(), String> {
+    /// Wait until every one of `job`'s links has a handshaken socket.
+    pub(crate) fn wait_all_connected(&self, job: u32, timeout: Duration) -> Result<(), String> {
+        let Some(shared) = self.job(job) else {
+            return Err(format!("job {job} is not registered with the reactor"));
+        };
         let deadline = Instant::now() + timeout;
         loop {
-            let missing: Vec<usize> = self
+            let missing: Vec<usize> = shared
                 .links
                 .iter()
                 .enumerate()
@@ -479,7 +657,27 @@ impl Router {
         }
     }
 
-    /// Stop the reactor and close every socket.
+    /// Handshaken links right now, across every registered job.
+    pub(crate) fn connected_links(&self) -> usize {
+        self.jobs
+            .read()
+            .values()
+            .map(|shared| {
+                shared
+                    .links
+                    .iter()
+                    .filter(|l| l.connected.load(Ordering::SeqCst))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// The reactor loop's tick-latency accounting (work portion only).
+    pub(crate) fn tick_stats(&self) -> &TickStats {
+        &self.ticks
+    }
+
+    /// Stop the reactor and close every socket of every job.
     pub(crate) fn shutdown(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -495,36 +693,63 @@ impl Router {
     }
 }
 
-/// The reactor loop: one thread multiplexing the listener, every pending
-/// handshake, and every link's reads and writes via nonblocking I/O,
-/// woken by the command channel (or its tick).
-fn reactor(
-    router: Arc<Router>,
-    listener: TcpListener,
-    cmd_rx: Receiver<Cmd>,
-    event_tx: Sender<Event>,
-    welcome_cfg: WelcomeCfg,
-    stale_after: Duration,
-    codec_pref: WireCodec,
-) {
-    let n = router.links.len();
-    let mut links: Vec<LinkState> = (0..n).map(|_| LinkState::new()).collect();
-    let mut pending: Vec<PendingHello> = Vec::new();
-    let mut stats = WireStats::default();
-    let mut rdbuf = vec![0u8; 64 * 1024];
-    let mut inbound: Vec<(usize, Frame)> = Vec::new();
+/// Reactor-local state of one registered job: its link state machines and
+/// wire-traffic counters, keyed by job id. Created lazily on the first
+/// send or accepted hello for the job.
+struct JobLinks {
+    shared: Arc<JobShared>,
+    links: Vec<LinkState>,
+    stats: WireStats,
+}
 
-    let detach = |shared: &LinkShared, ls: &mut LinkState| {
+impl JobLinks {
+    fn new(shared: Arc<JobShared>) -> JobLinks {
+        let links = (0..shared.links.len()).map(|_| LinkState::new()).collect();
+        JobLinks {
+            shared,
+            links,
+            stats: WireStats::default(),
+        }
+    }
+}
+
+/// Detach one link's socket (reactor side): close it, clear the shared
+/// connection handle, and reset the link's transient decode/send state.
+fn detach_link(shared: &LinkShared, ls: &mut LinkState) {
+    if let Some(s) = ls.stream.take() {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+    *shared.conn.lock() = None;
+    shared.connected.store(false, Ordering::SeqCst);
+    ls.detached_since = Some(Instant::now());
+    ls.out.clear();
+    ls.outq.clear();
+    ls.dec = FrameDecoder::new();
+}
+
+/// Tear one job's reactor state down: close its sockets and emit its wire
+/// stats into the job's own recorder.
+fn teardown_job(jl: &mut JobLinks) {
+    for (node, ls) in jl.links.iter_mut().enumerate() {
         if let Some(s) = ls.stream.take() {
             let _ = s.shutdown(Shutdown::Both);
         }
-        *shared.conn.lock() = None;
-        shared.connected.store(false, Ordering::SeqCst);
-        ls.detached_since = Some(Instant::now());
-        ls.out.clear();
-        ls.outq.clear();
-        ls.dec = FrameDecoder::new();
-    };
+        *jl.shared.links[node].conn.lock() = None;
+        jl.shared.links[node]
+            .connected
+            .store(false, Ordering::SeqCst);
+    }
+    jl.stats.emit(&jl.shared.rec, DRIVER_NODE, jl.shared.codec);
+}
+
+/// The reactor loop: one thread multiplexing the listener, every pending
+/// handshake, and every link of every registered job via nonblocking
+/// I/O, woken by the command channel (or its tick).
+fn reactor(router: Arc<Router>, listener: TcpListener, cmd_rx: Receiver<Cmd>) {
+    let mut jobs: std::collections::BTreeMap<u32, JobLinks> = std::collections::BTreeMap::new();
+    let mut pending: Vec<PendingHello> = Vec::new();
+    let mut rdbuf = vec![0u8; 64 * 1024];
+    let mut inbound: Vec<(u32, usize, Frame)> = Vec::new();
 
     'main: loop {
         // --- 1. command drain (the wake pipe, bounded by the tick) -----
@@ -533,12 +758,41 @@ fn reactor(
             Err(RecvTimeoutError::Timeout) => None,
             Err(RecvTimeoutError::Disconnected) => break 'main,
         };
+        // Tick latency measures the work portion of the iteration, from
+        // the moment the wait returned; the 1 ms sleep itself is not work.
+        let tick_started = Instant::now();
         loop {
             match next {
                 Some(Cmd::Shutdown) => break 'main,
-                Some(Cmd::Send { to, body }) => {
-                    let ls = &mut links[to];
-                    enqueue_frame(&mut ls.ring, &mut ls.outq, &mut ls.tx_seq, to as u32, body);
+                Some(Cmd::Send { job, to, body }) => {
+                    // Lazily materialize the job's reactor state (the
+                    // registry entry exists from `register_job`).
+                    if let Entry::Vacant(slot) = jobs.entry(job) {
+                        if let Some(shared) = router.job(job) {
+                            slot.insert(JobLinks::new(shared));
+                        }
+                    }
+                    if let Some(jl) = jobs.get_mut(&job) {
+                        if let Some(ls) = jl.links.get_mut(to) {
+                            enqueue_frame(
+                                &mut ls.ring,
+                                &mut ls.outq,
+                                &mut ls.tx_seq,
+                                to as u32,
+                                body,
+                            );
+                        }
+                    }
+                }
+                Some(Cmd::Deregister { job, done }) => {
+                    if let Some(mut jl) = jobs.remove(&job) {
+                        teardown_job(&mut jl);
+                    } else if let Some(shared) = router.job(job) {
+                        // Registered but never touched: still report (zero)
+                        // wire stats, like a single-job run with no traffic.
+                        WireStats::default().emit(&shared.rec, DRIVER_NODE, shared.codec);
+                    }
+                    let _ = done.send(());
                 }
                 None => break,
             }
@@ -599,8 +853,19 @@ fn reactor(
                 }
                 Some(Some(hello)) => {
                     let p = pending.swap_remove(i);
+                    // Route the link into its job's namespace; a hello
+                    // for an unregistered job is dropped like garbage.
+                    if let Entry::Vacant(slot) = jobs.entry(hello.job) {
+                        if let Some(shared) = router.job(hello.job) {
+                            slot.insert(JobLinks::new(shared));
+                        }
+                    }
+                    let Some(jl) = jobs.get_mut(&hello.job) else {
+                        let _ = p.stream.shutdown(Shutdown::Both);
+                        continue;
+                    };
                     let node = hello.node as usize;
-                    let Some(shared) = router.links.get(node) else {
+                    let Some(shared) = jl.shared.links.get(node) else {
                         let _ = p.stream.shutdown(Shutdown::Both);
                         continue;
                     };
@@ -608,17 +873,17 @@ fn reactor(
                         let _ = p.stream.shutdown(Shutdown::Both);
                         continue;
                     }
-                    let ls = &mut links[node];
+                    let ls = &mut jl.links[node];
                     // Replace any half-dead predecessor socket.
                     if let Some(old) = ls.stream.take() {
                         let _ = old.shutdown(Shutdown::Both);
                     }
                     ls.dec = FrameDecoder::new();
                     ls.out.clear();
-                    ls.codec = negotiate_codec(codec_pref, hello.codecs);
+                    ls.codec = negotiate_codec(jl.shared.codec, hello.codecs);
                     ls.out.set(encode_welcome(&Welcome {
                         last_recv_seq: shared.last_recv.load(Ordering::SeqCst),
-                        cfg: welcome_cfg,
+                        cfg: jl.shared.welcome_cfg,
                         codec: ls.codec,
                     }));
                     // Replay everything the dead socket swallowed: the
@@ -640,50 +905,58 @@ fn reactor(
 
         // --- 4. read every readable link ------------------------------
         inbound.clear();
-        for (node, (shared, ls)) in router.links.iter().zip(links.iter_mut()).enumerate() {
-            let Some(stream) = ls.stream.as_mut() else {
-                continue;
-            };
-            let mut dead = false;
-            'rd: loop {
-                match stream.read(&mut rdbuf) {
-                    Ok(0) => {
-                        dead = true;
-                        break;
-                    }
-                    Ok(k) => {
-                        stats.bytes_recv += k as u64;
-                        ls.dec.feed(&rdbuf[..k]);
-                        loop {
-                            match ls.dec.next_frame() {
-                                Ok(Some(frame)) => {
-                                    stats.frames_recv += 1;
-                                    inbound.push((node, frame));
-                                }
-                                Ok(None) => break,
-                                Err(_) => {
-                                    dead = true;
-                                    break 'rd;
+        for (&job, jl) in jobs.iter_mut() {
+            for (node, (shared, ls)) in jl.shared.links.iter().zip(jl.links.iter_mut()).enumerate()
+            {
+                let Some(stream) = ls.stream.as_mut() else {
+                    continue;
+                };
+                let mut dead = false;
+                'rd: loop {
+                    match stream.read(&mut rdbuf) {
+                        Ok(0) => {
+                            dead = true;
+                            break;
+                        }
+                        Ok(k) => {
+                            jl.stats.bytes_recv += k as u64;
+                            ls.dec.feed(&rdbuf[..k]);
+                            loop {
+                                match ls.dec.next_frame() {
+                                    Ok(Some(frame)) => {
+                                        jl.stats.frames_recv += 1;
+                                        inbound.push((job, node, frame));
+                                    }
+                                    Ok(None) => break,
+                                    Err(_) => {
+                                        dead = true;
+                                        break 'rd;
+                                    }
                                 }
                             }
                         }
-                    }
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                    Err(_) => {
-                        dead = true;
-                        break;
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            dead = true;
+                            break;
+                        }
                     }
                 }
-            }
-            if dead {
-                detach(shared, ls);
+                if dead {
+                    detach_link(shared, ls);
+                }
             }
         }
 
         // --- 5. dispatch: dedup, then route to the driver or a link ---
-        for (from, frame) in inbound.drain(..) {
-            let shared = &router.links[from];
+        // A frame's `to` is resolved strictly within the namespace of the
+        // job its link handshook into; links cannot address other jobs.
+        for (job, from, frame) in inbound.drain(..) {
+            let Some(jl) = jobs.get_mut(&job) else {
+                continue;
+            };
+            let shared = &jl.shared.links[from];
             let prev = shared.last_recv.fetch_max(frame.seq, Ordering::SeqCst);
             if prev >= frame.seq {
                 continue; // replay duplicate
@@ -691,13 +964,13 @@ fn reactor(
             if frame.to == DRIVER_DEST {
                 match decode_event(&frame.body) {
                     Ok(ev) => {
-                        let _ = event_tx.send(ev);
+                        let _ = jl.shared.event_tx.send(ev);
                     }
-                    Err(_) => detach(shared, &mut links[from]),
+                    Err(_) => detach_link(shared, &mut jl.links[from]),
                 }
-            } else if (frame.to as usize) < n {
+            } else if (frame.to as usize) < jl.links.len() {
                 let dest = frame.to as usize;
-                let ls = &mut links[dest];
+                let ls = &mut jl.links[dest];
                 enqueue_frame(
                     &mut ls.ring,
                     &mut ls.outq,
@@ -709,49 +982,67 @@ fn reactor(
         }
 
         // --- 6. flush every writable link -----------------------------
-        for (shared, ls) in router.links.iter().zip(links.iter_mut()) {
-            let Some(stream) = ls.stream.as_mut() else {
-                continue;
-            };
-            if !flush_socket(
-                stream,
-                &mut ls.out,
-                &mut ls.outq,
-                ls.codec,
-                &mut stats,
-                &router.rec,
-                DRIVER_NODE,
-            ) {
-                detach(shared, ls);
+        for jl in jobs.values_mut() {
+            for (shared, ls) in jl.shared.links.iter().zip(jl.links.iter_mut()) {
+                let Some(stream) = ls.stream.as_mut() else {
+                    continue;
+                };
+                if !flush_socket(
+                    stream,
+                    &mut ls.out,
+                    &mut ls.outq,
+                    ls.codec,
+                    &mut jl.stats,
+                    &jl.shared.rec,
+                    DRIVER_NODE,
+                ) {
+                    detach_link(shared, ls);
+                }
             }
         }
 
         // --- 7. stale scan --------------------------------------------
-        for (node, shared) in router.links.iter().enumerate() {
-            if shared.connected.load(Ordering::SeqCst) {
-                continue;
-            }
-            let stale = links[node]
-                .detached_since
-                .is_some_and(|t| t.elapsed() >= stale_after);
-            if stale && !shared.stale_reported.swap(true, Ordering::SeqCst) {
-                router.rec.inc_counter("acr_transport_stale_total", 1);
-                let _ = event_tx.send(Event::TransportStale { node });
+        for jl in jobs.values_mut() {
+            for (node, shared) in jl.shared.links.iter().enumerate() {
+                if shared.connected.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let stale = jl.links[node]
+                    .detached_since
+                    .is_some_and(|t| t.elapsed() >= jl.shared.stale_after);
+                if stale && !shared.stale_reported.swap(true, Ordering::SeqCst) {
+                    jl.shared.rec.inc_counter("acr_transport_stale_total", 1);
+                    let _ = jl.shared.event_tx.send(Event::TransportStale { node });
+                }
             }
         }
+
+        router.ticks.record(tick_started.elapsed());
     }
 
-    // Teardown: close every socket so endpoint readers see EOF.
-    for (node, ls) in links.iter_mut().enumerate() {
-        if let Some(s) = ls.stream.take() {
-            let _ = s.shutdown(Shutdown::Both);
+    // Teardown: close every socket so endpoint readers see EOF, and emit
+    // each job's wire stats into its own recorder. Jobs registered but
+    // never touched by the reactor still report (zero) stats.
+    let registered: Vec<(u32, Arc<JobShared>)> = router
+        .jobs
+        .read()
+        .iter()
+        .map(|(&id, s)| (id, Arc::clone(s)))
+        .collect();
+    for (id, shared) in registered {
+        match jobs.remove(&id) {
+            Some(mut jl) => teardown_job(&mut jl),
+            None => WireStats::default().emit(&shared.rec, DRIVER_NODE, shared.codec),
         }
-        *router.links[node].conn.lock() = None;
+    }
+    // Jobs deregistered from the registry whose teardown command never
+    // drained (shutdown raced deregister) still close their sockets.
+    for jl in jobs.values_mut() {
+        teardown_job(jl);
     }
     for p in pending.drain(..) {
         let _ = p.stream.shutdown(Shutdown::Both);
     }
-    stats.emit(&router.rec, DRIVER_NODE, codec_pref);
 }
 
 // ---------------------------------------------------------------------------
@@ -772,6 +1063,8 @@ enum EpMsg {
 /// inbound frames, and flushes queued frames in batches — the node-side
 /// mirror of the reactor's per-link state machine.
 pub(crate) struct Endpoint {
+    /// Job namespace this endpoint's hello routes its link into.
+    job: u32,
     node: usize,
     tx: Sender<EpMsg>,
     shutdown: AtomicBool,
@@ -790,6 +1083,7 @@ pub(crate) struct Endpoint {
 
 impl Endpoint {
     pub(crate) fn spawn(
+        job: u32,
         node: usize,
         addr: SocketAddr,
         inbox: Sender<Net>,
@@ -799,6 +1093,7 @@ impl Endpoint {
     ) -> Arc<Endpoint> {
         let (tx, rx) = unbounded();
         let ep = Arc::new(Endpoint {
+            job,
             node,
             tx,
             shutdown: AtomicBool::new(false),
@@ -1075,6 +1370,7 @@ fn dial(ep: &Endpoint, addr: SocketAddr) -> Result<(TcpStream, Welcome), String>
         TcpStream::connect_timeout(&addr, Duration::from_secs(1)).map_err(|e| e.to_string())?;
     let _ = stream.set_nodelay(true);
     let hello = encode_hello(&Hello {
+        job: ep.job,
         node: ep.node as u32,
         last_recv_seq: ep.last_recv.load(Ordering::SeqCst),
         codecs: codec_mask_all(),
@@ -1104,6 +1400,21 @@ mod tests {
             .ok()
     }
 
+    fn test_welcome(total: usize) -> WelcomeCfg {
+        WelcomeCfg {
+            ranks: 1,
+            tasks_per_rank: 1,
+            spares: 0,
+            total: total as u32,
+            detection: DetectionMethod::ChunkedChecksum,
+            chunk_size: 1024,
+            heartbeat_period_ns: 1_000_000_000,
+            heartbeat_timeout_ns: 10_000_000_000,
+            delta_checkpoints: false,
+            delta_anchor_interval: 16,
+        }
+    }
+
     /// The acceptance criterion for the reactor design: driver-side
     /// transport threads stay O(1) no matter how many links attach. 300
     /// raw clients handshake against one router; the process thread
@@ -1113,29 +1424,18 @@ mod tests {
         const LINKS: usize = 300;
         let before = thread_count();
         let (event_tx, _event_rx) = unbounded();
-        let rec = Recorder::disabled();
-        let wc = WelcomeCfg {
-            ranks: 1,
-            tasks_per_rank: 1,
-            spares: 0,
-            total: LINKS as u32,
-            detection: DetectionMethod::ChunkedChecksum,
-            chunk_size: 1024,
-            heartbeat_period_ns: 1_000_000_000,
-            heartbeat_timeout_ns: 10_000_000_000,
-            delta_checkpoints: false,
-            delta_anchor_interval: 16,
-        };
-        let router = Router::spawn(
-            None,
-            LINKS,
-            event_tx,
-            rec,
-            wc,
-            Duration::from_secs(600),
-            WireCodec::Lz,
-        )
-        .expect("router binds");
+        let router = Router::spawn(None).expect("router binds");
+        router
+            .register_job(
+                0,
+                LINKS,
+                event_tx,
+                Recorder::disabled(),
+                test_welcome(LINKS),
+                Duration::from_secs(600),
+                WireCodec::Lz,
+            )
+            .expect("register job");
         let addr = router.local_addr();
         let mut clients = Vec::with_capacity(LINKS);
         for node in 0..LINKS {
@@ -1148,6 +1448,7 @@ mod tests {
                 }
             };
             s.write_all(&encode_hello(&Hello {
+                job: 0,
                 node: node as u32,
                 last_recv_seq: 0,
                 codecs: codec_mask_all(),
@@ -1156,7 +1457,7 @@ mod tests {
             clients.push(s);
         }
         router
-            .wait_all_connected(Duration::from_secs(30))
+            .wait_all_connected(0, Duration::from_secs(30))
             .expect("all links handshake");
         if let (Some(b), Some(d)) = (before, thread_count()) {
             assert!(
@@ -1164,6 +1465,98 @@ mod tests {
                 "driver transport is not O(1) threads: {b} -> {d} for {LINKS} links"
             );
         }
+        router.shutdown();
+    }
+
+    /// Job namespaces on one reactor: the same node index handshaken
+    /// under two different job ids lands on two different links, frames
+    /// route within their own job, a hello for an unregistered job id is
+    /// refused, and deregistering one job leaves the other attached.
+    #[test]
+    fn reactor_isolates_job_link_namespaces() {
+        let (tx_a, rx_a) = unbounded();
+        let (tx_b, rx_b) = unbounded();
+        let router = Router::spawn(None).expect("router binds");
+        for (job, tx) in [(1u32, tx_a), (2u32, tx_b)] {
+            router
+                .register_job(
+                    job,
+                    2,
+                    tx,
+                    Recorder::disabled(),
+                    test_welcome(2),
+                    Duration::from_secs(600),
+                    WireCodec::None,
+                )
+                .expect("register job");
+        }
+        let addr = router.local_addr();
+        let dial = |job: u32, node: u32| {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&encode_hello(&Hello {
+                job,
+                node,
+                last_recv_seq: 0,
+                codecs: codec_mask_all(),
+            }))
+            .expect("hello");
+            let mut w = [0u8; WELCOME_LEN];
+            s.read_exact(&mut w).expect("welcome");
+            decode_welcome(&w).expect("welcome decodes");
+            s
+        };
+        let mut a0 = dial(1, 0);
+        let _a1 = dial(1, 1);
+        let mut b0 = dial(2, 0);
+        let _b1 = dial(2, 1);
+        router
+            .wait_all_connected(1, Duration::from_secs(10))
+            .expect("job 1 links");
+        router
+            .wait_all_connected(2, Duration::from_secs(10))
+            .expect("job 2 links");
+        assert_eq!(router.connected_links(), 4);
+
+        // A hello for a job nobody registered is dropped: the socket is
+        // closed without a welcome.
+        let mut ghost = TcpStream::connect(addr).expect("connect");
+        ghost
+            .write_all(&encode_hello(&Hello {
+                job: 99,
+                node: 0,
+                last_recv_seq: 0,
+                codecs: codec_mask_all(),
+            }))
+            .expect("hello");
+        let _ = ghost.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut one = [0u8; 1];
+        assert_eq!(
+            ghost.read(&mut one).unwrap_or(0),
+            0,
+            "unregistered job id must be refused"
+        );
+
+        // Driver-bound events route to their own job's channel.
+        let ping = crate::wire::encode_event(&Event::Pong { node: 0, token: 7 });
+        a0.write_all(&crate::wire::encode_frame(DRIVER_DEST, 1, &ping))
+            .expect("frame");
+        let got = rx_a
+            .recv_timeout(Duration::from_secs(10))
+            .expect("job 1 event arrives");
+        assert!(matches!(got, Event::Pong { node: 0, token: 7 }));
+        assert!(
+            rx_b.try_recv().is_err(),
+            "job 2 must not observe job 1 traffic"
+        );
+
+        // Node-bound frames route within the sender's job namespace:
+        // job 2's node 0 sending to node 1 reaches job 2's node 1 only.
+        let body = encode_net(&Net::Ctrl(crate::message::Ctrl::Resume { floor: 0 }));
+        b0.write_all(&crate::wire::encode_frame(1, 1, &body))
+            .expect("frame");
+
+        router.deregister_job(1);
+        assert_eq!(router.connected_links(), 2, "job 2 links survive");
         router.shutdown();
     }
 }

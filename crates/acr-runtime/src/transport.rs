@@ -92,12 +92,13 @@ impl Port for TcpNodePort {
 /// (the driver never talks to itself over the wire).
 struct TcpDriverPort {
     router: Arc<Router>,
+    job: u32,
     events: Sender<Event>,
 }
 
 impl Port for TcpDriverPort {
     fn send(&self, to: NodeIndex, msg: Net) {
-        self.router.send_net(to, &msg);
+        self.router.send_net(self.job, to, &msg);
     }
 
     fn send_event(&self, ev: Event) {
@@ -117,12 +118,53 @@ pub enum TransportKind {
     Tcp(TcpConfig),
 }
 
+/// A handle onto a driver service's shared reactor, carried inside
+/// [`TcpConfig::shared`]: the job it names rides the service's one
+/// reactor thread (inside its own link namespace, keyed by the HELLO's
+/// job id) instead of spawning a private router. Constructed by the
+/// multi-job driver service; single-job drivers never need one.
+#[derive(Clone)]
+pub struct SharedReactor {
+    router: Arc<Router>,
+    job: u32,
+}
+
+impl SharedReactor {
+    pub(crate) fn new(router: Arc<Router>, job: u32) -> SharedReactor {
+        SharedReactor { router, job }
+    }
+
+    /// The job id this handle registers links under.
+    pub fn job(&self) -> u32 {
+        self.job
+    }
+
+    /// The address the shared reactor is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.router.local_addr()
+    }
+}
+
+impl fmt::Debug for SharedReactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedReactor")
+            .field("job", &self.job)
+            .field("addr", &self.router.local_addr())
+            .finish()
+    }
+}
+
 /// Tuning for the TCP backend.
 #[derive(Debug, Clone)]
 pub struct TcpConfig {
     /// Listen address for the driver's router; `None` binds an ephemeral
     /// localhost port (the in-process-workers case). Multi-process jobs
-    /// pass an explicit address that node hosts dial.
+    /// pass an explicit address that node hosts on other machines dial —
+    /// bind `0.0.0.0:<port>` (or a specific interface) to accept
+    /// non-local connections, then point each host's
+    /// [`run_node_host`] at the driver machine's routable address.
+    /// Ignored when [`shared`](TcpConfig::shared) is set (the service
+    /// already bound its reactor).
     pub addr: Option<SocketAddr>,
     /// First reconnect backoff delay after a failed dial.
     pub reconnect_initial: Duration,
@@ -147,6 +189,12 @@ pub struct TcpConfig {
     /// Optional hook tests use to sever or quarantine live links
     /// mid-run (socket-kill coverage). `None` in production.
     pub control: Option<TransportControl>,
+    /// Ride an existing shared reactor (multi-job driver service) instead
+    /// of spawning a private router: the job registers its link namespace
+    /// under the handle's job id and deregisters at teardown, leaving the
+    /// reactor — and every other job on it — running. `None` (the
+    /// default) spawns a private single-job router exactly as before.
+    pub shared: Option<SharedReactor>,
 }
 
 impl Default for TcpConfig {
@@ -160,6 +208,7 @@ impl Default for TcpConfig {
             remote_nodes: false,
             codec: WireCodec::default(),
             control: None,
+            shared: None,
         }
     }
 }
@@ -171,8 +220,11 @@ impl Default for TcpConfig {
 /// probe declares it dead) from the test thread.
 #[derive(Clone, Default)]
 pub struct TransportControl {
-    router: Arc<Mutex<Option<Weak<Router>>>>,
+    router: Arc<Mutex<Option<AttachedFabric>>>,
 }
+
+/// What a control is attached to: the reactor plus the job id it routes.
+type AttachedFabric = (Weak<Router>, u32);
 
 impl TransportControl {
     /// New, unattached control (attaches when the job builds its fabric).
@@ -180,25 +232,27 @@ impl TransportControl {
         Self::default()
     }
 
-    fn with_router<T>(&self, f: impl FnOnce(&Router) -> T) -> Option<T> {
-        let weak = self.router.lock().clone()?;
-        weak.upgrade().map(|r| f(&r))
+    fn with_router<T>(&self, f: impl FnOnce(&Router, u32) -> T) -> Option<T> {
+        let (weak, job) = self.router.lock().clone()?;
+        weak.upgrade().map(|r| f(&r, job))
     }
 
     /// Kill `node`'s current socket (both directions). Returns `false`
     /// if the fabric is gone or the link was already detached.
     pub fn sever(&self, node: NodeIndex) -> bool {
-        self.with_router(|r| r.sever(node)).unwrap_or(false)
+        self.with_router(|r, job| r.sever(job, node))
+            .unwrap_or(false)
     }
 
     /// Kill `node`'s socket *and* refuse its reconnect attempts, making
     /// the node permanently unreachable (transport-level death).
     pub fn quarantine(&self, node: NodeIndex) -> bool {
-        self.with_router(|r| r.quarantine(node)).unwrap_or(false)
+        self.with_router(|r, job| r.quarantine(job, node))
+            .unwrap_or(false)
     }
 
-    pub(crate) fn attach(&self, router: &Arc<Router>) {
-        *self.router.lock() = Some(Arc::downgrade(router));
+    pub(crate) fn attach(&self, router: &Arc<Router>, job: u32) {
+        *self.router.lock() = Some((Arc::downgrade(router), job));
     }
 }
 
@@ -227,6 +281,13 @@ pub(crate) enum FabricHandle {
     InProcess,
     Tcp {
         router: Arc<Router>,
+        /// The job's id in the router's link namespace (0 for a private
+        /// single-job router).
+        job: u32,
+        /// Whether this job owns the router. An owned router is shut down
+        /// at teardown; a shared (service) reactor only has this job
+        /// deregistered and keeps serving its other jobs.
+        owned: bool,
         endpoints: Vec<Arc<Endpoint>>,
         connect_timeout: Duration,
     },
@@ -240,23 +301,33 @@ impl FabricHandle {
             FabricHandle::InProcess => Ok(()),
             FabricHandle::Tcp {
                 router,
+                job,
                 connect_timeout,
                 ..
-            } => router.wait_all_connected(*connect_timeout),
+            } => router.wait_all_connected(*job, *connect_timeout),
         }
     }
 
     /// Tear the fabric down: endpoints first (so workers wedged on a
-    /// dead inbox see `Disconnected` and exit), then the router.
+    /// dead inbox see `Disconnected` and exit), then the router — shut
+    /// down when owned, this job deregistered when shared.
     pub fn teardown(&self) {
         if let FabricHandle::Tcp {
-            router, endpoints, ..
+            router,
+            job,
+            owned,
+            endpoints,
+            ..
         } = self
         {
             for ep in endpoints {
                 ep.shutdown();
             }
-            router.shutdown();
+            if *owned {
+                router.shutdown();
+            } else {
+                router.deregister_job(*job);
+            }
         }
     }
 }
@@ -293,18 +364,30 @@ pub(crate) fn build_fabric(
         }
         TransportKind::Tcp(tcp) => {
             let welcome = welcome_cfg(cfg, total);
-            let router = Router::spawn(
-                tcp.addr,
-                total,
-                event_tx.clone(),
-                Arc::clone(rec),
-                welcome,
-                tcp.stale_after,
-                tcp.codec,
-            )
-            .unwrap_or_else(|e| panic!("tcp transport: cannot bind router: {e}"));
+            // Private router (job id 0) unless the driver service handed
+            // this job a shared reactor to ride.
+            let (router, job, owned) = match &tcp.shared {
+                Some(shared) => (Arc::clone(&shared.router), shared.job, false),
+                None => (
+                    Router::spawn(tcp.addr)
+                        .unwrap_or_else(|e| panic!("tcp transport: cannot bind router: {e}")),
+                    0,
+                    true,
+                ),
+            };
+            router
+                .register_job(
+                    job,
+                    total,
+                    event_tx.clone(),
+                    Arc::clone(rec),
+                    welcome,
+                    tcp.stale_after,
+                    tcp.codec,
+                )
+                .unwrap_or_else(|e| panic!("tcp transport: cannot register job {job}: {e}"));
             if let Some(control) = &tcp.control {
-                control.attach(&router);
+                control.attach(&router, job);
             }
             let mut node_ports: Vec<Arc<dyn Port>> = Vec::new();
             let mut inboxes = Vec::new();
@@ -313,8 +396,9 @@ pub(crate) fn build_fabric(
                 for node in 0..total {
                     let (tx, rx) = unbounded::<Net>();
                     let ep = Endpoint::spawn(
+                        job,
                         node,
-                        router.local_addr(),
+                        router.dial_addr(),
                         tx,
                         Arc::clone(rec),
                         tcp.reconnect_initial,
@@ -329,6 +413,7 @@ pub(crate) fn build_fabric(
             }
             let driver_port: Arc<dyn Port> = Arc::new(TcpDriverPort {
                 router: Arc::clone(&router),
+                job,
                 events: event_tx,
             });
             Fabric {
@@ -337,6 +422,8 @@ pub(crate) fn build_fabric(
                 inboxes,
                 handle: FabricHandle::Tcp {
                     router,
+                    job,
+                    owned,
                     endpoints,
                     connect_timeout: tcp.connect_timeout,
                 },
@@ -376,6 +463,19 @@ pub fn run_node_host(
     nodes: &[NodeIndex],
     factory: impl Fn(usize, usize) -> Box<dyn crate::task::Task> + Send + Sync + 'static,
 ) -> Result<(), String> {
+    run_node_host_for_job(addr, 0, nodes, factory)
+}
+
+/// [`run_node_host`] against a specific job of a multi-job driver
+/// service: the HELLO handshake carries `job`, and the reactor routes
+/// these links into that job's namespace. Standalone drivers register
+/// their single job as id 0, which is what [`run_node_host`] dials.
+pub fn run_node_host_for_job(
+    addr: SocketAddr,
+    job: u32,
+    nodes: &[NodeIndex],
+    factory: impl Fn(usize, usize) -> Box<dyn crate::task::Task> + Send + Sync + 'static,
+) -> Result<(), String> {
     let factory: Arc<TaskFactory> = Arc::new(factory);
     let rec = Recorder::disabled();
     let mut endpoints = Vec::new();
@@ -383,6 +483,7 @@ pub fn run_node_host(
     for &node in nodes {
         let (tx, rx) = unbounded::<Net>();
         let ep = Endpoint::spawn(
+            job,
             node,
             addr,
             tx,

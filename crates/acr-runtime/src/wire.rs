@@ -67,8 +67,9 @@ pub const WELCOME_MAGIC: u32 = u32::from_le_bytes(*b"ACRW");
 /// Wire protocol version carried by the handshake. Version 2 added
 /// super-frames and the codec negotiation byte in hello/welcome; version 3
 /// added the delta detection record and the welcome's delta-checkpoint
-/// knobs.
-pub const WIRE_VERSION: u32 = 3;
+/// knobs; version 4 added the hello's job id, which a multi-job reactor
+/// uses to route the link into its job's namespace.
+pub const WIRE_VERSION: u32 = 4;
 /// `to` value addressing the driver rather than a node.
 pub const DRIVER_DEST: u32 = u32::MAX;
 /// Upper bound on a frame body; anything larger is a corrupt length field.
@@ -82,8 +83,11 @@ pub const FRAME_TRAILER: usize = 8;
 pub const SUPER_HEADER: usize = 4 + 4 + 2 + 1 + 4;
 /// Per-sub-frame overhead inside a super-frame payload (to + seq + len).
 pub const SUPER_RECORD_HEADER: usize = 4 + 8 + 4;
-/// Encoded hello length (fixed): magic + version + node + last_recv + codecs.
-pub const HELLO_LEN: usize = 4 + 4 + 4 + 8 + 1;
+/// Encoded hello length (fixed): magic, version, job, node, last_recv,
+/// codecs. The job id (added in wire version 4) scopes the link: node
+/// indices are per-job namespaces, so a service reactor hosting several
+/// jobs routes a frame's `to` within the job its link handshook into.
+pub const HELLO_LEN: usize = 4 + 4 + 4 + 4 + 8 + 1;
 /// Encoded welcome length (fixed); the final byte is the chosen codec tag.
 /// The `+ 1 + 4` pair is the delta-checkpoint enable flag and anchor
 /// interval added in wire version 3.
@@ -768,12 +772,13 @@ impl FrameDecoder {
 // Handshake
 // ---------------------------------------------------------------------------
 
-/// Client hello: the connecting node's identity, the highest frame
-/// sequence it has received from the router (so the router can replay the
-/// tail a dropped socket swallowed), and the bitmask of [`WireCodec`]s it
-/// can decode.
+/// Client hello: which job the link belongs to, the connecting node's
+/// identity within that job, the highest frame sequence it has received
+/// from the router (so the router can replay the tail a dropped socket
+/// swallowed), and the bitmask of [`WireCodec`]s it can decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Hello {
+    pub job: u32,
     pub node: u32,
     pub last_recv_seq: u64,
     pub codecs: u8,
@@ -783,6 +788,7 @@ pub(crate) fn encode_hello(h: &Hello) -> Vec<u8> {
     let mut buf = Vec::with_capacity(HELLO_LEN);
     put_u32(&mut buf, HELLO_MAGIC);
     put_u32(&mut buf, WIRE_VERSION);
+    put_u32(&mut buf, h.job);
     put_u32(&mut buf, h.node);
     put_u64(&mut buf, h.last_recv_seq);
     put_u8(&mut buf, h.codecs);
@@ -801,6 +807,7 @@ pub(crate) fn decode_hello(buf: &[u8]) -> Result<Hello, WireError> {
         return Err(WireError::BadVersion(version));
     }
     let h = Hello {
+        job: r.u32()?,
         node: r.u32()?,
         last_recv_seq: r.u64()?,
         codecs: r.u8()?,
@@ -1929,6 +1936,7 @@ mod tests {
     #[test]
     fn hello_and_welcome_round_trip() {
         let h = Hello {
+            job: 7,
             node: 5,
             last_recv_seq: 123,
             codecs: codec_mask_all(),

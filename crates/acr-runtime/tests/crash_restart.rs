@@ -424,3 +424,74 @@ fn driver_kill_campaign_sweep_survives_restart() {
         "no scenario ever killed the driver; the sweep proved nothing"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Multi-job store isolation (service layout)
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Service-layout isolation: `Job::resume` on job A is **byte-
+    /// identical** — journal bytes and full outcome tuple — whether or
+    /// not job B's store sits beside it under the same `jobs/` root. The
+    /// kill lands mid-interval (`60·round + offset` ms, clear of round
+    /// boundaries) so at least one epoch is always committed, and the
+    /// sibling job is itself either completed or killed.
+    #[test]
+    fn resume_is_byte_identical_beside_sibling_job_store(
+        round in 1u64..3,
+        offset_ms in 15u64..50,
+        sibling_killed in any::<bool>(),
+    ) {
+        let kill_at = (round * 60 + offset_ms) as f64 / 1000.0;
+        let tag = format!("iso_{round}_{offset_ms}_{sibling_killed}");
+
+        // Root 1: job A alone.
+        let solo_root = tmp(&format!("{tag}_solo"));
+        let a_solo = acr_store::job_store_dir(&solo_root, 1, "job-a");
+        let killed = run_persisted(Scheme::Strong, &kill_script(kill_at), &a_solo);
+        assert_killed(&killed);
+        let resumed_solo = Job::resume(&a_solo).run(factory);
+        prop_assert!(
+            resumed_solo.completed,
+            "solo resume failed: {:?}",
+            resumed_solo.error
+        );
+
+        // Root 2: job B's store is written first, then job A runs and
+        // resumes beside it.
+        let shared_root = tmp(&format!("{tag}_shared"));
+        let b_dir = acr_store::job_store_dir(&shared_root, 2, "job-b");
+        let b_script = if sibling_killed {
+            kill_script(0.100)
+        } else {
+            FaultScript::new()
+        };
+        let _sibling = run_persisted(Scheme::Strong, &b_script, &b_dir);
+        let a_shared = acr_store::job_store_dir(&shared_root, 1, "job-a");
+        let killed2 = run_persisted(Scheme::Strong, &kill_script(kill_at), &a_shared);
+        assert_killed(&killed2);
+        let resumed_shared = Job::resume(&a_shared).run(factory);
+        prop_assert!(
+            resumed_shared.completed,
+            "shared resume failed: {:?}",
+            resumed_shared.error
+        );
+
+        prop_assert_eq!(
+            outcome_tuple(&resumed_shared),
+            outcome_tuple(&resumed_solo),
+            "sibling store changed job A's resumed outcome"
+        );
+        prop_assert_eq!(
+            std::fs::read(a_solo.join("events.log")).unwrap(),
+            std::fs::read(a_shared.join("events.log")).unwrap(),
+            "sibling store changed job A's journal bytes"
+        );
+        let _ = std::fs::remove_dir_all(&solo_root);
+        let _ = std::fs::remove_dir_all(&shared_root);
+    }
+}

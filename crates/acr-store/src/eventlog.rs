@@ -252,8 +252,21 @@ impl LogTailer {
         LogTailer::from_seq(path, 0)
     }
 
-    /// Tail `path`, suppressing the first `from_seq` valid records. The
-    /// file need not exist yet; polls return empty until it does.
+    /// Tail `path`, returning only records strictly *after* `last_seen`
+    /// (0-based record index): the boundary record `last_seen` itself is
+    /// suppressed, matching the driver endpoint's `/events?since=`
+    /// exclusive semantics. A poller that has folded the record with
+    /// index `n` resumes with `since(path, n)`.
+    pub fn since(path: impl AsRef<Path>, last_seen: u64) -> LogTailer {
+        LogTailer::from_seq(path, last_seen.saturating_add(1))
+    }
+
+    /// Tail `path`, suppressing the first `from_seq` valid records — a
+    /// *count*, so the first record returned is the one with 0-based
+    /// index `from_seq`. Equivalently, this is the **exclusive**
+    /// `since = from_seq - 1` boundary of [`LogTailer::since`]; a poller
+    /// that already folded `n` records attaches with `from_seq = n`.
+    /// The file need not exist yet; polls return empty until it does.
     pub fn from_seq(path: impl AsRef<Path>, from_seq: u64) -> LogTailer {
         LogTailer {
             path: path.as_ref().to_path_buf(),
@@ -451,6 +464,29 @@ mod tests {
         log.append(b"e").unwrap();
         assert_eq!(tail.poll().unwrap(), vec![b"e".to_vec()]);
         assert_eq!(tail.records_seen(), 5);
+    }
+
+    /// Regression: `since` is exclusive at the exact boundary — the
+    /// record whose index equals the argument is suppressed, not
+    /// replayed (the historical divergence between the store tail and
+    /// the driver's `/events?since=` endpoint).
+    #[test]
+    fn tailer_since_is_exclusive_at_boundary() {
+        let path = tmp("tailer-since-boundary.log");
+        let mut log = EventLog::create(&path).unwrap();
+        for p in [b"r0".as_ref(), b"r1", b"r2", b"r3"] {
+            log.append(p).unwrap();
+        }
+        // Saw record 2 → get strictly newer records only.
+        let mut tail = LogTailer::since(&path, 2);
+        assert_eq!(tail.poll().unwrap(), vec![b"r3".to_vec()]);
+        // Boundary == last record → nothing to replay.
+        let mut tail = LogTailer::since(&path, 3);
+        assert_eq!(tail.poll().unwrap(), Vec::<Vec<u8>>::new());
+        // since(n) ≡ from_seq(n + 1).
+        let mut a = LogTailer::since(&path, 0);
+        let mut b = LogTailer::from_seq(&path, 1);
+        assert_eq!(a.poll().unwrap(), b.poll().unwrap());
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Multi-job store layout: where a driver *service* puts each job's
+//! durable state.
+//!
+//! A single-job driver owns its whole `persist_dir`. A driver service
+//! runs many jobs against one `store_root`, so each admitted job gets an
+//! isolated subdirectory:
+//!
+//! ```text
+//! <store_root>/jobs/<id:04>-<name>/     one per admitted job
+//!     events.log                        the job's own journal
+//!     ckpt_a/ ckpt_b/                   the job's own checkpoint slots
+//! ```
+//!
+//! The directory name is `<zero-padded id>-<sanitized name>`: the numeric
+//! prefix keeps listings in admission order and guarantees uniqueness
+//! even when two jobs share a display name; sanitization
+//! ([`sanitize_job_name`]) keeps operator-chosen names from escaping the
+//! layout (path separators, `..`) or fighting the filesystem.
+//!
+//! Nothing in the per-job directory knows it has siblings — it is a
+//! byte-for-byte ordinary `persist_dir`, so `Job::resume`, `StoreView`,
+//! and `acr-top --store` all work on it unchanged. That property is load
+//! bearing (resume of job A must not care whether job B's store sits
+//! beside it) and is pinned by proptests in the runtime crate.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Subdirectory of the service root that holds the per-job stores.
+pub const JOBS_DIR: &str = "jobs";
+
+/// Maximum sanitized-name length kept in a job directory name.
+const MAX_NAME_LEN: usize = 48;
+
+/// One per-job store found under a service root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStoreEntry {
+    /// The service-assigned job id (directory-name prefix).
+    pub id: u32,
+    /// The sanitized job name (directory-name suffix).
+    pub name: String,
+    /// Absolute (well, root-relative) path of the job's store directory.
+    pub dir: PathBuf,
+}
+
+/// Reduce an operator-chosen job name to a filesystem-safe slug:
+/// `[A-Za-z0-9._-]` pass through, every other byte becomes `_`, the
+/// result is truncated to 48 characters, and an empty or dot-leading
+/// result falls back to `job` (so `.` / `..` / `.hidden` cannot appear).
+pub fn sanitize_job_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len().min(MAX_NAME_LEN));
+    for c in name.chars().take(MAX_NAME_LEN) {
+        match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' | '.' | '_' | '-' => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() || out.starts_with('.') {
+        format!("job{out}")
+    } else {
+        out
+    }
+}
+
+/// The store directory for job `id` named `name` under `root`:
+/// `<root>/jobs/<id:04>-<sanitized name>`. Purely computational — nothing
+/// is created.
+pub fn job_store_dir(root: impl AsRef<Path>, id: u32, name: &str) -> PathBuf {
+    root.as_ref()
+        .join(JOBS_DIR)
+        .join(format!("{id:04}-{}", sanitize_job_name(name)))
+}
+
+/// Enumerate the per-job stores under `root`, sorted by job id.
+///
+/// Directories that do not match the `<digits>-<name>` shape are ignored
+/// (they are not ours); a missing `jobs/` directory is an empty service,
+/// not an error.
+pub fn list_job_stores(root: impl AsRef<Path>) -> io::Result<Vec<JobStoreEntry>> {
+    let jobs = root.as_ref().join(JOBS_DIR);
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(&jobs) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let file_name = entry.file_name();
+        let Some(dir_name) = file_name.to_str() else {
+            continue;
+        };
+        let Some((id_part, name_part)) = dir_name.split_once('-') else {
+            continue;
+        };
+        let Ok(id) = id_part.parse::<u32>() else {
+            continue;
+        };
+        out.push(JobStoreEntry {
+            id,
+            name: name_part.to_string(),
+            dir: entry.path(),
+        });
+    }
+    out.sort_by(|a, b| a.id.cmp(&b.id).then_with(|| a.name.cmp(&b.name)));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_passes_safe_names_and_mangles_the_rest() {
+        assert_eq!(sanitize_job_name("jacobi-2d_v1.5"), "jacobi-2d_v1.5");
+        assert_eq!(sanitize_job_name("a/b\\c d"), "a_b_c_d");
+        assert_eq!(sanitize_job_name(""), "job");
+        assert_eq!(sanitize_job_name(".."), "job..");
+        assert_eq!(sanitize_job_name("../../etc"), "job.._.._etc");
+        let long = "x".repeat(200);
+        assert_eq!(sanitize_job_name(&long).len(), MAX_NAME_LEN);
+    }
+
+    #[test]
+    fn layout_round_trips_through_listing() {
+        let root = std::env::temp_dir().join(format!("acr-jobs-layout-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        for (id, name) in [(0u32, "alpha"), (2, "beta job"), (10, "gamma")] {
+            std::fs::create_dir_all(job_store_dir(&root, id, name)).unwrap();
+        }
+        // Noise the listing must ignore: a stray file and a non-conforming
+        // directory.
+        std::fs::write(root.join(JOBS_DIR).join("README"), b"hi").unwrap();
+        std::fs::create_dir_all(root.join(JOBS_DIR).join("not-a-job-dir")).unwrap();
+        let listed = list_job_stores(&root).unwrap();
+        let ids: Vec<u32> = listed.iter().map(|e| e.id).collect();
+        let names: Vec<&str> = listed.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(ids, vec![0, 2, 10]);
+        assert_eq!(names, vec!["alpha", "beta_job", "gamma"]);
+        assert_eq!(listed[1].dir, root.join(JOBS_DIR).join("0002-beta_job"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_root_lists_empty() {
+        let root = std::env::temp_dir().join("acr-jobs-layout-definitely-missing");
+        assert_eq!(list_job_stores(root).unwrap(), Vec::new());
+    }
+}

@@ -133,6 +133,62 @@ proptest! {
         }
     }
 
+    /// Multi-job service layout: interleaved appends from two jobs
+    /// sharing one store root land in disjoint journals. Each job's
+    /// journal scans back to exactly its own records, in order, and is
+    /// **byte-identical** to the journal the same appends produce with no
+    /// sibling job at all — the store layer cannot cross-contaminate.
+    #[test]
+    fn interleaved_job_appends_never_cross_contaminate(
+        a_records in payloads(),
+        b_records in payloads(),
+        schedule in pvec(any::<bool>(), 1..24),
+    ) {
+        let root = tmp();
+        let dir_a = acr_store::job_store_dir(&root, 1, "job-a");
+        let dir_b = acr_store::job_store_dir(&root, 2, "job-b");
+        std::fs::create_dir_all(&dir_a).unwrap();
+        std::fs::create_dir_all(&dir_b).unwrap();
+        let mut log_a = EventLog::create(dir_a.join("events.log")).unwrap();
+        let mut log_b = EventLog::create(dir_b.join("events.log")).unwrap();
+
+        // Drive the appends through the generated interleaving; whatever
+        // the schedule leaves over is flushed afterwards so every record
+        // always lands.
+        let (mut ia, mut ib) = (0usize, 0usize);
+        for pick_a in &schedule {
+            if *pick_a && ia < a_records.len() {
+                log_a.append(&a_records[ia]).unwrap();
+                ia += 1;
+            } else if ib < b_records.len() {
+                log_b.append(&b_records[ib]).unwrap();
+                ib += 1;
+            }
+        }
+        for r in &a_records[ia..] {
+            log_a.append(r).unwrap();
+        }
+        for r in &b_records[ib..] {
+            log_b.append(r).unwrap();
+        }
+        drop(log_a);
+        drop(log_b);
+
+        let bytes_a = std::fs::read(dir_a.join("events.log")).unwrap();
+        let bytes_b = std::fs::read(dir_b.join("events.log")).unwrap();
+        prop_assert_eq!(&scan_bytes(&bytes_a).records, &a_records);
+        prop_assert_eq!(&scan_bytes(&bytes_b).records, &b_records);
+        // Solo-run journals for the same records, byte for byte.
+        prop_assert_eq!(bytes_a, log_bytes(&a_records));
+        prop_assert_eq!(bytes_b, log_bytes(&b_records));
+
+        let listed = acr_store::list_job_stores(&root).unwrap();
+        prop_assert_eq!(listed.len(), 2);
+        prop_assert_eq!((listed[0].id, listed[0].name.as_str()), (1, "job-a"));
+        prop_assert_eq!((listed[1].id, listed[1].name.as_str()), (2, "job-b"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
     /// Slot write → read is the identity.
     #[test]
     fn slot_round_trips_exactly(data in slot_data(), slot in 0u8..2) {

@@ -8,6 +8,9 @@
 //! cargo run --release --example fault_campaign -- --seeds 8
 //! cargo run --release --example fault_campaign -- --repro-dir target/repros
 //! cargo run --release --example fault_campaign -- --transport tcp    # soak over real sockets
+//! cargo run --release --example fault_campaign -- --service          # differential: every case also
+//!                                                                    # runs via the 2-slot driver service
+//!                                                                    # and must match its solo run bit-for-bit
 //! cargo run --release --example fault_campaign -- --delta            # incremental delta checkpoints on
 //! cargo run --release --example fault_campaign -- --driver-kill --persist-dir target/stores
 //!                                                                    # scripted driver kills + resume-from-disk
@@ -22,8 +25,8 @@ use std::time::Duration;
 
 use acr::fault::FaultScript;
 use acr::runtime::campaign::{
-    detection_name, parse_detection, parse_scheme, resume_case, run_campaign, run_script_case,
-    scheme_name, CampaignConfig, CaseOutcome,
+    detection_name, parse_detection, parse_scheme, resume_case, run_campaign,
+    run_campaign_via_service, run_script_case, scheme_name, CampaignConfig, CaseOutcome,
 };
 use acr::runtime::{TcpConfig, TransportKind};
 
@@ -36,6 +39,7 @@ fn main() -> ExitCode {
     let mut transport = TransportKind::InProcess;
     let mut delta = false;
     let mut driver_kill = false;
+    let mut service = false;
     let mut persist_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
@@ -87,6 +91,7 @@ fn main() -> ExitCode {
                 ));
             }
             "--driver-kill" => driver_kill = true,
+            "--service" => service = true,
             "--persist-dir" => {
                 i += 1;
                 persist_dir = Some(PathBuf::from(
@@ -100,7 +105,7 @@ fn main() -> ExitCode {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
                     "usage: fault_campaign [--seeds N] [--repro-dir DIR] \
-                     [--transport tcp|in-process] [--delta] \
+                     [--transport tcp|in-process] [--delta] [--service] \
                      [--driver-kill --persist-dir DIR] [--resume STORE] [--replay FILE]"
                 );
                 return ExitCode::from(2);
@@ -122,6 +127,14 @@ fn main() -> ExitCode {
     }
     if driver_kill && !matches!(transport, TransportKind::InProcess) {
         eprintln!("--driver-kill requires the in-process (virtual time) transport");
+        return ExitCode::from(2);
+    }
+    if service && !matches!(transport, TransportKind::InProcess) {
+        eprintln!("--service requires the in-process (virtual time) transport");
+        return ExitCode::from(2);
+    }
+    if service && driver_kill {
+        eprintln!("--service cannot run driver-kill scenarios (resume is per-job)");
         return ExitCode::from(2);
     }
 
@@ -150,6 +163,8 @@ fn main() -> ExitCode {
         },
         if cfg.driver_kill {
             ", scripted driver kills + resume"
+        } else if service {
+            ", via 2-slot driver service (solo differential)"
         } else {
             ""
         },
@@ -160,7 +175,17 @@ fn main() -> ExitCode {
         }
     );
 
-    let report = run_campaign(&cfg);
+    let report = if service {
+        match run_campaign_via_service(&cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("service sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        run_campaign(&cfg)
+    };
     let (clean, detected, escapes, violations) = report.tally();
     println!("  clean runs        : {clean}");
     println!("  SDC detected      : {detected}");

@@ -428,7 +428,8 @@ fn live_tcp_run_serves_lint_clean_metrics_and_deterministic_status() {
 
     let (code, metrics) = http_get(addr, "/metrics");
     let (status_code, status) = http_get(addr, "/status");
-    let (events_code, events) = http_get(addr, "/events?since=0");
+    // No since= parameter: the full buffer, seq 0 (job_start) included.
+    let (events_code, events) = http_get(addr, "/events");
     let (miss_code, _) = http_get(addr, "/definitely-not-a-route");
     // Unblock the job before asserting so a failure cannot deadlock it.
     release.store(true, Ordering::Relaxed);
@@ -475,13 +476,37 @@ fn live_tcp_run_serves_lint_clean_metrics_and_deterministic_status() {
     let client_model = StatusModel::fold(parsed.iter());
     assert!(client_model.to_json().contains("\"scheme\":\"strong\""));
 
-    // Incremental tailing: a since= poll returns only newer events.
+    // Incremental tailing: `since` is EXCLUSIVE — the poller names the
+    // last seq it has seen and the boundary event must not be replayed
+    // (regression: this used to be `seq >= since` here but exclusive in
+    // the store tailer).
     let last = parsed.last().unwrap().seq;
-    let (_, tail) = http_get(addr, &format!("/events?since={}", last + 1));
+    let (_, tail) = http_get(addr, &format!("/events?since={last}"));
     for line in tail.lines().filter(|l| !l.trim().is_empty()) {
         let ev = RecordedEvent::from_json(line).expect("tail line parses");
-        assert!(ev.seq > last, "since= must filter already-seen events");
+        assert!(
+            ev.seq > last,
+            "since= must be exclusive of the boundary seq {last}, got {}",
+            ev.seq
+        );
     }
+    // Boundary check against the full buffer: polling since= the very
+    // first event's seq must drop exactly that event and keep the rest.
+    let first = parsed.first().unwrap().seq;
+    let (_, all_but_first) = http_get(addr, &format!("/events?since={first}"));
+    let refetched: Vec<u64> = all_but_first
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| RecordedEvent::from_json(l).expect("line parses").seq)
+        .collect();
+    assert!(
+        !refetched.contains(&first),
+        "boundary event {first} replayed by since={first}"
+    );
+    assert!(
+        refetched.contains(&parsed[1].seq),
+        "since={first} must keep events after the boundary"
+    );
 
     assert_eq!(miss_code, 404);
 

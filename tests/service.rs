@@ -1,0 +1,353 @@
+//! Driver-service integration tests: admission control over a shared
+//! spare pool, per-job store placement under one root, bit-identity of
+//! service-run jobs against their solo runs, and two TCP jobs sharing
+//! one reactor thread.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use acr::pup::{Pup, PupResult, Puper};
+use acr::runtime::soak::thread_count;
+use acr::runtime::{
+    AdmitError, AppMsg, DetectionMethod, DriverService, ExecMode, Job, JobConfig, JobReport,
+    Scheme, ServiceConfig, Task, TaskCtx, TaskId, TcpConfig, TransportKind,
+};
+use bytes::Bytes;
+
+/// TCP jobs spawn real node threads; running several tests' worth at once
+/// oversubscribes CI runners into heartbeat false positives. Serialize the
+/// wall-clock tests (virtual-time tests don't need the lock).
+static JOB_SERIAL: Mutex<()> = Mutex::new(());
+
+/// The usual communicating token ring with float dynamics: final state is
+/// a pure function of the iteration count, so any two completed runs of
+/// the same shape are bit-comparable.
+struct Ring {
+    rank: usize,
+    iter: u64,
+    tokens: u64,
+    acc: Vec<f64>,
+    total_iters: u64,
+}
+
+impl Ring {
+    fn new(rank: usize, total_iters: u64) -> Self {
+        Self {
+            rank,
+            iter: 0,
+            tokens: 0,
+            acc: (0..32).map(|i| (rank * 100 + i) as f64).collect(),
+            total_iters,
+        }
+    }
+}
+
+impl Task for Ring {
+    fn try_step(&mut self, ctx: &mut TaskCtx<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        if self.iter > 0 && self.tokens == 0 {
+            return false;
+        }
+        if self.iter > 0 {
+            self.tokens -= 1;
+        }
+        for (i, x) in self.acc.iter_mut().enumerate() {
+            *x += ((self.iter as f64 + i as f64) * 1e-3).sin();
+        }
+        let next = TaskId {
+            rank: (self.rank + 1) % ctx.ranks(),
+            task: 0,
+        };
+        ctx.send(next, self.iter, vec![]);
+        self.iter += 1;
+        true
+    }
+
+    fn on_message(&mut self, _msg: AppMsg, _ctx: &mut TaskCtx<'_>) {
+        self.tokens += 1;
+    }
+
+    fn progress(&self) -> u64 {
+        self.iter
+    }
+
+    fn done(&self) -> bool {
+        self.iter >= self.total_iters
+    }
+
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_usize(&mut self.rank)?;
+        p.pup_u64(&mut self.iter)?;
+        p.pup_u64(&mut self.tokens)?;
+        self.acc.pup(p)?;
+        p.pup_u64(&mut self.total_iters)
+    }
+}
+
+const ITERS: u64 = 200;
+
+fn ring_factory(rank: usize, _task: usize) -> Box<dyn Task> {
+    Box::new(Ring::new(rank, ITERS)) as Box<dyn Task>
+}
+
+fn virtual_cfg(spares: usize) -> JobConfig {
+    JobConfig::builder()
+        .ranks(2)
+        .tasks_per_rank(1)
+        .spares(spares)
+        .scheme(Scheme::Strong)
+        .detection(DetectionMethod::FullCompare)
+        .checkpoint_interval(Duration::from_millis(60))
+        .heartbeat_period(Duration::from_millis(5))
+        .heartbeat_timeout(Duration::from_millis(40))
+        .max_duration(Duration::from_secs(30))
+        .build()
+        .expect("valid virtual config")
+}
+
+fn virtual_job(spares: usize) -> acr::runtime::JobBuilder {
+    Job::new(virtual_cfg(spares)).mode(ExecMode::virtual_default())
+}
+
+/// The comparable fingerprint of a run: completion, agreement, every
+/// protocol counter, and the bit-exact final task states.
+#[allow(clippy::type_complexity)]
+fn outcome_tuple(
+    r: &JobReport,
+) -> (
+    bool,
+    bool,
+    usize,
+    usize,
+    usize,
+    usize,
+    BTreeMap<(u8, usize), Vec<Bytes>>,
+) {
+    (
+        r.completed,
+        r.replicas_agree(),
+        r.checkpoints_verified,
+        r.rollbacks,
+        r.hard_errors_recovered,
+        r.restarts_from_beginning,
+        r.final_states.clone(),
+    )
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("acr_service_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Admission is FIFO over `max_concurrent` slots: with one slot, the
+/// second submission queues until the first finishes; both complete, and
+/// the queue drains to zero.
+#[test]
+fn single_slot_admission_queues_second_job() {
+    let service = DriverService::start(ServiceConfig {
+        max_concurrent: 1,
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    let a = service
+        .submit("job-a", virtual_job(2), ring_factory)
+        .expect("admit a");
+    let b = service
+        .submit("job-b", virtual_job(2), ring_factory)
+        .expect("admit b");
+    assert_eq!(a.id(), 1);
+    assert_eq!(b.id(), 2);
+    // With one slot, at most one job runs at any instant.
+    assert!(service.running() <= 1);
+    let ra = a.wait();
+    let rb = b.wait();
+    assert!(ra.completed, "{:?}", ra.error);
+    assert!(rb.completed, "{:?}", rb.error);
+    service.join();
+    assert_eq!(service.running(), 0);
+    assert_eq!(service.queued(), 0);
+    service.shutdown();
+}
+
+/// The shared spare pool bounds admission: a job asking for more spares
+/// than the whole pool is rejected outright, and two jobs that together
+/// exceed the pool still both complete — the second waits for the first
+/// to release its reservation.
+#[test]
+fn spare_pool_is_shared_and_enforced() {
+    let service = DriverService::start(ServiceConfig {
+        max_concurrent: 4,
+        spare_pool: 3,
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    match service.submit("greedy", virtual_job(4), ring_factory) {
+        Err(AdmitError::SparesExceedPool { requested, pool }) => {
+            assert_eq!((requested, pool), (4, 3));
+        }
+        other => panic!("expected SparesExceedPool, got {other:?}"),
+    }
+    // 2 + 2 > 3: the pool serializes them; both still finish.
+    let a = service
+        .submit("a", virtual_job(2), ring_factory)
+        .expect("admit a");
+    let b = service
+        .submit("b", virtual_job(2), ring_factory)
+        .expect("admit b");
+    assert!(service.spares_reserved() <= 3);
+    assert!(a.wait().completed);
+    assert!(b.wait().completed);
+    service.join();
+    assert_eq!(service.spares_reserved(), 0);
+    service.shutdown();
+}
+
+/// Resume builders own an existing store; the service only runs fresh
+/// jobs and must reject them at admission.
+#[test]
+fn resume_builders_are_rejected() {
+    let dir = tmp("resume_reject");
+    let service = DriverService::start(ServiceConfig::default()).expect("service starts");
+    match service.submit("resumed", Job::resume(&dir), ring_factory) {
+        Err(AdmitError::ResumeUnsupported) => {}
+        other => panic!("expected ResumeUnsupported, got {other:?}"),
+    }
+    service.shutdown();
+}
+
+/// Two concurrent virtual jobs through the service produce outcome tuples
+/// and final states bit-identical to the same jobs run alone, and their
+/// stores land in the per-job `jobs/<id>-<name>` layout under the shared
+/// root — each an ordinary persist dir a `StoreView` can fold.
+#[test]
+fn concurrent_service_jobs_match_solo_runs_bit_for_bit() {
+    // Solo references: plain Job runs with their own persist dirs.
+    let solo_root = tmp("solo_refs");
+    let mut solo_a_cfg = virtual_cfg(2);
+    solo_a_cfg.persist_dir = Some(solo_root.join("a"));
+    let solo_a = Job::new(solo_a_cfg)
+        .mode(ExecMode::virtual_default())
+        .run(ring_factory);
+    let mut solo_b_cfg = virtual_cfg(2);
+    solo_b_cfg.persist_dir = Some(solo_root.join("b"));
+    let solo_b = Job::new(solo_b_cfg)
+        .mode(ExecMode::virtual_default())
+        .run(ring_factory);
+    assert!(solo_a.completed && solo_b.completed);
+
+    let root = tmp("store_root");
+    let service = DriverService::start(ServiceConfig {
+        max_concurrent: 2,
+        store_root: Some(root.clone()),
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    let a = service
+        .submit("ring-a", virtual_job(2), ring_factory)
+        .expect("admit a");
+    let b = service
+        .submit("ring-b", virtual_job(2), ring_factory)
+        .expect("admit b");
+    let a_dir = a
+        .store_dir()
+        .expect("store root places job a")
+        .to_path_buf();
+    let b_dir = b
+        .store_dir()
+        .expect("store root places job b")
+        .to_path_buf();
+    let ra = a.wait();
+    let rb = b.wait();
+    assert!(ra.completed, "{:?}", ra.error);
+    assert!(rb.completed, "{:?}", rb.error);
+    assert_eq!(outcome_tuple(&ra), outcome_tuple(&solo_a));
+    assert_eq!(outcome_tuple(&rb), outcome_tuple(&solo_b));
+
+    // Store layout: both jobs listed under <root>/jobs, and each per-job
+    // dir folds like any ordinary single-job store.
+    let listed = acr::store::list_job_stores(&root).expect("list job stores");
+    assert_eq!(listed.len(), 2);
+    assert_eq!((listed[0].id, listed[0].name.as_str()), (1, "ring-a"));
+    assert_eq!((listed[1].id, listed[1].name.as_str()), (2, "ring-b"));
+    assert_eq!(listed[0].dir, a_dir);
+    assert_eq!(listed[1].dir, b_dir);
+    for dir in [&a_dir, &b_dir] {
+        let mut view = acr::runtime::StoreView::open(dir);
+        view.refresh().expect("journal reads");
+        assert!(view.records() > 0);
+        assert_eq!(view.closed(), Some(true), "store marks a completed job");
+    }
+    // The service store and the solo store hold byte-identical journals.
+    assert_eq!(
+        std::fs::read(a_dir.join("events.log")).unwrap(),
+        std::fs::read(solo_root.join("a").join("events.log")).unwrap(),
+        "service placement changed job a's journal bytes"
+    );
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&solo_root);
+}
+
+/// Two TCP jobs share one reactor: both are admitted onto the same
+/// service, the router dials one address, the process thread count stays
+/// bounded by the job threads (never O(links)), and both finish with the
+/// final states a solo virtual run of the same ring produces.
+#[test]
+fn two_tcp_jobs_share_one_reactor() {
+    let _serial = JOB_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let reference = Job::new(virtual_cfg(1))
+        .mode(ExecMode::virtual_default())
+        .run(ring_factory);
+    assert!(reference.completed);
+
+    let tcp_cfg = || {
+        JobConfig::builder()
+            .ranks(2)
+            .tasks_per_rank(1)
+            .spares(1)
+            .scheme(Scheme::Strong)
+            .detection(DetectionMethod::FullCompare)
+            .checkpoint_interval(Duration::from_millis(150))
+            .heartbeat_period(Duration::from_millis(10))
+            .heartbeat_timeout(Duration::from_millis(400))
+            .max_duration(Duration::from_secs(120))
+            .transport(TransportKind::Tcp(TcpConfig::default()))
+            .build()
+            .expect("valid tcp config")
+    };
+    let before = thread_count();
+    let service = DriverService::start(ServiceConfig {
+        max_concurrent: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    let a = service
+        .submit("tcp-a", Job::new(tcp_cfg()), ring_factory)
+        .expect("admit a");
+    let b = service
+        .submit("tcp-b", Job::new(tcp_cfg()), ring_factory)
+        .expect("admit b");
+    // Both jobs ride the one lazily-spawned reactor.
+    assert!(service.local_addr().is_some());
+    let during = thread_count();
+    let ra = a.wait();
+    let rb = b.wait();
+    assert!(ra.completed, "{:?}\n{}", ra.error, ra.trace.join("\n"));
+    assert!(rb.completed, "{:?}\n{}", rb.error, rb.trace.join("\n"));
+    assert!(ra.replicas_agree() && rb.replicas_agree());
+    assert_eq!(ra.final_states, reference.final_states);
+    assert_eq!(rb.final_states, reference.final_states);
+    if let (Some(before), Some(during)) = (before, during) {
+        // 2 jobs × (1 job thread + 6 node-host threads + endpoints) plus
+        // ONE reactor; the bound is job-shaped, not link-shaped.
+        assert!(
+            during <= before + 40,
+            "thread count exploded: {before} -> {during}"
+        );
+    }
+    service.shutdown();
+}

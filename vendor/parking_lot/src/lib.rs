@@ -58,9 +58,60 @@ impl<T> Mutex<T> {
     }
 }
 
+/// A condition variable pairing with [`Mutex`].
+///
+/// The guard-consuming `wait` mirrors `std::sync::Condvar` (the facade's
+/// guards *are* std guards), minus poisoning.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a condition variable.
+    pub fn new() -> Self {
+        Self(sync::Condvar::new())
+    }
+
+    /// Release `guard`, block until notified, and reacquire.
+    pub fn wait<'a, T>(&self, guard: sync::MutexGuard<'a, T>) -> sync::MutexGuard<'a, T> {
+        unpoison(self.0.wait(guard))
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one()
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cvar) = &*pair;
+                let mut ready = lock.lock();
+                while !*ready {
+                    ready = cvar.wait(ready);
+                }
+            })
+        };
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        waiter.join().unwrap();
+    }
 
     #[test]
     fn rwlock_read_write() {
