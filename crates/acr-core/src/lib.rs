@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+mod calib;
 mod checkpoint;
 mod consensus;
 mod detector;
@@ -30,6 +31,9 @@ mod layout;
 mod policy;
 mod recovery;
 
+pub use calib::{
+    Calibration, SampleStat, Scenario, SchemeCosts, CALIBRATION_VERSION, VIRTUAL_RATE_FLOOR,
+};
 pub use checkpoint::{Checkpoint, CheckpointStore, ChunkTable};
 pub use consensus::{
     ConsensusAction, ConsensusEngine, ConsensusMsg, ConsensusObserver, ReductionTree,

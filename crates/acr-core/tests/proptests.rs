@@ -158,3 +158,113 @@ proptest! {
         prop_assert!(second > first);
     }
 }
+
+// --- Calibration artifact: JSON round-trip over arbitrary contents -------
+
+use acr_core::{Calibration, SampleStat, SchemeCosts, CALIBRATION_VERSION};
+
+fn stat_strategy() -> impl Strategy<Value = SampleStat> {
+    (1e-12f64..1e12, 0.0f64..0.9, 0.0f64..4.0, 1u64..64).prop_map(|(mean, lo, hi, count)| {
+        SampleStat {
+            mean,
+            min: mean * (1.0 - lo),
+            max: mean * (1.0 + hi),
+            count,
+        }
+    })
+}
+
+fn costs_strategy() -> impl Strategy<Value = SchemeCosts> {
+    (stat_strategy(), stat_strategy(), stat_strategy()).prop_map(
+        |(delta, hard_restart, sdc_restart)| SchemeCosts {
+            delta,
+            hard_restart,
+            sdc_restart,
+        },
+    )
+}
+
+fn calibration_strategy() -> impl Strategy<Value = Calibration> {
+    (
+        (
+            ".{0,16}",
+            prop_oneof![Just("virtual".to_string()), Just("wall".to_string())],
+            1u64..64,
+            1e3f64..1e9,
+            1e-3f64..1e5,
+        ),
+        (
+            stat_strategy(),
+            stat_strategy(),
+            stat_strategy(),
+            stat_strategy(),
+            stat_strategy(),
+        ),
+        (
+            stat_strategy(),
+            stat_strategy(),
+            stat_strategy(),
+            stat_strategy(),
+        ),
+        any::<bool>(),
+        (costs_strategy(), costs_strategy(), costs_strategy()),
+    )
+        .prop_map(
+            |(
+                (source, clock, probe_ranks, probe_state_bytes, probe_work_s),
+                (pack, gamma, beta, wire, store),
+                (per_byte, round_overhead, hard_fault_rate, sdc_fault_rate),
+                checksum_wins,
+                (strong, medium, weak),
+            )| Calibration {
+                version: CALIBRATION_VERSION,
+                source,
+                clock,
+                probe_ranks,
+                probe_state_bytes,
+                probe_work_s,
+                pack,
+                gamma,
+                beta,
+                wire,
+                store,
+                per_byte,
+                round_overhead,
+                hard_fault_rate,
+                sdc_fault_rate,
+                checksum_wins,
+                strong,
+                medium,
+                weak,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any calibration — arbitrary rates, counts, and source strings full
+    /// of characters that need escaping — survives `to_json`/`from_json`
+    /// bit-exactly. This is the property that lets the committed
+    /// `results/calibration.json` be trusted as the single source both
+    /// predictors read.
+    #[test]
+    fn calibration_json_round_trips(cal in calibration_strategy()) {
+        let json = cal.to_json();
+        let parsed = Calibration::from_json(&json);
+        prop_assert!(parsed.is_ok(), "parse: {:?}", parsed.err());
+        let back = parsed.unwrap();
+        prop_assert_eq!(&cal, &back);
+        // Serialization is deterministic.
+        prop_assert_eq!(json, back.to_json());
+    }
+
+    /// A structurally valid calibration stays valid across the round trip.
+    #[test]
+    fn validation_survives_round_trip(cal in calibration_strategy()) {
+        if cal.validate().is_ok() {
+            let back = Calibration::from_json(&cal.to_json()).unwrap();
+            prop_assert!(back.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The capacity advisor: "given your MTBF and state size, run scheme X
+//! with period τ".
+//!
+//! This is the consumer-facing end of the calibration triangle: a measured
+//! [`Calibration`] plus a target [`Scenario`] yield per-scheme
+//! [`ModelParams`], the §5 model optimizes each scheme's period, and the
+//! advisor picks the highest-utilization scheme whose undetected-SDC
+//! probability stays within the caller's risk budget (the strong scheme,
+//! with zero vulnerability, is always an admissible fallback).
+
+use acr_core::{Calibration, Scenario};
+
+use crate::params::{ModelParams, ModelParamsError};
+use crate::schemes::{Scheme, SchemeEval, SchemeModel};
+
+/// One scheme's evaluation inside an [`Advice`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdvisedScheme {
+    /// The parameters the model ran with (per-scheme δ under calibration).
+    pub params: ModelParams,
+    /// The optimized evaluation (τ*, T, utilization, P(undetected SDC)).
+    pub eval: SchemeEval,
+    /// Whether this scheme met the risk budget and finished in finite time.
+    pub admissible: bool,
+}
+
+/// The advisor's recommendation.
+#[derive(Debug, Clone)]
+pub struct Advice {
+    /// Recommended scheme.
+    pub scheme: Scheme,
+    /// Recommended checkpoint period τ* (seconds).
+    pub tau: f64,
+    /// The recommended scheme's full evaluation.
+    pub eval: SchemeEval,
+    /// All schemes' evaluations, in [`Scheme::ALL`] order (strongest
+    /// first), for rendering comparison tables.
+    pub per_scheme: Vec<AdvisedScheme>,
+    /// The risk budget the recommendation was made under.
+    pub sdc_risk: f64,
+}
+
+impl Advice {
+    /// The evaluation of one scheme in the comparison table.
+    pub fn scheme_eval(&self, scheme: Scheme) -> &AdvisedScheme {
+        self.per_scheme
+            .iter()
+            .find(|s| s.eval.scheme == scheme)
+            .expect("per_scheme covers Scheme::ALL")
+    }
+}
+
+fn pick(per_scheme: Vec<AdvisedScheme>, sdc_risk: f64) -> Advice {
+    // Highest utilization among admissible schemes; Scheme::ALL is
+    // strongest-first, so ties resolve toward the stronger scheme.
+    let mut best: Option<usize> = None;
+    for (i, s) in per_scheme.iter().enumerate() {
+        if !s.admissible {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(j) => s.eval.utilization > per_scheme[j].eval.utilization,
+        };
+        if better {
+            best = Some(i);
+        }
+    }
+    // Strong (index 0) has zero SDC vulnerability, so inadmissibility of
+    // everything means every scheme diverged; recommend strong anyway as
+    // the least-bad answer.
+    let chosen = &per_scheme[best.unwrap_or(0)];
+    Advice {
+        scheme: chosen.eval.scheme,
+        tau: chosen.eval.tau,
+        eval: chosen.eval,
+        per_scheme: per_scheme.clone(),
+        sdc_risk,
+    }
+}
+
+fn evaluate(params: ModelParams, scheme: Scheme, sdc_risk: f64) -> AdvisedScheme {
+    let eval = SchemeModel::new(params).optimize(scheme);
+    AdvisedScheme {
+        params,
+        eval,
+        admissible: eval.t_total.is_finite() && eval.p_undetected_sdc <= sdc_risk,
+    }
+}
+
+/// Advise from a measured [`Calibration`] and a target [`Scenario`]:
+/// per-scheme δ/restart costs come from the calibration (extrapolated to
+/// the scenario's per-socket state size), reliability from the scenario.
+///
+/// `sdc_risk` is the largest acceptable probability of finishing with an
+/// undetected SDC (the paper's §5 discussion uses 1%).
+pub fn advise(
+    cal: &Calibration,
+    scenario: &Scenario,
+    sdc_risk: f64,
+) -> Result<Advice, ModelParamsError> {
+    cal.validate().map_err(ModelParamsError::BadCalibration)?;
+    scenario.validate().map_err(ModelParamsError::BadScenario)?;
+    let mut per_scheme = Vec::with_capacity(Scheme::ALL.len());
+    for scheme in Scheme::ALL {
+        let params = ModelParams::builder()
+            .calibration(cal, scheme, scenario)
+            .build()?;
+        per_scheme.push(evaluate(params, scheme, sdc_risk));
+    }
+    Ok(pick(per_scheme, sdc_risk))
+}
+
+/// Advise with the *same* [`ModelParams`] for every scheme (the
+/// uncalibrated capacity-planner path, where the caller supplies one δ).
+pub fn advise_uniform(params: ModelParams, sdc_risk: f64) -> Advice {
+    let per_scheme = Scheme::ALL
+        .into_iter()
+        .map(|scheme| evaluate(params, scheme, sdc_risk))
+        .collect();
+    pick(per_scheme, sdc_risk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(sockets: u64, delta: f64, fit: f64) -> ModelParams {
+        ModelParams::builder()
+            .sockets(sockets)
+            .delta(delta)
+            .sdc_fit(fit)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn low_risk_scenarios_prefer_a_relaxed_scheme() {
+        // Small machine, low FIT: medium/weak meet a 1% risk budget and
+        // beat strong on utilization.
+        let a = advise_uniform(params(1024, 60.0, 100.0), 0.01);
+        assert_ne!(a.scheme, Scheme::Strong);
+        assert!(a.eval.utilization >= a.scheme_eval(Scheme::Strong).eval.utilization);
+        assert!(a.eval.p_undetected_sdc <= 0.01);
+    }
+
+    #[test]
+    fn zero_risk_budget_forces_strong() {
+        let a = advise_uniform(params(1024, 60.0, 100.0), 0.0);
+        assert_eq!(a.scheme, Scheme::Strong);
+        assert_eq!(a.eval.p_undetected_sdc, 0.0);
+    }
+
+    #[test]
+    fn high_fit_at_scale_forces_strong() {
+        // 256K sockets at 10 000 FIT: medium and weak blow any 1% budget.
+        let a = advise_uniform(params(262_144, 180.0, 10_000.0), 0.01);
+        assert_eq!(a.scheme, Scheme::Strong);
+        let m = a.scheme_eval(Scheme::Medium);
+        assert!(!m.admissible, "medium should exceed the budget");
+    }
+
+    #[test]
+    fn advice_carries_all_schemes_in_order() {
+        let a = advise_uniform(params(16384, 15.0, 100.0), 0.01);
+        let order: Vec<Scheme> = a.per_scheme.iter().map(|s| s.eval.scheme).collect();
+        assert_eq!(order, Scheme::ALL.to_vec());
+        assert!(a.tau > 0.0);
+        assert_eq!(a.eval.scheme, a.scheme);
+    }
+
+    #[test]
+    fn calibrated_advise_uses_per_scheme_costs() {
+        let cal = crate::test_support::sample_calibration();
+        let scenario = Scenario {
+            sockets: 16384,
+            state_bytes_per_socket: cal.probe_state_bytes,
+            mtbf_years_per_socket: 50.0,
+            sdc_fit_per_socket: 100.0,
+            work_s: 8.0 * 3600.0,
+        };
+        let a = advise(&cal, &scenario, 0.01).expect("advice");
+        for s in &a.per_scheme {
+            let expected = cal.scheme_costs(s.eval.scheme).delta.mean;
+            assert!(
+                (s.params.delta - expected).abs() < 1e-12,
+                "δ should be the scheme's measured value at the probe size"
+            );
+        }
+        assert!(a.eval.utilization > 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let mut cal = crate::test_support::sample_calibration();
+        cal.clock = "sundial".into();
+        let scenario = Scenario::fig8_default();
+        assert!(matches!(
+            advise(&cal, &scenario, 0.01),
+            Err(ModelParamsError::BadCalibration(_))
+        ));
+        let cal = crate::test_support::sample_calibration();
+        let mut bad = scenario;
+        bad.sockets = 0;
+        assert!(matches!(
+            advise(&cal, &bad, 0.01),
+            Err(ModelParamsError::BadScenario(_))
+        ));
+    }
+}

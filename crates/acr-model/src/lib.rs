@@ -19,14 +19,61 @@
 
 #![warn(missing_docs)]
 
+mod advisor;
 mod daly;
 mod numerics;
 mod params;
 mod schemes;
 mod surfaces;
 
+pub use acr_core::{Calibration, SampleStat, Scenario, SchemeCosts};
+pub use advisor::{advise, advise_uniform, Advice, AdvisedScheme};
 pub use daly::{daly_higher_order, daly_simple, young_interval};
 pub use numerics::golden_section_min;
-pub use params::{ModelParams, FIT_PER_HOUR, HOUR, MINUTE, YEAR};
+pub use params::{
+    ModelParams, ModelParamsBuilder, ModelParamsError, FIT_PER_HOUR, HOUR, MINUTE, YEAR,
+};
 pub use schemes::{Scheme, SchemeEval, SchemeModel};
 pub use surfaces::{utilization_surface, SurfaceConfig, SurfaceKind, SurfacePoint};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use acr_core::{Calibration, SampleStat, SchemeCosts, CALIBRATION_VERSION};
+
+    /// A plausible wall-clock calibration for unit tests: MB/s-scale rates,
+    /// ~10 ms protocol costs at a ~2 MB probe state.
+    pub(crate) fn sample_calibration() -> Calibration {
+        let stat = |v: f64| SampleStat {
+            mean: v,
+            min: v * 0.9,
+            max: v * 1.1,
+            count: 4,
+        };
+        let costs = |d: f64| SchemeCosts {
+            delta: stat(d),
+            hard_restart: stat(d * 1.5),
+            sdc_restart: stat(d * 1.2),
+        };
+        Calibration {
+            version: CALIBRATION_VERSION,
+            source: "acr-model test_support".into(),
+            clock: "wall".into(),
+            probe_ranks: 2,
+            probe_state_bytes: 2.0e6,
+            probe_work_s: 1.25,
+            pack: stat(60e6),
+            gamma: stat(4.0e-8),
+            beta: stat(4.5e-7),
+            wire: stat(2.2e6),
+            store: stat(80e6),
+            per_byte: stat(9.0e-7),
+            round_overhead: stat(3.0e-3),
+            hard_fault_rate: stat(6.7),
+            sdc_fault_rate: stat(6.7),
+            checksum_wins: true,
+            strong: costs(0.010),
+            medium: costs(0.011),
+            weak: costs(0.009),
+        }
+    }
+}

@@ -152,7 +152,13 @@ mod tests {
     use crate::params::{ModelParams, HOUR};
 
     fn model(sockets: u64, delta: f64) -> SchemeModel {
-        SchemeModel::new(ModelParams::fig7(sockets, delta))
+        SchemeModel::new(
+            ModelParams::builder()
+                .sockets(sockets)
+                .delta(delta)
+                .build()
+                .expect("fig7-style baseline"),
+        )
     }
 
     #[test]

@@ -122,15 +122,15 @@ pub fn surface_point(
         }
         SurfaceKind::Acr => {
             let per_replica = (sockets / 2).max(1);
-            let params = ModelParams::from_sockets(
-                cfg.work,
-                cfg.delta_mem,
-                cfg.restart_mem,
-                cfg.restart_mem,
-                per_replica,
-                cfg.m_h_socket_years,
-                fit,
-            );
+            let params = ModelParams::builder()
+                .work(cfg.work)
+                .delta(cfg.delta_mem)
+                .restart(cfg.restart_mem)
+                .sockets(per_replica)
+                .mtbf_years(cfg.m_h_socket_years)
+                .sdc_fit(fit)
+                .build()
+                .expect("surface config is positive");
             let eval = SchemeModel::new(params).optimize(Scheme::Strong);
             SurfacePoint {
                 sockets,

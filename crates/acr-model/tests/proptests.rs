@@ -1,10 +1,21 @@
-//! Property tests on the §5 model: sanity bounds, scheme orderings, and
-//! limit behaviour over the whole plausible parameter space.
+//! Property tests on the §5 model: sanity bounds, scheme orderings, limit
+//! behaviour, optimizer agreement, and τ* monotonicity over the whole
+//! plausible parameter space.
 
 use acr_model::{daly_higher_order, daly_simple, young_interval, ModelParams, Scheme, SchemeModel};
 use proptest::prelude::*;
 
-fn params_strategy() -> impl Strategy<Value = ModelParams> {
+#[derive(Debug, Clone, Copy)]
+struct RawParams {
+    w: f64,
+    delta: f64,
+    restart: f64,
+    sockets: u64,
+    years: f64,
+    fit: f64,
+}
+
+fn raw_strategy() -> impl Strategy<Value = RawParams> {
     (
         1e3f64..1e6,      // work
         1.0f64..300.0,    // delta
@@ -13,9 +24,30 @@ fn params_strategy() -> impl Strategy<Value = ModelParams> {
         1.0f64..200.0,    // per-socket MTBF years
         0.1f64..20_000.0, // FIT
     )
-        .prop_map(|(w, delta, restart, sockets, years, fit)| {
-            ModelParams::from_sockets(w, delta, restart, restart, sockets, years, fit)
+        .prop_map(|(w, delta, restart, sockets, years, fit)| RawParams {
+            w,
+            delta,
+            restart,
+            sockets,
+            years,
+            fit,
         })
+}
+
+fn build(r: RawParams) -> ModelParams {
+    ModelParams::builder()
+        .work(r.w)
+        .delta(r.delta)
+        .restart(r.restart)
+        .sockets(r.sockets)
+        .mtbf_years(r.years)
+        .sdc_fit(r.fit)
+        .build()
+        .expect("strategy produces valid parameters")
+}
+
+fn params_strategy() -> impl Strategy<Value = ModelParams> {
+    raw_strategy().prop_map(build)
 }
 
 proptest! {
@@ -84,6 +116,74 @@ proptest! {
                 prop_assert!(b <= a * (1.0 + 1e-9), "{scheme:?}: {a} -> {b}");
             }
         }
+    }
+
+    /// The optimum checkpoint period grows (weakly) with hardware MTBF:
+    /// more reliable machines checkpoint less often. Checked on the strong
+    /// scheme, whose rework term makes τ* the classic Daly-style tradeoff.
+    #[test]
+    fn optimum_tau_monotone_in_mtbf(r in raw_strategy(), scale in 2.0f64..32.0) {
+        let base = build(r);
+        let better = ModelParams { m_h: base.m_h * scale, m_s: base.m_s * scale, ..base };
+        let a = SchemeModel::new(base).optimize(Scheme::Strong);
+        let b = SchemeModel::new(better).optimize(Scheme::Strong);
+        if a.t_total.is_finite() && b.t_total.is_finite() {
+            // τ* may saturate at the bracket edges (τ ≥ W means "one
+            // checkpoint"), so allow tiny numerical slack but no real
+            // inversion.
+            prop_assert!(
+                b.tau >= a.tau * (1.0 - 1e-6),
+                "τ* shrank as MTBF grew: {} -> {} (scale {scale})", a.tau, b.tau
+            );
+        }
+    }
+
+    /// Golden-section optimize agrees with a brute-force log-grid scan of
+    /// the same objective: no hidden local minima.
+    #[test]
+    fn optimizer_agrees_with_exhaustive_scan(p in params_strategy()) {
+        let model = SchemeModel::new(p);
+        for scheme in Scheme::ALL {
+            let e = model.optimize(scheme);
+            if !e.t_total.is_finite() {
+                continue;
+            }
+            // 400-point log grid over the same bracket the optimizer uses.
+            let (lo, hi) = (1e-2f64.ln(), p.w.max(1e-1).ln());
+            let mut best = f64::INFINITY;
+            for i in 0..=400 {
+                let lt = lo + (hi - lo) * i as f64 / 400.0;
+                best = best.min(model.total_time(scheme, lt.exp()));
+            }
+            prop_assert!(
+                e.t_total <= best * (1.0 + 1e-6),
+                "{scheme:?}: golden-section {} worse than scanned {}", e.t_total, best
+            );
+        }
+    }
+
+    /// In the classic regime (δ ≪ M, hard errors only) Daly's closed-form
+    /// period is near-optimal: running the strong scheme at τ_daly costs at
+    /// most a few percent over the scanned optimum.
+    #[test]
+    fn daly_period_near_optimal_in_its_regime(
+        r in raw_strategy(),
+    ) {
+        let p = ModelParams {
+            m_s: f64::INFINITY, // hard errors only — Daly's setting
+            ..build(r)
+        };
+        prop_assume!(p.delta < p.m_h / 200.0);
+        let model = SchemeModel::new(p);
+        let e = model.optimize(Scheme::Strong);
+        prop_assume!(e.t_total.is_finite());
+        let tau_daly = daly_higher_order(p.delta, p.m_h).clamp(1e-2, p.w);
+        let t_daly = model.total_time(Scheme::Strong, tau_daly);
+        prop_assert!(
+            t_daly <= e.t_total * 1.05,
+            "Daly period {tau_daly} gives T {} vs optimum {} (δ={}, M={})",
+            t_daly, e.t_total, p.delta, p.m_h
+        );
     }
 
     /// Daly-family estimates are ordered and positive over the sane regime.

@@ -1,0 +1,546 @@
+//! Measured calibration of the runtime: run short instrumented probe jobs
+//! per scheme and distill an [`acr_core::Calibration`] that the §5 model
+//! (`acr-model`) and the timeline simulator (`acr-sim`) both consume —
+//! the runtime × simulator × model triangle closes over *one* measured
+//! artifact instead of three hand-picked parameter sets.
+//!
+//! The probe is a tiny communicating ring (one token in flight per rank)
+//! with a tunable float-array payload, run at two state sizes so the
+//! per-byte slope and fixed round overhead of δ separate. Costs come out
+//! of duration *differences* (cadenced minus checkpoint-free run), which
+//! survive both clock domains; per-byte *rates* (pack, β, wire) come from
+//! the flight-recorder [`Breakdown`] phases and are only meaningful on a
+//! wall clock — a virtual clock does not advance inside a pack, so those
+//! rates degenerate to [`VIRTUAL_RATE_FLOOR`] sentinels there.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use acr_core::{
+    Calibration, DetectionMethod, GammaBetaEstimator, SampleStat, Scheme, SchemeCosts,
+    CALIBRATION_VERSION, VIRTUAL_RATE_FLOOR,
+};
+use acr_fault::{FaultAction, FaultScript, Trigger};
+use acr_obs::Breakdown;
+use acr_pup::{fletcher64, Pup, PupResult, Puper};
+
+use crate::driver::{ExecMode, Job, JobConfig, JobReport};
+use crate::message::{AppMsg, TaskId};
+use crate::task::{Task, TaskCtx};
+
+/// Which clock domain a calibration run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalClock {
+    /// Deterministic virtual time: byte-identical across repeats, but
+    /// per-byte rates degenerate (the clock stands still inside a pack).
+    Virtual,
+    /// Real wall-clock time: honest rates, repeat-to-repeat spread.
+    Wall,
+}
+
+impl CalClock {
+    /// The `Calibration::clock` string for this domain.
+    pub fn label(self) -> &'static str {
+        match self {
+            CalClock::Virtual => "virtual",
+            CalClock::Wall => "wall",
+        }
+    }
+}
+
+/// Knobs for one calibration measurement.
+#[derive(Debug, Clone)]
+pub struct CalibrateOptions {
+    /// Clock domain to measure under.
+    pub clock: CalClock,
+    /// Repeats per probe configuration (virtual repeats perturb the
+    /// iteration count so the samples are not bit-identical).
+    pub samples: usize,
+    /// Float payload per task of the small probe.
+    pub small_floats: usize,
+    /// Float payload per task of the large probe (sets `probe_state_bytes`).
+    pub large_floats: usize,
+    /// Ring iterations of the base probe run.
+    pub iters: u64,
+    /// Checkpoint period of cadenced runs, seconds.
+    pub tau: f64,
+    /// Free-text provenance recorded in the artifact.
+    pub source: String,
+    /// When set, one probe run persists checkpoints here to measure the
+    /// durable-store rate (the directory must exist and be writable).
+    pub store_probe: Option<PathBuf>,
+}
+
+impl CalibrateOptions {
+    /// Deterministic virtual-clock preset, sized for test suites.
+    pub fn quick_virtual() -> Self {
+        Self {
+            clock: CalClock::Virtual,
+            samples: 2,
+            small_floats: 32,
+            large_floats: 2048,
+            iters: 240,
+            tau: 0.060,
+            source: "quick_virtual".to_string(),
+            store_probe: None,
+        }
+    }
+
+    /// Wall-clock preset: more repeats to average scheduler noise, and a
+    /// much longer compute phase — wall iterations are microseconds, so
+    /// the run must be stretched until the checkpoint cadence lands
+    /// several verified rounds inside it.
+    pub fn wall() -> Self {
+        Self {
+            clock: CalClock::Wall,
+            samples: 3,
+            small_floats: 512,
+            large_floats: 4096,
+            iters: 12_000,
+            tau: 0.040,
+            source: "wall".to_string(),
+            store_probe: None,
+        }
+    }
+}
+
+/// Ranks per replica in every probe job.
+const PROBE_RANKS: usize = 2;
+/// Floor for measured costs: keeps `SchemeCosts` validation satisfiable
+/// even when a virtual-quantum round costs less than one quantum.
+const COST_FLOOR: f64 = 1e-6;
+
+/// The probe task: a communicating ring (one token in flight per rank)
+/// over a float accumulator of configurable size — enough state for bit
+/// flips to matter and for δ to scale visibly with payload.
+struct ProbeRing {
+    rank: usize,
+    iter: u64,
+    iters: u64,
+    tokens: u64,
+    acc: Vec<f64>,
+}
+
+impl ProbeRing {
+    fn new(rank: usize, floats: usize, iters: u64) -> Self {
+        Self {
+            rank,
+            iter: 0,
+            iters,
+            tokens: 0,
+            acc: (0..floats).map(|i| (rank * 1000 + i) as f64).collect(),
+        }
+    }
+}
+
+impl Task for ProbeRing {
+    fn try_step(&mut self, ctx: &mut TaskCtx<'_>) -> bool {
+        if self.done() {
+            return false;
+        }
+        if self.iter > 0 && self.tokens == 0 {
+            return false;
+        }
+        if self.iter > 0 {
+            self.tokens -= 1;
+        }
+        for (i, x) in self.acc.iter_mut().enumerate() {
+            *x += ((self.iter as f64 + i as f64) * 1e-3).sin();
+        }
+        let next = TaskId {
+            rank: (self.rank + 1) % ctx.ranks(),
+            task: 0,
+        };
+        ctx.send(next, self.iter, vec![]);
+        self.iter += 1;
+        true
+    }
+
+    fn on_message(&mut self, _msg: AppMsg, _ctx: &mut TaskCtx<'_>) {
+        self.tokens += 1;
+    }
+
+    fn progress(&self) -> u64 {
+        self.iter
+    }
+
+    fn done(&self) -> bool {
+        self.iter >= self.iters
+    }
+
+    fn pup(&mut self, p: &mut dyn Puper) -> PupResult {
+        p.pup_usize(&mut self.rank)?;
+        p.pup_u64(&mut self.iter)?;
+        p.pup_u64(&mut self.iters)?;
+        p.pup_u64(&mut self.tokens)?;
+        self.acc.pup(p)
+    }
+}
+
+struct ProbeRun {
+    report: JobReport,
+    breakdown: Breakdown,
+}
+
+fn run_probe(
+    opts: &CalibrateOptions,
+    scheme: Scheme,
+    floats: usize,
+    iters: u64,
+    interval: Duration,
+    script: FaultScript,
+    persist: Option<&PathBuf>,
+) -> Result<ProbeRun, String> {
+    let mut cfg = JobConfig::builder()
+        .ranks(PROBE_RANKS)
+        .tasks_per_rank(1)
+        .spares(3)
+        .scheme(scheme)
+        .detection(DetectionMethod::FullCompare)
+        .checkpoint_interval(interval)
+        .heartbeat_period(Duration::from_millis(5))
+        .heartbeat_timeout(Duration::from_millis(40))
+        .max_duration(Duration::from_secs(60));
+    if let Some(dir) = persist {
+        cfg = cfg.persist_dir(dir.clone());
+    }
+    let cfg = cfg
+        .build()
+        .map_err(|e| format!("probe config rejected: {e:?}"))?;
+    let mode = match opts.clock {
+        CalClock::Virtual => ExecMode::virtual_default(),
+        CalClock::Wall => ExecMode::Threaded,
+    };
+    let report = Job::new(cfg)
+        .with_faults(script)
+        .mode(mode)
+        .run(move |rank, _| Box::new(ProbeRing::new(rank, floats, iters)) as Box<dyn Task>);
+    if !report.completed {
+        return Err(format!(
+            "probe run did not complete ({scheme:?}, {floats} floats): {:?}",
+            report.error
+        ));
+    }
+    let breakdown = Breakdown::from_events(&report.events);
+    Ok(ProbeRun { report, breakdown })
+}
+
+/// A period long enough that no periodic checkpoint fires during the probe.
+const FREE_INTERVAL: Duration = Duration::from_secs(600);
+
+fn stat(name: &str, samples: &[f64]) -> Result<SampleStat, String> {
+    SampleStat::from_samples(samples).ok_or_else(|| format!("no {name} samples survived"))
+}
+
+/// Checkpoint bytes packed per rank per round in this run (both replicas
+/// pack each round: replica 0 ships, replica 1 packs to compare).
+fn state_bytes_per_rank(b: &Breakdown) -> Option<f64> {
+    if b.rounds == 0 || b.pack_bytes == 0 {
+        return None;
+    }
+    Some(b.pack_bytes as f64 / (b.rounds as f64 * (2 * PROBE_RANKS) as f64))
+}
+
+/// Measure a [`Calibration`] by running the probe battery under `opts`.
+///
+/// Per scheme: a checkpoint-free and a cadenced run at two state sizes
+/// (δ via duration difference; slope and intercept via the size pair),
+/// one crash run and one SDC run (restart costs via the recovery phase of
+/// the [`Breakdown`]). Rates fold across the cadenced large runs through
+/// a [`GammaBetaEstimator`], whose verdict becomes `checksum_wins`; γ is
+/// measured by a `fletcher64` micro-benchmark on the wall clock only.
+pub fn measure(opts: &CalibrateOptions) -> Result<Calibration, String> {
+    if opts.samples == 0 {
+        return Err("samples must be ≥ 1".into());
+    }
+    if opts.small_floats >= opts.large_floats {
+        return Err("small_floats must be < large_floats".into());
+    }
+    if opts.tau.is_nan() || opts.tau <= 0.0 {
+        return Err("tau must be positive".into());
+    }
+
+    let tau = Duration::from_secs_f64(opts.tau);
+    let mut est = GammaBetaEstimator::new();
+
+    // Accumulators folded across schemes/samples.
+    let mut work_samples = Vec::new();
+    let mut state_samples = Vec::new();
+    let mut pack_samples = Vec::new();
+    let mut beta_samples = Vec::new();
+    let mut wire_samples = Vec::new();
+    let mut per_byte_samples = Vec::new();
+    let mut round_overhead_samples = Vec::new();
+    let mut hard_rate_samples = Vec::new();
+    let mut sdc_rate_samples = Vec::new();
+    let mut scheme_costs: Vec<SchemeCosts> = Vec::with_capacity(Scheme::ALL.len());
+
+    for scheme in Scheme::ALL {
+        let mut delta_samples = Vec::new();
+        let mut hard_samples = Vec::new();
+        let mut sdc_samples = Vec::new();
+
+        for i in 0..opts.samples {
+            // Virtual repeats are bit-identical; perturb the iteration
+            // count so each sample exercises a different cadence phase.
+            let iters = opts.iters + (i as u64 * opts.iters) / 8;
+            let small = run_probe(
+                opts,
+                scheme,
+                opts.small_floats,
+                iters,
+                FREE_INTERVAL,
+                FaultScript::new(),
+                None,
+            )?;
+            let small_cad = run_probe(
+                opts,
+                scheme,
+                opts.small_floats,
+                iters,
+                tau,
+                FaultScript::new(),
+                None,
+            )?;
+            let large = run_probe(
+                opts,
+                scheme,
+                opts.large_floats,
+                iters,
+                FREE_INTERVAL,
+                FaultScript::new(),
+                None,
+            )?;
+            let large_cad = run_probe(
+                opts,
+                scheme,
+                opts.large_floats,
+                iters,
+                tau,
+                FaultScript::new(),
+                None,
+            )?;
+
+            let delta_of = |free: &ProbeRun, cad: &ProbeRun| -> Option<f64> {
+                let n = cad.report.checkpoints_verified;
+                if n < 2 {
+                    return None;
+                }
+                Some(((cad.report.duration - free.report.duration) / n as f64).max(COST_FLOOR))
+            };
+            let (Some(d_small), Some(d_large)) =
+                (delta_of(&small, &small_cad), delta_of(&large, &large_cad))
+            else {
+                return Err(format!(
+                    "{scheme:?}: cadenced probe verified too few checkpoints \
+                     (tau {} too coarse for {} iters? small {} over {:.4}s, \
+                     large {} over {:.4}s)",
+                    opts.tau,
+                    iters,
+                    small_cad.report.checkpoints_verified,
+                    small_cad.report.duration,
+                    large_cad.report.checkpoints_verified,
+                    large_cad.report.duration
+                ));
+            };
+            let (Some(b_small), Some(b_large)) = (
+                state_bytes_per_rank(&small_cad.breakdown),
+                state_bytes_per_rank(&large_cad.breakdown),
+            ) else {
+                return Err(format!("{scheme:?}: cadenced probe packed no bytes"));
+            };
+
+            work_samples.push(large.report.duration);
+            state_samples.push(b_large);
+            delta_samples.push(d_large);
+            per_byte_samples
+                .push(((d_large - d_small) / (b_large - b_small)).max(VIRTUAL_RATE_FLOOR));
+            round_overhead_samples.push(
+                (d_small - per_byte_samples.last().unwrap() * b_small).max(VIRTUAL_RATE_FLOOR),
+            );
+
+            // Phase rates from the cadenced large run. Virtual clocks do
+            // not advance inside a pack, so a zero-duration phase simply
+            // contributes no sample (sentinels fill in at the end).
+            let b = &large_cad.breakdown;
+            if b.checkpoint > 0.0 && b.pack_bytes > 0 {
+                pack_samples.push(b.pack_bytes as f64 / b.checkpoint);
+            }
+            if b.compare > 0.0 && b.compare_wire_bytes > 0 {
+                beta_samples.push(b.compare / b.compare_wire_bytes as f64);
+                wire_samples.push(b.compare_wire_bytes as f64 / b.compare);
+                est.observe_beta(b.compare_wire_bytes as usize, b.compare);
+            }
+            est.mark_round();
+
+            // Crash probe: one hard error mid-run.
+            let t_fault = 0.4 * large.report.duration;
+            let mut crash = FaultScript::new();
+            crash.push(
+                Trigger::At(t_fault),
+                FaultAction::Crash {
+                    replica: 1,
+                    rank: 0,
+                },
+            );
+            let crashed = run_probe(opts, scheme, opts.large_floats, iters, tau, crash, None)?;
+            if crashed.report.hard_errors_recovered > 0 && crashed.breakdown.recoveries > 0 {
+                hard_samples.push(
+                    (crashed.breakdown.recovery / crashed.breakdown.recoveries as f64)
+                        .max(COST_FLOOR),
+                );
+                hard_rate_samples.push(
+                    crashed.report.crashes_injected_at.len() as f64 / crashed.report.duration,
+                );
+            }
+
+            // SDC probe: one bit-flip mid-run, detected at the next compare.
+            let mut flip = FaultScript::new();
+            flip.push(
+                Trigger::At(t_fault),
+                FaultAction::Sdc {
+                    replica: 0,
+                    rank: 1,
+                    seed: 11 + i as u64,
+                    bits: 2,
+                },
+            );
+            let flipped = run_probe(opts, scheme, opts.large_floats, iters, tau, flip, None)?;
+            if flipped.report.rollbacks > 0 && flipped.breakdown.recoveries > 0 {
+                sdc_samples.push(
+                    (flipped.breakdown.recovery / flipped.breakdown.recoveries as f64)
+                        .max(COST_FLOOR),
+                );
+                sdc_rate_samples
+                    .push(flipped.report.sdc_injected_at.len() as f64 / flipped.report.duration);
+            }
+        }
+
+        // A weak-scheme SDC can be discarded with a crash rollback and a
+        // crash can land post-completion: fall back to δ (the §2.3 floor —
+        // every recovery at minimum re-ships one checkpoint).
+        let delta = stat("delta", &delta_samples)?;
+        let hard = SampleStat::from_samples(&hard_samples)
+            .unwrap_or_else(|| SampleStat::point(delta.mean));
+        let sdc =
+            SampleStat::from_samples(&sdc_samples).unwrap_or_else(|| SampleStat::point(delta.mean));
+        scheme_costs.push(SchemeCosts {
+            delta,
+            hard_restart: hard,
+            sdc_restart: sdc,
+        });
+    }
+
+    // γ micro-benchmark: only the wall clock can time fletcher64.
+    let gamma = match opts.clock {
+        CalClock::Wall => {
+            let mut samples = Vec::new();
+            let buf: Vec<u8> = (0..1 << 20).map(|i| (i * 31 % 251) as u8).collect();
+            for _ in 0..opts.samples.max(3) {
+                let t0 = std::time::Instant::now();
+                let digest = fletcher64(&buf);
+                let secs = t0.elapsed().as_secs_f64();
+                // The digest read keeps the benchmark from being optimized
+                // away entirely.
+                if digest != 0 && secs > 0.0 {
+                    samples.push(secs / buf.len() as f64);
+                    est.observe_gamma(buf.len(), secs);
+                }
+            }
+            SampleStat::from_samples(&samples)
+                .unwrap_or_else(|| SampleStat::point(VIRTUAL_RATE_FLOOR))
+        }
+        CalClock::Virtual => SampleStat::point(VIRTUAL_RATE_FLOOR),
+    };
+
+    // Durable-store probe: one cadenced run persisting checkpoints.
+    let store = match &opts.store_probe {
+        Some(dir) => {
+            let run = run_probe(
+                opts,
+                Scheme::Strong,
+                opts.large_floats,
+                opts.iters,
+                tau,
+                FaultScript::new(),
+                Some(dir),
+            )?;
+            if run.breakdown.store_bytes > 0 && run.report.duration > 0.0 {
+                SampleStat::point(run.breakdown.store_bytes as f64 / run.report.duration)
+            } else {
+                SampleStat::point(VIRTUAL_RATE_FLOOR)
+            }
+        }
+        None => SampleStat::point(VIRTUAL_RATE_FLOOR),
+    };
+
+    let floor = |samples: &[f64]| {
+        SampleStat::from_samples(samples).unwrap_or_else(|| SampleStat::point(VIRTUAL_RATE_FLOOR))
+    };
+    // Fault rates: unsampled only if every injection probe failed to land.
+    let hard_fault_rate = floor(&hard_rate_samples);
+    let sdc_fault_rate = floor(&sdc_rate_samples);
+
+    let cal = Calibration {
+        version: CALIBRATION_VERSION,
+        source: opts.source.clone(),
+        clock: opts.clock.label().to_string(),
+        probe_ranks: PROBE_RANKS as u64,
+        probe_state_bytes: stat("state_bytes", &state_samples)?.mean,
+        probe_work_s: stat("work", &work_samples)?.mean,
+        pack: floor(&pack_samples),
+        gamma,
+        beta: floor(&beta_samples),
+        wire: floor(&wire_samples),
+        store,
+        per_byte: stat("per_byte", &per_byte_samples)?,
+        round_overhead: stat("round_overhead", &round_overhead_samples)?,
+        hard_fault_rate,
+        sdc_fault_rate,
+        checksum_wins: est.estimate().map(|e| e.checksum_wins()).unwrap_or(false),
+        strong: scheme_costs[0],
+        medium: scheme_costs[1],
+        weak: scheme_costs[2],
+    };
+    cal.validate()
+        .map_err(|e| format!("measured calibration failed validation: {e}"))?;
+    Ok(cal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_virtual_calibration_is_valid_and_deterministic() {
+        let mut opts = CalibrateOptions::quick_virtual();
+        opts.samples = 1;
+        opts.iters = 160;
+        let a = measure(&opts).expect("virtual calibration measures");
+        assert_eq!(a.clock, "virtual");
+        assert!(a.validate().is_ok());
+        assert!(a.probe_work_s > 0.0);
+        // δ scales with state: the large probe's δ stays above the floor.
+        for scheme in Scheme::ALL {
+            let c = a.scheme_costs(scheme);
+            assert!(c.delta.mean >= COST_FLOOR, "{scheme:?}");
+        }
+        // Virtual runs are deterministic: measuring again reproduces the
+        // artifact bit-for-bit.
+        let b = measure(&opts).expect("second measurement");
+        assert_eq!(a, b);
+        // And the JSON artifact round-trips.
+        let back = Calibration::from_json(&a.to_json()).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn options_are_validated() {
+        let mut opts = CalibrateOptions::quick_virtual();
+        opts.samples = 0;
+        assert!(measure(&opts).is_err());
+        let mut opts = CalibrateOptions::quick_virtual();
+        opts.small_floats = opts.large_floats;
+        assert!(measure(&opts).is_err());
+    }
+}

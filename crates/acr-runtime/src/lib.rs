@@ -45,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod campaign;
 mod clock;
 mod driver;
@@ -60,6 +61,7 @@ mod tcp;
 mod transport;
 pub mod wire;
 
+pub use calibrate::{measure, CalClock, CalibrateOptions};
 pub use clock::Clock;
 pub use driver::{
     ConfigError, ExecMode, Fault, Job, JobBuilder, JobConfig, JobConfigBuilder, JobReport,

@@ -29,4 +29,6 @@ pub use breakdown::{
     checkpoint_breakdown, restart_breakdown, CheckpointBreakdown, RestartBreakdown,
 };
 pub use machine::Machine;
-pub use timeline::{ExplicitCosts, SimConfig, SimReport, TauPolicy, Timeline};
+#[allow(deprecated)]
+pub use timeline::ExplicitCosts;
+pub use timeline::{CostProfile, SimConfig, SimReport, TauPolicy, Timeline};

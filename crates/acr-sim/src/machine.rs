@@ -1,6 +1,7 @@
 //! The machine model: a Blue Gene/P-class 3D torus with calibrated
 //! serialization and network rates.
 
+use acr_core::{Calibration, VIRTUAL_RATE_FLOOR};
 use acr_topology::{ExchangePattern, LinkLoads, MappingKind, Placement, Torus3d};
 
 /// A simulated machine hosting both replicas.
@@ -88,6 +89,28 @@ impl Machine {
     pub fn with_chunk_size(mut self, bytes: f64) -> Self {
         assert!(bytes > 0.0);
         self.chunk_size = bytes;
+        self
+    }
+
+    /// Adopt the serialization, checksum, and wire rates measured by a
+    /// [`Calibration`] run, keeping the topology and latency model.
+    ///
+    /// Degenerate measurements are skipped, not adopted: a rate at or
+    /// below [`VIRTUAL_RATE_FLOOR`] means the calibration's clock never
+    /// advanced through that phase (virtual-clock runs), so the machine
+    /// keeps its Intrepid-scale default for that knob instead.
+    pub fn calibrated(mut self, cal: &Calibration) -> Self {
+        let usable = |rate: f64| rate.is_finite() && rate > VIRTUAL_RATE_FLOOR;
+        if usable(cal.pack.mean) {
+            self.pup_rate = cal.pack.mean;
+        }
+        // γ is measured as seconds per byte; the machine knob is bytes/s.
+        if cal.gamma.mean.is_finite() && cal.gamma.mean > 0.0 && usable(1.0 / cal.gamma.mean) {
+            self.checksum_rate = 1.0 / cal.gamma.mean;
+        }
+        if usable(cal.wire.mean) {
+            self.link_bandwidth = cal.wire.mean;
+        }
         self
     }
 

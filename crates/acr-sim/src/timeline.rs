@@ -8,7 +8,7 @@
 //! lets Figs. 9, 11 and 12 come out of mechanics instead of formulas.
 
 use acr_apps::AppProfile;
-use acr_core::{DetectionMethod, Scheme};
+use acr_core::{Calibration, DetectionMethod, Scheme};
 use acr_fault::{AdaptiveConfig, AdaptiveInterval, FailureTrace, FaultKind};
 
 use crate::breakdown::{checkpoint_breakdown, restart_breakdown};
@@ -117,15 +117,77 @@ impl SimReport {
     }
 }
 
+/// The simulator's protocol-cost surface, unified across its three
+/// sources: machine-derived breakdowns, a measured [`Calibration`], and
+/// the differential tests' explicitly pinned costs. One `CostProfile`
+/// type means the sim and the runtime-differential can no longer drift
+/// apart on what δ and the restart costs *are*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostProfile {
+    /// Checkpoint cost δ (pack + transfer + compare), seconds.
+    pub delta: f64,
+    /// Hard-error recovery cost (spare promotion + state transfer), seconds.
+    pub hard_restart: f64,
+    /// SDC rollback cost (reload + reconstruct), seconds.
+    pub sdc_restart: f64,
+    /// Ranks per replica, when the runtime's node numbering is in force
+    /// (`replica = node / ranks`). `Some` switches the weak-scheme
+    /// double-failure rule to the runtime's ("any loss in the other
+    /// replica while this one is incomplete restarts the job"); `None`
+    /// keeps the machine-placement rule (only the exact buddy node).
+    pub ranks: Option<usize>,
+}
+
+impl CostProfile {
+    /// Pin every cost directly (the differential-test mode): runtime node
+    /// numbering with `ranks` ranks per replica.
+    pub fn explicit(delta: f64, hard_restart: f64, sdc_restart: f64, ranks: usize) -> Self {
+        Self {
+            delta,
+            hard_restart,
+            sdc_restart,
+            ranks: Some(ranks),
+        }
+    }
+
+    /// Derive the costs from a machine model and application profile — the
+    /// same numbers [`Timeline::new`] would compute internally.
+    pub fn from_machine(
+        machine: &Machine,
+        app: &AppProfile,
+        detection: DetectionMethod,
+        scheme: Scheme,
+    ) -> Self {
+        Self {
+            delta: checkpoint_breakdown(machine, app, detection).total(),
+            hard_restart: restart_breakdown(machine, app, scheme).total(),
+            sdc_restart: restart_breakdown(machine, app, scheme).reconstruction,
+            ranks: None,
+        }
+    }
+
+    /// Derive the costs from a measured [`Calibration`], extrapolated to
+    /// `state_bytes` of checkpointed state per participant. Pass `ranks`
+    /// to adopt the runtime's node numbering (differential mode), `None`
+    /// for machine-placement semantics.
+    pub fn from_calibration(
+        cal: &Calibration,
+        scheme: Scheme,
+        state_bytes: f64,
+        ranks: Option<usize>,
+    ) -> Self {
+        Self {
+            delta: cal.delta_for_bytes(scheme, state_bytes),
+            hard_restart: cal.hard_restart_for_bytes(scheme, state_bytes),
+            sdc_restart: cal.sdc_restart_for_bytes(scheme, state_bytes),
+            ranks,
+        }
+    }
+}
+
 /// Directly-specified protocol costs, bypassing the machine-derived
-/// breakdowns.
-///
-/// Used to calibrate the simulator against *measured* runs of the real
-/// runtime (the differential campaign tests): δ and the restart costs are
-/// extracted from virtual-time `acr_runtime`-style executions, and node
-/// numbering follows the runtime's layout (`replica = node / ranks`), so
-/// the same fault scenario can be pushed through both engines and their
-/// event counts compared.
+/// breakdowns. Superseded by [`CostProfile`].
+#[deprecated(since = "0.10.0", note = "use CostProfile::explicit")]
 #[derive(Debug, Clone, Copy)]
 pub struct ExplicitCosts {
     /// Checkpoint cost δ (pack + transfer + compare), seconds.
@@ -134,11 +196,7 @@ pub struct ExplicitCosts {
     pub hard_restart: f64,
     /// SDC rollback cost (reload + reconstruct), seconds.
     pub sdc_restart: f64,
-    /// Ranks per replica: node `n`'s replica is `n / ranks`. In this mode a
-    /// second hard error during a parked weak recovery forces a restart
-    /// from the beginning whenever it hits the *other replica* (the
-    /// runtime's rule: neither replica holds a complete state any more),
-    /// not just the exact buddy rank.
+    /// Ranks per replica: node `n`'s replica is `n / ranks`.
     pub ranks: usize,
 }
 
@@ -147,11 +205,13 @@ pub struct ExplicitCosts {
 pub struct Timeline {
     machine: Machine,
     app: AppProfile,
-    costs: Option<ExplicitCosts>,
+    costs: Option<CostProfile>,
 }
 
 impl Timeline {
-    /// Simulator over `machine` running `app`.
+    /// Simulator over `machine` running `app`: costs are derived per run
+    /// from the machine breakdowns (equivalent to
+    /// [`CostProfile::from_machine`] at the run's detection and scheme).
     pub fn new(machine: Machine, app: AppProfile) -> Self {
         Self {
             machine,
@@ -160,9 +220,9 @@ impl Timeline {
         }
     }
 
-    /// Simulator with directly-specified costs (calibration/differential
+    /// Simulator with a pinned [`CostProfile`] (calibration/differential
     /// mode); `machine` and `app` are retained only for reporting.
-    pub fn with_explicit_costs(machine: Machine, app: AppProfile, costs: ExplicitCosts) -> Self {
+    pub fn with_costs(machine: Machine, app: AppProfile, costs: CostProfile) -> Self {
         Self {
             machine,
             app,
@@ -170,18 +230,40 @@ impl Timeline {
         }
     }
 
+    /// Simulator with directly-specified costs. Superseded by
+    /// [`Timeline::with_costs`].
+    #[deprecated(since = "0.10.0", note = "use Timeline::with_costs with a CostProfile")]
+    #[allow(deprecated)]
+    pub fn with_explicit_costs(machine: Machine, app: AppProfile, costs: ExplicitCosts) -> Self {
+        Self::with_costs(
+            machine,
+            app,
+            CostProfile::explicit(
+                costs.delta,
+                costs.hard_restart,
+                costs.sdc_restart,
+                costs.ranks,
+            ),
+        )
+    }
+
     /// The machine in use.
     pub fn machine(&self) -> &Machine {
         &self.machine
     }
 
+    /// The pinned cost profile, if any.
+    pub fn costs(&self) -> Option<&CostProfile> {
+        self.costs.as_ref()
+    }
+
     /// Whether `second` failing forces a restart from the beginning while
     /// `first`'s weak recovery is parked.
     fn weak_double_failure(&self, first: usize, second: usize) -> bool {
-        match self.costs {
+        match self.costs.and_then(|c| c.ranks) {
             // Runtime rule: any loss in the other replica while this one is
             // incomplete.
-            Some(c) => (first / c.ranks != second / c.ranks) && second / c.ranks < 2,
+            Some(ranks) => (first / ranks != second / ranks) && second / ranks < 2,
             // Machine-placement rule: the exact buddy node.
             None => self.machine.placement().buddy(second) == Some(first),
         }
@@ -189,14 +271,12 @@ impl Timeline {
 
     /// Run one job to completion.
     pub fn run(&self, cfg: &SimConfig) -> SimReport {
-        let (delta, hard_restart, sdc_restart) = match self.costs {
-            Some(c) => (c.delta, c.hard_restart, c.sdc_restart),
-            None => (
-                checkpoint_breakdown(&self.machine, &self.app, cfg.detection).total(),
-                restart_breakdown(&self.machine, &self.app, cfg.scheme).total(),
-                restart_breakdown(&self.machine, &self.app, cfg.scheme).reconstruction,
-            ),
+        let costs = match self.costs {
+            Some(c) => c,
+            None => CostProfile::from_machine(&self.machine, &self.app, cfg.detection, cfg.scheme),
         };
+        let (delta, hard_restart, sdc_restart) =
+            (costs.delta, costs.hard_restart, costs.sdc_restart);
 
         assert!(
             !(matches!(cfg.tau, TauPolicy::Never) && cfg.scheme == Scheme::Weak),
@@ -599,8 +679,14 @@ mod tests {
         let tl = Timeline::new(machine, TABLE2[0]);
         let delta =
             checkpoint_breakdown(tl.machine(), &TABLE2[0], DetectionMethod::FullCompare).total();
-        let params =
-            ModelParams::from_sockets(24.0 * 3600.0, delta, delta, delta, 16384, 50.0, 10_000.0);
+        let params = ModelParams::builder()
+            .work(24.0 * 3600.0)
+            .delta(delta)
+            .sockets(16384)
+            .mtbf_years(50.0)
+            .sdc_fit(10_000.0)
+            .build()
+            .expect("paper-scale parameters are positive");
         let eval = SchemeModel::new(params).optimize(Scheme::Strong);
         let hard = FailureProcess::Renewal(FailureDistribution::exponential(params.m_h));
         let sdc = FailureProcess::Renewal(FailureDistribution::exponential(params.m_s));
@@ -775,6 +861,97 @@ mod tests {
             sim(1024, MappingKind::Default).run(&fixed_cfg(1000.0, 400.0, Scheme::Strong, trace));
         assert_eq!(r.sdc_detected, 0);
         assert_eq!(r.sdc_undetected, 1);
+    }
+
+    #[test]
+    fn pinned_machine_profile_reproduces_derived_costs() {
+        // Timeline::new derives its costs per run; pinning the same profile
+        // via CostProfile::from_machine must give the identical timeline.
+        let machine = Machine::bgp(1024, MappingKind::Default);
+        let trace = FailureTrace::from_events(vec![TraceEvent {
+            time: 550.0,
+            node: 3,
+            kind: FaultKind::HardError,
+        }]);
+        let cfg = fixed_cfg(1000.0, 100.0, Scheme::Strong, trace);
+        let derived = Timeline::new(machine.clone(), TABLE2[0]).run(&cfg);
+        let profile = CostProfile::from_machine(
+            &machine,
+            &TABLE2[0],
+            DetectionMethod::FullCompare,
+            Scheme::Strong,
+        );
+        assert_eq!(profile.ranks, None);
+        let pinned = Timeline::with_costs(machine, TABLE2[0], profile).run(&cfg);
+        assert_eq!(derived.total_time, pinned.total_time);
+        assert_eq!(derived.rework_time, pinned.rework_time);
+        assert_eq!(derived.checkpoints, pinned.checkpoints);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_explicit_costs_shim_matches_with_costs() {
+        let machine = Machine::bgp(1024, MappingKind::Default);
+        let cfg = fixed_cfg(500.0, 50.0, Scheme::Strong, FailureTrace::default());
+        let old = Timeline::with_explicit_costs(
+            machine.clone(),
+            TABLE2[0],
+            ExplicitCosts {
+                delta: 2.0,
+                hard_restart: 3.0,
+                sdc_restart: 1.0,
+                ranks: 2,
+            },
+        )
+        .run(&cfg);
+        let new = Timeline::with_costs(machine, TABLE2[0], CostProfile::explicit(2.0, 3.0, 1.0, 2))
+            .run(&cfg);
+        assert_eq!(old.total_time, new.total_time);
+        assert_eq!(old.checkpoints, new.checkpoints);
+    }
+
+    #[test]
+    fn calibrated_profile_scales_with_state_bytes() {
+        use acr_core::{Calibration, SampleStat, SchemeCosts, CALIBRATION_VERSION};
+        let costs = |d: f64| SchemeCosts {
+            delta: SampleStat::point(d),
+            hard_restart: SampleStat::point(d * 1.5),
+            sdc_restart: SampleStat::point(d * 1.2),
+        };
+        let cal = Calibration {
+            version: CALIBRATION_VERSION,
+            source: "test".into(),
+            clock: "wall".into(),
+            probe_ranks: 2,
+            probe_state_bytes: 1e6,
+            probe_work_s: 1.0,
+            pack: SampleStat::point(60e6),
+            gamma: SampleStat::point(4.0e-8),
+            beta: SampleStat::point(4.5e-7),
+            wire: SampleStat::point(2.2e6),
+            store: SampleStat::point(80e6),
+            per_byte: SampleStat::point(1e-8),
+            round_overhead: SampleStat::point(1e-3),
+            hard_fault_rate: SampleStat::point(1.0),
+            sdc_fault_rate: SampleStat::point(1.0),
+            checksum_wins: true,
+            strong: costs(0.010),
+            medium: costs(0.011),
+            weak: costs(0.009),
+        };
+        let at_probe = CostProfile::from_calibration(&cal, Scheme::Strong, 1e6, Some(2));
+        assert!((at_probe.delta - 0.010).abs() < 1e-12);
+        assert_eq!(at_probe.ranks, Some(2));
+        // 100 MB more state: δ grows by per_byte × extra bytes.
+        let bigger = CostProfile::from_calibration(&cal, Scheme::Strong, 1.01e8, None);
+        assert!(bigger.delta > at_probe.delta + 0.9);
+        assert!(bigger.hard_restart > at_probe.hard_restart);
+        assert_eq!(bigger.ranks, None);
+        // The calibrated machine adopts the measured rates.
+        let m = Machine::bgp(1024, MappingKind::Default).calibrated(&cal);
+        assert_eq!(m.pup_rate, 60e6);
+        assert_eq!(m.link_bandwidth, 2.2e6);
+        assert!((m.checksum_rate - 1.0 / 4.0e-8).abs() / m.checksum_rate < 1e-12);
     }
 
     #[test]

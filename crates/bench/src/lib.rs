@@ -40,6 +40,16 @@ pub const CONFIGS: [(&str, MappingKind, DetectionMethod); 4] = [
     ("checksum", MappingKind::Default, DetectionMethod::Checksum),
 ];
 
+/// The Fig. 7 baseline at `sockets` per replica and checkpoint cost
+/// `delta`: 24 h of work, 50-year per-socket MTBF, 100 FIT.
+fn fig7_params(sockets: u64, delta: f64) -> ModelParams {
+    ModelParams::builder()
+        .sockets(sockets)
+        .delta(delta)
+        .build()
+        .expect("fig7 baseline is positive")
+}
+
 /// Write `content` to `results/<name>` (best effort — the printable output
 /// is the primary artifact).
 pub fn save_csv(name: &str, content: &str) {
@@ -164,7 +174,7 @@ pub fn fig07() -> String {
         )
         .unwrap();
         for &s in &sweep {
-            let model = SchemeModel::new(ModelParams::fig7(s, delta));
+            let model = SchemeModel::new(fig7_params(s, delta));
             let evals: Vec<_> = Scheme::ALL.iter().map(|&sc| model.optimize(sc)).collect();
             writeln!(
                 out,
@@ -286,15 +296,15 @@ pub fn fig09_fig11() -> String {
                     let timeline = Timeline::new(machine, *app);
                     let delta = checkpoint_breakdown(timeline.machine(), app, detection).total();
                     let restart = restart_breakdown(timeline.machine(), app, scheme).total();
-                    let params = ModelParams::from_sockets(
-                        24.0 * HOUR,
-                        delta,
-                        restart,
-                        restart,
-                        sockets,
-                        50.0,
-                        10_000.0,
-                    );
+                    let params = ModelParams::builder()
+                        .work(24.0 * HOUR)
+                        .delta(delta)
+                        .restart(restart)
+                        .sockets(sockets)
+                        .mtbf_years(50.0)
+                        .sdc_fit(10_000.0)
+                        .build()
+                        .expect("machine-derived parameters are positive");
                     let eval = SchemeModel::new(params).optimize(scheme);
                     // Forward path: checkpoints only (failure-free trace).
                     let fwd = timeline.run(&SimConfig {
@@ -632,7 +642,7 @@ pub fn ablations() -> String {
         "\n  (4) spare-pool sizing, 16K sockets/replica, 24 h job (expected failures vs pool)"
     )
     .unwrap();
-    let params = ModelParams::fig7(16384, 15.0);
+    let params = fig7_params(16384, 15.0);
     let expect = 24.0 * HOUR / params.m_h;
     for spares in [1usize, 2, 4, 8, 16] {
         // Poisson tail: P(N > spares)
@@ -781,10 +791,10 @@ pub fn ablations() -> String {
     )
     .unwrap();
     for sockets in [16384u64, 262_144] {
-        let dual = SchemeModel::new(ModelParams::fig7(sockets, 15.0)).optimize(Scheme::Strong);
+        let dual = SchemeModel::new(fig7_params(sockets, 15.0)).optimize(Scheme::Strong);
         // TMR: a third of the machine per copy (utilization cap 1/3) but a
         // detected SDC costs nothing (voting corrects in place).
-        let p = ModelParams::fig7(sockets, 15.0);
+        let p = fig7_params(sockets, 15.0);
         let tmr_params = ModelParams {
             m_s: f64::INFINITY,
             ..p

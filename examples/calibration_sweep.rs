@@ -1,0 +1,855 @@
+//! Calibration sweep: measure the runtime, close the runtime × simulator ×
+//! model triangle, and gate the Fig. 8–11 *shapes* on the result.
+//!
+//! The pipeline:
+//!
+//! 1. **Measure** — `acr::runtime::calibrate::measure` runs short
+//!    instrumented probe jobs per scheme and distills an
+//!    `acr_core::Calibration`: δ per scheme with per-byte slope, restart
+//!    costs, pack/β/γ/wire/store rates, fault rates, and the §4.2
+//!    `checksum_wins` verdict. Two clock domains: a deterministic
+//!    *virtual* twin (bit-identical across runs, per-byte rates
+//!    degenerate) and a *wall* headline (honest rates, run-to-run
+//!    spread).
+//! 2. **Predict** — the same artifact feeds both predictors:
+//!    `ModelParams::from_calibration` (the §5 equations) and
+//!    `CostProfile::from_calibration` (the event-driven simulator).
+//! 3. **Gate** — shape invariants on the model grid (Fig. 7/8-style
+//!    orderings), a model-vs-sim utilization band at the calibrated
+//!    point, a runtime campaign whose measured winner must match the
+//!    advisor, and a fixed-τ*-vs-adaptive sanity bound.
+//!
+//! ```text
+//! cargo run --release --example calibration_sweep             # regenerate artifacts + gates
+//! cargo run --release --example calibration_sweep -- --check  # gate against committed artifacts
+//!     --out <dir>     artifact directory            (default results)
+//!     --samples <n>   probe repeats per scheme      (default 2)
+//!     --no-wall       skip the wall-clock measurement
+//! ```
+//!
+//! Artifacts: `calibration.json` (wall headline), `calibration_virtual.json`
+//! (deterministic twin), `calibration_shapes.csv` (model grid + winners).
+
+use std::time::Duration;
+
+use acr::fault::{AdaptiveConfig, FailureDistribution, FailureProcess, FailureTrace, FaultKind};
+use acr::model::{advise, Calibration, ModelParams, Scenario, SchemeModel, HOUR};
+use acr::runtime::calibrate::{measure, CalibrateOptions};
+use acr::runtime::{
+    AppMsg, DetectionMethod, ExecMode, FaultAction, FaultScript, Job, JobConfig, JobReport, Scheme,
+    Task, TaskCtx, TaskId, Trigger,
+};
+use acr::sim::{CostProfile, Machine, SimConfig, TauPolicy, Timeline};
+use acr::topology::MappingKind;
+
+const SOCKET_GRID: [u64; 5] = [1024, 4096, 16384, 65536, 262_144];
+const FIT_GRID: [f64; 2] = [100.0, 10_000.0];
+/// Acceptable P(undetected SDC) for the advisor throughout the sweep.
+const SDC_RISK: f64 = 0.01;
+/// Model-vs-sim utilization band at the calibrated point (relative).
+const TRIANGLE_BAND: f64 = 0.25;
+/// Fixed-τ* may not be beaten by the adaptive policy by more than this.
+const ADAPTIVE_MARGIN: f64 = 1.10;
+/// Virtual re-measurement must match the committed twin this tightly.
+const VIRTUAL_TOLERANCE: f64 = 0.05;
+
+struct Args {
+    out: String,
+    check: bool,
+    samples: usize,
+    wall: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "results".to_string(),
+        check: false,
+        samples: 2,
+        wall: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => args.out = it.next().expect("--out needs a directory"),
+            "--check" => args.check = true,
+            "--samples" => {
+                args.samples = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--samples needs a number")
+            }
+            "--no-wall" => args.wall = false,
+            other => {
+                eprintln!("calibration_sweep: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+struct Gates {
+    failures: Vec<String>,
+}
+
+impl Gates {
+    fn new() -> Self {
+        Self {
+            failures: Vec::new(),
+        }
+    }
+
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        if ok {
+            println!("  gate {name}: ok ({detail})");
+        } else {
+            println!("  gate {name}: FAIL ({detail})");
+            self.failures.push(format!("{name}: {detail}"));
+        }
+    }
+}
+
+// --- probe ring for the campaign (mirrors the calibrate module's probe) ---
+
+const RANKS: usize = 2;
+const CAMPAIGN_ITERS: u64 = 320;
+const CAMPAIGN_TAU: f64 = 0.060;
+
+struct Ring {
+    rank: usize,
+    iter: u64,
+    tokens: u64,
+    acc: Vec<f64>,
+}
+
+impl Ring {
+    fn new(rank: usize) -> Self {
+        Self {
+            rank,
+            iter: 0,
+            tokens: 0,
+            acc: (0..256).map(|i| (rank * 100 + i) as f64).collect(),
+        }
+    }
+}
+
+impl Task for Ring {
+    fn try_step(&mut self, ctx: &mut TaskCtx<'_>) -> bool {
+        if self.done() || (self.iter > 0 && self.tokens == 0) {
+            return false;
+        }
+        if self.iter > 0 {
+            self.tokens -= 1;
+        }
+        for (i, x) in self.acc.iter_mut().enumerate() {
+            *x += ((self.iter as f64 + i as f64) * 1e-3).sin();
+        }
+        let next = TaskId {
+            rank: (self.rank + 1) % ctx.ranks(),
+            task: 0,
+        };
+        ctx.send(next, self.iter, vec![]);
+        self.iter += 1;
+        true
+    }
+
+    fn on_message(&mut self, _msg: AppMsg, _ctx: &mut TaskCtx<'_>) {
+        self.tokens += 1;
+    }
+
+    fn progress(&self) -> u64 {
+        self.iter
+    }
+
+    fn done(&self) -> bool {
+        self.iter >= CAMPAIGN_ITERS
+    }
+
+    fn pup(&mut self, p: &mut dyn acr::pup::Puper) -> acr::pup::PupResult {
+        use acr::pup::Pup;
+        p.pup_usize(&mut self.rank)?;
+        p.pup_u64(&mut self.iter)?;
+        p.pup_u64(&mut self.tokens)?;
+        self.acc.pup(p)
+    }
+}
+
+fn campaign_run(scheme: Scheme, script: &FaultScript) -> JobReport {
+    let cfg = JobConfig::builder()
+        .ranks(RANKS)
+        .tasks_per_rank(1)
+        .spares(10)
+        .scheme(scheme)
+        .detection(DetectionMethod::FullCompare)
+        .checkpoint_interval(Duration::from_secs_f64(CAMPAIGN_TAU))
+        .heartbeat_period(Duration::from_millis(5))
+        .heartbeat_timeout(Duration::from_millis(40))
+        .max_duration(Duration::from_secs(60))
+        .build()
+        .expect("campaign config");
+    Job::new(cfg)
+        .with_faults(script.clone())
+        .mode(ExecMode::virtual_default())
+        .run(|rank, _| Box::new(Ring::new(rank)) as Box<dyn Task>)
+}
+
+// --- grid + shapes ------------------------------------------------------
+
+fn shapes_csv(cal: &Calibration) -> Result<String, String> {
+    let mut out = String::from(
+        "sockets,fit,winner,scheme,delta_s,tau_s,utilization,p_undetected_sdc,admissible\n",
+    );
+    for &fit in &FIT_GRID {
+        for &sockets in &SOCKET_GRID {
+            let scenario = Scenario {
+                sockets,
+                state_bytes_per_socket: scenario_state_bytes(cal),
+                mtbf_years_per_socket: 50.0,
+                sdc_fit_per_socket: fit,
+                work_s: 24.0 * HOUR,
+            };
+            let advice = advise(cal, &scenario, SDC_RISK).map_err(|e| e.to_string())?;
+            for s in &advice.per_scheme {
+                out.push_str(&format!(
+                    "{sockets},{fit},{},{},{:.6},{:.3},{:.6},{:.8},{}\n",
+                    advice.scheme.name(),
+                    s.eval.scheme.name(),
+                    s.params.delta,
+                    s.eval.tau,
+                    s.eval.utilization,
+                    s.eval.p_undetected_sdc,
+                    s.admissible
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// State per socket for the model grid. A wall calibration carries an
+/// honestly measured per-byte slope, so the grid extrapolates δ and the
+/// restart costs to paper-scale state (1 GB/socket, Fig. 8's regime). The
+/// virtual twin's slope is a sentinel floor (the virtual clock does not
+/// advance inside a pack), so extrapolating it is meaningless — the
+/// virtual grid stays at the probe's own state size.
+fn scenario_state_bytes(cal: &Calibration) -> f64 {
+    if cal.clock == "wall" {
+        1e9
+    } else {
+        cal.probe_state_bytes
+    }
+}
+
+/// Scheme strength rank: strong = 0 (Scheme::ALL is strongest-first).
+fn strength(s: Scheme) -> usize {
+    Scheme::ALL.iter().position(|&x| x == s).unwrap()
+}
+
+fn shape_gates(label: &str, cal: &Calibration, gates: &mut Gates) {
+    for &fit in &FIT_GRID {
+        let mut winners = Vec::new();
+        for &sockets in &SOCKET_GRID {
+            let scenario = Scenario {
+                sockets,
+                state_bytes_per_socket: scenario_state_bytes(cal),
+                mtbf_years_per_socket: 50.0,
+                sdc_fit_per_socket: fit,
+                work_s: 24.0 * HOUR,
+            };
+            let advice = match advise(cal, &scenario, SDC_RISK) {
+                Ok(a) => a,
+                Err(e) => {
+                    gates.check(
+                        &format!("{label}/advise"),
+                        false,
+                        format!("sockets {sockets} fit {fit}: {e}"),
+                    );
+                    continue;
+                }
+            };
+            // Fig. 7a ordering: the strong scheme's rework makes its
+            // utilization no better than medium's or weak's at a common
+            // parameter point (tiny slack for the optimizer).
+            let s = advice.scheme_eval(Scheme::Strong).eval.utilization;
+            let m = advice.scheme_eval(Scheme::Medium).eval.utilization;
+            let w = advice.scheme_eval(Scheme::Weak).eval.utilization;
+            gates.check(
+                &format!("{label}/strong-pays-more"),
+                s <= m * 1.001 && s <= w * 1.001,
+                format!("sockets {sockets} fit {fit}: S {s:.4} M {m:.4} W {w:.4}"),
+            );
+            winners.push((advice.scheme, advice));
+        }
+        // As the machine grows at a fixed FIT, exposure only rises: the
+        // advisor's pick may move toward stronger schemes but never back —
+        // except across a near-tie, where measurement noise in δ can flip
+        // two schemes whose utilizations the model calls equivalent.
+        let monotone = winners.windows(2).all(|w| {
+            let (prev, _) = &w[0];
+            let (next, advice) = &w[1];
+            if strength(*next) <= strength(*prev) {
+                return true;
+            }
+            let u_prev = advice.scheme_eval(*prev).eval.utilization;
+            let u_next = advice.scheme_eval(*next).eval.utilization;
+            (u_next - u_prev).abs() <= 0.002 * u_next.abs().max(1e-12)
+        });
+        let winners: Vec<Scheme> = winners.into_iter().map(|(s, _)| s).collect();
+        gates.check(
+            &format!("{label}/winner-monotone"),
+            monotone,
+            format!(
+                "fit {fit}: {:?}",
+                winners.iter().map(|s| s.name()).collect::<Vec<_>>()
+            ),
+        );
+    }
+    // Endpoints: a small quiet machine tolerates a relaxed scheme; a huge
+    // noisy one must fall back to strong.
+    let endpoint = |sockets: u64, fit: f64| {
+        let scenario = Scenario {
+            sockets,
+            state_bytes_per_socket: scenario_state_bytes(cal),
+            mtbf_years_per_socket: 50.0,
+            sdc_fit_per_socket: fit,
+            work_s: 24.0 * HOUR,
+        };
+        advise(cal, &scenario, SDC_RISK).map(|a| a.scheme)
+    };
+    match (
+        endpoint(SOCKET_GRID[0], FIT_GRID[0]),
+        endpoint(262_144, 10_000.0),
+    ) {
+        (Ok(quiet), Ok(noisy)) => {
+            gates.check(
+                &format!("{label}/endpoints"),
+                quiet != Scheme::Strong && noisy == Scheme::Strong,
+                format!(
+                    "quiet 1K/100FIT -> {}, noisy 256K/10000FIT -> {}",
+                    quiet.name(),
+                    noisy.name()
+                ),
+            );
+        }
+        (a, b) => gates.check(
+            &format!("{label}/endpoints"),
+            false,
+            format!("advise failed: {a:?} / {b:?}"),
+        ),
+    }
+}
+
+// --- triangle gate: model vs simulator at the calibrated point ----------
+
+fn triangle_gate(label: &str, cal: &Calibration, gates: &mut Gates) {
+    // A probe-scale scenario: enough work for many periods, a failure rate
+    // of a few per run. Everything below is pinned from the calibration.
+    let work = (400.0 * cal.probe_work_s).max(1.0);
+    let m_h = work / 4.0;
+    let m_s = work / 4.0;
+    for scheme in Scheme::ALL {
+        let delta = cal.scheme_costs(scheme).delta.mean;
+        let params = match ModelParams::builder()
+            .work(work)
+            .delta(delta)
+            .hard_restart(cal.scheme_costs(scheme).hard_restart.mean)
+            .sdc_restart(cal.scheme_costs(scheme).sdc_restart.mean)
+            .system_mtbf(m_h)
+            .system_sdc_mtbf(m_s)
+            .build()
+        {
+            Ok(p) => p,
+            Err(e) => {
+                gates.check(
+                    &format!("{label}/triangle"),
+                    false,
+                    format!("{scheme:?}: {e}"),
+                );
+                continue;
+            }
+        };
+        let eval = SchemeModel::new(params).optimize(scheme);
+        if !eval.t_total.is_finite() {
+            gates.check(
+                &format!("{label}/triangle"),
+                false,
+                format!("{scheme:?}: model diverged at the calibrated point"),
+            );
+            continue;
+        }
+
+        let machine = Machine::bgp(1024, MappingKind::Default).calibrated(cal);
+        let costs = CostProfile::from_calibration(cal, scheme, cal.probe_state_bytes, None);
+        let tl = Timeline::with_costs(machine, acr::apps::TABLE2[0], costs);
+        let nodes = tl.machine().torus.len();
+        let mut utils = Vec::new();
+        for seed in 0..6u64 {
+            let hard = FailureProcess::Renewal(FailureDistribution::exponential(m_h));
+            let sdc = FailureProcess::Renewal(FailureDistribution::exponential(m_s));
+            let trace =
+                FailureTrace::generate(Some(hard), Some(sdc), 20.0 * work, nodes, 1000 + seed);
+            let r = tl.run(&SimConfig::basic(
+                work,
+                scheme,
+                DetectionMethod::FullCompare,
+                TauPolicy::Fixed(eval.tau),
+                trace,
+            ));
+            utils.push(r.utilization());
+        }
+        let sim_util = utils.iter().sum::<f64>() / utils.len() as f64;
+        let rel = (sim_util - eval.utilization).abs() / eval.utilization;
+        gates.check(
+            &format!("{label}/triangle"),
+            rel <= TRIANGLE_BAND,
+            format!(
+                "{scheme:?}: model {:.4} vs sim {:.4} ({:.1}% apart, band {:.0}%)",
+                eval.utilization,
+                sim_util,
+                100.0 * rel,
+                100.0 * TRIANGLE_BAND
+            ),
+        );
+    }
+}
+
+// --- campaign gate: the advisor's winner must win on the runtime --------
+
+/// Translate a machine-wide failure trace into a runtime fault script,
+/// using the differential suite's node convention (`node / ranks` is the
+/// replica, `node % ranks` the rank).
+fn script_from_trace(trace: &FailureTrace, seed: u64) -> FaultScript {
+    let mut script = FaultScript::new();
+    for (i, ev) in trace.events().iter().enumerate() {
+        let replica = ((ev.node / RANKS) % 2) as u8;
+        let rank = ev.node % RANKS;
+        match ev.kind {
+            FaultKind::HardError => {
+                script.push(Trigger::At(ev.time), FaultAction::Crash { replica, rank });
+            }
+            FaultKind::Sdc => {
+                script.push(
+                    Trigger::At(ev.time),
+                    FaultAction::Sdc {
+                        replica,
+                        rank,
+                        seed: seed * 100 + i as u64,
+                        bits: 2,
+                    },
+                );
+            }
+        }
+    }
+    script
+}
+
+fn campaign_gate(cal: &Calibration, gates: &mut Gates) {
+    // First, a deterministic demonstration that the campaign *can* sample
+    // the branch the model prices against weak: the §2.3 cross-replica
+    // double crash inside one checkpoint interval leaves neither replica
+    // with a complete verified state, so the job restarts from the
+    // beginning.
+    let mut killer = FaultScript::new();
+    killer.push(
+        Trigger::At(0.100),
+        FaultAction::Crash {
+            replica: 0,
+            rank: 0,
+        },
+    );
+    killer.push(
+        Trigger::At(0.110),
+        FaultAction::Crash {
+            replica: 1,
+            rank: 1,
+        },
+    );
+    let weak_hit = campaign_run(Scheme::Weak, &killer);
+    gates.check(
+        "campaign/weak-restart-sampled",
+        weak_hit.completed && weak_hit.restarts_from_beginning >= 1,
+        format!(
+            "double crash in one interval: completed {}, restarts {}",
+            weak_hit.completed, weak_hit.restarts_from_beginning
+        ),
+    );
+
+    // The campaign proper: the *same* Poisson fault process the model
+    // assumes, sampled into concrete fault scripts and replayed through
+    // the real runtime — common random numbers across schemes so the
+    // comparison is paired. The winner has the lowest mean duration.
+    let free = campaign_run(Scheme::Strong, &FaultScript::new());
+    let work = free.duration;
+    let m_h = 2.0 * work;
+    let m_s = 2.0 * work;
+    const SEEDS: u64 = 10;
+    let hard = FailureProcess::Renewal(FailureDistribution::exponential(m_h));
+    let sdc = FailureProcess::Renewal(FailureDistribution::exponential(m_s));
+    let scripts: Vec<FaultScript> = (0..SEEDS)
+        .map(|seed| {
+            let trace =
+                FailureTrace::generate(Some(hard), Some(sdc), 40.0 * work, 2 * RANKS, 7000 + seed);
+            script_from_trace(&trace, seed)
+        })
+        .collect();
+
+    let mut best: Option<(Scheme, f64)> = None;
+    let mut measured = Vec::new();
+    for scheme in Scheme::ALL {
+        let mut total = 0.0;
+        let mut clean = true;
+        for script in &scripts {
+            let r = campaign_run(scheme, script);
+            if !r.completed || !r.replicas_agree() {
+                clean = false;
+                continue;
+            }
+            total += r.duration;
+        }
+        let mean = total / SEEDS as f64;
+        measured.push((scheme, mean, clean));
+        if clean && best.map(|(_, b)| mean < b).unwrap_or(true) {
+            best = Some((scheme, mean));
+        }
+    }
+    let Some((campaign_winner, _)) = best else {
+        gates.check(
+            "campaign/winner",
+            false,
+            format!("no scheme survived the campaign cleanly: {measured:?}"),
+        );
+        return;
+    };
+
+    // The model sees the same regime through the calibration: per-scheme δ
+    // and restart costs from the artifact, the generating MTBFs, and the
+    // campaign's own fixed cadence (eval at τ, not at τ*). The comparable
+    // quantity is expected total time — the P(undetected) budget is
+    // planner policy, not something a FullCompare campaign samples.
+    let mut predicted = Vec::new();
+    for scheme in Scheme::ALL {
+        let params = ModelParams::builder()
+            .work(work)
+            .delta(cal.scheme_costs(scheme).delta.mean)
+            .hard_restart(cal.scheme_costs(scheme).hard_restart.mean)
+            .sdc_restart(cal.scheme_costs(scheme).sdc_restart.mean)
+            .system_mtbf(m_h)
+            .system_sdc_mtbf(m_s)
+            .build()
+            .expect("calibrated campaign params");
+        let eval = SchemeModel::new(params).eval(scheme, CAMPAIGN_TAU);
+        predicted.push((scheme, eval.t_total));
+    }
+    let &(advisor_winner, advisor_t) = predicted
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("three schemes evaluated");
+
+    // Per-scheme triangle closure at the runtime level: measured mean
+    // duration within a generous band of the model's expected total time
+    // (10 Poisson seeds carry real sampling noise).
+    for &(scheme, mean, clean) in &measured {
+        let t = predicted
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .map(|(_, t)| *t)
+            .unwrap();
+        let rel = (mean - t).abs() / t;
+        gates.check(
+            "campaign/duration-band",
+            clean && rel <= 0.35,
+            format!(
+                "{scheme:?}: measured mean {:.3}s vs model {:.3}s ({:.0}% apart)",
+                mean,
+                t,
+                100.0 * rel
+            ),
+        );
+    }
+
+    // Winner agreement: same scheme, or a model tie — the runtime's
+    // duration differences can sit inside the band where the model calls
+    // the schemes equivalent.
+    let campaign_t = predicted
+        .iter()
+        .find(|(s, _)| *s == campaign_winner)
+        .map(|(_, t)| *t)
+        .unwrap();
+    let tie = (campaign_t - advisor_t).abs() <= 0.02 * advisor_t;
+    gates.check(
+        "campaign/winner",
+        campaign_winner == advisor_winner || tie,
+        format!(
+            "campaign -> {} ({measured:?}), model -> {} ({predicted:?})",
+            campaign_winner.name(),
+            advisor_winner.name(),
+        ),
+    );
+}
+
+// --- adaptive gate: τ* is near-optimal in the simulator -----------------
+
+fn adaptive_gate(cal: &Calibration, gates: &mut Gates) {
+    let work = (400.0 * cal.probe_work_s).max(1.0);
+    let m_h = work / 4.0;
+    let scheme = Scheme::Strong;
+    let delta = cal.scheme_costs(scheme).delta.mean;
+    let params = ModelParams::builder()
+        .work(work)
+        .delta(delta)
+        .system_mtbf(m_h)
+        .system_sdc_mtbf(f64::INFINITY)
+        .build()
+        .expect("adaptive-gate params");
+    let eval = SchemeModel::new(params).optimize(scheme);
+    let machine = Machine::bgp(1024, MappingKind::Default).calibrated(cal);
+    let costs = CostProfile::from_calibration(cal, scheme, cal.probe_state_bytes, None);
+    let tl = Timeline::with_costs(machine, acr::apps::TABLE2[0], costs);
+    let nodes = tl.machine().torus.len();
+    let adaptive_cfg = AdaptiveConfig {
+        delta,
+        initial_interval: eval.tau,
+        min_interval: (delta * 2.0).max(1e-3),
+        max_interval: work,
+        window: 16,
+        trend_fit: true,
+    };
+    let (mut fixed_total, mut adaptive_total) = (0.0, 0.0);
+    for seed in 0..6u64 {
+        let hard = FailureProcess::Renewal(FailureDistribution::exponential(m_h));
+        let trace = FailureTrace::generate(Some(hard), None, 20.0 * work, nodes, 2000 + seed);
+        let fixed = tl.run(&SimConfig::basic(
+            work,
+            scheme,
+            DetectionMethod::FullCompare,
+            TauPolicy::Fixed(eval.tau),
+            trace.clone(),
+        ));
+        let adapt = tl.run(&SimConfig::basic(
+            work,
+            scheme,
+            DetectionMethod::FullCompare,
+            TauPolicy::Adaptive(adaptive_cfg),
+            trace,
+        ));
+        fixed_total += fixed.total_time;
+        adaptive_total += adapt.total_time;
+    }
+    gates.check(
+        "adaptive/tau-star-near-optimal",
+        fixed_total <= adaptive_total * ADAPTIVE_MARGIN,
+        format!(
+            "fixed τ*={:.3}s total {:.2}s vs adaptive total {:.2}s (margin {:.0}%)",
+            eval.tau,
+            fixed_total,
+            adaptive_total,
+            100.0 * (ADAPTIVE_MARGIN - 1.0)
+        ),
+    );
+}
+
+// --- committed-artifact comparison --------------------------------------
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    (a - b).abs() / a.abs().max(b.abs()) <= tol
+}
+
+fn check_against_committed(path: &str, fresh: &Calibration, gates: &mut Gates) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            gates.check("committed/parse", false, format!("read {path}: {e}"));
+            return;
+        }
+    };
+    let committed = match Calibration::from_json(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            gates.check("committed/parse", false, format!("parse {path}: {e}"));
+            return;
+        }
+    };
+    gates.check(
+        "committed/valid",
+        committed.validate().is_ok(),
+        format!("{path} validates"),
+    );
+    // The virtual twin is deterministic: a fresh measurement must agree
+    // with the committed artifact tightly.
+    let mut worst: f64 = 0.0;
+    for scheme in Scheme::ALL {
+        let a = fresh.scheme_costs(scheme).delta.mean;
+        let b = committed.scheme_costs(scheme).delta.mean;
+        worst = worst.max((a - b).abs() / b.abs().max(1e-12));
+    }
+    gates.check(
+        "committed/delta-drift",
+        worst <= VIRTUAL_TOLERANCE,
+        format!(
+            "worst per-scheme δ drift {:.2}% (tol {:.0}%)",
+            100.0 * worst,
+            100.0 * VIRTUAL_TOLERANCE
+        ),
+    );
+    gates.check(
+        "committed/work-drift",
+        rel_close(
+            fresh.probe_work_s,
+            committed.probe_work_s,
+            VIRTUAL_TOLERANCE,
+        ),
+        format!(
+            "probe_work_s {} vs committed {}",
+            fresh.probe_work_s, committed.probe_work_s
+        ),
+    );
+    gates.check(
+        "committed/verdict",
+        fresh.checksum_wins == committed.checksum_wins,
+        format!("checksum_wins {}", committed.checksum_wins),
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let mut gates = Gates::new();
+
+    println!(
+        "calibration_sweep: measuring virtual twin ({} samples)",
+        args.samples
+    );
+    let vcal = {
+        let mut opts = CalibrateOptions::quick_virtual();
+        opts.samples = args.samples;
+        opts.source = format!("calibration_sweep --samples {}", args.samples);
+        measure(&opts).expect("virtual calibration measures")
+    };
+    println!(
+        "  virtual: W={:.3}s  δ(S/M/W)={:.4}/{:.4}/{:.4}s  state={:.0}B/rank",
+        vcal.probe_work_s,
+        vcal.strong.delta.mean,
+        vcal.medium.delta.mean,
+        vcal.weak.delta.mean,
+        vcal.probe_state_bytes
+    );
+
+    let wcal = if args.wall {
+        println!("calibration_sweep: measuring wall headline");
+        let mut opts = CalibrateOptions::wall();
+        opts.samples = args.samples.max(2);
+        opts.source = format!("calibration_sweep --wall --samples {}", args.samples);
+        let store_dir = std::env::temp_dir().join("acr_cal_store_probe");
+        let _ = std::fs::create_dir_all(&store_dir);
+        opts.store_probe = Some(store_dir);
+        match measure(&opts) {
+            Ok(c) => {
+                println!(
+                    "  wall: W={:.3}s  δ(S/M/W)={:.4}/{:.4}/{:.4}s  pack={:.1}MB/s  β={:.2e}s/B  γ={:.2e}s/B  checksum_wins={}",
+                    c.probe_work_s,
+                    c.strong.delta.mean,
+                    c.medium.delta.mean,
+                    c.weak.delta.mean,
+                    c.pack.mean / 1e6,
+                    c.beta.mean,
+                    c.gamma.mean,
+                    c.checksum_wins
+                );
+                Some(c)
+            }
+            Err(e) => {
+                println!("  wall measurement failed: {e}");
+                gates.check("wall/measure", false, e);
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    let headline = wcal.as_ref().unwrap_or(&vcal);
+
+    // In check mode the wall shape gates run on the *committed* artifact:
+    // its numbers are fixed, so the gates are deterministic in CI. The
+    // fresh wall measurement above still had to succeed and validate —
+    // that is the end-to-end pipeline check — but its run-to-run noise is
+    // not re-gated against the committed shapes.
+    let mut committed_wall = None;
+    if args.check {
+        check_against_committed(
+            &format!("{}/calibration_virtual.json", args.out),
+            &vcal,
+            &mut gates,
+        );
+        // The committed wall headline must still parse and validate; its
+        // numbers are machine-specific, so no numeric drift gate.
+        let path = format!("{}/calibration.json", args.out);
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Calibration::from_json(&t).map_err(|e| e.to_string()))
+        {
+            Ok(c) => {
+                gates.check(
+                    "committed/wall-valid",
+                    c.validate().is_ok() && c.clock == "wall",
+                    path,
+                );
+                committed_wall = Some(c);
+            }
+            Err(e) => gates.check("committed/wall-valid", false, format!("{path}: {e}")),
+        }
+    } else {
+        let _ = std::fs::create_dir_all(&args.out);
+        std::fs::write(
+            format!("{}/calibration_virtual.json", args.out),
+            vcal.to_json(),
+        )
+        .expect("write virtual artifact");
+        if let Some(w) = &wcal {
+            std::fs::write(format!("{}/calibration.json", args.out), w.to_json())
+                .expect("write wall artifact");
+        }
+        match shapes_csv(headline) {
+            Ok(csv) => std::fs::write(format!("{}/calibration_shapes.csv", args.out), csv)
+                .expect("write shapes"),
+            Err(e) => gates.check("shapes/csv", false, e),
+        }
+        println!("artifacts written to {}/", args.out);
+    }
+
+    println!("\nshape gates (virtual twin):");
+    shape_gates("virtual", &vcal, &mut gates);
+    let wall_for_shapes = if args.check {
+        committed_wall.as_ref()
+    } else {
+        wcal.as_ref()
+    };
+    if let Some(w) = wall_for_shapes {
+        println!("\nshape gates (wall headline):");
+        shape_gates("wall", w, &mut gates);
+    }
+
+    println!("\ntriangle gate (model vs simulator, virtual calibration):");
+    triangle_gate("virtual", &vcal, &mut gates);
+
+    println!("\ncampaign gate (runtime winner vs advisor):");
+    campaign_gate(&vcal, &mut gates);
+
+    println!("\nadaptive gate (fixed τ* vs adaptive policy in the simulator):");
+    adaptive_gate(&vcal, &mut gates);
+
+    if gates.failures.is_empty() {
+        println!("\ncalibration_sweep: all gates passed");
+    } else {
+        println!(
+            "\ncalibration_sweep: {} gate(s) FAILED:",
+            gates.failures.len()
+        );
+        for f in &gates.failures {
+            println!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,69 +1,210 @@
 //! Capacity planner: evaluate the §5 model for *your* machine and pick a
-//! resilience scheme.
+//! resilience scheme — from hand-set parameters or a measured
+//! `calibration.json` (see the `calibration_sweep` example).
 //!
 //! ```text
-//! cargo run --release --example capacity_planner -- <sockets-per-replica> <delta-seconds> [sdc-fit] [mtbf-years] [work-hours]
-//! cargo run --release --example capacity_planner -- 65536 15
+//! cargo run --release --example capacity_planner -- [flags]
+//!   --sockets <n>          sockets per replica          (default 16384)
+//!   --delta <s>            checkpoint cost δ, seconds   (default 15)
+//!   --fit <f>              per-socket SDC rate, FIT     (default 100)
+//!   --mtbf-years <y>       per-socket hard MTBF, years  (default 50)
+//!   --work-hours <h>       useful work in the job       (default 24)
+//!   --state-gb <g>         checkpoint state per socket  (default 1)
+//!   --sdc-risk <p>         acceptable P(undetected SDC) (default 0.01)
+//!   --calibration <path>   measured calibration.json: per-scheme δ and
+//!                          restart costs replace --delta
+//!   --json                 machine-readable output
+//!
+//! cargo run --release --example capacity_planner -- --sockets 65536 --delta 15
+//! cargo run --release --example capacity_planner -- \
+//!     --calibration results/calibration.json --sockets 65536 --json
 //! ```
 
-use acr::model::{ModelParams, Scheme, SchemeModel, HOUR};
+use acr::model::{advise, advise_uniform, Advice, Calibration, ModelParams, Scenario, HOUR};
+
+struct Args {
+    sockets: u64,
+    delta: f64,
+    fit: f64,
+    mtbf_years: f64,
+    work_hours: f64,
+    state_gb: f64,
+    sdc_risk: f64,
+    calibration: Option<String>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        sockets: 16384,
+        delta: 15.0,
+        fit: 100.0,
+        mtbf_years: 50.0,
+        work_hours: 24.0,
+        state_gb: 1.0,
+        sdc_risk: 0.01,
+        calibration: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> Result<f64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<f64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--sockets" => args.sockets = num("--sockets")? as u64,
+            "--delta" => args.delta = num("--delta")?,
+            "--fit" => args.fit = num("--fit")?,
+            "--mtbf-years" => args.mtbf_years = num("--mtbf-years")?,
+            "--work-hours" => args.work_hours = num("--work-hours")?,
+            "--state-gb" => args.state_gb = num("--state-gb")?,
+            "--sdc-risk" => args.sdc_risk = num("--sdc-risk")?,
+            "--calibration" => {
+                args.calibration = Some(it.next().ok_or("--calibration needs a path")?)
+            }
+            "--json" => args.json = true,
+            other => return Err(format!("unknown flag {other} (see the header comment)")),
+        }
+    }
+    Ok(args)
+}
+
+fn render_json(advice: &Advice, calibrated: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"scheme\": \"{}\",\n", advice.scheme.name()));
+    out.push_str(&format!("  \"tau_s\": {},\n", advice.tau));
+    out.push_str(&format!("  \"t_total_s\": {},\n", advice.eval.t_total));
+    out.push_str(&format!(
+        "  \"utilization\": {},\n",
+        advice.eval.utilization
+    ));
+    out.push_str(&format!(
+        "  \"p_undetected_sdc\": {},\n",
+        advice.eval.p_undetected_sdc
+    ));
+    out.push_str(&format!("  \"sdc_risk_budget\": {},\n", advice.sdc_risk));
+    out.push_str(&format!("  \"calibrated\": {calibrated},\n"));
+    out.push_str("  \"per_scheme\": [\n");
+    for (i, s) in advice.per_scheme.iter().enumerate() {
+        let sep = if i + 1 < advice.per_scheme.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "    {{\"scheme\": \"{}\", \"delta_s\": {}, \"tau_s\": {}, \"utilization\": {}, \
+             \"p_undetected_sdc\": {}, \"admissible\": {}}}{sep}\n",
+            s.eval.scheme.name(),
+            s.params.delta,
+            s.eval.tau,
+            s.eval.utilization,
+            s.eval.p_undetected_sdc,
+            s.admissible
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn render_table(advice: &Advice) {
+    println!(
+        "{:<8} {:>9} {:>9} {:>11} {:>12} {:>16} {:>12}",
+        "scheme", "δ (s)", "τ* (s)", "T (h)", "utilization", "P(undetected)", "admissible"
+    );
+    for s in &advice.per_scheme {
+        println!(
+            "{:<8} {:>9.2} {:>9.0} {:>11.2} {:>12.4} {:>16.6} {:>12}",
+            s.eval.scheme.name(),
+            s.params.delta,
+            s.eval.tau,
+            s.eval.t_total / HOUR,
+            s.eval.utilization,
+            s.eval.p_undetected_sdc,
+            if s.admissible { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "\nrecommendation: {} at τ = {:.0} s — utilization {:.1}%, P(undetected SDC) {:.4}% \
+         (budget {:.2}%)",
+        advice.scheme.name().to_uppercase(),
+        advice.tau,
+        100.0 * advice.eval.utilization,
+        100.0 * advice.eval.p_undetected_sdc,
+        100.0 * advice.sdc_risk
+    );
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let sockets: u64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(16384);
-    let delta: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(15.0);
-    let fit: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100.0);
-    let mtbf_years: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(50.0);
-    let work_hours: f64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(24.0);
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("capacity_planner: {e}");
+            std::process::exit(2);
+        }
+    };
 
-    let params = ModelParams::from_sockets(
-        work_hours * HOUR,
-        delta,
-        delta,
-        delta,
-        sockets,
-        mtbf_years,
-        fit,
-    );
-    let model = SchemeModel::new(params);
+    let advice = match &args.calibration {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("capacity_planner: read {path}: {e}");
+                std::process::exit(2);
+            });
+            let cal = Calibration::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("capacity_planner: parse {path}: {e}");
+                std::process::exit(2);
+            });
+            let scenario = Scenario {
+                sockets: args.sockets,
+                state_bytes_per_socket: args.state_gb * 1e9,
+                mtbf_years_per_socket: args.mtbf_years,
+                sdc_fit_per_socket: args.fit,
+                work_s: args.work_hours * HOUR,
+            };
+            if !args.json {
+                println!(
+                    "calibration: {path} ({} clock, source {:?})",
+                    cal.clock, cal.source
+                );
+            }
+            advise(&cal, &scenario, args.sdc_risk).unwrap_or_else(|e| {
+                eprintln!("capacity_planner: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => {
+            let params = ModelParams::builder()
+                .work(args.work_hours * HOUR)
+                .delta(args.delta)
+                .sockets(args.sockets)
+                .mtbf_years(args.mtbf_years)
+                .sdc_fit(args.fit)
+                .build()
+                .unwrap_or_else(|e| {
+                    eprintln!("capacity_planner: {e}");
+                    std::process::exit(2);
+                });
+            advise_uniform(params, args.sdc_risk)
+        }
+    };
 
-    println!("machine: {sockets} sockets/replica · δ = {delta} s · {fit} FIT/socket · {mtbf_years} y hard-MTBF/socket");
-    println!("job:     {work_hours} h of work\n");
-    println!(
-        "system hard-error MTBF: {:.1} h   system SDC MTBF: {:.1} h\n",
-        params.m_h / HOUR,
-        params.m_s / HOUR
-    );
-    println!(
-        "{:<8} {:>9} {:>11} {:>12} {:>12} {:>16}",
-        "scheme", "τ* (s)", "T (h)", "utilization", "overhead %", "P(undetected)"
-    );
-    for scheme in Scheme::ALL {
-        let e = model.optimize(scheme);
-        println!(
-            "{:<8} {:>9.0} {:>11.2} {:>12.4} {:>12.2} {:>16.6}",
-            scheme.name(),
-            e.tau,
-            e.t_total / HOUR,
-            e.utilization,
-            100.0 * e.overhead,
-            e.p_undetected_sdc
-        );
+    if args.json {
+        print!("{}", render_json(&advice, args.calibration.is_some()));
+        return;
     }
 
-    let strong = model.optimize(Scheme::Strong);
-    let medium = model.optimize(Scheme::Medium);
-    println!();
-    if medium.p_undetected_sdc < 0.01 {
-        println!(
-            "recommendation: MEDIUM — undetected-SDC risk {:.3}% with {:.2}% less overhead than strong",
-            100.0 * medium.p_undetected_sdc,
-            100.0 * (strong.overhead - medium.overhead)
-        );
-    } else {
-        println!(
-            "recommendation: STRONG — medium would leave a {:.1}% chance of a silently wrong answer",
-            100.0 * medium.p_undetected_sdc
-        );
-    }
+    let p = &advice.per_scheme[0].params;
+    println!(
+        "machine: {} sockets/replica · {} FIT/socket · {} y hard-MTBF/socket",
+        args.sockets, args.fit, args.mtbf_years
+    );
+    println!(
+        "job:     {} h of work · system hard-MTBF {:.1} h · system SDC-MTBF {:.1} h\n",
+        args.work_hours,
+        p.m_h / HOUR,
+        p.m_s / HOUR
+    );
+    render_table(&advice);
 }

@@ -1,0 +1,210 @@
+//! Calibration pipeline: the committed artifacts stay consumable by both
+//! predictors, the virtual twin stays reproducible on any machine, and the
+//! model × simulator triangle stays closed at the calibrated point.
+//!
+//! The heavyweight wall-clock measurement and the full gate battery live
+//! in `examples/calibration_sweep.rs` (run by the `calibration` CI job);
+//! these tier-1 tests cover the deterministic virtual path only.
+
+use std::path::Path;
+use std::time::Duration;
+
+use acr::fault::{FailureDistribution, FailureProcess, FailureTrace};
+use acr::model::{advise, Calibration, ModelParams, Scenario, SchemeModel, HOUR};
+use acr::runtime::calibrate::{measure, CalibrateOptions};
+use acr::runtime::{
+    DetectionMethod, ExecMode, FaultAction, FaultScript, Job, JobConfig, Scheme, Trigger,
+};
+use acr::sim::{CostProfile, Machine, SimConfig, TauPolicy, Timeline};
+use acr::topology::MappingKind;
+
+fn committed(name: &str) -> Calibration {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join(name);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    Calibration::from_json(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+#[test]
+fn committed_artifacts_parse_validate_and_round_trip() {
+    for (name, clock) in [
+        ("calibration.json", "wall"),
+        ("calibration_virtual.json", "virtual"),
+    ] {
+        let cal = committed(name);
+        cal.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(cal.clock, clock, "{name}");
+        let reparsed = Calibration::from_json(&cal.to_json()).expect("round trip parses");
+        assert_eq!(cal, reparsed, "{name}: JSON round trip must be bit-exact");
+        for scheme in Scheme::ALL {
+            let c = cal.scheme_costs(scheme);
+            assert!(c.delta.mean > 0.0, "{name} {scheme:?}");
+            assert!(c.hard_restart.mean > 0.0, "{name} {scheme:?}");
+        }
+    }
+}
+
+/// The virtual twin is deterministic: re-measuring on this machine, with
+/// the same options the sweep used, reproduces the committed numbers.
+#[test]
+fn fresh_virtual_measurement_matches_committed_twin() {
+    let cal = committed("calibration_virtual.json");
+    let mut opts = CalibrateOptions::quick_virtual();
+    opts.samples = 2;
+    let fresh = measure(&opts).expect("virtual calibration measures");
+    assert!(
+        (fresh.probe_work_s - cal.probe_work_s).abs() <= 0.05 * cal.probe_work_s,
+        "probe work drifted: fresh {} vs committed {}",
+        fresh.probe_work_s,
+        cal.probe_work_s
+    );
+    for scheme in Scheme::ALL {
+        let a = fresh.scheme_costs(scheme).delta.mean;
+        let b = cal.scheme_costs(scheme).delta.mean;
+        assert!(
+            (a - b).abs() <= 0.05 * b,
+            "{scheme:?}: δ drifted: fresh {a} vs committed {b}"
+        );
+    }
+    assert_eq!(fresh.checksum_wins, cal.checksum_wins);
+}
+
+/// Triangle closure: the §5 model and the event-driven simulator, both fed
+/// from the committed virtual calibration, agree on utilization at the
+/// calibrated point within a tolerance band.
+#[test]
+fn model_and_sim_agree_at_the_calibrated_point() {
+    let cal = committed("calibration_virtual.json");
+    let work = 400.0 * cal.probe_work_s;
+    let mtbf = work / 4.0;
+    for scheme in Scheme::ALL {
+        let params = ModelParams::builder()
+            .work(work)
+            .delta(cal.scheme_costs(scheme).delta.mean)
+            .hard_restart(cal.scheme_costs(scheme).hard_restart.mean)
+            .sdc_restart(cal.scheme_costs(scheme).sdc_restart.mean)
+            .system_mtbf(mtbf)
+            .system_sdc_mtbf(mtbf)
+            .build()
+            .expect("calibrated params build");
+        let eval = SchemeModel::new(params).optimize(scheme);
+        assert!(eval.t_total.is_finite(), "{scheme:?}: model diverged");
+
+        let machine = Machine::bgp(1024, MappingKind::Default).calibrated(&cal);
+        let costs = CostProfile::from_calibration(&cal, scheme, cal.probe_state_bytes, None);
+        let tl = Timeline::with_costs(machine, acr::apps::TABLE2[0], costs);
+        let nodes = tl.machine().torus.len();
+        let mut acc = 0.0;
+        const SEEDS: u64 = 4;
+        for seed in 0..SEEDS {
+            let hard = FailureProcess::Renewal(FailureDistribution::exponential(mtbf));
+            let sdc = FailureProcess::Renewal(FailureDistribution::exponential(mtbf));
+            let trace =
+                FailureTrace::generate(Some(hard), Some(sdc), 20.0 * work, nodes, 100 + seed);
+            let r = tl.run(&SimConfig::basic(
+                work,
+                scheme,
+                DetectionMethod::FullCompare,
+                TauPolicy::Fixed(eval.tau),
+                trace,
+            ));
+            acc += r.utilization();
+        }
+        let sim_util = acc / SEEDS as f64;
+        let rel = (sim_util - eval.utilization).abs() / eval.utilization;
+        assert!(
+            rel <= 0.25,
+            "{scheme:?}: model {} vs sim {} ({:.1}% apart)",
+            eval.utilization,
+            sim_util,
+            100.0 * rel
+        );
+    }
+}
+
+/// The advisor consumes both committed artifacts and lands on the paper's
+/// endpoint schemes: a small quiet machine tolerates a relaxed scheme, a
+/// huge noisy one needs strong. (Only the wall artifact carries a measured
+/// per-byte slope, so only it is extrapolated to 1 GB/socket.)
+#[test]
+fn advisor_picks_paper_endpoints_from_committed_calibrations() {
+    let wall = committed("calibration.json");
+    let quiet = Scenario {
+        sockets: 1024,
+        state_bytes_per_socket: 1e9,
+        mtbf_years_per_socket: 50.0,
+        sdc_fit_per_socket: 100.0,
+        work_s: 24.0 * HOUR,
+    };
+    let noisy = Scenario {
+        sockets: 262_144,
+        state_bytes_per_socket: 1e9,
+        mtbf_years_per_socket: 50.0,
+        sdc_fit_per_socket: 10_000.0,
+        work_s: 24.0 * HOUR,
+    };
+    let a = advise(&wall, &quiet, 0.01).expect("quiet advice");
+    let b = advise(&wall, &noisy, 0.01).expect("noisy advice");
+    assert_eq!(a.per_scheme.len(), 3);
+    assert_ne!(a.scheme, Scheme::Strong, "quiet machine should relax");
+    assert_eq!(b.scheme, Scheme::Strong, "noisy machine must go strong");
+
+    let virt = committed("calibration_virtual.json");
+    let probe_quiet = Scenario {
+        state_bytes_per_socket: virt.probe_state_bytes,
+        ..quiet
+    };
+    let v = advise(&virt, &probe_quiet, 0.01).expect("virtual advice");
+    assert!(v.eval.utilization > 0.0 && v.eval.utilization <= 1.0);
+}
+
+/// The §2.3 weak-scheme hazard the model prices in is a real runtime
+/// behavior: a cross-replica double crash inside one checkpoint interval
+/// forces a restart from the beginning — and the job still finishes.
+#[test]
+fn weak_double_crash_restarts_from_beginning_and_completes() {
+    let cfg = JobConfig::builder()
+        .ranks(2)
+        .tasks_per_rank(1)
+        .spares(4)
+        .scheme(Scheme::Weak)
+        .detection(DetectionMethod::FullCompare)
+        .checkpoint_interval(Duration::from_millis(60))
+        .heartbeat_period(Duration::from_millis(5))
+        .heartbeat_timeout(Duration::from_millis(40))
+        .max_duration(Duration::from_secs(60))
+        .build()
+        .expect("weak hazard config");
+    let mut script = FaultScript::new();
+    script.push(
+        Trigger::At(0.100),
+        FaultAction::Crash {
+            replica: 0,
+            rank: 0,
+        },
+    );
+    script.push(
+        Trigger::At(0.110),
+        FaultAction::Crash {
+            replica: 1,
+            rank: 1,
+        },
+    );
+    let report = Job::new(cfg)
+        .with_faults(script)
+        .mode(ExecMode::virtual_default())
+        .run(|rank, _| {
+            Box::new(acr::integration::MiniAppTask::new(
+                acr::apps::LeanMd::new(48, rank as u64),
+                400,
+            )) as Box<dyn acr::runtime::Task>
+        });
+    assert!(report.completed, "{:?}", report.error);
+    assert!(
+        report.restarts_from_beginning >= 1,
+        "double crash must park-and-kill weak: {report:?}"
+    );
+    assert!(report.replicas_agree());
+}

@@ -5,9 +5,9 @@
 //!
 //! The two engines share nothing but the paper's protocol (§2), so count
 //! agreement is evidence both implement the *same* protocol rather than
-//! two plausible variants of it. The sim runs in `ExplicitCosts` mode with
-//! δ calibrated from fault-free virtual runtime runs, so both engines see
-//! the same checkpoint cadence.
+//! two plausible variants of it. The sim runs with a pinned `CostProfile`
+//! whose δ is calibrated from fault-free virtual runtime runs, so both
+//! engines see the same checkpoint cadence.
 
 use std::time::Duration;
 
@@ -16,7 +16,7 @@ use acr::runtime::{
     AppMsg, DetectionMethod, ExecMode, FaultAction, FaultScript, Job, JobConfig, JobReport, Scheme,
     Task, TaskCtx, TaskId, Trigger,
 };
-use acr::sim::{ExplicitCosts, SimConfig, SimReport, TauPolicy, Timeline};
+use acr::sim::{CostProfile, SimConfig, SimReport, TauPolicy, Timeline};
 
 const RANKS: usize = 2;
 const ITERS: u64 = 400;
@@ -115,34 +115,32 @@ fn run_runtime(scheme: Scheme, interval: Duration, script: &FaultScript) -> JobR
     report
 }
 
-/// Calibration from two fault-free virtual runs: `w` is the pure compute
-/// time (checkpoints effectively disabled), `delta` the mean cost of one
-/// verified round under the real cadence.
-struct Calibration {
+/// Probe calibration from two fault-free virtual runs: `w` is the pure
+/// compute time (checkpoints effectively disabled), `delta` the mean cost
+/// of one verified round under the real cadence. (The full measured
+/// artifact is `acr_core::Calibration`, produced by `acr::runtime::
+/// calibrate::measure`; this local pair is the minimal subset the
+/// differential needs.)
+struct ProbeCal {
     w: f64,
     delta: f64,
 }
 
-fn calibrate(scheme: Scheme) -> Calibration {
+fn calibrate(scheme: Scheme) -> ProbeCal {
     let free = run_runtime(scheme, Duration::from_secs(10), &FaultScript::new());
     assert_eq!(free.checkpoints_verified, 0);
     let cadenced = run_runtime(scheme, Duration::from_secs_f64(TAU), &FaultScript::new());
     let n = cadenced.checkpoints_verified.max(1) as f64;
     let delta = ((cadenced.duration - free.duration) / n).max(1e-4);
-    Calibration {
+    ProbeCal {
         w: free.duration,
         delta,
     }
 }
 
-fn run_sim(scheme: Scheme, cal: &Calibration, events: Vec<TraceEvent>) -> SimReport {
-    let costs = ExplicitCosts {
-        delta: cal.delta,
-        hard_restart: cal.delta,
-        sdc_restart: cal.delta,
-        ranks: RANKS,
-    };
-    let tl = Timeline::with_explicit_costs(
+fn run_sim(scheme: Scheme, cal: &ProbeCal, events: Vec<TraceEvent>) -> SimReport {
+    let costs = CostProfile::explicit(cal.delta, cal.delta, cal.delta, RANKS);
+    let tl = Timeline::with_costs(
         acr::sim::Machine::bgp(1024, acr::topology::MappingKind::Default),
         acr::apps::TABLE2[0],
         costs,

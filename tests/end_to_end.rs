@@ -191,8 +191,14 @@ fn sim_and_model_agree_on_scheme_ordering() {
     let delta =
         acr::sim::checkpoint_breakdown(timeline.machine(), &app, DetectionMethod::FullCompare)
             .total();
-    let params =
-        ModelParams::from_sockets(8.0 * 3600.0, delta, delta, delta, sockets, 50.0, 10_000.0);
+    let params = ModelParams::builder()
+        .work(8.0 * 3600.0)
+        .delta(delta)
+        .sockets(sockets)
+        .mtbf_years(50.0)
+        .sdc_fit(10_000.0)
+        .build()
+        .expect("machine-derived parameters are positive");
     let model = SchemeModel::new(params);
 
     let mut sim_overheads = Vec::new();
